@@ -1,0 +1,152 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's evaluation (modelled on traced workloads), the measured
+   host-machine comparisons and the design ablations, and finishes with a
+   Bechamel micro-benchmark section — one benchmark per paper table/figure,
+   timing the real computational payload that experiment rests on.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- table1    # a single experiment
+     dune exec bench/main.exe -- --list    # experiment ids
+     dune exec bench/main.exe -- --no-micro  # skip the Bechamel section *)
+
+module Registry = Am_experiments.Registry
+
+(* ---- Bechamel micro-benchmarks ------------------------------------------- *)
+
+(* One benchmark per table/figure: the computational payload behind it. *)
+let micro_tests () =
+  let open Bechamel in
+  let airfoil_mesh = Am_mesh.Umesh.generate_airfoil ~nx:48 ~ny:32 () in
+  let airfoil_app = Am_airfoil.App.create airfoil_mesh in
+  let airfoil_hand = Am_airfoil.Hand.create airfoil_mesh in
+  let clover_app = Am_cloverleaf.App.create ~nx:48 ~ny:48 () in
+  let hydra_app = Am_hydra.App.create ~nx:32 ~ny:24 () in
+  let clover_cuda =
+    Am_cloverleaf.App.create
+      ~backend:
+        (Am_ops.Ops.Cuda_sim
+           { Am_ops.Exec.tile_x = 16; tile_y = 8; strategy = Am_ops.Exec.Cuda_tiled })
+      ~nx:48 ~ny:48 ()
+  in
+  let airfoil_mpi =
+    Am_airfoil.App.create (Am_mesh.Umesh.generate_airfoil ~nx:48 ~ny:32 ())
+  in
+  Am_op2.Op2.partition airfoil_mpi.Am_airfoil.App.ctx ~n_ranks:4
+    ~strategy:(Am_op2.Op2.Kway_through airfoil_mpi.Am_airfoil.App.edge_cells);
+  let dual = Am_mesh.Umesh.cell_dual_graph airfoil_mesh in
+  let fig8_chain =
+    let traced = Am_experiments.Calibrate.trace_airfoil ~nx:48 ~ny:32 () in
+    let e =
+      Am_experiments.Calibrate.iteration_loops traced.Am_experiments.Calibrate.profiles
+    in
+    e @ e
+  in
+  let res_calc_descr = List.nth fig8_chain 2 in
+  [
+    (* Table I / Fig 2: the Airfoil iteration the table breaks down. *)
+    Test.make ~name:"table1/airfoil_iteration_op2"
+      (Staged.stage (fun () -> ignore (Am_airfoil.App.iteration airfoil_app)));
+    Test.make ~name:"fig2/airfoil_iteration_hand"
+      (Staged.stage (fun () -> ignore (Am_airfoil.Hand.iteration airfoil_hand)));
+    (* Fig 3: one Hydra iteration (51 parallel loops). *)
+    Test.make ~name:"fig3/hydra_iteration"
+      (Staged.stage (fun () -> ignore (Am_hydra.App.iteration hydra_app)));
+    (* Fig 4: the distributed Airfoil iteration (partitioned, halo traffic). *)
+    Test.make ~name:"fig4/airfoil_iteration_mpi4"
+      (Staged.stage (fun () -> ignore (Am_airfoil.App.iteration airfoil_mpi)));
+    (* Fig 5: one CloverLeaf hydro step through OPS. *)
+    Test.make ~name:"fig5/cloverleaf_step_ops"
+      (Staged.stage (fun () -> ignore (Am_cloverleaf.App.hydro_step clover_app)));
+    (* Fig 6: the same step on the tiled GPU simulator. *)
+    Test.make ~name:"fig6/cloverleaf_step_gpusim"
+      (Staged.stage (fun () -> ignore (Am_cloverleaf.App.hydro_step clover_cuda)));
+    (* Fig 7: generating the CUDA source for an indirect loop. *)
+    Test.make ~name:"fig7/codegen_res_calc"
+      (Staged.stage (fun () ->
+           ignore
+             (Am_codegen.Codegen.generate_op2
+                (Am_codegen.Codegen.Cuda Am_codegen.Codegen.Stage_nosoa)
+                res_calc_descr)));
+    (* Fig 8: planning a checkpoint over the traced chain. *)
+    Test.make ~name:"fig8/checkpoint_plan"
+      (Staged.stage (fun () ->
+           ignore (Am_checkpoint.Planner.speculative_trigger fig8_chain ~requested:2)));
+    (* Aero: one Newton iteration (FEM assembly + matrix-free CG). *)
+    Test.make ~name:"apps/aero_newton_iteration"
+      (let aero = Am_aero.App.create (Am_aero.App.generate_mesh ~n:24) in
+       Staged.stage (fun () -> ignore (Am_aero.App.iteration aero)));
+    (* TeaLeaf: one implicit CG step (reduction-heavy profile). *)
+    Test.make ~name:"apps/tealeaf_cg_step"
+      (let tea = Am_tealeaf.App.create ~n:10 () in
+       Staged.stage (fun () -> ignore (Am_tealeaf.App.step tea)));
+    (* CloverLeaf 3D: one hydro step on the 3D structured library. *)
+    Test.make ~name:"apps/cloverleaf3_step"
+      (let c3 = Am_cloverleaf3.App.create ~n:10 () in
+       Staged.stage (fun () -> ignore (Am_cloverleaf3.App.hydro_step c3)));
+    (* Substrates: the partitioner and reordering the backends rely on. *)
+    Test.make ~name:"substrate/kway_partition"
+      (Staged.stage (fun () -> ignore (Am_mesh.Partition.kway dual ~parts:8)));
+    Test.make ~name:"substrate/rcm_reorder"
+      (Staged.stage (fun () -> ignore (Am_mesh.Reorder.rcm dual)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "######## micro — Bechamel kernels (one per table/figure) ########\n";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let table =
+    Am_util.Table.create ~title:"micro-benchmarks (monotonic clock)"
+      ~header:[ "benchmark"; "per run" ]
+      ~aligns:[ Am_util.Table.Left; Right ]
+      ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let per_name = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let cell =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ ns ] -> Am_util.Units.seconds (ns /. 1e9)
+            | Some _ | None -> "n/a"
+          in
+          Am_util.Table.add_row table [ name; cell ])
+        per_name)
+    (micro_tests ());
+  Am_util.Table.print table;
+  print_newline ()
+
+(* ---- Entry point ---------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--list" ] ->
+    List.iter
+      (fun e -> Printf.printf "%-10s %s\n" e.Registry.id e.Registry.title)
+      Registry.experiments;
+    print_endline "micro      Bechamel micro-benchmarks"
+  | [] ->
+    Registry.run_all ();
+    run_micro ()
+  | [ "--no-micro" ] -> Registry.run_all ()
+  | ids ->
+    List.iter
+      (fun id ->
+        if id = "micro" then run_micro ()
+        else
+          match Registry.find id with
+          | Some e ->
+            Printf.printf "######## %s — %s ########\n\n%!" e.Registry.id
+              e.Registry.title;
+            e.Registry.run ()
+          | None ->
+            Printf.eprintf "unknown experiment %S (try --list)\n" id;
+            exit 1)
+      ids

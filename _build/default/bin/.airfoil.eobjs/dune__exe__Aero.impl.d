@@ -1,0 +1,1 @@
+bin/aero.ml: Am_aero Am_core Am_mesh Am_op2 Am_simmpi Am_taskpool Am_util Arg Cmd Cmdliner Printf Term Unix

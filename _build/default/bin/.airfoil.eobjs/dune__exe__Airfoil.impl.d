@@ -1,0 +1,1 @@
+bin/airfoil.ml: Am_airfoil Am_core Am_mesh Am_op2 Am_simmpi Am_sysio Am_taskpool Am_util Arg Cmd Cmdliner Printf Sys Term Unix

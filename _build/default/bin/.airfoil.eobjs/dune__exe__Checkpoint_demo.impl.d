@@ -1,0 +1,1 @@
+bin/checkpoint_demo.ml: Am_airfoil Am_checkpoint Am_core Am_mesh Am_op2 Am_util Filename Option Printf String Sys Unix

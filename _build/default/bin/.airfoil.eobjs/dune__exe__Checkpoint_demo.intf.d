@@ -1,0 +1,1 @@
+bin/checkpoint_demo.mli:

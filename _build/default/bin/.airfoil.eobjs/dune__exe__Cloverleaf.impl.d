@@ -1,0 +1,1 @@
+bin/cloverleaf.ml: Am_cloverleaf Am_core Am_ops Am_simmpi Am_taskpool Am_util Arg Cmd Cmdliner Printf Term Unix

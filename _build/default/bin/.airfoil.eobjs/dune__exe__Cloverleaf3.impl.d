@@ -1,0 +1,1 @@
+bin/cloverleaf3.ml: Am_cloverleaf3 Am_core Am_ops Am_taskpool Am_util Arg Cmd Cmdliner Printf Term Unix

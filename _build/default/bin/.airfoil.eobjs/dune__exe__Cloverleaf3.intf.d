@@ -1,0 +1,1 @@
+bin/cloverleaf3.mli:

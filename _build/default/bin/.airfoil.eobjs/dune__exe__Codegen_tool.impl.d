@@ -1,0 +1,1 @@
+bin/codegen_tool.ml: Am_codegen Am_core Am_experiments Arg Cmd Cmdliner Filename List Printf Sys Term

@@ -1,0 +1,1 @@
+bin/codegen_tool.mli:

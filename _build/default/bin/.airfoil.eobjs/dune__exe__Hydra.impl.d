@@ -1,0 +1,1 @@
+bin/hydra.ml: Am_core Am_hydra Am_mesh Am_op2 Am_taskpool Am_util Arg Cmd Cmdliner Printf Term Unix

@@ -1,0 +1,1 @@
+bin/tealeaf.ml: Am_core Am_ops Am_taskpool Am_tealeaf Am_util Arg Cmd Cmdliner Printf Term Unix

@@ -1,0 +1,88 @@
+(* Aero driver: the FEM + matrix-free CG proxy application from the
+   command line.
+
+     aero --size 64 --iters 2 --backend mpi --ranks 4 --verify
+
+   Solves -laplacian(phi) = 2 pi^2 sin(pi x) sin(pi y) on the unit square
+   with bilinear quad elements, prints per-Newton CG iteration counts, the
+   L2 error against the analytic solution, and the per-loop profile. *)
+
+module Op2 = Am_op2.Op2
+module App = Am_aero.App
+module Umesh = Am_mesh.Umesh
+
+let run n iters backend ranks renumber verify =
+  let mesh = App.generate_mesh ~n in
+  Printf.printf "aero: %dx%d cells, %d nodes\n%!" n n mesh.Umesh.n_nodes;
+  let pool = ref None in
+  let t = App.create mesh in
+  (match backend with
+  | "seq" -> ()
+  | "shared" ->
+    let p = Am_taskpool.Pool.create () in
+    pool := Some p;
+    Op2.set_backend t.App.ctx (Op2.Shared { pool = p; block_size = 256 })
+  | "cuda" -> Op2.set_backend t.App.ctx (Op2.Cuda_sim Am_op2.Exec_cuda.default_config)
+  | "vec" -> Op2.set_backend t.App.ctx (Op2.Vec Am_op2.Exec_vec.default_config)
+  | "mpi" ->
+    Op2.partition t.App.ctx ~n_ranks:ranks ~strategy:(Op2.Rcb_on t.App.x)
+  | "hybrid" ->
+    Op2.partition t.App.ctx ~n_ranks:ranks ~strategy:(Op2.Rcb_on t.App.x);
+    let p = Am_taskpool.Pool.create () in
+    pool := Some p;
+    Op2.set_rank_execution t.App.ctx (Op2.Rank_shared { pool = p; block_size = 256 })
+  | other -> failwith (Printf.sprintf "unknown backend %s" other));
+  if renumber then begin
+    let before, after = Op2.renumber t.App.ctx ~through:t.App.cell_nodes in
+    Printf.printf "renumbered: mean bandwidth %.1f -> %.1f\n%!" before after
+  end;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    let cg_iters, rms = App.iteration t in
+    Printf.printf "  newton %d: %3d CG iterations, update rms %10.5e\n%!" i cg_iters rms
+  done;
+  Printf.printf "L2 error vs analytic solution: %.3e\n" (App.l2_error t);
+  Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
+  print_string (Am_core.Profile.report (Op2.profile t.App.ctx));
+  (match Op2.comm_stats t.App.ctx with
+  | Some s ->
+    Printf.printf "\ncommunication: %d messages, %s, %d halo exchanges, %d reductions\n"
+      s.Am_simmpi.Comm.messages
+      (Am_util.Units.bytes s.Am_simmpi.Comm.bytes)
+      s.Am_simmpi.Comm.exchanges s.Am_simmpi.Comm.reductions
+  | None -> ());
+  if verify && not renumber then begin
+    let h = Am_aero.Hand.create mesh in
+    ignore (Am_aero.Hand.run h ~iters);
+    let d = Am_util.Fa.rel_discrepancy (App.solution t) (Am_aero.Hand.solution h) in
+    Printf.printf "\nverification vs hand-coded baseline: max discrepancy %.3e %s\n" d
+      (if d < 1e-8 then "(PASS)" else "(FAIL)");
+    if d >= 1e-8 then exit 1
+  end;
+  match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ()
+
+open Cmdliner
+
+let n = Arg.(value & opt int 48 & info [ "size" ] ~doc:"Cells per side of the unit square.")
+let iters = Arg.(value & opt int 2 & info [ "iters" ] ~doc:"Newton iterations.")
+
+let backend =
+  Arg.(
+    value
+    & opt string "seq"
+    & info [ "backend" ] ~doc:"Backend: seq, vec, shared, cuda, mpi or hybrid.")
+
+let ranks = Arg.(value & opt int 4 & info [ "ranks" ] ~doc:"Simulated MPI ranks.")
+
+let renumber =
+  Arg.(value & flag & info [ "renumber" ] ~doc:"Apply RCM mesh renumbering first.")
+
+let verify =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Cross-check against the hand-coded baseline.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "aero" ~doc:"2D FEM + matrix-free CG proxy application (OP2)")
+    Term.(const run $ n $ iters $ backend $ ranks $ renumber $ verify)
+
+let () = exit (Cmd.eval cmd)

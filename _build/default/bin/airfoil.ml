@@ -1,0 +1,129 @@
+(* Airfoil driver: the OP2 proxy application from the command line.
+
+     airfoil --nx 200 --ny 150 --iters 100 --backend mpi --ranks 8 --verify
+
+   Prints the residual history like the original test case, the per-loop
+   profile (the data behind Table I), and optionally cross-checks the
+   result against the hand-coded baseline. *)
+
+module Op2 = Am_op2.Op2
+module App = Am_airfoil.App
+module Umesh = Am_mesh.Umesh
+
+let run nx ny iters backend ranks renumber verify save_to mesh_file =
+  (* Meshes load from snapshot files (the HDF5-style input path) or are
+     generated; --save-mesh in a previous run produces the file. *)
+  let mesh =
+    match mesh_file with
+    | Some path when Sys.file_exists path ->
+      Printf.printf "loading mesh from %s
+%!" path;
+      Am_sysio.Meshio.load path
+    | Some path ->
+      let m = Umesh.generate_airfoil ~nx ~ny () in
+      Am_sysio.Meshio.save path m;
+      Printf.printf "generated mesh written to %s
+%!" path;
+      m
+    | None -> Umesh.generate_airfoil ~nx ~ny ()
+  in
+  Printf.printf "airfoil: %d cells, %d edges, %d nodes\n%!" mesh.Umesh.n_cells
+    mesh.Umesh.n_edges mesh.Umesh.n_nodes;
+  let pool = ref None in
+  let t = App.create mesh in
+  (match backend with
+  | "seq" -> ()
+  | "shared" ->
+    let p = Am_taskpool.Pool.create () in
+    pool := Some p;
+    Op2.set_backend t.App.ctx (Op2.Shared { pool = p; block_size = 256 })
+  | "cuda" ->
+    Op2.set_backend t.App.ctx (Op2.Cuda_sim Am_op2.Exec_cuda.default_config)
+  | "vec" -> Op2.set_backend t.App.ctx (Op2.Vec Am_op2.Exec_vec.default_config)
+  | "mpi" ->
+    Op2.partition t.App.ctx ~n_ranks:ranks
+      ~strategy:(Op2.Kway_through t.App.edge_cells)
+  | "hybrid" ->
+    Op2.partition t.App.ctx ~n_ranks:ranks
+      ~strategy:(Op2.Kway_through t.App.edge_cells);
+    let p = Am_taskpool.Pool.create () in
+    pool := Some p;
+    Op2.set_rank_execution t.App.ctx (Op2.Rank_shared { pool = p; block_size = 256 })
+  | other -> failwith (Printf.sprintf "unknown backend %s" other));
+  if renumber then begin
+    let before, after = Op2.renumber t.App.ctx ~through:t.App.edge_cells in
+    Printf.printf "renumbered: dual-graph mean bandwidth %.1f -> %.1f\n%!" before after
+  end;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    let rms = App.iteration t in
+    if i mod 100 = 0 || i = iters then Printf.printf "  %4d  %10.5e\n%!" i rms
+  done;
+  Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
+  print_string (Am_core.Profile.report (Op2.profile t.App.ctx));
+  (match Op2.comm_stats t.App.ctx with
+  | Some s ->
+    Printf.printf "\ncommunication: %d messages, %s, %d halo exchanges\n"
+      s.Am_simmpi.Comm.messages
+      (Am_util.Units.bytes s.Am_simmpi.Comm.bytes)
+      s.Am_simmpi.Comm.exchanges
+  | None -> ());
+  if verify && not renumber then begin
+    let h = Am_airfoil.Hand.create mesh in
+    ignore (Am_airfoil.Hand.run h ~iters);
+    let d =
+      Am_util.Fa.rel_discrepancy (App.solution t) (Am_airfoil.Hand.solution h)
+    in
+    Printf.printf "\nverification vs hand-coded baseline: max discrepancy %.3e %s\n" d
+      (if d < 1e-10 then "(PASS)" else "(FAIL)");
+    if d >= 1e-10 then exit 1
+  end;
+  (match save_to with
+  | Some path ->
+    Am_sysio.Snapshot.save path [ ("q", App.solution t) ];
+    Printf.printf "solution written to %s\n" path
+  | None -> ());
+  match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ()
+
+open Cmdliner
+
+let nx = Arg.(value & opt int 120 & info [ "nx" ] ~doc:"Cells in x.")
+let ny = Arg.(value & opt int 80 & info [ "ny" ] ~doc:"Cells in y.")
+let iters = Arg.(value & opt int 100 & info [ "iters" ] ~doc:"Outer iterations.")
+
+let backend =
+  Arg.(
+    value
+    & opt string "seq"
+    & info [ "backend" ] ~doc:"Backend: seq, vec, shared, cuda, mpi or hybrid.")
+
+let ranks = Arg.(value & opt int 4 & info [ "ranks" ] ~doc:"Simulated MPI ranks.")
+
+let renumber =
+  Arg.(value & flag & info [ "renumber" ] ~doc:"Apply RCM mesh renumbering first.")
+
+let verify =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Cross-check against the hand-coded baseline.")
+
+let save_to =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~doc:"Write the final solution to a snapshot file.")
+
+let mesh_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mesh" ]
+        ~doc:"Mesh snapshot file: loaded if it exists, generated and written \
+              otherwise (the HDF5-style input path).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "airfoil" ~doc:"Non-linear 2D inviscid Euler proxy application (OP2)")
+    Term.(
+      const run $ nx $ ny $ iters $ backend $ ranks $ renumber $ verify $ save_to
+      $ mesh_file)
+
+let () = exit (Cmd.eval cmd)

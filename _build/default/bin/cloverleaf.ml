@@ -1,0 +1,106 @@
+(* CloverLeaf driver: the OPS proxy application from the command line.
+
+     cloverleaf --nx 256 --ny 256 --steps 87 --backend mpi --ranks 8
+
+   Prints the field summary every few steps (like the original's
+   clover.out), the per-loop profile, and optionally verifies against the
+   hand-coded baseline. *)
+
+module Ops = Am_ops.Ops
+module App = Am_cloverleaf.App
+
+let run nx ny steps backend ranks summary_every verify van_leer =
+  let advection =
+    if van_leer then Am_cloverleaf.App.Van_leer else Am_cloverleaf.App.First_order
+  in
+  Printf.printf "cloverleaf: %dx%d cells, %d steps, backend %s\n%!" nx ny steps backend;
+  let pool = ref None in
+  let t =
+    match backend with
+    | "seq" -> App.create ~advection ~nx ~ny ()
+    | "shared" ->
+      let p = Am_taskpool.Pool.create () in
+      pool := Some p;
+      App.create ~backend:(Ops.Shared { pool = p }) ~advection ~nx ~ny ()
+    | "cuda" ->
+      App.create ~backend:(Ops.Cuda_sim Am_ops.Exec.default_cuda_config) ~advection ~nx
+        ~ny ()
+    | "mpi" ->
+      let t = App.create ~advection ~nx ~ny () in
+      Ops.partition t.App.ctx ~n_ranks:ranks ~ref_ysize:ny;
+      t
+    | "mpi2d" ->
+      let t = App.create ~advection ~nx ~ny () in
+      let px = int_of_float (sqrt (float_of_int ranks)) in
+      let px = if px * (ranks / px) = ranks then px else 1 in
+      let py = ranks / max 1 px in
+      Printf.printf "grid decomposition: %dx%d ranks\n%!" px py;
+      Ops.partition_grid t.App.ctx ~px ~py ~ref_xsize:nx ~ref_ysize:ny;
+      t
+    | "hybrid" ->
+      let p = Am_taskpool.Pool.create () in
+      pool := Some p;
+      let t = App.create ~advection ~nx ~ny () in
+      Ops.partition t.App.ctx ~n_ranks:ranks ~ref_ysize:ny;
+      Ops.set_rank_execution t.App.ctx (Ops.Rank_shared p);
+      t
+    | other -> failwith (Printf.sprintf "unknown backend %s" other)
+  in
+  let print_summary step =
+    let s = App.field_summary t in
+    Printf.printf "  step %4d  dt %.5f  mass %.6f  ie %.4f  ke %.6f  press %.3f\n%!"
+      step t.App.dt s.App.mass s.App.ie s.App.ke s.App.press
+  in
+  let t0 = Unix.gettimeofday () in
+  print_summary 0;
+  for i = 1 to steps do
+    ignore (App.hydro_step t);
+    if i mod summary_every = 0 || i = steps then print_summary i
+  done;
+  Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
+  print_string (Am_core.Profile.report (Ops.profile t.App.ctx));
+  (match Ops.comm_stats t.App.ctx with
+  | Some s ->
+    Printf.printf "\ncommunication: %d messages, %s, %d ghost exchanges\n"
+      s.Am_simmpi.Comm.messages
+      (Am_util.Units.bytes s.Am_simmpi.Comm.bytes)
+      s.Am_simmpi.Comm.exchanges
+  | None -> ());
+  if verify then begin
+    let h = Am_cloverleaf.Hand.create ~advection ~nx ~ny () in
+    ignore (Am_cloverleaf.Hand.run h ~steps);
+    let d =
+      Am_util.Fa.rel_discrepancy (App.density t) (Am_cloverleaf.Hand.density h)
+    in
+    Printf.printf "\nverification vs hand-coded baseline: max discrepancy %.3e %s\n" d
+      (if d < 1e-10 then "(PASS)" else "(FAIL)");
+    if d >= 1e-10 then exit 1
+  end;
+  match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ()
+
+open Cmdliner
+
+let nx = Arg.(value & opt int 128 & info [ "nx" ] ~doc:"Cells in x.")
+let ny = Arg.(value & opt int 128 & info [ "ny" ] ~doc:"Cells in y.")
+let steps = Arg.(value & opt int 50 & info [ "steps" ] ~doc:"Hydro steps.")
+
+let backend =
+  Arg.(value & opt string "seq" & info [ "backend" ] ~doc:"seq, shared, cuda, mpi, mpi2d or hybrid.")
+
+let ranks = Arg.(value & opt int 4 & info [ "ranks" ] ~doc:"Simulated MPI ranks.")
+
+let summary_every =
+  Arg.(value & opt int 10 & info [ "summary-every" ] ~doc:"Field summary interval.")
+
+let verify =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Cross-check against the hand-coded baseline.")
+
+let van_leer =
+  Arg.(value & flag & info [ "van-leer" ] ~doc:"Second-order van Leer advection.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cloverleaf" ~doc:"CloverLeaf 2D hydrodynamics proxy application (OPS)")
+    Term.(const run $ nx $ ny $ steps $ backend $ ranks $ summary_every $ verify $ van_leer)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,62 @@
+(* CloverLeaf 3D driver (Ops3).
+
+     cloverleaf3 --size 24 --steps 20 --backend mpi --ranks 4 *)
+
+module App = Am_cloverleaf3.App
+module Ops3 = Am_ops.Ops3
+
+let run n steps backend ranks =
+  let pool = ref None in
+  let t =
+    match backend with
+    | "seq" -> App.create ~n ()
+    | "shared" ->
+      let p = Am_taskpool.Pool.create () in
+      pool := Some p;
+      App.create ~backend:(Ops3.Shared { pool = p }) ~n ()
+    | "cuda" -> App.create ~backend:(Ops3.Cuda_sim Am_ops.Exec3.default_cuda_config) ~n ()
+    | "mpi" ->
+      let t = App.create ~n () in
+      Ops3.partition t.App.ctx ~n_ranks:ranks ~ref_zsize:n;
+      t
+    | "pencil" ->
+      let t = App.create ~n () in
+      Ops3.partition_pencil t.App.ctx ~py:2 ~pz:(max 1 (ranks / 2)) ~ref_ysize:n
+        ~ref_zsize:n;
+      t
+    | "hybrid" ->
+      let p = Am_taskpool.Pool.create () in
+      pool := Some p;
+      let t = App.create ~n () in
+      Ops3.partition t.App.ctx ~n_ranks:ranks ~ref_zsize:n;
+      Ops3.set_rank_execution t.App.ctx (Ops3.Rank_shared p);
+      t
+    | other -> failwith (Printf.sprintf "unknown backend %s" other)
+  in
+  Printf.printf "cloverleaf3: %d^3 cells, %d steps, backend %s\n%!" n steps backend;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to steps do
+    let dt = App.hydro_step t in
+    if i mod 5 = 0 || i = steps then begin
+      let s = App.field_summary t in
+      Printf.printf "  step %4d  dt %.5f  mass %.6f  ie %.4f  ke %.6f\n%!" i dt
+        s.App.mass s.App.ie s.App.ke
+    end
+  done;
+  Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
+  print_string (Am_core.Profile.report (Ops3.profile t.App.ctx));
+  match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ()
+
+open Cmdliner
+
+let n = Arg.(value & opt int 24 & info [ "size" ] ~doc:"Cube edge length in cells.")
+let steps = Arg.(value & opt int 10 & info [ "steps" ] ~doc:"Hydro steps.")
+let backend = Arg.(value & opt string "seq" & info [ "backend" ] ~doc:"seq, shared, cuda, mpi, pencil or hybrid.")
+let ranks = Arg.(value & opt int 4 & info [ "ranks" ] ~doc:"Simulated MPI ranks.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cloverleaf3" ~doc:"CloverLeaf 3D hydrodynamics proxy application (Ops3)")
+    Term.(const run $ n $ steps $ backend $ ranks)
+
+let () = exit (Cmd.eval cmd)

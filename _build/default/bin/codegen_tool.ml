@@ -1,0 +1,83 @@
+(* Source-to-source translator CLI: emits the platform-specific code the
+   paper's toolchain generates, for every loop of a chosen application.
+
+     codegen_tool --app airfoil --target cuda-staged
+     codegen_tool --app cloverleaf --target openmp --out generated/
+     codegen_tool --app aero --target seq *)
+
+module Codegen = Am_codegen.Codegen
+
+let trace_app name =
+  let t =
+    match name with
+    | "airfoil" -> Am_experiments.Calibrate.trace_airfoil ~nx:24 ~ny:16 ()
+    | "cloverleaf" -> Am_experiments.Calibrate.trace_cloverleaf ~nx:24 ~ny:24 ()
+    | "hydra" -> Am_experiments.Calibrate.trace_hydra ~nx:16 ~ny:12 ()
+    | "aero" -> Am_experiments.Calibrate.trace_aero ~n:16 ()
+    | other ->
+      failwith (Printf.sprintf "unknown app %s (airfoil|cloverleaf|hydra|aero)" other)
+  in
+  ( List.map
+      (fun p -> p.Am_experiments.Calibrate.descr)
+      t.Am_experiments.Calibrate.profiles,
+    t.Am_experiments.Calibrate.consts )
+
+let target_of_string = function
+  | "seq" -> Codegen.C_seq
+  | "openmp" -> Codegen.C_openmp
+  | "vec" -> Codegen.C_vectorized
+  | "mpi" -> Codegen.C_mpi
+  | "cuda-nosoa" -> Codegen.Cuda Codegen.Nosoa
+  | "cuda-soa" -> Codegen.Cuda Codegen.Soa
+  | "cuda-staged" -> Codegen.Cuda Codegen.Stage_nosoa
+  | other ->
+    failwith
+      (Printf.sprintf
+         "unknown target %s (seq|openmp|vec|mpi|cuda-nosoa|cuda-soa|cuda-staged)" other)
+
+let run app target out fig7 =
+  if fig7 then print_endline (Codegen.fig7 ())
+  else begin
+    let loops, consts = trace_app app in
+    let target = target_of_string target in
+    (* OPS applications generate through the structured emitter. *)
+    let generate =
+      if app = "cloverleaf" then fun target l -> Codegen.generate_ops target l
+      else fun target l -> Codegen.generate_op2 target ~consts l
+    in
+    match out with
+    | None -> List.iter (fun l -> print_endline (generate target l)) loops
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun (l : Am_core.Descr.loop) ->
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "%s_%s.cu" l.Am_core.Descr.loop_name
+                 (Codegen.target_to_string target))
+          in
+          let oc = open_out path in
+          output_string oc (generate target l);
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+        loops
+  end
+
+open Cmdliner
+
+let app_arg = Arg.(value & opt string "airfoil" & info [ "app" ] ~doc:"airfoil, cloverleaf, hydra or aero.")
+
+let target =
+  Arg.(value & opt string "cuda-staged" & info [ "target" ] ~doc:"Code-generation target.")
+
+let out =
+  Arg.(value & opt (some string) None & info [ "out" ] ~doc:"Write one file per loop here.")
+
+let fig7 = Arg.(value & flag & info [ "fig7" ] ~doc:"Print the paper's Fig 7 listing.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "codegen_tool" ~doc:"OP2/OPS source-to-source translator")
+    Term.(const run $ app_arg $ target $ out $ fig7)
+
+let () = exit (Cmd.eval cmd)

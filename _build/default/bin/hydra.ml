@@ -1,0 +1,64 @@
+(* Hydra-sim driver: the production-scale synthetic application.
+
+     hydra --nx 128 --ny 96 --iters 50 --backend mpi --ranks 8 --renumber *)
+
+module Op2 = Am_op2.Op2
+module App = Am_hydra.App
+
+let run nx ny iters backend ranks renumber no_multigrid =
+  let features = { App.all_features with App.multigrid = not no_multigrid } in
+  let pool = ref None in
+  let t =
+    match backend with
+    | "seq" -> App.create ~features ~nx ~ny ()
+    | "shared" ->
+      let p = Am_taskpool.Pool.create () in
+      pool := Some p;
+      App.create ~backend:(Op2.Shared { pool = p; block_size = 256 }) ~features ~nx ~ny ()
+    | "cuda" ->
+      App.create ~backend:(Op2.Cuda_sim Am_op2.Exec_cuda.default_config) ~features ~nx
+        ~ny ()
+    | "mpi" ->
+      let t = App.create ~features ~nx ~ny () in
+      Op2.partition t.App.ctx ~n_ranks:ranks
+        ~strategy:(Op2.Kway_through t.App.edge_cells);
+      t
+    | other -> failwith (Printf.sprintf "unknown backend %s" other)
+  in
+  Printf.printf "hydra-sim: %d fine cells (+%d coarse), %d loops/iteration\n%!"
+    t.App.mesh.Am_mesh.Umesh.n_cells t.App.coarse_mesh.Am_mesh.Umesh.n_cells
+    App.loops_per_iteration;
+  if renumber then begin
+    let before, after = Op2.renumber t.App.ctx ~through:t.App.edge_cells in
+    Printf.printf "renumbered: dual-graph mean bandwidth %.1f -> %.1f\n%!" before after
+  end;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    let rms = App.iteration t in
+    if i mod 10 = 0 || i = iters then Printf.printf "  %4d  %10.5e\n%!" i rms
+  done;
+  Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
+  print_string (Am_core.Profile.report (Op2.profile t.App.ctx));
+  (match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ())
+
+open Cmdliner
+
+let nx = Arg.(value & opt int 96 & info [ "nx" ] ~doc:"Fine cells in x (even).")
+let ny = Arg.(value & opt int 64 & info [ "ny" ] ~doc:"Fine cells in y (even).")
+let iters = Arg.(value & opt int 50 & info [ "iters" ] ~doc:"Outer iterations.")
+
+let backend =
+  Arg.(value & opt string "seq" & info [ "backend" ] ~doc:"seq, shared, cuda or mpi.")
+
+let ranks = Arg.(value & opt int 4 & info [ "ranks" ] ~doc:"Simulated MPI ranks.")
+let renumber = Arg.(value & flag & info [ "renumber" ] ~doc:"Apply RCM renumbering.")
+
+let no_multigrid =
+  Arg.(value & flag & info [ "no-multigrid" ] ~doc:"Disable the multigrid cycle.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "hydra" ~doc:"Production-scale synthetic RANS pipeline (OP2)")
+    Term.(const run $ nx $ ny $ iters $ backend $ ranks $ renumber $ no_multigrid)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,57 @@
+(* TeaLeaf-sim driver: implicit 3D heat conduction by CG on the Ops3 API.
+
+     tealeaf --n 32 --steps 10 --backend mpi --ranks 4 *)
+
+module Tea = Am_tealeaf.App
+module Ops3 = Am_ops.Ops3
+
+let run n steps dt backend ranks =
+  let pool = ref None in
+  let t =
+    match backend with
+    | "seq" -> Tea.create ~n ~dt ()
+    | "shared" ->
+      let p = Am_taskpool.Pool.create () in
+      pool := Some p;
+      Tea.create ~backend:(Ops3.Shared { pool = p }) ~n ~dt ()
+    | "cuda" -> Tea.create ~backend:(Ops3.Cuda_sim Am_ops.Exec3.default_cuda_config) ~n ~dt ()
+    | "mpi" ->
+      let t = Tea.create ~n ~dt () in
+      Ops3.partition t.Tea.ctx ~n_ranks:ranks ~ref_zsize:n;
+      t
+    | "hybrid" ->
+      let p = Am_taskpool.Pool.create () in
+      pool := Some p;
+      let t = Tea.create ~n ~dt () in
+      Ops3.partition t.Tea.ctx ~n_ranks:ranks ~ref_zsize:n;
+      Ops3.set_rank_execution t.Tea.ctx (Ops3.Rank_shared p);
+      t
+    | other -> failwith (Printf.sprintf "unknown backend %s" other)
+  in
+  Printf.printf "tealeaf-sim: %d^3 cells, dt %.3f, backend %s\n%!" n dt backend;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to steps do
+    let iters = Tea.step t in
+    Printf.printf "  step %3d: %3d CG iterations, total heat %.6f\n%!" i iters
+      (Tea.total_heat t)
+  done;
+  Printf.printf "wall time: %s (%d CG iterations total)\n\n%!"
+    (Am_util.Units.seconds (Unix.gettimeofday () -. t0))
+    t.Tea.cg_iterations;
+  print_string (Am_core.Profile.report (Ops3.profile t.Tea.ctx));
+  match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ()
+
+open Cmdliner
+
+let n = Arg.(value & opt int 24 & info [ "size" ] ~doc:"Cube edge length in cells.")
+let steps = Arg.(value & opt int 5 & info [ "steps" ] ~doc:"Implicit time steps.")
+let dt = Arg.(value & opt float 0.5 & info [ "dt" ] ~doc:"Timestep.")
+let backend = Arg.(value & opt string "seq" & info [ "backend" ] ~doc:"seq, shared, cuda, mpi or hybrid.")
+let ranks = Arg.(value & opt int 4 & info [ "ranks" ] ~doc:"Simulated MPI ranks.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tealeaf" ~doc:"Implicit 3D heat conduction proxy app (Ops3 + CG)")
+    Term.(const run $ n $ steps $ dt $ backend $ ranks)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/heat3d.ml: Am_core Am_ops Am_util Array Float Printf

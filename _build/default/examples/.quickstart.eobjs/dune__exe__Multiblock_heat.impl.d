@@ -1,0 +1,1 @@
+examples/multiblock_heat.ml: Am_core Am_ops Array Printf

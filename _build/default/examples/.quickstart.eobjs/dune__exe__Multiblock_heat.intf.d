@@ -1,0 +1,1 @@
+examples/multiblock_heat.mli:

@@ -1,0 +1,1 @@
+examples/performance_portability.ml: Am_core Am_mesh Am_op2 Am_taskpool Am_util Array Float List Printf Unix

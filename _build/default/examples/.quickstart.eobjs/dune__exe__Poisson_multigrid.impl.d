@@ -1,0 +1,1 @@
+examples/poisson_multigrid.ml: Am_core Am_ops Array Float Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Am_core Am_ops Array Printf

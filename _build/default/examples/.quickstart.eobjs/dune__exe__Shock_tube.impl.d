@@ -1,0 +1,1 @@
+examples/shock_tube.ml: Am_core Am_ops Array Float Printf String

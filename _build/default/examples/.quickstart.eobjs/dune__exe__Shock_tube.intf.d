@@ -1,0 +1,1 @@
+examples/shock_tube.mli:

@@ -1,0 +1,1 @@
+examples/shock_tube1d.ml: Am_core Am_ops Am_simmpi Array Float Printf

@@ -1,0 +1,1 @@
+examples/unstructured_advection.ml: Am_core Am_mesh Am_op2 Array Float Printf

@@ -1,0 +1,1 @@
+examples/unstructured_advection.mli:

@@ -1,0 +1,90 @@
+(* Multi-block structured computation: heat flowing across two coupled
+   blocks (the "multi-block" in the OPS abstraction).
+
+   Two separately-discretised blocks sit side by side; a declared halo
+   couples the right face of the left block to the left ghost column of the
+   right block and vice versa.  As in OPS, inter-block halo transfers are
+   triggered explicitly by the application and act as synchronisation
+   points between the blocks' loops.
+
+   Run with:  dune exec examples/multiblock_heat.exe *)
+
+module Ops = Am_ops.Ops
+module Access = Am_core.Access
+
+let () =
+  let nx = 40 and ny = 40 in
+  let ctx = Ops.create () in
+  let left = Ops.decl_block ctx ~name:"left" in
+  let right = Ops.decl_block ctx ~name:"right" in
+  let u_l = Ops.decl_dat ctx ~name:"u_left" ~block:left ~xsize:nx ~ysize:ny () in
+  let u_r = Ops.decl_dat ctx ~name:"u_right" ~block:right ~xsize:nx ~ysize:ny () in
+  let w_l = Ops.decl_dat ctx ~name:"w_left" ~block:left ~xsize:nx ~ysize:ny () in
+  let w_r = Ops.decl_dat ctx ~name:"w_right" ~block:right ~xsize:nx ~ysize:ny () in
+
+  (* Left block starts hot, right block cold. *)
+  Ops.init ctx u_l (fun _ _ _ -> 1.0);
+  Ops.init ctx u_r (fun _ _ _ -> 0.0);
+
+  (* Inter-block halos: each block's boundary column feeds the other's
+     ghost column (one halo per direction). *)
+  let col dat x = { Ops.xlo = x; xhi = x + 1; ylo = 0; yhi = ny } |> fun r -> (dat, r) in
+  let l_to_r =
+    Ops.decl_halo ctx ~name:"l->r" ~src:u_l ~dst:u_r
+      ~src_range:(snd (col u_l (nx - 1)))
+      ~dst_range:(snd (col u_r (-1)))
+      ()
+  in
+  let r_to_l =
+    Ops.decl_halo ctx ~name:"r->l" ~src:u_r ~dst:u_l
+      ~src_range:(snd (col u_r 0))
+      ~dst_range:(snd (col u_l nx))
+      ()
+  in
+
+  let diffuse args =
+    let u = args.(0) and w = args.(1) in
+    w.(0) <- u.(0) +. (0.2 *. (u.(1) +. u.(2) +. u.(3) +. u.(4) -. (4.0 *. u.(0))))
+  in
+  let copy args = args.(1).(0) <- args.(0).(0) in
+  let step block u w =
+    Ops.par_loop ctx ~name:"diffuse" block (Ops.interior u)
+      [
+        Ops.arg_dat u Ops.stencil_2d_5pt Access.Read;
+        Ops.arg_dat w Ops.stencil_point Access.Write;
+      ]
+      diffuse;
+    Ops.par_loop ctx ~name:"copy" block (Ops.interior u)
+      [
+        Ops.arg_dat w Ops.stencil_point Access.Read;
+        Ops.arg_dat u Ops.stencil_point Access.Write;
+      ]
+      copy
+  in
+  let total block u =
+    let acc = [| 0.0 |] in
+    Ops.par_loop ctx ~name:"sum" block (Ops.interior u)
+      [
+        Ops.arg_dat u Ops.stencil_point Access.Read;
+        Ops.arg_gbl ~name:"acc" acc Access.Inc;
+      ]
+      (fun a -> a.(1).(0) <- a.(1).(0) +. a.(0).(0));
+    acc.(0)
+  in
+  for i = 1 to 400 do
+    (* The explicit synchronisation point between the blocks. *)
+    Ops.halo_transfer ctx [ l_to_r; r_to_l ];
+    (* Mirror the outer walls so heat only moves between the blocks. *)
+    Ops.mirror_halo ctx u_l ~depth:1;
+    Ops.mirror_halo ctx u_r ~depth:1;
+    (* But the coupled faces must keep their transferred values: re-copy. *)
+    Ops.halo_transfer ctx [ l_to_r; r_to_l ];
+    step left u_l w_l;
+    step right u_r w_r;
+    if i mod 100 = 0 then
+      Printf.printf "step %3d: left %.2f right %.2f (flowing left -> right)\n" i
+        (total left u_l) (total right u_r)
+  done;
+  let l = total left u_l and r = total right u_r in
+  Printf.printf "final: left %.2f, right %.2f — heat crossed the block interface\n" l r;
+  assert (r > 100.0)

@@ -1,0 +1,108 @@
+(* Performance portability: one source, every backend.
+
+   The paper's headline: a single high-level program runs unchanged on
+   sequential, shared-memory, GPU and distributed targets, with the library
+   supplying colouring plans, layout conversions, partitioning and halo
+   exchanges.  This example runs one OP2 program (a Jacobi-style smoothing
+   of node values by edge averaging) on every backend of this repository
+   and verifies all of them produce the same answer.
+
+   Run with:  dune exec examples/performance_portability.exe *)
+
+module Op2 = Am_op2.Op2
+module Access = Am_core.Access
+module Umesh = Am_mesh.Umesh
+
+let nx = 80
+let ny = 60
+let iters = 20
+
+(* Build and run the program under one backend configuration. *)
+let run configure =
+  let mesh = Umesh.generate_square ~nx ~ny () in
+  let ctx = Op2.create () in
+  let cells = Op2.decl_set ctx ~name:"cells" ~size:mesh.Umesh.n_cells in
+  let edges = Op2.decl_set ctx ~name:"edges" ~size:mesh.Umesh.n_edges in
+  let edge_cells =
+    Op2.decl_map ctx ~name:"edge_cells" ~from_set:edges ~to_set:cells ~arity:2
+      ~values:mesh.Umesh.edge_cells
+  in
+  let init = Array.init mesh.Umesh.n_cells (fun c -> Float.of_int (c mod 17)) in
+  let v = Op2.decl_dat ctx ~name:"v" ~set:cells ~dim:1 ~data:init in
+  let acc = Op2.decl_dat_zero ctx ~name:"acc" ~set:cells ~dim:1 in
+  let deg = Op2.decl_dat_zero ctx ~name:"deg" ~set:cells ~dim:1 in
+  configure ctx edge_cells;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    Op2.par_loop ctx ~name:"gather" edges
+      [
+        Op2.arg_dat_indirect v edge_cells 0 Access.Read;
+        Op2.arg_dat_indirect v edge_cells 1 Access.Read;
+        Op2.arg_dat_indirect acc edge_cells 0 Access.Inc;
+        Op2.arg_dat_indirect acc edge_cells 1 Access.Inc;
+        Op2.arg_dat_indirect deg edge_cells 0 Access.Inc;
+        Op2.arg_dat_indirect deg edge_cells 1 Access.Inc;
+      ]
+      (fun a ->
+        a.(2).(0) <- a.(2).(0) +. a.(1).(0);
+        a.(3).(0) <- a.(3).(0) +. a.(0).(0);
+        a.(4).(0) <- a.(4).(0) +. 1.0;
+        a.(5).(0) <- a.(5).(0) +. 1.0);
+    Op2.par_loop ctx ~name:"relax" cells
+      [ Op2.arg_dat v Access.Rw; Op2.arg_dat acc Access.Rw; Op2.arg_dat deg Access.Rw ]
+      (fun a ->
+        let v = a.(0) and acc = a.(1) and deg = a.(2) in
+        if deg.(0) > 0.0 then v.(0) <- (0.5 *. v.(0)) +. (0.5 *. (acc.(0) /. deg.(0)));
+        acc.(0) <- 0.0;
+        deg.(0) <- 0.0)
+  done;
+  let seconds = Unix.gettimeofday () -. t0 in
+  (Op2.fetch ctx v, seconds)
+
+let () =
+  let reference, _ = run (fun _ _ -> ()) in
+  let pool = Am_taskpool.Pool.create () in
+  let configs =
+    [
+      ("sequential", fun _ _ -> ());
+      ( "vectorised structure (8 lanes)",
+        fun ctx _ -> Op2.set_backend ctx (Op2.Vec { Am_op2.Exec_vec.width = 8 }) );
+      ( "shared memory (domain pool)",
+        fun ctx _ -> Op2.set_backend ctx (Op2.Shared { pool; block_size = 128 }) );
+      ( "gpu-sim NOSOA",
+        fun ctx _ ->
+          Op2.set_backend ctx
+            (Op2.Cuda_sim
+               { Am_op2.Exec_cuda.block_size = 128;
+                 strategy = Am_op2.Exec_cuda.Global_aos }) );
+      ( "gpu-sim SOA (auto AoS->SoA)",
+        fun ctx _ ->
+          Op2.set_backend ctx
+            (Op2.Cuda_sim
+               { Am_op2.Exec_cuda.block_size = 128;
+                 strategy = Am_op2.Exec_cuda.Global_soa }) );
+      ( "gpu-sim staged shared-memory",
+        fun ctx _ ->
+          Op2.set_backend ctx
+            (Op2.Cuda_sim
+               { Am_op2.Exec_cuda.block_size = 128; strategy = Am_op2.Exec_cuda.Staged }) );
+      ( "mpi-sim, 4 ranks (k-way)",
+        fun ctx map -> Op2.partition ctx ~n_ranks:4 ~strategy:(Op2.Kway_through map) );
+      ( "mpi-sim, 7 ranks (block)",
+        fun ctx map ->
+          Op2.partition ctx ~n_ranks:7 ~strategy:(Op2.Block_on map.Am_op2.Types.to_set)
+      );
+    ]
+  in
+  Printf.printf "%-32s %12s %s\n" "backend" "time" "matches sequential?";
+  List.iter
+    (fun (name, configure) ->
+      let result, seconds = run configure in
+      let ok = Am_util.Fa.approx_equal ~tol:1e-10 reference result in
+      Printf.printf "%-32s %12s %s\n" name
+        (Am_util.Units.seconds seconds)
+        (if ok then "yes" else "NO");
+      if not ok then exit 1)
+    configs;
+  Am_taskpool.Pool.shutdown pool;
+  print_endline "\none source, every backend, identical results."

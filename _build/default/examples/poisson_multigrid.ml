@@ -1,0 +1,149 @@
+(* Two-grid multigrid for the Poisson equation on the OPS API.
+
+   OPS datasets carry their own sizes precisely so that "multi-grid
+   situations" fit on one block: here a fine n x n grid and a coarse
+   n/2 x n/2 grid coexist, coupled by grid-transfer (strided) stencils —
+   [arg_dat_restrict] reads 2x2 fine cells per coarse point (full
+   weighting) and [arg_dat_prolong] interpolates the coarse correction back
+   bilinearly (parity-dependent weights via [arg_idx]).
+
+   Solves -lap(u) = f with zero Dirichlet boundaries; damped Jacobi
+   smoothing (omega = 0.8 — plain Jacobi does not damp the checkerboard
+   mode) plus the coarse correction give the textbook multigrid behaviour:
+   a fixed ~5x residual reduction per cycle, independent of what plain
+   relaxation could achieve.
+
+   Run with:  dune exec examples/poisson_multigrid.exe *)
+
+module Ops = Am_ops.Ops
+module Access = Am_core.Access
+
+let n = 64
+let h = 1.0 /. Float.of_int n
+let omega = 0.8
+
+let jacobi ctx grid ~u ~unew ~rhs ~spacing =
+  Ops.par_loop ctx ~name:"jacobi" grid (Ops.interior u)
+    [
+      Ops.arg_dat u Ops.stencil_2d_5pt Access.Read;
+      Ops.arg_dat rhs Ops.stencil_point Access.Read;
+      Ops.arg_dat unew Ops.stencil_point Access.Write;
+    ]
+    (fun a ->
+      let u = a.(0) in
+      let relaxed =
+        0.25 *. (u.(1) +. u.(2) +. u.(3) +. u.(4) +. (spacing *. spacing *. a.(1).(0)))
+      in
+      a.(2).(0) <- ((1.0 -. omega) *. u.(0)) +. (omega *. relaxed));
+  Ops.par_loop ctx ~name:"copy" grid (Ops.interior u)
+    [ Ops.arg_dat unew Ops.stencil_point Access.Read;
+      Ops.arg_dat u Ops.stencil_point Access.Write ]
+    (fun a -> a.(1).(0) <- a.(0).(0))
+
+let residual_norm ctx grid ~u ~rhs ~r ~spacing =
+  let acc = [| 0.0 |] in
+  Ops.par_loop ctx ~name:"residual" grid (Ops.interior u)
+    [
+      Ops.arg_dat u Ops.stencil_2d_5pt Access.Read;
+      Ops.arg_dat rhs Ops.stencil_point Access.Read;
+      Ops.arg_dat r Ops.stencil_point Access.Write;
+      Ops.arg_gbl ~name:"norm2" acc Access.Inc;
+    ]
+    (fun a ->
+      let u = a.(0) in
+      let lap =
+        (u.(1) +. u.(2) +. u.(3) +. u.(4) -. (4.0 *. u.(0))) /. (spacing *. spacing)
+      in
+      let res = a.(1).(0) +. lap in
+      a.(2).(0) <- res;
+      a.(3).(0) <- a.(3).(0) +. (res *. res));
+  sqrt acc.(0)
+
+(* 3x3 coarse neighbourhood for the bilinear prolongation. *)
+let s9 : Ops.stencil =
+  [| (-1, -1); (0, -1); (1, -1); (-1, 0); (0, 0); (1, 0); (-1, 1); (0, 1); (1, 1) |]
+
+let build () =
+  let ctx = Ops.create () in
+  let grid = Ops.decl_block ctx ~name:"poisson" in
+  let fine name = Ops.decl_dat ctx ~name ~block:grid ~xsize:n ~ysize:n () in
+  let coarse name = Ops.decl_dat ctx ~name ~block:grid ~xsize:(n / 2) ~ysize:(n / 2) () in
+  let u = fine "u" and unew = fine "unew" and f = fine "f" and r = fine "r" in
+  let rc = coarse "rc" and ec = coarse "ec" and ecnew = coarse "ecnew" in
+  Ops.init ctx f (fun x y _ ->
+      let fx = Float.of_int x *. h and fy = Float.of_int y *. h in
+      (50.0 *. exp (-30.0 *. (((fx -. 0.3) ** 2.0) +. ((fy -. 0.4) ** 2.0))))
+      -. (30.0 *. exp (-40.0 *. (((fx -. 0.7) ** 2.0) +. ((fy -. 0.6) ** 2.0)))));
+  (ctx, grid, u, unew, f, r, rc, ec, ecnew)
+
+let two_grid_cycle (ctx, grid, u, unew, f, r, rc, ec, ecnew) =
+  for _ = 1 to 3 do
+    jacobi ctx grid ~u ~unew ~rhs:f ~spacing:h
+  done;
+  ignore (residual_norm ctx grid ~u ~rhs:f ~r ~spacing:h);
+  (* Full-weighting restriction through a grid-transfer stencil: coarse
+     point (x, y) averages the four fine cells (2x, 2y) .. (2x+1, 2y+1). *)
+  Ops.par_loop ctx ~name:"restrict" grid (Ops.interior rc)
+    [
+      Ops.arg_dat_restrict r Ops.stencil_2d_quad ~factor:2 Access.Read;
+      Ops.arg_dat rc Ops.stencil_point Access.Write;
+    ]
+    (fun a ->
+      let r = a.(0) in
+      a.(1).(0) <- 0.25 *. (r.(0) +. r.(1) +. r.(2) +. r.(3)));
+  (* Coarse solve on the 2h grid. *)
+  Ops.par_loop ctx ~name:"coarse_zero" grid (Ops.interior ec)
+    [ Ops.arg_dat ec Ops.stencil_point Access.Write ]
+    (fun a -> a.(0).(0) <- 0.0);
+  for _ = 1 to 300 do
+    jacobi ctx grid ~u:ec ~unew:ecnew ~rhs:rc ~spacing:(2.0 *. h)
+  done;
+  (* Bilinear prolongation: each fine cell interpolates its nearest coarse
+     neighbours with parity-dependent 0.75/0.25 tensor weights. *)
+  Ops.par_loop ctx ~name:"prolong" grid (Ops.interior u)
+    [
+      Ops.arg_dat_prolong ec s9 ~factor:2 Access.Read;
+      Ops.arg_dat u Ops.stencil_point Access.Rw;
+      Ops.arg_idx;
+    ]
+    (fun a ->
+      let x = Float.to_int a.(2).(0) and y = Float.to_int a.(2).(1) in
+      let w parity o =
+        if parity = 0 then if o = 0 then 0.75 else if o = -1 then 0.25 else 0.0
+        else if o = 0 then 0.75
+        else if o = 1 then 0.25
+        else 0.0
+      in
+      let corr = ref 0.0 in
+      Array.iteri
+        (fun p (ox, oy) ->
+          corr := !corr +. (w (x land 1) ox *. w (y land 1) oy *. a.(0).(p)))
+        s9;
+      a.(1).(0) <- a.(1).(0) +. !corr);
+  for _ = 1 to 3 do
+    jacobi ctx grid ~u ~unew ~rhs:f ~spacing:h
+  done
+
+let () =
+  let cycles = 6 in
+  (* Fine-sweep-equivalent budget of a cycle: 6 smooths + 1 residual +
+     300/4 coarse sweeps + transfers ~ 82. *)
+  let budget = cycles * 82 in
+  let ctx_j, grid_j, u_j, unew_j, f_j, r_j, _, _, _ = build () in
+  for _ = 1 to budget do
+    jacobi ctx_j grid_j ~u:u_j ~unew:unew_j ~rhs:f_j ~spacing:h
+  done;
+  let jacobi_res = residual_norm ctx_j grid_j ~u:u_j ~rhs:f_j ~r:r_j ~spacing:h in
+  let ((ctx_m, grid_m, u_m, _, f_m, r_m, _, _, _) as pm) = build () in
+  let initial = residual_norm ctx_m grid_m ~u:u_m ~rhs:f_m ~r:r_m ~spacing:h in
+  Printf.printf "initial residual %.4e\n%-8s %14s\n" initial "cycle" "residual";
+  for cycle = 1 to cycles do
+    two_grid_cycle pm;
+    Printf.printf "%-8d %14.6e\n" cycle
+      (residual_norm ctx_m grid_m ~u:u_m ~rhs:f_m ~r:r_m ~spacing:h)
+  done;
+  let mg_res = residual_norm ctx_m grid_m ~u:u_m ~rhs:f_m ~r:r_m ~spacing:h in
+  Printf.printf
+    "\nafter %d fine-sweep equivalents: damped Jacobi %.3e, two-grid %.3e (%.0fx better)\n"
+    budget jacobi_res mg_res (jacobi_res /. mg_res);
+  assert (mg_res < jacobi_res /. 10.0)

@@ -1,0 +1,93 @@
+(* Sod shock tube with the OPS API.
+
+   A 1D Riemann problem discretised on a 2D block (one cell row thick) with
+   a Lax-Friedrichs finite-volume scheme, written directly against the
+   public OPS API — a different numerical method from the CloverLeaf
+   library, showing the abstraction is not tied to one scheme.
+
+   Run with:  dune exec examples/shock_tube.exe *)
+
+module Ops = Am_ops.Ops
+module Access = Am_core.Access
+
+let gamma = 1.4
+
+let () =
+  let nx = 400 and ny = 4 in
+  let ctx = Ops.create () in
+  let grid = Ops.decl_block ctx ~name:"tube" in
+  (* Conserved state (rho, rho*u, E) as a dim-3 dataset. *)
+  let q = Ops.decl_dat ctx ~name:"q" ~block:grid ~xsize:nx ~ysize:ny ~dim:3 () in
+  let qnew = Ops.decl_dat ctx ~name:"qnew" ~block:grid ~xsize:nx ~ysize:ny ~dim:3 () in
+  let dx = 1.0 /. Float.of_int nx in
+  let dt = 0.4 *. dx in
+
+  (* Sod initial condition: (1, 0, 1) left, (0.125, 0, 0.1) right. *)
+  Ops.init ctx q (fun x _ c ->
+      let left = Float.of_int x +. 0.5 < 0.5 *. Float.of_int nx in
+      match c with
+      | 0 -> if left then 1.0 else 0.125
+      | 1 -> 0.0
+      | _ ->
+        let p = if left then 1.0 else 0.1 in
+        p /. (gamma -. 1.0));
+  Ops.init ctx qnew (fun _ _ _ -> 0.0);
+
+  (* Physical flux of the 1D Euler equations. *)
+  let flux rho m e =
+    let u = m /. rho in
+    let p = (gamma -. 1.0) *. (e -. (0.5 *. m *. u)) in
+    (m, (m *. u) +. p, u *. (e +. p))
+  in
+  (* Lax-Friedrichs: qnew = avg(neighbours) - dt/2dx (F(east) - F(west)).
+     Stencil [(−1,0);(0,0);(1,0)] on q; centre write on qnew. *)
+  let s_lr : Ops.stencil = [| (-1, 0); (0, 0); (1, 0) |] in
+  let lax args =
+    let q = args.(0) and qnew = args.(1) in
+    let get p c = q.((p * 3) + c) in
+    let fw0, fw1, fw2 = flux (get 0 0) (get 0 1) (get 0 2) in
+    let fe0, fe1, fe2 = flux (get 2 0) (get 2 1) (get 2 2) in
+    let lam = dt /. (2.0 *. dx) in
+    qnew.(0) <- (0.5 *. (get 0 0 +. get 2 0)) -. (lam *. (fe0 -. fw0));
+    qnew.(1) <- (0.5 *. (get 0 1 +. get 2 1)) -. (lam *. (fe1 -. fw1));
+    qnew.(2) <- (0.5 *. (get 0 2 +. get 2 2)) -. (lam *. (fe2 -. fw2))
+  in
+  let copy args =
+    for c = 0 to 2 do
+      args.(1).(c) <- args.(0).(c)
+    done
+  in
+  let interior = Ops.interior q in
+  let steps = 300 in
+  for _ = 1 to steps do
+    (* Transmissive walls via the mirror (zero-gradient is close enough for
+       the demo); the tube is periodic in y by symmetry (no y coupling). *)
+    Ops.mirror_halo ctx q ~depth:1;
+    Ops.par_loop ctx ~name:"lax" grid interior
+      [ Ops.arg_dat q s_lr Access.Read; Ops.arg_dat qnew Ops.stencil_point Access.Write ]
+      lax;
+    Ops.par_loop ctx ~name:"copy" grid interior
+      [ Ops.arg_dat qnew Ops.stencil_point Access.Read;
+        Ops.arg_dat q Ops.stencil_point Access.Write ]
+      copy
+  done;
+  (* Print the density profile (row 0) coarsely: the classic three-wave
+     structure — rarefaction, contact, shock. *)
+  Printf.printf "Sod shock tube after %d steps (t = %.3f):\n" steps
+    (Float.of_int steps *. dt);
+  let samples = 20 in
+  for s = 0 to samples - 1 do
+    let x = s * nx / samples in
+    let rho = Ops.get q ~x ~y:0 ~c:0 in
+    let bar = String.make (Float.to_int (rho *. 40.0)) '#' in
+    Printf.printf "  x=%4.2f rho=%.3f %s\n" (Float.of_int x /. Float.of_int nx) rho bar
+  done;
+  (* Sanity: density bounded by the initial extremes, mass conserved-ish. *)
+  let data = Ops.fetch_interior ctx q in
+  let n = nx * ny in
+  let mass = ref 0.0 in
+  for i = 0 to n - 1 do
+    mass := !mass +. data.(i * 3)
+  done;
+  Printf.printf "total mass %.4f (initial %.4f)\n" (!mass /. Float.of_int ny /. Float.of_int nx)
+    0.5625

@@ -1,0 +1,106 @@
+(* Scalar advection on an unstructured mesh with the OP2 API.
+
+   A passive tracer is advected by a fixed rotating velocity field using
+   first-order upwind fluxes over mesh edges — the classic unstructured
+   finite-volume pattern: a direct cell loop, an edge loop with indirect
+   reads and increments, and a global reduction.  Demonstrates declaring
+   sets/maps/dats, writing kernels against staging buffers, and mesh
+   renumbering.
+
+   Run with:  dune exec examples/unstructured_advection.exe *)
+
+module Op2 = Am_op2.Op2
+module Access = Am_core.Access
+module Umesh = Am_mesh.Umesh
+
+let () =
+  let nx = 60 and ny = 40 in
+  (* A scrambled mesh stands in for a production mesh with poor locality. *)
+  let mesh = Umesh.scramble ~seed:1 (Umesh.generate_square ~nx ~ny ()) in
+  let ctx = Op2.create () in
+  let cells = Op2.decl_set ctx ~name:"cells" ~size:mesh.Umesh.n_cells in
+  let edges = Op2.decl_set ctx ~name:"edges" ~size:mesh.Umesh.n_edges in
+  let nodes = Op2.decl_set ctx ~name:"nodes" ~size:mesh.Umesh.n_nodes in
+  let edge_cells =
+    Op2.decl_map ctx ~name:"edge_cells" ~from_set:edges ~to_set:cells ~arity:2
+      ~values:mesh.Umesh.edge_cells
+  in
+  let edge_nodes =
+    Op2.decl_map ctx ~name:"edge_nodes" ~from_set:edges ~to_set:nodes ~arity:2
+      ~values:mesh.Umesh.edge_nodes
+  in
+  let x = Op2.decl_dat ctx ~name:"x" ~set:nodes ~dim:2 ~data:mesh.Umesh.node_coords in
+
+  (* Tracer blob in the lower-left quadrant. *)
+  let centroids = Umesh.cell_centroids mesh in
+  let tracer_init =
+    Array.init mesh.Umesh.n_cells (fun c ->
+        let cx = centroids.(2 * c) -. 0.3 and cy = centroids.((2 * c) + 1) -. 0.3 in
+        exp (-40.0 *. ((cx *. cx) +. (cy *. cy))))
+  in
+  let tracer = Op2.decl_dat ctx ~name:"tracer" ~set:cells ~dim:1 ~data:tracer_init in
+  let flux = Op2.decl_dat_zero ctx ~name:"flux" ~set:cells ~dim:1 in
+
+  (* Renumbering: recover locality on the scrambled mesh (the optimisation
+     behind Fig 3's single-node gain). *)
+  let before, after = Op2.renumber ctx ~through:edge_cells in
+  Printf.printf "renumbered: dual-graph mean bandwidth %.0f -> %.0f\n" before after;
+
+  (* Rotating velocity about the domain centre: u = (-(y-c), x-c). *)
+  let velocity_at mx my = (-.(my -. 0.5), mx -. 0.5) in
+  let dt = 0.004 in
+
+  (* Edge kernel: first-order upwind flux between the two adjacent cells.
+     args: x1 x2 (R via edge->node), t1 t2 (R via edge->cell),
+           f1 f2 (Inc via edge->cell). *)
+  let edge_flux args =
+    let x1 = args.(0) and x2 = args.(1) in
+    let t1 = args.(2) and t2 = args.(3) in
+    let f1 = args.(4) and f2 = args.(5) in
+    let dx = x1.(0) -. x2.(0) and dy = x1.(1) -. x2.(1) in
+    let mx = 0.5 *. (x1.(0) +. x2.(0)) and my = 0.5 *. (x1.(1) +. x2.(1)) in
+    let u, v = velocity_at mx my in
+    (* Normal (dy, -dx) points from cell1 to cell2. *)
+    let vn = (u *. dy) -. (v *. dx) in
+    let upwind = if vn >= 0.0 then t1.(0) else t2.(0) in
+    let f = vn *. upwind in
+    f1.(0) <- f1.(0) -. f;
+    f2.(0) <- f2.(0) +. f
+  in
+  (* Cell kernel: apply accumulated flux, reset, track the total mass. *)
+  let cell_update args =
+    let tracer = args.(0) and flux = args.(1) and mass = args.(2) in
+    tracer.(0) <- tracer.(0) +. (dt *. flux.(0) /. (1.0 /. Float.of_int (nx * ny)));
+    flux.(0) <- 0.0;
+    mass.(0) <- mass.(0) +. tracer.(0)
+  in
+
+  let mass0 = ref 0.0 in
+  for step = 1 to 250 do
+    Op2.par_loop ctx ~name:"edge_flux" edges
+      [
+        Op2.arg_dat_indirect x edge_nodes 0 Access.Read;
+        Op2.arg_dat_indirect x edge_nodes 1 Access.Read;
+        Op2.arg_dat_indirect tracer edge_cells 0 Access.Read;
+        Op2.arg_dat_indirect tracer edge_cells 1 Access.Read;
+        Op2.arg_dat_indirect flux edge_cells 0 Access.Inc;
+        Op2.arg_dat_indirect flux edge_cells 1 Access.Inc;
+      ]
+      edge_flux;
+    let mass = [| 0.0 |] in
+    Op2.par_loop ctx ~name:"cell_update" cells
+      [
+        Op2.arg_dat tracer Access.Rw;
+        Op2.arg_dat flux Access.Rw;
+        Op2.arg_gbl ~name:"mass" mass Access.Inc;
+      ]
+      cell_update;
+    if step = 1 then mass0 := mass.(0);
+    if step mod 50 = 0 then
+      Printf.printf "step %3d: tracer mass %.6f (drift %+.2e)\n" step mass.(0)
+        (mass.(0) -. !mass0)
+  done;
+  let final = Op2.fetch ctx tracer in
+  Printf.printf "max tracer %.4f, min %.4f — advected without blow-up\n"
+    (Array.fold_left Float.max neg_infinity final)
+    (Array.fold_left Float.min infinity final)

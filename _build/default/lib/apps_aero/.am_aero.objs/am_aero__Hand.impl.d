@@ -1,0 +1,1 @@
+lib/apps_aero/hand.ml: Am_mesh App Array Float Kernels

@@ -1,0 +1,1 @@
+lib/apps_aero/kernels.ml: Am_core Array Float

@@ -1,0 +1,194 @@
+(* The Aero proxy application in OP2 form: 2D FEM Poisson on the
+   unstructured quad mesh, Newton outer iterations (one suffices for the
+   linear model problem; the driver runs two to exercise the structure, as
+   the published aero app does for its nonlinear problem), each solved with
+   matrix-free conjugate gradients over the per-cell element matrices
+   assembled by res_calc.
+
+   Loop profile (the reason this proxy exists alongside Airfoil): a single
+   very wide indirect assembly loop (13 arguments, 16-component per-cell
+   matrix dataset), then a reduction-dominated CG inner loop — two global
+   reductions per iteration plus an indirect spMV — where Airfoil is
+   flux-dominated with one reduction per outer iteration. *)
+
+module Op2 = Am_op2.Op2
+module Access = Am_core.Access
+module Umesh = Am_mesh.Umesh
+
+type t = {
+  ctx : Op2.ctx;
+  mesh : Umesh.t;
+  nodes : Op2.set;
+  cells : Op2.set;
+  cell_nodes : Op2.map_t;
+  x : Op2.dat;
+  phi : Op2.dat;
+  k : Op2.dat;
+  res : Op2.dat;
+  p : Op2.dat;
+  v : Op2.dat;
+  u : Op2.dat;
+  bmask : Op2.dat;
+  cg_tol : float;
+  cg_max_iters : int;
+}
+
+(* The standard Aero workload: a smoothly graded mesh of the unit square.
+   On a perfectly uniform grid the sin-product load is an exact eigenvector
+   of the tensor-product stiffness matrix and CG converges in one
+   iteration; the grading makes the spectrum generic so the inner solver
+   does real work, while the O(h^2) FEM convergence is unaffected. *)
+let generate_mesh ~n =
+  let g t = t +. (0.1 *. sin (2.0 *. Kernels.pi *. t)) in
+  Umesh.generate_mapped ~nx:n ~ny:n
+    ~coord:(fun i j -> (g (Float.of_int i /. Float.of_int n),
+                        g (Float.of_int j /. Float.of_int n)))
+    ~bound:(fun _ -> Umesh.boundary_wall)
+
+(* 1.0 on nodes touched by any boundary edge, 0.0 inside. *)
+let boundary_mask mesh =
+  let mask = Array.make mesh.Umesh.n_nodes 0.0 in
+  Array.iter (fun n -> mask.(n) <- 1.0) mesh.Umesh.bedge_nodes;
+  mask
+
+let create ?backend ?(cg_tol = 1e-12) ?(cg_max_iters = 200) (mesh : Umesh.t) =
+  let ctx = Op2.create ?backend () in
+  Op2.decl_const ctx ~name:"gauss" [| Kernels.gauss |];
+  let nodes = Op2.decl_set ctx ~name:"nodes" ~size:mesh.Umesh.n_nodes in
+  let cells = Op2.decl_set ctx ~name:"cells" ~size:mesh.Umesh.n_cells in
+  let cell_nodes =
+    Op2.decl_map ctx ~name:"cell_nodes" ~from_set:cells ~to_set:nodes ~arity:4
+      ~values:mesh.Umesh.cell_nodes
+  in
+  let x = Op2.decl_dat ctx ~name:"x" ~set:nodes ~dim:2 ~data:mesh.Umesh.node_coords in
+  let phi = Op2.decl_dat_zero ctx ~name:"phi" ~set:nodes ~dim:1 in
+  let k = Op2.decl_dat_zero ctx ~name:"K" ~set:cells ~dim:16 in
+  let res = Op2.decl_dat_zero ctx ~name:"res" ~set:nodes ~dim:1 in
+  let p = Op2.decl_dat_zero ctx ~name:"p" ~set:nodes ~dim:1 in
+  let v = Op2.decl_dat_zero ctx ~name:"v" ~set:nodes ~dim:1 in
+  let u = Op2.decl_dat_zero ctx ~name:"u" ~set:nodes ~dim:1 in
+  let bmask =
+    Op2.decl_dat ctx ~name:"bmask" ~set:nodes ~dim:1 ~data:(boundary_mask mesh)
+  in
+  { ctx; mesh; nodes; cells; cell_nodes; x; phi; k; res; p; v; u; bmask;
+    cg_tol; cg_max_iters }
+
+let dirichlet t field =
+  Op2.par_loop t.ctx ~name:"dirichlet" ~info:Kernels.dirichlet_info t.nodes
+    [ Op2.arg_dat field Access.Rw; Op2.arg_dat t.bmask Access.Read ]
+    Kernels.dirichlet
+
+(* One Newton iteration: assemble, solve K u = res by CG, apply the
+   update. Returns (cg_iterations, rms of the applied update). *)
+let iteration t =
+  Op2.par_loop t.ctx ~name:"res_calc" ~info:Kernels.res_calc_info t.cells
+    [
+      Op2.arg_dat_indirect t.x t.cell_nodes 0 Access.Read;
+      Op2.arg_dat_indirect t.x t.cell_nodes 1 Access.Read;
+      Op2.arg_dat_indirect t.x t.cell_nodes 2 Access.Read;
+      Op2.arg_dat_indirect t.x t.cell_nodes 3 Access.Read;
+      Op2.arg_dat_indirect t.phi t.cell_nodes 0 Access.Read;
+      Op2.arg_dat_indirect t.phi t.cell_nodes 1 Access.Read;
+      Op2.arg_dat_indirect t.phi t.cell_nodes 2 Access.Read;
+      Op2.arg_dat_indirect t.phi t.cell_nodes 3 Access.Read;
+      Op2.arg_dat t.k Access.Write;
+      Op2.arg_dat_indirect t.res t.cell_nodes 0 Access.Inc;
+      Op2.arg_dat_indirect t.res t.cell_nodes 1 Access.Inc;
+      Op2.arg_dat_indirect t.res t.cell_nodes 2 Access.Inc;
+      Op2.arg_dat_indirect t.res t.cell_nodes 3 Access.Inc;
+    ]
+    Kernels.res_calc;
+  dirichlet t t.res;
+  let rss = [| 0.0 |] in
+  Op2.par_loop t.ctx ~name:"init_cg" ~info:Kernels.init_cg_info t.nodes
+    [
+      Op2.arg_dat t.res Access.Read;
+      Op2.arg_dat t.p Access.Write;
+      Op2.arg_dat t.u Access.Write;
+      Op2.arg_dat t.v Access.Write;
+      Op2.arg_gbl ~name:"rss" rss Access.Inc;
+    ]
+    Kernels.init_cg;
+  let iters = ref 0 in
+  let continue_ = ref (rss.(0) > t.cg_tol) in
+  while !continue_ && !iters < t.cg_max_iters do
+    incr iters;
+    Op2.par_loop t.ctx ~name:"spMV" ~info:Kernels.spmv_info t.cells
+      [
+        Op2.arg_dat t.k Access.Read;
+        Op2.arg_dat_indirect t.p t.cell_nodes 0 Access.Read;
+        Op2.arg_dat_indirect t.p t.cell_nodes 1 Access.Read;
+        Op2.arg_dat_indirect t.p t.cell_nodes 2 Access.Read;
+        Op2.arg_dat_indirect t.p t.cell_nodes 3 Access.Read;
+        Op2.arg_dat_indirect t.v t.cell_nodes 0 Access.Inc;
+        Op2.arg_dat_indirect t.v t.cell_nodes 1 Access.Inc;
+        Op2.arg_dat_indirect t.v t.cell_nodes 2 Access.Inc;
+        Op2.arg_dat_indirect t.v t.cell_nodes 3 Access.Inc;
+      ]
+      Kernels.spmv;
+    dirichlet t t.v;
+    let dot = [| 0.0 |] in
+    Op2.par_loop t.ctx ~name:"dot_pv" ~info:Kernels.dot_pv_info t.nodes
+      [
+        Op2.arg_dat t.p Access.Read;
+        Op2.arg_dat t.v Access.Read;
+        Op2.arg_gbl ~name:"dot" dot Access.Inc;
+      ]
+      Kernels.dot_pv;
+    let alpha = [| rss.(0) /. dot.(0) |] in
+    Op2.par_loop t.ctx ~name:"update_ur" ~info:Kernels.update_ur_info t.nodes
+      [
+        Op2.arg_gbl ~name:"alpha" alpha Access.Read;
+        Op2.arg_dat t.p Access.Read;
+        Op2.arg_dat t.v Access.Rw;
+        Op2.arg_dat t.u Access.Rw;
+        Op2.arg_dat t.res Access.Rw;
+      ]
+      Kernels.update_ur;
+    let rss_new = [| 0.0 |] in
+    Op2.par_loop t.ctx ~name:"dot_r" ~info:Kernels.dot_r_info t.nodes
+      [ Op2.arg_dat t.res Access.Read; Op2.arg_gbl ~name:"rss" rss_new Access.Inc ]
+      Kernels.dot_r;
+    let beta = [| rss_new.(0) /. rss.(0) |] in
+    Op2.par_loop t.ctx ~name:"update_p" ~info:Kernels.update_p_info t.nodes
+      [
+        Op2.arg_gbl ~name:"beta" beta Access.Read;
+        Op2.arg_dat t.res Access.Read;
+        Op2.arg_dat t.p Access.Rw;
+      ]
+      Kernels.update_p;
+    rss.(0) <- rss_new.(0);
+    continue_ := rss.(0) > t.cg_tol
+  done;
+  let rms = [| 0.0 |] in
+  Op2.par_loop t.ctx ~name:"update" ~info:Kernels.update_info t.nodes
+    [
+      Op2.arg_dat t.u Access.Read;
+      Op2.arg_dat t.phi Access.Rw;
+      Op2.arg_dat t.res Access.Write;
+      Op2.arg_gbl ~name:"rms" rms Access.Inc;
+    ]
+    Kernels.update;
+  (!iters, sqrt (rms.(0) /. Float.of_int t.mesh.Umesh.n_nodes))
+
+let run t ~iters =
+  let last = ref (0, 0.0) in
+  for _ = 1 to iters do
+    last := iteration t
+  done;
+  !last
+
+(* Solution in global node order (any backend). *)
+let solution t = Op2.fetch t.ctx t.phi
+
+(* Discrete L2 error of the current solution against the analytic field,
+   normalised by node count. Coordinates come from the context (not the
+   original mesh arrays) so the metric stays valid after renumbering. *)
+let l2_error t =
+  let phi = solution t and coords = Op2.fetch t.ctx t.x in
+  let acc = ref 0.0 in
+  for n = 0 to t.mesh.Umesh.n_nodes - 1 do
+    let d = phi.(n) -. Kernels.exact coords.(2 * n) coords.((2 * n) + 1) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. Float.of_int t.mesh.Umesh.n_nodes)

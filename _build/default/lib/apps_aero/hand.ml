@@ -1,0 +1,140 @@
+(* Hand-coded Aero baseline: the same FEM assembly and CG arithmetic as
+   {!App}, written directly over flat arrays with manual gather/scatter —
+   the "Original" series of the overhead comparisons. It reuses the exact
+   kernel functions so any App/Hand divergence is framework overhead or a
+   framework bug, never different maths. *)
+
+module Umesh = Am_mesh.Umesh
+
+type t = {
+  mesh : Umesh.t;
+  phi : float array;
+  k : float array;
+  res : float array;
+  p : float array;
+  v : float array;
+  u : float array;
+  bmask : float array;
+  cg_tol : float;
+  cg_max_iters : int;
+}
+
+let create ?(cg_tol = 1e-12) ?(cg_max_iters = 200) (mesh : Umesh.t) =
+  {
+    mesh;
+    phi = Array.make mesh.Umesh.n_nodes 0.0;
+    k = Array.make (mesh.Umesh.n_cells * 16) 0.0;
+    res = Array.make mesh.Umesh.n_nodes 0.0;
+    p = Array.make mesh.Umesh.n_nodes 0.0;
+    v = Array.make mesh.Umesh.n_nodes 0.0;
+    u = Array.make mesh.Umesh.n_nodes 0.0;
+    bmask = App.boundary_mask mesh;
+    cg_tol;
+    cg_max_iters;
+  }
+
+(* Staging buffers reused across the run (the generated-code equivalent of
+   the framework's per-loop staging). *)
+let node_x = Array.init 4 (fun _ -> Array.make 2 0.0)
+let scalar1 = Array.init 4 (fun _ -> Array.make 1 0.0)
+let scalar2 = Array.init 4 (fun _ -> Array.make 1 0.0)
+
+let assemble t =
+  let m = t.mesh in
+  let args = Array.make 13 [||] in
+  for c = 0 to m.Umesh.n_cells - 1 do
+    for i = 0 to 3 do
+      let n = m.Umesh.cell_nodes.((4 * c) + i) in
+      node_x.(i).(0) <- m.Umesh.node_coords.(2 * n);
+      node_x.(i).(1) <- m.Umesh.node_coords.((2 * n) + 1);
+      scalar1.(i).(0) <- t.phi.(n);
+      scalar2.(i).(0) <- 0.0;
+      args.(i) <- node_x.(i);
+      args.(4 + i) <- scalar1.(i);
+      args.(9 + i) <- scalar2.(i)
+    done;
+    args.(8) <- Array.sub t.k (16 * c) 16;
+    Kernels.res_calc args;
+    Array.blit args.(8) 0 t.k (16 * c) 16;
+    for i = 0 to 3 do
+      let n = m.Umesh.cell_nodes.((4 * c) + i) in
+      t.res.(n) <- t.res.(n) +. scalar2.(i).(0)
+    done
+  done
+
+let dirichlet t field =
+  for n = 0 to t.mesh.Umesh.n_nodes - 1 do
+    field.(n) <- field.(n) *. (1.0 -. t.bmask.(n))
+  done
+
+let spmv t =
+  let m = t.mesh in
+  let args = Array.make 9 [||] in
+  for c = 0 to m.Umesh.n_cells - 1 do
+    for i = 0 to 3 do
+      let n = m.Umesh.cell_nodes.((4 * c) + i) in
+      scalar1.(i).(0) <- t.p.(n);
+      scalar2.(i).(0) <- 0.0;
+      args.(1 + i) <- scalar1.(i);
+      args.(5 + i) <- scalar2.(i)
+    done;
+    args.(0) <- Array.sub t.k (16 * c) 16;
+    Kernels.spmv args;
+    for i = 0 to 3 do
+      let n = m.Umesh.cell_nodes.((4 * c) + i) in
+      t.v.(n) <- t.v.(n) +. scalar2.(i).(0)
+    done
+  done
+
+let iteration t =
+  let nn = t.mesh.Umesh.n_nodes in
+  assemble t;
+  dirichlet t t.res;
+  let rss = ref 0.0 in
+  for n = 0 to nn - 1 do
+    t.p.(n) <- t.res.(n);
+    t.u.(n) <- 0.0;
+    t.v.(n) <- 0.0;
+    rss := !rss +. (t.res.(n) *. t.res.(n))
+  done;
+  let iters = ref 0 in
+  while !rss > t.cg_tol && !iters < t.cg_max_iters do
+    incr iters;
+    spmv t;
+    dirichlet t t.v;
+    let dot = ref 0.0 in
+    for n = 0 to nn - 1 do
+      dot := !dot +. (t.p.(n) *. t.v.(n))
+    done;
+    let alpha = !rss /. !dot in
+    for n = 0 to nn - 1 do
+      t.u.(n) <- t.u.(n) +. (alpha *. t.p.(n));
+      t.res.(n) <- t.res.(n) -. (alpha *. t.v.(n));
+      t.v.(n) <- 0.0
+    done;
+    let rss_new = ref 0.0 in
+    for n = 0 to nn - 1 do
+      rss_new := !rss_new +. (t.res.(n) *. t.res.(n))
+    done;
+    let beta = !rss_new /. !rss in
+    for n = 0 to nn - 1 do
+      t.p.(n) <- t.res.(n) +. (beta *. t.p.(n))
+    done;
+    rss := !rss_new
+  done;
+  let rms = ref 0.0 in
+  for n = 0 to nn - 1 do
+    t.phi.(n) <- t.phi.(n) +. t.u.(n);
+    t.res.(n) <- 0.0;
+    rms := !rms +. (t.u.(n) *. t.u.(n))
+  done;
+  (!iters, sqrt (!rms /. Float.of_int nn))
+
+let run t ~iters =
+  let last = ref (0, 0.0) in
+  for _ = 1 to iters do
+    last := iteration t
+  done;
+  !last
+
+let solution t = Array.copy t.phi

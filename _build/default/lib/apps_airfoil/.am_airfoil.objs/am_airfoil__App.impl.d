@@ -1,0 +1,1 @@
+lib/apps_airfoil/app.ml: Am_core Am_mesh Am_op2 Array Float Kernels

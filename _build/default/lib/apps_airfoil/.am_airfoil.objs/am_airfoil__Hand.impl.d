@@ -1,0 +1,1 @@
+lib/apps_airfoil/hand.ml: Am_mesh Array Float Kernels

@@ -1,0 +1,1 @@
+lib/apps_airfoil/kernels.ml: Am_core Am_mesh Array Float

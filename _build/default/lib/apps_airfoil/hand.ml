@@ -1,0 +1,185 @@
+(* Hand-coded Airfoil baseline.
+
+   The "Original" series of the paper's comparisons: the same solver written
+   the way a performance programmer writes sequential code — flat arrays,
+   direct indexing through the connectivity, arithmetic inlined, no
+   framework machinery.  The operation order matches the OP2 kernels
+   exactly so results agree to rounding, letting the benchmarks isolate
+   framework overhead. *)
+
+module Umesh = Am_mesh.Umesh
+
+type t = {
+  mesh : Umesh.t;
+  x : float array; (* 2 per node *)
+  q : float array; (* 4 per cell *)
+  qold : float array;
+  adt : float array; (* 1 per cell *)
+  res : float array; (* 4 per cell *)
+}
+
+let gam = Kernels.gam
+let gm1 = Kernels.gm1
+let cfl = Kernels.cfl
+let eps = Kernels.eps
+let qinf = Kernels.qinf
+
+let create (mesh : Umesh.t) =
+  let q = Array.make (mesh.Umesh.n_cells * 4) 0.0 in
+  for c = 0 to mesh.Umesh.n_cells - 1 do
+    Array.blit qinf 0 q (4 * c) 4
+  done;
+  {
+    mesh;
+    x = Array.copy mesh.Umesh.node_coords;
+    q;
+    qold = Array.make (mesh.Umesh.n_cells * 4) 0.0;
+    adt = Array.make mesh.Umesh.n_cells 0.0;
+    res = Array.make (mesh.Umesh.n_cells * 4) 0.0;
+  }
+
+let save_soln t =
+  Array.blit t.q 0 t.qold 0 (Array.length t.q)
+
+let adt_calc t =
+  let m = t.mesh in
+  for c = 0 to m.Umesh.n_cells - 1 do
+    let q0 = t.q.(4 * c) and q1 = t.q.((4 * c) + 1) in
+    let q2 = t.q.((4 * c) + 2) and q3 = t.q.((4 * c) + 3) in
+    let ri = 1.0 /. q0 in
+    let u = ri *. q1 and v = ri *. q2 in
+    let c_snd = sqrt (gam *. gm1 *. ((ri *. q3) -. (0.5 *. ((u *. u) +. (v *. v))))) in
+    let node k = m.Umesh.cell_nodes.((4 * c) + k) in
+    let xk k = t.x.(2 * node k) and yk k = t.x.((2 * node k) + 1) in
+    let face xa ya xb yb =
+      let dx = xa -. xb and dy = ya -. yb in
+      Float.abs ((u *. dy) -. (v *. dx)) +. (c_snd *. sqrt ((dx *. dx) +. (dy *. dy)))
+    in
+    let acc =
+      face (xk 1) (yk 1) (xk 0) (yk 0)
+      +. face (xk 2) (yk 2) (xk 1) (yk 1)
+      +. face (xk 3) (yk 3) (xk 2) (yk 2)
+      +. face (xk 0) (yk 0) (xk 3) (yk 3)
+    in
+    t.adt.(c) <- acc /. cfl
+  done
+
+let res_calc t =
+  let m = t.mesh in
+  for e = 0 to m.Umesh.n_edges - 1 do
+    let n1 = m.Umesh.edge_nodes.(2 * e) and n2 = m.Umesh.edge_nodes.((2 * e) + 1) in
+    let c1 = m.Umesh.edge_cells.(2 * e) and c2 = m.Umesh.edge_cells.((2 * e) + 1) in
+    let dx = t.x.(2 * n1) -. t.x.(2 * n2) in
+    let dy = t.x.((2 * n1) + 1) -. t.x.((2 * n2) + 1) in
+    let q1 k = t.q.((4 * c1) + k) and q2 k = t.q.((4 * c2) + k) in
+    let ri1 = 1.0 /. q1 0 in
+    let p1 = gm1 *. (q1 3 -. (0.5 *. ri1 *. ((q1 1 *. q1 1) +. (q1 2 *. q1 2)))) in
+    let vol1 = ri1 *. ((q1 1 *. dy) -. (q1 2 *. dx)) in
+    let ri2 = 1.0 /. q2 0 in
+    let p2 = gm1 *. (q2 3 -. (0.5 *. ri2 *. ((q2 1 *. q2 1) +. (q2 2 *. q2 2)))) in
+    let vol2 = ri2 *. ((q2 1 *. dy) -. (q2 2 *. dx)) in
+    let mu = 0.5 *. (t.adt.(c1) +. t.adt.(c2)) *. eps in
+    let f0 = (0.5 *. ((vol1 *. q1 0) +. (vol2 *. q2 0))) +. (mu *. (q1 0 -. q2 0)) in
+    let f1 =
+      (0.5 *. ((vol1 *. q1 1) +. (vol2 *. q2 1)))
+      +. (0.5 *. ((p1 +. p2) *. dy))
+      +. (mu *. (q1 1 -. q2 1))
+    in
+    let f2 =
+      (0.5 *. ((vol1 *. q1 2) +. (vol2 *. q2 2)))
+      -. (0.5 *. ((p1 +. p2) *. dx))
+      +. (mu *. (q1 2 -. q2 2))
+    in
+    let f3 =
+      (0.5 *. ((vol1 *. (q1 3 +. p1)) +. (vol2 *. (q2 3 +. p2))))
+      +. (mu *. (q1 3 -. q2 3))
+    in
+    t.res.(4 * c1) <- t.res.(4 * c1) +. f0;
+    t.res.(4 * c2) <- t.res.(4 * c2) -. f0;
+    t.res.((4 * c1) + 1) <- t.res.((4 * c1) + 1) +. f1;
+    t.res.((4 * c2) + 1) <- t.res.((4 * c2) + 1) -. f1;
+    t.res.((4 * c1) + 2) <- t.res.((4 * c1) + 2) +. f2;
+    t.res.((4 * c2) + 2) <- t.res.((4 * c2) + 2) -. f2;
+    t.res.((4 * c1) + 3) <- t.res.((4 * c1) + 3) +. f3;
+    t.res.((4 * c2) + 3) <- t.res.((4 * c2) + 3) -. f3
+  done
+
+let bres_calc t =
+  let m = t.mesh in
+  for b = 0 to m.Umesh.n_bedges - 1 do
+    let n1 = m.Umesh.bedge_nodes.(2 * b) and n2 = m.Umesh.bedge_nodes.((2 * b) + 1) in
+    let c1 = m.Umesh.bedge_cell.(b) in
+    let dx = t.x.(2 * n1) -. t.x.(2 * n2) in
+    let dy = t.x.((2 * n1) + 1) -. t.x.((2 * n2) + 1) in
+    let q1 k = t.q.((4 * c1) + k) in
+    let ri1 = 1.0 /. q1 0 in
+    let p1 = gm1 *. (q1 3 -. (0.5 *. ri1 *. ((q1 1 *. q1 1) +. (q1 2 *. q1 2)))) in
+    if m.Umesh.bedge_bound.(b) = Umesh.boundary_wall then begin
+      t.res.((4 * c1) + 1) <- t.res.((4 * c1) + 1) +. (p1 *. dy);
+      t.res.((4 * c1) + 2) <- t.res.((4 * c1) + 2) -. (p1 *. dx)
+    end
+    else begin
+      let vol1 = ri1 *. ((q1 1 *. dy) -. (q1 2 *. dx)) in
+      let ri2 = 1.0 /. qinf.(0) in
+      let p2 =
+        gm1
+        *. (qinf.(3) -. (0.5 *. ri2 *. ((qinf.(1) *. qinf.(1)) +. (qinf.(2) *. qinf.(2)))))
+      in
+      let vol2 = ri2 *. ((qinf.(1) *. dy) -. (qinf.(2) *. dx)) in
+      let mu = t.adt.(c1) *. eps in
+      let f0 =
+        (0.5 *. ((vol1 *. q1 0) +. (vol2 *. qinf.(0)))) +. (mu *. (q1 0 -. qinf.(0)))
+      in
+      let f1 =
+        (0.5 *. ((vol1 *. q1 1) +. (vol2 *. qinf.(1))))
+        +. (0.5 *. ((p1 +. p2) *. dy))
+        +. (mu *. (q1 1 -. qinf.(1)))
+      in
+      let f2 =
+        (0.5 *. ((vol1 *. q1 2) +. (vol2 *. qinf.(2))))
+        -. (0.5 *. ((p1 +. p2) *. dx))
+        +. (mu *. (q1 2 -. qinf.(2)))
+      in
+      let f3 =
+        (0.5 *. ((vol1 *. (q1 3 +. p1)) +. (vol2 *. (qinf.(3) +. p2))))
+        +. (mu *. (q1 3 -. qinf.(3)))
+      in
+      t.res.(4 * c1) <- t.res.(4 * c1) +. f0;
+      t.res.((4 * c1) + 1) <- t.res.((4 * c1) + 1) +. f1;
+      t.res.((4 * c1) + 2) <- t.res.((4 * c1) + 2) +. f2;
+      t.res.((4 * c1) + 3) <- t.res.((4 * c1) + 3) +. f3
+    end
+  done
+
+let update t =
+  let rms = ref 0.0 in
+  for c = 0 to t.mesh.Umesh.n_cells - 1 do
+    let adti = 1.0 /. t.adt.(c) in
+    for n = 0 to 3 do
+      let del = adti *. t.res.((4 * c) + n) in
+      t.q.((4 * c) + n) <- t.qold.((4 * c) + n) -. del;
+      t.res.((4 * c) + n) <- 0.0;
+      rms := !rms +. (del *. del)
+    done
+  done;
+  !rms
+
+let iteration t =
+  save_soln t;
+  let rms = ref 0.0 in
+  for _inner = 1 to 2 do
+    adt_calc t;
+    res_calc t;
+    bres_calc t;
+    rms := update t
+  done;
+  sqrt (!rms /. Float.of_int t.mesh.Umesh.n_cells)
+
+let run t ~iters =
+  let rms = ref 0.0 in
+  for _ = 1 to iters do
+    rms := iteration t
+  done;
+  !rms
+
+let solution t = Array.copy t.q

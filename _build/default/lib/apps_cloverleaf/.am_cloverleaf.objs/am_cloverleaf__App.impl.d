@@ -1,0 +1,1 @@
+lib/apps_cloverleaf/app.ml: Am_core Am_ops Array Float Kernels List

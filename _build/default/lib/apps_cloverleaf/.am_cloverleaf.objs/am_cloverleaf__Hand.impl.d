@@ -1,0 +1,1 @@
+lib/apps_cloverleaf/hand.ml: App Array Float Kernels List

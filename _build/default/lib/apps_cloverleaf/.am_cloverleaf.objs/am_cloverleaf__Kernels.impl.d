@@ -1,0 +1,1 @@
+lib/apps_cloverleaf/kernels.ml: Am_core Array Float

@@ -1,0 +1,482 @@
+(* Hand-coded CloverLeaf baseline.
+
+   The "Original" series of Fig 5: the same hydro cycle written as direct
+   loops over flat padded arrays — no access descriptors, no staging
+   buffers, no framework dispatch.  Arithmetic follows [Kernels] operation
+   for operation so results match the OPS version to rounding. *)
+
+let gamma = Kernels.gamma
+
+(* A padded field: interior [0, xs) x [0, ys) with an [h]-deep ghost ring. *)
+type field = { xs : int; ys : int; h : int; a : float array }
+
+let make_field xs ys h = { xs; ys; h; a = Array.make ((xs + (2 * h)) * (ys + (2 * h))) 0.0 }
+
+let idx f x y = (((y + f.h) * (f.xs + (2 * f.h))) + (x + f.h))
+
+let get f x y = f.a.(idx f x y)
+let set f x y v = f.a.(idx f x y) <- v
+
+type t = {
+  advection : App.advection;
+  nx : int;
+  ny : int;
+  dx : float;
+  dy : float;
+  density0 : field;
+  density1 : field;
+  energy0 : field;
+  energy1 : field;
+  pressure : field;
+  viscosity : field;
+  soundspeed : field;
+  pre_vol : field;
+  post_vol : field;
+  xvel0 : field;
+  xvel1 : field;
+  yvel0 : field;
+  yvel1 : field;
+  node_flux : field;
+  node_mass_post : field;
+  mom_flux : field;
+  vol_flux_x : field;
+  mass_flux_x : field;
+  ener_flux_x : field;
+  vol_flux_y : field;
+  mass_flux_y : field;
+  ener_flux_y : field;
+  mutable dt : float;
+}
+
+let create ?(advection = App.First_order) ~nx ~ny () =
+  let cell () = make_field nx ny 2 in
+  let node () = make_field (nx + 1) (ny + 1) 2 in
+  let xface () = make_field (nx + 1) ny 2 in
+  let yface () = make_field nx (ny + 1) 2 in
+  let t =
+    {
+      advection;
+      nx;
+      ny;
+      dx = App.domain_size /. Float.of_int nx;
+      dy = App.domain_size /. Float.of_int ny;
+      density0 = cell ();
+      density1 = cell ();
+      energy0 = cell ();
+      energy1 = cell ();
+      pressure = cell ();
+      viscosity = cell ();
+      soundspeed = cell ();
+      pre_vol = cell ();
+      post_vol = cell ();
+      xvel0 = node ();
+      xvel1 = node ();
+      yvel0 = node ();
+      yvel1 = node ();
+      node_flux = node ();
+      node_mass_post = node ();
+      mom_flux = node ();
+      vol_flux_x = xface ();
+      mass_flux_x = xface ();
+      ener_flux_x = xface ();
+      vol_flux_y = yface ();
+      mass_flux_y = yface ();
+      ener_flux_y = yface ();
+      dt = 0.0;
+    }
+  in
+  (* Same initial condition as the OPS version, ghosts included. *)
+  let init f value_of =
+    for y = -f.h to f.ys + f.h - 1 do
+      for x = -f.h to f.xs + f.h - 1 do
+        set f x y (value_of x y)
+      done
+    done
+  in
+  init t.density0 (fun cx cy ->
+      App.initial_density
+        ((Float.of_int cx +. 0.5) *. t.dx)
+        ((Float.of_int cy +. 0.5) *. t.dy));
+  init t.energy0 (fun cx cy ->
+      App.initial_energy
+        ((Float.of_int cx +. 0.5) *. t.dx)
+        ((Float.of_int cy +. 0.5) *. t.dy));
+  t
+
+let volume t = t.dx *. t.dy
+
+(* Reflective ghost updates, matching [Am_ops.Boundary.mirror]. *)
+let mirror ?(sign_x = 1.0) ?(sign_y = 1.0) ?(node_x = false) ?(node_y = false) f =
+  let depth = f.h in
+  for k = 1 to depth do
+    let src_low = if node_y then k else k - 1 in
+    let src_high = if node_y then f.ys - 1 - k else f.ys - k in
+    for x = 0 to f.xs - 1 do
+      set f x (-k) (sign_y *. get f x src_low);
+      set f x (f.ys - 1 + k) (sign_y *. get f x src_high)
+    done
+  done;
+  for y = -depth to f.ys + depth - 1 do
+    for k = 1 to depth do
+      let src_low = if node_x then k else k - 1 in
+      let src_high = if node_x then f.xs - 1 - k else f.xs - k in
+      set f (-k) y (sign_x *. get f src_low y);
+      set f (f.xs - 1 + k) y (sign_x *. get f src_high y)
+    done
+  done
+
+let mirror_thermo t =
+  mirror t.density1;
+  mirror t.energy1
+
+let wall_velocities t =
+  for y = 0 to t.ny do
+    set t.xvel1 0 y 0.0;
+    set t.xvel1 t.nx y 0.0
+  done;
+  for x = 0 to t.nx do
+    set t.yvel1 x 0 0.0;
+    set t.yvel1 x t.ny 0.0
+  done
+
+let mirror_velocities t =
+  wall_velocities t;
+  mirror ~sign_x:(-1.0) ~node_x:true ~node_y:true t.xvel1;
+  mirror ~sign_y:(-1.0) ~node_x:true ~node_y:true t.yvel1
+
+let ideal_gas t ~predict =
+  let density = if predict then t.density1 else t.density0 in
+  let energy = if predict then t.energy1 else t.energy0 in
+  for y = 0 to t.ny - 1 do
+    for x = 0 to t.nx - 1 do
+      let d = get density x y and e = get energy x y in
+      let p = (gamma -. 1.0) *. d *. e in
+      set t.pressure x y p;
+      set t.soundspeed x y (sqrt (gamma *. p /. d))
+    done
+  done;
+  mirror t.pressure;
+  mirror t.soundspeed
+
+let viscosity_step t =
+  for y = 0 to t.ny - 1 do
+    for x = 0 to t.nx - 1 do
+      let xv p q = get t.xvel0 (x + p) (y + q) and yv p q = get t.yvel0 (x + p) (y + q) in
+      let ugrad = 0.5 *. ((xv 1 0 +. xv 1 1) -. (xv 0 0 +. xv 0 1)) /. t.dx in
+      let vgrad = 0.5 *. ((yv 0 1 +. yv 1 1) -. (yv 0 0 +. yv 1 0)) /. t.dy in
+      let div = ugrad +. vgrad in
+      if div < 0.0 then begin
+        let length = Float.min t.dx t.dy in
+        set t.viscosity x y (2.0 *. get t.density0 x y *. (div *. length) *. (div *. length))
+      end
+      else set t.viscosity x y 0.0
+    done
+  done;
+  mirror t.viscosity
+
+let timestep t =
+  let dt_min = ref 0.04 in
+  for y = 0 to t.ny - 1 do
+    for x = 0 to t.nx - 1 do
+      let ss = get t.soundspeed x y in
+      let visc = get t.viscosity x y in
+      let density = get t.density0 x y in
+      let xv p q = get t.xvel0 (x + p) (y + q) and yv p q = get t.yvel0 (x + p) (y + q) in
+      let u = 0.25 *. (xv 0 0 +. xv 1 0 +. xv 0 1 +. xv 1 1) in
+      let v = 0.25 *. (yv 0 0 +. yv 1 0 +. yv 0 1 +. yv 1 1) in
+      let ss_eff = sqrt ((ss *. ss) +. (2.0 *. visc /. density)) in
+      let dtx = t.dx /. (ss_eff +. Float.abs u) in
+      let dty = t.dy /. (ss_eff +. Float.abs v) in
+      let dt = 0.5 *. Float.min dtx dty in
+      if dt < !dt_min then dt_min := dt
+    done
+  done;
+  t.dt <- !dt_min
+
+let pdv t ~predict =
+  let xv1f = if predict then t.xvel0 else t.xvel1 in
+  let yv1f = if predict then t.yvel0 else t.yvel1 in
+  let dt = if predict then 0.5 *. t.dt else t.dt in
+  let vol = volume t in
+  for y = 0 to t.ny - 1 do
+    for x = 0 to t.nx - 1 do
+      let xv0 p q = get t.xvel0 (x + p) (y + q) and xv1 p q = get xv1f (x + p) (y + q) in
+      let yv0 p q = get t.yvel0 (x + p) (y + q) and yv1 p q = get yv1f (x + p) (y + q) in
+      let left = t.dy *. (0.25 *. (xv0 0 0 +. xv0 0 1 +. xv1 0 0 +. xv1 0 1)) *. dt in
+      let right = t.dy *. (0.25 *. (xv0 1 0 +. xv0 1 1 +. xv1 1 0 +. xv1 1 1)) *. dt in
+      let bottom = t.dx *. (0.25 *. (yv0 0 0 +. yv0 1 0 +. yv1 0 0 +. yv1 1 0)) *. dt in
+      let top = t.dx *. (0.25 *. (yv0 0 1 +. yv0 1 1 +. yv1 0 1 +. yv1 1 1)) *. dt in
+      let total_flux = right -. left +. top -. bottom in
+      let volume_change = vol /. (vol +. total_flux) in
+      let d0 = get t.density0 x y in
+      let energy_change =
+        (get t.pressure x y +. get t.viscosity x y) /. d0 *. total_flux /. vol
+      in
+      set t.energy1 x y (get t.energy0 x y -. energy_change);
+      set t.density1 x y (d0 *. volume_change)
+    done
+  done;
+  mirror_thermo t
+
+let accelerate t =
+  let vol = volume t in
+  for y = 0 to t.ny do
+    for x = 0 to t.nx do
+      let d p q = get t.density0 (x + p) (y + q) in
+      let pr p q = get t.pressure (x + p) (y + q) in
+      let vc p q = get t.viscosity (x + p) (y + q) in
+      let nodal_mass = 0.25 *. (d (-1) (-1) +. d 0 (-1) +. d (-1) 0 +. d 0 0) *. vol in
+      let stepbymass = 0.5 *. t.dt /. nodal_mass in
+      let fx g = ((g 0 (-1) +. g 0 0) -. (g (-1) (-1) +. g (-1) 0)) *. 0.5 *. t.dy in
+      let fy g = ((g (-1) 0 +. g 0 0) -. (g (-1) (-1) +. g 0 (-1))) *. 0.5 *. t.dx in
+      set t.xvel1 x y (get t.xvel0 x y -. (stepbymass *. (fx pr +. fx vc)));
+      set t.yvel1 x y (get t.yvel0 x y -. (stepbymass *. (fy pr +. fy vc)))
+    done
+  done;
+  mirror_velocities t
+
+let flux_calc t =
+  for y = 0 to t.ny - 1 do
+    for x = 0 to t.nx do
+      set t.vol_flux_x x y
+        (0.25 *. t.dt *. t.dy
+         *. (get t.xvel0 x y +. get t.xvel0 x (y + 1) +. get t.xvel1 x y
+             +. get t.xvel1 x (y + 1)))
+    done
+  done;
+  for y = 0 to t.ny do
+    for x = 0 to t.nx - 1 do
+      set t.vol_flux_y x y
+        (0.25 *. t.dt *. t.dx
+         *. (get t.yvel0 x y +. get t.yvel0 (x + 1) y +. get t.yvel1 x y
+             +. get t.yvel1 (x + 1) y))
+    done
+  done
+
+let advec_cell_sweep t ~dir =
+  let vol = volume t in
+  (* Sweep volumes over the extended range, matching the OPS version (ghost
+     volume fluxes are zero, so ghost pre_vol = volume). *)
+  for y = -2 to t.ny + 1 do
+    for x = -2 to t.nx + 1 do
+      let net_x = get t.vol_flux_x (x + 1) y -. get t.vol_flux_x x y in
+      let net_y = get t.vol_flux_y x (y + 1) -. get t.vol_flux_y x y in
+      match dir with
+      | `X ->
+        let pre = vol +. net_x +. net_y in
+        set t.pre_vol x y pre;
+        set t.post_vol x y (pre -. net_x)
+      | `Y ->
+        set t.pre_vol x y (vol +. net_y);
+        set t.post_vol x y vol
+    done
+  done;
+  (* Donor fluxes and the cell update. *)
+  (match dir with
+  | `X ->
+    for y = 0 to t.ny - 1 do
+      for x = 0 to t.nx do
+        let vf = get t.vol_flux_x x y in
+        (match t.advection with
+        | App.First_order ->
+          let donor = if vf > 0.0 then x - 1 else x in
+          let mf = vf *. get t.density1 donor y in
+          set t.mass_flux_x x y mf;
+          set t.ener_flux_x x y (mf *. get t.energy1 donor y)
+        | App.Van_leer ->
+          let upw, don, dnw = if vf > 0.0 then (x - 2, x - 1, x) else (x + 1, x, x - 1) in
+          let pre_don = get t.pre_vol don y in
+          let sigmat = Float.abs vf /. pre_don in
+          let lim_d =
+            Kernels.van_leer_limited ~sigma:sigmat ~upwind:(get t.density1 upw y)
+              ~donor:(get t.density1 don y) ~downwind:(get t.density1 dnw y)
+          in
+          let mf = vf *. (get t.density1 don y +. lim_d) in
+          set t.mass_flux_x x y mf;
+          let sigmam = Float.abs mf /. (get t.density1 don y *. pre_don) in
+          let lim_e =
+            Kernels.van_leer_limited ~sigma:sigmam ~upwind:(get t.energy1 upw y)
+              ~donor:(get t.energy1 don y) ~downwind:(get t.energy1 dnw y)
+          in
+          set t.ener_flux_x x y (mf *. (get t.energy1 don y +. lim_e)))
+      done
+    done;
+    for y = 0 to t.ny - 1 do
+      for x = 0 to t.nx - 1 do
+        let pre_vol = get t.pre_vol x y and post_vol = get t.post_vol x y in
+        let pre_mass = get t.density1 x y *. pre_vol in
+        let post_mass = pre_mass +. get t.mass_flux_x x y -. get t.mass_flux_x (x + 1) y in
+        let post_ener =
+          ((get t.energy1 x y *. pre_mass) +. get t.ener_flux_x x y
+           -. get t.ener_flux_x (x + 1) y)
+          /. post_mass
+        in
+        set t.density1 x y (post_mass /. post_vol);
+        set t.energy1 x y post_ener
+      done
+    done
+  | `Y ->
+    for y = 0 to t.ny do
+      for x = 0 to t.nx - 1 do
+        let vf = get t.vol_flux_y x y in
+        (match t.advection with
+        | App.First_order ->
+          let donor = if vf > 0.0 then y - 1 else y in
+          let mf = vf *. get t.density1 x donor in
+          set t.mass_flux_y x y mf;
+          set t.ener_flux_y x y (mf *. get t.energy1 x donor)
+        | App.Van_leer ->
+          let upw, don, dnw = if vf > 0.0 then (y - 2, y - 1, y) else (y + 1, y, y - 1) in
+          let pre_don = get t.pre_vol x don in
+          let sigmat = Float.abs vf /. pre_don in
+          let lim_d =
+            Kernels.van_leer_limited ~sigma:sigmat ~upwind:(get t.density1 x upw)
+              ~donor:(get t.density1 x don) ~downwind:(get t.density1 x dnw)
+          in
+          let mf = vf *. (get t.density1 x don +. lim_d) in
+          set t.mass_flux_y x y mf;
+          let sigmam = Float.abs mf /. (get t.density1 x don *. pre_don) in
+          let lim_e =
+            Kernels.van_leer_limited ~sigma:sigmam ~upwind:(get t.energy1 x upw)
+              ~donor:(get t.energy1 x don) ~downwind:(get t.energy1 x dnw)
+          in
+          set t.ener_flux_y x y (mf *. (get t.energy1 x don +. lim_e)))
+      done
+    done;
+    for y = 0 to t.ny - 1 do
+      for x = 0 to t.nx - 1 do
+        let pre_vol = get t.pre_vol x y and post_vol = get t.post_vol x y in
+        let pre_mass = get t.density1 x y *. pre_vol in
+        let post_mass = pre_mass +. get t.mass_flux_y x y -. get t.mass_flux_y x (y + 1) in
+        let post_ener =
+          ((get t.energy1 x y *. pre_mass) +. get t.ener_flux_y x y
+           -. get t.ener_flux_y x (y + 1))
+          /. post_mass
+        in
+        set t.density1 x y (post_mass /. post_vol);
+        set t.energy1 x y post_ener
+      done
+    done);
+  mirror_thermo t
+
+let advec_mom_sweep t ~dir =
+  let vol = volume t in
+  (* Stage 1: plane fluxes at nodes. *)
+  for y = 0 to t.ny do
+    for x = 0 to t.nx do
+      let f =
+        match dir with
+        | `X -> 0.5 *. (get t.mass_flux_x x (y - 1) +. get t.mass_flux_x x y)
+        | `Y -> 0.5 *. (get t.mass_flux_y (x - 1) y +. get t.mass_flux_y x y)
+      in
+      set t.node_flux x y f
+    done
+  done;
+  (* Stage 2: post-advection nodal mass. *)
+  for y = 0 to t.ny do
+    for x = 0 to t.nx do
+      let d p q = get t.density1 (x + p) (y + q) in
+      set t.node_mass_post x y
+        (0.25 *. (d (-1) (-1) +. d 0 (-1) +. d (-1) 0 +. d 0 0) *. vol)
+    done
+  done;
+  (* Stages 3-4 per velocity component. *)
+  List.iter
+    (fun vel ->
+      for y = 0 to t.ny do
+        for x = 0 to t.nx do
+          let f = get t.node_flux x y in
+          let upwind =
+            match dir with
+            | `X -> if f > 0.0 then get vel (x - 1) y else get vel x y
+            | `Y -> if f > 0.0 then get vel x (y - 1) else get vel x y
+          in
+          set t.mom_flux x y (f *. upwind)
+        done
+      done;
+      for y = 0 to t.ny do
+        for x = 0 to t.nx do
+          let nf0 = get t.node_flux x y in
+          let nf1, mf0, mf1 =
+            match dir with
+            | `X -> (get t.node_flux (x + 1) y, get t.mom_flux x y, get t.mom_flux (x + 1) y)
+            | `Y -> (get t.node_flux x (y + 1), get t.mom_flux x y, get t.mom_flux x (y + 1))
+          in
+          let mass_post = get t.node_mass_post x y in
+          let mass_pre = mass_post +. nf1 -. nf0 in
+          set vel x y (((get vel x y *. mass_pre) +. mf0 -. mf1) /. mass_post)
+        done
+      done)
+    [ t.xvel1; t.yvel1 ];
+  mirror_velocities t
+
+let reset_field t =
+  let copy src dst =
+    Array.blit src.a 0 dst.a 0 (Array.length src.a)
+  in
+  copy t.density1 t.density0;
+  copy t.energy1 t.energy0;
+  copy t.xvel1 t.xvel0;
+  copy t.yvel1 t.yvel0
+
+let hydro_step t =
+  ideal_gas t ~predict:false;
+  viscosity_step t;
+  timestep t;
+  pdv t ~predict:true;
+  ideal_gas t ~predict:true;
+  accelerate t;
+  pdv t ~predict:false;
+  flux_calc t;
+  advec_cell_sweep t ~dir:`X;
+  advec_cell_sweep t ~dir:`Y;
+  advec_mom_sweep t ~dir:`X;
+  advec_mom_sweep t ~dir:`Y;
+  reset_field t;
+  t.dt
+
+let field_summary t =
+  let vol = volume t in
+  let sums = Array.make 5 0.0 in
+  for y = 0 to t.ny - 1 do
+    for x = 0 to t.nx - 1 do
+      let density = get t.density0 x y in
+      let energy = get t.energy0 x y in
+      let pressure = get t.pressure x y in
+      let xv p q = get t.xvel0 (x + p) (y + q) and yv p q = get t.yvel0 (x + p) (y + q) in
+      let sq v = v *. v in
+      let vsqrd =
+        0.25
+        *. ((sq (xv 0 0) +. sq (xv 1 0) +. sq (xv 0 1) +. sq (xv 1 1))
+            +. (sq (yv 0 0) +. sq (yv 1 0) +. sq (yv 0 1) +. sq (yv 1 1)))
+      in
+      let cell_mass = density *. vol in
+      sums.(0) <- sums.(0) +. vol;
+      sums.(1) <- sums.(1) +. cell_mass;
+      sums.(2) <- sums.(2) +. (cell_mass *. energy);
+      sums.(3) <- sums.(3) +. (0.5 *. cell_mass *. vsqrd);
+      sums.(4) <- sums.(4) +. (vol *. pressure)
+    done
+  done;
+  {
+    App.vol = sums.(0);
+    mass = sums.(1);
+    ie = sums.(2);
+    ke = sums.(3);
+    press = sums.(4);
+  }
+
+let run t ~steps =
+  for _ = 1 to steps do
+    ignore (hydro_step t)
+  done;
+  field_summary t
+
+let density t =
+  let out = Array.make (t.nx * t.ny) 0.0 in
+  for y = 0 to t.ny - 1 do
+    for x = 0 to t.nx - 1 do
+      out.((y * t.nx) + x) <- get t.density0 x y
+    done
+  done;
+  out

@@ -1,0 +1,337 @@
+(* CloverLeaf 2D kernels.
+
+   A compressible-Euler hydrodynamics cycle on a staggered structured grid,
+   following the published CloverLeaf mini-app: thermodynamics on cell
+   centres, velocities on nodes, fluxes on faces; a Lagrangian step (PdV +
+   acceleration) followed by first-order donor-cell advection sweeps and a
+   field reset.  Slope limiters of the original are omitted (first-order
+   upwind donor cell), which keeps the scheme robust and preserves the
+   loop/stencil structure the paper's evaluation depends on.
+
+   Kernels receive staging buffers gathered through their declared stencils
+   (point-major: buf.(p*dim + c)); the stencil orders are documented with
+   each kernel and fixed in [App].  The same functions are reused by the
+   hand-coded baseline. *)
+
+let gamma = 1.4
+
+(* EoS: p = (gamma-1) * rho * e, soundspeed^2 = gamma * p / rho.
+   args: density(R), energy(R), pressure(W), soundspeed(W) — all centre. *)
+let ideal_gas args =
+  let density = args.(0).(0) and energy = args.(1).(0) in
+  let p = (gamma -. 1.0) *. density *. energy in
+  args.(2).(0) <- p;
+  args.(3).(0) <- sqrt (gamma *. p /. density)
+
+let ideal_gas_info = { Am_core.Descr.flops = 5.0; transcendentals = 1.0 }
+
+(* Artificial viscosity on compressing cells.
+   args:
+     0 xvel0   quad stencil [(0,0);(1,0);(0,1);(1,1)] (nodes around cell)
+     1 yvel0   same stencil
+     2 density (R, centre)
+     3 viscosity (W, centre)
+     4 celldims (R gbl: [dx; dy]) *)
+let viscosity args =
+  let xv = args.(0) and yv = args.(1) in
+  let density = args.(2).(0) in
+  let dx = args.(4).(0) and dy = args.(4).(1) in
+  (* Velocity divergence from the four corner nodes. *)
+  let ugrad = 0.5 *. ((xv.(1) +. xv.(3)) -. (xv.(0) +. xv.(2))) /. dx in
+  let vgrad = 0.5 *. ((yv.(2) +. yv.(3)) -. (yv.(0) +. yv.(1))) /. dy in
+  let div = ugrad +. vgrad in
+  if div < 0.0 then begin
+    let length = Float.min dx dy in
+    args.(3).(0) <- 2.0 *. density *. (div *. length) *. (div *. length)
+  end
+  else args.(3).(0) <- 0.0
+
+let viscosity_info = { Am_core.Descr.flops = 14.0; transcendentals = 0.0 }
+
+(* Per-cell stable timestep (min reduction).
+   args:
+     0 soundspeed (R, centre)
+     1 viscosity (R, centre)
+     2 density (R, centre)
+     3 xvel0 quad, 4 yvel0 quad
+     5 celldims (R gbl)
+     6 dt_min (Min gbl) *)
+let calc_dt args =
+  let ss = args.(0).(0) and visc = args.(1).(0) and density = args.(2).(0) in
+  let xv = args.(3) and yv = args.(4) in
+  let dx = args.(5).(0) and dy = args.(5).(1) in
+  let u = 0.25 *. (xv.(0) +. xv.(1) +. xv.(2) +. xv.(3)) in
+  let v = 0.25 *. (yv.(0) +. yv.(1) +. yv.(2) +. yv.(3)) in
+  (* Effective signal speed includes the viscous pressure. *)
+  let ss_eff = sqrt ((ss *. ss) +. (2.0 *. visc /. density)) in
+  let dtx = dx /. (ss_eff +. Float.abs u) in
+  let dty = dy /. (ss_eff +. Float.abs v) in
+  let dt = 0.5 *. Float.min dtx dty in
+  args.(6).(0) <- Float.min args.(6).(0) dt
+
+let calc_dt_info = { Am_core.Descr.flops = 18.0; transcendentals = 1.0 }
+
+(* PdV compression/expansion work (predictor and corrector share this
+   kernel: the predictor passes the time-level-0 velocities twice with half
+   the timestep, the corrector both levels with the full timestep — exactly
+   as CloverLeaf does).  The corrector's face fluxes equal flux_calc's
+   volume fluxes, which is what makes the following advection remap conserve
+   mass exactly.
+   args:
+     0 xvel0 quad stencil [(0,0);(1,0);(0,1);(1,1)], 1 yvel0 quad
+     2 xvel1 quad, 3 yvel1 quad
+     4 density0 (R), 5 energy0 (R), 6 pressure (R), 7 viscosity (R)
+     8 density1 (W), 9 energy1 (W)
+     10 consts (R gbl: [dx; dy; dt_effective; volume]) *)
+let pdv args =
+  let xv0 = args.(0) and yv0 = args.(1) and xv1 = args.(2) and yv1 = args.(3) in
+  let density0 = args.(4).(0) and energy0 = args.(5).(0) in
+  let pressure = args.(6).(0) and visc = args.(7).(0) in
+  let dx = args.(10).(0) and dy = args.(10).(1) in
+  let dt = args.(10).(2) and volume = args.(10).(3) in
+  (* Face fluxes from time-averaged nodal velocities; xarea = dy, yarea = dx
+     on a uniform grid. *)
+  let left = dy *. (0.25 *. (xv0.(0) +. xv0.(2) +. xv1.(0) +. xv1.(2))) *. dt in
+  let right = dy *. (0.25 *. (xv0.(1) +. xv0.(3) +. xv1.(1) +. xv1.(3))) *. dt in
+  let bottom = dx *. (0.25 *. (yv0.(0) +. yv0.(1) +. yv1.(0) +. yv1.(1))) *. dt in
+  let top = dx *. (0.25 *. (yv0.(2) +. yv0.(3) +. yv1.(2) +. yv1.(3))) *. dt in
+  let total_flux = right -. left +. top -. bottom in
+  let volume_change = volume /. (volume +. total_flux) in
+  let energy_change = (pressure +. visc) /. density0 *. total_flux /. volume in
+  args.(9).(0) <- energy0 -. energy_change;
+  args.(8).(0) <- density0 *. volume_change
+
+let pdv_info = { Am_core.Descr.flops = 30.0; transcendentals = 0.0 }
+
+(* Nodal acceleration from pressure and viscosity gradients.
+   args:
+     0 density0  cell quad around node: [(-1,-1);(0,-1);(-1,0);(0,0)]
+     1 pressure  same stencil
+     2 viscosity same stencil
+     3 xvel0 (R, centre), 4 yvel0 (R, centre)
+     5 xvel1 (W, centre), 6 yvel1 (W, centre)
+     7 consts (R gbl: [dx; dy; dt; volume]) *)
+let accelerate args =
+  let d = args.(0) and p = args.(1) and q = args.(2) in
+  let dx = args.(7).(0) and dy = args.(7).(1) in
+  let dt = args.(7).(2) and volume = args.(7).(3) in
+  let nodal_mass = 0.25 *. (d.(0) +. d.(1) +. d.(2) +. d.(3)) *. volume in
+  let stepbymass = 0.5 *. dt /. nodal_mass in
+  (* Pressure difference across the node in x: right cells minus left. *)
+  let fx pr = ((pr.(1) +. pr.(3)) -. (pr.(0) +. pr.(2))) *. 0.5 *. dy in
+  let fy pr = ((pr.(2) +. pr.(3)) -. (pr.(0) +. pr.(1))) *. 0.5 *. dx in
+  args.(5).(0) <- args.(3).(0) -. (stepbymass *. (fx p +. fx q));
+  args.(6).(0) <- args.(4).(0) -. (stepbymass *. (fy p +. fy q))
+
+let accelerate_info = { Am_core.Descr.flops = 24.0; transcendentals = 0.0 }
+
+(* Volume fluxes through x-faces from time-averaged velocities.
+   args:
+     0 xvel0 [(0,0);(0,1)] (nodes on the face)
+     1 xvel1 same
+     2 vol_flux_x (W, centre)
+     3 consts (R gbl: [dx; dy; dt]) *)
+let flux_calc_x args =
+  let xv0 = args.(0) and xv1 = args.(1) in
+  let dy = args.(3).(1) and dt = args.(3).(2) in
+  args.(2).(0) <- 0.25 *. dt *. dy *. (xv0.(0) +. xv0.(1) +. xv1.(0) +. xv1.(1))
+
+(* args mirror flux_calc_x with yvel and [(0,0);(1,0)]. *)
+let flux_calc_y args =
+  let yv0 = args.(0) and yv1 = args.(1) in
+  let dx = args.(3).(0) and dt = args.(3).(2) in
+  args.(2).(0) <- 0.25 *. dt *. dx *. (yv0.(0) +. yv0.(1) +. yv1.(0) +. yv1.(1))
+
+let flux_calc_info = { Am_core.Descr.flops = 6.0; transcendentals = 0.0 }
+
+(* Advection sweep volumes.
+   x-sweep (first): pre_vol = V + net volume flux of both directions,
+   post_vol = pre_vol - net x flux.
+   args:
+     0 vol_flux_x [(0,0);(1,0)]
+     1 vol_flux_y [(0,0);(0,1)]
+     2 pre_vol (W, centre), 3 post_vol (W, centre)
+     4 consts (R gbl: [volume]) *)
+let advec_vol_x args =
+  let vfx = args.(0) and vfy = args.(1) in
+  let volume = args.(4).(0) in
+  let net_x = vfx.(1) -. vfx.(0) in
+  let net_y = vfy.(1) -. vfy.(0) in
+  let pre = volume +. net_x +. net_y in
+  args.(2).(0) <- pre;
+  args.(3).(0) <- pre -. net_x
+
+(* y-sweep (second): only the y flux remains. *)
+let advec_vol_y args =
+  let vfy = args.(1) in
+  let volume = args.(4).(0) in
+  let net_y = vfy.(1) -. vfy.(0) in
+  args.(2).(0) <- volume +. net_y;
+  args.(3).(0) <- volume
+
+let advec_vol_info = { Am_core.Descr.flops = 6.0; transcendentals = 0.0 }
+
+(* Donor-cell mass and energy fluxes through x-faces.
+   args:
+     0 vol_flux_x (R, centre on faces)
+     1 density1 [(-1,0);(0,0)] (left and right cells of the face)
+     2 energy1  same
+     3 mass_flux_x (W, centre)
+     4 ener_flux_x (W, centre) *)
+let advec_flux_x args =
+  let vf = args.(0).(0) in
+  let d = args.(1) and e = args.(2) in
+  let donor = if vf > 0.0 then 0 else 1 in
+  let mf = vf *. d.(donor) in
+  args.(3).(0) <- mf;
+  args.(4).(0) <- mf *. e.(donor)
+
+(* Same through y-faces; density/energy stencil [(0,-1);(0,0)]. *)
+let advec_flux_y = advec_flux_x
+
+let advec_flux_info = { Am_core.Descr.flops = 4.0; transcendentals = 0.0 }
+
+(* Cell update of an advection sweep.
+   args:
+     0 mass_flux [(0,0);(1,0)] (x) or [(0,0);(0,1)] (y)
+     1 ener_flux same
+     2 pre_vol (R, centre), 3 post_vol (R, centre)
+     4 density1 (Rw, centre), 5 energy1 (Rw, centre) *)
+let advec_cell args =
+  let mf = args.(0) and ef = args.(1) in
+  let pre_vol = args.(2).(0) and post_vol = args.(3).(0) in
+  let density = args.(4) and energy = args.(5) in
+  let pre_mass = density.(0) *. pre_vol in
+  let post_mass = pre_mass +. mf.(0) -. mf.(1) in
+  let post_ener = ((energy.(0) *. pre_mass) +. ef.(0) -. ef.(1)) /. post_mass in
+  density.(0) <- post_mass /. post_vol;
+  energy.(0) <- post_ener
+
+let advec_cell_info = { Am_core.Descr.flops = 10.0; transcendentals = 0.0 }
+
+(* Momentum advection, stage 1: mass flux through the "left" face of each
+   node's control volume (x direction shown; y swaps roles).
+   args:
+     0 mass_flux_x [(0,-1);(0,0)] (the two face fluxes beside the node)
+     1 node_flux (W, centre on nodes) *)
+let mom_node_flux args =
+  args.(1).(0) <- 0.5 *. (args.(0).(0) +. args.(0).(1))
+
+(* Stage 2: post-advection nodal mass.
+   args:
+     0 density1 cell quad around node [(-1,-1);(0,-1);(-1,0);(0,0)]
+     1 node_mass_post (W, centre)
+     2 consts (R gbl: [volume]) *)
+let mom_node_mass args =
+  let d = args.(0) in
+  args.(1).(0) <- 0.25 *. (d.(0) +. d.(1) +. d.(2) +. d.(3)) *. args.(2).(0)
+
+(* Stage 3: upwinded momentum flux through the node CV's left face.
+   args:
+     0 node_flux (R, centre)
+     1 vel [(-1,0);(0,0)] (x) or [(0,-1);(0,0)] (y)
+     2 mom_flux (W, centre) *)
+let mom_flux args =
+  let f = args.(0).(0) in
+  let v = args.(1) in
+  let upwind = if f > 0.0 then 0 else 1 in
+  args.(2).(0) <- f *. v.(upwind)
+
+(* Stage 4: velocity update.
+   args:
+     0 node_flux [(0,0);(1,0)] (x) or [(0,0);(0,1)] (y)
+     1 mom_flux same
+     2 node_mass_post (R, centre)
+     3 vel (Rw, centre) *)
+let mom_vel args =
+  let nf = args.(0) and mf = args.(1) in
+  let mass_post = args.(2).(0) in
+  let vel = args.(3) in
+  (* Mass before this sweep's advection: post + net outflow. *)
+  let mass_pre = mass_post +. nf.(1) -. nf.(0) in
+  vel.(0) <- ((vel.(0) *. mass_pre) +. mf.(0) -. mf.(1)) /. mass_post
+
+let advec_mom_info = { Am_core.Descr.flops = 8.0; transcendentals = 0.0 }
+
+(* reset_field: copy the time levels back. args: src (R), dst (W). *)
+let reset_field args = args.(1).(0) <- args.(0).(0)
+
+let reset_field_info = { Am_core.Descr.flops = 0.0; transcendentals = 0.0 }
+
+(* field_summary reductions.
+   args:
+     0 density0 (R), 1 energy0 (R), 2 pressure (R)
+     3 xvel0 quad (nodes around cell), 4 yvel0 quad
+     5 consts (R gbl: [volume])
+     6 sums (Inc gbl: [vol; mass; internal energy; kinetic energy; pressure]) *)
+let field_summary args =
+  let density = args.(0).(0) and energy = args.(1).(0) and pressure = args.(2).(0) in
+  let xv = args.(3) and yv = args.(4) in
+  let volume = args.(5).(0) in
+  let sums = args.(6) in
+  let vsqrd =
+    0.25
+    *. (((xv.(0) *. xv.(0)) +. (xv.(1) *. xv.(1)) +. (xv.(2) *. xv.(2))
+         +. (xv.(3) *. xv.(3)))
+        +. ((yv.(0) *. yv.(0)) +. (yv.(1) *. yv.(1)) +. (yv.(2) *. yv.(2))
+            +. (yv.(3) *. yv.(3))))
+  in
+  let cell_mass = density *. volume in
+  sums.(0) <- sums.(0) +. volume;
+  sums.(1) <- sums.(1) +. cell_mass;
+  sums.(2) <- sums.(2) +. (cell_mass *. energy);
+  sums.(3) <- sums.(3) +. (0.5 *. cell_mass *. vsqrd);
+  sums.(4) <- sums.(4) +. (volume *. pressure)
+
+let field_summary_info = { Am_core.Descr.flops = 26.0; transcendentals = 0.0 }
+
+(* ---- Second-order (van Leer) advection --------------------------------- *)
+
+(* The published CloverLeaf uses van Leer slope limiting on its donor-cell
+   fluxes; the first-order kernels above keep the same loop structure with
+   the limiter dropped.  Both are selectable in [App] (the ablation harness
+   compares them). Uniform grid: the vertex-spacing ratios of the original
+   reduce to 1. *)
+let van_leer_limited ~sigma ~upwind ~donor ~downwind =
+  let diffuw = donor -. upwind in
+  let diffdw = downwind -. donor in
+  if diffuw *. diffdw > 0.0 then begin
+    let sigma3 = 1.0 +. sigma in
+    let sigma4 = 2.0 -. sigma in
+    let magnitude =
+      Float.min
+        (Float.min (Float.abs diffuw) (Float.abs diffdw))
+        (((sigma3 *. Float.abs diffuw) +. (sigma4 *. Float.abs diffdw)) /. 6.0)
+    in
+    (1.0 -. sigma) *. (if diffdw >= 0.0 then magnitude else -.magnitude)
+  end
+  else 0.0
+
+(* Van Leer donor fluxes through x-faces.
+   args:
+     0 vol_flux_x (R, centre on faces)
+     1 density1 [(-2,0);(-1,0);(0,0);(1,0)]
+     2 energy1  same
+     3 pre_vol  [(-1,0);(0,0)] (donor candidates)
+     4 mass_flux_x (W), 5 ener_flux_x (W)
+   The same function serves the y direction with the stencils rotated. *)
+let advec_flux_vanleer args =
+  let vf = args.(0).(0) in
+  let d = args.(1) and e = args.(2) and pv = args.(3) in
+  (* Buffer points: 0 = -2, 1 = -1, 2 = 0, 3 = +1 (in the sweep axis). *)
+  let upw, don, dnw, pre_don =
+    if vf > 0.0 then (0, 1, 2, pv.(0)) else (3, 2, 1, pv.(1))
+  in
+  let sigmat = Float.abs vf /. pre_don in
+  let lim_d =
+    van_leer_limited ~sigma:sigmat ~upwind:d.(upw) ~donor:d.(don) ~downwind:d.(dnw)
+  in
+  let mf = vf *. (d.(don) +. lim_d) in
+  args.(4).(0) <- mf;
+  let sigmam = Float.abs mf /. (d.(don) *. pre_don) in
+  let lim_e =
+    van_leer_limited ~sigma:sigmam ~upwind:e.(upw) ~donor:e.(don) ~downwind:e.(dnw)
+  in
+  args.(5).(0) <- mf *. (e.(don) +. lim_e)
+
+let advec_flux_vanleer_info = { Am_core.Descr.flops = 34.0; transcendentals = 0.0 }

@@ -1,0 +1,1 @@
+lib/apps_cloverleaf3/app.ml: Am_core Am_ops Array Float List

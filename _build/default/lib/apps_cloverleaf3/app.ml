@@ -1,0 +1,610 @@
+(* CloverLeaf 3D on the Ops3 API.
+
+   The three-dimensional variant of the hydro scheme in
+   [Am_cloverleaf.App]: compressible Euler on a staggered grid —
+   thermodynamics on cell centres, velocities on nodes, fluxes on faces —
+   with the same predictor/corrector PdV step and first-order donor-cell
+   advection, extended to three sweep directions.  The PdV corrector's face
+   fluxes equal flux_calc's volume fluxes, so the advection remap conserves
+   mass exactly, as in 2D.
+
+   Kernel buffer layouts are documented inline; the octant stencils list
+   the 8 nodes of a cell (s_oct_up, offsets in {0,1}^3) or the 8 cells
+   around a node (s_oct_down, offsets in {-1,0}^3), ordered x fastest. *)
+
+module Ops3 = Am_ops.Ops3
+module Access = Am_core.Access
+
+let gamma = 1.4
+
+type t = {
+  ctx : Ops3.ctx;
+  grid : Ops3.block;
+  nx : int;
+  ny : int;
+  nz : int;
+  dx : float;
+  dy : float;
+  dz : float;
+  (* cells *)
+  density0 : Ops3.dat;
+  density1 : Ops3.dat;
+  energy0 : Ops3.dat;
+  energy1 : Ops3.dat;
+  pressure : Ops3.dat;
+  viscosity : Ops3.dat;
+  soundspeed : Ops3.dat;
+  pre_vol : Ops3.dat;
+  post_vol : Ops3.dat;
+  (* nodes *)
+  xvel0 : Ops3.dat;
+  xvel1 : Ops3.dat;
+  yvel0 : Ops3.dat;
+  yvel1 : Ops3.dat;
+  zvel0 : Ops3.dat;
+  zvel1 : Ops3.dat;
+  node_flux : Ops3.dat;
+  node_mass_post : Ops3.dat;
+  mom_flux : Ops3.dat;
+  (* faces *)
+  vol_flux_x : Ops3.dat;
+  mass_flux_x : Ops3.dat;
+  ener_flux_x : Ops3.dat;
+  vol_flux_y : Ops3.dat;
+  mass_flux_y : Ops3.dat;
+  ener_flux_y : Ops3.dat;
+  vol_flux_z : Ops3.dat;
+  mass_flux_z : Ops3.dat;
+  ener_flux_z : Ops3.dat;
+  mutable dt : float;
+}
+
+let domain_size = 10.0
+let state2_extent = 5.0
+
+let initial_density x y z =
+  if x < state2_extent && y < state2_extent && z < state2_extent then 1.0 else 0.2
+
+let initial_energy x y z =
+  if x < state2_extent && y < state2_extent && z < state2_extent then 2.5 else 1.0
+
+(* Stencils (x fastest, then y, then z). *)
+let s_pt = Ops3.stencil_point
+
+let s_oct_up : Ops3.stencil =
+  [| (0, 0, 0); (1, 0, 0); (0, 1, 0); (1, 1, 0);
+     (0, 0, 1); (1, 0, 1); (0, 1, 1); (1, 1, 1) |]
+
+let s_oct_down : Ops3.stencil =
+  [| (-1, -1, -1); (0, -1, -1); (-1, 0, -1); (0, 0, -1);
+     (-1, -1, 0); (0, -1, 0); (-1, 0, 0); (0, 0, 0) |]
+
+let s_p1x : Ops3.stencil = [| (0, 0, 0); (1, 0, 0) |]
+let s_p1y : Ops3.stencil = [| (0, 0, 0); (0, 1, 0) |]
+let s_p1z : Ops3.stencil = [| (0, 0, 0); (0, 0, 1) |]
+let s_m1x : Ops3.stencil = [| (-1, 0, 0); (0, 0, 0) |]
+let s_m1y : Ops3.stencil = [| (0, -1, 0); (0, 0, 0) |]
+let s_m1z : Ops3.stencil = [| (0, 0, -1); (0, 0, 0) |]
+
+(* Nodes of the faces of a node-octant, by axis: indices into s_oct_up with
+   offset 0 / 1 on that axis. *)
+let face_lo axis =
+  match axis with
+  | `X -> [| 0; 2; 4; 6 |]
+  | `Y -> [| 0; 1; 4; 5 |]
+  | `Z -> [| 0; 1; 2; 3 |]
+
+let face_hi axis =
+  match axis with
+  | `X -> [| 1; 3; 5; 7 |]
+  | `Y -> [| 2; 3; 6; 7 |]
+  | `Z -> [| 4; 5; 6; 7 |]
+
+let sum4 buf idx = buf.(idx.(0)) +. buf.(idx.(1)) +. buf.(idx.(2)) +. buf.(idx.(3))
+
+let create ?backend ~n () =
+  let nx = n and ny = n and nz = n in
+  let ctx = Ops3.create ?backend () in
+  let grid = Ops3.decl_block ctx ~name:"clover3_grid" in
+  let cell name =
+    Ops3.decl_dat ctx ~name ~block:grid ~xsize:nx ~ysize:ny ~zsize:nz ~halo:2 ()
+  in
+  let node name =
+    Ops3.decl_dat ctx ~name ~block:grid ~xsize:(nx + 1) ~ysize:(ny + 1)
+      ~zsize:(nz + 1) ~halo:2 ()
+  in
+  let face ax =
+    let sx, sy, sz =
+      match ax with
+      | `X -> (nx + 1, ny, nz)
+      | `Y -> (nx, ny + 1, nz)
+      | `Z -> (nx, ny, nz + 1)
+    in
+    fun name ->
+      Ops3.decl_dat ctx ~name ~block:grid ~xsize:sx ~ysize:sy ~zsize:sz ~halo:2 ()
+  in
+  let t =
+    {
+      ctx;
+      grid;
+      nx;
+      ny;
+      nz;
+      dx = domain_size /. Float.of_int nx;
+      dy = domain_size /. Float.of_int ny;
+      dz = domain_size /. Float.of_int nz;
+      density0 = cell "density0";
+      density1 = cell "density1";
+      energy0 = cell "energy0";
+      energy1 = cell "energy1";
+      pressure = cell "pressure";
+      viscosity = cell "viscosity";
+      soundspeed = cell "soundspeed";
+      pre_vol = cell "pre_vol";
+      post_vol = cell "post_vol";
+      xvel0 = node "xvel0";
+      xvel1 = node "xvel1";
+      yvel0 = node "yvel0";
+      yvel1 = node "yvel1";
+      zvel0 = node "zvel0";
+      zvel1 = node "zvel1";
+      node_flux = node "node_flux";
+      node_mass_post = node "node_mass_post";
+      mom_flux = node "mom_flux";
+      vol_flux_x = face `X "vol_flux_x";
+      mass_flux_x = face `X "mass_flux_x";
+      ener_flux_x = face `X "ener_flux_x";
+      vol_flux_y = face `Y "vol_flux_y";
+      mass_flux_y = face `Y "mass_flux_y";
+      ener_flux_y = face `Y "ener_flux_y";
+      vol_flux_z = face `Z "vol_flux_z";
+      mass_flux_z = face `Z "mass_flux_z";
+      ener_flux_z = face `Z "ener_flux_z";
+      dt = 0.0;
+    }
+  in
+  Ops3.init ctx t.density0 (fun cx cy cz _ ->
+      initial_density
+        ((Float.of_int cx +. 0.5) *. t.dx)
+        ((Float.of_int cy +. 0.5) *. t.dy)
+        ((Float.of_int cz +. 0.5) *. t.dz));
+  Ops3.init ctx t.energy0 (fun cx cy cz _ ->
+      initial_energy
+        ((Float.of_int cx +. 0.5) *. t.dx)
+        ((Float.of_int cy +. 0.5) *. t.dy)
+        ((Float.of_int cz +. 0.5) *. t.dz));
+  t
+
+let volume t = t.dx *. t.dy *. t.dz
+
+let cells t : Ops3.range =
+  { xlo = 0; xhi = t.nx; ylo = 0; yhi = t.ny; zlo = 0; zhi = t.nz }
+
+let nodes t : Ops3.range =
+  { xlo = 0; xhi = t.nx + 1; ylo = 0; yhi = t.ny + 1; zlo = 0; zhi = t.nz + 1 }
+
+let faces t ax : Ops3.range =
+  match ax with
+  | `X -> { (cells t) with xhi = t.nx + 1 }
+  | `Y -> { (cells t) with yhi = t.ny + 1 }
+  | `Z -> { (cells t) with zhi = t.nz + 1 }
+
+let cells_ext t : Ops3.range =
+  { xlo = -2; xhi = t.nx + 2; ylo = -2; yhi = t.ny + 2; zlo = -2; zhi = t.nz + 2 }
+
+let nodes_ext t : Ops3.range =
+  { xlo = -2; xhi = t.nx + 3; ylo = -2; yhi = t.ny + 3; zlo = -2; zhi = t.nz + 3 }
+
+let mirror_thermo t =
+  List.iter (fun d -> Ops3.mirror_halo t.ctx d) [ t.density1; t.energy1 ]
+
+let zero_kernel args = args.(0).(0) <- 0.0
+
+(* Free-slip walls: zero the velocity component normal to each boundary node
+   plane. *)
+let wall_velocities t =
+  let zero dat range =
+    Ops3.par_loop t.ctx ~name:"wall" t.grid range
+      [ Ops3.arg_dat dat s_pt Access.Write ]
+      zero_kernel
+  in
+  let all = nodes t in
+  zero t.xvel1 { all with xhi = 1 };
+  zero t.xvel1 { all with xlo = t.nx };
+  zero t.yvel1 { all with yhi = 1 };
+  zero t.yvel1 { all with ylo = t.ny };
+  zero t.zvel1 { all with zhi = 1 };
+  zero t.zvel1 { all with zlo = t.nz }
+
+let mirror_velocities t =
+  wall_velocities t;
+  let node = Ops3.Node in
+  Ops3.mirror_halo t.ctx t.xvel1 ~sign_x:(-1.0) ~center_x:node ~center_y:node
+    ~center_z:node;
+  Ops3.mirror_halo t.ctx t.yvel1 ~sign_y:(-1.0) ~center_x:node ~center_y:node
+    ~center_z:node;
+  Ops3.mirror_halo t.ctx t.zvel1 ~sign_z:(-1.0) ~center_x:node ~center_y:node
+    ~center_z:node
+
+let ideal_gas t ~predict =
+  let density = if predict then t.density1 else t.density0 in
+  let energy = if predict then t.energy1 else t.energy0 in
+  Ops3.par_loop t.ctx ~name:"ideal_gas" t.grid (cells t)
+    [
+      Ops3.arg_dat density s_pt Access.Read;
+      Ops3.arg_dat energy s_pt Access.Read;
+      Ops3.arg_dat t.pressure s_pt Access.Write;
+      Ops3.arg_dat t.soundspeed s_pt Access.Write;
+    ]
+    (fun a ->
+      let d = a.(0).(0) and e = a.(1).(0) in
+      let p = (gamma -. 1.0) *. d *. e in
+      a.(2).(0) <- p;
+      a.(3).(0) <- sqrt (gamma *. p /. d));
+  Ops3.mirror_halo t.ctx t.pressure;
+  Ops3.mirror_halo t.ctx t.soundspeed
+
+let viscosity_step t =
+  let dims = [| t.dx; t.dy; t.dz |] in
+  Ops3.par_loop t.ctx ~name:"viscosity" t.grid (cells t)
+    [
+      Ops3.arg_dat t.xvel0 s_oct_up Access.Read;
+      Ops3.arg_dat t.yvel0 s_oct_up Access.Read;
+      Ops3.arg_dat t.zvel0 s_oct_up Access.Read;
+      Ops3.arg_dat t.density0 s_pt Access.Read;
+      Ops3.arg_dat t.viscosity s_pt Access.Write;
+      Ops3.arg_gbl ~name:"dims" dims Access.Read;
+    ]
+    (fun a ->
+      let dx = a.(5).(0) and dy = a.(5).(1) and dz = a.(5).(2) in
+      let grad buf ax d = 0.25 *. (sum4 buf (face_hi ax) -. sum4 buf (face_lo ax)) /. d in
+      let div = grad a.(0) `X dx +. grad a.(1) `Y dy +. grad a.(2) `Z dz in
+      if div < 0.0 then begin
+        let length = Float.min dx (Float.min dy dz) in
+        a.(4).(0) <- 2.0 *. a.(3).(0) *. (div *. length) *. (div *. length)
+      end
+      else a.(4).(0) <- 0.0);
+  Ops3.mirror_halo t.ctx t.viscosity
+
+let timestep t =
+  let dims = [| t.dx; t.dy; t.dz |] in
+  let dt_min = [| 0.04 |] in
+  Ops3.par_loop t.ctx ~name:"calc_dt" t.grid (cells t)
+    [
+      Ops3.arg_dat t.soundspeed s_pt Access.Read;
+      Ops3.arg_dat t.viscosity s_pt Access.Read;
+      Ops3.arg_dat t.density0 s_pt Access.Read;
+      Ops3.arg_dat t.xvel0 s_oct_up Access.Read;
+      Ops3.arg_dat t.yvel0 s_oct_up Access.Read;
+      Ops3.arg_dat t.zvel0 s_oct_up Access.Read;
+      Ops3.arg_gbl ~name:"dims" dims Access.Read;
+      Ops3.arg_gbl ~name:"dt" dt_min Access.Min;
+    ]
+    (fun a ->
+      let ss = a.(0).(0) and visc = a.(1).(0) and density = a.(2).(0) in
+      let dx = a.(6).(0) and dy = a.(6).(1) and dz = a.(6).(2) in
+      let avg buf =
+        0.125
+        *. (buf.(0) +. buf.(1) +. buf.(2) +. buf.(3) +. buf.(4) +. buf.(5) +. buf.(6)
+            +. buf.(7))
+      in
+      let ss_eff = sqrt ((ss *. ss) +. (2.0 *. visc /. density)) in
+      let bound v d = d /. (ss_eff +. Float.abs v) in
+      let dt =
+        0.5
+        *. Float.min
+             (bound (avg a.(3)) dx)
+             (Float.min (bound (avg a.(4)) dy) (bound (avg a.(5)) dz))
+      in
+      a.(7).(0) <- Float.min a.(7).(0) dt);
+  t.dt <- dt_min.(0)
+
+(* Time-averaged face flux of the PdV/flux_calc pair: the shared formula
+   guarantees exact mass conservation of the remap. *)
+let face_flux ~area ~dt v0 v1 idx = area *. 0.125 *. (sum4 v0 idx +. sum4 v1 idx) *. dt
+
+let pdv t ~predict =
+  let xv1 = if predict then t.xvel0 else t.xvel1 in
+  let yv1 = if predict then t.yvel0 else t.yvel1 in
+  let zv1 = if predict then t.zvel0 else t.zvel1 in
+  let dt_eff = if predict then 0.5 *. t.dt else t.dt in
+  let consts = [| t.dx; t.dy; t.dz; dt_eff; volume t |] in
+  Ops3.par_loop t.ctx
+    ~name:(if predict then "PdV_predict" else "PdV")
+    t.grid (cells t)
+    [
+      Ops3.arg_dat t.xvel0 s_oct_up Access.Read;
+      Ops3.arg_dat t.yvel0 s_oct_up Access.Read;
+      Ops3.arg_dat t.zvel0 s_oct_up Access.Read;
+      Ops3.arg_dat xv1 s_oct_up Access.Read;
+      Ops3.arg_dat yv1 s_oct_up Access.Read;
+      Ops3.arg_dat zv1 s_oct_up Access.Read;
+      Ops3.arg_dat t.density0 s_pt Access.Read;
+      Ops3.arg_dat t.energy0 s_pt Access.Read;
+      Ops3.arg_dat t.pressure s_pt Access.Read;
+      Ops3.arg_dat t.viscosity s_pt Access.Read;
+      Ops3.arg_dat t.density1 s_pt Access.Write;
+      Ops3.arg_dat t.energy1 s_pt Access.Write;
+      Ops3.arg_gbl ~name:"consts" consts Access.Read;
+    ]
+    (fun a ->
+      let dx = a.(12).(0) and dy = a.(12).(1) and dz = a.(12).(2) in
+      let dt = a.(12).(3) and vol = a.(12).(4) in
+      let flux ax v0 v1 area =
+        face_flux ~area ~dt v0 v1 (face_hi ax) -. face_flux ~area ~dt v0 v1 (face_lo ax)
+      in
+      let total_flux =
+        flux `X a.(0) a.(3) (dy *. dz)
+        +. flux `Y a.(1) a.(4) (dx *. dz)
+        +. flux `Z a.(2) a.(5) (dx *. dy)
+      in
+      let volume_change = vol /. (vol +. total_flux) in
+      let d0 = a.(6).(0) in
+      let energy_change = (a.(8).(0) +. a.(9).(0)) /. d0 *. total_flux /. vol in
+      a.(11).(0) <- a.(7).(0) -. energy_change;
+      a.(10).(0) <- d0 *. volume_change);
+  mirror_thermo t
+
+let accelerate t =
+  let consts = [| t.dx; t.dy; t.dz; t.dt; volume t |] in
+  Ops3.par_loop t.ctx ~name:"accelerate" t.grid (nodes t)
+    [
+      Ops3.arg_dat t.density0 s_oct_down Access.Read;
+      Ops3.arg_dat t.pressure s_oct_down Access.Read;
+      Ops3.arg_dat t.viscosity s_oct_down Access.Read;
+      Ops3.arg_dat t.xvel0 s_pt Access.Read;
+      Ops3.arg_dat t.yvel0 s_pt Access.Read;
+      Ops3.arg_dat t.zvel0 s_pt Access.Read;
+      Ops3.arg_dat t.xvel1 s_pt Access.Write;
+      Ops3.arg_dat t.yvel1 s_pt Access.Write;
+      Ops3.arg_dat t.zvel1 s_pt Access.Write;
+      Ops3.arg_gbl ~name:"consts" consts Access.Read;
+    ]
+    (fun a ->
+      let dx = a.(9).(0) and dy = a.(9).(1) and dz = a.(9).(2) in
+      let dt = a.(9).(3) and vol = a.(9).(4) in
+      let d = a.(0) in
+      let nodal_mass =
+        0.125
+        *. (d.(0) +. d.(1) +. d.(2) +. d.(3) +. d.(4) +. d.(5) +. d.(6) +. d.(7))
+        *. vol
+      in
+      let stepbymass = 0.5 *. dt /. nodal_mass in
+      (* Octant-down ordering: offset {-1,0}^3 x fastest; the "hi" half of an
+         axis holds the offset-0 cells. *)
+      let hi ax =
+        match ax with `X -> [| 1; 3; 5; 7 |] | `Y -> [| 2; 3; 6; 7 |] | `Z -> [| 4; 5; 6; 7 |]
+      in
+      let lo ax =
+        match ax with `X -> [| 0; 2; 4; 6 |] | `Y -> [| 0; 1; 4; 5 |] | `Z -> [| 0; 1; 2; 3 |]
+      in
+      let force buf ax area = (sum4 buf (hi ax) -. sum4 buf (lo ax)) *. 0.25 *. area in
+      let fx = force a.(1) `X (dy *. dz) +. force a.(2) `X (dy *. dz) in
+      let fy = force a.(1) `Y (dx *. dz) +. force a.(2) `Y (dx *. dz) in
+      let fz = force a.(1) `Z (dx *. dy) +. force a.(2) `Z (dx *. dy) in
+      a.(6).(0) <- a.(3).(0) -. (stepbymass *. fx);
+      a.(7).(0) <- a.(4).(0) -. (stepbymass *. fy);
+      a.(8).(0) <- a.(5).(0) -. (stepbymass *. fz));
+  mirror_velocities t
+
+(* Volume fluxes through the faces: face (x, y, z) of axis X sits between
+   cells (x-1, y, z) and (x, y, z) and is bounded by the 4 nodes
+   (x, y..y+1, z..z+1). *)
+let flux_calc t =
+  let consts = [| t.dx; t.dy; t.dz; t.dt |] in
+  let one ax vel0 vel1 vf nodes_on_face =
+    Ops3.par_loop t.ctx ~name:"flux_calc" t.grid (faces t ax)
+      [
+        Ops3.arg_dat vel0 nodes_on_face Access.Read;
+        Ops3.arg_dat vel1 nodes_on_face Access.Read;
+        Ops3.arg_dat vf s_pt Access.Write;
+        Ops3.arg_gbl ~name:"consts" consts Access.Read;
+      ]
+      (fun a ->
+        let dx = a.(3).(0) and dy = a.(3).(1) and dz = a.(3).(2) in
+        let dt = a.(3).(3) in
+        let area = match ax with `X -> dy *. dz | `Y -> dx *. dz | `Z -> dx *. dy in
+        let s4 buf = buf.(0) +. buf.(1) +. buf.(2) +. buf.(3) in
+        a.(2).(0) <- area *. 0.125 *. (s4 a.(0) +. s4 a.(1)) *. dt)
+  in
+  let face_nodes_x : Ops3.stencil = [| (0, 0, 0); (0, 1, 0); (0, 0, 1); (0, 1, 1) |] in
+  let face_nodes_y : Ops3.stencil = [| (0, 0, 0); (1, 0, 0); (0, 0, 1); (1, 0, 1) |] in
+  let face_nodes_z : Ops3.stencil = [| (0, 0, 0); (1, 0, 0); (0, 1, 0); (1, 1, 0) |] in
+  one `X t.xvel0 t.xvel1 t.vol_flux_x face_nodes_x;
+  one `Y t.yvel0 t.yvel1 t.vol_flux_y face_nodes_y;
+  one `Z t.zvel0 t.zvel1 t.vol_flux_z face_nodes_z
+
+let advec_cell_sweep t ~dir =
+  let vols = [| volume t |] in
+  (* Sweep volumes over the extended range. *)
+  let vol_kernel a =
+    let vol = a.(3).(0) in
+    let net b = b.(1) -. b.(0) in
+    let nx = net a.(0) and ny = net a.(1) and nz = net a.(2) in
+    match dir with
+    | `X ->
+      a.(4).(0) <- vol +. nx +. ny +. nz;
+      a.(5).(0) <- vol +. ny +. nz
+    | `Y ->
+      a.(4).(0) <- vol +. ny +. nz;
+      a.(5).(0) <- vol +. nz
+    | `Z ->
+      a.(4).(0) <- vol +. nz;
+      a.(5).(0) <- vol
+  in
+  Ops3.par_loop t.ctx ~name:"advec_vol" t.grid (cells_ext t)
+    [
+      Ops3.arg_dat t.vol_flux_x s_p1x Access.Read;
+      Ops3.arg_dat t.vol_flux_y s_p1y Access.Read;
+      Ops3.arg_dat t.vol_flux_z s_p1z Access.Read;
+      Ops3.arg_gbl ~name:"vol" vols Access.Read;
+      Ops3.arg_dat t.pre_vol s_pt Access.Write;
+      Ops3.arg_dat t.post_vol s_pt Access.Write;
+    ]
+    vol_kernel;
+  let vf, mf, ef, s_m1, s_p1 =
+    match dir with
+    | `X -> (t.vol_flux_x, t.mass_flux_x, t.ener_flux_x, s_m1x, s_p1x)
+    | `Y -> (t.vol_flux_y, t.mass_flux_y, t.ener_flux_y, s_m1y, s_p1y)
+    | `Z -> (t.vol_flux_z, t.mass_flux_z, t.ener_flux_z, s_m1z, s_p1z)
+  in
+  (* Donor-cell fluxes through the sweep faces. *)
+  Ops3.par_loop t.ctx ~name:"advec_flux" t.grid (faces t dir)
+    [
+      Ops3.arg_dat vf s_pt Access.Read;
+      Ops3.arg_dat t.density1 s_m1 Access.Read;
+      Ops3.arg_dat t.energy1 s_m1 Access.Read;
+      Ops3.arg_dat mf s_pt Access.Write;
+      Ops3.arg_dat ef s_pt Access.Write;
+    ]
+    (fun a ->
+      let v = a.(0).(0) in
+      let donor = if v > 0.0 then 0 else 1 in
+      let m = v *. a.(1).(donor) in
+      a.(3).(0) <- m;
+      a.(4).(0) <- m *. a.(2).(donor));
+  (* Cell update. *)
+  Ops3.par_loop t.ctx ~name:"advec_cell" t.grid (cells t)
+    [
+      Ops3.arg_dat mf s_p1 Access.Read;
+      Ops3.arg_dat ef s_p1 Access.Read;
+      Ops3.arg_dat t.pre_vol s_pt Access.Read;
+      Ops3.arg_dat t.post_vol s_pt Access.Read;
+      Ops3.arg_dat t.density1 s_pt Access.Rw;
+      Ops3.arg_dat t.energy1 s_pt Access.Rw;
+    ]
+    (fun a ->
+      let pre_vol = a.(2).(0) and post_vol = a.(3).(0) in
+      let pre_mass = a.(4).(0) *. pre_vol in
+      let post_mass = pre_mass +. a.(0).(0) -. a.(0).(1) in
+      let post_ener = ((a.(5).(0) *. pre_mass) +. a.(1).(0) -. a.(1).(1)) /. post_mass in
+      a.(4).(0) <- post_mass /. post_vol;
+      a.(5).(0) <- post_ener);
+  mirror_thermo t
+
+let advec_mom_sweep t ~dir =
+  let vols = [| volume t |] in
+  let mf_face, node_avg_stencil, vel_up_stencil, fwd_stencil =
+    match dir with
+    | `X ->
+      ( t.mass_flux_x,
+        ([| (0, -1, -1); (0, 0, -1); (0, -1, 0); (0, 0, 0) |] : Ops3.stencil),
+        s_m1x, s_p1x )
+    | `Y ->
+      ( t.mass_flux_y,
+        [| (-1, 0, -1); (0, 0, -1); (-1, 0, 0); (0, 0, 0) |],
+        s_m1y, s_p1y )
+    | `Z ->
+      ( t.mass_flux_z,
+        [| (-1, -1, 0); (0, -1, 0); (-1, 0, 0); (0, 0, 0) |],
+        s_m1z, s_p1z )
+  in
+  Ops3.par_loop t.ctx ~name:"mom_node_flux" t.grid (nodes t)
+    [
+      Ops3.arg_dat mf_face node_avg_stencil Access.Read;
+      Ops3.arg_dat t.node_flux s_pt Access.Write;
+    ]
+    (fun a -> a.(1).(0) <- 0.25 *. (a.(0).(0) +. a.(0).(1) +. a.(0).(2) +. a.(0).(3)));
+  Ops3.par_loop t.ctx ~name:"mom_node_mass" t.grid (nodes t)
+    [
+      Ops3.arg_dat t.density1 s_oct_down Access.Read;
+      Ops3.arg_dat t.node_mass_post s_pt Access.Write;
+      Ops3.arg_gbl ~name:"vol" vols Access.Read;
+    ]
+    (fun a ->
+      let d = a.(0) in
+      a.(1).(0) <-
+        0.125
+        *. (d.(0) +. d.(1) +. d.(2) +. d.(3) +. d.(4) +. d.(5) +. d.(6) +. d.(7))
+        *. a.(2).(0));
+  List.iter
+    (fun vel ->
+      Ops3.par_loop t.ctx ~name:"mom_flux" t.grid (nodes t)
+        [
+          Ops3.arg_dat t.node_flux s_pt Access.Read;
+          Ops3.arg_dat vel vel_up_stencil Access.Read;
+          Ops3.arg_dat t.mom_flux s_pt Access.Write;
+        ]
+        (fun a ->
+          let f = a.(0).(0) in
+          let upwind = if f > 0.0 then 0 else 1 in
+          a.(2).(0) <- f *. a.(1).(upwind));
+      Ops3.par_loop t.ctx ~name:"mom_vel" t.grid (nodes t)
+        [
+          Ops3.arg_dat t.node_flux fwd_stencil Access.Read;
+          Ops3.arg_dat t.mom_flux fwd_stencil Access.Read;
+          Ops3.arg_dat t.node_mass_post s_pt Access.Read;
+          Ops3.arg_dat vel s_pt Access.Rw;
+        ]
+        (fun a ->
+          let mass_post = a.(2).(0) in
+          let mass_pre = mass_post +. a.(0).(1) -. a.(0).(0) in
+          a.(3).(0) <- ((a.(3).(0) *. mass_pre) +. a.(1).(0) -. a.(1).(1)) /. mass_post))
+    [ t.xvel1; t.yvel1; t.zvel1 ];
+  mirror_velocities t
+
+let reset_field t =
+  let copy src dst range =
+    Ops3.par_loop t.ctx ~name:"reset" t.grid range
+      [ Ops3.arg_dat src s_pt Access.Read; Ops3.arg_dat dst s_pt Access.Write ]
+      (fun a -> a.(1).(0) <- a.(0).(0))
+  in
+  copy t.density1 t.density0 (cells_ext t);
+  copy t.energy1 t.energy0 (cells_ext t);
+  copy t.xvel1 t.xvel0 (nodes_ext t);
+  copy t.yvel1 t.yvel0 (nodes_ext t);
+  copy t.zvel1 t.zvel0 (nodes_ext t)
+
+let hydro_step t =
+  ideal_gas t ~predict:false;
+  viscosity_step t;
+  timestep t;
+  pdv t ~predict:true;
+  ideal_gas t ~predict:true;
+  accelerate t;
+  pdv t ~predict:false;
+  flux_calc t;
+  advec_cell_sweep t ~dir:`X;
+  advec_cell_sweep t ~dir:`Y;
+  advec_cell_sweep t ~dir:`Z;
+  advec_mom_sweep t ~dir:`X;
+  advec_mom_sweep t ~dir:`Y;
+  advec_mom_sweep t ~dir:`Z;
+  reset_field t;
+  t.dt
+
+type summary = { mass : float; ie : float; ke : float }
+
+let field_summary t =
+  let vols = [| volume t |] in
+  let sums = Array.make 3 0.0 in
+  Ops3.par_loop t.ctx ~name:"field_summary" t.grid (cells t)
+    [
+      Ops3.arg_dat t.density0 s_pt Access.Read;
+      Ops3.arg_dat t.energy0 s_pt Access.Read;
+      Ops3.arg_dat t.xvel0 s_oct_up Access.Read;
+      Ops3.arg_dat t.yvel0 s_oct_up Access.Read;
+      Ops3.arg_dat t.zvel0 s_oct_up Access.Read;
+      Ops3.arg_gbl ~name:"vol" vols Access.Read;
+      Ops3.arg_gbl ~name:"sums" sums Access.Inc;
+    ]
+    (fun a ->
+      let cell_mass = a.(0).(0) *. a.(5).(0) in
+      let vsq buf =
+        0.125
+        *. ((buf.(0) *. buf.(0)) +. (buf.(1) *. buf.(1)) +. (buf.(2) *. buf.(2))
+            +. (buf.(3) *. buf.(3)) +. (buf.(4) *. buf.(4)) +. (buf.(5) *. buf.(5))
+            +. (buf.(6) *. buf.(6)) +. (buf.(7) *. buf.(7)))
+      in
+      a.(6).(0) <- a.(6).(0) +. cell_mass;
+      a.(6).(1) <- a.(6).(1) +. (cell_mass *. a.(1).(0));
+      a.(6).(2) <- a.(6).(2) +. (0.5 *. cell_mass *. (vsq a.(2) +. vsq a.(3) +. vsq a.(4))));
+  { mass = sums.(0); ie = sums.(1); ke = sums.(2) }
+
+let run t ~steps =
+  for _ = 1 to steps do
+    ignore (hydro_step t)
+  done;
+  field_summary t
+
+let density t = Ops3.fetch_interior t.ctx t.density0

@@ -1,0 +1,1 @@
+lib/apps_hydra/hand.ml: Am_mesh App Array Float Kernels

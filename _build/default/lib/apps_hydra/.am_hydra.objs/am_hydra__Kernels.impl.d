@@ -1,0 +1,1 @@
+lib/apps_hydra/kernels.ml: Am_core Am_mesh Array Float

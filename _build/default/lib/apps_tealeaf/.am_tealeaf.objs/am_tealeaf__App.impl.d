@@ -1,0 +1,1 @@
+lib/apps_tealeaf/app.ml: Am_core Am_ops Array

@@ -1,0 +1,1 @@
+lib/checkpoint/planner.ml: Am_core Am_util Array Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/checkpoint/planner.mli: Am_core

@@ -1,0 +1,1 @@
+lib/checkpoint/runtime.ml: Am_core Am_sysio Array Float Hashtbl List Option Planner Printf String

@@ -1,0 +1,1 @@
+lib/checkpoint/runtime.mli: Am_core

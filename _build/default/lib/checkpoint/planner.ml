@@ -1,0 +1,219 @@
+(* Checkpoint planning from access-execute descriptions (paper Section VI,
+   Fig 8).
+
+   Because applications hand all data to the library and every loop declares
+   how it accesses each dataset, the library can reason about the state of
+   all datasets at any point of the execution:
+
+   - a dataset whose *next* access after the checkpoint trigger is a Write
+     is dropped — it is dead at the trigger;
+   - a dataset whose next access reads (Read / Rw / Inc) must be saved; the
+     save can be *deferred* until the loop that first touches it, spreading
+     I/O over time (the paper's "flagged for further decision");
+   - a dataset never modified anywhere in the program is never saved (it is
+     reproducible from the input files);
+   - global reductions are saved whenever the loop writing them executes.
+
+   The speculative optimisation detects that the loop sequence is periodic
+   and, rather than entering checkpointing mode at an expensive trigger
+   point, waits (within one period) for the cheapest one. *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+
+type dataset = { ds_name : string; ds_dim : int }
+
+type decision =
+  | Save_now (* read before written: snapshot at the trigger *)
+  | Save_at of int (* deferred: snapshot when loop [i] first touches it *)
+  | Drop (* overwritten before read: dead at the trigger *)
+  | Not_saved (* never modified by the program: restored from input *)
+
+let decision_to_string = function
+  | Save_now -> "save"
+  | Save_at i -> Printf.sprintf "save@%d" i
+  | Drop -> "drop"
+  | Not_saved -> "not saved"
+
+type plan = {
+  trigger : int; (* index of the loop before which the checkpoint happens *)
+  decisions : (dataset * decision) list;
+  units : int; (* total dims saved — Fig 8's "units of data" column *)
+  globals : (string * int list) list; (* global name -> loops that write it *)
+}
+
+(* All mesh datasets appearing in the trace, in first-appearance order. *)
+let datasets loops =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun (l : Descr.loop) ->
+      List.iter
+        (fun (a : Descr.arg) ->
+          if a.Descr.kind <> Descr.Global && not (Hashtbl.mem seen a.Descr.dat_name)
+          then begin
+            Hashtbl.add seen a.Descr.dat_name ();
+            out := { ds_name = a.Descr.dat_name; ds_dim = a.Descr.dim } :: !out
+          end)
+        l.Descr.args)
+    loops;
+  List.rev !out
+
+let accesses_of loop name =
+  List.filter_map
+    (fun (a : Descr.arg) ->
+      if a.Descr.dat_name = name && a.Descr.kind <> Descr.Global then
+        Some a.Descr.access
+      else None)
+    loop.Descr.args
+
+(* Is the dataset modified anywhere in the program? *)
+let ever_modified loops name =
+  List.exists
+    (fun l -> List.exists Access.writes (accesses_of l name))
+    loops
+
+(* Combined access of a dataset within one loop (a dat referenced by several
+   arguments, e.g. via both map indices, reads if any argument reads). *)
+let first_access_from loops ~start name =
+  let arr = Array.of_list loops in
+  let n = Array.length arr in
+  let rec scan i =
+    if i >= n then None
+    else begin
+      match accesses_of arr.(i) name with
+      | [] -> scan (i + 1)
+      | accs ->
+        let reads = List.exists (fun a -> Access.reads a || a = Access.Inc) accs in
+        Some (i, reads)
+    end
+  in
+  scan start
+
+let plan_at loops ~trigger =
+  let ds = datasets loops in
+  let decisions =
+    List.map
+      (fun d ->
+        if not (ever_modified loops d.ds_name) then (d, Not_saved)
+        else begin
+          match first_access_from loops ~start:trigger d.ds_name with
+          | None -> (d, Drop) (* dead for the remainder of the horizon *)
+          | Some (i, reads) ->
+            if not reads then (d, Drop)
+            else if i = trigger then (d, Save_now)
+            else (d, Save_at i)
+        end)
+      ds
+  in
+  let units =
+    List.fold_left
+      (fun acc (d, dec) ->
+        match dec with
+        | Save_now | Save_at _ -> acc + d.ds_dim
+        | Drop | Not_saved -> acc)
+      0 decisions
+  in
+  let globals =
+    let table = Hashtbl.create 4 in
+    List.iteri
+      (fun i (l : Descr.loop) ->
+        List.iter
+          (fun (a : Descr.arg) ->
+            if a.Descr.kind = Descr.Global && Access.writes a.Descr.access then begin
+              let prev = Option.value ~default:[] (Hashtbl.find_opt table a.Descr.dat_name) in
+              Hashtbl.replace table a.Descr.dat_name (i :: prev)
+            end)
+          l.Descr.args)
+      loops;
+    Hashtbl.fold (fun name is acc -> (name, List.rev is) :: acc) table []
+  in
+  { trigger; decisions; units; globals }
+
+(* Smallest period p such that the loop-name sequence is p-periodic over the
+   recorded horizon (requiring at least two full periods of evidence). *)
+let detect_period loops =
+  let names = Array.of_list (List.map (fun (l : Descr.loop) -> l.Descr.loop_name) loops) in
+  let n = Array.length names in
+  let is_period p =
+    p >= 1 && (n >= 2 * p)
+    && begin
+      let ok = ref true in
+      for i = p to n - 1 do
+        if names.(i) <> names.(i - p) then ok := false
+      done;
+      !ok
+    end
+  in
+  let rec search p = if p > n / 2 then None else if is_period p then Some p else search (p + 1) in
+  search 1
+
+(* Cheapest trigger over the whole horizon. *)
+let best_trigger loops =
+  let n = List.length loops in
+  let best = ref 0 and best_units = ref max_int in
+  for i = 0 to n - 1 do
+    let p = plan_at loops ~trigger:i in
+    if p.units < !best_units then begin
+      best := i;
+      best_units := p.units
+    end
+  done;
+  !best
+
+(* The speculative algorithm: a checkpoint requested before loop [requested]
+   is postponed — within one detected period — to the cheapest trigger
+   position at or after the request. Without periodicity evidence the
+   request is honoured as-is. *)
+let speculative_trigger loops ~requested =
+  match detect_period loops with
+  | None -> requested
+  | Some period ->
+    let n = List.length loops in
+    let horizon = min n (requested + period) in
+    let best = ref requested and best_units = ref max_int in
+    for i = requested to horizon - 1 do
+      let p = plan_at loops ~trigger:i in
+      if p.units < !best_units then begin
+        best := i;
+        best_units := p.units
+      end
+    done;
+    !best
+
+(* ---- Fig 8 rendering --------------------------------------------------- *)
+
+(* One row per loop: the access mode of every dataset plus the units-saved
+   column, matching the layout of the paper's figure. *)
+let render_figure loops =
+  let ds = datasets loops in
+  let header =
+    "#" :: "loop"
+    :: (List.map (fun d -> Printf.sprintf "%s(%d)" d.ds_name d.ds_dim) ds
+        @ [ "units if triggered here" ])
+  in
+  let table =
+    Am_util.Table.create ~title:"checkpoint planning (Fig 8)" ~header
+      ~aligns:(Am_util.Table.Left :: Am_util.Table.Left
+               :: List.map (fun _ -> Am_util.Table.Right) ds
+               @ [ Am_util.Table.Right ])
+      ()
+  in
+  List.iteri
+    (fun i (l : Descr.loop) ->
+      let cells =
+        List.map
+          (fun d ->
+            match accesses_of l d.ds_name with
+            | [] -> ""
+            | accs ->
+              String.concat "/"
+                (List.sort_uniq compare (List.map Access.to_string accs)))
+          ds
+      in
+      let units = (plan_at loops ~trigger:i).units in
+      Am_util.Table.add_row table
+        (string_of_int (i + 1) :: l.Descr.loop_name :: cells
+         @ [ string_of_int units ]))
+    loops;
+  Am_util.Table.render table

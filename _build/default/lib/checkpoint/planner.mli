@@ -1,0 +1,54 @@
+(** Checkpoint planning from access-execute descriptions (paper Section VI,
+    Fig 8).
+
+    Given the sequence of loop descriptors an application executes, decides
+    per dataset whether a checkpoint at a given trigger must save it, may
+    drop it (overwritten before read), may defer the save to the loop that
+    first touches it, or never needs it (never modified). Detects periodic
+    loop sequences so a requested checkpoint can wait for the cheapest
+    trigger within one period. *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+
+type dataset = { ds_name : string; ds_dim : int }
+
+type decision =
+  | Save_now
+  | Save_at of int  (** deferred to the loop at this index *)
+  | Drop
+  | Not_saved  (** never modified: reproducible from the input *)
+
+val decision_to_string : decision -> string
+
+type plan = {
+  trigger : int;
+  decisions : (dataset * decision) list;
+  units : int;  (** total dims saved — Fig 8's "units of data" column *)
+  globals : (string * int list) list;  (** global -> loops writing it *)
+}
+
+(** Mesh datasets of a trace, in first-appearance order. *)
+val datasets : Descr.loop list -> dataset list
+
+(** Whether any loop of the program writes the named dataset. *)
+val ever_modified : Descr.loop list -> string -> bool
+
+(** Plan a checkpoint entering before loop [trigger]. *)
+val plan_at : Descr.loop list -> trigger:int -> plan
+
+(** Smallest period of the loop-name sequence, given at least two periods of
+    evidence; [None] if aperiodic. *)
+val detect_period : Descr.loop list -> int option
+
+(** Cheapest trigger over the whole recorded horizon. *)
+val best_trigger : Descr.loop list -> int
+
+(** Defer a request at [requested] to the cheapest trigger within one
+    detected period (the paper's "speculative" algorithm); the request
+    itself when no periodicity is evident. *)
+val speculative_trigger : Descr.loop list -> requested:int -> int
+
+(** Fig 8 as a rendered table: per-loop access modes per dataset and the
+    units-if-triggered-here column. *)
+val render_figure : Descr.loop list -> string

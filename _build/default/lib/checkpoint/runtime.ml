@@ -1,0 +1,274 @@
+(* Checkpoint/recovery execution driver.
+
+   Applications route every parallel loop through [step]; the session
+   records the loop descriptors as the program runs.  When a checkpoint is
+   requested, the session consults the planner: with periodicity evidence it
+   waits (within one period) for the cheapest trigger point, then snapshots
+   the datasets the plan says to save — immediately for [Save_now], lazily
+   at the first-touching loop for [Save_at] (their values are provably
+   unchanged in between, which is also why recovery may restore everything
+   at the trigger point).
+
+   Recovery follows the paper: the application is simply restarted with a
+   recovery session; [step] skips the body of every loop until the trigger
+   point is reached, restores all saved datasets, and resumes normal
+   execution. *)
+
+module Descr = Am_core.Descr
+
+type snapshot_fns = {
+  fetch : string -> float array; (* current value of a dataset, by name *)
+  restore : string -> float array -> unit;
+}
+
+type phase =
+  | Normal
+  | Awaiting of { deadline : int } (* request accepted; choosing a trigger *)
+  | Saving of { due : (int * string) list } (* deferred saves: (counter, dataset) *)
+  | Fast_forward of { target : int }
+
+type session = {
+  fns : snapshot_fns;
+  mutable counter : int;
+  mutable phase : phase;
+  mutable history : Descr.loop list; (* reversed *)
+  store : (string, float array) Hashtbl.t;
+  mutable trigger_at : int option; (* counter of the completed checkpoint *)
+  gbl_log : (int, float array list) Hashtbl.t;
+    (* Global reduction outputs per executed loop: fast-forwarding replays
+       these instead of computing (the paper: skipped loops "only set the
+       value of op_arg_gbl arguments"). *)
+}
+
+let create ~fns =
+  {
+    fns;
+    counter = 0;
+    phase = Normal;
+    history = [];
+    store = Hashtbl.create 16;
+    trigger_at = None;
+    gbl_log = Hashtbl.create 64;
+  }
+
+let counter s = s.counter
+let trigger_at s = s.trigger_at
+let saved_names s = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.store [])
+let saved_units s = Hashtbl.fold (fun _ v acc -> acc + Array.length v) s.store 0
+
+(* Ask for a checkpoint at the next opportunity. With periodic evidence the
+   session may wait up to one period for a cheaper trigger. *)
+let request_checkpoint s =
+  match s.phase with
+  | Normal ->
+    let past = List.rev s.history in
+    let deadline =
+      match Planner.detect_period past with
+      | None -> s.counter (* no evidence: trigger at the very next loop *)
+      | Some period -> s.counter + period
+    in
+    s.phase <- Awaiting { deadline }
+  | Awaiting _ | Saving _ | Fast_forward _ -> ()
+
+(* Predicted future at the current position: the detected period repeated
+   twice, starting from the current phase of the cycle. Falls back to the
+   recorded past when the program is not periodic. *)
+let predicted_future s =
+  let past = Array.of_list (List.rev s.history) in
+  let n = Array.length past in
+  match Planner.detect_period (Array.to_list past) with
+  | Some period when n >= period ->
+    let start = s.counter mod period in
+    Some (List.init (2 * period) (fun i -> past.(n - period + ((start + i) mod period))))
+  | Some _ | None -> None
+
+(* Units that would be saved if the checkpoint triggered right now. *)
+let units_if_triggered_now s =
+  match predicted_future s with
+  | Some future -> (Planner.plan_at future ~trigger:0).Planner.units
+  | None -> max_int
+
+let snapshot s name = Hashtbl.replace s.store name (s.fns.fetch name)
+
+let begin_saving s =
+  let future = predicted_future s in
+  (match future with
+  | None ->
+    (* No structure to exploit: save every dataset ever modified. *)
+    let past = List.rev s.history in
+    List.iter
+      (fun (d : Planner.dataset) ->
+        if Planner.ever_modified past d.Planner.ds_name then
+          snapshot s d.Planner.ds_name)
+      (Planner.datasets past);
+    s.phase <- Normal
+  | Some future ->
+    let plan = Planner.plan_at future ~trigger:0 in
+    let due = ref [] in
+    List.iter
+      (fun ((d : Planner.dataset), decision) ->
+        match decision with
+        | Planner.Save_now -> snapshot s d.Planner.ds_name
+        | Planner.Save_at offset ->
+          due := (s.counter + offset, d.Planner.ds_name) :: !due
+        | Planner.Drop | Planner.Not_saved -> ())
+      plan.Planner.decisions;
+    s.phase <- (if !due = [] then Normal else Saving { due = !due }));
+  s.trigger_at <- Some s.counter
+
+(* [gbl_out] lists the user buffers of the loop's reduction arguments
+   (Inc/Min/Max globals): their post-loop values are logged on execution and
+   replayed during fast-forward. *)
+let step ?(gbl_out = []) s ~descr ~run =
+  let run () =
+    run ();
+    if gbl_out <> [] then
+      Hashtbl.replace s.gbl_log s.counter (List.map Array.copy gbl_out)
+  in
+  let replay_globals () =
+    match Hashtbl.find_opt s.gbl_log s.counter with
+    | None -> ()
+    | Some logged ->
+      if List.length logged <> List.length gbl_out then
+        failwith
+          (Printf.sprintf
+             "Checkpoint replay mismatch at loop %d (%s): %d logged, %d expected"
+             s.counter descr.Descr.loop_name (List.length logged)
+             (List.length gbl_out));
+      List.iter2
+        (fun (dst : float array) src -> Array.blit src 0 dst 0 (Array.length dst))
+        gbl_out logged
+  in
+  (* Deferred saves capture the value at *entry* of their loop: the planner
+     only defers datasets whose first access reads, but that access may also
+     modify (res is Inc-ed by the loop that first touches it), so the
+     snapshot must precede the body. *)
+  (match s.phase with
+  | Saving { due } ->
+    let remaining =
+      List.filter
+        (fun (at, name) ->
+          if at = s.counter then begin
+            snapshot s name;
+            false
+          end
+          else true)
+        due
+    in
+    s.phase <- (if remaining = [] then Normal else Saving { due = remaining })
+  | Normal | Awaiting _ | Fast_forward _ -> ());
+  (match s.phase with
+  | Fast_forward { target } ->
+    if s.counter >= target then begin
+      (* Reached the checkpoint: restore all saved state and resume. *)
+      Hashtbl.iter (fun name data -> s.fns.restore name (Array.copy data)) s.store;
+      s.phase <- Normal;
+      run ()
+    end
+    else
+      (* Skip the body, but reproduce its global-reduction outputs. *)
+      replay_globals ()
+  | Awaiting { deadline } ->
+    (* Trigger here if this is the cheapest point we will see before the
+       deadline, or if the deadline has arrived. *)
+    let units_now = units_if_triggered_now s in
+    let cheaper_later =
+      match predicted_future s with
+      | None -> false
+      | Some future ->
+        let remaining = max 0 (deadline - s.counter) in
+        let rec probe i best =
+          if i > remaining then best
+          else probe (i + 1) (min best (Planner.plan_at future ~trigger:i).Planner.units)
+        in
+        probe 1 max_int < units_now
+    in
+    if (not cheaper_later) || s.counter >= deadline then begin
+      begin_saving s;
+      run ()
+    end
+    else run ()
+  | Saving _ | Normal -> run ());
+  s.history <- descr :: s.history;
+  s.counter <- s.counter + 1
+
+(* A fresh session that replays the program and fast-forwards to the
+   checkpoint made by [completed]. *)
+let begin_recovery completed ~fns =
+  match completed.trigger_at with
+  | None -> invalid_arg "Checkpoint.Runtime.begin_recovery: no checkpoint was made"
+  | Some target ->
+    let s = create ~fns in
+    Hashtbl.iter (fun k v -> Hashtbl.replace s.store k (Array.copy v)) completed.store;
+    s.phase <- Fast_forward { target };
+    s.trigger_at <- Some target;
+    s
+
+(* ---- File persistence --------------------------------------------------- *)
+
+(* Checkpoints survive process death through the snapshot container
+   (lib/sysio): the saved datasets plus a metadata entry holding the trigger
+   position. *)
+
+let trigger_key = "__checkpoint_trigger"
+let gbl_prefix = "__gbl:"
+
+let save_to_file s ~path =
+  match s.trigger_at with
+  | None -> invalid_arg "Checkpoint.Runtime.save_to_file: no checkpoint was made"
+  | Some at ->
+    (* The global log only matters up to the trigger (recovery resumes real
+       execution there). *)
+    let gbl_entries =
+      Hashtbl.fold
+        (fun counter buffers acc ->
+          if counter >= at then acc
+          else
+            List.concat
+              (List.mapi
+                 (fun i buf -> [ (Printf.sprintf "%s%d:%d" gbl_prefix counter i, buf) ])
+                 buffers)
+            @ acc)
+        s.gbl_log []
+    in
+    let entries =
+      ((trigger_key, [| Float.of_int at |]) :: gbl_entries)
+      @ Hashtbl.fold (fun name data acc -> (name, data) :: acc) s.store []
+    in
+    Am_sysio.Snapshot.save path entries
+
+(* Build a recovery session from a checkpoint file (the restarted process
+   never saw the original session). *)
+let recover_from_file ~path ~fns =
+  let entries = Am_sysio.Snapshot.load path in
+  let target =
+    match List.assoc_opt trigger_key entries with
+    | Some [| at |] -> Float.to_int at
+    | Some _ | None ->
+      raise (Am_sysio.Snapshot.Corrupt "missing checkpoint trigger entry")
+  in
+  let s = create ~fns in
+  List.iter
+    (fun (name, data) ->
+      if name = trigger_key then ()
+      else if String.length name > String.length gbl_prefix
+              && String.sub name 0 (String.length gbl_prefix) = gbl_prefix
+      then begin
+        match
+          String.split_on_char ':'
+            (String.sub name (String.length gbl_prefix)
+               (String.length name - String.length gbl_prefix))
+        with
+        | [ counter; _index ] ->
+          (* Entries were written in index order per counter and the file
+             preserves ordering: append reconstructs the buffer list. *)
+          let counter = int_of_string counter in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt s.gbl_log counter) in
+          Hashtbl.replace s.gbl_log counter (prev @ [ data ])
+        | _ -> raise (Am_sysio.Snapshot.Corrupt ("bad global log entry " ^ name))
+      end
+      else Hashtbl.replace s.store name data)
+    entries;
+  s.phase <- Fast_forward { target };
+  s.trigger_at <- Some target;
+  s

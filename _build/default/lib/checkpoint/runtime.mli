@@ -1,0 +1,58 @@
+(** Checkpoint/recovery execution driver (paper Section VI).
+
+    Applications route every parallel loop through {!step}; on a checkpoint
+    request the session consults the planner (waiting within one detected
+    period for a cheap trigger), snapshots [Save_now] datasets immediately
+    and deferred ones at their first-touching loop. Recovery restarts the
+    application with a session that skips every loop body until the trigger
+    point, restores the saved state, and resumes — the paper's
+    fast-forwarding. *)
+
+module Descr = Am_core.Descr
+
+(** How the session reads and writes application datasets by name. *)
+type snapshot_fns = {
+  fetch : string -> float array;
+  restore : string -> float array -> unit;
+}
+
+type session
+
+val create : fns:snapshot_fns -> session
+
+(** Loops executed so far. *)
+val counter : session -> int
+
+(** Position of the completed checkpoint, once made. *)
+val trigger_at : session -> int option
+
+(** Names snapshotted so far (sorted). *)
+val saved_names : session -> string list
+
+(** Total values held in the snapshot store. *)
+val saved_units : session -> int
+
+(** Ask for a checkpoint at the next opportunity; with periodic evidence the
+    session may defer up to one period. Idempotent while pending. *)
+val request_checkpoint : session -> unit
+
+(** Execute one parallel loop: [descr] is its descriptor, [run] its body.
+    [gbl_out] lists the loop's global-reduction output buffers: their
+    post-loop values are logged on execution, and during fast-forward the
+    body is skipped but the logged values are written back — the paper's
+    "skipped loops only set the value of op_arg_gbl arguments". *)
+val step :
+  ?gbl_out:float array list -> session -> descr:Descr.loop -> run:(unit -> unit) ->
+  unit
+
+(** Fresh session that fast-forwards a restarted application to the
+    checkpoint made by [session]. *)
+val begin_recovery : session -> fns:snapshot_fns -> session
+
+(** Persist a made checkpoint to a snapshot file. *)
+val save_to_file : session -> path:string -> unit
+
+(** Recovery session from a checkpoint file (for a process that never saw
+    the original session). Raises [Am_sysio.Snapshot.Corrupt] on bad
+    files. *)
+val recover_from_file : path:string -> fns:snapshot_fns -> session

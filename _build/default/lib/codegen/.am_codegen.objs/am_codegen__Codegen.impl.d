@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Am_core Array Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Am_core

@@ -1,0 +1,588 @@
+(* Source-to-source translator.
+
+   The paper's OP2/OPS toolchain parses the high-level API calls and emits
+   one platform-specific implementation file per (parallel loop, target)
+   pair, which is compiled with the native toolchain.  This module is that
+   generator: it consumes the same backend-independent loop descriptors the
+   runtime executes and emits human-readable C / OpenMP / vectorised C /
+   CUDA source with exactly the structure the paper shows (Fig 7's
+   NOSOA / SOA / STAGE_NOSOA memory strategies).
+
+   We cannot compile CUDA in this container, so the generated text is the
+   artifact itself: tests pin its structure, and the in-process GPU
+   simulator executes the same plan shapes the generated code encodes. *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+
+type cuda_strategy = Nosoa | Soa | Stage_nosoa
+
+type target =
+  | C_seq
+  | C_openmp
+  | C_vectorized
+  | C_mpi
+  | Cuda of cuda_strategy
+
+let target_to_string = function
+  | C_seq -> "seq"
+  | C_openmp -> "openmp"
+  | C_mpi -> "mpi"
+  | C_vectorized -> "veckernel"
+  | Cuda Nosoa -> "cuda-nosoa"
+  | Cuda Soa -> "cuda-soa"
+  | Cuda Stage_nosoa -> "cuda-staged"
+
+(* The user function body: the "science code" the domain scientist wrote.
+   When absent we emit a placeholder comment, as the structure of the
+   wrapper is what the generator owns. *)
+type user_fun = { params : string list; body : string }
+
+let default_user_fun (loop : Descr.loop) =
+  let params =
+    List.mapi (fun i (a : Descr.arg) -> Printf.sprintf "arg%d_%s" i a.Descr.dat_name)
+      loop.Descr.args
+  in
+  { params; body = "  /* user computation */" }
+
+let is_dat_arg (a : Descr.arg) =
+  match a.Descr.kind with
+  | Descr.Direct | Descr.Indirect _ | Descr.Stencil _ -> true
+  | Descr.Global -> false
+
+let const_qual (a : Descr.arg) =
+  if Access.reads a.Descr.access && not (Access.writes a.Descr.access) then "const "
+  else ""
+
+let buf_add = Buffer.add_string
+
+(* ---- user function ---------------------------------------------------- *)
+
+let emit_user_fun b ~device (loop : Descr.loop) (uf : user_fun) =
+  let qual = if device then "__device__ " else "static inline " in
+  buf_add b (Printf.sprintf "%svoid %s(" qual loop.Descr.loop_name);
+  let params =
+    List.map2
+      (fun (a : Descr.arg) name -> Printf.sprintf "%sdouble *%s" (const_qual a) name)
+      loop.Descr.args uf.params
+  in
+  buf_add b (String.concat ", " params);
+  buf_add b ") {\n";
+  buf_add b uf.body;
+  buf_add b "\n}\n\n"
+
+(* ---- sequential C ------------------------------------------------------ *)
+
+(* Distinct maps of a loop with their arity, inferred as the largest index
+   referenced plus one (the declaration-time arity is not part of the
+   descriptor). *)
+let loop_maps (loop : Descr.loop) =
+  let order = ref [] in
+  let arity = Hashtbl.create 4 in
+  List.iter
+    (fun (a : Descr.arg) ->
+      match a.Descr.kind with
+      | Descr.Indirect { map_name; map_index; _ } ->
+        (match Hashtbl.find_opt arity map_name with
+        | None ->
+          Hashtbl.add arity map_name (map_index + 1);
+          order := map_name :: !order
+        | Some k -> Hashtbl.replace arity map_name (max k (map_index + 1)))
+      | Descr.Direct | Descr.Stencil _ | Descr.Global -> ())
+    loop.Descr.args;
+  List.rev_map (fun name -> (name, Hashtbl.find arity name)) !order |> List.rev
+
+let map_arity loop name = List.assoc name (loop_maps loop)
+
+let arg_pointer ~soa ~loop i (a : Descr.arg) =
+  match a.Descr.kind with
+  | Descr.Global -> Printf.sprintf "arg%d_gbl" i
+  | Descr.Direct | Descr.Stencil _ ->
+    if soa then Printf.sprintf "&arg%d_data[n]" i
+    else Printf.sprintf "&arg%d_data[%d*n]" i a.Descr.dim
+  | Descr.Indirect { map_name; map_index; _ } ->
+    let arity = map_arity loop map_name in
+    if soa then
+      Printf.sprintf "&arg%d_data[%s_map[%d*n+%d]]" i map_name arity map_index
+    else
+      Printf.sprintf "&arg%d_data[%d * %s_map[%d*n+%d]]" i a.Descr.dim map_name arity
+        map_index
+
+(* The sequential target is a complete, compilable translation unit (the
+   test suite feeds it through a real C compiler): full parameter lists
+   instead of the paper's elided "...". *)
+let emit_seq_wrapper b (loop : Descr.loop) =
+  let params =
+    List.mapi
+      (fun i (a : Descr.arg) ->
+        match a.Descr.kind with
+        | Descr.Global -> Printf.sprintf "double *arg%d_gbl" i
+        | Descr.Direct | Descr.Stencil _ | Descr.Indirect _ ->
+          Printf.sprintf "%sdouble *arg%d_data" (const_qual a) i)
+      loop.Descr.args
+    @ List.map (fun (name, _) -> Printf.sprintf "const int *%s_map" name)
+        (loop_maps loop)
+  in
+  buf_add b
+    (Printf.sprintf "void op_par_loop_%s_seq(int set_size,\n    %s) {\n"
+       loop.Descr.loop_name
+       (String.concat ",\n    " params));
+  buf_add b "  for (int n = 0; n < set_size; n++) {\n";
+  buf_add b (Printf.sprintf "    %s(" loop.Descr.loop_name);
+  buf_add b
+    (String.concat ",\n        "
+       (List.mapi (fun i a -> arg_pointer ~soa:false ~loop i a) loop.Descr.args));
+  buf_add b ");\n  }\n}\n"
+
+(* ---- MPI (owner-compute with on-demand halo exchanges) ------------------- *)
+
+(* The distributed target the paper's translator also emits: the generated
+   wrapper brackets the owned-element loop with runtime calls — on-demand
+   halo exchanges for indirectly-read datasets before, dirty-bit
+   invalidation for written ones and collective reductions for globals
+   after.  Runtime entry points are declared extern so the unit compiles
+   stand-alone (they live in the library, as op_mpi_* do in OP2). *)
+let emit_mpi_wrapper b (loop : Descr.loop) =
+  buf_add b "// runtime entry points (in the op2-mpi library)\n";
+  buf_add b "extern void op_mpi_exchange_halo(const char *dat_name, double *dat);\n";
+  buf_add b "extern void op_mpi_reduce_halo(const char *dat_name, double *dat);\n";
+  buf_add b "extern void op_mpi_set_dirtybit(const char *dat_name);\n";
+  buf_add b "extern void op_mpi_reduce_double(double *gbl, int dim, int op);\n\n";
+  let params =
+    List.mapi
+      (fun i (a : Descr.arg) ->
+        match a.Descr.kind with
+        | Descr.Global -> Printf.sprintf "double *arg%d_gbl" i
+        | Descr.Direct | Descr.Stencil _ | Descr.Indirect _ ->
+          Printf.sprintf "%sdouble *arg%d_data" (const_qual a) i)
+      loop.Descr.args
+    @ List.map (fun (name, _) -> Printf.sprintf "const int *%s_map" name)
+        (loop_maps loop)
+  in
+  buf_add b
+    (Printf.sprintf "void op_par_loop_%s_mpi(int owned_size,
+    %s) {
+"
+       loop.Descr.loop_name
+       (String.concat ",
+    " params));
+  (* Pre-loop halo management, deduplicated per dataset as the runtime does. *)
+  let seen = Hashtbl.create 4 in
+  List.iteri
+    (fun i (a : Descr.arg) ->
+      match a.Descr.kind with
+      | (Descr.Indirect _ | Descr.Stencil _)
+        when (a.Descr.access = Am_core.Access.Read || a.Descr.access = Am_core.Access.Rw)
+             && not (Hashtbl.mem seen a.Descr.dat_name) ->
+        Hashtbl.add seen a.Descr.dat_name ();
+        buf_add b
+          (Printf.sprintf
+             "  op_mpi_exchange_halo(\"%s\", (double *)arg%d_data); // on-demand
+"
+             a.Descr.dat_name i)
+      | _ -> ())
+    loop.Descr.args;
+  buf_add b "  // owner-compute: iterate owned elements only
+";
+  buf_add b "  for (int n = 0; n < owned_size; n++) {
+";
+  buf_add b (Printf.sprintf "    %s(" loop.Descr.loop_name);
+  buf_add b
+    (String.concat ",
+        "
+       (List.mapi (fun i a -> arg_pointer ~soa:false ~loop i a) loop.Descr.args));
+  buf_add b ");
+  }
+";
+  (* Post-loop: reduce indirect increments, invalidate written halos,
+     reduce globals. *)
+  let seen_post = Hashtbl.create 4 in
+  List.iteri
+    (fun i (a : Descr.arg) ->
+      match a.Descr.kind with
+      | (Descr.Indirect _ | Descr.Stencil _)
+        when a.Descr.access = Am_core.Access.Inc
+             && not (Hashtbl.mem seen_post a.Descr.dat_name) ->
+        Hashtbl.add seen_post a.Descr.dat_name ();
+        buf_add b
+          (Printf.sprintf "  op_mpi_reduce_halo(\"%s\", arg%d_data);
+"
+             a.Descr.dat_name i)
+      | _ -> ())
+    loop.Descr.args;
+  let seen_dirty = Hashtbl.create 4 in
+  List.iter
+    (fun (a : Descr.arg) ->
+      match a.Descr.kind with
+      | (Descr.Direct | Descr.Indirect _ | Descr.Stencil _)
+        when Am_core.Access.writes a.Descr.access
+             && not (Hashtbl.mem seen_dirty a.Descr.dat_name) ->
+        Hashtbl.add seen_dirty a.Descr.dat_name ();
+        buf_add b
+          (Printf.sprintf "  op_mpi_set_dirtybit(\"%s\");
+" a.Descr.dat_name)
+      | _ -> ())
+    loop.Descr.args;
+  List.iteri
+    (fun i (a : Descr.arg) ->
+      match a.Descr.kind with
+      | Descr.Global when a.Descr.access <> Am_core.Access.Read ->
+        buf_add b
+          (Printf.sprintf "  op_mpi_reduce_double(arg%d_gbl, %d, %d);
+" i a.Descr.dim
+             (match a.Descr.access with
+             | Am_core.Access.Inc -> 0
+             | Am_core.Access.Min -> 1
+             | Am_core.Access.Max -> 2
+             | _ -> 0))
+      | _ -> ())
+    loop.Descr.args;
+  buf_add b "}
+"
+
+(* ---- OpenMP with block colouring ---------------------------------------- *)
+
+let emit_openmp_wrapper b (loop : Descr.loop) =
+  let indirect = Descr.has_indirection loop in
+  buf_add b
+    (Printf.sprintf "void op_par_loop_%s_omp(int set_size, op_plan *plan, ...) {\n"
+       loop.Descr.loop_name);
+  if indirect then begin
+    buf_add b "  // blocks of one colour touch disjoint indirect data:\n";
+    buf_add b "  // parallelise within a colour, barrier between colours\n";
+    buf_add b "  for (int col = 0; col < plan->ncolors; col++) {\n";
+    buf_add b "    #pragma omp parallel for\n";
+    buf_add b "    for (int blockIdx = 0; blockIdx < plan->ncolblk[col]; blockIdx++) {\n";
+    buf_add b "      int blockId = plan->blkmap[plan->color_offset[col] + blockIdx];\n";
+    buf_add b "      int start   = plan->block_offset[blockId];\n";
+    buf_add b "      int end     = start + plan->block_size[blockId];\n";
+    buf_add b "      for (int n = start; n < end; n++) {\n"
+  end
+  else begin
+    buf_add b "  #pragma omp parallel for\n";
+    buf_add b "  for (int n = 0; n < set_size; n++) {\n"
+  end;
+  let indent = if indirect then "        " else "    " in
+  buf_add b (Printf.sprintf "%s%s(" indent loop.Descr.loop_name);
+  buf_add b
+    (String.concat ", "
+       (List.mapi (fun i a -> arg_pointer ~soa:false ~loop i a) loop.Descr.args));
+  buf_add b ");\n";
+  if indirect then buf_add b "      }\n    }\n  }\n}\n" else buf_add b "  }\n}\n"
+
+(* ---- vectorised C -------------------------------------------------------- *)
+
+let emit_vectorized_wrapper b (loop : Descr.loop) =
+  buf_add b
+    (Printf.sprintf "void op_par_loop_%s_vec(int set_size, ...) {\n"
+       loop.Descr.loop_name);
+  buf_add b "  // gather into vector-width local arrays, compute, scatter;\n";
+  buf_add b "  // the packed inner loop is what the compiler vectorises\n";
+  buf_add b "  for (int n = 0; n < set_size; n += SIMD_VEC) {\n";
+  List.iteri
+    (fun i (a : Descr.arg) ->
+      if is_dat_arg a then
+        buf_add b
+          (Printf.sprintf "    double arg%d_local[SIMD_VEC][%d];\n" i a.Descr.dim))
+    loop.Descr.args;
+  buf_add b "    #pragma omp simd\n";
+  buf_add b "    for (int i = 0; i < SIMD_VEC; i++) {\n";
+  buf_add b (Printf.sprintf "      %s(" loop.Descr.loop_name);
+  buf_add b
+    (String.concat ", "
+       (List.mapi
+          (fun i (a : Descr.arg) ->
+            if is_dat_arg a then Printf.sprintf "arg%d_local[i]" i
+            else Printf.sprintf "arg%d_gbl" i)
+          loop.Descr.args));
+  buf_add b ");\n    }\n";
+  buf_add b "    // scatter increments back (colour-ordered when indirect)\n";
+  buf_add b "  }\n}\n"
+
+(* ---- CUDA (Fig 7) --------------------------------------------------------- *)
+
+let acc_macros b strategy (loop : Descr.loop) =
+  (match strategy with
+  | Nosoa | Stage_nosoa -> buf_add b "#define NOSOA 1\n"
+  | Soa -> buf_add b "#define SOA 1\n");
+  buf_add b "#if NOSOA\n";
+  List.iteri
+    (fun i a -> if is_dat_arg a then buf_add b (Printf.sprintf "#define OP_ACC%d(x) (x)\n" i))
+    loop.Descr.args;
+  buf_add b "#elif SOA\n";
+  List.iteri
+    (fun i (a : Descr.arg) ->
+      if is_dat_arg a then
+        buf_add b
+          (Printf.sprintf "#define OP_ACC%d(x) ((x)*%s_stride)\n" i a.Descr.dat_name))
+    loop.Descr.args;
+  buf_add b "#endif\n\n"
+
+let cuda_direct_pointer strategy i (a : Descr.arg) =
+  match strategy with
+  | Soa -> Printf.sprintf "&arg%d_data[gbl_idx]" i
+  | Nosoa | Stage_nosoa -> Printf.sprintf "&arg%d_data[%d*gbl_idx]" i a.Descr.dim
+
+let emit_cuda_wrapper b strategy (loop : Descr.loop) =
+  let indirect = Descr.has_indirection loop in
+  buf_add b (Printf.sprintf "__global__ void op_cuda_%s(\n" loop.Descr.loop_name);
+  let params =
+    List.mapi
+      (fun i (a : Descr.arg) ->
+        match a.Descr.kind with
+        | Descr.Global -> Printf.sprintf "    double *arg%d_gbl" i
+        | Descr.Direct | Descr.Stencil _ | Descr.Indirect _ ->
+          Printf.sprintf "    %sdouble *arg%d_data" (const_qual a) i)
+      loop.Descr.args
+  in
+  buf_add b (String.concat ",\n" params);
+  if indirect then buf_add b ",\n    const int *map_data, const op_plan plan";
+  buf_add b ") {\n";
+  buf_add b "  int gbl_idx = blockIdx.x * blockDim.x + threadIdx.x;\n";
+  (match strategy with
+  | Stage_nosoa ->
+    buf_add b "  extern __shared__ double shared[];\n";
+    buf_add b "  // stage indirect data into shared memory, block cooperatively\n";
+    List.iteri
+      (fun i (a : Descr.arg) ->
+        match a.Descr.kind with
+        | Descr.Indirect _ when Access.reads a.Descr.access ->
+          buf_add b
+            (Printf.sprintf
+               "  double *arg%d_shared = &shared[arg%d_shared_offset];\n\
+                \  for (int k = threadIdx.x; k < arg%d_nelems*%d; k += blockDim.x)\n\
+                \    arg%d_shared[k] = arg%d_data[arg%d_global_of_local(k)];\n"
+               i i i a.Descr.dim i i i)
+        | Descr.Indirect _ ->
+          buf_add b
+            (Printf.sprintf
+               "  double *arg%d_shared = &shared[arg%d_shared_offset]; // zero-init, \
+                scattered after\n"
+               i i)
+        | Descr.Direct | Descr.Stencil _ | Descr.Global -> ())
+      loop.Descr.args;
+    buf_add b "  __syncthreads();\n"
+  | Nosoa | Soa -> ());
+  if indirect then begin
+    buf_add b "  // intermediate increments live in registers; scatter colour by colour\n";
+    buf_add b "  for (int col = 0; col < plan.nelemcolors; col++) {\n";
+    buf_add b "    if (elem_color[gbl_idx] == col) {\n"
+  end;
+  let indent = if indirect then "      " else "  " in
+  buf_add b (Printf.sprintf "%s%s(" indent loop.Descr.loop_name);
+  let args_text =
+    List.mapi
+      (fun i (a : Descr.arg) ->
+        match a.Descr.kind with
+        | Descr.Global -> Printf.sprintf "arg%d_gbl" i
+        | Descr.Direct | Descr.Stencil _ -> cuda_direct_pointer strategy i a
+        | Descr.Indirect { map_name; map_index; _ } -> (
+          match strategy with
+          | Stage_nosoa ->
+            Printf.sprintf "&arg%d_shared[%d*local_of(%s_map, %d)]" i a.Descr.dim
+              map_name map_index
+          | Soa ->
+            Printf.sprintf "&arg%d_data[%s_map[%d*gbl_idx+%d]]" i map_name
+              (map_arity loop map_name) map_index
+          | Nosoa ->
+            Printf.sprintf "&arg%d_data[%d*%s_map[%d*gbl_idx+%d]]" i a.Descr.dim
+              map_name (map_arity loop map_name) map_index))
+      loop.Descr.args
+  in
+  buf_add b (String.concat (",\n" ^ indent ^ "    ") args_text);
+  buf_add b ");\n";
+  if indirect then begin
+    buf_add b "    }\n    __syncthreads();\n  }\n"
+  end;
+  (match strategy with
+  | Stage_nosoa ->
+    buf_add b "  // write staged results back to global memory\n";
+    List.iteri
+      (fun i (a : Descr.arg) ->
+        match a.Descr.kind with
+        | Descr.Indirect _ when Access.writes a.Descr.access ->
+          buf_add b
+            (Printf.sprintf
+               "  for (int k = threadIdx.x; k < arg%d_nelems*%d; k += blockDim.x)\n\
+                \    %s;\n"
+               i a.Descr.dim
+               (if a.Descr.access = Access.Inc then
+                  Printf.sprintf
+                    "atomicAddNoConflict(&arg%d_data[arg%d_global_of_local(k)], \
+                     arg%d_shared[k])"
+                    i i i
+                else
+                  Printf.sprintf "arg%d_data[arg%d_global_of_local(k)] = arg%d_shared[k]"
+                    i i i))
+        | Descr.Indirect _ | Descr.Direct | Descr.Stencil _ | Descr.Global -> ())
+      loop.Descr.args
+  | Nosoa | Soa -> ());
+  buf_add b "}\n"
+
+(* ---- OPS structured targets ------------------------------------------------ *)
+
+(* Complete, compilable structured-grid translation unit: one padded-row
+   stride macro per dataset argument. *)
+let emit_ops_seq b (loop : Descr.loop) =
+  List.iteri
+    (fun i (a : Descr.arg) ->
+      match a.Descr.kind with
+      | Descr.Stencil _ | Descr.Direct ->
+        buf_add b
+          (Printf.sprintf "#define OPS_IDX%d(x, y) (%d * (((y) * arg%d_xdim) + (x)))\n"
+             i a.Descr.dim i)
+      | Descr.Global | Descr.Indirect _ -> ())
+    loop.Descr.args;
+  buf_add b "\n";
+  let params =
+    List.mapi
+      (fun i (a : Descr.arg) ->
+        match a.Descr.kind with
+        | Descr.Global -> [ Printf.sprintf "double *arg%d_gbl" i ]
+        | Descr.Stencil _ | Descr.Direct ->
+          [ Printf.sprintf "%sdouble *arg%d_data" (const_qual a) i;
+            Printf.sprintf "int arg%d_xdim" i ]
+        | Descr.Indirect _ -> assert false)
+      loop.Descr.args
+    |> List.concat
+  in
+  buf_add b
+    (Printf.sprintf "void ops_par_loop_%s(const int *range,\n    %s) {\n"
+       loop.Descr.loop_name
+       (String.concat ",\n    " params));
+  buf_add b "  for (int y = range[2]; y < range[3]; y++) {\n";
+  buf_add b "    for (int x = range[0]; x < range[1]; x++) {\n";
+  buf_add b (Printf.sprintf "      %s(" loop.Descr.loop_name);
+  buf_add b
+    (String.concat ", "
+       (List.mapi
+          (fun i (a : Descr.arg) ->
+            match a.Descr.kind with
+            | Descr.Global -> Printf.sprintf "arg%d_gbl" i
+            | Descr.Stencil _ | Descr.Direct ->
+              Printf.sprintf "&arg%d_data[OPS_IDX%d(x, y)]" i i
+            | Descr.Indirect _ -> assert false)
+          loop.Descr.args));
+  buf_add b ");\n    }\n  }\n}\n"
+
+let emit_ops_openmp b (loop : Descr.loop) =
+  buf_add b
+    (Printf.sprintf "void ops_par_loop_%s_omp(int *range, ...) {\n" loop.Descr.loop_name);
+  buf_add b "  // writes are centre-only: rows are independent\n";
+  buf_add b "  #pragma omp parallel for\n";
+  buf_add b "  for (int y = range[2]; y < range[3]; y++) {\n";
+  buf_add b "    for (int x = range[0]; x < range[1]; x++) {\n";
+  buf_add b (Printf.sprintf "      %s(/* as sequential */);\n" loop.Descr.loop_name);
+  buf_add b "    }\n  }\n}\n"
+
+(* ---- entry points ------------------------------------------------------------ *)
+
+(* op_decl_const declarations, emitted per target: CUDA constant memory on
+   the device (uploaded once with cudaMemcpyToSymbol by the runtime), plain
+   file-scope constants on CPU targets. *)
+let emit_consts b target consts =
+  if consts <> [] then begin
+    buf_add b "// global constants (op_decl_const)\n";
+    List.iter
+      (fun (name, values) ->
+        match target with
+        | Cuda _ ->
+          if Array.length values = 1 then
+            buf_add b (Printf.sprintf "__constant__ double %s;\n" name)
+          else
+            buf_add b
+              (Printf.sprintf "__constant__ double %s[%d];\n" name
+                 (Array.length values))
+        | C_seq | C_openmp | C_vectorized | C_mpi ->
+          if Array.length values = 1 then
+            buf_add b (Printf.sprintf "static const double %s = %.17g;\n" name values.(0))
+          else
+            buf_add b
+              (Printf.sprintf "static const double %s[%d] = {%s};\n" name
+                 (Array.length values)
+                 (String.concat ", "
+                    (List.map (Printf.sprintf "%.17g") (Array.to_list values)))))
+      consts;
+    buf_add b "\n"
+  end
+
+let generate_op2 target ?user_fun ?(consts = []) (loop : Descr.loop) =
+  let uf = match user_fun with Some u -> u | None -> default_user_fun loop in
+  let b = Buffer.create 1024 in
+  buf_add b
+    (Printf.sprintf "//\n// auto-generated by am-codegen: loop %s, target %s\n//\n\n"
+       loop.Descr.loop_name (target_to_string target));
+  emit_consts b target consts;
+  (match target with
+  | Cuda strategy ->
+    acc_macros b strategy loop;
+    emit_user_fun b ~device:true loop uf;
+    emit_cuda_wrapper b strategy loop
+  | C_seq ->
+    emit_user_fun b ~device:false loop uf;
+    emit_seq_wrapper b loop
+  | C_openmp ->
+    emit_user_fun b ~device:false loop uf;
+    emit_openmp_wrapper b loop
+  | C_mpi ->
+    emit_user_fun b ~device:false loop uf;
+    emit_mpi_wrapper b loop
+  | C_vectorized ->
+    emit_user_fun b ~device:false loop uf;
+    emit_vectorized_wrapper b loop);
+  Buffer.contents b
+
+let generate_ops target ?user_fun (loop : Descr.loop) =
+  let uf = match user_fun with Some u -> u | None -> default_user_fun loop in
+  let b = Buffer.create 1024 in
+  buf_add b
+    (Printf.sprintf "//\n// auto-generated by am-codegen: loop %s, target %s\n//\n\n"
+       loop.Descr.loop_name (target_to_string target));
+  (match target with
+  | C_seq | C_vectorized | C_mpi ->
+    emit_user_fun b ~device:false loop uf;
+    emit_ops_seq b loop
+  | C_openmp ->
+    emit_user_fun b ~device:false loop uf;
+    emit_ops_openmp b loop
+  | Cuda _ ->
+    emit_user_fun b ~device:true loop uf;
+    buf_add b
+      (Printf.sprintf
+         "__global__ void ops_cuda_%s(...) {\n\
+          \  // one thread per grid point; tile staged through shared memory\n\
+          \  int x = blockIdx.x*blockDim.x + threadIdx.x + range[0];\n\
+          \  int y = blockIdx.y*blockDim.y + threadIdx.y + range[2];\n\
+          \  if (x < range[1] && y < range[3]) %s(...);\n}\n"
+         loop.Descr.loop_name loop.Descr.loop_name));
+  Buffer.contents b
+
+(* The Fig 7 artifact: the coords-reading fragment of an Airfoil indirect
+   loop under the three memory strategies, matching the paper's listing. *)
+let fig7 () =
+  let b = Buffer.create 1024 in
+  buf_add b "#if NOSOA\n";
+  buf_add b "#define OP_ACC0(x) (x)\n";
+  buf_add b "#elif SOA\n";
+  buf_add b "#define OP_ACC0(x) ((x)*coord_stride)\n";
+  buf_add b "#endif\n";
+  buf_add b "__device__ void user_fun(double *coords, ...) {\n";
+  buf_add b "  ...\n";
+  buf_add b "  double x = coords[OP_ACC0(0)];\n";
+  buf_add b "  double y = coords[OP_ACC0(1)];\n";
+  buf_add b "  ...\n";
+  buf_add b "}\n";
+  buf_add b "__global__ void wrapper(double *coords, ...) {\n";
+  buf_add b "  int gbl_idx = ...;\n";
+  buf_add b "#if STAGE_NOSOA\n";
+  buf_add b "  __shared__ double scratch[...];\n";
+  buf_add b "  scratch[2*threadIdx.x  ] = coords[2*gbl_idx+0];\n";
+  buf_add b "  scratch[2*threadIdx.x+1] = coords[2*gbl_idx+1];\n";
+  buf_add b "  user_fun(&scratch[2*threadIdx.x], ...);\n";
+  buf_add b "#elif NOSOA\n";
+  buf_add b "  user_fun(&coords[2*gbl_idx], ...);\n";
+  buf_add b "#elif SOA\n";
+  buf_add b "  user_fun(&coords[gbl_idx], ...);\n";
+  buf_add b "#endif\n";
+  buf_add b "}\n";
+  Buffer.contents b

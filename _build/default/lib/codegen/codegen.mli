@@ -1,0 +1,46 @@
+(** Source-to-source translator.
+
+    Consumes the backend-independent loop descriptors the runtime executes
+    and emits human-readable C / OpenMP / vectorised-C / CUDA source with
+    the structure of the paper's generated code (one implementation per
+    (loop, target) pair). The CUDA targets realise the three memory
+    strategies of the paper's Fig 7. *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+
+(** Fig 7's memory strategies: direct array-of-structures access,
+    structure-of-arrays with stride macros, or staged shared memory. *)
+type cuda_strategy = Nosoa | Soa | Stage_nosoa
+
+type target =
+  | C_seq  (** the human-readable debugging implementation *)
+  | C_openmp  (** block-colour schedule with [#pragma omp parallel for] *)
+  | C_vectorized  (** packed gather / simd body / packed scatter *)
+  | C_mpi
+      (** owner-compute wrapper bracketed by on-demand halo exchange,
+          dirty-bit and collective-reduction runtime calls *)
+  | Cuda of cuda_strategy
+
+(** Short identifier used in generated headers and file names. *)
+val target_to_string : target -> string
+
+(** The user function ("science code"): parameter names and body text. A
+    placeholder body is generated when absent. *)
+type user_fun = { params : string list; body : string }
+
+val default_user_fun : Descr.loop -> user_fun
+
+(** Generate the implementation of one unstructured-mesh loop. [consts]
+    are op_decl_const globals, emitted as CUDA constant memory or
+    file-scope C constants depending on the target. *)
+val generate_op2 :
+  target -> ?user_fun:user_fun -> ?consts:(string * float array) list ->
+  Descr.loop -> string
+
+(** Generate the implementation of one structured-mesh loop. *)
+val generate_ops : target -> ?user_fun:user_fun -> Descr.loop -> string
+
+(** The paper's Fig 7 listing verbatim (OP_ACC macros + wrapper for the
+    three strategies). *)
+val fig7 : unit -> string

@@ -1,0 +1,1 @@
+lib/core/descr.ml: Access Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/descr.mli: Access

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Am_util Float Hashtbl List Printf

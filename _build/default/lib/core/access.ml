@@ -1,0 +1,41 @@
+(* Access descriptors — the heart of the access-execute abstraction.
+
+   Every argument of a parallel loop declares how the user kernel touches it;
+   this single declaration is what lets the library derive halo exchanges,
+   race-free colourings, checkpoint contents and data-movement estimates
+   without inspecting the kernel body. *)
+
+type t =
+  | Read (* consumed only *)
+  | Write (* fully overwritten, previous value irrelevant *)
+  | Inc (* accumulated into; kernels see a zeroed buffer *)
+  | Rw (* read and modified *)
+  | Min (* global reduction: minimum *)
+  | Max (* global reduction: maximum *)
+
+let to_string = function
+  | Read -> "R"
+  | Write -> "W"
+  | Inc -> "I"
+  | Rw -> "RW"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let reads = function
+  | Read | Rw -> true
+  | Write | Inc | Min | Max -> false
+
+let writes = function
+  | Write | Inc | Rw -> true
+  | Read -> false
+  | Min | Max -> true
+
+(* Valid on mesh datasets (reductions are for globals only). *)
+let valid_on_dat = function
+  | Read | Write | Inc | Rw -> true
+  | Min | Max -> false
+
+(* Valid on global arguments. *)
+let valid_on_gbl = function
+  | Read | Inc | Min | Max -> true
+  | Write | Rw -> false

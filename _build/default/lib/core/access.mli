@@ -1,0 +1,24 @@
+(** Access descriptors of the access-execute abstraction. *)
+
+type t =
+  | Read
+  | Write  (** fully overwritten; previous value irrelevant *)
+  | Inc  (** accumulated into; kernels see a zeroed buffer *)
+  | Rw
+  | Min  (** global reduction: minimum *)
+  | Max  (** global reduction: maximum *)
+
+(** Short form used in reports ("R", "W", "I", "RW", "MIN", "MAX"). *)
+val to_string : t -> string
+
+(** Whether the kernel observes the previous value. *)
+val reads : t -> bool
+
+(** Whether the kernel produces a new value. *)
+val writes : t -> bool
+
+(** Modes allowed on mesh datasets (reductions are global-only). *)
+val valid_on_dat : t -> bool
+
+(** Modes allowed on global arguments. *)
+val valid_on_gbl : t -> bool

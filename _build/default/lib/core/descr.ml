@@ -1,0 +1,112 @@
+(* Backend-independent description of an executed parallel loop.
+
+   Both OP2 and OPS reduce a [par_loop] call to this record before handing it
+   to the shared consumers: the profiler, the performance model (bytes/flops
+   per element), the checkpointing planner (access modes per dataset) and the
+   code generator. *)
+
+type arg_kind =
+  | Direct (* dataset on the iteration set, element i reads slot i *)
+  | Indirect of { map_name : string; map_index : int; ratio : float }
+    (* dataset reached through one level of indirection; [ratio] is
+       target-set size over iteration-set size — under perfect reuse a loop
+       only has to move each referenced element once, so the amortised data
+       volume per iteration element is dim * 8 * ratio *)
+  | Stencil of { points : int } (* OPS: structured stencil of given size *)
+  | Global (* reduction / read-only global *)
+
+type arg = {
+  dat_name : string;
+  dat_id : int; (* unique id of the dataset within its context; -1 for globals *)
+  dim : int; (* values per element *)
+  access : Access.t;
+  kind : arg_kind;
+}
+
+(* Per-element computational intensity, supplied by the application author
+   next to the kernel (the paper's generator extracts it from source; we
+   declare it).  [transcendentals] counts sqrt/exp-class operations, which
+   dominate some kernels (adt_calc) and vectorise badly. *)
+type kernel_info = { flops : float; transcendentals : float }
+
+let default_kernel_info = { flops = 0.0; transcendentals = 0.0 }
+
+type loop = {
+  loop_name : string;
+  set_name : string;
+  set_size : int;
+  args : arg list;
+  info : kernel_info;
+}
+
+let is_indirect_arg a =
+  match a.kind with
+  | Indirect _ -> true
+  | Direct | Stencil _ | Global -> false
+
+let has_indirection loop = List.exists is_indirect_arg loop.args
+
+(* Useful bytes a loop must move per iteration-set element, assuming perfect
+   caching of repeated indirect accesses: every distinct (dataset, direction)
+   is transferred once per element referenced.  Double precision throughout.
+   Indirect args additionally move a 4-byte index per reference. *)
+let bytes_per_element loop =
+  (* Indirect traffic is grouped: arguments reaching the same dataset
+     together move each referenced element once (amortised by the
+     target/iteration set-size ratio, capped by the reference count), and a
+     shared map row is loaded once per distinct (map, index). Inc counts as
+     read+write (hardware read-modify-write). *)
+  let direct = ref 0 in
+  let indirect_dats = Hashtbl.create 4 in
+  let map_indices = Hashtbl.create 4 in
+  List.iter
+    (fun a ->
+      let dir_factor =
+        (if Access.reads a.access || a.access = Access.Inc then 1 else 0)
+        + (if Access.writes a.access then 1 else 0)
+      in
+      match a.kind with
+      | Global -> ()
+      | Direct | Stencil _ -> direct := !direct + (dir_factor * a.dim * 8)
+      | Indirect { map_name; map_index; ratio } ->
+        Hashtbl.replace map_indices (map_name, map_index) ();
+        let entry =
+          match Hashtbl.find_opt indirect_dats a.dat_id with
+          | Some e -> e
+          | None ->
+            let e = (a.dim, ref ratio, ref 0, ref 0) in
+            Hashtbl.add indirect_dats a.dat_id e;
+            e
+        in
+        let _, _, refs, factor = entry in
+        incr refs;
+        factor := max !factor dir_factor)
+    loop.args;
+  let indirect =
+    Hashtbl.fold
+      (fun _ (dim, ratio, refs, factor) acc ->
+        acc
+        +. (Float.of_int (dim * 8 * !factor)
+            *. Float.min !ratio (Float.of_int !refs)))
+      indirect_dats 0.0
+  in
+  !direct + Float.to_int (Float.round indirect) + (4 * Hashtbl.length map_indices)
+
+let total_bytes loop = bytes_per_element loop * loop.set_size
+
+let total_flops loop = loop.info.flops *. Float.of_int loop.set_size
+
+(* Render an access summary like "q(4):R[cell->node#0]" used in traces. *)
+let arg_to_string a =
+  let kind =
+    match a.kind with
+    | Direct -> ""
+    | Indirect { map_name; map_index; _ } -> Printf.sprintf "[%s#%d]" map_name map_index
+    | Stencil { points } -> Printf.sprintf "[stencil:%d]" points
+    | Global -> "[gbl]"
+  in
+  Printf.sprintf "%s(%d):%s%s" a.dat_name a.dim (Access.to_string a.access) kind
+
+let loop_to_string l =
+  Printf.sprintf "%s over %s(%d): %s" l.loop_name l.set_name l.set_size
+    (String.concat " " (List.map arg_to_string l.args))

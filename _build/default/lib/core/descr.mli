@@ -1,0 +1,46 @@
+(** Backend-independent description of an executed parallel loop, shared by
+    the profiler, performance model, checkpoint planner and code generator. *)
+
+type arg_kind =
+  | Direct
+  | Indirect of { map_name : string; map_index : int; ratio : float }
+    (** [ratio] = target-set size / iteration-set size, for amortised
+        traffic accounting *)
+  | Stencil of { points : int }
+  | Global
+
+type arg = {
+  dat_name : string;
+  dat_id : int;  (** unique dataset id within its context; -1 for globals *)
+  dim : int;
+  access : Access.t;
+  kind : arg_kind;
+}
+
+(** Per-element computational intensity declared by the application author.
+    [transcendentals] counts sqrt/exp-class operations. *)
+type kernel_info = { flops : float; transcendentals : float }
+
+val default_kernel_info : kernel_info
+
+type loop = {
+  loop_name : string;
+  set_name : string;
+  set_size : int;
+  args : arg list;
+  info : kernel_info;
+}
+
+val is_indirect_arg : arg -> bool
+val has_indirection : loop -> bool
+
+(** Useful bytes per iteration element under perfect reuse: direct and
+    stencil data move once, indirect data moves [ratio] times (each
+    referenced element once), and every indirect reference adds a 4-byte
+    map index. Inc counts as read+write. *)
+val bytes_per_element : loop -> int
+
+val total_bytes : loop -> int
+val total_flops : loop -> float
+val arg_to_string : arg -> string
+val loop_to_string : loop -> string

@@ -1,0 +1,75 @@
+(* Per-loop execution profile.
+
+   Mirrors OP2/OPS's built-in timing breakdowns (the source of Table I):
+   every [par_loop] accumulates wall time, invocation count and an estimate
+   of useful bytes moved, keyed by loop name. *)
+
+type entry = {
+  mutable count : int;
+  mutable seconds : float;
+  mutable bytes : int;
+  mutable elements : int;
+  mutable halo_seconds : float; (* time spent in communication for this loop *)
+}
+
+type t = { entries : (string, entry) Hashtbl.t; mutable enabled : bool }
+
+let create () = { entries = Hashtbl.create 32; enabled = true }
+
+let set_enabled t flag = t.enabled <- flag
+
+let entry t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some e -> e
+  | None ->
+    let e = { count = 0; seconds = 0.0; bytes = 0; elements = 0; halo_seconds = 0.0 } in
+    Hashtbl.add t.entries name e;
+    e
+
+let record t ~name ~seconds ~bytes ~elements =
+  if t.enabled then begin
+    let e = entry t name in
+    e.count <- e.count + 1;
+    e.seconds <- e.seconds +. seconds;
+    e.bytes <- e.bytes + bytes;
+    e.elements <- e.elements + elements
+  end
+
+let record_halo t ~name ~seconds =
+  if t.enabled then begin
+    let e = entry t name in
+    e.halo_seconds <- e.halo_seconds +. seconds
+  end
+
+let find t name = Hashtbl.find_opt t.entries name
+
+let reset t = Hashtbl.reset t.entries
+
+let total_seconds t =
+  Hashtbl.fold (fun _ e acc -> acc +. e.seconds) t.entries 0.0
+
+(* Entries sorted by descending total time. *)
+let to_list t =
+  let items = Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.entries [] in
+  List.sort (fun (_, a) (_, b) -> Float.compare b.seconds a.seconds) items
+
+let report t =
+  let table =
+    Am_util.Table.create ~title:"loop profile"
+      ~header:[ "loop"; "calls"; "time"; "GB moved"; "GB/s"; "halo time" ]
+      ~aligns:[ Am_util.Table.Left; Right; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun (name, e) ->
+      Am_util.Table.add_row table
+        [
+          name;
+          string_of_int e.count;
+          Am_util.Units.seconds e.seconds;
+          Printf.sprintf "%.3f" (Float.of_int e.bytes /. 1e9);
+          Printf.sprintf "%.2f" (Am_util.Units.bandwidth_gbs e.bytes e.seconds);
+          Am_util.Units.seconds e.halo_seconds;
+        ])
+    (to_list t);
+  Am_util.Table.render table

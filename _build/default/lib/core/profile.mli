@@ -1,0 +1,28 @@
+(** Per-loop execution profile (the source of Table-I-style breakdowns). *)
+
+type entry = {
+  mutable count : int;
+  mutable seconds : float;
+  mutable bytes : int;  (** estimated useful bytes moved *)
+  mutable elements : int;  (** iteration elements processed *)
+  mutable halo_seconds : float;  (** communication time attributed to the loop *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Disable to remove the (small) bookkeeping cost. *)
+val set_enabled : t -> bool -> unit
+
+val record : t -> name:string -> seconds:float -> bytes:int -> elements:int -> unit
+val record_halo : t -> name:string -> seconds:float -> unit
+val find : t -> string -> entry option
+val reset : t -> unit
+val total_seconds : t -> float
+
+(** Entries by descending total time. *)
+val to_list : t -> (string * entry) list
+
+(** Rendered table (loop, calls, time, GB, GB/s, halo time). *)
+val report : t -> string

@@ -1,0 +1,38 @@
+(* Loop-sequence tracing.
+
+   The checkpointing planner (paper Section VI, Fig 8) reasons over the
+   sequence of parallel loops an application executes and how each accesses
+   each dataset.  Backends append a [Descr.loop] per invocation when tracing
+   is on; analyses then run over the recorded program. *)
+
+type t = { mutable events : Descr.loop list (* reversed *); mutable enabled : bool }
+
+let create () = { events = []; enabled = false }
+
+let set_enabled t flag = t.enabled <- flag
+let is_enabled t = t.enabled
+
+let record t loop = if t.enabled then t.events <- loop :: t.events
+
+let events t = List.rev t.events
+
+let length t = List.length t.events
+
+let clear t = t.events <- []
+
+(* Names of datasets appearing in the trace, in first-appearance order. *)
+let dataset_names t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun (loop : Descr.loop) ->
+      List.iter
+        (fun (a : Descr.arg) ->
+          if a.Descr.kind <> Descr.Global && not (Hashtbl.mem seen a.Descr.dat_name)
+          then begin
+            Hashtbl.add seen a.Descr.dat_name ();
+            out := a.Descr.dat_name :: !out
+          end)
+        loop.Descr.args)
+    (events t);
+  List.rev !out

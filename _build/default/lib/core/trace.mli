@@ -1,0 +1,21 @@
+(** Loop-sequence tracing for the checkpoint planner and analyses. *)
+
+type t
+
+(** Fresh trace, disabled by default. *)
+val create : unit -> t
+
+val set_enabled : t -> bool -> unit
+val is_enabled : t -> bool
+
+(** Append an event (no-op while disabled). *)
+val record : t -> Descr.loop -> unit
+
+(** Events in execution order. *)
+val events : t -> Descr.loop list
+
+val length : t -> int
+val clear : t -> unit
+
+(** Dataset names in first-appearance order (globals excluded). *)
+val dataset_names : t -> string list

@@ -1,0 +1,1 @@
+lib/experiments/calibrate.ml: Am_aero Am_airfoil Am_cloverleaf Am_cloverleaf3 Am_core Am_hydra Am_mesh Am_op2 Am_ops Am_perfmodel Am_simmpi Am_tealeaf Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Am_core Am_perfmodel Am_util Calibrate Float List Printf

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Am_checkpoint Am_codegen Am_core Am_perfmodel Am_util Calibrate Float List Printf

@@ -1,0 +1,1 @@
+lib/experiments/measured.ml: Am_aero Am_airfoil Am_cloverleaf Am_hydra Am_mesh Am_op2 Am_ops Am_taskpool Am_util Domain List Printf Unix

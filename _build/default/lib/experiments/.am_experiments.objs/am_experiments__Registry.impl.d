@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Extensions Figures List Measured Printf

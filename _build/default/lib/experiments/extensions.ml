@@ -1,0 +1,78 @@
+(* Extension experiments: the paper's methodology applied to systems the
+   paper does not evaluate — the TeaLeaf-sim implicit solver and CloverLeaf
+   3D, both on the 3D OPS instantiation.  Nothing here has a paper
+   counterpart; the point is that the same pipeline (trace a real run,
+   re-price the loop descriptors on the calibrated device models, measure
+   communication on the rank simulator) turns any new application into a
+   cross-hardware projection for free — the "insights from proxy apps
+   transfer" argument extended to new proxies. *)
+
+module Table = Am_util.Table
+module Units = Am_util.Units
+module Descr = Am_core.Descr
+module Model = Am_perfmodel.Model
+module Machines = Am_perfmodel.Machines
+
+let vec = Model.default_style
+
+(* Per-loop breakdown of one step on CPU vs GPU, plus the step totals and
+   the reduction count (the latency term CG adds at scale). *)
+let app_table ~title ~target_cells traced =
+  let factor =
+    Float.of_int target_cells /. Float.of_int traced.Calibrate.ref_cells
+  in
+  let table =
+    Table.create ~title
+      ~header:[ "loop"; "calls/step"; "E5-2697 (ms)"; "K40 (ms)"; "GB/step" ]
+      ~aligns:[ Table.Left; Right; Right; Right; Right ]
+      ()
+  in
+  let total_cpu = ref 0.0 and total_gpu = ref 0.0 in
+  List.iter
+    (fun (p : Calibrate.loop_profile) ->
+      let loop = Model.scale_loop factor p.Calibrate.descr in
+      let calls = Float.of_int p.Calibrate.calls_per_iteration in
+      let cpu = Model.loop_time Machines.xeon_e5_2697v2 vec loop *. calls in
+      let gpu = Model.loop_time Machines.nvidia_k40 vec loop *. calls in
+      total_cpu := !total_cpu +. cpu;
+      total_gpu := !total_gpu +. gpu;
+      (* traffic_of_loop is per element; total it over the scaled range. *)
+      let traffic =
+        Model.useful_bytes_per_element loop
+        *. Float.of_int loop.Descr.set_size *. calls
+      in
+      Table.add_row table
+        [
+          p.Calibrate.descr.Descr.loop_name;
+          string_of_int p.Calibrate.calls_per_iteration;
+          Units.f2 (cpu *. 1e3);
+          Units.f2 (gpu *. 1e3);
+          Units.f2 (traffic /. 1e9);
+        ])
+    traced.Calibrate.profiles;
+  Table.add_row table
+    [ "TOTAL / step"; "";
+      Units.f2 (!total_cpu *. 1e3); Units.f2 (!total_gpu *. 1e3); "" ];
+  Table.print table;
+  Printf.printf "  speedup K40/E5: %.2fx; global reductions/step: %d\n\n"
+    (!total_cpu /. !total_gpu) traced.Calibrate.reductions_per_iter
+
+let run () =
+  print_endline
+    "Extensions: the paper's trace-and-model pipeline applied to proxies the\n\
+     paper does not evaluate. Shape expectations: both are structured,\n\
+     unit-stride, bandwidth-bound codes, so the modelled K40 win sits near\n\
+     the full streaming-bandwidth ratio (~2.8x over the dual-socket E5) —\n\
+     LARGER than unstructured Airfoil/Hydra, whose gather-bound kernels\n\
+     blunt the GPU's advantage (Table I: res_calc roughly ties between the\n\
+     two devices). TeaLeaf adds ~2 global reductions per CG iteration, a\n\
+     latency term at scale that CloverLeaf's one dt-reduction per step\n\
+     does not have.\n";
+  let tea = Calibrate.trace_tealeaf () in
+  app_table
+    ~title:"extension: TeaLeaf-sim implicit step at 256^3 (traced, modelled)"
+    ~target_cells:(256 * 256 * 256) tea;
+  let c3 = Calibrate.trace_cloverleaf3 () in
+  app_table
+    ~title:"extension: CloverLeaf 3D hydro step at 256^3 (traced, modelled)"
+    ~target_cells:(256 * 256 * 256) c3

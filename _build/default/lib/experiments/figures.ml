@@ -1,0 +1,427 @@
+(* Regeneration of every table and figure in the paper's evaluation.
+
+   Each experiment prints the paper's reported numbers next to the numbers
+   this repository produces (analytic model priced on traced workloads; see
+   [Calibrate]).  Absolute agreement is not the goal — the authors'testbeds
+   are modelled, not owned — but the *shape* of every comparison (who wins,
+   by roughly what factor, where scaling tails off) is asserted by the test
+   suite and recorded in EXPERIMENTS.md.
+
+   Per-series style constants that encode mechanisms the paper itself
+   reports (NUMA-blind first touch in hand-coded OpenMP, loop fusion in the
+   hand-coded CUDA CloverLeaf, OpenCL driver overhead, Hydra's reduced GPU
+   occupancy) are documented inline where they are set. *)
+
+module Table = Am_util.Table
+module Units = Am_util.Units
+module Machines = Am_perfmodel.Machines
+module Model = Am_perfmodel.Model
+module Cluster = Am_perfmodel.Cluster
+module Descr = Am_core.Descr
+
+let vec = Model.default_style
+let novec = Model.unvectorized
+
+let f2 = Units.f2
+let f1 = Units.f1
+
+(* ---- Table I ----------------------------------------------------------- *)
+
+(* Paper values: (loop, (time_s, bw_gbs) per device). *)
+let table1_paper =
+  [
+    ("save_soln", (2.9, 62.0), (2.17, 84.0), (0.81, 213.0));
+    ("adt_calc", (5.6, 57.0), (6.86, 47.0), (2.63, 115.0));
+    ("res_calc", (9.9, 69.0), (27.2, 25.0), (10.8, 60.0));
+    ("update", (9.8, 79.0), (8.77, 89.0), (3.22, 228.0));
+  ]
+
+let table1 () =
+  let traced = Calibrate.trace_airfoil () in
+  let iters = Calibrate.airfoil_paper_iterations in
+  let factor =
+    Float.of_int Calibrate.airfoil_paper_cells /. Float.of_int traced.Calibrate.ref_cells
+  in
+  let table =
+    Table.create ~title:"Table I: Airfoil loop breakdown (paper vs model)"
+      ~header:
+        [
+          "loop"; "E5-2697 paper"; "E5-2697 model"; "Phi paper"; "Phi model";
+          "K40 paper"; "K40 model";
+        ]
+      ~aligns:[ Table.Left; Right; Right; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun (name, cpu_p, phi_p, k40_p) ->
+      let profile =
+        List.find
+          (fun p -> p.Calibrate.descr.Descr.loop_name = name)
+          traced.Calibrate.profiles
+      in
+      let loop = Model.scale_loop factor profile.Calibrate.descr in
+      let executions = profile.Calibrate.calls_per_iteration * iters in
+      let cell dev =
+        let t = Model.loop_time dev vec loop *. Float.of_int executions in
+        let bw = Model.loop_bandwidth_gbs dev vec loop in
+        Printf.sprintf "%ss %s GB/s" (f2 t) (Units.f0 bw)
+      in
+      let paper (t, bw) = Printf.sprintf "%ss %s GB/s" (f2 t) (Units.f0 bw) in
+      Table.add_row table
+        [
+          name; paper cpu_p; cell Machines.xeon_e5_2697v2; paper phi_p;
+          cell Machines.xeon_phi_5110p; paper k40_p; cell Machines.nvidia_k40;
+        ])
+    table1_paper;
+  Table.print table;
+  print_endline
+    "  workload: traced Airfoil iteration re-priced at 2.8M cells, 1000 iterations";
+  print_endline
+    "  (save_soln runs once and the other loops twice per iteration, as traced)\n"
+
+(* ---- Fig 2 -------------------------------------------------------------- *)
+
+(* Airfoil total runtime on single-node systems. Paper bars: the three
+   devices of Table I (sums of its columns) plus the unvectorised and hybrid
+   CPU variants read off the figure. *)
+let fig2_series =
+  [
+    (* name, device, style, paper seconds, note *)
+    ("CPU (MPI)", Machines.xeon_e5_2697v2, novec, 42.0, "figure (approx)");
+    ("CPU (MPI vectorized)", Machines.xeon_e5_2697v2, vec, 28.2, "Table I sum");
+    ( "CPU (MPI+OpenMP)",
+      Machines.xeon_e5_2697v2,
+      { novec with Model.numa_efficiency = 0.97 },
+      43.0,
+      "figure (approx)" );
+    ( "CPU (MPI+OpenMP vec)",
+      Machines.xeon_e5_2697v2,
+      { vec with Model.numa_efficiency = 0.97 },
+      29.0,
+      "figure (approx)" );
+    ("Xeon Phi (MPI+OMP vec)", Machines.xeon_phi_5110p, vec, 45.0, "Table I sum");
+    ("CUDA K40", Machines.nvidia_k40, vec, 17.5, "Table I sum");
+  ]
+
+let fig2 () =
+  let traced = Calibrate.trace_airfoil () in
+  let step =
+    Calibrate.scaled_iteration traced ~cells:Calibrate.airfoil_paper_cells
+  in
+  let iters = Float.of_int Calibrate.airfoil_paper_iterations in
+  let table =
+    Table.create ~title:"Fig 2: Airfoil single-node runtime (1000 iterations)"
+      ~header:[ "configuration"; "paper (s)"; "model (s)"; "paper source" ]
+      ~aligns:[ Table.Left; Right; Right; Left ]
+      ()
+  in
+  List.iter
+    (fun (name, dev, style, paper, src) ->
+      let t = Model.sequence_time dev style step *. iters in
+      Table.add_row table [ name; f1 paper; f1 t; src ])
+    fig2_series;
+  Table.print table;
+  print_newline ()
+
+(* ---- Fig 3 -------------------------------------------------------------- *)
+
+(* Hydra runtime on one Xeon E5-2640 node. Mechanism encodings:
+   - Original and OP2-unopt run the production mesh ordering: gathers at
+     locality 0.6; they differ only by framework overhead, which both the
+     paper and our measured runs put at ~zero.
+   - OP2 (MPI) adds PT-Scotch-class partitioning and mesh renumbering:
+     locality 1.0 — the ~30% of the paper.
+   - Hydra's loops are too complex for compiler vectorisation (Section IV),
+     so all CPU rows are unvectorised.
+   - The K40 row runs at reduced occupancy (0.6): more state and registers
+     per thread, higher branch divergence. *)
+let fig3 () =
+  let traced = Calibrate.trace_hydra () in
+  let step = Calibrate.scaled_iteration traced ~cells:Calibrate.hydra_paper_cells in
+  let iters = Float.of_int Calibrate.hydra_paper_iterations in
+  let series =
+    [
+      ("Original (MPI)", Machines.xeon_e5_2640,
+       { novec with Model.locality = 0.6 }, 21.0);
+      ("OP2 unopt (MPI)", Machines.xeon_e5_2640,
+       { novec with Model.locality = 0.6 }, 21.5);
+      ("OP2 (MPI)", Machines.xeon_e5_2640, novec, 15.0);
+      ( "OP2 (MPI+OpenMP)", Machines.xeon_e5_2640,
+        { novec with Model.numa_efficiency = 0.97 }, 15.5 );
+      ("OP2 (CUDA K40)", Machines.nvidia_k40,
+       { vec with Model.gpu_occupancy = 0.6 }, 5.5);
+    ]
+  in
+  let table =
+    Table.create ~title:"Fig 3: Hydra single-node runtime (20 iterations)"
+      ~header:[ "configuration"; "paper (s, approx)"; "model (s)" ]
+      ~aligns:[ Table.Left; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun (name, dev, style, paper) ->
+      let t = Model.sequence_time dev style step *. iters in
+      Table.add_row table [ name; f1 paper; f1 t ])
+    series;
+  Table.print table;
+  print_newline ()
+
+(* ---- Fig 4 -------------------------------------------------------------- *)
+
+let scaling_nodes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
+
+let print_scaling_table ~title series =
+  let header =
+    "nodes" :: List.map (fun (name, _) -> name) series
+  in
+  let table =
+    Table.create ~title ~header
+      ~aligns:(Table.Right :: List.map (fun _ -> Table.Right) series)
+      ()
+  in
+  List.iteri
+    (fun i nodes ->
+      Table.add_row table
+        (string_of_int nodes
+         :: List.map
+              (fun (_, points) ->
+                let p = List.nth points i in
+                Printf.sprintf "%s (%.0f%%)" (f2 p.Cluster.seconds)
+                  (100.0 *. p.Cluster.efficiency))
+              series))
+    scaling_nodes;
+  Table.print table
+
+let fig4 () =
+  let airfoil = Calibrate.trace_airfoil () in
+  let hydra = Calibrate.trace_hydra () in
+  let airfoil_w = Calibrate.workload airfoil ~neighbours:4 in
+  let hydra_w = Calibrate.workload hydra ~neighbours:4 in
+  let steps = 100 in
+  (* Hydra is unvectorisable on CPUs (Section IV) and runs at reduced GPU
+     occupancy; Airfoil vectorises and fills the GPU. *)
+  let strong w style cluster global =
+    Cluster.strong_scaling cluster style w ~global_elements:global
+      ~node_counts:scaling_nodes ~steps
+  in
+  let weak w style cluster per_node =
+    Cluster.weak_scaling cluster style w ~elements_per_node:per_node
+      ~node_counts:scaling_nodes ~steps
+  in
+  print_scaling_table
+    ~title:"Fig 4a: strong scaling, seconds (parallel efficiency) for 100 iterations"
+    [
+      ("Airfoil CPU (HECToR)",
+       strong airfoil_w vec Machines.hector Calibrate.airfoil_paper_cells);
+      ("Airfoil GPU (Emerald)",
+       strong airfoil_w vec Machines.emerald Calibrate.airfoil_paper_cells);
+      ("Hydra CPU (HECToR)",
+       strong hydra_w novec Machines.hector Calibrate.hydra_paper_cells);
+      ( "Hydra GPU (Jade)",
+        strong hydra_w
+          { vec with Model.gpu_occupancy = 0.6 }
+          Machines.jade Calibrate.hydra_paper_cells );
+    ];
+  print_endline
+    "  shape targets: GPUs tail off before CPUs as per-node work shrinks\n";
+  let per_node_airfoil = Calibrate.airfoil_paper_cells / 8 in
+  let per_node_hydra = Calibrate.hydra_paper_cells / 8 in
+  print_scaling_table
+    ~title:"Fig 4b: weak scaling, seconds (efficiency) for 100 iterations"
+    [
+      ("Airfoil CPU (HECToR)", weak airfoil_w vec Machines.hector per_node_airfoil);
+      ("Airfoil GPU (Emerald)", weak airfoil_w vec Machines.emerald per_node_airfoil);
+      ("Hydra CPU (HECToR)", weak hydra_w novec Machines.hector per_node_hydra);
+      ( "Hydra GPU (Jade)",
+        weak hydra_w { vec with Model.gpu_occupancy = 0.6 } Machines.jade
+          per_node_hydra );
+    ];
+  print_endline "  shape targets: near-flat weak scaling (paper: <5% loss, Airfoil CPU)\n"
+
+(* ---- Fig 5 -------------------------------------------------------------- *)
+
+(* The 32-core CPU node of the CloverLeaf comparison (dual-socket Sandy
+   Bridge class). *)
+let fig5_cpu_node =
+  {
+    Machines.name = "32-core CPU node";
+    stream_bw = 76.0;
+    gather_efficiency = 0.85;
+    flops = 500.0;
+    transcendental_rate = 20.0;
+    scalar_penalty = 3.0;
+    loop_latency = 5e-6;
+    half_work = 0.0;
+    rfo = true;
+    is_gpu = false;
+  }
+
+(* Per-series mechanisms (paper-reported, encoded as style):
+   - hand-coded OpenMP lacks NUMA-aware first touch (OPS is ~20% faster);
+   - hand-coded CUDA fuses some loops (~6% fewer bytes);
+   - OpenCL on the CPU defeats vectorisation and adds driver overhead;
+   - OpenACC adds overhead to both, more to the hand-coded version;
+   - OPS's generated MPI code is within a few % of hand-tuned. *)
+let fig5_series =
+  [
+    (* name, device, original style, ops style, paper (orig, ops) *)
+    ( "32 OMP", fig5_cpu_node,
+      { vec with Model.numa_efficiency = 0.8 }, vec, (57.39, 45.92) );
+    ("32 MPI", fig5_cpu_node, vec, { vec with Model.runtime_overhead = 1.02 },
+     (44.60, 45.55));
+    ( "2OMPx16MPI", fig5_cpu_node, vec,
+      { vec with Model.runtime_overhead = 1.04 }, (44.22, 45.82) );
+    ( "OpenCL (CPU)", fig5_cpu_node,
+      { novec with Model.runtime_overhead = 1.08 },
+      { novec with Model.runtime_overhead = 1.11 }, (61.54, 63.35) );
+    ( "CUDA", Machines.nvidia_k20x,
+      { vec with Model.runtime_overhead = 0.94 (* hand loop-fusion *) }, vec,
+      (14.14, 15.01) );
+    ( "OpenCL (GPU)", Machines.nvidia_k20x,
+      { vec with Model.runtime_overhead = 1.08 },
+      { vec with Model.runtime_overhead = 1.08 }, (16.19, 16.27) );
+    ( "OpenACC", Machines.nvidia_k20x,
+      { vec with Model.runtime_overhead = 1.45 },
+      { vec with Model.runtime_overhead = 1.32 }, (21.67, 19.82) );
+  ]
+
+let fig5 () =
+  let traced = Calibrate.trace_cloverleaf () in
+  let step = Calibrate.scaled_iteration traced ~cells:Calibrate.clover_fig5_cells in
+  let steps = Float.of_int Calibrate.clover_fig5_steps in
+  let table =
+    Table.create
+      ~title:"Fig 5: CloverLeaf 3840^2, hand-coded Original vs OPS-generated"
+      ~header:
+        [ "configuration"; "orig paper"; "orig model"; "OPS paper"; "OPS model";
+          "OPS/orig model" ]
+      ~aligns:[ Table.Left; Right; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun (name, dev, style_orig, style_ops, (paper_orig, paper_ops)) ->
+      let t style =
+        Model.sequence_time dev style step *. steps
+        *. Calibrate.clover_paper_traffic_factor
+      in
+      let to_ = t style_orig and tp = t style_ops in
+      Table.add_row table
+        [ name; f1 paper_orig; f1 to_; f1 paper_ops; f1 tp; f2 (tp /. to_) ])
+    fig5_series;
+  Table.print table;
+  print_newline ()
+
+(* ---- Fig 6 -------------------------------------------------------------- *)
+
+let fig6_nodes_strong = [ 128; 256; 512; 1024; 2048; 4096; 8192 ]
+let fig6_nodes_weak = [ 1; 4; 16; 64; 256; 1024; 4096; 8192 ]
+
+let fig6 () =
+  let traced = Calibrate.trace_cloverleaf () in
+  let scale_point (p : Cluster.scaling_point) =
+    { p with Cluster.seconds = p.Cluster.seconds *. Calibrate.clover_paper_traffic_factor }
+  in
+  (* 1D row decomposition: two neighbours. *)
+  let w = Calibrate.workload traced ~neighbours:2 in
+  let ops_style = { vec with Model.runtime_overhead = 1.02 } in
+  let run style cluster nodes global =
+    List.map scale_point
+      (Cluster.strong_scaling cluster style w ~global_elements:global
+         ~node_counts:nodes ~steps:Calibrate.clover_fig6_steps)
+  in
+  let runw style cluster nodes per_node =
+    List.map scale_point
+      (Cluster.weak_scaling cluster style w ~elements_per_node:per_node
+         ~node_counts:nodes ~steps:Calibrate.clover_fig6_steps)
+  in
+  let print_one ~title nodes series =
+    let table =
+      Table.create ~title
+        ~header:("nodes" :: List.map fst series)
+        ~aligns:(Table.Right :: List.map (fun _ -> Table.Right) series)
+        ()
+    in
+    List.iteri
+      (fun i n ->
+        Table.add_row table
+          (string_of_int n
+           :: List.map
+                (fun (_, pts) ->
+                  let p = List.nth pts i in
+                  Printf.sprintf "%s (%.0f%%)" (f2 p.Cluster.seconds)
+                    (100.0 *. p.Cluster.efficiency))
+                series))
+      nodes;
+    Table.print table
+  in
+  print_one ~title:"Fig 6a: CloverLeaf strong scaling on Titan, 15360^2, 87 steps"
+    fig6_nodes_strong
+    [
+      ("Original MPI", run vec Machines.titan_cpu fig6_nodes_strong
+                         Calibrate.clover_fig6_strong_cells);
+      ("OPS MPI", run ops_style Machines.titan_cpu fig6_nodes_strong
+                    Calibrate.clover_fig6_strong_cells);
+      ("Original MPI+CUDA", run vec Machines.titan_gpu fig6_nodes_strong
+                              Calibrate.clover_fig6_strong_cells);
+      ("OPS MPI+CUDA", run ops_style Machines.titan_gpu fig6_nodes_strong
+                         Calibrate.clover_fig6_strong_cells);
+    ];
+  print_endline
+    "  shape targets: OPS tracks Original; CPU scales to 4096 nodes, GPU tails\n";
+  print_one ~title:"Fig 6b: CloverLeaf weak scaling on Titan, 3840^2 per node"
+    fig6_nodes_weak
+    [
+      ("Original MPI", runw vec Machines.titan_cpu fig6_nodes_weak
+                         Calibrate.clover_fig5_cells);
+      ("OPS MPI", runw ops_style Machines.titan_cpu fig6_nodes_weak
+                    Calibrate.clover_fig5_cells);
+      ("Original MPI+CUDA", runw vec Machines.titan_gpu fig6_nodes_weak
+                              Calibrate.clover_fig5_cells);
+      ("OPS MPI+CUDA", runw ops_style Machines.titan_gpu fig6_nodes_weak
+                         Calibrate.clover_fig5_cells);
+    ];
+  print_endline
+    "  shape targets: ~1% (CPU) / ~6% (GPU) weak-scaling loss at full machine\n"
+
+(* ---- Fig 7 -------------------------------------------------------------- *)
+
+let fig7 () =
+  print_endline "== Fig 7: generated CUDA memory strategies ==";
+  print_endline (Am_codegen.Codegen.fig7 ());
+  print_endline "-- full generated res_calc (STAGE_NOSOA target) --";
+  let traced = Calibrate.trace_airfoil () in
+  let res_calc =
+    (List.find
+       (fun p -> p.Calibrate.descr.Descr.loop_name = "res_calc")
+       traced.Calibrate.profiles)
+      .Calibrate.descr
+  in
+  print_endline
+    (Am_codegen.Codegen.generate_op2
+       (Am_codegen.Codegen.Cuda Am_codegen.Codegen.Stage_nosoa)
+       res_calc);
+  print_newline ()
+
+(* ---- Fig 8 -------------------------------------------------------------- *)
+
+let fig8 () =
+  (* The planner applied to the loop chain actually executed by our Airfoil
+     (its update reads adt, making update cost 9 units rather than the
+     paper's 8 — the paper's airfoil variant folds the timestep into res;
+     orderings and decisions are identical). *)
+  let traced = Calibrate.trace_airfoil () in
+  let events = Calibrate.iteration_loops traced.Calibrate.profiles in
+  (* Two iterations for the periodicity evidence, as in the figure. *)
+  let chain = events @ events in
+  print_endline (Am_checkpoint.Planner.render_figure chain);
+  (match Am_checkpoint.Planner.detect_period chain with
+  | Some p -> Printf.printf "  detected loop period: %d kernels\n" p
+  | None -> print_endline "  no period detected");
+  let requested = 2 in
+  let trigger = Am_checkpoint.Planner.speculative_trigger chain ~requested in
+  let units_req = (Am_checkpoint.Planner.plan_at chain ~trigger:requested).Am_checkpoint.Planner.units in
+  let units_spec = (Am_checkpoint.Planner.plan_at chain ~trigger).Am_checkpoint.Planner.units in
+  Printf.printf
+    "  checkpoint requested before loop %d (%d units); speculative algorithm \
+     defers to loop %d (%d units)\n\n"
+    (requested + 1) units_req (trigger + 1) units_spec

@@ -1,0 +1,1 @@
+lib/mesh/csr.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/mesh/partition.ml: Array Csr Float Fun Hashtbl Queue

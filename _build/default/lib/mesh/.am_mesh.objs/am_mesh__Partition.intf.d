@@ -1,0 +1,1 @@
+lib/mesh/partition.mli: Csr

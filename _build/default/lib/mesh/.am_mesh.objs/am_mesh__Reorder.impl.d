@@ -1,0 +1,1 @@
+lib/mesh/reorder.ml: Array Csr Float Fun Queue

@@ -1,0 +1,1 @@
+lib/mesh/reorder.mli: Csr

@@ -1,0 +1,1 @@
+lib/mesh/umesh.ml: Am_util Array Csr Float Fun

@@ -1,0 +1,31 @@
+(** Greedy conflict colouring (OP2/OPS's two-level race-avoidance scheme).
+
+    Items sharing an indirect target never share a colour, so all items of
+    one colour can run concurrently. *)
+
+type t = {
+  colors : int array;  (** colour of each item *)
+  n_colors : int;
+  by_color : int array array;  (** items of each colour, ascending *)
+}
+
+(** [color ~n_items ~n_targets ~targets] greedily colours items;
+    [targets item f] must call [f] on every indirect address the item
+    touches (addresses in [0, n_targets)). Raises [Failure] beyond 62
+    colours. *)
+val color : n_items:int -> n_targets:int -> targets:(int -> (int -> unit) -> unit) -> t
+
+(** Check that no two same-coloured items share a target. *)
+val verify : n_targets:int -> targets:(int -> (int -> unit) -> unit) -> t -> bool
+
+(** Partition of a contiguous iteration range into fixed-size blocks. *)
+type blocks = { n_blocks : int; block_size : int; n_items : int }
+
+val make_blocks : n_items:int -> block_size:int -> blocks
+
+(** Half-open item range of block [i]. *)
+val block_range : blocks -> int -> int * int
+
+(** Colour whole blocks (block targets = union of member item targets). *)
+val color_blocks :
+  blocks:blocks -> n_targets:int -> targets:(int -> (int -> unit) -> unit) -> t

@@ -1,0 +1,151 @@
+(* Compressed-sparse-row adjacency structure.
+
+   Used for the dual graph of a mesh (cells connected through shared edges),
+   which drives partitioning, reordering and colouring.  Vertices are
+   [0 .. n-1]; [offsets] has length [n + 1] and the neighbours of [v] live in
+   [adjacency.(offsets.(v)) .. adjacency.(offsets.(v+1) - 1)]. *)
+
+type t = { n : int; offsets : int array; adjacency : int array }
+
+let n_vertices t = t.n
+
+let n_arcs t = Array.length t.adjacency
+
+let degree t v = t.offsets.(v + 1) - t.offsets.(v)
+
+let iter_neighbours t v f =
+  for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f t.adjacency.(k)
+  done
+
+let fold_neighbours t v ~init ~f =
+  let acc = ref init in
+  iter_neighbours t v (fun u -> acc := f !acc u);
+  !acc
+
+let neighbours t v =
+  Array.sub t.adjacency t.offsets.(v) (degree t v)
+
+let max_degree t =
+  let m = ref 0 in
+  for v = 0 to t.n - 1 do
+    if degree t v > !m then m := degree t v
+  done;
+  !m
+
+(* Build a symmetric graph from an undirected edge list. Self-loops are
+   dropped; duplicate edges are kept (they only cost a little redundancy in
+   the consumers, which all tolerate repeated neighbours). *)
+let of_edges ~n edges =
+  let deg = Array.make n 0 in
+  let count (a, b) =
+    if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Csr.of_edges: vertex out of range";
+    if a <> b then begin
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1
+    end
+  in
+  Array.iter count edges;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let adjacency = Array.make offsets.(n) 0 in
+  let cursor = Array.copy offsets in
+  let place (a, b) =
+    if a <> b then begin
+      adjacency.(cursor.(a)) <- b;
+      cursor.(a) <- cursor.(a) + 1;
+      adjacency.(cursor.(b)) <- a;
+      cursor.(b) <- cursor.(b) + 1
+    end
+  in
+  Array.iter place edges;
+  { n; offsets; adjacency }
+
+(* Co-occurrence graph: connect vertices that appear in the same row of a
+   map, e.g. the cell dual graph (cells sharing an edge) from the
+   edge->cells map, whose rows are edges and whose values are cells. *)
+let of_map_rows ~n_vertices ~n_rows ~arity rows =
+  if Array.length rows <> n_rows * arity then
+    invalid_arg "Csr.of_map_rows: bad map length";
+  let edges = ref [] in
+  let count = ref 0 in
+  for r = 0 to n_rows - 1 do
+    for i = 0 to arity - 1 do
+      for j = i + 1 to arity - 1 do
+        let a = rows.((r * arity) + i) and b = rows.((r * arity) + j) in
+        if a >= 0 && b >= 0 && a <> b then begin
+          edges := (a, b) :: !edges;
+          incr count
+        end
+      done
+    done
+  done;
+  let arr = Array.make !count (0, 0) in
+  List.iteri (fun i e -> arr.(i) <- e) !edges;
+  of_edges ~n:n_vertices arr
+
+(* Number of arcs whose endpoints land in different parts (each undirected
+   edge counted once). *)
+let edge_cut t parts =
+  let cut = ref 0 in
+  for v = 0 to t.n - 1 do
+    iter_neighbours t v (fun u -> if u > v && parts.(u) <> parts.(v) then incr cut)
+  done;
+  !cut
+
+(* Bandwidth of the adjacency structure under the current numbering: the
+   largest |u - v| over arcs.  Reordering for locality minimises this. *)
+let bandwidth t =
+  let b = ref 0 in
+  for v = 0 to t.n - 1 do
+    iter_neighbours t v (fun u ->
+        let d = abs (u - v) in
+        if d > !b then b := d)
+  done;
+  !b
+
+let average_bandwidth t =
+  if n_arcs t = 0 then 0.0
+  else begin
+    let total = ref 0 in
+    for v = 0 to t.n - 1 do
+      iter_neighbours t v (fun u -> total := !total + abs (u - v))
+    done;
+    Float.of_int !total /. Float.of_int (n_arcs t)
+  end
+
+(* Relabel vertices: [perm.(old)] is the new index of vertex [old]. *)
+let permute t perm =
+  if Array.length perm <> t.n then invalid_arg "Csr.permute: bad permutation length";
+  let inv = Array.make t.n (-1) in
+  Array.iteri
+    (fun old_v new_v ->
+      if new_v < 0 || new_v >= t.n || inv.(new_v) <> -1 then
+        invalid_arg "Csr.permute: not a permutation";
+      inv.(new_v) <- old_v)
+    perm;
+  let offsets = Array.make (t.n + 1) 0 in
+  for new_v = 0 to t.n - 1 do
+    offsets.(new_v + 1) <- offsets.(new_v) + degree t inv.(new_v)
+  done;
+  let adjacency = Array.make offsets.(t.n) 0 in
+  for new_v = 0 to t.n - 1 do
+    let old_v = inv.(new_v) in
+    let base = offsets.(new_v) in
+    let k = ref 0 in
+    iter_neighbours t old_v (fun u ->
+        adjacency.(base + !k) <- perm.(u);
+        incr k)
+  done;
+  { n = t.n; offsets; adjacency }
+
+let is_symmetric t =
+  let ok = ref true in
+  for v = 0 to t.n - 1 do
+    iter_neighbours t v (fun u ->
+        let found = fold_neighbours t u ~init:false ~f:(fun acc w -> acc || w = v) in
+        if not found then ok := false)
+  done;
+  !ok

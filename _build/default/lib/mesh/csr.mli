@@ -1,0 +1,44 @@
+(** Compressed-sparse-row adjacency structure (symmetric graphs).
+
+    Drives partitioning, reordering and colouring of mesh dual graphs. *)
+
+type t = { n : int; offsets : int array; adjacency : int array }
+
+val n_vertices : t -> int
+
+(** Directed arc count (twice the undirected edge count). *)
+val n_arcs : t -> int
+
+val degree : t -> int -> int
+val iter_neighbours : t -> int -> (int -> unit) -> unit
+val fold_neighbours : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** Fresh array of the neighbours of a vertex. *)
+val neighbours : t -> int -> int array
+
+val max_degree : t -> int
+
+(** [of_edges ~n edges] builds the symmetric graph over [n] vertices from an
+    undirected edge list. Self-loops are dropped; duplicates are kept. *)
+val of_edges : n:int -> (int * int) array -> t
+
+(** [of_map_rows ~n_vertices ~n_rows ~arity rows] connects vertices that
+    appear in the same row of a map, e.g. the cell dual graph from an
+    edge->cells map of arity 2. Negative entries are ignored (boundary). *)
+val of_map_rows : n_vertices:int -> n_rows:int -> arity:int -> int array -> t
+
+(** Undirected edges crossing between parts. *)
+val edge_cut : t -> int array -> int
+
+(** Largest |u - v| over arcs under the current numbering. *)
+val bandwidth : t -> int
+
+(** Mean |u - v| over arcs (0 for arc-free graphs). *)
+val average_bandwidth : t -> float
+
+(** [permute t perm] relabels vertices; [perm.(old)] is the new index.
+    Raises [Invalid_argument] if [perm] is not a permutation. *)
+val permute : t -> int array -> t
+
+(** True when every arc has its reverse (holds for all constructors here). *)
+val is_symmetric : t -> bool

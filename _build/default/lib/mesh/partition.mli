@@ -1,0 +1,34 @@
+(** Graph and coordinate partitioners (stand-ins for PT-Scotch/ParMetis).
+
+    All partitioners return an assignment array mapping each element to a
+    part id in [0, parts). *)
+
+type quality = {
+  parts : int;
+  edge_cut : int;  (** undirected cut edges *)
+  imbalance : float;  (** max part size over ideal, minus 1 *)
+  max_part : int;
+}
+
+(** Elements per part; raises if an assignment is out of range. *)
+val part_sizes : parts:int -> int array -> int array
+
+(** Load imbalance: [max_size/ideal - 1]. *)
+val imbalance : parts:int -> int array -> float
+
+(** Cut/balance summary of an assignment. *)
+val quality : Csr.t -> parts:int -> int array -> quality
+
+(** Contiguous index-range partition (the naive baseline). *)
+val block : n:int -> parts:int -> int array
+
+(** Recursive coordinate bisection over [dim]-dimensional element
+    coordinates ([dim] floats per element, [n*dim] total). *)
+val rcb : coords:float array -> dim:int -> n:int -> parts:int -> int array
+
+(** Seeded BFS region growth + boundary refinement (Metis stand-in).
+    [tolerance] bounds the allowed imbalance during refinement. *)
+val kway : ?tolerance:float -> ?refinement_passes:int -> Csr.t -> parts:int -> int array
+
+(** Total import volume (vertex copies transferred) implied by a partition. *)
+val halo_volume : Csr.t -> int array -> int

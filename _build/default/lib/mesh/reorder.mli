@@ -1,0 +1,34 @@
+(** Mesh renumbering for locality.
+
+    Permutations use the convention [perm.(old) = new]. *)
+
+(** Reverse Cuthill-McKee ordering of a symmetric graph. Handles
+    disconnected graphs (component by component). *)
+val rcm : Csr.t -> int array
+
+val identity : int -> int array
+
+(** Inverse permutation; raises [Invalid_argument] on non-permutations. *)
+val inverse : int array -> int array
+
+val is_permutation : int array -> bool
+
+(** Move element [old]'s [dim] values to slot [perm.(old)]. *)
+val permute_data : perm:int array -> dim:int -> 'a array -> 'a array
+
+(** Rewrite map values after the *target* set was permuted. *)
+val renumber_targets : perm:int array -> int array -> int array
+
+(** Reorder map rows after the *source* set was permuted. *)
+val permute_sources : perm:int array -> dim:int -> int array -> int array
+
+(** Order a source set by the minimum (already renumbered) target it touches
+    — e.g. sort edges to follow cell order. Returns [perm.(old) = new]. *)
+val induced_order : n_sources:int -> arity:int -> int array -> int array
+
+(** Hilbert space-filling-curve ordering of elements by their (first two)
+    coordinates: an alternative locality renumbering to {!rcm} that uses
+    geometry instead of connectivity. [order] is the curve refinement
+    (2^order cells per axis). Returns [perm.(old) = new]. *)
+val hilbert :
+  ?order:int -> coords:float array -> dim:int -> n:int -> unit -> int array

@@ -1,0 +1,253 @@
+(* Unstructured 2D quadrilateral meshes.
+
+   Both generators produce logically-structured quad meshes stored in fully
+   unstructured form (explicit edge->node, edge->cell, cell->node maps), which
+   is exactly how the OP2 Airfoil test case stores its grid.  The maps use
+   the conventions of the Airfoil application:
+
+   - interior edges carry two adjacent cells (left, right);
+   - boundary edges ("bedges") carry the single adjacent cell plus a
+     boundary-condition id. *)
+
+type t = {
+  n_nodes : int;
+  n_cells : int;
+  n_edges : int;
+  n_bedges : int;
+  edge_nodes : int array; (* 2 per edge *)
+  edge_cells : int array; (* 2 per edge *)
+  cell_nodes : int array; (* 4 per cell *)
+  bedge_nodes : int array; (* 2 per bedge *)
+  bedge_cell : int array; (* 1 per bedge *)
+  bedge_bound : int array; (* boundary-condition id per bedge *)
+  node_coords : float array; (* 2 per node *)
+}
+
+let boundary_inflow = 1
+let boundary_outflow = 2
+let boundary_wall = 3
+let boundary_farfield = 4
+
+(* Structural sanity used by tests and by [validate] below. *)
+let validate m =
+  let check name cond = if not cond then failwith ("Umesh.validate: " ^ name) in
+  check "edge_nodes length" (Array.length m.edge_nodes = 2 * m.n_edges);
+  check "edge_cells length" (Array.length m.edge_cells = 2 * m.n_edges);
+  check "cell_nodes length" (Array.length m.cell_nodes = 4 * m.n_cells);
+  check "bedge_nodes length" (Array.length m.bedge_nodes = 2 * m.n_bedges);
+  check "bedge_cell length" (Array.length m.bedge_cell = m.n_bedges);
+  check "bedge_bound length" (Array.length m.bedge_bound = m.n_bedges);
+  check "node_coords length" (Array.length m.node_coords = 2 * m.n_nodes);
+  let in_range hi v = v >= 0 && v < hi in
+  Array.iter (fun v -> check "edge_nodes range" (in_range m.n_nodes v)) m.edge_nodes;
+  Array.iter (fun v -> check "edge_cells range" (in_range m.n_cells v)) m.edge_cells;
+  Array.iter (fun v -> check "cell_nodes range" (in_range m.n_nodes v)) m.cell_nodes;
+  Array.iter (fun v -> check "bedge_nodes range" (in_range m.n_nodes v)) m.bedge_nodes;
+  Array.iter (fun v -> check "bedge_cell range" (in_range m.n_cells v)) m.bedge_cell
+
+(* Dual graph over cells: cells adjacent through an interior edge. *)
+let cell_dual_graph m =
+  Csr.of_map_rows ~n_vertices:m.n_cells ~n_rows:m.n_edges ~arity:2 m.edge_cells
+
+(* Node graph: nodes joined by mesh edges (interior and boundary). *)
+let node_graph m =
+  let total = m.n_edges + m.n_bedges in
+  let edges = Array.make total (0, 0) in
+  for e = 0 to m.n_edges - 1 do
+    edges.(e) <- (m.edge_nodes.(2 * e), m.edge_nodes.((2 * e) + 1))
+  done;
+  for b = 0 to m.n_bedges - 1 do
+    edges.(m.n_edges + b) <- (m.bedge_nodes.(2 * b), m.bedge_nodes.((2 * b) + 1))
+  done;
+  Csr.of_edges ~n:m.n_nodes edges
+
+let cell_centroids m =
+  let out = Array.make (2 * m.n_cells) 0.0 in
+  for c = 0 to m.n_cells - 1 do
+    let cx = ref 0.0 and cy = ref 0.0 in
+    for k = 0 to 3 do
+      let node = m.cell_nodes.((4 * c) + k) in
+      cx := !cx +. m.node_coords.(2 * node);
+      cy := !cy +. m.node_coords.((2 * node) + 1)
+    done;
+    out.(2 * c) <- !cx /. 4.0;
+    out.((2 * c) + 1) <- !cy /. 4.0
+  done;
+  out
+
+(* Generator over a logically rectangular [nx] x [ny] grid of cells.
+
+   [coord i j] gives physical coordinates of node (i, j), i in [0, nx],
+   j in [0, ny].  [bound side] assigns boundary ids to the four sides.
+   Node (i, j) has index i + j * (nx + 1); cell (i, j) likewise with nx. *)
+type side = West | East | South | North
+
+let generate_mapped ~nx ~ny ~coord ~bound =
+  if nx < 1 || ny < 1 then invalid_arg "Umesh.generate_mapped: need nx, ny >= 1";
+  let n_nodes = (nx + 1) * (ny + 1) in
+  let n_cells = nx * ny in
+  let node i j = i + (j * (nx + 1)) in
+  let cell i j = i + (j * nx) in
+  let node_coords = Array.make (2 * n_nodes) 0.0 in
+  for j = 0 to ny do
+    for i = 0 to nx do
+      let x, y = coord i j in
+      node_coords.(2 * node i j) <- x;
+      node_coords.((2 * node i j) + 1) <- y
+    done
+  done;
+  let cell_nodes = Array.make (4 * n_cells) 0 in
+  for j = 0 to ny - 1 do
+    for i = 0 to nx - 1 do
+      let c = cell i j in
+      (* counter-clockwise *)
+      cell_nodes.(4 * c) <- node i j;
+      cell_nodes.((4 * c) + 1) <- node (i + 1) j;
+      cell_nodes.((4 * c) + 2) <- node (i + 1) (j + 1);
+      cell_nodes.((4 * c) + 3) <- node i (j + 1)
+    done
+  done;
+  (* Interior edges: vertical edges between horizontally adjacent cells, and
+     horizontal edges between vertically adjacent cells. *)
+  let n_edges = ((nx - 1) * ny) + (nx * (ny - 1)) in
+  let edge_nodes = Array.make (2 * n_edges) 0 in
+  let edge_cells = Array.make (2 * n_edges) 0 in
+  let e = ref 0 in
+  let add_edge n1 n2 c1 c2 =
+    edge_nodes.(2 * !e) <- n1;
+    edge_nodes.((2 * !e) + 1) <- n2;
+    edge_cells.(2 * !e) <- c1;
+    edge_cells.((2 * !e) + 1) <- c2;
+    incr e
+  in
+  (* Node order fixes the edge normal: the airfoil-style flux kernels use
+     (dy, -dx) with (dx, dy) = x(n1) - x(n2) as the normal pointing from
+     cell1 to cell2. *)
+  for j = 0 to ny - 1 do
+    for i = 1 to nx - 1 do
+      add_edge (node i (j + 1)) (node i j) (cell (i - 1) j) (cell i j)
+    done
+  done;
+  for j = 1 to ny - 1 do
+    for i = 0 to nx - 1 do
+      add_edge (node i j) (node (i + 1) j) (cell i (j - 1)) (cell i j)
+    done
+  done;
+  assert (!e = n_edges);
+  (* Boundary edges around the rectangle. *)
+  let n_bedges = 2 * (nx + ny) in
+  let bedge_nodes = Array.make (2 * n_bedges) 0 in
+  let bedge_cell = Array.make n_bedges 0 in
+  let bedge_bound = Array.make n_bedges 0 in
+  let b = ref 0 in
+  let add_bedge n1 n2 c side =
+    bedge_nodes.(2 * !b) <- n1;
+    bedge_nodes.((2 * !b) + 1) <- n2;
+    bedge_cell.(!b) <- c;
+    bedge_bound.(!b) <- bound side;
+    incr b
+  in
+  (* Boundary normals (dy, -dx) must point out of the domain. *)
+  for j = 0 to ny - 1 do
+    add_bedge (node 0 j) (node 0 (j + 1)) (cell 0 j) West;
+    add_bedge (node nx (j + 1)) (node nx j) (cell (nx - 1) j) East
+  done;
+  for i = 0 to nx - 1 do
+    add_bedge (node (i + 1) 0) (node i 0) (cell i 0) South;
+    add_bedge (node i ny) (node (i + 1) ny) (cell i (ny - 1)) North
+  done;
+  assert (!b = n_bedges);
+  let m =
+    {
+      n_nodes;
+      n_cells;
+      n_edges;
+      n_bedges;
+      edge_nodes;
+      edge_cells;
+      cell_nodes;
+      bedge_nodes;
+      bedge_cell;
+      bedge_bound;
+      node_coords;
+    }
+  in
+  validate m;
+  m
+
+(* Channel with a circular-arc bump on the lower wall — the classic
+   transonic "Ni bump" geometry that the OP2 Airfoil case models
+   (flow past a thin aerofoil section).  Grid points are clustered towards
+   the bump in both directions. *)
+let generate_airfoil ~nx ~ny () =
+  let bump_height = 0.08 and bump_lo = 1.0 and bump_hi = 2.0 in
+  let length = 3.0 and height = 2.0 in
+  let coord i j =
+    let s = Float.of_int i /. Float.of_int nx in
+    let t = Float.of_int j /. Float.of_int ny in
+    (* Mild clustering towards the lower wall. *)
+    let t = t ** 1.3 in
+    let x = s *. length in
+    let y_floor =
+      if x >= bump_lo && x <= bump_hi then begin
+        let u = (x -. bump_lo) /. (bump_hi -. bump_lo) in
+        bump_height *. sin (Float.pi *. u)
+      end
+      else 0.0
+    in
+    (x, y_floor +. (t *. (height -. y_floor)))
+  in
+  let bound = function
+    | West -> boundary_inflow
+    | East -> boundary_outflow
+    | South -> boundary_wall
+    | North -> boundary_farfield
+  in
+  generate_mapped ~nx ~ny ~coord ~bound
+
+(* Plain unit-square grid, useful for convergence and unit tests. *)
+let generate_square ~nx ~ny () =
+  let coord i j = (Float.of_int i /. Float.of_int nx, Float.of_int j /. Float.of_int ny) in
+  let bound = function
+    | West -> boundary_inflow
+    | East -> boundary_outflow
+    | South | North -> boundary_wall
+  in
+  generate_mapped ~nx ~ny ~coord ~bound
+
+(* Randomly relabel cells, nodes and edges.  Production meshes arrive with
+   poor locality; applying this before a solve recreates that situation so
+   that renumbering optimisations (Fig 3's ~30%) have something to recover. *)
+let scramble ~seed m =
+  let rng = Am_util.Prng.create seed in
+  let make_perm n =
+    let p = Array.init n Fun.id in
+    Am_util.Prng.shuffle rng p;
+    p
+  in
+  (* perm.(old) = new *)
+  let cell_perm = make_perm m.n_cells in
+  let node_perm = make_perm m.n_nodes in
+  let edge_perm = make_perm m.n_edges in
+  let permute_data ~perm ~dim src =
+    if Array.length src = 0 then src
+    else begin
+    let dst = Array.make (Array.length src) src.(0) in
+    let n = Array.length perm in
+    for old_i = 0 to n - 1 do
+      let new_i = perm.(old_i) in
+      Array.blit src (old_i * dim) dst (new_i * dim) dim
+    done;
+    dst
+    end
+  in
+  let renumber targets_perm src = Array.map (fun v -> targets_perm.(v)) src in
+  {
+    m with
+    edge_nodes = permute_data ~perm:edge_perm ~dim:2 (renumber node_perm m.edge_nodes);
+    edge_cells = permute_data ~perm:edge_perm ~dim:2 (renumber cell_perm m.edge_cells);
+    cell_nodes = permute_data ~perm:cell_perm ~dim:4 (renumber node_perm m.cell_nodes);
+    bedge_nodes = renumber node_perm m.bedge_nodes;
+    bedge_cell = renumber cell_perm m.bedge_cell;
+    node_coords = permute_data ~perm:node_perm ~dim:2 m.node_coords;
+  }

@@ -1,0 +1,55 @@
+(** Unstructured 2D quadrilateral meshes in OP2-Airfoil layout.
+
+    Interior edges carry two adjacent cells; boundary edges ("bedges") carry
+    one adjacent cell and a boundary-condition id. All maps are flat arrays
+    with a fixed arity per element. *)
+
+type t = {
+  n_nodes : int;
+  n_cells : int;
+  n_edges : int;
+  n_bedges : int;
+  edge_nodes : int array;  (** 2 per edge *)
+  edge_cells : int array;  (** 2 per edge: (left, right) *)
+  cell_nodes : int array;  (** 4 per cell, counter-clockwise *)
+  bedge_nodes : int array;  (** 2 per bedge *)
+  bedge_cell : int array;  (** 1 per bedge *)
+  bedge_bound : int array;  (** boundary-condition id per bedge *)
+  node_coords : float array;  (** 2 per node *)
+}
+
+val boundary_inflow : int
+val boundary_outflow : int
+val boundary_wall : int
+val boundary_farfield : int
+
+(** Check structural invariants (array lengths, index ranges); raises
+    [Failure] on violation. Run by all generators. *)
+val validate : t -> unit
+
+(** Cells adjacent through an interior edge. *)
+val cell_dual_graph : t -> Csr.t
+
+(** Nodes joined by a mesh edge (interior or boundary). *)
+val node_graph : t -> Csr.t
+
+(** Centroid coordinates, 2 per cell. *)
+val cell_centroids : t -> float array
+
+type side = West | East | South | North
+
+(** [generate_mapped ~nx ~ny ~coord ~bound] builds an [nx] x [ny]-cell
+    logically rectangular mesh; [coord i j] maps grid node (i, j) to physical
+    space and [bound] assigns boundary ids to the four sides. *)
+val generate_mapped :
+  nx:int -> ny:int -> coord:(int -> int -> float * float) -> bound:(side -> int) -> t
+
+(** Transonic channel-with-bump geometry used as the Airfoil workload. *)
+val generate_airfoil : nx:int -> ny:int -> unit -> t
+
+(** Plain unit-square grid for unit tests. *)
+val generate_square : nx:int -> ny:int -> unit -> t
+
+(** Randomly relabel cells, nodes and edges to recreate the poor locality of
+    production meshes (the situation renumbering must recover from). *)
+val scramble : seed:int -> t -> t

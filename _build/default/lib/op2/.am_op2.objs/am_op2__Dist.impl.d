@@ -1,0 +1,1 @@
+lib/op2/dist.ml: Am_core Am_mesh Am_simmpi Am_taskpool Array Buffer Exec_common Exec_seq Exec_shared Exec_vec Hashtbl List Plan Printf Types Unix

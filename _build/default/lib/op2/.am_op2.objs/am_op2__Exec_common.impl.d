@@ -1,0 +1,1 @@
+lib/op2/exec_common.ml: Am_core Array Float List Types

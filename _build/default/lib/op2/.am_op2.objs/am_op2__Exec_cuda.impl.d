@@ -1,0 +1,1 @@
+lib/op2/exec_cuda.ml: Am_core Am_mesh Array Exec_common Hashtbl List Plan Types

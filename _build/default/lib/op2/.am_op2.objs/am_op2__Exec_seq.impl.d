@@ -1,0 +1,1 @@
+lib/op2/exec_seq.ml: Exec_common

@@ -1,0 +1,1 @@
+lib/op2/exec_shared.ml: Am_mesh Am_taskpool Array Exec_common Mutex Plan

@@ -1,0 +1,1 @@
+lib/op2/exec_vec.ml: Am_core Am_mesh Array Exec_common Fun Plan

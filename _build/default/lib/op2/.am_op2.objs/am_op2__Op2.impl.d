@@ -1,0 +1,1 @@
+lib/op2/op2.ml: Am_checkpoint Am_core Am_mesh Am_simmpi Am_taskpool Array Buffer Dist Exec_cuda Exec_seq Exec_shared Exec_vec Fun Hashtbl List Plan Printf Types Unix

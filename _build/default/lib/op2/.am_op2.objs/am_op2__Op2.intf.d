@@ -1,0 +1,1 @@
+lib/op2/op2.mli: Am_checkpoint Am_core Am_simmpi Am_taskpool Dist Exec_cuda Exec_vec Types

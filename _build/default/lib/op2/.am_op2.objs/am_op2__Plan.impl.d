@@ -1,0 +1,1 @@
+lib/op2/plan.ml: Am_core Am_mesh Array Exec_common Fun Hashtbl List Printf String Types

@@ -1,0 +1,1 @@
+lib/op2/types.ml: Am_core Array Float List Printf

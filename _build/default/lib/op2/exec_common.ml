@@ -1,0 +1,150 @@
+(* Shared gather/scatter machinery of the OP2 backends.
+
+   Every backend presents the user kernel with the same calling convention:
+   one staging buffer per argument, gathered before the kernel runs and
+   scattered back according to the access descriptor.  This mirrors the
+   paper's generated wrappers (Fig 7), where user functions receive pointers
+   prepared by the wrapper, and keeps kernels oblivious to layout (AoS/SoA),
+   indirection and distribution.
+
+   Arguments are "compiled" per loop invocation into a flat form that
+   resolves dataset arrays and map tables once; the distributed backend
+   passes resolvers that substitute rank-local arrays. *)
+
+module Access = Am_core.Access
+open Types
+
+type compiled_arg =
+  | C_dat of {
+      data : float array;
+      dim : int;
+      layout : layout;
+      n : int; (* elements in [data]; layout stride for SoA *)
+      access : Access.t;
+      map_values : int array; (* [||] for direct args *)
+      arity : int;
+      idx : int;
+      indirect : bool;
+    }
+  | C_gbl of { user_buf : float array; access : Access.t }
+
+type resolvers = {
+  resolve_dat : dat -> float array * int; (* backing array and element count *)
+  resolve_map : map_t -> int array;
+}
+
+let global_resolvers =
+  {
+    resolve_dat = (fun d -> (d.data, dat_n_elems d));
+    resolve_map = (fun m -> m.values);
+  }
+
+let compile ?(resolvers = global_resolvers) args =
+  let compile_one = function
+    | Arg_dat { dat; map = None; access } ->
+      let data, n = resolvers.resolve_dat dat in
+      C_dat { data; dim = dat.dim; layout = dat.layout; n; access;
+              map_values = [||]; arity = 0; idx = 0; indirect = false }
+    | Arg_dat { dat; map = Some (m, k); access } ->
+      let data, n = resolvers.resolve_dat dat in
+      C_dat { data; dim = dat.dim; layout = dat.layout; n; access;
+              map_values = resolvers.resolve_map m; arity = m.arity; idx = k;
+              indirect = true }
+    | Arg_gbl { buf; access; _ } -> C_gbl { user_buf = buf; access }
+  in
+  Array.of_list (List.map compile_one args)
+
+(* Worker-local staging buffers: dat args get a [dim]-sized scratch, global
+   args an accumulator initialised for their reduction. *)
+let make_buffers compiled =
+  Array.map
+    (function
+      | C_dat { dim; _ } -> Array.make dim 0.0
+      | C_gbl { user_buf; access } -> (
+        match access with
+        | Access.Read | Access.Min | Access.Max -> Array.copy user_buf
+        | Access.Inc -> Array.make (Array.length user_buf) 0.0
+        | Access.Write | Access.Rw ->
+          invalid_arg "op2: Write/Rw access on a global argument"))
+    compiled
+
+(* Fold one worker's global accumulators into the user buffers.  Callers
+   serialise calls (mutex or sequential phase). *)
+let merge_globals compiled buffers =
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_dat _ -> ()
+      | C_gbl { user_buf; access } -> (
+        let acc = buffers.(i) in
+        match access with
+        | Access.Read -> ()
+        | Access.Inc ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- user_buf.(d) +. acc.(d)
+          done
+        | Access.Min ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- Float.min user_buf.(d) acc.(d)
+          done
+        | Access.Max ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- Float.max user_buf.(d) acc.(d)
+          done
+        | Access.Write | Access.Rw -> assert false))
+    compiled
+
+let target_elem c e =
+  match c with
+  | C_dat { indirect = true; map_values; arity; idx; _ } ->
+    map_values.((e * arity) + idx)
+  | C_dat { indirect = false; _ } -> e
+  | C_gbl _ -> -1
+
+let gather compiled buffers e =
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_gbl _ -> ()
+      | C_dat ({ data; dim; layout; n; access; _ } as cd) -> (
+        let buf = buffers.(i) in
+        match access with
+        | Access.Inc -> Array.fill buf 0 dim 0.0
+        | Access.Read | Access.Rw | Access.Write ->
+          (* Write also gathers: kernels receive the previous contents, as
+             OP2's pointer-passing convention does. *)
+          let elem = target_elem (C_dat cd) e in
+          for d = 0 to dim - 1 do
+            buf.(d) <- data.(value_index layout ~n ~dim ~elem ~comp:d)
+          done
+        | Access.Min | Access.Max -> assert false))
+    compiled
+
+let scatter compiled buffers e =
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_gbl _ -> ()
+      | C_dat ({ data; dim; layout; n; access; _ } as cd) -> (
+        let buf = buffers.(i) in
+        match access with
+        | Access.Read -> ()
+        | Access.Write | Access.Rw ->
+          let elem = target_elem (C_dat cd) e in
+          for d = 0 to dim - 1 do
+            data.(value_index layout ~n ~dim ~elem ~comp:d) <- buf.(d)
+          done
+        | Access.Inc ->
+          let elem = target_elem (C_dat cd) e in
+          for d = 0 to dim - 1 do
+            let j = value_index layout ~n ~dim ~elem ~comp:d in
+            data.(j) <- data.(j) +. buf.(d)
+          done
+        | Access.Min | Access.Max -> assert false))
+    compiled
+
+(* Run one element through gather -> kernel -> scatter. *)
+let run_element compiled buffers kernel e =
+  gather compiled buffers e;
+  kernel buffers;
+  scatter compiled buffers e

@@ -1,0 +1,15 @@
+(* Sequential reference backend.
+
+   This is the "generic implementation" of the paper: a plain loop over the
+   iteration set, gathering and scattering per element.  It is the
+   correctness oracle every other backend is tested against, and the
+   human-readable debugging target the source-to-source generator also
+   emits. *)
+
+let run ?resolvers ~set_size ~args ~kernel () =
+  let compiled = Exec_common.compile ?resolvers args in
+  let buffers = Exec_common.make_buffers compiled in
+  for e = 0 to set_size - 1 do
+    Exec_common.run_element compiled buffers kernel e
+  done;
+  Exec_common.merge_globals compiled buffers

@@ -1,0 +1,37 @@
+(* Shared-memory ("OpenMP") backend on the domain pool.
+
+   Conflict-free loops are chunked dynamically across the pool.  Loops with
+   indirect writes execute the plan's block schedule: colours run one after
+   another (a barrier between colours), blocks of the same colour run
+   concurrently — exactly the OpenMP execution strategy of the paper. *)
+
+module Coloring = Am_mesh.Coloring
+
+let run ?resolvers pool plan ~set_size ~args ~kernel =
+  let compiled = Exec_common.compile ?resolvers args in
+  let merge_mutex = Mutex.create () in
+  let merge buffers =
+    Mutex.lock merge_mutex;
+    Exec_common.merge_globals compiled buffers;
+    Mutex.unlock merge_mutex
+  in
+  if not (Plan.has_conflicts plan) then
+    Am_taskpool.Pool.parallel_for pool ~lo:0 ~hi:set_size (fun lo hi ->
+        let buffers = Exec_common.make_buffers compiled in
+        for e = lo to hi - 1 do
+          Exec_common.run_element compiled buffers kernel e
+        done;
+        merge buffers)
+  else begin
+    let blocks = plan.Plan.blocks in
+    Array.iter
+      (fun same_color_blocks ->
+        Am_taskpool.Pool.parallel_iter_indices pool same_color_blocks (fun block ->
+            let lo, hi = Coloring.block_range blocks block in
+            let buffers = Exec_common.make_buffers compiled in
+            for e = lo to hi - 1 do
+              Exec_common.run_element compiled buffers kernel e
+            done;
+            merge buffers))
+      plan.Plan.block_coloring.Coloring.by_color
+  end

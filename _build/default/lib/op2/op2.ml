@@ -1,0 +1,427 @@
+(* Public facade of the unstructured-mesh active library.
+
+   Usage mirrors the original OP2 API:
+
+   {[
+     let ctx = Op2.create () in
+     let cells = Op2.decl_set ctx ~name:"cells" ~size:n_cells in
+     let edges = Op2.decl_set ctx ~name:"edges" ~size:n_edges in
+     let edge_cells = Op2.decl_map ctx ~name:"edge_cells" ~from_set:edges
+                        ~to_set:cells ~arity:2 ~values in
+     let q = Op2.decl_dat ctx ~name:"q" ~set:cells ~dim:4 ~data in
+     ...
+     Op2.par_loop ctx ~name:"res_calc" edges
+       [ Op2.arg_dat_indirect q edge_cells 0 Read;
+         Op2.arg_dat_indirect q edge_cells 1 Read;
+         Op2.arg_dat_indirect res edge_cells 0 Inc;
+         Op2.arg_dat_indirect res edge_cells 1 Inc ]
+       (fun a -> ...)
+   ]}
+
+   The backend (sequential, shared-memory, GPU simulator, distributed) is a
+   property of the context and can be switched between loops; applications
+   never change. *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+module Profile = Am_core.Profile
+module Trace = Am_core.Trace
+
+type set = Types.set
+type map_t = Types.map_t
+type dat = Types.dat
+type arg = Types.arg
+type layout = Types.layout = Aos | Soa
+
+type backend =
+  | Seq
+  | Vec of Exec_vec.config
+  | Shared of { pool : Am_taskpool.Pool.t; block_size : int }
+  | Cuda_sim of Exec_cuda.config
+
+type ctx = {
+  env : Types.env;
+  mutable backend : backend;
+  plan_cache : Plan.cache;
+  profile : Profile.t;
+  trace : Trace.t;
+  mutable dist : Dist.t option;
+  mutable checkpoint : Am_checkpoint.Runtime.session option;
+}
+
+let create ?(backend = Seq) () =
+  {
+    env = Types.make_env ();
+    backend;
+    plan_cache = Plan.make_cache ();
+    profile = Profile.create ();
+    trace = Trace.create ();
+    dist = None;
+    checkpoint = None;
+  }
+
+let set_backend ctx backend =
+  (match (backend, ctx.dist) with
+  | (Shared _ | Cuda_sim _ | Vec _), Some _ ->
+    invalid_arg
+      "Op2.set_backend: the distributed context executes ranks sequentially; \
+       shared/CUDA/vector backends apply to non-partitioned contexts"
+  | (Seq | Shared _ | Cuda_sim _ | Vec _), _ -> ());
+  ctx.backend <- backend
+
+let backend ctx = ctx.backend
+let profile ctx = ctx.profile
+let trace ctx = ctx.trace
+
+(* ---- Declarations ---------------------------------------------------- *)
+
+let decl_set ctx ~name ~size = Types.decl_set ctx.env ~name ~size
+
+let decl_map ctx ~name ~from_set ~to_set ~arity ~values =
+  Types.decl_map ctx.env ~name ~from_set ~to_set ~arity ~values
+
+let decl_dat ctx ~name ~set ~dim ~data = Types.decl_dat ctx.env ~name ~set ~dim ~data
+
+let decl_dat_zero ctx ~name ~set ~dim =
+  Types.decl_dat_const ctx.env ~name ~set ~dim ~value:0.0
+
+(* op_decl_const: register a global constant (dimension = array length).
+   Kernels read constants directly (OCaml closures make the broadcast
+   free); the declaration exists so generated code can emit the constant
+   per target — CUDA constant memory, C globals — and so diagnostics list
+   them. *)
+let decl_const ctx ~name values = Types.decl_global_const ctx.env ~name values
+let consts ctx = Types.consts ctx.env
+
+let sets ctx = Types.sets ctx.env
+let maps ctx = Types.maps ctx.env
+let dats ctx = Types.dats ctx.env
+
+(* ---- Argument constructors ------------------------------------------- *)
+
+let arg_dat dat access : arg = Types.Arg_dat { dat; map = None; access }
+
+let arg_dat_indirect dat map_t idx access : arg =
+  Types.Arg_dat { dat; map = Some (map_t, idx); access }
+
+let arg_gbl ~name buf access : arg = Types.Arg_gbl { name; buf; access }
+
+(* ---- Data access ------------------------------------------------------ *)
+
+(* Fetch a dataset in global element order and AoS layout regardless of the
+   backend's internal representation. *)
+let fetch ctx dat =
+  match ctx.dist with
+  | Some d -> Dist.fetch d dat
+  | None ->
+    if dat.Types.layout = Types.Aos then Array.copy dat.Types.data
+    else
+      Types.convert_array ~from_layout:dat.Types.layout ~to_layout:Types.Aos
+        ~n:(Types.dat_n_elems dat) ~dim:dat.Types.dim dat.Types.data
+
+(* Overwrite a dataset from a global-order AoS array. *)
+let update ctx dat data =
+  if Array.length data <> dat.Types.dat_set.Types.set_size * dat.Types.dim then
+    invalid_arg "Op2.update: bad data length";
+  (match ctx.dist with
+  | Some d -> Dist.push d dat data
+  | None ->
+    dat.Types.data <-
+      Types.convert_array ~from_layout:Types.Aos ~to_layout:dat.Types.layout
+        ~n:(Types.dat_n_elems dat) ~dim:dat.Types.dim data)
+
+let convert_layout ctx dat layout =
+  if ctx.dist <> None then
+    invalid_arg "Op2.convert_layout: not available on a partitioned context";
+  if dat.Types.layout <> layout then begin
+    dat.Types.data <-
+      Types.convert_array ~from_layout:dat.Types.layout ~to_layout:layout
+        ~n:(Types.dat_n_elems dat) ~dim:dat.Types.dim dat.Types.data;
+    dat.Types.layout <- layout
+  end
+
+(* ---- Renumbering (mesh reordering optimisation) ----------------------- *)
+
+(* Reverse Cuthill-McKee on the dual graph of [through]'s target set, with
+   orderings induced on every other set via the declared maps — the
+   automatic mesh renumbering the paper credits with a large share of
+   Fig 3's single-node gain. Returns the bandwidth before/after for
+   reporting. *)
+(* Core renumbering machinery: given a seed permutation of one set, induce
+   orderings on every other set through the declared maps and apply all of
+   them to datasets and maps. *)
+let apply_seed_permutation ctx ~seed_set ~seed_perm =
+  if ctx.dist <> None then
+    invalid_arg "Op2.renumber: renumber before partitioning";
+  let open Types in
+  if not (Am_mesh.Reorder.is_permutation seed_perm)
+     || Array.length seed_perm <> seed_set.set_size
+  then invalid_arg "Op2.renumber: seed is not a permutation of the set";
+  let perms : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.add perms seed_set.set_id seed_perm;
+  (* Induce orderings through maps until no progress. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun m ->
+        let from_known = Hashtbl.mem perms m.from_set.set_id in
+        let to_known = Hashtbl.mem perms m.to_set.set_id in
+        if to_known && not from_known then begin
+          let perm_to = Hashtbl.find perms m.to_set.set_id in
+          let renumbered = Am_mesh.Reorder.renumber_targets ~perm:perm_to m.values in
+          Hashtbl.add perms m.from_set.set_id
+            (Am_mesh.Reorder.induced_order ~n_sources:m.from_set.set_size
+               ~arity:m.arity renumbered);
+          changed := true
+        end
+        else if from_known && not to_known then begin
+          let perm_from = Hashtbl.find perms m.from_set.set_id in
+          (* Order targets by the minimum renumbered source touching them. *)
+          let key = Array.make m.to_set.set_size max_int in
+          for s = 0 to m.from_set.set_size - 1 do
+            for k = 0 to m.arity - 1 do
+              let t = m.values.((s * m.arity) + k) in
+              if perm_from.(s) < key.(t) then key.(t) <- perm_from.(s)
+            done
+          done;
+          let order = Array.init m.to_set.set_size Fun.id in
+          Array.sort (fun a b -> compare (key.(a), a) (key.(b), b)) order;
+          let perm = Array.make m.to_set.set_size 0 in
+          Array.iteri (fun new_i old_i -> perm.(old_i) <- new_i) order;
+          Hashtbl.add perms m.to_set.set_id perm;
+          changed := true
+        end)
+      (maps ctx.env)
+  done;
+  let perm_of set =
+    match Hashtbl.find_opt perms set.set_id with
+    | Some p -> p
+    | None -> Am_mesh.Reorder.identity set.set_size
+  in
+  (* Apply: dat data, map sources, map targets. *)
+  List.iter
+    (fun d ->
+      if d.layout <> Aos then invalid_arg "Op2.renumber: convert datasets to AoS first";
+      d.data <-
+        Am_mesh.Reorder.permute_data ~perm:(perm_of d.dat_set) ~dim:d.dim d.data)
+    (dats ctx.env);
+  List.iter
+    (fun m ->
+      let v = Am_mesh.Reorder.renumber_targets ~perm:(perm_of m.to_set) m.values in
+      m.values <-
+        Am_mesh.Reorder.permute_sources ~perm:(perm_of m.from_set) ~dim:m.arity v)
+    (maps ctx.env);
+  (* Plans depend on map contents: drop them. *)
+  Hashtbl.reset ctx.plan_cache
+
+(* Reverse Cuthill-McKee on the dual graph of [through]'s target set (the
+   default OP2 renumbering); returns mean dual-graph index distance
+   (before, after). *)
+let renumber ctx ~through =
+  let open Types in
+  let dual () =
+    Am_mesh.Csr.of_map_rows ~n_vertices:through.to_set.set_size
+      ~n_rows:through.from_set.set_size ~arity:through.arity through.values
+  in
+  let g = dual () in
+  let before = Am_mesh.Csr.average_bandwidth g in
+  apply_seed_permutation ctx ~seed_set:through.to_set
+    ~seed_perm:(Am_mesh.Reorder.rcm g);
+  (before, Am_mesh.Csr.average_bandwidth (dual ()))
+
+(* Renumber with a caller-supplied ordering of one set (e.g. a Hilbert-curve
+   permutation from element coordinates); orderings of the other sets are
+   induced through the maps as for RCM. *)
+let renumber_with ctx ~set ~perm = apply_seed_permutation ctx ~seed_set:set ~seed_perm:perm
+
+(* ---- Partitioning ------------------------------------------------------ *)
+
+type partition_strategy = Dist.strategy =
+  | Block_on of set
+  | Rcb_on of dat
+  | Kway_through of map_t
+
+let partition ctx ~n_ranks ~strategy =
+  if ctx.dist <> None then invalid_arg "Op2.partition: context already partitioned";
+  (match ctx.backend with
+  | Seq -> ()
+  | Shared _ | Cuda_sim _ | Vec _ ->
+    invalid_arg "Op2.partition: switch the backend to Seq before partitioning");
+  ctx.dist <- Some (Dist.build ctx.env ~n_ranks ~strategy)
+
+let dist ctx = ctx.dist
+
+(* Intra-rank execution of the distributed backend: the hybrid MPI+OpenMP
+   and MPI+vectorised modes of the paper. *)
+type rank_execution = Dist.rank_exec =
+  | Rank_seq
+  | Rank_shared of { pool : Am_taskpool.Pool.t; block_size : int }
+  | Rank_vec of Exec_vec.config
+
+let set_rank_execution ctx exec =
+  match ctx.dist with
+  | None -> invalid_arg "Op2.set_rank_execution: partition first"
+  | Some d -> d.Dist.rank_exec <- exec
+
+(* Halo-exchange policy: On_demand is the paper's access-descriptor-driven
+   scheme (exchange only when a written dat's halo is stale); Eager
+   exchanges before every indirect read, the behaviour of a runtime
+   without dirty-bit tracking. Identical results; different traffic. *)
+type halo_policy = On_demand | Eager
+
+let set_halo_policy ctx policy =
+  match ctx.dist with
+  | None -> invalid_arg "Op2.set_halo_policy: partition first"
+  | Some d -> d.Dist.eager_halo <- (policy = Eager)
+
+let comm_stats ctx =
+  match ctx.dist with
+  | None -> None
+  | Some d -> Some (Am_simmpi.Comm.stats d.Dist.comm)
+
+(* ---- The parallel loop ------------------------------------------------- *)
+
+let now () = Unix.gettimeofday ()
+
+let execute_loop ctx ~name iter_set args kernel =
+  match ctx.dist with
+  | Some d ->
+    let halo_seconds = ref 0.0 in
+    Dist.par_loop ~halo_seconds d ~name ~iter_set ~args ~kernel;
+    Profile.record_halo ctx.profile ~name ~seconds:!halo_seconds
+  | None -> (
+    match ctx.backend with
+    | Seq -> Exec_seq.run ~set_size:iter_set.Types.set_size ~args ~kernel ()
+    | Vec config ->
+      (* The vector plan only needs element colours; block size is moot. *)
+      let plan = Plan.find_or_build ctx.plan_cache ~name ~iter_set ~block_size:256 args in
+      Exec_vec.run config plan ~set_size:iter_set.Types.set_size ~args ~kernel
+    | Shared { pool; block_size } ->
+      let plan = Plan.find_or_build ctx.plan_cache ~name ~iter_set ~block_size args in
+      Exec_shared.run pool plan ~set_size:iter_set.Types.set_size ~args ~kernel
+    | Cuda_sim config ->
+      let plan =
+        Plan.find_or_build ctx.plan_cache ~name ~iter_set
+          ~block_size:config.Exec_cuda.block_size args
+      in
+      Exec_cuda.run config plan ~set_size:iter_set.Types.set_size ~args ~kernel)
+
+let par_loop ctx ~name ?(info = Descr.default_kernel_info) iter_set args kernel =
+  Types.validate_args ~iter_set args;
+  let descr = Types.describe ~name ~iter_set ~info args in
+  Trace.record ctx.trace descr;
+  let t0 = now () in
+  (match ctx.checkpoint with
+  | None -> execute_loop ctx ~name iter_set args kernel
+  | Some session ->
+    (* Checkpointing mode: the session decides whether to run the body
+       (skipped while fast-forwarding, with logged global outputs replayed),
+       snapshot datasets before it, or defer. *)
+    let gbl_out =
+      List.filter_map
+        (function
+          | Types.Arg_gbl { buf; access; _ } when access <> Access.Read -> Some buf
+          | Types.Arg_gbl _ | Types.Arg_dat _ -> None)
+        args
+    in
+    Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:(fun () ->
+        execute_loop ctx ~name iter_set args kernel));
+  let seconds = now () -. t0 in
+  Profile.record ctx.profile ~name ~seconds ~bytes:(Descr.total_bytes descr)
+    ~elements:iter_set.Types.set_size
+
+(* ---- Diagnostics (op_diagnostic / op_print_dat_to_txtfile) -------------- *)
+
+(* Cached execution plans: one line per (loop, argument signature), with the
+   block decomposition and both colouring levels — the run-time artefacts
+   Section II.B describes. *)
+let plan_report ctx =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "execution plans:\n";
+  let entries =
+    Hashtbl.fold (fun key plan acc -> (key, plan) :: acc) ctx.plan_cache []
+    |> List.sort compare
+  in
+  if entries = [] then Buffer.add_string buf "  (none built yet)\n";
+  List.iter
+    (fun (key, plan) ->
+      let blocks = plan.Plan.blocks in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %d blocks of %d, %d block colour(s)%s\n" key
+           blocks.Am_mesh.Coloring.n_blocks blocks.Am_mesh.Coloring.block_size
+           plan.Plan.block_coloring.Am_mesh.Coloring.n_colors
+           (match plan.Plan.elem_coloring with
+           | None -> ", conflict-free"
+           | Some ec ->
+             Printf.sprintf ", %d element colour(s)" ec.Am_mesh.Coloring.n_colors)))
+    entries;
+  Buffer.contents buf
+
+(* Dump a dataset to a text file in global element order — works in
+   distributed mode too, like op_print_dat_to_txtfile ("API calls to dump
+   entire datasets to disk, even in a distributed memory environment"). *)
+let dump_dat ctx dat ~path =
+  let data = fetch ctx dat in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# %s: %d elements x %d components\n" dat.Types.dat_name
+        dat.Types.dat_set.Types.set_size dat.Types.dim;
+      for e = 0 to dat.Types.dat_set.Types.set_size - 1 do
+        for d = 0 to dat.Types.dim - 1 do
+          if d > 0 then output_char oc ' ';
+          Printf.fprintf oc "%.17g" data.((e * dat.Types.dim) + d)
+        done;
+        output_char oc '\n'
+      done)
+
+(* Decomposition summary (per-set owned/halo counts, exchange volumes). *)
+let partition_report ctx =
+  match ctx.dist with
+  | None -> "not partitioned\n"
+  | Some d -> Dist.report d ctx.env
+
+(* ---- Automatic checkpointing (paper Section VI) -------------------------- *)
+
+(* Snapshot accessors over the context's own dataset registry: the "all data
+   is handed to the library" property is what makes checkpointing fully
+   automatic. *)
+let checkpoint_fns ctx =
+  let find name =
+    match List.find_opt (fun d -> d.Types.dat_name = name) (dats ctx) with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Op2 checkpoint: unknown dataset %s" name)
+  in
+  {
+    Am_checkpoint.Runtime.fetch = (fun name -> fetch ctx (find name));
+    restore = (fun name data -> update ctx (find name) data);
+  }
+
+(* Route subsequent loops through a checkpointing session. *)
+let enable_checkpointing ctx =
+  if ctx.checkpoint = None then
+    ctx.checkpoint <- Some (Am_checkpoint.Runtime.create ~fns:(checkpoint_fns ctx))
+
+(* Ask for a checkpoint at the next opportunity; with periodicity evidence
+   the library defers within one loop period to the cheapest trigger. *)
+let request_checkpoint ctx =
+  match ctx.checkpoint with
+  | None -> invalid_arg "Op2.request_checkpoint: call enable_checkpointing first"
+  | Some session -> Am_checkpoint.Runtime.request_checkpoint session
+
+let checkpoint_session ctx = ctx.checkpoint
+
+(* Persist the made checkpoint. *)
+let checkpoint_to_file ctx ~path =
+  match ctx.checkpoint with
+  | None -> invalid_arg "Op2.checkpoint_to_file: checkpointing not enabled"
+  | Some session -> Am_checkpoint.Runtime.save_to_file session ~path
+
+(* Restart: route subsequent loops through a fast-forwarding session that
+   skips every loop body until the checkpoint position, restores the saved
+   datasets there, and resumes normal execution. *)
+let recover_from_file ctx ~path =
+  ctx.checkpoint <-
+    Some (Am_checkpoint.Runtime.recover_from_file ~path ~fns:(checkpoint_fns ctx))

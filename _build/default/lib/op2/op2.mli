@@ -1,0 +1,243 @@
+(** OP2: the unstructured-mesh domain-specific active library.
+
+    An application declares its mesh once — sets, maps between sets, and
+    datasets on sets — and expresses all computation as parallel loops over
+    sets, with an access descriptor per argument. From that single
+    abstraction the library derives race-free shared-memory schedules
+    (two-level colouring), GPU execution plans (block staging, AoS/SoA),
+    distributed-memory partitioning with on-demand halo exchanges, mesh
+    renumbering, checkpoint analyses and performance-model inputs — the
+    design of Giles, Mudalige et al.'s OP2.
+
+    {[
+      let ctx = Op2.create () in
+      let cells = Op2.decl_set ctx ~name:"cells" ~size:n_cells in
+      let edges = Op2.decl_set ctx ~name:"edges" ~size:n_edges in
+      let e2c = Op2.decl_map ctx ~name:"e2c" ~from_set:edges ~to_set:cells
+                  ~arity:2 ~values in
+      let q = Op2.decl_dat ctx ~name:"q" ~set:cells ~dim:4 ~data in
+      Op2.par_loop ctx ~name:"flux" edges
+        [ Op2.arg_dat_indirect q e2c 0 Access.Read;
+          Op2.arg_dat_indirect q e2c 1 Access.Read;
+          Op2.arg_dat_indirect res e2c 0 Access.Inc;
+          Op2.arg_dat_indirect res e2c 1 Access.Inc ]
+        (fun args -> ...)
+    ]}
+
+    Kernels receive one staging buffer per argument ([float array array]),
+    gathered before the call and scattered back according to the access
+    mode; [Inc] buffers arrive zeroed and are added to memory afterwards.
+    Kernels must touch only their buffers. *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+module Profile = Am_core.Profile
+module Trace = Am_core.Trace
+
+type set = Types.set
+type map_t = Types.map_t
+type dat = Types.dat
+type arg = Types.arg
+
+(** Dataset memory layout: array-of-structures or structure-of-arrays. *)
+type layout = Types.layout = Aos | Soa
+
+(** Execution backend of a context. [Seq] is the reference; [Shared] runs
+    colour-by-colour block schedules on a domain pool; [Cuda_sim] executes
+    the structure of OP2's generated CUDA (thread blocks, element colours,
+    the three memory strategies of the paper's Fig 7) in-process. The
+    distributed backend is entered with {!partition}. *)
+type backend =
+  | Seq
+  | Vec of Exec_vec.config
+      (** packed gather / simd-body / packed scatter structure of OP2's
+          generated vectorised CPU code, colour-packed for indirect writes *)
+  | Shared of { pool : Am_taskpool.Pool.t; block_size : int }
+  | Cuda_sim of Exec_cuda.config
+
+type ctx
+
+(** Fresh application context (default backend: [Seq]). *)
+val create : ?backend:backend -> unit -> ctx
+
+(** Switch backend between loops; rejected on partitioned contexts (ranks
+    execute sequentially there). *)
+val set_backend : ctx -> backend -> unit
+
+val backend : ctx -> backend
+
+(** Per-loop wall-time/bytes profile (the data behind Table-I-style
+    breakdowns). *)
+val profile : ctx -> Profile.t
+
+(** Loop-sequence trace; enable to feed the checkpoint planner and the
+    performance model. *)
+val trace : ctx -> Trace.t
+
+(** {1 Declarations} *)
+
+val decl_set : ctx -> name:string -> size:int -> set
+
+(** [decl_map ctx ~name ~from_set ~to_set ~arity ~values] declares a map
+    with [arity] entries per [from_set] element. Values are validated
+    against [to_set] and copied. *)
+val decl_map :
+  ctx -> name:string -> from_set:set -> to_set:set -> arity:int -> values:int array ->
+  map_t
+
+(** [decl_dat ctx ~name ~set ~dim ~data] declares a dataset with [dim]
+    values per element ([data] copied, AoS order). *)
+val decl_dat : ctx -> name:string -> set:set -> dim:int -> data:float array -> dat
+
+(** Zero-initialised dataset. *)
+val decl_dat_zero : ctx -> name:string -> set:set -> dim:int -> dat
+
+(** [decl_const ctx ~name values] registers a global simulation constant
+    (op_decl_const). Kernels read constants directly as OCaml values; the
+    declaration tells the code generator to emit the constant per target
+    (CUDA constant memory, C globals) and appears in diagnostics. *)
+val decl_const : ctx -> name:string -> float array -> unit
+
+(** Declared constants, in declaration order. *)
+val consts : ctx -> (string * float array) list
+
+val sets : ctx -> set list
+val maps : ctx -> map_t list
+val dats : ctx -> dat list
+
+(** {1 Loop arguments} *)
+
+(** Direct access: element [i] of the loop touches element [i] of the dat. *)
+val arg_dat : dat -> Access.t -> arg
+
+(** Indirect access through map component [idx]: element [e] touches
+    [map.values.(e*arity + idx)]. *)
+val arg_dat_indirect : dat -> map_t -> int -> Access.t -> arg
+
+(** Global argument: [Read] broadcasts, [Inc]/[Min]/[Max] reduce. *)
+val arg_gbl : name:string -> float array -> Access.t -> arg
+
+(** {1 Data access} *)
+
+(** Dataset contents in global element order and AoS layout, whatever the
+    backend's internal representation (owned values gathered from ranks on
+    partitioned contexts). Always a fresh array. *)
+val fetch : ctx -> dat -> float array
+
+(** Overwrite a dataset from a global-order AoS array (scattered to ranks on
+    partitioned contexts). *)
+val update : ctx -> dat -> float array -> unit
+
+(** In-place AoS/SoA conversion (the paper's automatic layout
+    transformation); not available once partitioned. *)
+val convert_layout : ctx -> dat -> layout -> unit
+
+(** {1 Optimisations} *)
+
+(** Reverse Cuthill-McKee renumbering on the dual graph of [through]'s
+    target set, with induced orderings on every other set; datasets and maps
+    are permuted in place and execution plans invalidated. Returns the dual
+    graph's mean index distance (before, after). Must precede
+    {!partition}. *)
+val renumber : ctx -> through:map_t -> float * float
+
+(** Renumber with a caller-supplied seed ordering of one set
+    ([perm.(old) = new], e.g. from {!Am_mesh.Reorder.hilbert}); other sets'
+    orderings are induced through the maps as for {!renumber}. *)
+val renumber_with : ctx -> set:set -> perm:int array -> unit
+
+(** {1 Distributed execution} *)
+
+type partition_strategy = Dist.strategy =
+  | Block_on of set  (** contiguous ranges of the given set *)
+  | Rcb_on of dat  (** recursive coordinate bisection on a coordinate dat *)
+  | Kway_through of map_t
+      (** k-way graph partition of the map's target set's dual graph
+          (the PT-Scotch/ParMetis role) *)
+
+(** Partition every set across [n_ranks] simulated ranks (propagating the
+    primary partition through the declared maps), build halo exchange
+    plans, and scatter datasets. Subsequent loops run owner-compute with
+    on-demand halo exchanges derived from the access descriptors. *)
+val partition : ctx -> n_ranks:int -> strategy:partition_strategy -> unit
+
+val dist : ctx -> Dist.t option
+
+(** Intra-rank execution of the distributed backend: the paper's hybrid
+    MPI+OpenMP (shared pool per rank) and MPI+vectorised modes. Rank-local
+    execution plans are built from the rank-local map tables. *)
+type rank_execution = Dist.rank_exec =
+  | Rank_seq
+  | Rank_shared of { pool : Am_taskpool.Pool.t; block_size : int }
+  | Rank_vec of Exec_vec.config
+
+(** Select intra-rank execution; the context must be partitioned. *)
+val set_rank_execution : ctx -> rank_execution -> unit
+
+(** Halo-exchange policy. [On_demand] (the default, and the paper's
+    design) exchanges a dataset's halo only when a prior write made it
+    stale, driven by the access descriptors; [Eager] exchanges before
+    every indirect read — the behaviour of a runtime without dirty-bit
+    tracking. Results are identical; communication volume is not (see the
+    halo-policy ablation). *)
+type halo_policy = On_demand | Eager
+
+val set_halo_policy : ctx -> halo_policy -> unit
+
+(** Live communication counters of the partitioned runtime. *)
+val comm_stats : ctx -> Am_simmpi.Comm.stats option
+
+(** {1 The parallel loop} *)
+
+(** [par_loop ctx ~name ?info iter_set args kernel] validates [args],
+    records trace/profile entries, and executes [kernel] over every element
+    of [iter_set] on the context's backend. [info] declares the kernel's
+    per-element flop/transcendental counts for the performance model. *)
+val par_loop :
+  ctx ->
+  name:string ->
+  ?info:Descr.kernel_info ->
+  set ->
+  arg list ->
+  (float array array -> unit) ->
+  unit
+
+(** {1 Diagnostics} *)
+
+(** Human-readable summary of every cached execution plan (block counts and
+    both colouring levels) — the op_diagnostic view of Section II.B. *)
+val plan_report : ctx -> string
+
+(** Dump a dataset to a text file in global element order; works on
+    partitioned contexts too (op_print_dat_to_txtfile). *)
+val dump_dat : ctx -> dat -> path:string -> unit
+
+(** Per-set decomposition summary of a partitioned context (owned/halo
+    counts, exchange volumes, peer counts); "not partitioned" otherwise. *)
+val partition_report : ctx -> string
+
+(** {1 Automatic checkpointing}
+
+    Because all data is handed to the library at declaration time, the
+    checkpoint content is decided automatically from the access-execute
+    descriptions (paper Section VI): the user only requests a checkpoint;
+    the library waits (within one detected loop period) for the cheapest
+    trigger, saves exactly the datasets recovery needs, and on restart
+    fast-forwards the application to the checkpoint. *)
+
+(** Route subsequent {!par_loop}s through a checkpointing session. *)
+val enable_checkpointing : ctx -> unit
+
+(** Ask for a checkpoint at the next (cheapest, within one loop period)
+    opportunity. Requires {!enable_checkpointing}. *)
+val request_checkpoint : ctx -> unit
+
+val checkpoint_session : ctx -> Am_checkpoint.Runtime.session option
+
+(** Persist the made checkpoint to a snapshot file. *)
+val checkpoint_to_file : ctx -> path:string -> unit
+
+(** Restart support: subsequent loops are skipped until the checkpoint
+    position recorded in the file, state is restored there, and execution
+    resumes. The application simply runs from the beginning. *)
+val recover_from_file : ctx -> path:string -> unit

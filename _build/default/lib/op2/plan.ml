@@ -1,0 +1,122 @@
+(* Run-time execution plans.
+
+   Any loop with indirect increments or writes has potential data races under
+   shared-memory execution.  Following the paper (Section II.B), the plan
+   breaks the iteration set into blocks and colours at two levels:
+
+   - blocks are coloured so same-colour blocks touch disjoint indirect
+     elements (they can be run by different OpenMP threads / CUDA thread
+     blocks);
+   - elements are coloured so the GPU backend can order its scatters within
+     a block.
+
+   Plans depend only on the mesh connectivity, so they are built once per
+   (loop, argument signature) and cached — [signature] is the cache key. *)
+
+module Access = Am_core.Access
+open Types
+
+type t = {
+  blocks : Am_mesh.Coloring.blocks;
+  block_coloring : Am_mesh.Coloring.t;
+  elem_coloring : Am_mesh.Coloring.t option; (* None when the loop is conflict-free *)
+  n_conflict_targets : int;
+}
+
+let has_conflicts t = t.elem_coloring <> None
+
+(* Indirect arguments whose access can race: Inc always, Write/Rw because two
+   iteration elements may map to the same target. *)
+let conflict_args args =
+  List.filter_map
+    (function
+      | Arg_dat { dat; map = Some (m, k); access } when Access.writes access ->
+        Some (dat, m, k)
+      | Arg_dat _ | Arg_gbl _ -> None)
+    args
+
+(* Distinct target dats get disjoint address arenas so that conflicts on
+   different datasets are kept separate. [n_elems_of] resolves the element
+   count — rank-local in distributed contexts. *)
+let build_arena ~n_elems_of conflicts =
+  let offsets = Hashtbl.create 8 in
+  let total = ref 0 in
+  List.iter
+    (fun (dat, _, _) ->
+      if not (Hashtbl.mem offsets dat.dat_id) then begin
+        Hashtbl.add offsets dat.dat_id !total;
+        total := !total + n_elems_of dat
+      end)
+    conflicts;
+  (offsets, !total)
+
+let signature ~name ~iter_set ~block_size args =
+  let arg_sig = function
+    | Arg_dat { dat; map = None; access } ->
+      Printf.sprintf "d%d:%s" dat.dat_id (Access.to_string access)
+    | Arg_dat { dat; map = Some (m, k); access } ->
+      Printf.sprintf "d%d@m%d.%d:%s" dat.dat_id m.map_id k (Access.to_string access)
+    | Arg_gbl { buf; access; _ } ->
+      Printf.sprintf "g%d:%s" (Array.length buf) (Access.to_string access)
+  in
+  Printf.sprintf "%s/s%d/b%d/%s" name iter_set.set_id block_size
+    (String.concat "," (List.map arg_sig args))
+
+(* [build ~set_size ~block_size args] plans over [0, set_size) with the
+   global map tables; [?resolvers] substitutes rank-local data and map
+   tables so the distributed backend can plan each rank's owned range. *)
+let build ?resolvers ~set_size ~block_size args =
+  let resolve_dat, resolve_map =
+    match resolvers with
+    | None -> ((fun d -> dat_n_elems d), fun (m : map_t) -> m.values)
+    | Some r ->
+      ( (fun d -> snd (r.Exec_common.resolve_dat d)),
+        fun m -> r.Exec_common.resolve_map m )
+  in
+  let n = set_size in
+  let blocks = Am_mesh.Coloring.make_blocks ~n_items:n ~block_size in
+  let conflicts = conflict_args args in
+  if conflicts = [] then
+    {
+      blocks;
+      block_coloring =
+        (* All blocks share colour 0: they are mutually independent. *)
+        {
+          Am_mesh.Coloring.colors = Array.make blocks.Am_mesh.Coloring.n_blocks 0;
+          n_colors = (if blocks.Am_mesh.Coloring.n_blocks > 0 then 1 else 0);
+          by_color =
+            (if blocks.Am_mesh.Coloring.n_blocks > 0 then
+               [| Array.init blocks.Am_mesh.Coloring.n_blocks Fun.id |]
+             else [||]);
+        };
+      elem_coloring = None;
+      n_conflict_targets = 0;
+    }
+  else begin
+    let offsets, n_targets = build_arena ~n_elems_of:resolve_dat conflicts in
+    let targets e f =
+      List.iter
+        (fun (dat, m, k) ->
+          let base = Hashtbl.find offsets dat.dat_id in
+          f (base + (resolve_map m).((e * m.arity) + k)))
+        conflicts
+    in
+    let block_coloring = Am_mesh.Coloring.color_blocks ~blocks ~n_targets ~targets in
+    let elem_coloring = Am_mesh.Coloring.color ~n_items:n ~n_targets ~targets in
+    { blocks; block_coloring; elem_coloring = Some elem_coloring;
+      n_conflict_targets = n_targets }
+  end
+
+(* Plan cache keyed by [signature]. *)
+type cache = (string, t) Hashtbl.t
+
+let make_cache () : cache = Hashtbl.create 32
+
+let find_or_build cache ~name ~iter_set ~block_size args =
+  let key = signature ~name ~iter_set ~block_size args in
+  match Hashtbl.find_opt cache key with
+  | Some plan -> plan
+  | None ->
+    let plan = build ~set_size:iter_set.set_size ~block_size args in
+    Hashtbl.add cache key plan;
+    plan

@@ -1,0 +1,1 @@
+lib/ops/boundary.ml: List Types

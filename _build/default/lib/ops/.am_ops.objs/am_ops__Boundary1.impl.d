@@ -1,0 +1,1 @@
+lib/ops/boundary1.ml: List Types1

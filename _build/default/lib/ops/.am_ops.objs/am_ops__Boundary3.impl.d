@@ -1,0 +1,1 @@
+lib/ops/boundary3.ml: List Types3

@@ -1,0 +1,1 @@
+lib/ops/dist.ml: Am_core Am_simmpi Am_taskpool Array Boundary Exec Hashtbl List Printf Types

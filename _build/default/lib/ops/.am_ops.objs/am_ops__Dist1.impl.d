@@ -1,0 +1,1 @@
+lib/ops/dist1.ml: Am_core Am_simmpi Am_taskpool Array Boundary1 Exec1 Hashtbl List Printf Types1

@@ -1,0 +1,1 @@
+lib/ops/dist3.ml: Am_core Am_simmpi Am_taskpool Array Boundary3 Exec3 Hashtbl List Printf Types3

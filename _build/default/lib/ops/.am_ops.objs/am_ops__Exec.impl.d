@@ -1,0 +1,1 @@
+lib/ops/exec.ml: Am_core Am_taskpool Array Float List Mutex Types

@@ -1,0 +1,1 @@
+lib/ops/exec1.ml: Am_core Am_taskpool Array Float List Mutex Types1

@@ -1,0 +1,1 @@
+lib/ops/multiblock.ml: List Printf Types

@@ -1,0 +1,1 @@
+lib/ops/multiblock3.ml: List Printf Types3

@@ -1,0 +1,1 @@
+lib/ops/ops.ml: Am_checkpoint Am_core Am_simmpi Am_taskpool Array Boundary Dist Dist2 Exec List Multiblock Printf Types Unix

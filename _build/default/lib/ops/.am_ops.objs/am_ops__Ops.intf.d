@@ -1,0 +1,1 @@
+lib/ops/ops.mli: Am_checkpoint Am_core Am_simmpi Am_taskpool Boundary Dist Exec Multiblock Types

@@ -1,0 +1,1 @@
+lib/ops/ops1.ml: Am_checkpoint Am_core Am_simmpi Am_taskpool Array Boundary1 Dist1 Exec1 List Printf Types1 Unix

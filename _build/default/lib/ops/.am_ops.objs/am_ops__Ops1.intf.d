@@ -1,0 +1,1 @@
+lib/ops/ops1.mli: Am_checkpoint Am_core Am_simmpi Am_taskpool Boundary1 Dist1 Exec1 Types1

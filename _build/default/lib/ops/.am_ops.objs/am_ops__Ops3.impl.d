@@ -1,0 +1,1 @@
+lib/ops/ops3.ml: Am_checkpoint Am_core Am_simmpi Am_taskpool Array Boundary3 Dist3 Dist3p Exec3 List Multiblock3 Printf Types3 Unix

@@ -1,0 +1,1 @@
+lib/ops/ops3.mli: Am_checkpoint Am_core Am_simmpi Am_taskpool Boundary3 Dist3 Exec3 Multiblock3 Types3

@@ -1,0 +1,1 @@
+lib/ops/types1.ml: Am_core Array Hashtbl List Printf

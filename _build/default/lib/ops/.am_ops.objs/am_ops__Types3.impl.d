@@ -1,0 +1,1 @@
+lib/ops/types3.ml: Am_core Array Hashtbl List Printf

@@ -1,0 +1,63 @@
+(* Physical boundary conditions on the ghost ring (OPS's update_halo).
+
+   CloverLeaf-style codes refresh their ghost cells after every phase with
+   reflective boundaries: ghost values mirror interior values, with an
+   optional sign flip for velocity components normal to the wall.  Reading
+   and writing the same dataset across an offset is exactly the dependence
+   [par_loop] forbids, so — like OPS itself — the library provides this as
+   a built-in operation rather than a user kernel.
+
+   Mirroring is centre-aware: cell-centred fields reflect about the cell
+   interface (ghost -k <-> interior k-1), node-centred fields about the
+   boundary node (ghost -k <-> interior k). *)
+
+open Types
+
+type centering = Cell | Node
+
+(* Mirror source index for ghost index [g] outside [0, size). *)
+let mirror_low centering k = match centering with Cell -> k - 1 | Node -> k
+let mirror_high centering size k =
+  match centering with Cell -> size - k | Node -> size - 1 - k
+
+(* Apply on a raw accessor so the distributed backend can reuse the logic on
+   rank-local windows. [rows] restricts the y range handled (global row
+   numbering, half-open). *)
+let apply_via ~get ~set ~(dat : dat) ~depth ~sign_x ~sign_y ~center_x ~center_y
+    ~row_lo ~row_hi =
+  if depth > dat.halo then invalid_arg "Boundary.mirror: depth exceeds ghost ring";
+  (* Vertical (y) mirrors: global ghost rows, owned by edge ranks. *)
+  for k = 1 to depth do
+    let pairs =
+      [ (-k, mirror_low center_y k); (dat.ysize - 1 + k, mirror_high center_y dat.ysize k) ]
+    in
+    List.iter
+      (fun (ghost_y, src_y) ->
+        if ghost_y >= row_lo && ghost_y < row_hi then
+          for x = 0 to dat.xsize - 1 do
+            for c = 0 to dat.dim - 1 do
+              set x ghost_y c (sign_y *. get x src_y c)
+            done
+          done)
+      pairs
+  done;
+  (* Horizontal (x) mirrors on every locally stored row, ghost rows included
+     so corners are consistent without communication. *)
+  let y_lo = max (-dat.halo) (row_lo - dat.halo) in
+  let y_hi = min (dat.ysize + dat.halo) (row_hi + dat.halo) in
+  for y = y_lo to y_hi - 1 do
+    for k = 1 to depth do
+      for c = 0 to dat.dim - 1 do
+        set (-k) y c (sign_x *. get (mirror_low center_x k) y c);
+        set (dat.xsize - 1 + k) y c (sign_x *. get (mirror_high center_x dat.xsize k) y c)
+      done
+    done
+  done
+
+let mirror ?(depth = 2) ?(sign_x = 1.0) ?(sign_y = 1.0) ?(center_x = Cell)
+    ?(center_y = Cell) dat =
+  apply_via
+    ~get:(fun x y c -> get dat ~x ~y ~c)
+    ~set:(fun x y c v -> set dat ~x ~y ~c v)
+    ~dat ~depth ~sign_x ~sign_y ~center_x ~center_y ~row_lo:(-dat.halo)
+    ~row_hi:(dat.ysize + dat.halo)

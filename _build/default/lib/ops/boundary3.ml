@@ -1,0 +1,62 @@
+(* Reflective ghost-shell boundary conditions in 3D (the 3D update_halo):
+   same contract as {!Boundary} with six faces, centre-aware mirroring and
+   per-axis sign flips.  Corners and edges become consistent by applying
+   the axes in sequence over the already-mirrored shell. *)
+
+open Types3
+
+type centering = Cell | Node
+
+let mirror_low centering k = match centering with Cell -> k - 1 | Node -> k
+let mirror_high centering size k =
+  match centering with Cell -> size - k | Node -> size - 1 - k
+
+(* [slab_lo, slab_hi) restricts the z-planes handled (rank windows). *)
+let apply_via ~get ~set ~(dat : dat) ~depth ~sign_x ~sign_y ~sign_z ~center_x ~center_y
+    ~center_z ~slab_lo ~slab_hi =
+  if depth > dat.halo then invalid_arg "Boundary3.mirror: depth exceeds ghost shell";
+  (* z mirrors: global ghost planes (owned by the edge ranks). *)
+  for k = 1 to depth do
+    List.iter
+      (fun (ghost_z, src_z) ->
+        if ghost_z >= slab_lo && ghost_z < slab_hi then
+          for y = 0 to dat.ysize - 1 do
+            for x = 0 to dat.xsize - 1 do
+              for c = 0 to dat.dim - 1 do
+                set x y ghost_z c (sign_z *. get x y src_z c)
+              done
+            done
+          done)
+      [ (-k, mirror_low center_z k); (dat.zsize - 1 + k, mirror_high center_z dat.zsize k) ]
+  done;
+  (* y then x mirrors on every locally stored plane. *)
+  let z_lo = max (-dat.halo) (slab_lo - dat.halo) in
+  let z_hi = min (dat.zsize + dat.halo) (slab_hi + dat.halo) in
+  for z = z_lo to z_hi - 1 do
+    for k = 1 to depth do
+      for x = 0 to dat.xsize - 1 do
+        for c = 0 to dat.dim - 1 do
+          set x (-k) z c (sign_y *. get x (mirror_low center_y k) z c);
+          set x (dat.ysize - 1 + k) z c
+            (sign_y *. get x (mirror_high center_y dat.ysize k) z c)
+        done
+      done
+    done;
+    for y = -dat.halo to dat.ysize + dat.halo - 1 do
+      for k = 1 to depth do
+        for c = 0 to dat.dim - 1 do
+          set (-k) y z c (sign_x *. get (mirror_low center_x k) y z c);
+          set (dat.xsize - 1 + k) y z c
+            (sign_x *. get (mirror_high center_x dat.xsize k) y z c)
+        done
+      done
+    done
+  done
+
+let mirror ?(depth = 2) ?(sign_x = 1.0) ?(sign_y = 1.0) ?(sign_z = 1.0)
+    ?(center_x = Cell) ?(center_y = Cell) ?(center_z = Cell) dat =
+  apply_via
+    ~get:(fun x y z c -> get dat ~x ~y ~z ~c)
+    ~set:(fun x y z c v -> set dat ~x ~y ~z ~c v)
+    ~dat ~depth ~sign_x ~sign_y ~sign_z ~center_x ~center_y ~center_z
+    ~slab_lo:(-dat.halo) ~slab_hi:(dat.zsize + dat.halo)

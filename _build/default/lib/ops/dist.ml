@@ -1,0 +1,296 @@
+(* Distributed-memory backend of OPS: one-dimensional (row) decomposition.
+
+   The reference index space [0, ref_ysize) is split into contiguous row
+   chunks, one per rank.  Each dataset is scattered into per-rank windows
+   holding the owned rows plus a ghost ring of the dataset's halo depth;
+   datasets taller than the reference space (staggered fields, e.g. a
+   CloverLeaf y-velocity with ysize+1 rows) give their extra rows to the
+   last rank, and the global ghost rows at the bottom/top belong to the
+   first/last rank.
+
+   Because OPS writes are center-only, owner-compute needs no reductions:
+   the only communication is the on-demand ghost-row exchange before loops
+   that read through offset stencils — triggered, exactly as in the paper,
+   by the access descriptors and declared stencils.  Whole padded rows are
+   exchanged (x-ghost columns included) so boundary data stays consistent. *)
+
+module Access = Am_core.Access
+module Comm = Am_simmpi.Comm
+open Types
+
+type window = {
+  row_lo : int; (* first owned row (global numbering) *)
+  row_hi : int; (* end of owned rows *)
+  data : float array; (* rows [row_lo - halo, row_hi + halo), parent stride *)
+}
+
+(* [fresh_depth] = how many ghost rows are currently valid (0 after a
+   write, up to the dataset's halo after a full exchange): loops whose
+   stencils reach only k rows deep trigger a k-row exchange, not a full
+   one — OPS's per-stencil update_halo depths. *)
+type dat_dist = { windows : window array; mutable fresh_depth : int }
+
+(* Intra-rank execution: hybrid MPI+OpenMP runs each rank's rows through
+   the shared-memory engine (centre-only writes make this race-free with
+   no per-rank planning needed). *)
+type rank_exec = Rank_seq | Rank_shared of Am_taskpool.Pool.t
+
+type t = {
+  comm : Comm.t;
+  n_ranks : int;
+  ref_ysize : int;
+  chunk : int array; (* chunk.(r) = first reference row of rank r; chunk.(P) = ref *)
+  dat_dists : (int, dat_dist) Hashtbl.t;
+  env : env;
+  mutable rank_exec : rank_exec;
+  mutable eager_halo : bool;
+}
+
+(* Owned-row interval of dataset [dat] on rank [r]. *)
+let owned_rows t dat r =
+  let lo = if r = 0 then -dat.halo else t.chunk.(r) in
+  let hi = if r = t.n_ranks - 1 then dat.ysize + dat.halo else t.chunk.(r + 1) in
+  (lo, hi)
+
+(* Executing rank of a loop row (global numbering, ghost rows included). *)
+let rank_of_row t y =
+  if y < t.chunk.(1) then 0
+  else if y >= t.chunk.(t.n_ranks - 1) then t.n_ranks - 1
+  else begin
+    let r = ref 1 in
+    while not (y >= t.chunk.(!r) && y < t.chunk.(!r + 1)) do
+      incr r
+    done;
+    !r
+  end
+
+let window_index dat w ~x ~y ~c =
+  let padded_width = dat.xsize + (2 * dat.halo) in
+  ((((y - (w.row_lo - dat.halo)) * padded_width) + (x + dat.halo)) * dat.dim) + c
+
+let window_view dat w : Exec.view =
+  {
+    Exec.vget = (fun x y c -> w.data.(window_index dat w ~x ~y ~c));
+    vset = (fun x y c v -> w.data.(window_index dat w ~x ~y ~c) <- v);
+  }
+
+let build env ~n_ranks ~ref_ysize =
+  if n_ranks <= 0 then invalid_arg "Ops dist: n_ranks must be positive";
+  if ref_ysize < n_ranks then invalid_arg "Ops dist: fewer rows than ranks";
+  let max_halo =
+    List.fold_left (fun acc d -> max acc d.halo) 0 (dats env)
+  in
+  let chunk = Array.init (n_ranks + 1) (fun r -> r * ref_ysize / n_ranks) in
+  for r = 0 to n_ranks - 1 do
+    if n_ranks > 1 && chunk.(r + 1) - chunk.(r) < max_halo then
+      invalid_arg
+        (Printf.sprintf
+           "Ops dist: rank %d owns %d rows, fewer than the ghost depth %d" r
+           (chunk.(r + 1) - chunk.(r)) max_halo)
+  done;
+  List.iter
+    (fun d ->
+      if d.ysize < ref_ysize then
+        invalid_arg
+          (Printf.sprintf "Ops dist: dat %s has %d rows, reference space has %d"
+             d.dat_name d.ysize ref_ysize))
+    (dats env);
+  let t =
+    {
+      comm = Comm.create ~n_ranks;
+      n_ranks;
+      ref_ysize;
+      chunk;
+      dat_dists = Hashtbl.create 16;
+      env;
+      rank_exec = Rank_seq;
+      eager_halo = false;
+    }
+  in
+  List.iter
+    (fun dat ->
+      let padded_width = dat.xsize + (2 * dat.halo) in
+      let windows =
+        Array.init n_ranks (fun r ->
+            let row_lo, row_hi = owned_rows t dat r in
+            let rows = row_hi - row_lo + (2 * dat.halo) in
+            let w = { row_lo; row_hi; data = Array.make (rows * padded_width * dat.dim) 0.0 } in
+            (* Scatter from the global array, clamped to its addressable rows. *)
+            for y = max (y_min dat) (row_lo - dat.halo)
+                to min (y_max dat - 1) (row_hi + dat.halo - 1) do
+              for x = -dat.halo to dat.xsize + dat.halo - 1 do
+                for c = 0 to dat.dim - 1 do
+                  w.data.(window_index dat w ~x ~y ~c) <- get dat ~x ~y ~c
+                done
+              done
+            done;
+            w)
+      in
+      Hashtbl.add t.dat_dists dat.dat_id { windows; fresh_depth = dat.halo })
+    (dats env);
+  t
+
+let dat_dist t dat = Hashtbl.find t.dat_dists dat.dat_id
+
+(* Copy [count] whole padded rows starting at global row [row] into a flat
+   payload, and back. *)
+let pack_rows dat w ~row ~count =
+  let padded_width = dat.xsize + (2 * dat.halo) in
+  let out = Array.make (count * padded_width * dat.dim) 0.0 in
+  let base = window_index dat w ~x:(-dat.halo) ~y:row ~c:0 in
+  Array.blit w.data base out 0 (Array.length out);
+  out
+
+let unpack_rows dat w ~row payload =
+  let base = window_index dat w ~x:(-dat.halo) ~y:row ~c:0 in
+  Array.blit payload 0 w.data base (Array.length payload)
+
+(* Neighbour ghost-row exchange for one dataset, to [depth] rows.
+   On-demand by default (skip when the dirty-bit says enough ghost rows are
+   fresh); [eager_halo] forces a full exchange every time, for the
+   halo-policy ablation. *)
+let exchange ?depth t dat =
+  let dd = dat_dist t dat in
+  let need = match depth with Some d -> min d dat.halo | None -> dat.halo in
+  if dd.fresh_depth < need || t.eager_halo then begin
+    (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
+    let h = if t.eager_halo then dat.halo else need in
+    if h > 0 then begin
+      for r = 0 to t.n_ranks - 2 do
+        let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
+        (* r's top owned rows -> (r+1)'s bottom ghost. *)
+        Comm.send t.comm ~src:r ~dst:(r + 1) (pack_rows dat w ~row:(w.row_hi - h) ~count:h);
+        (* (r+1)'s bottom owned rows -> r's top ghost. *)
+        Comm.send t.comm ~src:(r + 1) ~dst:r (pack_rows dat wn ~row:wn.row_lo ~count:h)
+      done;
+      for r = 0 to t.n_ranks - 2 do
+        let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
+        (* The h rows nearest the boundary: ghost rows [row_lo - h, row_lo)
+           and [row_hi, row_hi + h). *)
+        unpack_rows dat wn ~row:(wn.row_lo - h) (Comm.recv t.comm ~src:r ~dst:(r + 1));
+        unpack_rows dat w ~row:w.row_hi (Comm.recv t.comm ~src:(r + 1) ~dst:r)
+      done
+    end;
+    dd.fresh_depth <- max dd.fresh_depth h
+  end
+
+(* ---- Loop execution --------------------------------------------------- *)
+
+let par_loop t ~range ~args ~kernel =
+  (* Grid-transfer strides cross the row decomposition arbitrarily:
+     unsupported on partitioned contexts (multigrid levels would need a
+     proportional decomposition). *)
+  List.iter
+    (function
+      | Arg_dat { stride; _ } when not (is_unit_stride stride) ->
+        invalid_arg "ops-mpi: strided (grid-transfer) stencils are unsupported on \
+                     partitioned contexts"
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args;
+  (* Ghost exchanges for stencil-read datasets (deduplicated per dataset). *)
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Arg_dat { dat; stencil; access; _ }
+        when Access.reads access && stencil_extent stencil > 0 ->
+        (* Deepest stencil of this loop on this dataset decides the depth. *)
+        let need = stencil_extent stencil in
+        let prev = try Hashtbl.find seen dat.dat_id with Not_found -> 0 in
+        if need > prev then Hashtbl.replace seen dat.dat_id need
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args;
+  Hashtbl.iter
+    (fun dat_id need ->
+      let dat = List.find (fun d -> d.dat_id = dat_id) (dats t.env) in
+      exchange ~depth:need t dat)
+    seen;
+  for r = 0 to t.n_ranks - 1 do
+    (* Rows of the range this rank executes (contiguous by construction). *)
+    let rows =
+      let lo = ref max_int and hi = ref min_int in
+      for y = range.ylo to range.yhi - 1 do
+        if rank_of_row t y = r then begin
+          if y < !lo then lo := y;
+          if y + 1 > !hi then hi := y + 1
+        end
+      done;
+      if !lo > !hi then None else Some (!lo, !hi)
+    in
+    match rows with
+    | None -> ()
+    | Some (lo, hi) ->
+      let resolvers =
+        {
+          Exec.resolve_dat =
+            (fun d -> window_view d (dat_dist t d).windows.(r));
+        }
+      in
+      (match t.rank_exec with
+      | Rank_seq ->
+        Exec.run_seq ~resolvers
+          ~range:{ range with ylo = lo; yhi = hi }
+          ~args ~kernel ()
+      | Rank_shared pool ->
+        Exec.run_shared ~resolvers pool
+          ~range:{ range with ylo = lo; yhi = hi }
+          ~args ~kernel)
+  done;
+  (* Post: written datasets' ghosts are stale; count global reductions. *)
+  List.iter
+    (function
+      | Arg_dat { dat; access; _ } when Access.writes access ->
+        (dat_dist t dat).fresh_depth <- 0
+      | Arg_gbl { access; _ } when access <> Access.Read ->
+        (Comm.stats t.comm).reductions <- (Comm.stats t.comm).reductions + 1
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args
+
+(* Assemble the interior of a dataset from its owners. *)
+let fetch_interior t dat =
+  let dd = dat_dist t dat in
+  let out = Array.make (dat.xsize * dat.ysize * dat.dim) 0.0 in
+  let k = ref 0 in
+  for y = 0 to dat.ysize - 1 do
+    let r = rank_of_row t y in
+    let w = dd.windows.(r) in
+    for x = 0 to dat.xsize - 1 do
+      for c = 0 to dat.dim - 1 do
+        out.(!k) <- w.data.(window_index dat w ~x ~y ~c);
+        incr k
+      done
+    done
+  done;
+  out
+
+(* Push the global array's current contents into every window (ghosts too). *)
+let push t dat =
+  let dd = dat_dist t dat in
+  for r = 0 to t.n_ranks - 1 do
+    let w = dd.windows.(r) in
+    for y = max (y_min dat) (w.row_lo - dat.halo)
+        to min (y_max dat - 1) (w.row_hi + dat.halo - 1) do
+      for x = -dat.halo to dat.xsize + dat.halo - 1 do
+        for c = 0 to dat.dim - 1 do
+          w.data.(window_index dat w ~x ~y ~c) <- get dat ~x ~y ~c
+        done
+      done
+    done
+  done;
+  dd.fresh_depth <- dat.halo
+
+(* Reflective boundary mirror on every rank's window (see [Boundary]): each
+   rank mirrors the x-ghost columns of its stored rows; the global y-ghost
+   rows belong to the edge ranks' owned intervals. Ghost copies of interior
+   rows may now hold stale x-columns, so the dataset is marked for
+   re-exchange. *)
+let mirror t dat ~depth ~sign_x ~sign_y ~center_x ~center_y =
+  let dd = dat_dist t dat in
+  for r = 0 to t.n_ranks - 1 do
+    let w = dd.windows.(r) in
+    Boundary.apply_via
+      ~get:(fun x y c -> w.data.(window_index dat w ~x ~y ~c))
+      ~set:(fun x y c v -> w.data.(window_index dat w ~x ~y ~c) <- v)
+      ~dat ~depth ~sign_x ~sign_y ~center_x ~center_y ~row_lo:w.row_lo
+      ~row_hi:w.row_hi
+  done;
+  dd.fresh_depth <- 0

@@ -1,0 +1,202 @@
+(* Distributed 1D backend: contiguous interval decomposition along x — each
+   rank owns a chunk of cells plus ghost cells; centre-only writes mean the
+   only communication is the on-demand ghost-cell exchange before loops
+   reading through offset stencils. *)
+
+module Access = Am_core.Access
+module Comm = Am_simmpi.Comm
+open Types1
+
+type window = {
+  chunk_lo : int; (* first owned cell (global numbering) *)
+  chunk_hi : int;
+  data : float array; (* cells [chunk_lo - halo, chunk_hi + halo) *)
+}
+
+type dat_dist = { windows : window array; mutable fresh : bool }
+
+type rank_exec = Rank_seq | Rank_shared of Am_taskpool.Pool.t
+
+type t = {
+  comm : Comm.t;
+  n_ranks : int;
+  ref_xsize : int;
+  chunk : int array;
+  dat_dists : (int, dat_dist) Hashtbl.t;
+  env : env;
+  mutable rank_exec : rank_exec;
+  mutable eager_halo : bool;
+}
+
+let owned_cells t dat r =
+  let lo = if r = 0 then -dat.halo else t.chunk.(r) in
+  let hi = if r = t.n_ranks - 1 then dat.xsize + dat.halo else t.chunk.(r + 1) in
+  (lo, hi)
+
+let rank_of_cell t x =
+  if x < t.chunk.(1) then 0
+  else if x >= t.chunk.(t.n_ranks - 1) then t.n_ranks - 1
+  else begin
+    let r = ref 1 in
+    while not (x >= t.chunk.(!r) && x < t.chunk.(!r + 1)) do
+      incr r
+    done;
+    !r
+  end
+
+let window_index dat w ~x ~c = ((x - (w.chunk_lo - dat.halo)) * dat.dim) + c
+
+let window_view dat w : Exec1.view =
+  {
+    Exec1.vget = (fun x c -> w.data.(window_index dat w ~x ~c));
+    vset = (fun x c v -> w.data.(window_index dat w ~x ~c) <- v);
+  }
+
+let build env ~n_ranks ~ref_xsize =
+  if n_ranks <= 0 then invalid_arg "Ops1 dist: n_ranks must be positive";
+  if ref_xsize < n_ranks then invalid_arg "Ops1 dist: fewer cells than ranks";
+  let max_halo = List.fold_left (fun acc d -> max acc d.halo) 0 (dats env) in
+  let chunk = Array.init (n_ranks + 1) (fun r -> r * ref_xsize / n_ranks) in
+  for r = 0 to n_ranks - 1 do
+    if n_ranks > 1 && chunk.(r + 1) - chunk.(r) < max_halo then
+      invalid_arg
+        (Printf.sprintf "Ops1 dist: rank %d owns %d cells, fewer than ghost depth %d"
+           r (chunk.(r + 1) - chunk.(r)) max_halo)
+  done;
+  List.iter
+    (fun d ->
+      if d.xsize < ref_xsize then
+        invalid_arg
+          (Printf.sprintf "Ops1 dist: dat %s has %d cells, reference space has %d"
+             d.dat_name d.xsize ref_xsize))
+    (dats env);
+  let t =
+    { comm = Comm.create ~n_ranks; n_ranks; ref_xsize; chunk;
+      dat_dists = Hashtbl.create 16; env; rank_exec = Rank_seq; eager_halo = false }
+  in
+  List.iter
+    (fun dat ->
+      let windows =
+        Array.init n_ranks (fun r ->
+            let chunk_lo, chunk_hi = owned_cells t dat r in
+            let cells = chunk_hi - chunk_lo + (2 * dat.halo) in
+            let w = { chunk_lo; chunk_hi; data = Array.make (cells * dat.dim) 0.0 } in
+            for x = max (x_min dat) (chunk_lo - dat.halo)
+                to min (x_max dat - 1) (chunk_hi + dat.halo - 1) do
+              for c = 0 to dat.dim - 1 do
+                w.data.(window_index dat w ~x ~c) <- get dat ~x ~c
+              done
+            done;
+            w)
+      in
+      Hashtbl.add t.dat_dists dat.dat_id { windows; fresh = true })
+    (dats env);
+  t
+
+let dat_dist t dat = Hashtbl.find t.dat_dists dat.dat_id
+
+let pack_cells dat w ~cell ~count =
+  let out = Array.make (count * dat.dim) 0.0 in
+  Array.blit w.data (window_index dat w ~x:cell ~c:0) out 0 (Array.length out);
+  out
+
+let unpack_cells dat w ~cell payload =
+  Array.blit payload 0 w.data (window_index dat w ~x:cell ~c:0) (Array.length payload)
+
+let exchange t dat =
+  let dd = dat_dist t dat in
+  if (not dd.fresh) || t.eager_halo then begin
+    (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
+    let h = dat.halo in
+    if h > 0 then begin
+      for r = 0 to t.n_ranks - 2 do
+        let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
+        Comm.send t.comm ~src:r ~dst:(r + 1)
+          (pack_cells dat w ~cell:(w.chunk_hi - h) ~count:h);
+        Comm.send t.comm ~src:(r + 1) ~dst:r
+          (pack_cells dat wn ~cell:wn.chunk_lo ~count:h)
+      done;
+      for r = 0 to t.n_ranks - 2 do
+        let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
+        unpack_cells dat wn ~cell:(wn.chunk_lo - h) (Comm.recv t.comm ~src:r ~dst:(r + 1));
+        unpack_cells dat w ~cell:w.chunk_hi (Comm.recv t.comm ~src:(r + 1) ~dst:r)
+      done
+    end;
+    dd.fresh <- true
+  end
+
+let par_loop t ~range ~args ~kernel =
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Arg_dat { dat; stencil; access }
+        when Access.reads access
+             && stencil_extent stencil > 0
+             && not (Hashtbl.mem seen dat.dat_id) ->
+        Hashtbl.add seen dat.dat_id ();
+        exchange t dat
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args;
+  for r = 0 to t.n_ranks - 1 do
+    let lo = ref max_int and hi = ref min_int in
+    for x = range.xlo to range.xhi - 1 do
+      if rank_of_cell t x = r then begin
+        if x < !lo then lo := x;
+        if x + 1 > !hi then hi := x + 1
+      end
+    done;
+    if !lo <= !hi && !lo <> max_int then begin
+      let resolvers =
+        { Exec1.resolve_dat = (fun d -> window_view d (dat_dist t d).windows.(r)) }
+      in
+      match t.rank_exec with
+      | Rank_seq -> Exec1.run_seq ~resolvers ~range:{ xlo = !lo; xhi = !hi } ~args ~kernel ()
+      | Rank_shared pool ->
+        Exec1.run_shared ~resolvers pool ~range:{ xlo = !lo; xhi = !hi } ~args ~kernel
+    end
+  done;
+  List.iter
+    (function
+      | Arg_dat { dat; access; _ } when Access.writes access ->
+        (dat_dist t dat).fresh <- false
+      | Arg_gbl { access; _ } when access <> Access.Read ->
+        (Comm.stats t.comm).reductions <- (Comm.stats t.comm).reductions + 1
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args
+
+let fetch_interior t dat =
+  let dd = dat_dist t dat in
+  let out = Array.make (dat.xsize * dat.dim) 0.0 in
+  for x = 0 to dat.xsize - 1 do
+    let w = dd.windows.(rank_of_cell t x) in
+    for c = 0 to dat.dim - 1 do
+      out.((x * dat.dim) + c) <- w.data.(window_index dat w ~x ~c)
+    done
+  done;
+  out
+
+let push t dat =
+  let dd = dat_dist t dat in
+  for r = 0 to t.n_ranks - 1 do
+    let w = dd.windows.(r) in
+    for x = max (x_min dat) (w.chunk_lo - dat.halo)
+        to min (x_max dat - 1) (w.chunk_hi + dat.halo - 1) do
+      for c = 0 to dat.dim - 1 do
+        w.data.(window_index dat w ~x ~c) <- get dat ~x ~c
+      done
+    done
+  done;
+  dd.fresh <- true
+
+(* Reflective boundary mirror per rank window; interior ghost copies may
+   then be stale, so the dataset is re-exchanged on next stencil read. *)
+let mirror t dat ~depth ~sign ~center =
+  let dd = dat_dist t dat in
+  for r = 0 to t.n_ranks - 1 do
+    let w = dd.windows.(r) in
+    Boundary1.apply_via
+      ~get:(fun x c -> w.data.(window_index dat w ~x ~c))
+      ~set:(fun x c v -> w.data.(window_index dat w ~x ~c) <- v)
+      ~dat ~depth ~sign ~center ~lo:w.chunk_lo ~hi:w.chunk_hi
+  done;
+  dd.fresh <- false

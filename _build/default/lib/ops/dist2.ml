@@ -1,0 +1,357 @@
+(* Distributed-memory backend of OPS: two-dimensional (grid) decomposition.
+
+   The production OPS decomposes structured blocks in every dimension (the
+   paper's CloverLeaf runs on Titan use px x py process grids); this module
+   is that decomposition for 2D blocks, complementing the row decomposition
+   of [Dist].  The reference index space [0, ref_xsize) x [0, ref_ysize) is
+   split into px x py contiguous boxes, one per rank (rank r sits at
+   rx = r mod px, ry = r / px).  Each dataset is scattered into per-rank
+   windows holding the owned box plus a ghost ring; edge ranks absorb the
+   global ghost cells and any extra rows/columns of staggered datasets.
+
+   Ghost exchange is the classic two-phase scheme: phase X trades ghost
+   columns (over the full stored y extent), then phase Y trades ghost rows
+   over the full stored x extent — the second phase carries the corners,
+   because the y-neighbour's x-ghost columns were refreshed in phase X.
+   As everywhere else, the exchange is on-demand: triggered before a loop
+   whose access descriptors read a stale dataset through an offset
+   stencil. *)
+
+module Access = Am_core.Access
+module Comm = Am_simmpi.Comm
+open Types
+
+type window = {
+  col_lo : int; (* first owned column (global numbering) *)
+  col_hi : int;
+  row_lo : int;
+  row_hi : int;
+  stride : int; (* stored columns = col_hi - col_lo + 2*halo *)
+  data : float array;
+}
+
+type dat_dist = { windows : window array; mutable fresh : bool }
+
+type rank_exec = Rank_seq | Rank_shared of Am_taskpool.Pool.t
+
+type t = {
+  comm : Comm.t;
+  px : int;
+  py : int;
+  ref_xsize : int;
+  ref_ysize : int;
+  chunk_x : int array;
+  chunk_y : int array;
+  dat_dists : (int, dat_dist) Hashtbl.t;
+  env : env;
+  mutable rank_exec : rank_exec;
+  mutable eager_halo : bool;
+}
+
+let n_ranks t = t.px * t.py
+let rank_at t ~rx ~ry = (ry * t.px) + rx
+
+(* Owned box of dataset [dat] on grid position (rx, ry): edge ranks absorb
+   the global ghosts and staggered extras. *)
+let owned_box t dat ~rx ~ry =
+  let col_lo = if rx = 0 then -dat.halo else t.chunk_x.(rx) in
+  let col_hi = if rx = t.px - 1 then dat.xsize + dat.halo else t.chunk_x.(rx + 1) in
+  let row_lo = if ry = 0 then -dat.halo else t.chunk_y.(ry) in
+  let row_hi = if ry = t.py - 1 then dat.ysize + dat.halo else t.chunk_y.(ry + 1) in
+  (col_lo, col_hi, row_lo, row_hi)
+
+let pos_of_chunk chunk n v =
+  if v < chunk.(1) then 0
+  else if v >= chunk.(n - 1) then n - 1
+  else begin
+    let r = ref 1 in
+    while not (v >= chunk.(!r) && v < chunk.(!r + 1)) do
+      incr r
+    done;
+    !r
+  end
+
+let rank_of_point t ~x ~y =
+  rank_at t ~rx:(pos_of_chunk t.chunk_x t.px x) ~ry:(pos_of_chunk t.chunk_y t.py y)
+
+let window_index dat w ~x ~y ~c =
+  ((((y - (w.row_lo - dat.halo)) * w.stride) + (x - (w.col_lo - dat.halo))) * dat.dim)
+  + c
+
+let window_view dat w : Exec.view =
+  {
+    Exec.vget = (fun x y c -> w.data.(window_index dat w ~x ~y ~c));
+    vset = (fun x y c v -> w.data.(window_index dat w ~x ~y ~c) <- v);
+  }
+
+let build env ~px ~py ~ref_xsize ~ref_ysize =
+  if px <= 0 || py <= 0 then invalid_arg "Ops dist2: grid extents must be positive";
+  if ref_xsize < px then invalid_arg "Ops dist2: fewer columns than ranks in x";
+  if ref_ysize < py then invalid_arg "Ops dist2: fewer rows than ranks in y";
+  let max_halo = List.fold_left (fun acc d -> max acc d.halo) 0 (dats env) in
+  let chunk_x = Array.init (px + 1) (fun r -> r * ref_xsize / px) in
+  let chunk_y = Array.init (py + 1) (fun r -> r * ref_ysize / py) in
+  let check name n chunk =
+    for r = 0 to n - 1 do
+      if n > 1 && chunk.(r + 1) - chunk.(r) < max_halo then
+        invalid_arg
+          (Printf.sprintf
+             "Ops dist2: %s chunk %d owns %d cells, fewer than the ghost depth %d"
+             name r (chunk.(r + 1) - chunk.(r)) max_halo)
+    done
+  in
+  check "x" px chunk_x;
+  check "y" py chunk_y;
+  List.iter
+    (fun d ->
+      if d.xsize < ref_xsize || d.ysize < ref_ysize then
+        invalid_arg
+          (Printf.sprintf "Ops dist2: dat %s (%dx%d) smaller than reference %dx%d"
+             d.dat_name d.xsize d.ysize ref_xsize ref_ysize))
+    (dats env);
+  let t =
+    {
+      comm = Comm.create ~n_ranks:(px * py);
+      px;
+      py;
+      ref_xsize;
+      ref_ysize;
+      chunk_x;
+      chunk_y;
+      dat_dists = Hashtbl.create 16;
+      env;
+      rank_exec = Rank_seq;
+      eager_halo = false;
+    }
+  in
+  List.iter
+    (fun dat ->
+      let windows =
+        Array.init (px * py) (fun r ->
+            let rx = r mod px and ry = r / px in
+            let col_lo, col_hi, row_lo, row_hi = owned_box t dat ~rx ~ry in
+            let stride = col_hi - col_lo + (2 * dat.halo) in
+            let rows = row_hi - row_lo + (2 * dat.halo) in
+            let w =
+              { col_lo; col_hi; row_lo; row_hi; stride;
+                data = Array.make (rows * stride * dat.dim) 0.0 }
+            in
+            for y = max (y_min dat) (row_lo - dat.halo)
+                to min (y_max dat - 1) (row_hi + dat.halo - 1) do
+              for x = max (x_min dat) (col_lo - dat.halo)
+                  to min (x_max dat - 1) (col_hi + dat.halo - 1) do
+                for c = 0 to dat.dim - 1 do
+                  w.data.(window_index dat w ~x ~y ~c) <- get dat ~x ~y ~c
+                done
+              done
+            done;
+            w)
+      in
+      Hashtbl.add t.dat_dists dat.dat_id { windows; fresh = true })
+    (dats env);
+  t
+
+let dat_dist t dat = Hashtbl.find t.dat_dists dat.dat_id
+
+(* Pack/unpack a rectangle [x0, x1) x [y0, y1) of a window. *)
+let pack_rect dat w ~x0 ~x1 ~y0 ~y1 =
+  let out = Array.make ((x1 - x0) * (y1 - y0) * dat.dim) 0.0 in
+  let k = ref 0 in
+  for y = y0 to y1 - 1 do
+    let base = window_index dat w ~x:x0 ~y ~c:0 in
+    let len = (x1 - x0) * dat.dim in
+    Array.blit w.data base out !k len;
+    k := !k + len
+  done;
+  out
+
+let unpack_rect dat w ~x0 ~x1 ~y0 ~y1 payload =
+  let k = ref 0 in
+  for y = y0 to y1 - 1 do
+    let base = window_index dat w ~x:x0 ~y ~c:0 in
+    let len = (x1 - x0) * dat.dim in
+    Array.blit payload !k w.data base len;
+    k := !k + len
+  done
+
+(* Two-phase neighbour exchange for one dataset. *)
+let exchange t dat =
+  let dd = dat_dist t dat in
+  if (not dd.fresh) || t.eager_halo then begin
+    (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
+    let h = dat.halo in
+    if h > 0 then begin
+      (* Phase X: ghost columns over the full stored y extent. *)
+      for ry = 0 to t.py - 1 do
+        for rx = 0 to t.px - 2 do
+          let r = rank_at t ~rx ~ry and rn = rank_at t ~rx:(rx + 1) ~ry in
+          let w = dd.windows.(r) and wn = dd.windows.(rn) in
+          let y0 = w.row_lo - h and y1 = w.row_hi + h in
+          Comm.send t.comm ~src:r ~dst:rn
+            (pack_rect dat w ~x0:(w.col_hi - h) ~x1:w.col_hi ~y0 ~y1);
+          Comm.send t.comm ~src:rn ~dst:r
+            (pack_rect dat wn ~x0:wn.col_lo ~x1:(wn.col_lo + h) ~y0 ~y1)
+        done;
+        for rx = 0 to t.px - 2 do
+          let r = rank_at t ~rx ~ry and rn = rank_at t ~rx:(rx + 1) ~ry in
+          let w = dd.windows.(r) and wn = dd.windows.(rn) in
+          let y0 = w.row_lo - h and y1 = w.row_hi + h in
+          unpack_rect dat wn ~x0:(wn.col_lo - h) ~x1:wn.col_lo ~y0 ~y1
+            (Comm.recv t.comm ~src:r ~dst:rn);
+          unpack_rect dat w ~x0:w.col_hi ~x1:(w.col_hi + h) ~y0 ~y1
+            (Comm.recv t.comm ~src:rn ~dst:r)
+        done
+      done;
+      (* Phase Y: ghost rows over the full stored x extent — this carries
+         the corners, freshly filled by phase X at the y-neighbour. *)
+      for rx = 0 to t.px - 1 do
+        for ry = 0 to t.py - 2 do
+          let r = rank_at t ~rx ~ry and rn = rank_at t ~rx ~ry:(ry + 1) in
+          let w = dd.windows.(r) and wn = dd.windows.(rn) in
+          let x0 = w.col_lo - h and x1 = w.col_hi + h in
+          Comm.send t.comm ~src:r ~dst:rn
+            (pack_rect dat w ~x0 ~x1 ~y0:(w.row_hi - h) ~y1:w.row_hi);
+          Comm.send t.comm ~src:rn ~dst:r
+            (pack_rect dat wn ~x0 ~x1 ~y0:wn.row_lo ~y1:(wn.row_lo + h))
+        done;
+        for ry = 0 to t.py - 2 do
+          let r = rank_at t ~rx ~ry and rn = rank_at t ~rx ~ry:(ry + 1) in
+          let w = dd.windows.(r) and wn = dd.windows.(rn) in
+          let x0 = w.col_lo - h and x1 = w.col_hi + h in
+          unpack_rect dat wn ~x0 ~x1 ~y0:(wn.row_lo - h) ~y1:wn.row_lo
+            (Comm.recv t.comm ~src:r ~dst:rn);
+          unpack_rect dat w ~x0 ~x1 ~y0:w.row_hi ~y1:(w.row_hi + h)
+            (Comm.recv t.comm ~src:rn ~dst:r)
+        done
+      done
+    end;
+    dd.fresh <- true
+  end
+
+(* ---- Loop execution --------------------------------------------------- *)
+
+let par_loop t ~range ~args ~kernel =
+  List.iter
+    (function
+      | Arg_dat { stride; _ } when not (is_unit_stride stride) ->
+        invalid_arg "ops-mpi: strided (grid-transfer) stencils are unsupported on \
+                     partitioned contexts"
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args;
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Arg_dat { dat; stencil; access; _ }
+        when Access.reads access
+             && stencil_extent stencil > 0
+             && not (Hashtbl.mem seen dat.dat_id) ->
+        Hashtbl.add seen dat.dat_id ();
+        exchange t dat
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args;
+  for r = 0 to n_ranks t - 1 do
+    (* Executed sub-box: intersection of the range with this rank's owned
+       region of the reference space (edge ranks extend to infinity). *)
+    let rx = r mod t.px and ry = r / t.px in
+    let own_xlo = if rx = 0 then min_int else t.chunk_x.(rx) in
+    let own_xhi = if rx = t.px - 1 then max_int else t.chunk_x.(rx + 1) in
+    let own_ylo = if ry = 0 then min_int else t.chunk_y.(ry) in
+    let own_yhi = if ry = t.py - 1 then max_int else t.chunk_y.(ry + 1) in
+    let xlo = max range.xlo own_xlo and xhi = min range.xhi own_xhi in
+    let ylo = max range.ylo own_ylo and yhi = min range.yhi own_yhi in
+    if xlo < xhi && ylo < yhi then begin
+      let resolvers =
+        { Exec.resolve_dat = (fun d -> window_view d (dat_dist t d).windows.(r)) }
+      in
+      match t.rank_exec with
+      | Rank_seq -> Exec.run_seq ~resolvers ~range:{ xlo; xhi; ylo; yhi } ~args ~kernel ()
+      | Rank_shared pool ->
+        Exec.run_shared ~resolvers pool ~range:{ xlo; xhi; ylo; yhi } ~args ~kernel
+    end
+  done;
+  List.iter
+    (function
+      | Arg_dat { dat; access; _ } when Access.writes access ->
+        (dat_dist t dat).fresh <- false
+      | Arg_gbl { access; _ } when access <> Access.Read ->
+        (Comm.stats t.comm).reductions <- (Comm.stats t.comm).reductions + 1
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args
+
+let fetch_interior t dat =
+  let dd = dat_dist t dat in
+  let out = Array.make (dat.xsize * dat.ysize * dat.dim) 0.0 in
+  let k = ref 0 in
+  for y = 0 to dat.ysize - 1 do
+    for x = 0 to dat.xsize - 1 do
+      let w = dd.windows.(rank_of_point t ~x ~y) in
+      for c = 0 to dat.dim - 1 do
+        out.(!k) <- w.data.(window_index dat w ~x ~y ~c);
+        incr k
+      done
+    done
+  done;
+  out
+
+let push t dat =
+  let dd = dat_dist t dat in
+  for r = 0 to n_ranks t - 1 do
+    let w = dd.windows.(r) in
+    for y = max (y_min dat) (w.row_lo - dat.halo)
+        to min (y_max dat - 1) (w.row_hi + dat.halo - 1) do
+      for x = max (x_min dat) (w.col_lo - dat.halo)
+          to min (x_max dat - 1) (w.col_hi + dat.halo - 1) do
+        for c = 0 to dat.dim - 1 do
+          w.data.(window_index dat w ~x ~y ~c) <- get dat ~x ~y ~c
+        done
+      done
+    done
+  done;
+  dd.fresh <- true
+
+(* Reflective boundary mirror: each window mirrors only the global ghost
+   cells it owns, clamped to its stored box; x mirrors run over all stored
+   rows and y mirrors over all stored columns so each edge rank's corners
+   are self-consistent, and the next on-demand exchange propagates the
+   mirrored cells across rank boundaries. *)
+let mirror t dat ~depth ~sign_x ~sign_y ~center_x ~center_y =
+  if depth > dat.halo then invalid_arg "Boundary.mirror: depth exceeds ghost ring";
+  let dd = dat_dist t dat in
+  let mirror_low centering k = match centering with Boundary.Cell -> k - 1 | Node -> k in
+  let mirror_high centering size k =
+    match centering with Boundary.Cell -> size - k | Node -> size - 1 - k
+  in
+  for r = 0 to n_ranks t - 1 do
+    let w = dd.windows.(r) in
+    let get x y c = w.data.(window_index dat w ~x ~y ~c) in
+    let set x y c v = w.data.(window_index dat w ~x ~y ~c) <- v in
+    let sx0 = w.col_lo - dat.halo and sx1 = w.col_hi + dat.halo in
+    let sy0 = w.row_lo - dat.halo and sy1 = w.row_hi + dat.halo in
+    (* y mirrors over the stored columns of edge ranks. *)
+    for k = 1 to depth do
+      List.iter
+        (fun (ghost_y, src_y) ->
+          if ghost_y >= w.row_lo && ghost_y < w.row_hi then
+            for x = max 0 sx0 to min dat.xsize sx1 - 1 do
+              for c = 0 to dat.dim - 1 do
+                set x ghost_y c (sign_y *. get x src_y c)
+              done
+            done)
+        [ (-k, mirror_low center_y k);
+          (dat.ysize - 1 + k, mirror_high center_y dat.ysize k) ]
+    done;
+    (* x mirrors over all stored rows of edge ranks (ghost rows included so
+       the rank's own corners stay consistent). *)
+    for y = sy0 to sy1 - 1 do
+      for k = 1 to depth do
+        for c = 0 to dat.dim - 1 do
+          if -k >= w.col_lo && -k < w.col_hi then
+            set (-k) y c (sign_x *. get (mirror_low center_x k) y c);
+          if dat.xsize - 1 + k >= w.col_lo && dat.xsize - 1 + k < w.col_hi then
+            set (dat.xsize - 1 + k) y c
+              (sign_x *. get (mirror_high center_x dat.xsize k) y c)
+        done
+      done
+    done
+  done;
+  dd.fresh <- false

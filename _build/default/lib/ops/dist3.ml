@@ -1,0 +1,240 @@
+(* Distributed 3D backend: z-slab decomposition, the 3D analogue of the 2D
+   row decomposition — each rank owns a contiguous slab of z-planes plus a
+   ghost shell of whole padded planes; centre-only writes mean the only
+   communication is the on-demand ghost-plane exchange before loops reading
+   through offset stencils. *)
+
+module Access = Am_core.Access
+module Comm = Am_simmpi.Comm
+open Types3
+
+type window = {
+  slab_lo : int; (* first owned z-plane (global numbering) *)
+  slab_hi : int;
+  data : float array; (* planes [slab_lo - halo, slab_hi + halo) *)
+}
+
+type dat_dist = { windows : window array; mutable fresh : bool }
+
+type rank_exec = Rank_seq | Rank_shared of Am_taskpool.Pool.t
+
+type t = {
+  comm : Comm.t;
+  n_ranks : int;
+  ref_zsize : int;
+  chunk : int array;
+  dat_dists : (int, dat_dist) Hashtbl.t;
+  env : env;
+  mutable rank_exec : rank_exec;
+}
+
+let owned_slabs t dat r =
+  let lo = if r = 0 then -dat.halo else t.chunk.(r) in
+  let hi = if r = t.n_ranks - 1 then dat.zsize + dat.halo else t.chunk.(r + 1) in
+  (lo, hi)
+
+let rank_of_plane t z =
+  if z < t.chunk.(1) then 0
+  else if z >= t.chunk.(t.n_ranks - 1) then t.n_ranks - 1
+  else begin
+    let r = ref 1 in
+    while not (z >= t.chunk.(!r) && z < t.chunk.(!r + 1)) do
+      incr r
+    done;
+    !r
+  end
+
+(* Values per padded z-plane. *)
+let plane_values dat = padded_x dat * padded_y dat * dat.dim
+
+let window_index dat w ~x ~y ~z ~c =
+  ((((z - (w.slab_lo - dat.halo)) * padded_y dat) + (y + dat.halo)) * padded_x dat
+   + (x + dat.halo))
+  * dat.dim
+  + c
+
+let window_view dat w : Exec3.view =
+  {
+    Exec3.vget = (fun x y z c -> w.data.(window_index dat w ~x ~y ~z ~c));
+    vset = (fun x y z c v -> w.data.(window_index dat w ~x ~y ~z ~c) <- v);
+  }
+
+let build env ~n_ranks ~ref_zsize =
+  if n_ranks <= 0 then invalid_arg "Ops3 dist: n_ranks must be positive";
+  if ref_zsize < n_ranks then invalid_arg "Ops3 dist: fewer planes than ranks";
+  let max_halo = List.fold_left (fun acc d -> max acc d.halo) 0 (dats env) in
+  let chunk = Array.init (n_ranks + 1) (fun r -> r * ref_zsize / n_ranks) in
+  for r = 0 to n_ranks - 1 do
+    if n_ranks > 1 && chunk.(r + 1) - chunk.(r) < max_halo then
+      invalid_arg
+        (Printf.sprintf "Ops3 dist: rank %d owns %d planes, fewer than ghost depth %d"
+           r (chunk.(r + 1) - chunk.(r)) max_halo)
+  done;
+  List.iter
+    (fun d ->
+      if d.zsize < ref_zsize then
+        invalid_arg
+          (Printf.sprintf "Ops3 dist: dat %s has %d planes, reference space has %d"
+             d.dat_name d.zsize ref_zsize))
+    (dats env);
+  let t =
+    { comm = Comm.create ~n_ranks; n_ranks; ref_zsize; chunk;
+      dat_dists = Hashtbl.create 16; env; rank_exec = Rank_seq }
+  in
+  List.iter
+    (fun dat ->
+      let pv = plane_values dat in
+      let windows =
+        Array.init n_ranks (fun r ->
+            let slab_lo, slab_hi = owned_slabs t dat r in
+            let planes = slab_hi - slab_lo + (2 * dat.halo) in
+            let w = { slab_lo; slab_hi; data = Array.make (planes * pv) 0.0 } in
+            for z = max (z_min dat) (slab_lo - dat.halo)
+                to min (z_max dat - 1) (slab_hi + dat.halo - 1) do
+              for y = -dat.halo to dat.ysize + dat.halo - 1 do
+                for x = -dat.halo to dat.xsize + dat.halo - 1 do
+                  for c = 0 to dat.dim - 1 do
+                    w.data.(window_index dat w ~x ~y ~z ~c) <- get dat ~x ~y ~z ~c
+                  done
+                done
+              done
+            done;
+            w)
+      in
+      Hashtbl.add t.dat_dists dat.dat_id { windows; fresh = true })
+    (dats env);
+  t
+
+let dat_dist t dat = Hashtbl.find t.dat_dists dat.dat_id
+
+let pack_planes dat w ~plane ~count =
+  let pv = plane_values dat in
+  let out = Array.make (count * pv) 0.0 in
+  let base = window_index dat w ~x:(-dat.halo) ~y:(-dat.halo) ~z:plane ~c:0 in
+  Array.blit w.data base out 0 (Array.length out);
+  out
+
+let unpack_planes dat w ~plane payload =
+  let base = window_index dat w ~x:(-dat.halo) ~y:(-dat.halo) ~z:plane ~c:0 in
+  Array.blit payload 0 w.data base (Array.length payload)
+
+let exchange t dat =
+  let dd = dat_dist t dat in
+  if not dd.fresh then begin
+    (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
+    let h = dat.halo in
+    if h > 0 then begin
+      for r = 0 to t.n_ranks - 2 do
+        let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
+        Comm.send t.comm ~src:r ~dst:(r + 1)
+          (pack_planes dat w ~plane:(w.slab_hi - h) ~count:h);
+        Comm.send t.comm ~src:(r + 1) ~dst:r
+          (pack_planes dat wn ~plane:wn.slab_lo ~count:h)
+      done;
+      for r = 0 to t.n_ranks - 2 do
+        let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
+        unpack_planes dat wn ~plane:(wn.slab_lo - h) (Comm.recv t.comm ~src:r ~dst:(r + 1));
+        unpack_planes dat w ~plane:w.slab_hi (Comm.recv t.comm ~src:(r + 1) ~dst:r)
+      done
+    end;
+    dd.fresh <- true
+  end
+
+let par_loop t ~range ~args ~kernel =
+  List.iter
+    (function
+      | Arg_dat { stride; _ } when not (is_unit_stride stride) ->
+        invalid_arg "ops3-mpi: strided (grid-transfer) stencils are unsupported on \
+                     partitioned contexts"
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args;
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Arg_dat { dat; stencil; access; _ }
+        when Access.reads access
+             && stencil_extent stencil > 0
+             && not (Hashtbl.mem seen dat.dat_id) ->
+        Hashtbl.add seen dat.dat_id ();
+        exchange t dat
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args;
+  for r = 0 to t.n_ranks - 1 do
+    let lo = ref max_int and hi = ref min_int in
+    for z = range.zlo to range.zhi - 1 do
+      if rank_of_plane t z = r then begin
+        if z < !lo then lo := z;
+        if z + 1 > !hi then hi := z + 1
+      end
+    done;
+    if !lo <= !hi && !lo <> max_int then begin
+      let resolvers =
+        { Exec3.resolve_dat = (fun d -> window_view d (dat_dist t d).windows.(r)) }
+      in
+      (match t.rank_exec with
+      | Rank_seq ->
+        Exec3.run_seq ~resolvers ~range:{ range with zlo = !lo; zhi = !hi } ~args
+          ~kernel ()
+      | Rank_shared pool ->
+        Exec3.run_shared ~resolvers pool
+          ~range:{ range with zlo = !lo; zhi = !hi }
+          ~args ~kernel)
+    end
+  done;
+  List.iter
+    (function
+      | Arg_dat { dat; access; _ } when Access.writes access ->
+        (dat_dist t dat).fresh <- false
+      | Arg_gbl { access; _ } when access <> Access.Read ->
+        (Comm.stats t.comm).reductions <- (Comm.stats t.comm).reductions + 1
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args
+
+let fetch_interior t dat =
+  let dd = dat_dist t dat in
+  let out = Array.make (dat.xsize * dat.ysize * dat.zsize * dat.dim) 0.0 in
+  let k = ref 0 in
+  for z = 0 to dat.zsize - 1 do
+    let w = dd.windows.(rank_of_plane t z) in
+    for y = 0 to dat.ysize - 1 do
+      for x = 0 to dat.xsize - 1 do
+        for c = 0 to dat.dim - 1 do
+          out.(!k) <- w.data.(window_index dat w ~x ~y ~z ~c);
+          incr k
+        done
+      done
+    done
+  done;
+  out
+
+let push t dat =
+  let dd = dat_dist t dat in
+  for r = 0 to t.n_ranks - 1 do
+    let w = dd.windows.(r) in
+    for z = max (z_min dat) (w.slab_lo - dat.halo)
+        to min (z_max dat - 1) (w.slab_hi + dat.halo - 1) do
+      for y = -dat.halo to dat.ysize + dat.halo - 1 do
+        for x = -dat.halo to dat.xsize + dat.halo - 1 do
+          for c = 0 to dat.dim - 1 do
+            w.data.(window_index dat w ~x ~y ~z ~c) <- get dat ~x ~y ~z ~c
+          done
+        done
+      done
+    done
+  done;
+  dd.fresh <- true
+
+(* Reflective boundary mirror per rank window; ghost copies of neighbours'
+   planes may then hold stale face columns, so the dataset is re-exchanged
+   on next stencil read. *)
+let mirror t dat ~depth ~sign_x ~sign_y ~sign_z ~center_x ~center_y ~center_z =
+  let dd = dat_dist t dat in
+  for r = 0 to t.n_ranks - 1 do
+    let w = dd.windows.(r) in
+    Boundary3.apply_via
+      ~get:(fun x y z c -> w.data.(window_index dat w ~x ~y ~z ~c))
+      ~set:(fun x y z c v -> w.data.(window_index dat w ~x ~y ~z ~c) <- v)
+      ~dat ~depth ~sign_x ~sign_y ~sign_z ~center_x ~center_y ~center_z
+      ~slab_lo:w.slab_lo ~slab_hi:w.slab_hi
+  done;
+  dd.fresh <- false

@@ -1,0 +1,268 @@
+(* Execution engines of the OPS backends.
+
+   All engines share one element runner: per argument the kernel receives a
+   staging buffer gathered through the argument's stencil, and written
+   arguments (always center-only stencils, enforced by validation) are
+   scattered back after the call.  Because writes target only the iteration
+   point, structured loops are race-free under any disjoint partition of the
+   range — no colouring is needed, which is why OPS parallelises rows
+   directly (and why its OpenMP backend handles NUMA better than hand-coded
+   code, Fig 5).
+
+   Engines access data through a [view] so that the distributed backend can
+   substitute rank-local windows without duplicating the traversal logic. *)
+
+module Access = Am_core.Access
+open Types
+
+type view = {
+  vget : int -> int -> int -> float; (* x y c *)
+  vset : int -> int -> int -> float -> unit;
+}
+
+let dat_view dat =
+  {
+    vget = (fun x y c -> get dat ~x ~y ~c);
+    vset = (fun x y c v -> set dat ~x ~y ~c v);
+  }
+
+type compiled_arg =
+  | C_dat of {
+      view : view;
+      dim : int;
+      stencil : stencil;
+      access : Access.t;
+      stride : stride;
+    }
+  | C_gbl of { user_buf : float array; access : Access.t }
+  | C_idx
+
+type resolvers = { resolve_dat : dat -> view }
+
+let global_resolvers = { resolve_dat = dat_view }
+
+let compile ?(resolvers = global_resolvers) args =
+  let one = function
+    | Arg_dat { dat; stencil; access; stride } ->
+      C_dat { view = resolvers.resolve_dat dat; dim = dat.dim; stencil; access; stride }
+    | Arg_gbl { buf; access; _ } -> C_gbl { user_buf = buf; access }
+    | Arg_idx -> C_idx
+  in
+  Array.of_list (List.map one args)
+
+let make_buffers compiled =
+  Array.map
+    (function
+      | C_dat { dim; stencil; _ } -> Array.make (dim * Array.length stencil) 0.0
+      | C_idx -> Array.make 2 0.0
+      | C_gbl { user_buf; access } -> (
+        match access with
+        | Access.Read | Access.Min | Access.Max -> Array.copy user_buf
+        | Access.Inc -> Array.make (Array.length user_buf) 0.0
+        | Access.Write | Access.Rw ->
+          invalid_arg "ops: Write/Rw access on a global argument"))
+    compiled
+
+let merge_globals compiled buffers =
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_dat _ | C_idx -> ()
+      | C_gbl { user_buf; access } -> (
+        let acc = buffers.(i) in
+        match access with
+        | Access.Read -> ()
+        | Access.Inc ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- user_buf.(d) +. acc.(d)
+          done
+        | Access.Min ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- Float.min user_buf.(d) acc.(d)
+          done
+        | Access.Max ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- Float.max user_buf.(d) acc.(d)
+          done
+        | Access.Write | Access.Rw -> assert false))
+    compiled
+
+let run_point compiled buffers kernel x y =
+  (* gather *)
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_gbl _ -> ()
+      | C_idx ->
+        buffers.(i).(0) <- Float.of_int x;
+        buffers.(i).(1) <- Float.of_int y
+      | C_dat { view; dim; stencil; access; stride } -> (
+        let buf = buffers.(i) in
+        match access with
+        | Access.Inc -> Array.fill buf 0 dim 0.0
+        | Access.Read | Access.Rw | Access.Write ->
+          let bx, by = apply_stride stride ~x ~y in
+          Array.iteri
+            (fun p (dx, dy) ->
+              for d = 0 to dim - 1 do
+                buf.((p * dim) + d) <- view.vget (bx + dx) (by + dy) d
+              done)
+            stencil
+        | Access.Min | Access.Max -> assert false))
+    compiled;
+  kernel buffers;
+  (* scatter: written args have center-only stencils *)
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_gbl _ | C_idx -> ()
+      | C_dat { view; dim; access; _ } -> (
+        (* Writes are unit-stride and centre-only by validation. *)
+        let buf = buffers.(i) in
+        match access with
+        | Access.Read -> ()
+        | Access.Write | Access.Rw ->
+          for d = 0 to dim - 1 do
+            view.vset x y d buf.(d)
+          done
+        | Access.Inc ->
+          for d = 0 to dim - 1 do
+            view.vset x y d (view.vget x y d +. buf.(d))
+          done
+        | Access.Min | Access.Max -> assert false))
+    compiled
+
+(* ---- Sequential ----------------------------------------------------- *)
+
+let run_seq ?resolvers ~range ~args ~kernel () =
+  let compiled = compile ?resolvers args in
+  let buffers = make_buffers compiled in
+  for y = range.ylo to range.yhi - 1 do
+    for x = range.xlo to range.xhi - 1 do
+      run_point compiled buffers kernel x y
+    done
+  done;
+  merge_globals compiled buffers
+
+(* ---- Shared memory ("OpenMP") --------------------------------------- *)
+
+let run_shared ?resolvers pool ~range ~args ~kernel =
+  let compiled = compile ?resolvers args in
+  let merge_mutex = Mutex.create () in
+  Am_taskpool.Pool.parallel_for pool ~lo:range.ylo ~hi:range.yhi (fun ylo yhi ->
+      let buffers = make_buffers compiled in
+      for y = ylo to yhi - 1 do
+        for x = range.xlo to range.xhi - 1 do
+          run_point compiled buffers kernel x y
+        done
+      done;
+      Mutex.lock merge_mutex;
+      merge_globals compiled buffers;
+      Mutex.unlock merge_mutex)
+
+(* ---- GPU simulator --------------------------------------------------- *)
+
+type cuda_strategy = Cuda_global | Cuda_tiled
+
+type cuda_config = { tile_x : int; tile_y : int; strategy : cuda_strategy }
+
+let default_cuda_config = { tile_x = 32; tile_y = 4; strategy = Cuda_tiled }
+
+(* Staged tile execution: every dataset argument is copied (with the
+   stencil-extent ring) into a scratch tile, the kernel works on the
+   scratch, and written center regions are copied back — the structure of
+   OPS's shared-memory CUDA kernels. *)
+let run_cuda config ~range ~args ~kernel =
+  let compiled = compile args in
+  let buffers = make_buffers compiled in
+  let xtiles = (range.xhi - range.xlo + config.tile_x - 1) / config.tile_x in
+  let ytiles = (range.yhi - range.ylo + config.tile_y - 1) / config.tile_y in
+  for ty = 0 to ytiles - 1 do
+    for tx = 0 to xtiles - 1 do
+      let txlo = range.xlo + (tx * config.tile_x) in
+      let txhi = min range.xhi (txlo + config.tile_x) in
+      let tylo = range.ylo + (ty * config.tile_y) in
+      let tyhi = min range.yhi (tylo + config.tile_y) in
+      let tile = { xlo = txlo; xhi = txhi; ylo = tylo; yhi = tyhi } in
+      match config.strategy with
+      | Cuda_global ->
+        for y = tile.ylo to tile.yhi - 1 do
+          for x = tile.xlo to tile.xhi - 1 do
+            run_point compiled buffers kernel x y
+          done
+        done
+      | Cuda_tiled ->
+        (* Build a staged view per dataset argument.  The gather covers the
+           tile plus the stencil-extent ring, clamped to the dataset's
+           addressable box: ring corners the stencil never reaches may fall
+           outside the ghost ring when the range itself extends into it
+           (validation guarantees actual reads stay inside). *)
+        let args_arr = Array.of_list args in
+        let staged =
+          Array.mapi
+            (fun i c ->
+              match c with
+              | C_dat { stride; _ } when not (is_unit_stride stride) ->
+                (* Grid-transfer reads bypass the scratch tile (their
+                   footprint is not tile-shaped); they read global memory
+                   directly, as OPS's generated multigrid kernels do. *)
+                c
+              | C_dat { view; dim; stencil; access; stride } ->
+                let dat =
+                  match args_arr.(i) with
+                  | Arg_dat { dat; _ } -> dat
+                  | Arg_gbl _ | Arg_idx -> assert false
+                in
+                let ext = stencil_extent stencil in
+                let sxlo = tile.xlo - ext and sxhi = tile.xhi + ext in
+                let sylo = tile.ylo - ext and syhi = tile.yhi + ext in
+                let w = sxhi - sxlo in
+                let scratch = Array.make (w * (syhi - sylo) * dim) 0.0 in
+                let sindex x y c = ((((y - sylo) * w) + (x - sxlo)) * dim) + c in
+                if Access.reads access || access = Access.Write then begin
+                  let gxlo = max sxlo (x_min dat) and gxhi = min sxhi (x_max dat) in
+                  let gylo = max sylo (y_min dat) and gyhi = min syhi (y_max dat) in
+                  for y = gylo to gyhi - 1 do
+                    for x = gxlo to gxhi - 1 do
+                      for c = 0 to dim - 1 do
+                        scratch.(sindex x y c) <- view.vget x y c
+                      done
+                    done
+                  done
+                end;
+                let sview =
+                  {
+                    vget = (fun x y c -> scratch.(sindex x y c));
+                    vset = (fun x y c v -> scratch.(sindex x y c) <- v);
+                  }
+                in
+                C_dat { view = sview; dim; stencil; access; stride }
+              | (C_gbl _ | C_idx) as c -> c)
+            compiled
+        in
+        for y = tile.ylo to tile.yhi - 1 do
+          for x = tile.xlo to tile.xhi - 1 do
+            run_point staged buffers kernel x y
+          done
+        done;
+        (* Write back center regions of written datasets; increment-only
+           scratch tiles start from zero, so they are added. *)
+        Array.iteri
+          (fun i c ->
+            match (c, staged.(i)) with
+            | C_dat { view; dim; access; _ }, C_dat { view = sview; _ }
+              when Access.writes access ->
+              for y = tile.ylo to tile.yhi - 1 do
+                for x = tile.xlo to tile.xhi - 1 do
+                  for d = 0 to dim - 1 do
+                    let v = sview.vget x y d in
+                    if access = Access.Inc then view.vset x y d (view.vget x y d +. v)
+                    else view.vset x y d v
+                  done
+                done
+              done
+            | _ -> ())
+          compiled
+    done
+  done;
+  merge_globals compiled buffers

@@ -1,0 +1,199 @@
+(* 1D execution engines: same architecture as [Exec]/[Exec3] — a point
+   runner over views, a sequential engine, chunk-parallel shared-memory
+   execution and a tiled GPU simulator with clamped staging. *)
+
+module Access = Am_core.Access
+open Types1
+
+type view = {
+  vget : int -> int -> float; (* x c *)
+  vset : int -> int -> float -> unit;
+}
+
+let dat_view dat =
+  { vget = (fun x c -> get dat ~x ~c); vset = (fun x c v -> set dat ~x ~c v) }
+
+type compiled_arg =
+  | C_dat of { view : view; dim : int; stencil : stencil; access : Access.t }
+  | C_gbl of { user_buf : float array; access : Access.t }
+  | C_idx
+
+type resolvers = { resolve_dat : dat -> view }
+
+let global_resolvers = { resolve_dat = dat_view }
+
+let compile ?(resolvers = global_resolvers) args =
+  let one = function
+    | Arg_dat { dat; stencil; access } ->
+      C_dat { view = resolvers.resolve_dat dat; dim = dat.dim; stencil; access }
+    | Arg_gbl { buf; access; _ } -> C_gbl { user_buf = buf; access }
+    | Arg_idx -> C_idx
+  in
+  Array.of_list (List.map one args)
+
+let make_buffers compiled =
+  Array.map
+    (function
+      | C_dat { dim; stencil; _ } -> Array.make (dim * Array.length stencil) 0.0
+      | C_idx -> Array.make 1 0.0
+      | C_gbl { user_buf; access } -> (
+        match access with
+        | Access.Read | Access.Min | Access.Max -> Array.copy user_buf
+        | Access.Inc -> Array.make (Array.length user_buf) 0.0
+        | Access.Write | Access.Rw ->
+          invalid_arg "ops1: Write/Rw access on a global argument"))
+    compiled
+
+let merge_globals compiled buffers =
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_dat _ | C_idx -> ()
+      | C_gbl { user_buf; access } -> (
+        let acc = buffers.(i) in
+        match access with
+        | Access.Read -> ()
+        | Access.Inc ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- user_buf.(d) +. acc.(d)
+          done
+        | Access.Min ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- Float.min user_buf.(d) acc.(d)
+          done
+        | Access.Max ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- Float.max user_buf.(d) acc.(d)
+          done
+        | Access.Write | Access.Rw -> assert false))
+    compiled
+
+let run_point compiled buffers kernel x =
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_gbl _ -> ()
+      | C_idx -> buffers.(i).(0) <- Float.of_int x
+      | C_dat { view; dim; stencil; access } -> (
+        let buf = buffers.(i) in
+        match access with
+        | Access.Inc -> Array.fill buf 0 dim 0.0
+        | Access.Read | Access.Rw | Access.Write ->
+          Array.iteri
+            (fun p dx ->
+              for d = 0 to dim - 1 do
+                buf.((p * dim) + d) <- view.vget (x + dx) d
+              done)
+            stencil
+        | Access.Min | Access.Max -> assert false))
+    compiled;
+  kernel buffers;
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_gbl _ | C_idx -> ()
+      | C_dat { view; dim; access; _ } -> (
+        let buf = buffers.(i) in
+        match access with
+        | Access.Read -> ()
+        | Access.Write | Access.Rw ->
+          for d = 0 to dim - 1 do
+            view.vset x d buf.(d)
+          done
+        | Access.Inc ->
+          for d = 0 to dim - 1 do
+            view.vset x d (view.vget x d +. buf.(d))
+          done
+        | Access.Min | Access.Max -> assert false))
+    compiled
+
+let run_seq ?resolvers ~range ~args ~kernel () =
+  let compiled = compile ?resolvers args in
+  let buffers = make_buffers compiled in
+  for x = range.xlo to range.xhi - 1 do
+    run_point compiled buffers kernel x
+  done;
+  merge_globals compiled buffers
+
+(* Chunk-parallel shared-memory execution: intervals across the pool
+   (centre-only writes keep any disjoint partition race-free). *)
+let run_shared ?resolvers pool ~range ~args ~kernel =
+  let compiled = compile ?resolvers args in
+  let merge_mutex = Mutex.create () in
+  Am_taskpool.Pool.parallel_for pool ~lo:range.xlo ~hi:range.xhi (fun xlo xhi ->
+      let buffers = make_buffers compiled in
+      for x = xlo to xhi - 1 do
+        run_point compiled buffers kernel x
+      done;
+      Mutex.lock merge_mutex;
+      merge_globals compiled buffers;
+      Mutex.unlock merge_mutex)
+
+(* Tiled GPU simulator: 1D thread blocks with staged scratch intervals. *)
+type cuda_config = { tile_x : int; staged : bool }
+
+let default_cuda_config = { tile_x = 64; staged = true }
+
+let run_cuda config ~range ~args ~kernel =
+  let compiled = compile args in
+  let buffers = make_buffers compiled in
+  let n_tiles = (range.xhi - range.xlo + config.tile_x - 1) / config.tile_x in
+  for tx = 0 to n_tiles - 1 do
+    let txlo = range.xlo + (tx * config.tile_x) in
+    let txhi = min range.xhi (txlo + config.tile_x) in
+    if not config.staged then
+      for x = txlo to txhi - 1 do
+        run_point compiled buffers kernel x
+      done
+    else begin
+      let args_arr = Array.of_list args in
+      let staged =
+        Array.mapi
+          (fun i c ->
+            match c with
+            | C_dat { view; dim; stencil; access } ->
+              let dat =
+                match args_arr.(i) with
+                | Arg_dat { dat; _ } -> dat
+                | Arg_gbl _ | Arg_idx -> assert false
+              in
+              let ext = stencil_extent stencil in
+              let sxlo = txlo - ext and sxhi = txhi + ext in
+              let scratch = Array.make ((sxhi - sxlo) * dim) 0.0 in
+              let sindex x c = ((x - sxlo) * dim) + c in
+              if Access.reads access || access = Access.Write then begin
+                let gx0 = max sxlo (x_min dat) and gx1 = min sxhi (x_max dat) in
+                for x = gx0 to gx1 - 1 do
+                  for c = 0 to dim - 1 do
+                    scratch.(sindex x c) <- view.vget x c
+                  done
+                done
+              end;
+              let sview =
+                { vget = (fun x c -> scratch.(sindex x c));
+                  vset = (fun x c v -> scratch.(sindex x c) <- v) }
+              in
+              C_dat { view = sview; dim; stencil; access }
+            | (C_gbl _ | C_idx) as c -> c)
+          compiled
+      in
+      for x = txlo to txhi - 1 do
+        run_point staged buffers kernel x
+      done;
+      Array.iteri
+        (fun i c ->
+          match (c, staged.(i)) with
+          | C_dat { view; dim; access; _ }, C_dat { view = sview; _ }
+            when Access.writes access ->
+            for x = txlo to txhi - 1 do
+              for d = 0 to dim - 1 do
+                let v = sview.vget x d in
+                if access = Access.Inc then view.vset x d (view.vget x d +. v)
+                else view.vset x d v
+              done
+            done
+          | _ -> ())
+        compiled
+    end
+  done;
+  merge_globals compiled buffers

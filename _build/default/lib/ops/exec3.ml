@@ -1,0 +1,257 @@
+(* 3D execution engines: the same architecture as the 2D [Exec] — one point
+   runner over views, a sequential engine, plane-parallel shared-memory
+   execution (centre-only writes keep any disjoint partition race-free) and
+   a tiled GPU simulator with clamped staging. *)
+
+module Access = Am_core.Access
+open Types3
+
+type view = {
+  vget : int -> int -> int -> int -> float; (* x y z c *)
+  vset : int -> int -> int -> int -> float -> unit;
+}
+
+let dat_view dat =
+  {
+    vget = (fun x y z c -> get dat ~x ~y ~z ~c);
+    vset = (fun x y z c v -> set dat ~x ~y ~z ~c v);
+  }
+
+type compiled_arg =
+  | C_dat of {
+      view : view;
+      dim : int;
+      stencil : stencil;
+      access : Access.t;
+      stride : stride;
+    }
+  | C_gbl of { user_buf : float array; access : Access.t }
+  | C_idx
+
+type resolvers = { resolve_dat : dat -> view }
+
+let global_resolvers = { resolve_dat = dat_view }
+
+let compile ?(resolvers = global_resolvers) args =
+  let one = function
+    | Arg_dat { dat; stencil; access; stride } ->
+      C_dat { view = resolvers.resolve_dat dat; dim = dat.dim; stencil; access; stride }
+    | Arg_gbl { buf; access; _ } -> C_gbl { user_buf = buf; access }
+    | Arg_idx -> C_idx
+  in
+  Array.of_list (List.map one args)
+
+let make_buffers compiled =
+  Array.map
+    (function
+      | C_dat { dim; stencil; _ } -> Array.make (dim * Array.length stencil) 0.0
+      | C_idx -> Array.make 3 0.0
+      | C_gbl { user_buf; access } -> (
+        match access with
+        | Access.Read | Access.Min | Access.Max -> Array.copy user_buf
+        | Access.Inc -> Array.make (Array.length user_buf) 0.0
+        | Access.Write | Access.Rw ->
+          invalid_arg "ops3: Write/Rw access on a global argument"))
+    compiled
+
+let merge_globals compiled buffers =
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_dat _ | C_idx -> ()
+      | C_gbl { user_buf; access } -> (
+        let acc = buffers.(i) in
+        match access with
+        | Access.Read -> ()
+        | Access.Inc ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- user_buf.(d) +. acc.(d)
+          done
+        | Access.Min ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- Float.min user_buf.(d) acc.(d)
+          done
+        | Access.Max ->
+          for d = 0 to Array.length user_buf - 1 do
+            user_buf.(d) <- Float.max user_buf.(d) acc.(d)
+          done
+        | Access.Write | Access.Rw -> assert false))
+    compiled
+
+let run_point compiled buffers kernel x y z =
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_gbl _ -> ()
+      | C_idx ->
+        buffers.(i).(0) <- Float.of_int x;
+        buffers.(i).(1) <- Float.of_int y;
+        buffers.(i).(2) <- Float.of_int z
+      | C_dat { view; dim; stencil; access; stride } -> (
+        let buf = buffers.(i) in
+        match access with
+        | Access.Inc -> Array.fill buf 0 dim 0.0
+        | Access.Read | Access.Rw | Access.Write ->
+          let bx, by, bz = apply_stride stride ~x ~y ~z in
+          Array.iteri
+            (fun p (dx, dy, dz) ->
+              for d = 0 to dim - 1 do
+                buf.((p * dim) + d) <- view.vget (bx + dx) (by + dy) (bz + dz) d
+              done)
+            stencil
+        | Access.Min | Access.Max -> assert false))
+    compiled;
+  kernel buffers;
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_gbl _ | C_idx -> ()
+      | C_dat { view; dim; access; _ } -> (
+        let buf = buffers.(i) in
+        match access with
+        | Access.Read -> ()
+        | Access.Write | Access.Rw ->
+          for d = 0 to dim - 1 do
+            view.vset x y z d buf.(d)
+          done
+        | Access.Inc ->
+          for d = 0 to dim - 1 do
+            view.vset x y z d (view.vget x y z d +. buf.(d))
+          done
+        | Access.Min | Access.Max -> assert false))
+    compiled
+
+let run_seq ?resolvers ~range ~args ~kernel () =
+  let compiled = compile ?resolvers args in
+  let buffers = make_buffers compiled in
+  for z = range.zlo to range.zhi - 1 do
+    for y = range.ylo to range.yhi - 1 do
+      for x = range.xlo to range.xhi - 1 do
+        run_point compiled buffers kernel x y z
+      done
+    done
+  done;
+  merge_globals compiled buffers
+
+(* Plane-parallel shared-memory execution: z-planes across the pool. *)
+let run_shared ?resolvers pool ~range ~args ~kernel =
+  let compiled = compile ?resolvers args in
+  let merge_mutex = Mutex.create () in
+  Am_taskpool.Pool.parallel_for pool ~lo:range.zlo ~hi:range.zhi (fun zlo zhi ->
+      let buffers = make_buffers compiled in
+      for z = zlo to zhi - 1 do
+        for y = range.ylo to range.yhi - 1 do
+          for x = range.xlo to range.xhi - 1 do
+            run_point compiled buffers kernel x y z
+          done
+        done
+      done;
+      Mutex.lock merge_mutex;
+      merge_globals compiled buffers;
+      Mutex.unlock merge_mutex)
+
+(* Tiled GPU simulator: 3D thread blocks with staged scratch volumes. *)
+type cuda_config = { tile_x : int; tile_y : int; tile_z : int; staged : bool }
+
+let default_cuda_config = { tile_x = 16; tile_y = 4; tile_z = 4; staged = true }
+
+let run_cuda config ~range ~args ~kernel =
+  let compiled = compile args in
+  let buffers = make_buffers compiled in
+  let tiles lo hi t = (hi - lo + t - 1) / t in
+  for tz = 0 to tiles range.zlo range.zhi config.tile_z - 1 do
+    for ty = 0 to tiles range.ylo range.yhi config.tile_y - 1 do
+      for tx = 0 to tiles range.xlo range.xhi config.tile_x - 1 do
+        let txlo = range.xlo + (tx * config.tile_x) in
+        let txhi = min range.xhi (txlo + config.tile_x) in
+        let tylo = range.ylo + (ty * config.tile_y) in
+        let tyhi = min range.yhi (tylo + config.tile_y) in
+        let tzlo = range.zlo + (tz * config.tile_z) in
+        let tzhi = min range.zhi (tzlo + config.tile_z) in
+        if not config.staged then
+          for z = tzlo to tzhi - 1 do
+            for y = tylo to tyhi - 1 do
+              for x = txlo to txhi - 1 do
+                run_point compiled buffers kernel x y z
+              done
+            done
+          done
+        else begin
+          let args_arr = Array.of_list args in
+          let staged =
+            Array.mapi
+              (fun i c ->
+                match c with
+                (* Strided (grid-transfer) args address another grid level:
+                   keep the global view, no staging. *)
+                | C_dat { stride; _ } when not (is_unit_stride stride) -> c
+                | C_dat { view; dim; stencil; access; stride } ->
+                  let dat =
+                    match args_arr.(i) with
+                    | Arg_dat { dat; _ } -> dat
+                    | Arg_gbl _ | Arg_idx -> assert false
+                  in
+                  let ext = stencil_extent stencil in
+                  let sxlo = txlo - ext and sxhi = txhi + ext in
+                  let sylo = tylo - ext and syhi = tyhi + ext in
+                  let szlo = tzlo - ext and szhi = tzhi + ext in
+                  let w = sxhi - sxlo and h = syhi - sylo in
+                  let scratch = Array.make (w * h * (szhi - szlo) * dim) 0.0 in
+                  let sindex x y z c =
+                    (((((z - szlo) * h) + (y - sylo)) * w + (x - sxlo)) * dim) + c
+                  in
+                  if Access.reads access || access = Access.Write then begin
+                    let gx0 = max sxlo (x_min dat) and gx1 = min sxhi (x_max dat) in
+                    let gy0 = max sylo (y_min dat) and gy1 = min syhi (y_max dat) in
+                    let gz0 = max szlo (z_min dat) and gz1 = min szhi (z_max dat) in
+                    for z = gz0 to gz1 - 1 do
+                      for y = gy0 to gy1 - 1 do
+                        for x = gx0 to gx1 - 1 do
+                          for c = 0 to dim - 1 do
+                            scratch.(sindex x y z c) <- view.vget x y z c
+                          done
+                        done
+                      done
+                    done
+                  end;
+                  let sview =
+                    {
+                      vget = (fun x y z c -> scratch.(sindex x y z c));
+                      vset = (fun x y z c v -> scratch.(sindex x y z c) <- v);
+                    }
+                  in
+                  C_dat { view = sview; dim; stencil; access; stride }
+                | (C_gbl _ | C_idx) as c -> c)
+              compiled
+          in
+          for z = tzlo to tzhi - 1 do
+            for y = tylo to tyhi - 1 do
+              for x = txlo to txhi - 1 do
+                run_point staged buffers kernel x y z
+              done
+            done
+          done;
+          Array.iteri
+            (fun i c ->
+              match (c, staged.(i)) with
+              | C_dat { view; dim; access; _ }, C_dat { view = sview; _ }
+                when Access.writes access ->
+                for z = tzlo to tzhi - 1 do
+                  for y = tylo to tyhi - 1 do
+                    for x = txlo to txhi - 1 do
+                      for d = 0 to dim - 1 do
+                        let v = sview.vget x y z d in
+                        if access = Access.Inc then
+                          view.vset x y z d (view.vget x y z d +. v)
+                        else view.vset x y z d v
+                      done
+                    done
+                  done
+                done
+              | _ -> ())
+            compiled
+        end
+      done
+    done
+  done;
+  merge_globals compiled buffers

@@ -1,0 +1,298 @@
+(* Public facade of the multi-block structured-mesh active library (OPS).
+
+   Usage:
+
+   {[
+     let ctx = Ops.create () in
+     let grid = Ops.decl_block ctx ~name:"grid" in
+     let density =
+       Ops.decl_dat ctx ~name:"density" ~block:grid ~xsize:nx ~ysize:ny ()
+     in
+     ...
+     Ops.par_loop ctx ~name:"ideal_gas" grid (Ops.interior density)
+       [ Ops.arg_dat density Ops.stencil_point Access.Read;
+         Ops.arg_dat pressure Ops.stencil_point Access.Write ]
+       (fun a -> a.(1).(0) <- (gamma -. 1.0) *. a.(0).(0) *. energy)
+   ]}
+
+   As with OP2, the backend is a property of the context: sequential,
+   shared-memory (rows across the domain pool), the tiled GPU simulator, or
+   the row-decomposed distributed runtime. *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+module Profile = Am_core.Profile
+module Trace = Am_core.Trace
+
+type block = Types.block
+type dat = Types.dat
+type arg = Types.arg
+type range = Types.range = { xlo : int; xhi : int; ylo : int; yhi : int }
+type stencil = Types.stencil
+
+let stencil_point = Types.stencil_point
+
+(* Common 2D stencils, named as OPS applications name them. *)
+let stencil_2d_00 = stencil_point
+let stencil_2d_5pt : stencil = [| (0, 0); (-1, 0); (1, 0); (0, -1); (0, 1) |]
+let stencil_2d_plus1x : stencil = [| (0, 0); (1, 0) |]
+let stencil_2d_plus1y : stencil = [| (0, 0); (0, 1) |]
+let stencil_2d_minus1x : stencil = [| (0, 0); (-1, 0) |]
+let stencil_2d_minus1y : stencil = [| (0, 0); (0, -1) |]
+let stencil_2d_quad : stencil = [| (0, 0); (1, 0); (0, 1); (1, 1) |]
+
+let stencil_offsets (s : stencil) = s
+
+type backend =
+  | Seq
+  | Shared of { pool : Am_taskpool.Pool.t }
+  | Cuda_sim of Exec.cuda_config
+
+(* Distributed state: row decomposition or the 2D process grid. *)
+type dist_state = Rows of Dist.t | Grid of Dist2.t
+
+type ctx = {
+  env : Types.env;
+  mutable backend : backend;
+  profile : Profile.t;
+  trace : Trace.t;
+  mutable dist : dist_state option;
+  mutable checkpoint : Am_checkpoint.Runtime.session option;
+}
+
+let create ?(backend = Seq) () =
+  {
+    env = Types.make_env ();
+    backend;
+    profile = Profile.create ();
+    trace = Trace.create ();
+    dist = None;
+    checkpoint = None;
+  }
+
+let set_backend ctx backend =
+  (match (backend, ctx.dist) with
+  | (Shared _ | Cuda_sim _), Some _ ->
+    invalid_arg "Ops.set_backend: context is partitioned; ranks execute sequentially"
+  | (Seq | Shared _ | Cuda_sim _), _ -> ());
+  ctx.backend <- backend
+
+let backend ctx = ctx.backend
+let profile ctx = ctx.profile
+let trace ctx = ctx.trace
+
+(* ---- Declarations ------------------------------------------------------ *)
+
+let decl_block ctx ~name = Types.decl_block ctx.env ~name
+
+let decl_dat ctx ~name ~block ~xsize ~ysize ?halo ?dim () =
+  Types.decl_dat ctx.env ~name ~block ~xsize ~ysize ?halo ?dim ()
+
+let blocks ctx = Types.blocks ctx.env
+let dats ctx = Types.dats ctx.env
+
+(* ---- Argument constructors --------------------------------------------- *)
+
+let arg_dat dat stencil access : arg =
+  Types.Arg_dat { dat; stencil; access; stride = Types.unit_stride }
+
+(* Grid-transfer arguments for multigrid: [arg_dat_restrict] reads a finer
+   dataset from a coarse-grid loop (accessed point = factor * iteration
+   point + offset); [arg_dat_prolong] reads a coarser dataset from a
+   fine-grid loop (point / factor + offset). Read-only. *)
+let arg_dat_restrict dat stencil ~factor access : arg =
+  Types.Arg_dat
+    { dat; stencil; access; stride = { Types.xn = factor; xd = 1; yn = factor; yd = 1 } }
+
+let arg_dat_prolong dat stencil ~factor access : arg =
+  Types.Arg_dat
+    { dat; stencil; access; stride = { Types.xn = 1; xd = factor; yn = 1; yd = factor } }
+let arg_gbl ~name buf access : arg = Types.Arg_gbl { name; buf; access }
+let arg_idx : arg = Types.Arg_idx
+
+(* ---- Data access -------------------------------------------------------- *)
+
+let interior = Types.interior
+let fill = Types.fill
+let get = Types.get
+let set = Types.set
+
+let fetch_interior ctx dat =
+  match ctx.dist with
+  | Some (Rows d) -> Dist.fetch_interior d dat
+  | Some (Grid d) -> Dist2.fetch_interior d dat
+  | None -> Types.fetch_interior dat
+
+(* Direct initialisation of every addressable point (ghosts included): the
+   function receives logical (x, y) and the component index. Pushes to the
+   distributed windows when partitioned. *)
+let init ctx dat f =
+  for y = Types.y_min dat to Types.y_max dat - 1 do
+    for x = Types.x_min dat to Types.x_max dat - 1 do
+      for c = 0 to dat.Types.dim - 1 do
+        Types.set dat ~x ~y ~c (f x y c)
+      done
+    done
+  done;
+  match ctx.dist with
+  | Some (Rows d) -> Dist.push d dat
+  | Some (Grid d) -> Dist2.push d dat
+  | None -> ()
+
+(* ---- Partitioning -------------------------------------------------------- *)
+
+let check_partitionable ctx =
+  if ctx.dist <> None then invalid_arg "Ops.partition: context already partitioned";
+  match ctx.backend with
+  | Seq -> ()
+  | Shared _ | Cuda_sim _ ->
+    invalid_arg "Ops.partition: switch the backend to Seq before partitioning"
+
+let partition ctx ~n_ranks ~ref_ysize =
+  check_partitionable ctx;
+  ctx.dist <- Some (Rows (Dist.build ctx.env ~n_ranks ~ref_ysize))
+
+(* 2D grid decomposition (px x py ranks), as the production OPS uses for
+   CloverLeaf at scale: both dimensions split, two-phase ghost exchange
+   carrying the corners. *)
+let partition_grid ctx ~px ~py ~ref_xsize ~ref_ysize =
+  check_partitionable ctx;
+  ctx.dist <- Some (Grid (Dist2.build ctx.env ~px ~py ~ref_xsize ~ref_ysize))
+
+(* Hybrid MPI+OpenMP: run each rank's rows on a shared pool. *)
+type rank_execution = Dist.rank_exec = Rank_seq | Rank_shared of Am_taskpool.Pool.t
+
+let set_rank_execution ctx exec =
+  match ctx.dist with
+  | None -> invalid_arg "Ops.set_rank_execution: partition first"
+  | Some (Rows d) -> d.Dist.rank_exec <- exec
+  | Some (Grid d) ->
+    d.Dist2.rank_exec <-
+      (match exec with
+      | Rank_seq -> Dist2.Rank_seq
+      | Rank_shared pool -> Dist2.Rank_shared pool)
+
+(* Halo-exchange policy, as for OP2: [On_demand] skips exchanges whose
+   ghost rows are still fresh; [Eager] exchanges before every stencil read. *)
+type halo_policy = On_demand | Eager
+
+let set_halo_policy ctx policy =
+  match ctx.dist with
+  | None -> invalid_arg "Ops.set_halo_policy: partition first"
+  | Some (Rows d) -> d.Dist.eager_halo <- (policy = Eager)
+  | Some (Grid d) -> d.Dist2.eager_halo <- (policy = Eager)
+
+let comm_stats ctx =
+  match ctx.dist with
+  | None -> None
+  | Some (Rows d) -> Some (Am_simmpi.Comm.stats d.Dist.comm)
+  | Some (Grid d) -> Some (Am_simmpi.Comm.stats d.Dist2.comm)
+
+(* ---- Multi-block halos ---------------------------------------------------- *)
+
+type halo = Multiblock.halo
+type orientation = Multiblock.orientation
+
+let identity_orientation = Multiblock.identity_orientation
+
+let decl_halo ctx ~name ~src ~dst ~src_range ~dst_range ?orientation () =
+  if ctx.dist <> None then
+    invalid_arg "Ops.decl_halo: declare halos before partitioning";
+  Multiblock.decl_halo ~name ~src ~dst ~src_range ~dst_range ?orientation ()
+
+let halo_transfer ctx halos =
+  if ctx.dist <> None then
+    invalid_arg "Ops.halo_transfer: inter-block halos unsupported on a partitioned \
+                 context (partition a single block instead)";
+  Multiblock.transfer_all halos
+
+(* ---- The parallel loop ----------------------------------------------------- *)
+
+let now () = Unix.gettimeofday ()
+
+let par_loop ctx ~name ?(info = Descr.default_kernel_info) block range args kernel =
+  Types.validate_args ~block ~range args;
+  let descr = Types.describe ~name ~block ~range ~info args in
+  Trace.record ctx.trace descr;
+  let t0 = now () in
+  let execute () =
+    match ctx.dist with
+    | Some (Rows d) -> Dist.par_loop d ~range ~args ~kernel
+    | Some (Grid d) -> Dist2.par_loop d ~range ~args ~kernel
+    | None -> (
+      match ctx.backend with
+      | Seq -> Exec.run_seq ~range ~args ~kernel ()
+      | Shared { pool } -> Exec.run_shared pool ~range ~args ~kernel
+      | Cuda_sim config -> Exec.run_cuda config ~range ~args ~kernel)
+  in
+  (match ctx.checkpoint with
+  | None -> execute ()
+  | Some session ->
+    let gbl_out =
+      List.filter_map
+        (function
+          | Types.Arg_gbl { buf; access; _ } when access <> Access.Read -> Some buf
+          | Types.Arg_gbl _ | Types.Arg_dat _ | Types.Arg_idx -> None)
+        args
+    in
+    Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:execute);
+  let seconds = now () -. t0 in
+  Profile.record ctx.profile ~name ~seconds ~bytes:(Descr.total_bytes descr)
+    ~elements:(Types.range_size range)
+
+(* ---- Physical boundary conditions (update_halo) --------------------------- *)
+
+type centering = Boundary.centering = Cell | Node
+
+(* Reflective ghost-ring update with optional sign flips (velocity normal
+   components) and centre-aware mirroring for staggered fields. This is the
+   library-provided equivalent of CloverLeaf's update_halo. *)
+let mirror_halo ctx ?(depth = 2) ?(sign_x = 1.0) ?(sign_y = 1.0) ?(center_x = Cell)
+    ?(center_y = Cell) dat =
+  match ctx.dist with
+  | None -> Boundary.mirror ~depth ~sign_x ~sign_y ~center_x ~center_y dat
+  | Some (Rows d) -> Dist.mirror d dat ~depth ~sign_x ~sign_y ~center_x ~center_y
+  | Some (Grid d) -> Dist2.mirror d dat ~depth ~sign_x ~sign_y ~center_x ~center_y
+
+(* ---- Automatic checkpointing (paper Section VI) -------------------------- *)
+
+(* Snapshots capture the full padded array of a dataset (ghost ring
+   included) so recovery restores boundary state exactly; only supported on
+   non-partitioned contexts. *)
+let checkpoint_fns ctx =
+  if ctx.dist <> None then
+    invalid_arg "Ops checkpointing: unsupported on partitioned contexts";
+  let find name =
+    match List.find_opt (fun d -> d.Types.dat_name = name) (dats ctx) with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Ops checkpoint: unknown dataset %s" name)
+  in
+  {
+    Am_checkpoint.Runtime.fetch = (fun name -> Array.copy (find name).Types.data);
+    restore =
+      (fun name data ->
+        let d = find name in
+        if Array.length data <> Array.length d.Types.data then
+          invalid_arg "Ops checkpoint: snapshot size mismatch";
+        Array.blit data 0 d.Types.data 0 (Array.length data));
+  }
+
+let enable_checkpointing ctx =
+  if ctx.checkpoint = None then
+    ctx.checkpoint <- Some (Am_checkpoint.Runtime.create ~fns:(checkpoint_fns ctx))
+
+let request_checkpoint ctx =
+  match ctx.checkpoint with
+  | None -> invalid_arg "Ops.request_checkpoint: call enable_checkpointing first"
+  | Some session -> Am_checkpoint.Runtime.request_checkpoint session
+
+let checkpoint_session ctx = ctx.checkpoint
+
+let checkpoint_to_file ctx ~path =
+  match ctx.checkpoint with
+  | None -> invalid_arg "Ops.checkpoint_to_file: checkpointing not enabled"
+  | Some session -> Am_checkpoint.Runtime.save_to_file session ~path
+
+let recover_from_file ctx ~path =
+  ctx.checkpoint <-
+    Some (Am_checkpoint.Runtime.recover_from_file ~path ~fns:(checkpoint_fns ctx))

@@ -1,0 +1,219 @@
+(** OPS: the multi-block structured-mesh domain-specific active library.
+
+    Blocks are logical 2D index spaces; datasets live on a block with their
+    own extents (cell-, face- and node-centred fields of different sizes
+    coexist, as on CloverLeaf's staggered grid) and a ghost ring for
+    stencils and boundary conditions. Computation is expressed as parallel
+    loops over rectangular ranges with a declared stencil and access mode
+    per argument; writes are centre-only, which makes structured loops
+    race-free under any partition of the range — the key OPS property.
+
+    {[
+      let ctx = Ops.create () in
+      let grid = Ops.decl_block ctx ~name:"grid" in
+      let u = Ops.decl_dat ctx ~name:"u" ~block:grid ~xsize:nx ~ysize:ny () in
+      Ops.par_loop ctx ~name:"diffuse" grid (Ops.interior u)
+        [ Ops.arg_dat u Ops.stencil_2d_5pt Access.Read;
+          Ops.arg_dat w Ops.stencil_point Access.Write ]
+        (fun a -> a.(1).(0) <- ...)
+    ]}
+
+    Kernel buffers are point-major: for an argument with stencil point [p]
+    and component [c], the value sits at [buf.(p*dim + c)]. *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+module Profile = Am_core.Profile
+module Trace = Am_core.Trace
+
+type block = Types.block
+type dat = Types.dat
+type arg = Types.arg
+
+(** Half-open iteration rectangle; negative indices reach the ghost ring. *)
+type range = Types.range = { xlo : int; xhi : int; ylo : int; yhi : int }
+
+(** Relative (dx, dy) offsets; index 0 of the kernel buffer is offset 0. *)
+type stencil = Types.stencil
+
+val stencil_point : stencil
+
+(** Common 2D stencils: centre; 5-point; (0,0)+(±1,0); (0,0)+(0,±1); the
+    2x2 quad. Offsets are in declaration order. *)
+val stencil_2d_00 : stencil
+
+val stencil_2d_5pt : stencil
+val stencil_2d_plus1x : stencil
+val stencil_2d_plus1y : stencil
+val stencil_2d_minus1x : stencil
+val stencil_2d_minus1y : stencil
+val stencil_2d_quad : stencil
+val stencil_offsets : stencil -> (int * int) array
+
+(** Backend: sequential reference, row-parallel domain pool, or the tiled
+    GPU simulator (global-memory or staged shared-memory tiles). The
+    distributed backend is entered with {!partition}. *)
+type backend =
+  | Seq
+  | Shared of { pool : Am_taskpool.Pool.t }
+  | Cuda_sim of Exec.cuda_config
+
+type ctx
+
+val create : ?backend:backend -> unit -> ctx
+val set_backend : ctx -> backend -> unit
+val backend : ctx -> backend
+val profile : ctx -> Profile.t
+val trace : ctx -> Trace.t
+
+(** {1 Declarations} *)
+
+val decl_block : ctx -> name:string -> block
+
+(** [decl_dat ctx ~name ~block ~xsize ~ysize ?halo ?dim ()] declares a
+    zero-initialised dataset with a [halo]-deep ghost ring (default 2) and
+    [dim] components per point (default 1). *)
+val decl_dat :
+  ctx -> name:string -> block:block -> xsize:int -> ysize:int -> ?halo:int ->
+  ?dim:int -> unit -> dat
+
+val blocks : ctx -> block list
+val dats : ctx -> dat list
+
+(** {1 Loop arguments} *)
+
+(** Dataset argument with its stencil. Written arguments ([Write]/[Rw]/
+    [Inc]) must use {!stencil_point}, and a dataset written by a loop must
+    be accessed centre-only by every argument of that loop. *)
+val arg_dat : dat -> stencil -> Access.t -> arg
+
+(** Multigrid restriction: read a finer dataset from a coarse-grid loop
+    (accessed point = [factor] * iteration point + stencil offset).
+    Read-only; not available on partitioned contexts. *)
+val arg_dat_restrict : dat -> stencil -> factor:int -> Access.t -> arg
+
+(** Multigrid prolongation: read a coarser dataset from a fine-grid loop
+    (accessed point = iteration point / [factor] + offset). Read-only; not
+    available on partitioned contexts. *)
+val arg_dat_prolong : dat -> stencil -> factor:int -> Access.t -> arg
+
+(** Global argument: [Read] broadcasts, [Inc]/[Min]/[Max] reduce. *)
+val arg_gbl : name:string -> float array -> Access.t -> arg
+
+(** The kernel receives the iteration indices (x, y) as two floats. *)
+val arg_idx : arg
+
+(** {1 Data access} *)
+
+(** The dataset's interior rectangle. *)
+val interior : dat -> range
+
+(** Constant fill, ghost ring included (non-partitioned contexts). *)
+val fill : dat -> float -> unit
+
+(** Point access on the canonical (non-partitioned) storage. *)
+val get : dat -> x:int -> y:int -> c:int -> float
+
+val set : dat -> x:int -> y:int -> c:int -> float -> unit
+
+(** Interior values in row-major (x fastest) order, assembled from rank
+    windows when partitioned. *)
+val fetch_interior : ctx -> dat -> float array
+
+(** [init ctx dat f] sets every addressable point (ghosts included) to
+    [f x y c], pushing to rank windows when partitioned. *)
+val init : ctx -> dat -> (int -> int -> int -> float) -> unit
+
+(** {1 Distributed execution} *)
+
+(** Row-decompose every dataset over [n_ranks] simulated ranks;
+    [ref_ysize] is the reference row space (taller, staggered datasets give
+    their extra rows to the last rank). Ghost-row exchanges then happen on
+    demand, driven by the declared stencils and access modes. *)
+val partition : ctx -> n_ranks:int -> ref_ysize:int -> unit
+
+(** 2D grid decomposition over [px * py] simulated ranks, as the
+    production OPS uses for CloverLeaf at scale: both dimensions split,
+    ghost exchange in two phases (columns, then rows over the extended
+    x-range) so the corner cells arrive without dedicated diagonal
+    messages. [ref_xsize]/[ref_ysize] are the reference index space;
+    staggered datasets give their extra cells to the last rank of each
+    axis. *)
+val partition_grid :
+  ctx -> px:int -> py:int -> ref_xsize:int -> ref_ysize:int -> unit
+
+(** Hybrid MPI+OpenMP: each rank's rows run on a shared pool (centre-only
+    writes make this race-free without planning). *)
+type rank_execution = Dist.rank_exec = Rank_seq | Rank_shared of Am_taskpool.Pool.t
+
+(** Select intra-rank execution; the context must be partitioned. *)
+val set_rank_execution : ctx -> rank_execution -> unit
+
+(** Halo-exchange policy. [On_demand] (the default) exchanges ghost rows
+    only when a prior write made them stale; [Eager] exchanges before
+    every stencil read. Identical results, different traffic (see the
+    halo-policy ablation). *)
+type halo_policy = On_demand | Eager
+
+val set_halo_policy : ctx -> halo_policy -> unit
+
+val comm_stats : ctx -> Am_simmpi.Comm.stats option
+
+(** {1 Multi-block halos} *)
+
+type halo = Multiblock.halo
+type orientation = Multiblock.orientation
+
+val identity_orientation : orientation
+
+(** Declare an inter-block coupling: [src_range] (a face of [src]) feeds
+    [dst_range] (typically ghost cells of [dst]), with an optional index
+    [orientation]. Extents must match after transformation. *)
+val decl_halo :
+  ctx -> name:string -> src:dat -> dst:dat -> src_range:range -> dst_range:range ->
+  ?orientation:orientation -> unit -> halo
+
+(** Execute the declared transfers — the application-triggered
+    synchronisation points between blocks. *)
+val halo_transfer : ctx -> halo list -> unit
+
+(** {1 Boundary conditions} *)
+
+type centering = Boundary.centering = Cell | Node
+
+(** Reflective ghost-ring update (CloverLeaf's update_halo): ghost values
+    mirror the interior, with optional sign flips for wall-normal velocity
+    components and centre-aware reflection for staggered fields. Provided
+    by the library because it reads and writes the same dataset across an
+    offset, which [par_loop] forbids. *)
+val mirror_halo :
+  ctx -> ?depth:int -> ?sign_x:float -> ?sign_y:float -> ?center_x:centering ->
+  ?center_y:centering -> dat -> unit
+
+(** {1 The parallel loop} *)
+
+(** [par_loop ctx ~name ?info block range args kernel] validates stencils
+    against the range and ghost depth, records trace/profile entries, and
+    executes [kernel] at every point of [range] on the context's backend. *)
+val par_loop :
+  ctx ->
+  name:string ->
+  ?info:Descr.kernel_info ->
+  block ->
+  range ->
+  arg list ->
+  (float array array -> unit) ->
+  unit
+
+(** {1 Automatic checkpointing}
+
+    As for OP2: one [request_checkpoint] and the library picks the cheapest
+    trigger within a detected loop period, saves only what recovery needs
+    (full padded arrays, ghost ring included) and fast-forwards a restarted
+    run. Non-partitioned contexts only. *)
+
+val enable_checkpointing : ctx -> unit
+val request_checkpoint : ctx -> unit
+val checkpoint_session : ctx -> Am_checkpoint.Runtime.session option
+val checkpoint_to_file : ctx -> path:string -> unit
+val recover_from_file : ctx -> path:string -> unit

@@ -1,0 +1,188 @@
+(* Public facade of the 1D structured-mesh library: the same abstraction as
+   {!Ops}/{!Ops3} instantiated for one-dimensional blocks (the paper:
+   blocks have "a number of dimensions (1D, 2D, 3D, etc.)"). *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+module Profile = Am_core.Profile
+module Trace = Am_core.Trace
+
+type block = Types1.block
+type dat = Types1.dat
+type arg = Types1.arg
+type range = Types1.range = { xlo : int; xhi : int }
+type stencil = Types1.stencil
+
+let stencil_point = Types1.stencil_point
+let stencil_3pt = Types1.stencil_3pt
+
+type backend =
+  | Seq
+  | Shared of { pool : Am_taskpool.Pool.t }
+  | Cuda_sim of Exec1.cuda_config
+
+type ctx = {
+  env : Types1.env;
+  mutable backend : backend;
+  profile : Profile.t;
+  trace : Trace.t;
+  mutable dist : Dist1.t option;
+  mutable checkpoint : Am_checkpoint.Runtime.session option;
+}
+
+let create ?(backend = Seq) () =
+  {
+    env = Types1.make_env ();
+    backend;
+    profile = Profile.create ();
+    trace = Trace.create ();
+    dist = None;
+    checkpoint = None;
+  }
+
+let set_backend ctx backend =
+  (match (backend, ctx.dist) with
+  | (Shared _ | Cuda_sim _), Some _ ->
+    invalid_arg "Ops1.set_backend: context is partitioned"
+  | (Seq | Shared _ | Cuda_sim _), _ -> ());
+  ctx.backend <- backend
+
+let backend ctx = ctx.backend
+let profile ctx = ctx.profile
+let trace ctx = ctx.trace
+let blocks ctx = Types1.blocks ctx.env
+let dats ctx = Types1.dats ctx.env
+
+let decl_block ctx ~name = Types1.decl_block ctx.env ~name
+
+let decl_dat ctx ~name ~block ~xsize ?halo ?dim () =
+  Types1.decl_dat ctx.env ~name ~block ~xsize ?halo ?dim ()
+
+let arg_dat dat stencil access : arg = Types1.Arg_dat { dat; stencil; access }
+let arg_gbl ~name buf access : arg = Types1.Arg_gbl { name; buf; access }
+let arg_idx : arg = Types1.Arg_idx
+
+let interior = Types1.interior
+let get = Types1.get
+let set = Types1.set
+
+let fetch_interior ctx dat =
+  match ctx.dist with
+  | Some d -> Dist1.fetch_interior d dat
+  | None -> Types1.fetch_interior dat
+
+let init ctx dat f =
+  for x = Types1.x_min dat to Types1.x_max dat - 1 do
+    for c = 0 to dat.Types1.dim - 1 do
+      Types1.set dat ~x ~c (f x c)
+    done
+  done;
+  match ctx.dist with Some d -> Dist1.push d dat | None -> ()
+
+let partition ctx ~n_ranks ~ref_xsize =
+  if ctx.dist <> None then invalid_arg "Ops1.partition: already partitioned";
+  (match ctx.backend with
+  | Seq -> ()
+  | Shared _ | Cuda_sim _ ->
+    invalid_arg "Ops1.partition: switch the backend to Seq before partitioning");
+  ctx.dist <- Some (Dist1.build ctx.env ~n_ranks ~ref_xsize)
+
+type rank_execution = Dist1.rank_exec = Rank_seq | Rank_shared of Am_taskpool.Pool.t
+
+let set_rank_execution ctx exec =
+  match ctx.dist with
+  | None -> invalid_arg "Ops1.set_rank_execution: partition first"
+  | Some d -> d.Dist1.rank_exec <- exec
+
+(* Halo-exchange policy, as for the other facades. *)
+type halo_policy = On_demand | Eager
+
+let set_halo_policy ctx policy =
+  match ctx.dist with
+  | None -> invalid_arg "Ops1.set_halo_policy: partition first"
+  | Some d -> d.Dist1.eager_halo <- (policy = Eager)
+
+let comm_stats ctx =
+  match ctx.dist with
+  | None -> None
+  | Some d -> Some (Am_simmpi.Comm.stats d.Dist1.comm)
+
+let now () = Unix.gettimeofday ()
+
+let par_loop ctx ~name ?(info = Descr.default_kernel_info) block range args kernel =
+  Types1.validate_args ~block ~range args;
+  let descr = Types1.describe ~name ~block ~range ~info args in
+  Trace.record ctx.trace descr;
+  let t0 = now () in
+  let execute () =
+    match ctx.dist with
+    | Some d -> Dist1.par_loop d ~range ~args ~kernel
+    | None -> (
+      match ctx.backend with
+      | Seq -> Exec1.run_seq ~range ~args ~kernel ()
+      | Shared { pool } -> Exec1.run_shared pool ~range ~args ~kernel
+      | Cuda_sim config -> Exec1.run_cuda config ~range ~args ~kernel)
+  in
+  (match ctx.checkpoint with
+  | None -> execute ()
+  | Some session ->
+    let gbl_out =
+      List.filter_map
+        (function
+          | Types1.Arg_gbl { buf; access; _ } when access <> Access.Read -> Some buf
+          | Types1.Arg_gbl _ | Types1.Arg_dat _ | Types1.Arg_idx -> None)
+        args
+    in
+    Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:execute);
+  Profile.record ctx.profile ~name ~seconds:(now () -. t0)
+    ~bytes:(Descr.total_bytes descr)
+    ~elements:(Types1.range_size range)
+
+(* ---- Physical boundary conditions (update_halo, 1D) ----------------------- *)
+
+type centering = Boundary1.centering = Cell | Node
+
+let mirror_halo ctx ?(depth = 2) ?(sign = 1.0) ?(center = Cell) dat =
+  match ctx.dist with
+  | None -> Boundary1.mirror ~depth ~sign ~center dat
+  | Some d -> Dist1.mirror d dat ~depth ~sign ~center
+
+(* ---- Automatic checkpointing (paper Section VI) -------------------------- *)
+
+let checkpoint_fns ctx =
+  if ctx.dist <> None then
+    invalid_arg "Ops1 checkpointing: unsupported on partitioned contexts";
+  let find name =
+    match List.find_opt (fun d -> d.Types1.dat_name = name) (dats ctx) with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Ops1 checkpoint: unknown dataset %s" name)
+  in
+  {
+    Am_checkpoint.Runtime.fetch = (fun name -> Array.copy (find name).Types1.data);
+    restore =
+      (fun name data ->
+        let d = find name in
+        if Array.length data <> Array.length d.Types1.data then
+          invalid_arg "Ops1 checkpoint: snapshot size mismatch";
+        Array.blit data 0 d.Types1.data 0 (Array.length data));
+  }
+
+let enable_checkpointing ctx =
+  if ctx.checkpoint = None then
+    ctx.checkpoint <- Some (Am_checkpoint.Runtime.create ~fns:(checkpoint_fns ctx))
+
+let request_checkpoint ctx =
+  match ctx.checkpoint with
+  | None -> invalid_arg "Ops1.request_checkpoint: call enable_checkpointing first"
+  | Some session -> Am_checkpoint.Runtime.request_checkpoint session
+
+let checkpoint_session ctx = ctx.checkpoint
+
+let checkpoint_to_file ctx ~path =
+  match ctx.checkpoint with
+  | None -> invalid_arg "Ops1.checkpoint_to_file: checkpointing not enabled"
+  | Some session -> Am_checkpoint.Runtime.save_to_file session ~path
+
+let recover_from_file ctx ~path =
+  ctx.checkpoint <-
+    Some (Am_checkpoint.Runtime.recover_from_file ~path ~fns:(checkpoint_fns ctx))

@@ -1,0 +1,262 @@
+(* Public facade of the 3D structured-mesh library: the same abstraction as
+   {!Ops} instantiated for three-dimensional blocks (the paper: blocks have
+   "a number of dimensions (1D, 2D, 3D, etc.)"). *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+module Profile = Am_core.Profile
+module Trace = Am_core.Trace
+
+type block = Types3.block
+type dat = Types3.dat
+type arg = Types3.arg
+
+type range = Types3.range = {
+  xlo : int;
+  xhi : int;
+  ylo : int;
+  yhi : int;
+  zlo : int;
+  zhi : int;
+}
+
+type stencil = Types3.stencil
+
+let stencil_point = Types3.stencil_point
+let stencil_7pt = Types3.stencil_7pt
+
+type backend =
+  | Seq
+  | Shared of { pool : Am_taskpool.Pool.t }
+  | Cuda_sim of Exec3.cuda_config
+
+(* Distributed state: z-slab decomposition or the y x z pencil grid. *)
+type dist_state = Slabs of Dist3.t | Pencil of Dist3p.t
+
+type ctx = {
+  env : Types3.env;
+  mutable backend : backend;
+  profile : Profile.t;
+  trace : Trace.t;
+  mutable dist : dist_state option;
+  mutable checkpoint : Am_checkpoint.Runtime.session option;
+}
+
+let create ?(backend = Seq) () =
+  {
+    env = Types3.make_env ();
+    backend;
+    profile = Profile.create ();
+    trace = Trace.create ();
+    dist = None;
+    checkpoint = None;
+  }
+
+let set_backend ctx backend =
+  (match (backend, ctx.dist) with
+  | (Shared _ | Cuda_sim _), Some _ ->
+    invalid_arg "Ops3.set_backend: context is partitioned"
+  | (Seq | Shared _ | Cuda_sim _), _ -> ());
+  ctx.backend <- backend
+
+let backend ctx = ctx.backend
+let profile ctx = ctx.profile
+let trace ctx = ctx.trace
+let blocks ctx = Types3.blocks ctx.env
+let dats ctx = Types3.dats ctx.env
+
+let decl_block ctx ~name = Types3.decl_block ctx.env ~name
+
+let decl_dat ctx ~name ~block ~xsize ~ysize ~zsize ?halo ?dim () =
+  Types3.decl_dat ctx.env ~name ~block ~xsize ~ysize ~zsize ?halo ?dim ()
+
+let arg_dat dat stencil access : arg =
+  Types3.Arg_dat { dat; stencil; access; stride = Types3.unit_stride }
+
+(* Grid-transfer arguments for 3D multigrid, as in the 2D facade:
+   [arg_dat_restrict] reads a finer dataset from a coarse-grid loop
+   (accessed point = factor * iteration point + offset); [arg_dat_prolong]
+   reads a coarser dataset from a fine-grid loop (point / factor + offset).
+   Read-only. *)
+let arg_dat_restrict dat stencil ~factor access : arg =
+  Types3.Arg_dat
+    { dat; stencil; access;
+      stride =
+        { Types3.xn = factor; xd = 1; yn = factor; yd = 1; zn = factor; zd = 1 } }
+
+let arg_dat_prolong dat stencil ~factor access : arg =
+  Types3.Arg_dat
+    { dat; stencil; access;
+      stride =
+        { Types3.xn = 1; xd = factor; yn = 1; yd = factor; zn = 1; zd = factor } }
+let arg_gbl ~name buf access : arg = Types3.Arg_gbl { name; buf; access }
+let arg_idx : arg = Types3.Arg_idx
+
+let interior = Types3.interior
+let get = Types3.get
+let set = Types3.set
+
+let fetch_interior ctx dat =
+  match ctx.dist with
+  | Some (Slabs d) -> Dist3.fetch_interior d dat
+  | Some (Pencil d) -> Dist3p.fetch_interior d dat
+  | None -> Types3.fetch_interior dat
+
+let init ctx dat f =
+  for z = Types3.z_min dat to Types3.z_max dat - 1 do
+    for y = Types3.y_min dat to Types3.y_max dat - 1 do
+      for x = Types3.x_min dat to Types3.x_max dat - 1 do
+        for c = 0 to dat.Types3.dim - 1 do
+          Types3.set dat ~x ~y ~z ~c (f x y z c)
+        done
+      done
+    done
+  done;
+  match ctx.dist with
+  | Some (Slabs d) -> Dist3.push d dat
+  | Some (Pencil d) -> Dist3p.push d dat
+  | None -> ()
+
+let check_partitionable ctx =
+  if ctx.dist <> None then invalid_arg "Ops3.partition: already partitioned";
+  match ctx.backend with
+  | Seq -> ()
+  | Shared _ | Cuda_sim _ ->
+    invalid_arg "Ops3.partition: switch the backend to Seq before partitioning"
+
+let partition ctx ~n_ranks ~ref_zsize =
+  check_partitionable ctx;
+  ctx.dist <- Some (Slabs (Dist3.build ctx.env ~n_ranks ~ref_zsize))
+
+(* Pencil (y x z) decomposition over py * pz ranks; x stays whole. *)
+let partition_pencil ctx ~py ~pz ~ref_ysize ~ref_zsize =
+  check_partitionable ctx;
+  ctx.dist <- Some (Pencil (Dist3p.build ctx.env ~py ~pz ~ref_ysize ~ref_zsize))
+
+(* Hybrid MPI+OpenMP: each rank's planes run on a shared pool. *)
+type rank_execution = Dist3.rank_exec = Rank_seq | Rank_shared of Am_taskpool.Pool.t
+
+let set_rank_execution ctx exec =
+  match ctx.dist with
+  | None -> invalid_arg "Ops3.set_rank_execution: partition first"
+  | Some (Slabs d) -> d.Dist3.rank_exec <- exec
+  | Some (Pencil d) ->
+    d.Dist3p.rank_exec <-
+      (match exec with
+      | Rank_seq -> Dist3p.Rank_seq
+      | Rank_shared pool -> Dist3p.Rank_shared pool)
+
+let comm_stats ctx =
+  match ctx.dist with
+  | None -> None
+  | Some (Slabs d) -> Some (Am_simmpi.Comm.stats d.Dist3.comm)
+  | Some (Pencil d) -> Some (Am_simmpi.Comm.stats d.Dist3p.comm)
+
+let now () = Unix.gettimeofday ()
+
+let par_loop ctx ~name ?(info = Descr.default_kernel_info) block range args kernel =
+  Types3.validate_args ~block ~range args;
+  let descr = Types3.describe ~name ~block ~range ~info args in
+  Trace.record ctx.trace descr;
+  let t0 = now () in
+  let execute () =
+    match ctx.dist with
+    | Some (Slabs d) -> Dist3.par_loop d ~range ~args ~kernel
+    | Some (Pencil d) -> Dist3p.par_loop d ~range ~args ~kernel
+    | None -> (
+      match ctx.backend with
+      | Seq -> Exec3.run_seq ~range ~args ~kernel ()
+      | Shared { pool } -> Exec3.run_shared pool ~range ~args ~kernel
+      | Cuda_sim config -> Exec3.run_cuda config ~range ~args ~kernel)
+  in
+  (match ctx.checkpoint with
+  | None -> execute ()
+  | Some session ->
+    let gbl_out =
+      List.filter_map
+        (function
+          | Types3.Arg_gbl { buf; access; _ } when access <> Access.Read -> Some buf
+          | Types3.Arg_gbl _ | Types3.Arg_dat _ | Types3.Arg_idx -> None)
+        args
+    in
+    Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:execute);
+  Profile.record ctx.profile ~name ~seconds:(now () -. t0)
+    ~bytes:(Descr.total_bytes descr)
+    ~elements:(Types3.range_size range)
+
+(* ---- Multi-block halos ----------------------------------------------------- *)
+
+type halo = Multiblock3.halo
+type orientation = Multiblock3.orientation
+
+let identity_orientation = Multiblock3.identity_orientation
+
+let decl_halo ctx ~name ~src ~dst ~src_range ~dst_range ?orientation () =
+  if ctx.dist <> None then
+    invalid_arg "Ops3.decl_halo: declare halos before partitioning";
+  Multiblock3.decl_halo ~name ~src ~dst ~src_range ~dst_range ?orientation ()
+
+let halo_transfer ctx halos =
+  if ctx.dist <> None then
+    invalid_arg "Ops3.halo_transfer: inter-block halos unsupported on a partitioned \
+                 context (partition a single block instead)";
+  Multiblock3.transfer_all halos
+
+(* ---- Physical boundary conditions (update_halo, 3D) ----------------------- *)
+
+type centering = Boundary3.centering = Cell | Node
+
+(* Reflective ghost-shell update with per-axis sign flips and centre-aware
+   mirroring for staggered fields. *)
+let mirror_halo ctx ?(depth = 2) ?(sign_x = 1.0) ?(sign_y = 1.0) ?(sign_z = 1.0)
+    ?(center_x = Cell) ?(center_y = Cell) ?(center_z = Cell) dat =
+  match ctx.dist with
+  | None ->
+    Boundary3.mirror ~depth ~sign_x ~sign_y ~sign_z ~center_x ~center_y ~center_z dat
+  | Some (Slabs d) ->
+    Dist3.mirror d dat ~depth ~sign_x ~sign_y ~sign_z ~center_x ~center_y ~center_z
+  | Some (Pencil d) ->
+    Dist3p.mirror d dat ~depth ~sign_x ~sign_y ~sign_z ~center_x ~center_y ~center_z
+
+(* ---- Automatic checkpointing (paper Section VI) -------------------------- *)
+
+(* Snapshots capture the full padded array of a dataset (ghost shell
+   included) so recovery restores boundary state exactly; only supported on
+   non-partitioned contexts. *)
+let checkpoint_fns ctx =
+  if ctx.dist <> None then
+    invalid_arg "Ops3 checkpointing: unsupported on partitioned contexts";
+  let find name =
+    match List.find_opt (fun d -> d.Types3.dat_name = name) (dats ctx) with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Ops3 checkpoint: unknown dataset %s" name)
+  in
+  {
+    Am_checkpoint.Runtime.fetch = (fun name -> Array.copy (find name).Types3.data);
+    restore =
+      (fun name data ->
+        let d = find name in
+        if Array.length data <> Array.length d.Types3.data then
+          invalid_arg "Ops3 checkpoint: snapshot size mismatch";
+        Array.blit data 0 d.Types3.data 0 (Array.length data));
+  }
+
+let enable_checkpointing ctx =
+  if ctx.checkpoint = None then
+    ctx.checkpoint <- Some (Am_checkpoint.Runtime.create ~fns:(checkpoint_fns ctx))
+
+let request_checkpoint ctx =
+  match ctx.checkpoint with
+  | None -> invalid_arg "Ops3.request_checkpoint: call enable_checkpointing first"
+  | Some session -> Am_checkpoint.Runtime.request_checkpoint session
+
+let checkpoint_session ctx = ctx.checkpoint
+
+let checkpoint_to_file ctx ~path =
+  match ctx.checkpoint with
+  | None -> invalid_arg "Ops3.checkpoint_to_file: checkpointing not enabled"
+  | Some session -> Am_checkpoint.Runtime.save_to_file session ~path
+
+let recover_from_file ctx ~path =
+  ctx.checkpoint <-
+    Some (Am_checkpoint.Runtime.recover_from_file ~path ~fns:(checkpoint_fns ctx))

@@ -1,0 +1,252 @@
+(* Core value types of the multi-block structured-mesh active library (the
+   paper's OPS).
+
+   A [block] is a logical 2D index space with no size of its own; datasets
+   ([dat]) live on a block, each with its *own* extents — this is how OPS
+   accommodates cell-, face- and node-centred fields of different sizes on
+   one block (e.g. CloverLeaf's staggered grid) as well as multigrid levels.
+
+   Every dataset carries a ghost ring of [halo] cells on all sides, so
+   stencils evaluated near a range boundary stay in bounds; boundary
+   conditions are written by running loops over ranges that extend into the
+   ghost ring.  Computation is expressed as parallel loops over rectangular
+   ranges, with per-argument stencils and access descriptors. *)
+
+module Access = Am_core.Access
+
+type block = { block_id : int; block_name : string }
+
+type dat = {
+  dat_id : int;
+  dat_name : string;
+  dat_block : block;
+  xsize : int; (* interior extent in x *)
+  ysize : int;
+  halo : int; (* ghost ring width on every side *)
+  dim : int; (* components per point *)
+  mutable data : float array; (* row-major over (xsize+2h) x (ysize+2h) *)
+}
+
+(* A stencil is a list of relative (dx, dy) offsets.  The point (0, 0) is
+   the iteration point. *)
+type stencil = (int * int) array
+
+let stencil_point : stencil = [| (0, 0) |]
+
+let stencil_extent (s : stencil) =
+  Array.fold_left (fun acc (dx, dy) -> max acc (max (abs dx) (abs dy))) 0 s
+
+let is_center_only (s : stencil) = s = stencil_point
+
+(* Grid-transfer stride: the accessed point for iteration (x, y) and offset
+   (dx, dy) is (floor(x*xn/xd) + dx, floor(y*yn/yd) + dy).  Unit stride is
+   ordinary stencil access; (2,1) reads a finer grid from a coarse loop
+   (restriction), (1,2) reads a coarser grid from a fine loop (prolongation)
+   — the "multi-grid situations" OPS's per-dat sizes exist for. *)
+type stride = { xn : int; xd : int; yn : int; yd : int }
+
+let unit_stride = { xn = 1; xd = 1; yn = 1; yd = 1 }
+
+let is_unit_stride s = s = unit_stride
+
+(* Floor division (OCaml's / truncates towards zero). *)
+let floordiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let apply_stride stride ~x ~y = (floordiv (x * stride.xn) stride.xd, floordiv (y * stride.yn) stride.yd)
+
+type arg =
+  | Arg_dat of { dat : dat; stencil : stencil; access : Access.t; stride : stride }
+  | Arg_gbl of { name : string; buf : float array; access : Access.t }
+  | Arg_idx (* kernel receives the (x, y) iteration indices as two floats *)
+
+(* Rectangular, half-open iteration range. *)
+type range = { xlo : int; xhi : int; ylo : int; yhi : int }
+
+let range_size r = max 0 (r.xhi - r.xlo) * max 0 (r.yhi - r.ylo)
+
+let range_to_string r = Printf.sprintf "[%d,%d)x[%d,%d)" r.xlo r.xhi r.ylo r.yhi
+
+type env = {
+  mutable blocks : block list;
+  mutable dats : dat list;
+  mutable next_id : int;
+}
+
+let make_env () = { blocks = []; dats = []; next_id = 0 }
+
+let fresh_id env =
+  let id = env.next_id in
+  env.next_id <- id + 1;
+  id
+
+let decl_block env ~name =
+  let b = { block_id = fresh_id env; block_name = name } in
+  env.blocks <- b :: env.blocks;
+  b
+
+let default_halo = 2
+
+let decl_dat env ~name ~block ~xsize ~ysize ?(halo = default_halo) ?(dim = 1) () =
+  if xsize <= 0 || ysize <= 0 then invalid_arg "decl_dat: extents must be positive";
+  if halo < 0 then invalid_arg "decl_dat: negative halo";
+  if dim <= 0 then invalid_arg "decl_dat: dim must be positive";
+  let total = (xsize + (2 * halo)) * (ysize + (2 * halo)) * dim in
+  let d =
+    {
+      dat_id = fresh_id env;
+      dat_name = name;
+      dat_block = block;
+      xsize;
+      ysize;
+      halo;
+      dim;
+      data = Array.make total 0.0;
+    }
+  in
+  env.dats <- d :: env.dats;
+  d
+
+let blocks env = List.rev env.blocks
+let dats env = List.rev env.dats
+
+(* Row stride (values per logical row) of the padded array. *)
+let stride dat = (dat.xsize + (2 * dat.halo)) * dat.dim
+
+(* Flat index of component [c] at logical point (x, y); (0,0) is the first
+   interior point, negatives reach into the ghost ring. *)
+let index dat ~x ~y ~c =
+  (((y + dat.halo) * (dat.xsize + (2 * dat.halo))) + (x + dat.halo)) * dat.dim + c
+
+let get dat ~x ~y ~c = dat.data.(index dat ~x ~y ~c)
+let set dat ~x ~y ~c v = dat.data.(index dat ~x ~y ~c) <- v
+
+(* Bounds of addressable logical coordinates (ghost ring included). *)
+let x_min dat = -dat.halo
+let x_max dat = dat.xsize + dat.halo (* exclusive *)
+let y_min dat = -dat.halo
+let y_max dat = dat.ysize + dat.halo (* exclusive *)
+
+let interior dat = { xlo = 0; xhi = dat.xsize; ylo = 0; yhi = dat.ysize }
+
+(* Fill every value (ghost ring included). *)
+let fill dat v = Array.fill dat.data 0 (Array.length dat.data) v
+
+(* Copy of the interior values in row-major (x fastest) order, used by
+   validation and I/O. *)
+let fetch_interior dat =
+  let out = Array.make (dat.xsize * dat.ysize * dat.dim) 0.0 in
+  let k = ref 0 in
+  for y = 0 to dat.ysize - 1 do
+    for x = 0 to dat.xsize - 1 do
+      for c = 0 to dat.dim - 1 do
+        out.(!k) <- get dat ~x ~y ~c;
+        incr k
+      done
+    done
+  done;
+  out
+
+let arg_access = function
+  | Arg_dat { access; _ } -> access
+  | Arg_gbl { access; _ } -> access
+  | Arg_idx -> Access.Read
+
+(* Validate an argument list against an iteration range: stencils must stay
+   inside the addressable (interior + ghost) area over the whole range, all
+   datasets must share the block, and written arguments must use the
+   center-only stencil (the OPS restriction that makes structured loops
+   race-free by construction).  A dataset written in a loop must be accessed
+   center-only by *every* argument of that loop: reading a neighbour that
+   the same loop writes is a loop-carried dependence whose result would
+   depend on traversal order. *)
+let validate_args ~block ~range args =
+  let written = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Arg_dat { dat; access; _ } when Access.writes access ->
+        Hashtbl.replace written dat.dat_id ()
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args;
+  List.iter
+    (function
+      | Arg_dat { dat; stencil; stride; _ }
+        when Hashtbl.mem written dat.dat_id
+             && not (is_center_only stencil && is_unit_stride stride) ->
+        invalid_arg
+          (Printf.sprintf
+             "ops par_loop: dat %s is written in this loop but also read through an \
+              offset or strided stencil (loop-carried dependence)"
+             dat.dat_name)
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args;
+  List.iteri
+    (fun i arg ->
+      let fail msg = invalid_arg (Printf.sprintf "ops par_loop arg %d: %s" i msg) in
+      match arg with
+      | Arg_idx -> ()
+      | Arg_gbl { access; name; buf } ->
+        if not (Access.valid_on_gbl access) then
+          fail (Printf.sprintf "global %s: access %s not valid on globals" name
+                  (Access.to_string access));
+        if Array.length buf = 0 then fail (Printf.sprintf "global %s: empty buffer" name)
+      | Arg_dat { dat; stencil; access; stride } ->
+        if not (Access.valid_on_dat access) then
+          fail (Printf.sprintf "dat %s: access %s not valid on datasets" dat.dat_name
+                  (Access.to_string access));
+        if dat.dat_block.block_id <> block.block_id then
+          fail (Printf.sprintf "dat %s lives on block %s, loop runs on %s" dat.dat_name
+                  dat.dat_block.block_name block.block_name);
+        if Array.length stencil = 0 then
+          fail (Printf.sprintf "dat %s: empty stencil" dat.dat_name);
+        if (not (is_unit_stride stride)) && Access.writes access then
+          fail (Printf.sprintf "dat %s: strided (grid-transfer) access is read-only"
+                  dat.dat_name);
+        if stride.xn <= 0 || stride.xd <= 0 || stride.yn <= 0 || stride.yd <= 0 then
+          fail (Printf.sprintf "dat %s: stride components must be positive" dat.dat_name);
+        if Access.writes access && not (is_center_only stencil) then
+          fail (Printf.sprintf
+                  "dat %s: %s access requires the center-only stencil" dat.dat_name
+                  (Access.to_string access));
+        Array.iter
+          (fun (dx, dy) ->
+            let bx0, by0 = apply_stride stride ~x:range.xlo ~y:range.ylo in
+            let bx1, by1 = apply_stride stride ~x:(range.xhi - 1) ~y:(range.yhi - 1) in
+            let x0 = bx0 + dx and x1 = bx1 + dx in
+            let y0 = by0 + dy and y1 = by1 + dy in
+            if x0 < x_min dat || x1 >= x_max dat || y0 < y_min dat || y1 >= y_max dat
+            then
+              fail
+                (Printf.sprintf
+                   "dat %s: stencil offset (%d,%d) leaves the %d-deep ghost ring over \
+                    range %s"
+                   dat.dat_name dx dy dat.halo (range_to_string range)))
+          stencil)
+    args
+
+(* Backend-independent loop descriptor for tracing/profiling. *)
+let describe ~name ~block ~range ~info args : Am_core.Descr.loop =
+  let arg_descr = function
+    | Arg_gbl { name; buf; access } ->
+      { Am_core.Descr.dat_name = name; dat_id = -1; dim = Array.length buf; access;
+        kind = Am_core.Descr.Global }
+    | Arg_idx ->
+      { Am_core.Descr.dat_name = "idx"; dat_id = -1; dim = 2; access = Access.Read;
+        kind = Am_core.Descr.Global }
+    | Arg_dat { dat; stencil; access; stride = _ } ->
+      {
+        Am_core.Descr.dat_name = dat.dat_name;
+        dat_id = dat.dat_id;
+        dim = dat.dim;
+        access;
+        kind =
+          (if is_center_only stencil then Am_core.Descr.Direct
+           else Am_core.Descr.Stencil { points = Array.length stencil });
+      }
+  in
+  {
+    Am_core.Descr.loop_name = name;
+    set_name = block.block_name;
+    set_size = range_size range;
+    args = List.map arg_descr args;
+    info;
+  }

@@ -1,0 +1,151 @@
+(* 1D structured-mesh types.
+
+   OPS blocks carry "a number of dimensions (1D, 2D, 3D, etc.)"; this is
+   the 1D instantiation of the same abstraction as [Types]: datasets with
+   their own extent and ghost cells, stencils of dx offsets, parallel
+   loops over intervals, centre-only writes.  Kept as a separate module
+   family (types1/exec1/dist1) like the 3D one, so each dimension's hot
+   path stays monomorphic. *)
+
+module Access = Am_core.Access
+
+type block = { block_id : int; block_name : string }
+
+type dat = {
+  dat_id : int;
+  dat_name : string;
+  dat_block : block;
+  xsize : int;
+  halo : int; (* ghost cells on both ends *)
+  dim : int;
+  mutable data : float array; (* padded *)
+}
+
+type stencil = int array
+
+let stencil_point : stencil = [| 0 |]
+
+(* 3-point Laplacian stencil: centre, -x, +x. *)
+let stencil_3pt : stencil = [| 0; -1; 1 |]
+
+let stencil_extent (s : stencil) = Array.fold_left (fun acc dx -> max acc (abs dx)) 0 s
+let is_center_only (s : stencil) = s = stencil_point
+
+type arg =
+  | Arg_dat of { dat : dat; stencil : stencil; access : Access.t }
+  | Arg_gbl of { name : string; buf : float array; access : Access.t }
+  | Arg_idx (* kernel receives x as a float *)
+
+type range = { xlo : int; xhi : int }
+
+let range_size r = max 0 (r.xhi - r.xlo)
+let range_to_string r = Printf.sprintf "[%d,%d)" r.xlo r.xhi
+
+type env = {
+  mutable blocks : block list;
+  mutable dats : dat list;
+  mutable next_id : int;
+}
+
+let make_env () = { blocks = []; dats = []; next_id = 0 }
+
+let fresh_id env =
+  let id = env.next_id in
+  env.next_id <- id + 1;
+  id
+
+let decl_block env ~name =
+  let b = { block_id = fresh_id env; block_name = name } in
+  env.blocks <- b :: env.blocks;
+  b
+
+let decl_dat env ~name ~block ~xsize ?(halo = 2) ?(dim = 1) () =
+  if xsize <= 0 then invalid_arg "decl_dat1: extent must be positive";
+  if halo < 0 then invalid_arg "decl_dat1: negative halo";
+  if dim <= 0 then invalid_arg "decl_dat1: dim must be positive";
+  let d =
+    { dat_id = fresh_id env; dat_name = name; dat_block = block; xsize; halo; dim;
+      data = Array.make ((xsize + (2 * halo)) * dim) 0.0 }
+  in
+  env.dats <- d :: env.dats;
+  d
+
+let blocks env = List.rev env.blocks
+let dats env = List.rev env.dats
+
+let index dat ~x ~c = ((x + dat.halo) * dat.dim) + c
+let get dat ~x ~c = dat.data.(index dat ~x ~c)
+let set dat ~x ~c v = dat.data.(index dat ~x ~c) <- v
+
+let x_min dat = -dat.halo
+let x_max dat = dat.xsize + dat.halo
+let interior dat = { xlo = 0; xhi = dat.xsize }
+
+let fetch_interior dat =
+  Array.sub dat.data (dat.halo * dat.dim) (dat.xsize * dat.dim)
+
+(* Same validation discipline as 2D/3D: stencils within the ghost cells
+   over the whole range, centre-only writes, no loop-carried dependences. *)
+let validate_args ~block ~range args =
+  let written = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Arg_dat { dat; access; _ } when Access.writes access ->
+        Hashtbl.replace written dat.dat_id ()
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args;
+  List.iteri
+    (fun i arg ->
+      let fail msg = invalid_arg (Printf.sprintf "ops1 par_loop arg %d: %s" i msg) in
+      match arg with
+      | Arg_idx -> ()
+      | Arg_gbl { access; name; buf } ->
+        if not (Access.valid_on_gbl access) then
+          fail (Printf.sprintf "global %s: access %s not valid on globals" name
+                  (Access.to_string access));
+        if Array.length buf = 0 then fail (Printf.sprintf "global %s: empty buffer" name)
+      | Arg_dat { dat; stencil; access } ->
+        if not (Access.valid_on_dat access) then
+          fail (Printf.sprintf "dat %s: access %s not valid on datasets" dat.dat_name
+                  (Access.to_string access));
+        if dat.dat_block.block_id <> block.block_id then
+          fail (Printf.sprintf "dat %s lives on block %s" dat.dat_name
+                  dat.dat_block.block_name);
+        if Array.length stencil = 0 then fail "empty stencil";
+        if Access.writes access && not (is_center_only stencil) then
+          fail (Printf.sprintf "dat %s: %s access requires the center-only stencil"
+                  dat.dat_name (Access.to_string access));
+        if Hashtbl.mem written dat.dat_id && not (is_center_only stencil) then
+          fail (Printf.sprintf "dat %s: written in this loop but read through an \
+                                offset stencil" dat.dat_name);
+        Array.iter
+          (fun dx ->
+            let bad v = v < x_min dat || v >= x_max dat in
+            if bad (range.xlo + dx) || bad (range.xhi - 1 + dx) then
+              fail (Printf.sprintf "dat %s: stencil offset %d leaves the ghost cells \
+                                    over range %s" dat.dat_name dx
+                      (range_to_string range)))
+          stencil)
+    args
+
+let describe ~name ~block ~range ~info args : Am_core.Descr.loop =
+  let arg_descr = function
+    | Arg_gbl { name; buf; access } ->
+      { Am_core.Descr.dat_name = name; dat_id = -1; dim = Array.length buf; access;
+        kind = Am_core.Descr.Global }
+    | Arg_idx ->
+      { Am_core.Descr.dat_name = "idx"; dat_id = -1; dim = 1; access = Access.Read;
+        kind = Am_core.Descr.Global }
+    | Arg_dat { dat; stencil; access } ->
+      {
+        Am_core.Descr.dat_name = dat.dat_name;
+        dat_id = dat.dat_id;
+        dim = dat.dim;
+        access;
+        kind =
+          (if is_center_only stencil then Am_core.Descr.Direct
+           else Am_core.Descr.Stencil { points = Array.length stencil });
+      }
+  in
+  { Am_core.Descr.loop_name = name; set_name = block.block_name;
+    set_size = range_size range; args = List.map arg_descr args; info }

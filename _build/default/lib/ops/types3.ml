@@ -1,0 +1,222 @@
+(* 3D structured-mesh types.
+
+   OPS blocks carry "a number of dimensions (1D, 2D, 3D, etc.)"; this is
+   the 3D instantiation of the same abstraction as [Types]: datasets with
+   their own extents and a ghost shell, stencils of (dx, dy, dz) offsets,
+   parallel loops over boxes, centre-only writes.  Kept as a separate
+   module family (types3/exec3/dist3) so the heavily-exercised 2D path
+   stays monomorphic and simple. *)
+
+module Access = Am_core.Access
+
+type block = { block_id : int; block_name : string }
+
+type dat = {
+  dat_id : int;
+  dat_name : string;
+  dat_block : block;
+  xsize : int;
+  ysize : int;
+  zsize : int;
+  halo : int; (* ghost shell width on every face *)
+  dim : int;
+  mutable data : float array; (* x fastest, then y, then z; padded *)
+}
+
+type stencil = (int * int * int) array
+
+let stencil_point : stencil = [| (0, 0, 0) |]
+
+(* 7-point Laplacian stencil: centre, ±x, ±y, ±z. *)
+let stencil_7pt : stencil =
+  [| (0, 0, 0); (-1, 0, 0); (1, 0, 0); (0, -1, 0); (0, 1, 0); (0, 0, -1); (0, 0, 1) |]
+
+let stencil_extent (s : stencil) =
+  Array.fold_left
+    (fun acc (dx, dy, dz) -> max acc (max (abs dx) (max (abs dy) (abs dz))))
+    0 s
+
+let is_center_only (s : stencil) = s = stencil_point
+
+(* Grid-transfer stride: the accessed point for iteration (x, y, z) and
+   offset (dx, dy, dz) is (floor(x*xn/xd) + dx, ...).  Unit stride is the
+   ordinary case; xn = f (restriction) reads a finer grid from a coarse
+   loop, xd = f (prolongation) reads a coarser grid from a fine loop. *)
+type stride = { xn : int; xd : int; yn : int; yd : int; zn : int; zd : int }
+
+let unit_stride = { xn = 1; xd = 1; yn = 1; yd = 1; zn = 1; zd = 1 }
+let is_unit_stride s = s = unit_stride
+
+let floordiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let apply_stride stride ~x ~y ~z =
+  ( floordiv (x * stride.xn) stride.xd,
+    floordiv (y * stride.yn) stride.yd,
+    floordiv (z * stride.zn) stride.zd )
+
+type arg =
+  | Arg_dat of { dat : dat; stencil : stencil; access : Access.t; stride : stride }
+  | Arg_gbl of { name : string; buf : float array; access : Access.t }
+  | Arg_idx (* kernel receives (x, y, z) as three floats *)
+
+type range = { xlo : int; xhi : int; ylo : int; yhi : int; zlo : int; zhi : int }
+
+let range_size r =
+  max 0 (r.xhi - r.xlo) * max 0 (r.yhi - r.ylo) * max 0 (r.zhi - r.zlo)
+
+let range_to_string r =
+  Printf.sprintf "[%d,%d)x[%d,%d)x[%d,%d)" r.xlo r.xhi r.ylo r.yhi r.zlo r.zhi
+
+type env = {
+  mutable blocks : block list;
+  mutable dats : dat list;
+  mutable next_id : int;
+}
+
+let make_env () = { blocks = []; dats = []; next_id = 0 }
+
+let fresh_id env =
+  let id = env.next_id in
+  env.next_id <- id + 1;
+  id
+
+let decl_block env ~name =
+  let b = { block_id = fresh_id env; block_name = name } in
+  env.blocks <- b :: env.blocks;
+  b
+
+let decl_dat env ~name ~block ~xsize ~ysize ~zsize ?(halo = 2) ?(dim = 1) () =
+  if xsize <= 0 || ysize <= 0 || zsize <= 0 then
+    invalid_arg "decl_dat3: extents must be positive";
+  if halo < 0 then invalid_arg "decl_dat3: negative halo";
+  if dim <= 0 then invalid_arg "decl_dat3: dim must be positive";
+  let total =
+    (xsize + (2 * halo)) * (ysize + (2 * halo)) * (zsize + (2 * halo)) * dim
+  in
+  let d =
+    { dat_id = fresh_id env; dat_name = name; dat_block = block; xsize; ysize; zsize;
+      halo; dim; data = Array.make total 0.0 }
+  in
+  env.dats <- d :: env.dats;
+  d
+
+let blocks env = List.rev env.blocks
+let dats env = List.rev env.dats
+
+let padded_x dat = dat.xsize + (2 * dat.halo)
+let padded_y dat = dat.ysize + (2 * dat.halo)
+
+let index dat ~x ~y ~z ~c =
+  (((((z + dat.halo) * padded_y dat) + (y + dat.halo)) * padded_x dat + (x + dat.halo))
+   * dat.dim)
+  + c
+
+let get dat ~x ~y ~z ~c = dat.data.(index dat ~x ~y ~z ~c)
+let set dat ~x ~y ~z ~c v = dat.data.(index dat ~x ~y ~z ~c) <- v
+
+let x_min dat = -dat.halo
+let x_max dat = dat.xsize + dat.halo
+let y_min dat = -dat.halo
+let y_max dat = dat.ysize + dat.halo
+let z_min dat = -dat.halo
+let z_max dat = dat.zsize + dat.halo
+
+let interior dat =
+  { xlo = 0; xhi = dat.xsize; ylo = 0; yhi = dat.ysize; zlo = 0; zhi = dat.zsize }
+
+let fetch_interior dat =
+  let out = Array.make (dat.xsize * dat.ysize * dat.zsize * dat.dim) 0.0 in
+  let k = ref 0 in
+  for z = 0 to dat.zsize - 1 do
+    for y = 0 to dat.ysize - 1 do
+      for x = 0 to dat.xsize - 1 do
+        for c = 0 to dat.dim - 1 do
+          out.(!k) <- get dat ~x ~y ~z ~c;
+          incr k
+        done
+      done
+    done
+  done;
+  out
+
+(* Same validation discipline as 2D: stencils within the ghost shell over
+   the whole range, centre-only writes, no loop-carried dependences. *)
+let validate_args ~block ~range args =
+  let written = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Arg_dat { dat; access; _ } when Access.writes access ->
+        Hashtbl.replace written dat.dat_id ()
+      | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
+    args;
+  List.iteri
+    (fun i arg ->
+      let fail msg = invalid_arg (Printf.sprintf "ops3 par_loop arg %d: %s" i msg) in
+      match arg with
+      | Arg_idx -> ()
+      | Arg_gbl { access; name; buf } ->
+        if not (Access.valid_on_gbl access) then
+          fail (Printf.sprintf "global %s: access %s not valid on globals" name
+                  (Access.to_string access));
+        if Array.length buf = 0 then fail (Printf.sprintf "global %s: empty buffer" name)
+      | Arg_dat { dat; stencil; access; stride } ->
+        if not (Access.valid_on_dat access) then
+          fail (Printf.sprintf "dat %s: access %s not valid on datasets" dat.dat_name
+                  (Access.to_string access));
+        if dat.dat_block.block_id <> block.block_id then
+          fail (Printf.sprintf "dat %s lives on block %s" dat.dat_name
+                  dat.dat_block.block_name);
+        if Array.length stencil = 0 then fail "empty stencil";
+        if (not (is_unit_stride stride)) && Access.writes access then
+          fail (Printf.sprintf "dat %s: strided (grid-transfer) access is read-only"
+                  dat.dat_name);
+        if stride.xn <= 0 || stride.xd <= 0 || stride.yn <= 0 || stride.yd <= 0
+           || stride.zn <= 0 || stride.zd <= 0 then
+          fail (Printf.sprintf "dat %s: stride components must be positive" dat.dat_name);
+        if Access.writes access && not (is_center_only stencil) then
+          fail (Printf.sprintf "dat %s: %s access requires the center-only stencil"
+                  dat.dat_name (Access.to_string access));
+        if Hashtbl.mem written dat.dat_id
+           && not (is_center_only stencil && is_unit_stride stride) then
+          fail (Printf.sprintf "dat %s: written in this loop but read through an \
+                                offset or strided stencil" dat.dat_name);
+        Array.iter
+          (fun (dx, dy, dz) ->
+            let bx0, by0, bz0 =
+              apply_stride stride ~x:range.xlo ~y:range.ylo ~z:range.zlo
+            in
+            let bx1, by1, bz1 =
+              apply_stride stride ~x:(range.xhi - 1) ~y:(range.yhi - 1)
+                ~z:(range.zhi - 1)
+            in
+            if bx0 + dx < x_min dat || bx1 + dx >= x_max dat
+               || by0 + dy < y_min dat || by1 + dy >= y_max dat
+               || bz0 + dz < z_min dat || bz1 + dz >= z_max dat
+            then
+              fail (Printf.sprintf "dat %s: stencil offset (%d,%d,%d) leaves the \
+                                    ghost shell over range %s" dat.dat_name dx dy dz
+                      (range_to_string range)))
+          stencil)
+    args
+
+let describe ~name ~block ~range ~info args : Am_core.Descr.loop =
+  let arg_descr = function
+    | Arg_gbl { name; buf; access } ->
+      { Am_core.Descr.dat_name = name; dat_id = -1; dim = Array.length buf; access;
+        kind = Am_core.Descr.Global }
+    | Arg_idx ->
+      { Am_core.Descr.dat_name = "idx"; dat_id = -1; dim = 3; access = Access.Read;
+        kind = Am_core.Descr.Global }
+    | Arg_dat { dat; stencil; access; stride = _ } ->
+      {
+        Am_core.Descr.dat_name = dat.dat_name;
+        dat_id = dat.dat_id;
+        dim = dat.dim;
+        access;
+        kind =
+          (if is_center_only stencil then Am_core.Descr.Direct
+           else Am_core.Descr.Stencil { points = Array.length stencil });
+      }
+  in
+  { Am_core.Descr.loop_name = name; set_name = block.block_name;
+    set_size = range_size range; args = List.map arg_descr args; info }

@@ -1,0 +1,1 @@
+lib/perfmodel/cluster.ml: Am_core Float List Machines Model

@@ -1,0 +1,1 @@
+lib/perfmodel/cluster.mli: Am_core Machines Model

@@ -1,0 +1,1 @@
+lib/perfmodel/model.ml: Am_core Float Hashtbl List Machines

@@ -1,0 +1,56 @@
+(** Analytic descriptions of the paper's hardware.
+
+    Each device is a small set of roofline-style constants, calibrated once
+    against the paper's own measurements (Table I achieved bandwidths);
+    EXPERIMENTS.md records how close the modelled figures land. The key
+    asymmetries: CPUs gather nearly at stream speed on well-ordered meshes
+    but pay read-for-ownership on stores and a large scalar penalty without
+    vectorisation; the Xeon Phi and the GPUs collapse on gathers; GPUs ramp
+    up with workload size. *)
+
+type device = {
+  name : string;
+  stream_bw : float;  (** GB/s achieved on contiguous streams *)
+  gather_efficiency : float;  (** fraction of [stream_bw] on indirect access *)
+  flops : float;  (** GFLOP/s double precision, vectorised *)
+  transcendental_rate : float;  (** G sqrt-class ops/s, vectorised *)
+  scalar_penalty : float;  (** compute slowdown when not vectorised *)
+  loop_latency : float;  (** per-loop dispatch overhead, seconds *)
+  half_work : float;  (** elements at which GPU efficiency is 50% (0 = n/a) *)
+  rfo : bool;  (** write-allocate caches: stores move the line twice *)
+  is_gpu : bool;
+}
+
+(** Dual-socket Ivy Bridge node of Table I. *)
+val xeon_e5_2697v2 : device
+
+(** Hydra's single-socket Sandy Bridge node (Fig 3). *)
+val xeon_e5_2640 : device
+
+val xeon_phi_5110p : device
+val nvidia_k40 : device
+val nvidia_k20 : device
+val nvidia_m2090 : device
+val cray_xe6_node : device  (** HECToR *)
+
+val cray_xk7_cpu : device  (** Titan host CPU *)
+
+val nvidia_k20x : device  (** Titan GPU *)
+
+type network = {
+  net_name : string;
+  latency : float;  (** seconds per message *)
+  bandwidth : float;  (** GB/s per node *)
+}
+
+val gemini : network  (** Cray Gemini (HECToR, Titan) *)
+
+val infiniband_qdr : network  (** Emerald / Jade *)
+
+type cluster = { cluster_name : string; node : device; net : network }
+
+val hector : cluster
+val emerald : cluster
+val jade : cluster
+val titan_cpu : cluster
+val titan_gpu : cluster

@@ -1,0 +1,1 @@
+lib/simmpi/comm.ml: Array Float Printf Queue

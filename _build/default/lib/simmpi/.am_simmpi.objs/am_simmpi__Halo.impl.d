@@ -1,0 +1,1 @@
+lib/simmpi/halo.ml: Array Comm Printf

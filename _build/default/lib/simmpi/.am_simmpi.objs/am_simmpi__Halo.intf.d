@@ -1,0 +1,1 @@
+lib/simmpi/halo.mli: Comm

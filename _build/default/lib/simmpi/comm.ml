@@ -1,0 +1,81 @@
+(* In-process message-passing simulator.
+
+   The distributed-memory backends of OP2/OPS run on this instead of real
+   MPI: ranks are slots of one process, executed in a BSP style (compute
+   phase over all ranks, then exchange phase).  Messages are FIFO per
+   (src, dst) channel.  Every transfer is recorded so the performance model
+   can translate observed communication volumes into cluster-scale timings,
+   and so tests can assert that e.g. a loop with only direct arguments sends
+   nothing. *)
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable exchanges : int; (* collective halo-exchange rounds *)
+  mutable reductions : int;
+}
+
+type t = {
+  n_ranks : int;
+  channels : float array Queue.t array; (* indexed src * n_ranks + dst *)
+  stats : stats;
+}
+
+let create ~n_ranks =
+  if n_ranks <= 0 then invalid_arg "Comm.create: n_ranks must be positive";
+  {
+    n_ranks;
+    channels = Array.init (n_ranks * n_ranks) (fun _ -> Queue.create ());
+    stats = { messages = 0; bytes = 0; exchanges = 0; reductions = 0 };
+  }
+
+let n_ranks t = t.n_ranks
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.messages <- 0;
+  t.stats.bytes <- 0;
+  t.stats.exchanges <- 0;
+  t.stats.reductions <- 0
+
+let check_rank t r name =
+  if r < 0 || r >= t.n_ranks then invalid_arg ("Comm." ^ name ^ ": rank out of range")
+
+let send t ~src ~dst payload =
+  check_rank t src "send";
+  check_rank t dst "send";
+  Queue.push payload t.channels.((src * t.n_ranks) + dst);
+  t.stats.messages <- t.stats.messages + 1;
+  t.stats.bytes <- t.stats.bytes + (8 * Array.length payload)
+
+let recv t ~src ~dst =
+  check_rank t src "recv";
+  check_rank t dst "recv";
+  let q = t.channels.((src * t.n_ranks) + dst) in
+  if Queue.is_empty q then
+    failwith
+      (Printf.sprintf "Comm.recv: no message pending from rank %d to rank %d" src dst);
+  Queue.pop q
+
+let pending t ~src ~dst =
+  check_rank t src "pending";
+  check_rank t dst "pending";
+  Queue.length t.channels.((src * t.n_ranks) + dst)
+
+let all_drained t =
+  Array.for_all Queue.is_empty t.channels
+
+(* Global reduction over one value per rank. Counted once per call. *)
+let allreduce t ~combine values =
+  if Array.length values <> t.n_ranks then invalid_arg "Comm.allreduce: bad arity";
+  t.stats.reductions <- t.stats.reductions + 1;
+  let acc = ref values.(0) in
+  for r = 1 to t.n_ranks - 1 do
+    acc := combine !acc values.(r)
+  done;
+  !acc
+
+let allreduce_sum t values = allreduce t ~combine:( +. ) values
+let allreduce_min t values = allreduce t ~combine:Float.min values
+let allreduce_max t values = allreduce t ~combine:Float.max values

@@ -1,0 +1,43 @@
+(** In-process message-passing simulator (MPI stand-in).
+
+    Ranks are executed BSP-style within one process; messages are FIFO per
+    (src, dst) channel and all traffic is recorded for the performance
+    model. *)
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable exchanges : int;  (** collective halo-exchange rounds *)
+  mutable reductions : int;
+}
+
+type t
+
+val create : n_ranks:int -> t
+val n_ranks : t -> int
+
+(** Live view of the traffic counters. *)
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+(** Enqueue a message. The payload is transferred by reference; senders must
+    not mutate it afterwards. *)
+val send : t -> src:int -> dst:int -> float array -> unit
+
+(** Dequeue the oldest message on the (src, dst) channel; [Failure] if none
+    is pending (a deadlock in the simulated program). *)
+val recv : t -> src:int -> dst:int -> float array
+
+(** Messages currently queued on a channel. *)
+val pending : t -> src:int -> dst:int -> int
+
+(** True when no channel holds an undelivered message. *)
+val all_drained : t -> bool
+
+(** Reduce one value per rank with an associative [combine]. *)
+val allreduce : t -> combine:(float -> float -> float) -> float array -> float
+
+val allreduce_sum : t -> float array -> float
+val allreduce_min : t -> float array -> float
+val allreduce_max : t -> float array -> float

@@ -1,0 +1,127 @@
+(* Halo-exchange plans over a [Comm.t].
+
+   A plan records, for every ordered rank pair (r, p), which *local* element
+   slots of rank r are exported to p and which local slots of p receive them.
+   The same plan serves both communication directions the OP2/OPS runtimes
+   need:
+
+   - [exchange]: owners push fresh values out to the halo copies
+     (read-indirect arguments before a loop);
+   - [reduce]: halo copies push accumulated contributions back to the owners,
+     which add them in (increment-indirect arguments after a loop).
+
+   Export and import lists for a pair must have equal length and matching
+   order; [validate] checks this. *)
+
+type t = {
+  n_ranks : int;
+  exports : int array array array; (* exports.(r).(p): local slots of r sent to p *)
+  imports : int array array array; (* imports.(r).(p): local slots of r receiving from p *)
+}
+
+let create ~n_ranks ~exports ~imports =
+  let t = { n_ranks; exports; imports } in
+  if Array.length exports <> n_ranks || Array.length imports <> n_ranks then
+    invalid_arg "Halo.create: per-rank arrays must have length n_ranks";
+  Array.iter
+    (fun per_peer ->
+      if Array.length per_peer <> n_ranks then
+        invalid_arg "Halo.create: per-peer arrays must have length n_ranks")
+    exports;
+  Array.iter
+    (fun per_peer ->
+      if Array.length per_peer <> n_ranks then
+        invalid_arg "Halo.create: per-peer arrays must have length n_ranks")
+    imports;
+  for r = 0 to n_ranks - 1 do
+    for p = 0 to n_ranks - 1 do
+      if Array.length exports.(r).(p) <> Array.length imports.(p).(r) then
+        invalid_arg
+          (Printf.sprintf "Halo.create: export %d->%d does not match import" r p)
+    done
+  done;
+  t
+
+let n_ranks t = t.n_ranks
+
+(* Total element copies moved per exchange round. *)
+let volume t =
+  let v = ref 0 in
+  for r = 0 to t.n_ranks - 1 do
+    for p = 0 to t.n_ranks - 1 do
+      v := !v + Array.length t.exports.(r).(p)
+    done
+  done;
+  !v
+
+let pack data ~dim slots =
+  let out = Array.make (dim * Array.length slots) 0.0 in
+  Array.iteri
+    (fun k slot -> Array.blit data (slot * dim) out (k * dim) dim)
+    slots;
+  out
+
+(* Owner -> halo push of [dim] values per element. [data.(rank)] is that
+   rank's local array. *)
+let exchange comm t ~dim data =
+  if Comm.n_ranks comm <> t.n_ranks then invalid_arg "Halo.exchange: comm/plan mismatch";
+  (Comm.stats comm).exchanges <- (Comm.stats comm).exchanges + 1;
+  for r = 0 to t.n_ranks - 1 do
+    for p = 0 to t.n_ranks - 1 do
+      if r <> p && Array.length t.exports.(r).(p) > 0 then
+        Comm.send comm ~src:r ~dst:p (pack data.(r) ~dim t.exports.(r).(p))
+    done
+  done;
+  for p = 0 to t.n_ranks - 1 do
+    for r = 0 to t.n_ranks - 1 do
+      if r <> p && Array.length t.imports.(p).(r) > 0 then begin
+        let payload = Comm.recv comm ~src:r ~dst:p in
+        Array.iteri
+          (fun k slot -> Array.blit payload (k * dim) data.(p) (slot * dim) dim)
+          t.imports.(p).(r)
+      end
+    done
+  done
+
+(* Halo -> owner accumulation: each rank sends the contents of its *import*
+   slots back to the exporting owner, which adds them elementwise.  Callers
+   zero the halo slots before the contributing loop so only fresh
+   contributions flow back. *)
+let reduce comm t ~dim data =
+  if Comm.n_ranks comm <> t.n_ranks then invalid_arg "Halo.reduce: comm/plan mismatch";
+  (Comm.stats comm).exchanges <- (Comm.stats comm).exchanges + 1;
+  for p = 0 to t.n_ranks - 1 do
+    for r = 0 to t.n_ranks - 1 do
+      if r <> p && Array.length t.imports.(p).(r) > 0 then
+        Comm.send comm ~src:p ~dst:r (pack data.(p) ~dim t.imports.(p).(r))
+    done
+  done;
+  for r = 0 to t.n_ranks - 1 do
+    for p = 0 to t.n_ranks - 1 do
+      if r <> p && Array.length t.exports.(r).(p) > 0 then begin
+        let payload = Comm.recv comm ~src:p ~dst:r in
+        Array.iteri
+          (fun k slot ->
+            for d = 0 to dim - 1 do
+              data.(r).((slot * dim) + d) <-
+                data.(r).((slot * dim) + d) +. payload.((k * dim) + d)
+            done)
+          t.exports.(r).(p)
+      end
+    done
+  done
+
+(* Largest number of peers any rank talks to — feeds the network model's
+   message-count term. *)
+let max_peers t =
+  let worst = ref 0 in
+  for r = 0 to t.n_ranks - 1 do
+    let peers = ref 0 in
+    for p = 0 to t.n_ranks - 1 do
+      if r <> p
+         && (Array.length t.exports.(r).(p) > 0 || Array.length t.imports.(r).(p) > 0)
+      then incr peers
+    done;
+    if !peers > !worst then worst := !peers
+  done;
+  !worst

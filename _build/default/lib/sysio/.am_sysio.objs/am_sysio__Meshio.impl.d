@@ -1,0 +1,1 @@
+lib/sysio/meshio.ml: Am_mesh Array Float List Snapshot

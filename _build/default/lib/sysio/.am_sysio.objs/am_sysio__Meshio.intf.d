@@ -1,0 +1,1 @@
+lib/sysio/meshio.mli: Am_mesh

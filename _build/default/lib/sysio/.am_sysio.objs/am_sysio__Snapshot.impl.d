@@ -1,0 +1,1 @@
+lib/sysio/snapshot.ml: Am_util Array Buffer Char Float Fun Int64 List Printf String

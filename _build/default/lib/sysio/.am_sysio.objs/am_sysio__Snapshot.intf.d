@@ -1,0 +1,1 @@
+lib/sysio/snapshot.mli:

@@ -1,0 +1,51 @@
+(* Unstructured-mesh file I/O over the snapshot container.
+
+   Stores the integer connectivity as doubles (exact for meshes far beyond
+   any practical size: doubles hold integers up to 2^53). Mirrors OP2's
+   HDF5 mesh files: one named array per set size, map and coordinate
+   field. *)
+
+module Umesh = Am_mesh.Umesh
+
+let of_ints = Array.map Float.of_int
+let to_ints = Array.map Float.to_int
+
+let save path (m : Umesh.t) =
+  Snapshot.save path
+    [
+      ("sizes", of_ints [| m.Umesh.n_nodes; m.Umesh.n_cells; m.Umesh.n_edges; m.Umesh.n_bedges |]);
+      ("edge_nodes", of_ints m.Umesh.edge_nodes);
+      ("edge_cells", of_ints m.Umesh.edge_cells);
+      ("cell_nodes", of_ints m.Umesh.cell_nodes);
+      ("bedge_nodes", of_ints m.Umesh.bedge_nodes);
+      ("bedge_cell", of_ints m.Umesh.bedge_cell);
+      ("bedge_bound", of_ints m.Umesh.bedge_bound);
+      ("node_coords", m.Umesh.node_coords);
+    ]
+
+let load path =
+  let entries = Snapshot.load path in
+  let get name =
+    match List.assoc_opt name entries with
+    | Some v -> v
+    | None -> raise (Snapshot.Corrupt ("missing field " ^ name))
+  in
+  let sizes = to_ints (get "sizes") in
+  if Array.length sizes <> 4 then raise (Snapshot.Corrupt "bad sizes field");
+  let m =
+    {
+      Umesh.n_nodes = sizes.(0);
+      n_cells = sizes.(1);
+      n_edges = sizes.(2);
+      n_bedges = sizes.(3);
+      edge_nodes = to_ints (get "edge_nodes");
+      edge_cells = to_ints (get "edge_cells");
+      cell_nodes = to_ints (get "cell_nodes");
+      bedge_nodes = to_ints (get "bedge_nodes");
+      bedge_cell = to_ints (get "bedge_cell");
+      bedge_bound = to_ints (get "bedge_bound");
+      node_coords = get "node_coords";
+    }
+  in
+  Umesh.validate m;
+  m

@@ -1,0 +1,11 @@
+(** Unstructured-mesh file I/O on top of {!Snapshot} (the HDF5-style mesh
+    input path): every array of {!Am_mesh.Umesh.t} is stored as a named
+    snapshot entry; {!load} rebuilds the record and runs the mesh
+    validator, so a corrupt or inconsistent file fails loudly instead of
+    producing an invalid mesh. *)
+
+val save : string -> Am_mesh.Umesh.t -> unit
+
+(** Raises [Snapshot.Corrupt] on malformed files and [Failure] when the
+    arrays do not form a valid mesh. *)
+val load : string -> Am_mesh.Umesh.t

@@ -1,0 +1,1 @@
+lib/taskpool/pool.ml: Array Atomic Condition Domain Fun List Mutex

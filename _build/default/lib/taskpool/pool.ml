@@ -1,0 +1,210 @@
+(* A small fork-join pool over OCaml 5 domains.
+
+   This is the shared-memory substrate the paper's OpenMP backends map onto:
+   the pool executes colour-by-colour block schedules produced by the OP2/OPS
+   planners.  We keep [size - 1] persistent worker domains parked on a
+   condition variable; the caller participates in every job, so [size = 1]
+   degenerates to plain sequential execution with no synchronisation.
+
+   Protocol: each job bumps [epoch]; workers run the shared [job] thunk when
+   they observe a new epoch and decrement [active] when done.  The caller
+   waits until [active] reaches zero.  The thunks are data-races-free by
+   construction upstream (colouring), so the pool itself needs no knowledge
+   of the iteration space: jobs self-schedule via an atomic cursor. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable epoch : int;
+  mutable active : int;
+  mutable shutdown : bool;
+  mutable failure : exn option;
+  mutable domains : unit Domain.t list;
+}
+
+let worker_loop t () =
+  let last_epoch = ref 0 in
+  Mutex.lock t.mutex;
+  let rec loop () =
+    while (not t.shutdown) && t.epoch = !last_epoch do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.shutdown then Mutex.unlock t.mutex
+    else begin
+      last_epoch := t.epoch;
+      let job = t.job in
+      Mutex.unlock t.mutex;
+      let failed =
+        match job with
+        | None -> None
+        | Some body -> ( try body (); None with e -> Some e)
+      in
+      Mutex.lock t.mutex;
+      (match failed with
+      | Some e when t.failure = None -> t.failure <- Some e
+      | Some _ | None -> ());
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.work_done;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?size () =
+  let default = Domain.recommended_domain_count () in
+  let size = match size with Some s -> max 1 s | None -> default in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      epoch = 0;
+      active = 0;
+      shutdown = false;
+      failure = None;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.shutdown then begin
+    t.shutdown <- true;
+    Condition.broadcast t.work_ready
+  end;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* Run [body] on every member of the pool (including the caller) and wait for
+   all of them.  [body] must be safe to run concurrently with itself. *)
+let run_on_all t body =
+  if t.size = 1 then body ()
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- Some body;
+    t.failure <- None;
+    t.active <- t.size - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    let caller_exn = try body (); None with e -> Some e in
+    Mutex.lock t.mutex;
+    while t.active > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    let worker_exn = t.failure in
+    Mutex.unlock t.mutex;
+    match (caller_exn, worker_exn) with
+    | Some e, _ -> raise e
+    | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let default_chunk t n = max 1 (n / (t.size * 8))
+
+let parallel_for ?chunk t ~lo ~hi f =
+  let n = hi - lo in
+  if n > 0 then begin
+    let chunk = match chunk with Some c -> max 1 c | None -> default_chunk t n in
+    if t.size = 1 || n <= chunk then f lo hi
+    else begin
+      let cursor = Atomic.make lo in
+      let body () =
+        let rec grab () =
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start < hi then begin
+            f start (min hi (start + chunk));
+            grab ()
+          end
+        in
+        grab ()
+      in
+      run_on_all t body
+    end
+  end
+
+let parallel_fold ?chunk t ~lo ~hi ~init ~chunk_fold ~combine =
+  let n = hi - lo in
+  if n <= 0 then init
+  else begin
+    let chunk = match chunk with Some c -> max 1 c | None -> default_chunk t n in
+    if t.size = 1 || n <= chunk then combine init (chunk_fold lo hi)
+    else begin
+      let cursor = Atomic.make lo in
+      let acc = ref init in
+      let acc_mutex = Mutex.create () in
+      let body () =
+        let local = ref None in
+        let rec grab () =
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start < hi then begin
+            let part = chunk_fold start (min hi (start + chunk)) in
+            (local :=
+               match !local with
+               | None -> Some part
+               | Some prev -> Some (combine prev part));
+            grab ()
+          end
+        in
+        grab ();
+        match !local with
+        | None -> ()
+        | Some part ->
+          Mutex.lock acc_mutex;
+          acc := combine !acc part;
+          Mutex.unlock acc_mutex
+      in
+      run_on_all t body;
+      !acc
+    end
+  end
+
+(* Execute the blocks listed in [blocks] (indices into some block table) with
+   dynamic self-scheduling: the unit of work is one block, matching OP2's
+   "blocks of one colour run concurrently" execution model. *)
+let parallel_iter_indices t blocks f =
+  let n = Array.length blocks in
+  if n > 0 then begin
+    if t.size = 1 then Array.iter f blocks
+    else begin
+      let cursor = Atomic.make 0 in
+      let body () =
+        let rec grab () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            f blocks.(i);
+            grab ()
+          end
+        in
+        grab ()
+      in
+      run_on_all t body
+    end
+  end
+
+(* A lazily created process-wide pool, shared by backends that are not handed
+   an explicit one. *)
+let shared_pool = ref None
+
+let shared () =
+  match !shared_pool with
+  | Some p -> p
+  | None ->
+    let p = create () in
+    shared_pool := Some p;
+    p
+
+let with_pool ?size f =
+  let p = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)

@@ -1,0 +1,1 @@
+lib/util/fa.ml: Array Float

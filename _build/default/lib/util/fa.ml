@@ -1,0 +1,93 @@
+(* Small float-array kernels shared by the mesh libraries and the proxy
+   applications.  These are deliberately plain [float array] (unboxed by the
+   OCaml runtime) rather than Bigarray: the active-library runtimes slice and
+   alias them heavily and the uniform representation keeps the backends
+   simple. *)
+
+let create n x = Array.make n x
+
+let zeros n = Array.make n 0.0
+
+let copy_into ~src ~dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Fa.copy_into: length mismatch";
+  Array.blit src 0 dst 0 (Array.length src)
+
+let fill a x = Array.fill a 0 (Array.length a) x
+
+let axpy ~alpha x y =
+  if Array.length x <> Array.length y then invalid_arg "Fa.axpy: length mismatch";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let scale a alpha =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- a.(i) *. alpha
+  done
+
+let dot x y =
+  if Array.length x <> Array.length y then invalid_arg "Fa.dot: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let l2_norm x = sqrt (dot x x)
+
+let sum x =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. x.(i)
+  done;
+  !acc
+
+let max_abs x =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let v = Float.abs x.(i) in
+    if v > !acc then acc := v
+  done;
+  !acc
+
+let max_abs_diff x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Fa.max_abs_diff: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let v = Float.abs (x.(i) -. y.(i)) in
+    if v > !acc then acc := v
+  done;
+  !acc
+
+(* Relative discrepancy suited to comparing two solver states: the max over
+   components of |x-y| / (1 + |x| + |y|), which behaves like an absolute
+   tolerance near zero and a relative one for large values. *)
+let rel_discrepancy x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Fa.rel_discrepancy: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let v = Float.abs (x.(i) -. y.(i)) /. (1.0 +. Float.abs x.(i) +. Float.abs y.(i)) in
+    if v > !acc then acc := v
+  done;
+  !acc
+
+let approx_equal ?(tol = 1e-10) x y = rel_discrepancy x y <= tol
+
+(* Order-independent fingerprint of an array, used by tests to detect any
+   silent numerical change across backends without storing golden files. *)
+let checksum x =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. Float.of_int ((i mod 97) + 1))
+  done;
+  !acc
+
+let is_finite x =
+  let ok = ref true in
+  for i = 0 to Array.length x - 1 do
+    if not (Float.is_finite x.(i)) then ok := false
+  done;
+  !ok

@@ -1,0 +1,47 @@
+(** Float-array kernels shared by the runtimes and proxy applications. *)
+
+(** [create n x] is an array of [n] copies of [x]. *)
+val create : int -> float -> float array
+
+(** [zeros n] is an [n]-element zero array. *)
+val zeros : int -> float array
+
+(** [copy_into ~src ~dst] blits [src] over [dst]; lengths must match. *)
+val copy_into : src:float array -> dst:float array -> unit
+
+(** In-place constant fill. *)
+val fill : float array -> float -> unit
+
+(** [axpy ~alpha x y] performs [y := y + alpha*x] in place. *)
+val axpy : alpha:float -> float array -> float array -> unit
+
+(** In-place scalar multiply. *)
+val scale : float array -> float -> unit
+
+(** Dot product; lengths must match. *)
+val dot : float array -> float array -> float
+
+(** Euclidean norm. *)
+val l2_norm : float array -> float
+
+(** Sum of elements. *)
+val sum : float array -> float
+
+(** Largest absolute element (0 for the empty array). *)
+val max_abs : float array -> float
+
+(** Largest absolute componentwise difference. *)
+val max_abs_diff : float array -> float array -> float
+
+(** Max over components of [|x-y| / (1 + |x| + |y|)]: absolute near zero,
+    relative for large magnitudes. *)
+val rel_discrepancy : float array -> float array -> float
+
+(** [approx_equal ?tol x y] is [rel_discrepancy x y <= tol] (default 1e-10). *)
+val approx_equal : ?tol:float -> float array -> float array -> bool
+
+(** Position-weighted fingerprint used to detect silent numerical drift. *)
+val checksum : float array -> float
+
+(** Whether every component is finite (no NaN/inf). *)
+val is_finite : float array -> bool

@@ -1,0 +1,39 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic element of the repository (mesh generation, synthetic
+    workloads, property tests) draws from this generator so that runs are
+    reproducible across platforms. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds give equal streams. *)
+val create : int -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns an independent generator, for handing
+    a private stream to each parallel worker. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val next_int64 : t -> int64
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** [float_range t lo hi] draws uniformly from [lo, hi). *)
+val float_range : t -> float -> float -> float
+
+(** [int t bound] draws uniformly from [0, bound). Raises [Invalid_argument]
+    if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Fair coin. *)
+val bool : t -> bool
+
+(** Standard normal deviate (Box-Muller). *)
+val gaussian : t -> float
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

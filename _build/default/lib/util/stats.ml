@@ -1,0 +1,80 @@
+(* Descriptive statistics for benchmark reporting. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Fa.sum xs /. Float.of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) ** 2.0)) xs;
+    sqrt (!acc /. Float.of_int (n - 1))
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let rank = p /. 100.0 *. Float.of_int (n - 1) in
+  let lo = Float.to_int (Float.floor rank) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = rank -. Float.of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.0
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then { n = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0; median = 0.0 }
+  else
+    {
+      n;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = Array.fold_left Float.min xs.(0) xs;
+      max = Array.fold_left Float.max xs.(0) xs;
+      median = median xs;
+    }
+
+(* Least-squares fit y = a + b*x; returns (a, b). Used by scaling analyses to
+   extract parallel efficiency slopes. *)
+let linear_fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.linear_fit: length mismatch";
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 in
+  for i = 0 to n - 1 do
+    sxx := !sxx +. ((xs.(i) -. mx) ** 2.0);
+    sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+  done;
+  if !sxx = 0.0 then invalid_arg "Stats.linear_fit: degenerate x";
+  let b = !sxy /. !sxx in
+  (my -. (b *. mx), b)
+
+(* Geometric mean of strictly positive values, the conventional aggregate for
+   speedup ratios across benchmarks. *)
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.geomean: empty";
+  let acc = ref 0.0 in
+  Array.iter
+    (fun x ->
+      if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+      acc := !acc +. log x)
+    xs;
+  exp (!acc /. Float.of_int n)

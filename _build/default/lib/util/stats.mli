@@ -1,0 +1,28 @@
+(** Descriptive statistics for benchmark reporting. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float array -> float
+
+(** Sample standard deviation (0 for fewer than two samples). *)
+val stddev : float array -> float
+
+(** [percentile xs p] with linear interpolation; [p] in [0,100]. *)
+val percentile : float array -> float -> float
+
+val median : float array -> float
+
+val summarize : float array -> summary
+
+(** [linear_fit xs ys] least-squares fit [y = a + b*x], returned as [(a, b)]. *)
+val linear_fit : float array -> float array -> float * float
+
+(** Geometric mean of strictly positive values. *)
+val geomean : float array -> float

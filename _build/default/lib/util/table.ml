@@ -1,0 +1,84 @@
+(* Aligned plain-text tables and CSV output for the benchmark harness.  The
+   bench executable prints one table per paper figure/table; keeping the
+   renderer here lets tests check formatting without running benchmarks. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~header ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length header then
+        invalid_arg "Table.create: aligns/header length mismatch";
+      a
+    | None -> List.map (fun _ -> Right) header
+  in
+  { title; header; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- cells :: t.rows
+
+let rows t = List.rev t.rows
+
+let widths t =
+  let all = t.header :: rows t in
+  List.mapi
+    (fun i _ ->
+      List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+    t.header
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render t =
+  let ws = widths t in
+  let buf = Buffer.create 256 in
+  let line cells =
+    let padded =
+      List.mapi
+        (fun i c -> pad (List.nth t.aligns i) (List.nth ws i) c)
+        cells
+    in
+    Buffer.add_string buf ("| " ^ String.concat " | " padded ^ " |\n")
+  in
+  let rule () =
+    let dashes = List.map (fun w -> String.make (w + 2) '-') ws in
+    Buffer.add_string buf ("+" ^ String.concat "+" dashes ^ "+\n")
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  rule ();
+  line t.header;
+  rule ();
+  List.iter line (rows t);
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape cells) ^ "\n")
+  in
+  line t.header;
+  List.iter line (rows t);
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Aligned plain-text tables and CSV output for the benchmark harness. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title ~header ?aligns ()] starts an empty table. [aligns]
+    defaults to right-aligned everywhere and must match [header] in length. *)
+val create : title:string -> header:string list -> ?aligns:align list -> unit -> t
+
+(** Append a row; cell count must match the header. *)
+val add_row : t -> string list -> unit
+
+(** Rows in insertion order. *)
+val rows : t -> string list list
+
+(** Render with box-drawing rules and aligned columns. *)
+val render : t -> string
+
+(** [print t] writes [render t] to stdout. *)
+val print : t -> unit
+
+(** RFC-4180-style CSV rendering (header + rows). *)
+val to_csv : t -> string

@@ -1,0 +1,25 @@
+(* Human-readable quantity formatting used in reports. *)
+
+let seconds s =
+  if s >= 100.0 then Printf.sprintf "%.0f s" s
+  else if s >= 1.0 then Printf.sprintf "%.2f s" s
+  else if s >= 1e-3 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else if s >= 1e-6 then Printf.sprintf "%.2f us" (s *. 1e6)
+  else Printf.sprintf "%.1f ns" (s *. 1e9)
+
+let bytes b =
+  let b = Float.of_int b in
+  if b >= 1e12 then Printf.sprintf "%.2f TB" (b /. 1e12)
+  else if b >= 1e9 then Printf.sprintf "%.2f GB" (b /. 1e9)
+  else if b >= 1e6 then Printf.sprintf "%.2f MB" (b /. 1e6)
+  else if b >= 1e3 then Printf.sprintf "%.2f kB" (b /. 1e3)
+  else Printf.sprintf "%.0f B" b
+
+let bandwidth_gbs bytes_moved secs =
+  if secs <= 0.0 then 0.0 else Float.of_int bytes_moved /. secs /. 1e9
+
+let gflops flops secs = if secs <= 0.0 then 0.0 else flops /. secs /. 1e9
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let f0 x = Printf.sprintf "%.0f" x

@@ -1,0 +1,19 @@
+(** Human-readable quantity formatting. *)
+
+(** Pretty seconds with an automatic s/ms/us/ns unit. *)
+val seconds : float -> string
+
+(** Pretty byte count with an automatic B/kB/MB/GB/TB unit. *)
+val bytes : int -> string
+
+(** [bandwidth_gbs bytes secs] achieved bandwidth in GB/s (0 if [secs<=0]). *)
+val bandwidth_gbs : int -> float -> float
+
+(** [gflops flops secs] achieved GFLOP/s (0 if [secs<=0]). *)
+val gflops : float -> float -> float
+
+(** Fixed-point shorthands used when filling tables. *)
+val f2 : float -> string
+
+val f1 : float -> string
+val f0 : float -> string

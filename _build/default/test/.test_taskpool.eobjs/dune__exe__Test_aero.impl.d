@@ -1,0 +1,1 @@
+test/test_aero.ml: Alcotest Am_aero Am_mesh Am_op2 Am_taskpool Am_util Array Float Lazy Printf QCheck QCheck_alcotest

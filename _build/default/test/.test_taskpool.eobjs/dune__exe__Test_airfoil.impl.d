@@ -1,0 +1,1 @@
+test/test_airfoil.ml: Alcotest Am_airfoil Am_checkpoint Am_core Am_mesh Am_op2 Am_simmpi Am_taskpool Am_util Array Filename Float Lazy List Option Sys

@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Am_checkpoint Am_core Am_sysio Am_util Array Filename Float List Printf Str_contains Sys

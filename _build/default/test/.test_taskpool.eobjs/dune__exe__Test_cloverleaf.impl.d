@@ -1,0 +1,1 @@
+test/test_cloverleaf.ml: Alcotest Am_cloverleaf Am_ops Am_simmpi Am_taskpool Am_util Array Filename Float Lazy Option Sys

@@ -1,0 +1,1 @@
+test/test_cloverleaf3.ml: Alcotest Am_cloverleaf3 Am_ops Am_simmpi Am_taskpool Am_util Array Float Lazy

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Am_codegen Am_core Am_experiments Filename In_channel Lazy List Printf Str_contains Sys Unix

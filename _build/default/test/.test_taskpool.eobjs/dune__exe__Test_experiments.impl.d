@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Am_core Am_experiments Am_perfmodel Fun Lazy List Printf Sys Unix

@@ -1,0 +1,1 @@
+test/test_hydra.ml: Alcotest Am_airfoil Am_core Am_hydra Am_mesh Am_op2 Am_simmpi Am_taskpool Am_util Float Lazy List

@@ -1,0 +1,1 @@
+test/test_mesh.ml: Alcotest Am_mesh Am_util Array QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_op2.ml: Alcotest Am_core Am_mesh Am_op2 Am_simmpi Am_taskpool Am_util Array Filename Float Lazy List Printf QCheck QCheck_alcotest Str_contains Sys

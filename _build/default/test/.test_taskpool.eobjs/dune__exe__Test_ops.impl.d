@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest Am_core Am_ops Am_simmpi Am_taskpool Am_util Array Float Lazy List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ops3.ml: Alcotest Am_core Am_ops Am_simmpi Am_taskpool Am_util Array Filename Float Fun Lazy Printf QCheck QCheck_alcotest Sys

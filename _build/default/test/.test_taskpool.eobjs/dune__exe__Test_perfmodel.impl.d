@@ -1,0 +1,1 @@
+test/test_perfmodel.ml: Alcotest Am_core Am_perfmodel Hashtbl List

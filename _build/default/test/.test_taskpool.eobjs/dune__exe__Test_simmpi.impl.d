@@ -1,0 +1,1 @@
+test/test_simmpi.ml: Alcotest Am_simmpi Array Float

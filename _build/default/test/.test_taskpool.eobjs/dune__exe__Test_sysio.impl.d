@@ -1,0 +1,1 @@
+test/test_sysio.ml: Alcotest Am_mesh Am_sysio Array Filename Float List String Sys

@@ -1,0 +1,1 @@
+test/test_taskpool.ml: Alcotest Am_taskpool Array Atomic Printf

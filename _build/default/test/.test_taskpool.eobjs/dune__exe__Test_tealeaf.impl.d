@@ -1,0 +1,1 @@
+test/test_tealeaf.ml: Alcotest Am_core Am_ops Am_taskpool Am_tealeaf Am_util Array Float Lazy List

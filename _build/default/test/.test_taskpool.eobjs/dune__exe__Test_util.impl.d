@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Am_util Array Float Fun Gen List QCheck QCheck_alcotest String

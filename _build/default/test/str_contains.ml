@@ -1,0 +1,12 @@
+(* Substring helper shared by test suites. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to n - m do
+      if (not !found) && String.sub s i m = sub then found := true
+    done;
+    !found
+  end

@@ -1,0 +1,218 @@
+(* Tests for the Aero proxy application: FEM correctness against the
+   analytic solution (including the O(h^2) convergence order), hand-coded
+   equivalence, and backend equivalence of the assembly + CG pipeline. *)
+
+module App = Am_aero.App
+module Hand = Am_aero.Hand
+module Kernels = Am_aero.Kernels
+module Op2 = Am_op2.Op2
+module Umesh = Am_mesh.Umesh
+module Fa = Am_util.Fa
+module Pool = Am_taskpool.Pool
+
+let mesh = lazy (App.generate_mesh ~n:12)
+
+let reference = lazy (
+  let t = App.create (Lazy.force mesh) in
+  let _, rms = App.run t ~iters:2 in
+  (App.solution t, rms))
+
+let check_matches ?(tol = 1e-8) name (sol, rms) =
+  let ref_sol, ref_rms = Lazy.force reference in
+  if not (Fa.approx_equal ~tol ref_sol sol) then
+    Alcotest.failf "%s: solution diverges (%g)" name (Fa.rel_discrepancy ref_sol sol);
+  if Float.abs (rms -. ref_rms) > tol then
+    Alcotest.failf "%s: update rms diverges (%g vs %g)" name rms ref_rms
+
+(* ---- FEM correctness ---- *)
+
+let test_cg_converges () =
+  let t = App.create (Lazy.force mesh) in
+  let iters, _ = App.iteration t in
+  Alcotest.(check bool) "within budget" true (iters > 0 && iters < t.App.cg_max_iters)
+
+let test_linear_problem_solved_first_newton () =
+  (* The model problem is linear: the second Newton update must be ~0. *)
+  let t = App.create (Lazy.force mesh) in
+  ignore (App.iteration t);
+  let _, rms2 = App.iteration t in
+  Alcotest.(check bool) "second update negligible" true (rms2 < 1e-10)
+
+let test_matches_analytic_solution () =
+  let t = App.create (Lazy.force mesh) in
+  ignore (App.iteration t);
+  Alcotest.(check bool) "close to sin(pi x) sin(pi y)" true (App.l2_error t < 0.01)
+
+let test_h2_convergence_order () =
+  (* Bilinear elements: L2 error drops ~4x per mesh refinement. *)
+  let err n =
+    let t = App.create (App.generate_mesh ~n) in
+    ignore (App.iteration t);
+    App.l2_error t
+  in
+  let e8 = err 8 and e16 = err 16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "order >= ~2 (e8 %g, e16 %g)" e8 e16)
+    true
+    (e16 < e8 /. 3.0)
+
+let test_dirichlet_boundary_exact () =
+  let t = App.create (Lazy.force mesh) in
+  ignore (App.iteration t);
+  let phi = App.solution t in
+  let m = Lazy.force mesh in
+  Array.iter
+    (fun n -> if phi.(n) <> 0.0 then Alcotest.failf "boundary node %d: phi <> 0" n)
+    m.Umesh.bedge_nodes
+
+let test_element_matrices_symmetric_psd () =
+  (* Every assembled element stiffness is symmetric with non-negative
+     diagonal and zero row sums (constant fields are in the kernel's null
+     space). *)
+  let t = App.create (Lazy.force mesh) in
+  ignore (App.iteration t);
+  let k = Op2.fetch t.App.ctx t.App.k in
+  let n_cells = (Lazy.force mesh).Umesh.n_cells in
+  for c = 0 to n_cells - 1 do
+    for i = 0 to 3 do
+      let d = k.((16 * c) + (4 * i) + i) in
+      if d <= 0.0 then Alcotest.failf "cell %d: non-positive diagonal" c;
+      let row = ref 0.0 in
+      for j = 0 to 3 do
+        row := !row +. k.((16 * c) + (4 * i) + j);
+        let diff =
+          Float.abs (k.((16 * c) + (4 * i) + j) -. k.((16 * c) + (4 * j) + i))
+        in
+        if diff > 1e-12 then Alcotest.failf "cell %d: K not symmetric" c
+      done;
+      if Float.abs !row > 1e-12 then Alcotest.failf "cell %d: row sum %g" c !row
+    done
+  done
+
+(* ---- Hand-coded equivalence ---- *)
+
+let test_hand_matches_op2 () =
+  let h = Hand.create (Lazy.force mesh) in
+  let _, rms = Hand.run h ~iters:2 in
+  check_matches ~tol:1e-12 "hand-coded" (Hand.solution h, rms)
+
+(* ---- Backend equivalence ---- *)
+
+let run_with_backend setup =
+  let t = App.create (Lazy.force mesh) in
+  setup t;
+  let _, rms = App.run t ~iters:2 in
+  (App.solution t, rms)
+
+let test_shared_backend () =
+  Pool.with_pool ~size:4 (fun pool ->
+      check_matches "shared"
+        (run_with_backend (fun t ->
+             Op2.set_backend t.App.ctx (Op2.Shared { pool; block_size = 32 }))))
+
+let test_vec_backend () =
+  check_matches "vec(8)"
+    (run_with_backend (fun t ->
+         Op2.set_backend t.App.ctx (Op2.Vec { Am_op2.Exec_vec.width = 8 })))
+
+let test_cuda_staged_backend () =
+  check_matches "cuda staged"
+    (run_with_backend (fun t ->
+         Op2.set_backend t.App.ctx
+           (Op2.Cuda_sim
+              { Am_op2.Exec_cuda.block_size = 32; strategy = Am_op2.Exec_cuda.Staged })))
+
+let test_mpi_rcb_backend () =
+  check_matches "mpi rcb(4)"
+    (run_with_backend (fun t ->
+         Op2.partition t.App.ctx ~n_ranks:4 ~strategy:(Op2.Rcb_on t.App.x)))
+
+let test_mpi_kway_backend () =
+  check_matches "mpi kway(3)"
+    (run_with_backend (fun t ->
+         Op2.partition t.App.ctx ~n_ranks:3
+           ~strategy:(Op2.Kway_through t.App.cell_nodes)))
+
+let test_hybrid_backend () =
+  Pool.with_pool ~size:2 (fun pool ->
+      check_matches "mpi+shared(4)"
+        (run_with_backend (fun t ->
+             Op2.partition t.App.ctx ~n_ranks:4 ~strategy:(Op2.Rcb_on t.App.x);
+             Op2.set_rank_execution t.App.ctx
+               (Op2.Rank_shared { pool; block_size = 32 }))))
+
+let test_renumbered () =
+  let scrambled = Umesh.scramble ~seed:11 (Lazy.force mesh) in
+  let t = App.create scrambled in
+  ignore (Op2.renumber t.App.ctx ~through:t.App.cell_nodes);
+  ignore (App.run t ~iters:2);
+  (* Node order differs from the reference mesh, so compare physics, not
+     arrays: the analytic error must be the same small number. *)
+  Alcotest.(check bool) "accuracy preserved" true (App.l2_error t < 0.01)
+
+(* Property: on arbitrary smoothly-distorted quad meshes, every assembled
+   element stiffness stays symmetric with zero row sums (constants in the
+   null space) and positive diagonal — the isoparametric assembly is
+   correct for any proper quad, not just the default grading. *)
+let prop_element_matrices_on_random_meshes =
+  QCheck.Test.make ~name:"element matrices sym/psd on random meshes" ~count:25
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 4 14) (float_range (-0.08) 0.08)
+                     (float_range (-0.05) 0.05)))
+    (fun (n, a, b) ->
+      (* Monotone coordinate map: |g'| >= 1 - 2pi(|a| + 2|b|) > 0. *)
+      let g t = t +. (a *. sin (2.0 *. Kernels.pi *. t))
+                +. (b *. sin (4.0 *. Kernels.pi *. t)) in
+      let mesh =
+        Umesh.generate_mapped ~nx:n ~ny:n
+          ~coord:(fun i j ->
+            (g (Float.of_int i /. Float.of_int n), g (Float.of_int j /. Float.of_int n)))
+          ~bound:(fun _ -> Umesh.boundary_wall)
+      in
+      let t = App.create mesh in
+      ignore (App.iteration t);
+      let k = Op2.fetch t.App.ctx t.App.k in
+      let ok = ref true in
+      for c = 0 to mesh.Umesh.n_cells - 1 do
+        for i = 0 to 3 do
+          if k.((16 * c) + (4 * i) + i) <= 0.0 then ok := false;
+          let row = ref 0.0 in
+          for j = 0 to 3 do
+            row := !row +. k.((16 * c) + (4 * i) + j);
+            if Float.abs (k.((16 * c) + (4 * i) + j) -. k.((16 * c) + (4 * j) + i))
+               > 1e-12
+            then ok := false
+          done;
+          if Float.abs !row > 1e-12 then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "aero"
+    [
+      ( "fem",
+        [
+          Alcotest.test_case "cg converges" `Quick test_cg_converges;
+          Alcotest.test_case "linear: one newton" `Quick
+            test_linear_problem_solved_first_newton;
+          Alcotest.test_case "matches analytic" `Quick test_matches_analytic_solution;
+          Alcotest.test_case "O(h^2) convergence" `Quick test_h2_convergence_order;
+          Alcotest.test_case "dirichlet exact" `Quick test_dirichlet_boundary_exact;
+          Alcotest.test_case "element K sym/psd" `Quick
+            test_element_matrices_symmetric_psd;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "hand = op2" `Quick test_hand_matches_op2;
+          Alcotest.test_case "shared" `Quick test_shared_backend;
+          Alcotest.test_case "vec" `Quick test_vec_backend;
+          Alcotest.test_case "cuda staged" `Quick test_cuda_staged_backend;
+          Alcotest.test_case "mpi rcb" `Quick test_mpi_rcb_backend;
+          Alcotest.test_case "mpi kway" `Quick test_mpi_kway_backend;
+          Alcotest.test_case "hybrid" `Quick test_hybrid_backend;
+          Alcotest.test_case "renumbered" `Quick test_renumbered;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_element_matrices_on_random_meshes ] );
+    ]

@@ -1,0 +1,277 @@
+(* Tests for the checkpoint planner (Fig 8 logic) and the fast-forward
+   recovery runtime. *)
+
+module Planner = Am_checkpoint.Planner
+module Runtime = Am_checkpoint.Runtime
+module Descr = Am_core.Descr
+module Access = Am_core.Access
+
+(* The Airfoil loop chain of Fig 8, as descriptors.  Dataset dims follow the
+   figure: bounds(1), x(2), q(4), q_old(4), adt(1), res(4); rms is a global. *)
+let arg ?(kind = Descr.Direct) name dim access =
+  { Descr.dat_name = name; dat_id = 0; dim; access; kind }
+
+let indirect name dim access =
+  arg ~kind:(Descr.Indirect { map_name = "map"; map_index = 0; ratio = 1.0 }) name dim access
+
+let gbl name access =
+  { Descr.dat_name = name; dat_id = -1; dim = 1; access; kind = Descr.Global }
+
+let mk name args =
+  { Descr.loop_name = name; set_name = "cells"; set_size = 1000; args;
+    info = Descr.default_kernel_info }
+
+let save_soln = mk "save_soln" [ arg "q" 4 Access.Read; arg "q_old" 4 Access.Write ]
+
+let adt_calc =
+  mk "adt_calc"
+    [ indirect "x" 2 Access.Read; arg "q" 4 Access.Read; arg "adt" 1 Access.Write ]
+
+let res_calc =
+  mk "res_calc"
+    [
+      indirect "x" 2 Access.Read;
+      indirect "q" 4 Access.Read;
+      indirect "adt" 1 Access.Read;
+      indirect "res" 4 Access.Inc;
+    ]
+
+let bres_calc =
+  mk "bres_calc"
+    [
+      indirect "x" 2 Access.Read;
+      indirect "q" 4 Access.Read;
+      indirect "adt" 1 Access.Read;
+      indirect "res" 4 Access.Inc;
+      arg "bounds" 1 Access.Read;
+    ]
+
+let update =
+  mk "update"
+    [
+      arg "q_old" 4 Access.Read;
+      arg "q" 4 Access.Write;
+      arg "res" 4 Access.Rw;
+      gbl "rms" Access.Inc;
+    ]
+
+(* One Airfoil iteration: save_soln every second inner cycle, as in Fig 8. *)
+let airfoil_cycle = [ adt_calc; res_calc; bres_calc; update ]
+
+let fig8_sequence =
+  (save_soln :: airfoil_cycle) @ airfoil_cycle @ (save_soln :: airfoil_cycle)
+  @ airfoil_cycle
+
+(* ---- Planner: Fig 8's units column ---- *)
+
+let units_at i = (Planner.plan_at fig8_sequence ~trigger:i).Planner.units
+
+let test_fig8_units () =
+  (* Loops 1..9 of the figure: save_soln adt res bres update adt res bres
+     update, with units 8 12 13 13 8 12 13 13 8. *)
+  let expected = [ 8; 12; 13; 13; 8; 12; 13; 13; 8 ] in
+  List.iteri
+    (fun i e -> Alcotest.(check int) (Printf.sprintf "units at loop %d" (i + 1)) e (units_at i))
+    expected
+
+let test_fig8_decisions_at_adt_calc () =
+  (* Paper: triggering before adt_calc saves q now, drops adt, defers res to
+     res_calc and q_old to update; x and bounds are never saved. *)
+  let plan = Planner.plan_at fig8_sequence ~trigger:1 in
+  let find name =
+    List.find (fun ((d : Planner.dataset), _) -> d.Planner.ds_name = name)
+      plan.Planner.decisions
+    |> snd
+  in
+  Alcotest.(check string) "q saved now" "save" (Planner.decision_to_string (find "q"));
+  Alcotest.(check string) "adt dropped" "drop" (Planner.decision_to_string (find "adt"));
+  (match find "res" with
+  | Planner.Save_at i ->
+    Alcotest.(check string) "res deferred to res_calc" "res_calc"
+      (List.nth fig8_sequence i).Descr.loop_name
+  | d -> Alcotest.failf "res: expected deferral, got %s" (Planner.decision_to_string d));
+  (match find "q_old" with
+  | Planner.Save_at i ->
+    Alcotest.(check string) "q_old deferred to update" "update"
+      (List.nth fig8_sequence i).Descr.loop_name
+  | d -> Alcotest.failf "q_old: expected deferral, got %s" (Planner.decision_to_string d));
+  Alcotest.(check string) "x never saved" "not saved"
+    (Planner.decision_to_string (find "x"));
+  Alcotest.(check string) "bounds never saved" "not saved"
+    (Planner.decision_to_string (find "bounds"))
+
+let test_fig8_globals () =
+  let plan = Planner.plan_at fig8_sequence ~trigger:0 in
+  match List.assoc_opt "rms" plan.Planner.globals with
+  | None -> Alcotest.fail "rms should be tracked"
+  | Some writes ->
+    Alcotest.(check bool) "rms saved at every update" true
+      (List.for_all
+         (fun i -> (List.nth fig8_sequence i).Descr.loop_name = "update")
+         writes)
+
+let test_period_detection () =
+  (* The 9-loop cycle of the paper repeats. *)
+  Alcotest.(check (option int)) "period of fig8 chain" (Some 9)
+    (Planner.detect_period fig8_sequence);
+  Alcotest.(check (option int)) "aperiodic" None
+    (Planner.detect_period [ save_soln; adt_calc; res_calc ]);
+  Alcotest.(check (option int)) "single loop repeated" (Some 1)
+    (Planner.detect_period [ update; update; update ])
+
+let test_speculative_waits_for_cheap_point () =
+  (* Requested before res_calc (units 13): speculative planning waits for
+     the next update/save_soln-class point (units 8). *)
+  let t = Planner.speculative_trigger fig8_sequence ~requested:2 in
+  Alcotest.(check bool) "cheaper trigger chosen" true
+    ((Planner.plan_at fig8_sequence ~trigger:t).Planner.units = 8);
+  Alcotest.(check bool) "within one period" true (t >= 2 && t < 2 + 9)
+
+let test_best_trigger () =
+  let t = Planner.best_trigger fig8_sequence in
+  Alcotest.(check int) "global best is a 8-unit point" 8 (units_at t)
+
+let test_render_figure () =
+  let s = Planner.render_figure fig8_sequence in
+  Alcotest.(check bool) "mentions res_calc" true
+    (Str_contains.contains s "res_calc");
+  Alcotest.(check bool) "has units column" true
+    (Str_contains.contains s "units if triggered here")
+
+(* ---- Runtime: checkpoint and fast-forward recovery ---- *)
+
+(* A tiny two-dataset program: u' = u + shift; every cycle is [modify;
+   accumulate]. State lives in plain arrays so snapshots are trivial. *)
+type app = { u : float array; acc : float array }
+
+let make_app () = { u = Array.init 8 Float.of_int; acc = Array.make 8 0.0 }
+
+let app_fns app =
+  {
+    Runtime.fetch =
+      (function
+        | "u" -> Array.copy app.u
+        | "acc" -> Array.copy app.acc
+        | name -> Alcotest.failf "unknown dataset %s" name);
+    restore =
+      (fun name data ->
+        match name with
+        | "u" -> Array.blit data 0 app.u 0 (Array.length data)
+        | "acc" -> Array.blit data 0 app.acc 0 (Array.length data)
+        | name -> Alcotest.failf "unknown dataset %s" name);
+  }
+
+let modify_loop = mk "modify" [ arg "u" 1 Access.Rw ]
+let accum_loop = mk "accum" [ arg "u" 1 Access.Read; arg "acc" 1 Access.Rw ]
+
+let run_app ?(request_at = -1) session app cycles =
+  for cycle = 0 to cycles - 1 do
+    if cycle = request_at then Runtime.request_checkpoint session;
+    Runtime.step session ~descr:modify_loop ~run:(fun () ->
+        Array.iteri (fun i v -> app.u.(i) <- v +. 1.0) app.u);
+    Runtime.step session ~descr:accum_loop ~run:(fun () ->
+        Array.iteri (fun i v -> app.acc.(i) <- app.acc.(i) +. v) app.u)
+  done
+
+let test_runtime_checkpoint_and_recovery () =
+  (* Uninterrupted run: the truth. *)
+  let truth = make_app () in
+  run_app (Runtime.create ~fns:(app_fns truth)) truth 10;
+  (* Run with a checkpoint requested partway. *)
+  let original = make_app () in
+  let session = Runtime.create ~fns:(app_fns original) in
+  run_app ~request_at:4 session original 10;
+  Alcotest.(check bool) "checkpoint was made" true (Runtime.trigger_at session <> None);
+  Alcotest.(check bool) "checkpoint unchanged results" true
+    (Am_util.Fa.approx_equal ~tol:0.0 truth.acc original.acc);
+  (* "Failure": restart from scratch with a recovery session. *)
+  let recovered = make_app () in
+  (* Wipe the state to prove recovery does not depend on it. *)
+  Array.fill recovered.u 0 8 (-999.0);
+  Array.fill recovered.acc 0 8 (-999.0);
+  let r = Runtime.begin_recovery session ~fns:(app_fns recovered) in
+  run_app r recovered 10;
+  Alcotest.(check bool) "recovered u matches" true
+    (Am_util.Fa.approx_equal ~tol:0.0 truth.u recovered.u);
+  Alcotest.(check bool) "recovered acc matches" true
+    (Am_util.Fa.approx_equal ~tol:0.0 truth.acc recovered.acc)
+
+let test_runtime_saves_less_than_everything () =
+  (* With periodic evidence the session should not snapshot datasets that
+     are dead at the trigger. Here both are live, so instead check the
+     trivial bound: saved units <= total state. *)
+  let app = make_app () in
+  let session = Runtime.create ~fns:(app_fns app) in
+  run_app ~request_at:5 session app 10;
+  Alcotest.(check bool) "some data saved" true (Runtime.saved_units session > 0);
+  Alcotest.(check bool) "bounded by state size" true (Runtime.saved_units session <= 16)
+
+let test_runtime_immediate_without_period () =
+  (* Request a checkpoint on the very first cycle: no periodicity evidence
+     yet, so everything modified is saved and the trigger is immediate. *)
+  let app = make_app () in
+  let session = Runtime.create ~fns:(app_fns app) in
+  run_app ~request_at:0 session app 3;
+  match Runtime.trigger_at session with
+  | None -> Alcotest.fail "expected a checkpoint"
+  | Some t -> Alcotest.(check int) "immediate trigger" 0 t
+
+let test_file_persistence () =
+  (* Checkpoint, write to disk, "reboot" (a fresh process would only have
+     the file), recover from the file, finish, compare. *)
+  let truth = make_app () in
+  run_app (Runtime.create ~fns:(app_fns truth)) truth 10;
+  let original = make_app () in
+  let session = Runtime.create ~fns:(app_fns original) in
+  run_app ~request_at:4 session original 10;
+  let path = Filename.temp_file "am_checkpoint" ".snap" in
+  Runtime.save_to_file session ~path;
+  let recovered = make_app () in
+  Array.fill recovered.u 0 8 (-1.0);
+  Array.fill recovered.acc 0 8 (-1.0);
+  let r = Runtime.recover_from_file ~path ~fns:(app_fns recovered) in
+  run_app r recovered 10;
+  Sys.remove path;
+  Alcotest.(check bool) "recovered from file" true
+    (Am_util.Fa.approx_equal ~tol:0.0 truth.acc recovered.acc)
+
+let test_file_persistence_rejects_garbage () =
+  let path = Filename.temp_file "am_checkpoint" ".snap" in
+  Am_sysio.Snapshot.save path [ ("unrelated", [| 1.0 |]) ];
+  (match Runtime.recover_from_file ~path ~fns:(app_fns (make_app ())) with
+  | exception Am_sysio.Snapshot.Corrupt _ -> ()
+  | _ -> Alcotest.fail "garbage checkpoint accepted");
+  Sys.remove path;
+  (* Saving before any checkpoint was made is a usage error. *)
+  let s = Runtime.create ~fns:(app_fns (make_app ())) in
+  match Runtime.save_to_file s ~path with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "planner",
+        [
+          Alcotest.test_case "fig8 units" `Quick test_fig8_units;
+          Alcotest.test_case "fig8 decisions at adt_calc" `Quick
+            test_fig8_decisions_at_adt_calc;
+          Alcotest.test_case "fig8 globals" `Quick test_fig8_globals;
+          Alcotest.test_case "period detection" `Quick test_period_detection;
+          Alcotest.test_case "speculative trigger" `Quick
+            test_speculative_waits_for_cheap_point;
+          Alcotest.test_case "best trigger" `Quick test_best_trigger;
+          Alcotest.test_case "render" `Quick test_render_figure;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "checkpoint + recovery" `Quick
+            test_runtime_checkpoint_and_recovery;
+          Alcotest.test_case "bounded saves" `Quick test_runtime_saves_less_than_everything;
+          Alcotest.test_case "immediate without period" `Quick
+            test_runtime_immediate_without_period;
+          Alcotest.test_case "file persistence" `Quick test_file_persistence;
+          Alcotest.test_case "file garbage rejected" `Quick
+            test_file_persistence_rejects_garbage;
+        ] );
+    ]

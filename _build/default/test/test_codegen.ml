@@ -1,0 +1,308 @@
+(* Tests for the source-to-source translator: structural properties of the
+   generated targets and the Fig 7 listing. *)
+
+module Codegen = Am_codegen.Codegen
+module Descr = Am_core.Descr
+module Access = Am_core.Access
+
+let contains = Str_contains.contains
+
+let arg ?(kind = Descr.Direct) name dim access =
+  { Descr.dat_name = name; dat_id = 0; dim; access; kind }
+
+let indirect ?(idx = 0) name dim access =
+  arg ~kind:(Descr.Indirect { map_name = "edge_cells"; map_index = idx; ratio = 0.5 }) name dim access
+
+let gbl name access =
+  { Descr.dat_name = name; dat_id = -1; dim = 1; access; kind = Descr.Global }
+
+(* res_calc-shaped loop: indirect reads and increments. *)
+let res_calc =
+  {
+    Descr.loop_name = "res_calc";
+    set_name = "edges";
+    set_size = 100;
+    args =
+      [
+        indirect "coords" 2 Access.Read;
+        indirect ~idx:1 "coords" 2 Access.Read;
+        indirect "res" 4 Access.Inc;
+        indirect ~idx:1 "res" 4 Access.Inc;
+      ];
+    info = Descr.default_kernel_info;
+  }
+
+(* update-shaped loop: direct with a reduction. *)
+let update =
+  {
+    Descr.loop_name = "update";
+    set_name = "cells";
+    set_size = 100;
+    args = [ arg "q" 4 Access.Rw; gbl "rms" Access.Inc ];
+    info = Descr.default_kernel_info;
+  }
+
+let test_seq_wrapper () =
+  let s = Codegen.generate_op2 Codegen.C_seq res_calc in
+  Alcotest.(check bool) "has user fun" true (contains s "void res_calc(");
+  Alcotest.(check bool) "iterates the set" true (contains s "for (int n = 0; n < set_size; n++)");
+  Alcotest.(check bool) "indexes through the map" true (contains s "edge_cells_map");
+  Alcotest.(check bool) "const on read args" true (contains s "const double *")
+
+let test_openmp_indirect_colours () =
+  let s = Codegen.generate_op2 Codegen.C_openmp res_calc in
+  Alcotest.(check bool) "colour loop" true (contains s "for (int col = 0; col < plan->ncolors; col++)");
+  Alcotest.(check bool) "omp pragma" true (contains s "#pragma omp parallel for")
+
+let test_openmp_direct_no_colours () =
+  let s = Codegen.generate_op2 Codegen.C_openmp update in
+  Alcotest.(check bool) "no colour loop" false (contains s "ncolors");
+  Alcotest.(check bool) "plain omp for" true (contains s "#pragma omp parallel for")
+
+let test_vectorized () =
+  let s = Codegen.generate_op2 Codegen.C_vectorized res_calc in
+  Alcotest.(check bool) "simd pragma" true (contains s "#pragma omp simd");
+  Alcotest.(check bool) "vector-width blocking" true (contains s "n += SIMD_VEC")
+
+let test_mpi_wrapper () =
+  let s = Codegen.generate_op2 Codegen.C_mpi res_calc in
+  Alcotest.(check bool) "owner-compute loop" true
+    (contains s "for (int n = 0; n < owned_size; n++)");
+  Alcotest.(check bool) "exchanges read halos" true
+    (contains s "op_mpi_exchange_halo(\"coords\"");
+  Alcotest.(check bool) "reduces inc halos" true
+    (contains s "op_mpi_reduce_halo(\"res\"");
+  Alcotest.(check bool) "one dirtybit per written dat" true
+    (not (contains s "op_mpi_set_dirtybit(\"res\");\n  op_mpi_set_dirtybit(\"res\")"));
+  (* A direct loop with a reduction emits no halo calls but a collective. *)
+  let d = Codegen.generate_op2 Codegen.C_mpi update in
+  Alcotest.(check bool) "no exchanges for direct" false
+    (contains d "op_mpi_exchange_halo(\"");
+  Alcotest.(check bool) "global collective" true (contains d "op_mpi_reduce_double")
+
+let test_op_decl_const () =
+  let consts = [ ("gam", [| 1.4 |]); ("qinf", [| 1.0; 0.5; 0.0; 2.6 |]) ] in
+  let cuda = Codegen.generate_op2 (Codegen.Cuda Codegen.Nosoa) ~consts res_calc in
+  Alcotest.(check bool) "cuda constant memory" true
+    (contains cuda "__constant__ double gam;");
+  Alcotest.(check bool) "cuda constant array" true
+    (contains cuda "__constant__ double qinf[4];");
+  let seq = Codegen.generate_op2 Codegen.C_seq ~consts res_calc in
+  Alcotest.(check bool) "c file-scope constant" true
+    (contains seq "static const double gam = 1.3999999999999999;");
+  Alcotest.(check bool) "c constant array" true
+    (contains seq "static const double qinf[4]")
+
+let test_cuda_nosoa () =
+  let s = Codegen.generate_op2 (Codegen.Cuda Codegen.Nosoa) res_calc in
+  Alcotest.(check bool) "kernel qualifier" true (contains s "__global__");
+  Alcotest.(check bool) "identity macro" true (contains s "#define OP_ACC0(x) (x)");
+  Alcotest.(check bool) "device user fun" true (contains s "__device__ void res_calc");
+  Alcotest.(check bool) "element colour loop" true (contains s "elem_color")
+
+let test_cuda_soa () =
+  let s = Codegen.generate_op2 (Codegen.Cuda Codegen.Soa) res_calc in
+  Alcotest.(check bool) "stride macro" true (contains s "(x)*coords_stride")
+
+let test_cuda_staged () =
+  let s = Codegen.generate_op2 (Codegen.Cuda Codegen.Stage_nosoa) res_calc in
+  Alcotest.(check bool) "shared memory" true (contains s "__shared__");
+  Alcotest.(check bool) "stages reads in" true (contains s "arg0_shared[k] = arg0_data");
+  Alcotest.(check bool) "writes staged incs back" true (contains s "arg2_shared[k]");
+  Alcotest.(check bool) "syncthreads" true (contains s "__syncthreads()")
+
+let test_cuda_direct_loop_plain () =
+  let s = Codegen.generate_op2 (Codegen.Cuda Codegen.Nosoa) update in
+  Alcotest.(check bool) "no colour loop for direct" false (contains s "elem_color");
+  Alcotest.(check bool) "global index" true (contains s "blockIdx.x * blockDim.x + threadIdx.x")
+
+let test_user_fun_injection () =
+  let uf = { Codegen.params = [ "a"; "b"; "c"; "d" ]; body = "  d[0] += a[0]*b[0];" } in
+  let s = Codegen.generate_op2 Codegen.C_seq ~user_fun:uf res_calc in
+  Alcotest.(check bool) "body present" true (contains s "d[0] += a[0]*b[0];")
+
+let test_ops_targets () =
+  let loop =
+    {
+      Descr.loop_name = "ideal_gas";
+      set_name = "grid";
+      set_size = 100;
+      args =
+        [
+          arg ~kind:(Descr.Stencil { points = 1 }) "density" 1 Access.Read;
+          arg ~kind:(Descr.Stencil { points = 1 }) "pressure" 1 Access.Write;
+        ];
+      info = Descr.default_kernel_info;
+    }
+  in
+  let seq = Codegen.generate_ops Codegen.C_seq loop in
+  Alcotest.(check bool) "2d loop nest" true (contains seq "for (int y = range[2]; y < range[3]; y++)");
+  let omp = Codegen.generate_ops Codegen.C_openmp loop in
+  Alcotest.(check bool) "rows independent comment" true (contains omp "centre-only");
+  let cuda = Codegen.generate_ops (Codegen.Cuda Codegen.Nosoa) loop in
+  Alcotest.(check bool) "2d thread grid" true (contains cuda "blockIdx.y*blockDim.y")
+
+let test_fig7 () =
+  let s = Codegen.fig7 () in
+  (* Every structural element of the paper's listing. *)
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) fragment true (contains s fragment))
+    [
+      "#if NOSOA";
+      "#define OP_ACC0(x) (x)";
+      "#elif SOA";
+      "#define OP_ACC0(x) ((x)*coord_stride)";
+      "__device__ void user_fun(double *coords, ...)";
+      "double x = coords[OP_ACC0(0)];";
+      "double y = coords[OP_ACC0(1)];";
+      "__global__ void wrapper(double *coords, ...)";
+      "#if STAGE_NOSOA";
+      "__shared__ double scratch[...];";
+      "scratch[2*threadIdx.x  ] = coords[2*gbl_idx+0];";
+      "user_fun(&scratch[2*threadIdx.x], ...);";
+      "user_fun(&coords[2*gbl_idx], ...);";
+      "user_fun(&coords[gbl_idx], ...);";
+    ]
+
+(* The sequential C targets are complete translation units: feed the
+   generated source for every traced Airfoil and CloverLeaf loop through a
+   real C compiler. *)
+let compile_c source =
+  let src = Filename.temp_file "am_codegen" ".c" in
+  let oc = open_out src in
+  output_string oc source;
+  close_out oc;
+  let cmd =
+    Printf.sprintf
+      "gcc -std=c99 -fsyntax-only -Wall -Werror=implicit-function-declaration %s 2>&1"
+      (Filename.quote src)
+  in
+  let ic = Unix.open_process_in cmd in
+  let out = In_channel.input_all ic in
+  let status = Unix.close_process_in ic in
+  Sys.remove src;
+  (status = Unix.WEXITED 0, out)
+
+let has_gcc = lazy (Sys.command "gcc --version > /dev/null 2>&1" = 0)
+
+let test_generated_seq_compiles_op2 () =
+  if not (Lazy.force has_gcc) then ()
+  else
+    List.iter
+      (fun loop ->
+        let source = Codegen.generate_op2 Codegen.C_seq loop in
+        let ok, out = compile_c source in
+        if not ok then
+          Alcotest.failf "%s did not compile:\n%s\n%s" loop.Descr.loop_name out source)
+      [ res_calc; update ]
+
+let test_generated_seq_compiles_traced_apps () =
+  if not (Lazy.force has_gcc) then ()
+  else begin
+    let airfoil = Am_experiments.Calibrate.trace_airfoil ~nx:12 ~ny:8 () in
+    List.iter
+      (fun (p : Am_experiments.Calibrate.loop_profile) ->
+        List.iter
+          (fun target ->
+            let source =
+              Codegen.generate_op2 target
+                ~consts:airfoil.Am_experiments.Calibrate.consts
+                p.Am_experiments.Calibrate.descr
+            in
+            let ok, out = compile_c source in
+            if not ok then
+              Alcotest.failf "airfoil %s (%s) did not compile:\n%s"
+                p.Am_experiments.Calibrate.descr.Descr.loop_name
+                (Codegen.target_to_string target) out)
+          [ Codegen.C_seq; Codegen.C_mpi ])
+      airfoil.Am_experiments.Calibrate.profiles;
+    let clover = Am_experiments.Calibrate.trace_cloverleaf ~nx:12 ~ny:12 () in
+    List.iter
+      (fun (p : Am_experiments.Calibrate.loop_profile) ->
+        let source = Codegen.generate_ops Codegen.C_seq p.Am_experiments.Calibrate.descr in
+        let ok, out = compile_c source in
+        if not ok then
+          Alcotest.failf "cloverleaf %s did not compile:\n%s"
+            p.Am_experiments.Calibrate.descr.Descr.loop_name out)
+      clover.Am_experiments.Calibrate.profiles;
+    (* Aero stresses the generator differently: a 13-argument assembly loop
+       with a dim-16 per-cell matrix dataset and the CG's global-reduction
+       loops. *)
+    let aero = Am_experiments.Calibrate.trace_aero ~n:8 () in
+    List.iter
+      (fun (p : Am_experiments.Calibrate.loop_profile) ->
+        let source = Codegen.generate_op2 Codegen.C_seq p.Am_experiments.Calibrate.descr in
+        let ok, out = compile_c source in
+        if not ok then
+          Alcotest.failf "aero %s did not compile:\n%s"
+            p.Am_experiments.Calibrate.descr.Descr.loop_name out)
+      aero.Am_experiments.Calibrate.profiles
+  end
+
+let test_map_arity_inferred () =
+  (* A loop using 4 indices of one map must index it with stride 4. *)
+  let quad =
+    {
+      Descr.loop_name = "adt";
+      set_name = "cells";
+      set_size = 10;
+      args =
+        List.init 4 (fun k ->
+            arg
+              ~kind:(Descr.Indirect { map_name = "cell_nodes"; map_index = k; ratio = 1.0 })
+              "x" 2 Access.Read);
+      info = Descr.default_kernel_info;
+    }
+  in
+  let s = Codegen.generate_op2 Codegen.C_seq quad in
+  Alcotest.(check bool) "stride 4" true (contains s "cell_nodes_map[4*n+3]")
+
+let test_targets_all_distinct () =
+  let targets =
+    [
+      Codegen.C_seq;
+      Codegen.C_openmp;
+      Codegen.C_vectorized;
+      Codegen.C_mpi;
+      Codegen.Cuda Codegen.Nosoa;
+      Codegen.Cuda Codegen.Soa;
+      Codegen.Cuda Codegen.Stage_nosoa;
+    ]
+  in
+  let outputs = List.map (fun t -> Codegen.generate_op2 t res_calc) targets in
+  let distinct = List.sort_uniq compare outputs in
+  Alcotest.(check int) "all targets differ" (List.length targets) (List.length distinct)
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "op2",
+        [
+          Alcotest.test_case "seq wrapper" `Quick test_seq_wrapper;
+          Alcotest.test_case "openmp colours indirect" `Quick test_openmp_indirect_colours;
+          Alcotest.test_case "openmp direct plain" `Quick test_openmp_direct_no_colours;
+          Alcotest.test_case "vectorized" `Quick test_vectorized;
+          Alcotest.test_case "mpi wrapper" `Quick test_mpi_wrapper;
+          Alcotest.test_case "op_decl_const" `Quick test_op_decl_const;
+          Alcotest.test_case "cuda nosoa" `Quick test_cuda_nosoa;
+          Alcotest.test_case "cuda soa" `Quick test_cuda_soa;
+          Alcotest.test_case "cuda staged" `Quick test_cuda_staged;
+          Alcotest.test_case "cuda direct plain" `Quick test_cuda_direct_loop_plain;
+          Alcotest.test_case "user fun injection" `Quick test_user_fun_injection;
+        ] );
+      ("ops", [ Alcotest.test_case "ops targets" `Quick test_ops_targets ]);
+      ( "fig7",
+        [
+          Alcotest.test_case "fig7 structure" `Quick test_fig7;
+          Alcotest.test_case "targets distinct" `Quick test_targets_all_distinct;
+        ] );
+      ( "compilable",
+        [
+          Alcotest.test_case "map arity inferred" `Quick test_map_arity_inferred;
+          Alcotest.test_case "seq C compiles (gcc)" `Quick
+            test_generated_seq_compiles_op2;
+          Alcotest.test_case "traced apps compile (gcc)" `Slow
+            test_generated_seq_compiles_traced_apps;
+        ] );
+    ]

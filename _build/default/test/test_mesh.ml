@@ -1,0 +1,354 @@
+(* Tests for the mesh substrate: CSR graphs, generators, partitioners,
+   reordering and colouring. *)
+
+module Csr = Am_mesh.Csr
+module Umesh = Am_mesh.Umesh
+module Partition = Am_mesh.Partition
+module Reorder = Am_mesh.Reorder
+module Coloring = Am_mesh.Coloring
+
+let path_graph n = Csr.of_edges ~n (Array.init (n - 1) (fun i -> (i, i + 1)))
+
+(* ---- Csr ---- *)
+
+let test_csr_of_edges () =
+  let g = Csr.of_edges ~n:4 [| (0, 1); (1, 2); (2, 3); (3, 0) |] in
+  Alcotest.(check int) "vertices" 4 (Csr.n_vertices g);
+  Alcotest.(check int) "arcs" 8 (Csr.n_arcs g);
+  Alcotest.(check int) "degree" 2 (Csr.degree g 0);
+  Alcotest.(check bool) "symmetric" true (Csr.is_symmetric g)
+
+let test_csr_self_loops_dropped () =
+  let g = Csr.of_edges ~n:3 [| (0, 0); (0, 1) |] in
+  Alcotest.(check int) "self loop dropped" 2 (Csr.n_arcs g)
+
+let test_csr_of_map_rows () =
+  (* Two rows (1D edges) over 3 vertices: 0-1, 1-2 -> a path. *)
+  let g = Csr.of_map_rows ~n_vertices:3 ~n_rows:2 ~arity:2 [| 0; 1; 1; 2 |] in
+  Alcotest.(check int) "path arcs" 4 (Csr.n_arcs g);
+  Alcotest.(check (array int)) "middle vertex" [| 0; 2 |]
+    (let nb = Csr.neighbours g 1 in
+     Array.sort compare nb;
+     nb)
+
+let test_csr_edge_cut () =
+  let g = path_graph 4 in
+  Alcotest.(check int) "cut of split" 1 (Csr.edge_cut g [| 0; 0; 1; 1 |]);
+  Alcotest.(check int) "no cut" 0 (Csr.edge_cut g [| 0; 0; 0; 0 |])
+
+let test_csr_bandwidth () =
+  let g = path_graph 5 in
+  Alcotest.(check int) "path bandwidth" 1 (Csr.bandwidth g);
+  (* Permute ends to middle: bandwidth grows. *)
+  let g2 = Csr.permute g [| 4; 1; 2; 3; 0 |] in
+  Alcotest.(check bool) "worse numbering" true (Csr.bandwidth g2 > 1)
+
+let test_csr_permute_invalid () =
+  let g = path_graph 3 in
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Csr.permute: not a permutation") (fun () ->
+      ignore (Csr.permute g [| 0; 0; 1 |]))
+
+(* ---- Umesh ---- *)
+
+let test_umesh_counts () =
+  let m = Umesh.generate_square ~nx:4 ~ny:3 () in
+  Alcotest.(check int) "cells" 12 m.Umesh.n_cells;
+  Alcotest.(check int) "nodes" 20 m.Umesh.n_nodes;
+  Alcotest.(check int) "edges" (3 * 3 + 4 * 2) m.Umesh.n_edges;
+  Alcotest.(check int) "bedges" 14 m.Umesh.n_bedges
+
+let test_umesh_validates () =
+  let m = Umesh.generate_airfoil ~nx:10 ~ny:8 () in
+  Umesh.validate m (* raises on violation *)
+
+let test_umesh_dual_graph () =
+  let m = Umesh.generate_square ~nx:3 ~ny:3 () in
+  let g = Umesh.cell_dual_graph m in
+  Alcotest.(check int) "dual vertices" 9 (Csr.n_vertices g);
+  (* Centre cell has 4 neighbours. *)
+  Alcotest.(check int) "centre degree" 4 (Csr.degree g 4)
+
+let test_umesh_each_interior_edge_two_cells () =
+  let m = Umesh.generate_square ~nx:5 ~ny:4 () in
+  for e = 0 to m.Umesh.n_edges - 1 do
+    let c1 = m.Umesh.edge_cells.(2 * e) and c2 = m.Umesh.edge_cells.((2 * e) + 1) in
+    if c1 = c2 then Alcotest.fail "interior edge must join two distinct cells"
+  done
+
+let test_umesh_scramble_preserves_structure () =
+  let m = Umesh.generate_square ~nx:6 ~ny:5 () in
+  let s = Umesh.scramble ~seed:11 m in
+  Umesh.validate s;
+  (* The dual graph is isomorphic, so degree multisets must match. *)
+  let deg g = Array.init (Csr.n_vertices g) (Csr.degree g) in
+  let d1 = deg (Umesh.cell_dual_graph m) and d2 = deg (Umesh.cell_dual_graph s) in
+  Array.sort compare d1;
+  Array.sort compare d2;
+  Alcotest.(check (array int)) "degree multiset" d1 d2
+
+let test_umesh_coords_bounded () =
+  let m = Umesh.generate_airfoil ~nx:16 ~ny:12 () in
+  for n = 0 to m.Umesh.n_nodes - 1 do
+    let x = m.Umesh.node_coords.(2 * n) and y = m.Umesh.node_coords.((2 * n) + 1) in
+    if x < -1e-9 || x > 3.0 +. 1e-9 || y < -1e-9 || y > 2.0 +. 1e-9 then
+      Alcotest.failf "node %d out of domain: (%f, %f)" n x y
+  done
+
+(* ---- Partition ---- *)
+
+let grid_graph nx ny =
+  let m = Umesh.generate_square ~nx ~ny () in
+  (m, Umesh.cell_dual_graph m)
+
+let test_partition_block () =
+  let parts = Partition.block ~n:10 ~parts:3 in
+  Alcotest.(check (array int)) "sizes" [| 4; 3; 3 |] (Partition.part_sizes ~parts:3 parts);
+  Alcotest.(check int) "first part" 0 parts.(0);
+  Alcotest.(check int) "last part" 2 parts.(9)
+
+let test_partition_rcb_balance () =
+  let m, _ = grid_graph 16 16 in
+  let coords = Umesh.cell_centroids m in
+  let parts = Partition.rcb ~coords ~dim:2 ~n:m.Umesh.n_cells ~parts:4 in
+  Alcotest.(check bool) "balanced" true (Partition.imbalance ~parts:4 parts < 0.05)
+
+let test_partition_rcb_nonpow2 () =
+  let m, _ = grid_graph 15 13 in
+  let coords = Umesh.cell_centroids m in
+  let parts = Partition.rcb ~coords ~dim:2 ~n:m.Umesh.n_cells ~parts:3 in
+  Alcotest.(check bool) "balanced with 3 parts" true
+    (Partition.imbalance ~parts:3 parts < 0.1)
+
+let test_partition_kway_quality () =
+  let _, g = grid_graph 20 20 in
+  let parts = Partition.kway g ~parts:4 in
+  let q = Partition.quality g ~parts:4 parts in
+  Alcotest.(check bool) "balanced" true (q.Partition.imbalance < 0.12);
+  (* A 20x20 grid split 4 ways should cut far fewer than half the edges. *)
+  Alcotest.(check bool) "cut reasonable" true (q.Partition.edge_cut < 200)
+
+let test_partition_kway_beats_block_on_cut () =
+  let _, g = grid_graph 24 24 in
+  let kway = Partition.kway g ~parts:8 in
+  (* A scrambled (locality-free) assignment as worst case. *)
+  let rng = Am_util.Prng.create 5 in
+  let random = Array.init (Csr.n_vertices g) (fun _ -> Am_util.Prng.int rng 8) in
+  Alcotest.(check bool) "kway beats random cut" true
+    (Csr.edge_cut g kway < Csr.edge_cut g random)
+
+let test_partition_halo_volume () =
+  let _, g = grid_graph 10 10 in
+  let one_part = Array.make (Csr.n_vertices g) 0 in
+  Alcotest.(check int) "single part: no halo" 0 (Partition.halo_volume g one_part);
+  let parts = Partition.kway g ~parts:4 in
+  Alcotest.(check bool) "multi part: some halo" true
+    (Partition.halo_volume g parts > 0)
+
+(* ---- Reorder ---- *)
+
+let test_reorder_rcm_reduces_bandwidth () =
+  let m = Umesh.scramble ~seed:3 (Umesh.generate_square ~nx:20 ~ny:20 ()) in
+  let g = Umesh.cell_dual_graph m in
+  let perm = Reorder.rcm g in
+  Alcotest.(check bool) "is permutation" true (Reorder.is_permutation perm);
+  let g2 = Csr.permute g perm in
+  Alcotest.(check bool) "bandwidth reduced" true (Csr.bandwidth g2 < Csr.bandwidth g)
+
+let test_reorder_rcm_disconnected () =
+  (* Two disjoint path components. *)
+  let g = Csr.of_edges ~n:6 [| (0, 1); (1, 2); (3, 4); (4, 5) |] in
+  let perm = Reorder.rcm g in
+  Alcotest.(check bool) "is permutation" true (Reorder.is_permutation perm)
+
+let test_reorder_permute_data_roundtrip () =
+  let perm = [| 2; 0; 1 |] in
+  let data = [| 10.0; 11.0; 20.0; 21.0; 30.0; 31.0 |] in
+  let permuted = Reorder.permute_data ~perm ~dim:2 data in
+  Alcotest.(check (array (float 0.0))) "moved" [| 20.0; 21.0; 30.0; 31.0; 10.0; 11.0 |]
+    permuted;
+  let back = Reorder.permute_data ~perm:(Reorder.inverse perm) ~dim:2 permuted in
+  Alcotest.(check (array (float 0.0))) "roundtrip" data back
+
+let test_reorder_inverse_rejects () =
+  Alcotest.check_raises "inverse rejects"
+    (Invalid_argument "Reorder.inverse: not a permutation") (fun () ->
+      ignore (Reorder.inverse [| 0; 0 |]))
+
+let test_reorder_induced_order () =
+  (* Two sources: source 0 touches target 5, source 1 touches target 1. After
+     induction, source 1 (touching the smaller target) comes first. *)
+  let perm = Reorder.induced_order ~n_sources:2 ~arity:1 [| 5; 1 |] in
+  Alcotest.(check (array int)) "induced" [| 1; 0 |] perm
+
+let test_hilbert_is_permutation () =
+  let m = Umesh.generate_airfoil ~nx:15 ~ny:11 () in
+  let coords = Umesh.cell_centroids m in
+  let perm = Reorder.hilbert ~coords ~dim:2 ~n:m.Umesh.n_cells () in
+  Alcotest.(check bool) "permutation" true (Reorder.is_permutation perm)
+
+let test_hilbert_improves_scrambled_locality () =
+  let m = Umesh.scramble ~seed:4 (Umesh.generate_square ~nx:24 ~ny:24 ()) in
+  let g = Umesh.cell_dual_graph m in
+  let perm = Reorder.hilbert ~coords:(Umesh.cell_centroids m) ~dim:2 ~n:m.Umesh.n_cells () in
+  let g2 = Csr.permute g perm in
+  Alcotest.(check bool) "locality improves" true
+    (Csr.average_bandwidth g2 < Csr.average_bandwidth g /. 2.0)
+
+let test_hilbert_adjacent_cells_near () =
+  (* Consecutive curve positions must be geometrically close: the mean
+     Hilbert-index distance of mesh-adjacent cells stays small. *)
+  let m = Umesh.generate_square ~nx:16 ~ny:16 () in
+  let perm = Reorder.hilbert ~coords:(Umesh.cell_centroids m) ~dim:2 ~n:m.Umesh.n_cells () in
+  let g = Csr.permute (Umesh.cell_dual_graph m) perm in
+  Alcotest.(check bool) "mean neighbour distance small" true
+    (Csr.average_bandwidth g < 32.0)
+
+let test_hilbert_rejects_bad_input () =
+  Alcotest.check_raises "dim 1" (Invalid_argument "Reorder.hilbert: need at least 2 coordinates")
+    (fun () -> ignore (Reorder.hilbert ~coords:[| 0.0 |] ~dim:1 ~n:1 ()))
+
+(* ---- Coloring ---- *)
+
+let edge_targets (m : Umesh.t) e f =
+  f m.Umesh.edge_cells.(2 * e);
+  f m.Umesh.edge_cells.((2 * e) + 1)
+
+let test_coloring_valid_on_mesh () =
+  let m = Umesh.generate_square ~nx:12 ~ny:9 () in
+  let c =
+    Coloring.color ~n_items:m.Umesh.n_edges ~n_targets:m.Umesh.n_cells
+      ~targets:(edge_targets m)
+  in
+  Alcotest.(check bool) "proper colouring" true
+    (Coloring.verify ~n_targets:m.Umesh.n_cells ~targets:(edge_targets m) c);
+  (* A structured quad mesh edge-colours with few colours. *)
+  Alcotest.(check bool) "few colours" true (c.Coloring.n_colors <= 6)
+
+let test_coloring_partitions_items () =
+  let m = Umesh.generate_square ~nx:8 ~ny:8 () in
+  let c =
+    Coloring.color ~n_items:m.Umesh.n_edges ~n_targets:m.Umesh.n_cells
+      ~targets:(edge_targets m)
+  in
+  let total = Array.fold_left (fun acc b -> acc + Array.length b) 0 c.Coloring.by_color in
+  Alcotest.(check int) "all items coloured" m.Umesh.n_edges total
+
+let test_coloring_blocks () =
+  let m = Umesh.generate_square ~nx:10 ~ny:10 () in
+  let blocks = Coloring.make_blocks ~n_items:m.Umesh.n_edges ~block_size:16 in
+  let c =
+    Coloring.color_blocks ~blocks ~n_targets:m.Umesh.n_cells ~targets:(edge_targets m)
+  in
+  Alcotest.(check int) "all blocks coloured" blocks.Coloring.n_blocks
+    (Array.length c.Coloring.colors);
+  (* Same-colour blocks must touch disjoint cells. *)
+  let block_targets b f =
+    let lo, hi = Coloring.block_range blocks b in
+    for e = lo to hi - 1 do
+      edge_targets m e f
+    done
+  in
+  Alcotest.(check bool) "proper block colouring" true
+    (Coloring.verify ~n_targets:m.Umesh.n_cells ~targets:block_targets c)
+
+let test_coloring_block_range () =
+  let blocks = Coloring.make_blocks ~n_items:10 ~block_size:4 in
+  Alcotest.(check int) "n_blocks" 3 blocks.Coloring.n_blocks;
+  Alcotest.(check (pair int int)) "ragged last" (8, 10) (Coloring.block_range blocks 2)
+
+(* ---- Properties ---- *)
+
+let mesh_gen =
+  QCheck.Gen.(pair (int_range 2 12) (int_range 2 12))
+
+let prop_rcm_always_permutation =
+  QCheck.Test.make ~name:"rcm returns a permutation" ~count:50
+    (QCheck.make mesh_gen) (fun (nx, ny) ->
+      let m = Umesh.generate_square ~nx ~ny () in
+      Reorder.is_permutation (Reorder.rcm (Umesh.cell_dual_graph m)))
+
+let prop_kway_covers_all_parts =
+  QCheck.Test.make ~name:"kway uses every part id" ~count:50
+    (QCheck.make QCheck.Gen.(pair mesh_gen (int_range 1 6)))
+    (fun ((nx, ny), parts) ->
+      QCheck.assume (nx * ny >= parts * 2);
+      let g = Umesh.cell_dual_graph (Umesh.generate_square ~nx ~ny ()) in
+      let assignment = Partition.kway g ~parts in
+      let sizes = Partition.part_sizes ~parts assignment in
+      Array.for_all (fun s -> s > 0) sizes)
+
+let prop_coloring_proper =
+  QCheck.Test.make ~name:"edge colouring is always proper" ~count:50
+    (QCheck.make mesh_gen) (fun (nx, ny) ->
+      let m = Umesh.generate_square ~nx ~ny () in
+      let c =
+        Coloring.color ~n_items:m.Umesh.n_edges ~n_targets:m.Umesh.n_cells
+          ~targets:(edge_targets m)
+      in
+      Coloring.verify ~n_targets:m.Umesh.n_cells ~targets:(edge_targets m) c)
+
+let () =
+  Alcotest.run "mesh"
+    [
+      ( "csr",
+        [
+          Alcotest.test_case "of_edges" `Quick test_csr_of_edges;
+          Alcotest.test_case "self loops dropped" `Quick test_csr_self_loops_dropped;
+          Alcotest.test_case "of_map_rows" `Quick test_csr_of_map_rows;
+          Alcotest.test_case "edge cut" `Quick test_csr_edge_cut;
+          Alcotest.test_case "bandwidth" `Quick test_csr_bandwidth;
+          Alcotest.test_case "permute invalid" `Quick test_csr_permute_invalid;
+        ] );
+      ( "umesh",
+        [
+          Alcotest.test_case "counts" `Quick test_umesh_counts;
+          Alcotest.test_case "validates" `Quick test_umesh_validates;
+          Alcotest.test_case "dual graph" `Quick test_umesh_dual_graph;
+          Alcotest.test_case "interior edges distinct" `Quick
+            test_umesh_each_interior_edge_two_cells;
+          Alcotest.test_case "scramble preserves structure" `Quick
+            test_umesh_scramble_preserves_structure;
+          Alcotest.test_case "coords bounded" `Quick test_umesh_coords_bounded;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "block" `Quick test_partition_block;
+          Alcotest.test_case "rcb balance" `Quick test_partition_rcb_balance;
+          Alcotest.test_case "rcb non-pow2" `Quick test_partition_rcb_nonpow2;
+          Alcotest.test_case "kway quality" `Quick test_partition_kway_quality;
+          Alcotest.test_case "kway beats random" `Quick
+            test_partition_kway_beats_block_on_cut;
+          Alcotest.test_case "halo volume" `Quick test_partition_halo_volume;
+        ] );
+      ( "reorder",
+        [
+          Alcotest.test_case "rcm reduces bandwidth" `Quick
+            test_reorder_rcm_reduces_bandwidth;
+          Alcotest.test_case "rcm disconnected" `Quick test_reorder_rcm_disconnected;
+          Alcotest.test_case "permute roundtrip" `Quick
+            test_reorder_permute_data_roundtrip;
+          Alcotest.test_case "inverse rejects" `Quick test_reorder_inverse_rejects;
+          Alcotest.test_case "induced order" `Quick test_reorder_induced_order;
+          Alcotest.test_case "hilbert permutation" `Quick test_hilbert_is_permutation;
+          Alcotest.test_case "hilbert improves scrambled" `Quick
+            test_hilbert_improves_scrambled_locality;
+          Alcotest.test_case "hilbert neighbours near" `Quick
+            test_hilbert_adjacent_cells_near;
+          Alcotest.test_case "hilbert rejects bad input" `Quick
+            test_hilbert_rejects_bad_input;
+        ] );
+      ( "coloring",
+        [
+          Alcotest.test_case "valid on mesh" `Quick test_coloring_valid_on_mesh;
+          Alcotest.test_case "partitions items" `Quick test_coloring_partitions_items;
+          Alcotest.test_case "blocks" `Quick test_coloring_blocks;
+          Alcotest.test_case "block range" `Quick test_coloring_block_range;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_rcm_always_permutation;
+          QCheck_alcotest.to_alcotest prop_kway_covers_all_parts;
+          QCheck_alcotest.to_alcotest prop_coloring_proper;
+        ] );
+    ]

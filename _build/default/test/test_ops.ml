@@ -1,0 +1,543 @@
+(* Backend-equivalence and unit tests for the OPS structured-mesh library. *)
+
+module Ops = Am_ops.Ops
+module Access = Am_core.Access
+module Fa = Am_util.Fa
+module Pool = Am_taskpool.Pool
+
+(* A miniature heat-diffusion program: 5-point Laplacian into [unew], copy
+   back with a residual reduction — the canonical structured pattern. *)
+type mini = {
+  ctx : Ops.ctx;
+  grid : Ops.block;
+  u : Ops.dat;
+  unew : Ops.dat;
+  nx : int;
+  ny : int;
+}
+
+let build_mini ?(nx = 17) ?(ny = 13) () =
+  let ctx = Ops.create () in
+  let grid = Ops.decl_block ctx ~name:"grid" in
+  let u = Ops.decl_dat ctx ~name:"u" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+  let unew = Ops.decl_dat ctx ~name:"unew" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+  (* Smooth initial condition; ghost cells hold the (fixed) boundary data. *)
+  Ops.init ctx u (fun x y _ ->
+      sin (0.3 *. Float.of_int x) +. cos (0.2 *. Float.of_int y));
+  Ops.init ctx unew (fun _ _ _ -> 0.0);
+  { ctx; grid; u; unew; nx; ny }
+
+let diffuse_kernel args =
+  let u = args.(0) and unew = args.(1) in
+  (* stencil_2d_5pt order: (0,0) (-1,0) (1,0) (0,-1) (0,1) *)
+  unew.(0) <- u.(0) +. (0.1 *. (u.(1) +. u.(2) +. u.(3) +. u.(4) -. (4.0 *. u.(0))))
+
+let copy_kernel args =
+  let unew = args.(0) and u = args.(1) and res = args.(2) in
+  let d = unew.(0) -. u.(0) in
+  res.(0) <- res.(0) +. (d *. d);
+  u.(0) <- unew.(0)
+
+let run_mini m steps =
+  let interior = Ops.interior m.u in
+  let res_total = ref 0.0 in
+  for _ = 1 to steps do
+    Ops.par_loop m.ctx ~name:"diffuse" m.grid interior
+      [
+        Ops.arg_dat m.u Ops.stencil_2d_5pt Access.Read;
+        Ops.arg_dat m.unew Ops.stencil_point Access.Write;
+      ]
+      diffuse_kernel;
+    let res = [| 0.0 |] in
+    Ops.par_loop m.ctx ~name:"copy" m.grid interior
+      [
+        Ops.arg_dat m.unew Ops.stencil_point Access.Read;
+        Ops.arg_dat m.u Ops.stencil_point Access.Rw;
+        Ops.arg_gbl ~name:"res" res Access.Inc;
+      ]
+      copy_kernel;
+    res_total := !res_total +. res.(0)
+  done;
+  (Ops.fetch_interior m.ctx m.u, !res_total)
+
+let reference = lazy (run_mini (build_mini ()) 6)
+
+let check_matches name (u, res) =
+  let ref_u, ref_res = Lazy.force reference in
+  if not (Fa.approx_equal ~tol:1e-10 ref_u u) then
+    Alcotest.failf "%s: field diverges (%g)" name (Fa.rel_discrepancy ref_u u);
+  if Float.abs (res -. ref_res) /. (1.0 +. ref_res) > 1e-10 then
+    Alcotest.failf "%s: reduction diverges (%g vs %g)" name res ref_res
+
+(* ---- Backend equivalence ---- *)
+
+let test_shared_matches () =
+  Pool.with_pool ~size:4 (fun pool ->
+      let m = build_mini () in
+      Ops.set_backend m.ctx (Ops.Shared { pool });
+      check_matches "shared" (run_mini m 6))
+
+let test_cuda_global_matches () =
+  let m = build_mini () in
+  Ops.set_backend m.ctx
+    (Ops.Cuda_sim { Am_ops.Exec.tile_x = 8; tile_y = 4; strategy = Am_ops.Exec.Cuda_global });
+  check_matches "cuda global" (run_mini m 6)
+
+let test_cuda_tiled_matches () =
+  let m = build_mini () in
+  Ops.set_backend m.ctx
+    (Ops.Cuda_sim { Am_ops.Exec.tile_x = 8; tile_y = 4; strategy = Am_ops.Exec.Cuda_tiled });
+  check_matches "cuda tiled" (run_mini m 6)
+
+let dist_test n_ranks () =
+  let m = build_mini () in
+  Ops.partition m.ctx ~n_ranks ~ref_ysize:m.ny;
+  check_matches (Printf.sprintf "dist(%d)" n_ranks) (run_mini m 6)
+
+let test_dist_traffic () =
+  let m = build_mini () in
+  Ops.partition m.ctx ~n_ranks:3 ~ref_ysize:m.ny;
+  ignore (run_mini m 2);
+  match Ops.comm_stats m.ctx with
+  | None -> Alcotest.fail "expected comm stats"
+  | Some s ->
+    Alcotest.(check bool) "messages flowed" true (s.Am_simmpi.Comm.messages > 0)
+
+let test_dist_center_only_no_traffic () =
+  let m = build_mini () in
+  Ops.partition m.ctx ~n_ranks:3 ~ref_ysize:m.ny;
+  (match Ops.comm_stats m.ctx with
+  | Some s -> s.Am_simmpi.Comm.messages <- 0
+  | None -> ());
+  (* Center-only loops need no ghost data. *)
+  Ops.par_loop m.ctx ~name:"scale" m.grid (Ops.interior m.u)
+    [ Ops.arg_dat m.u Ops.stencil_point Access.Rw ]
+    (fun a -> a.(0).(0) <- a.(0).(0) *. 1.5);
+  match Ops.comm_stats m.ctx with
+  | None -> Alcotest.fail "expected comm stats"
+  | Some s -> Alcotest.(check int) "no messages" 0 s.Am_simmpi.Comm.messages
+
+let test_depth_aware_exchange () =
+  (* A loop whose widest stencil reaches 1 row exchanges 1 ghost row, not
+     the full 2-deep ring (OPS's per-stencil update_halo depths) — and the
+     results stay exact either way. *)
+  let traffic stencil =
+    let nx = 16 and ny = 12 in
+    let ctx = Ops.create () in
+    let grid = Ops.decl_block ctx ~name:"grid" in
+    let u = Ops.decl_dat ctx ~name:"u" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+    let w = Ops.decl_dat ctx ~name:"w" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+    Ops.init ctx u (fun x y _ -> Float.of_int ((x * 7) + y));
+    Ops.partition ctx ~n_ranks:3 ~ref_ysize:ny;
+    (* Dirty u's ghosts so the read loop must exchange. *)
+    Ops.par_loop ctx ~name:"touch" grid (Ops.interior u)
+      [ Ops.arg_dat u Ops.stencil_point Access.Rw ]
+      (fun a -> a.(0).(0) <- a.(0).(0) +. 1.0);
+    let stats = Option.get (Ops.comm_stats ctx) in
+    stats.Am_simmpi.Comm.bytes <- 0;
+    Ops.par_loop ctx ~name:"read" grid (Ops.interior u)
+      [ Ops.arg_dat u stencil Access.Read; Ops.arg_dat w Ops.stencil_point Access.Write ]
+      (fun a -> a.(1).(0) <- a.(0).(Array.length stencil - 1));
+    (stats.Am_simmpi.Comm.bytes, Ops.fetch_interior ctx w)
+  in
+  let shallow_bytes, _ = traffic [| (0, 0); (0, 1) |] in
+  let deep_bytes, _ = traffic [| (0, 0); (0, 2) |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "1-deep stencil moves less (%d vs %d)" shallow_bytes deep_bytes)
+    true
+    (shallow_bytes < deep_bytes);
+  Alcotest.(check int) "exactly half" deep_bytes (2 * shallow_bytes)
+
+(* Staggered dataset (ny + 1 rows, like a y-face velocity): the extra row
+   belongs to the last rank and the loop range covers it. *)
+let test_dist_staggered_dat () =
+  let run n_ranks =
+    let ctx = Ops.create () in
+    let grid = Ops.decl_block ctx ~name:"grid" in
+    let nx = 9 and ny = 8 in
+    let v = Ops.decl_dat ctx ~name:"v" ~block:grid ~xsize:nx ~ysize:(ny + 1) ~halo:2 () in
+    Ops.init ctx v (fun x y _ -> Float.of_int ((x * 31) + y));
+    if n_ranks > 1 then Ops.partition ctx ~n_ranks ~ref_ysize:ny;
+    Ops.par_loop ctx ~name:"stagger" grid
+      { Ops.xlo = 0; xhi = nx; ylo = 0; yhi = ny + 1 }
+      [ Ops.arg_dat v Ops.stencil_point Access.Rw ]
+      (fun a -> a.(0).(0) <- (2.0 *. a.(0).(0)) +. 1.0);
+    Ops.fetch_interior ctx v
+  in
+  let seq = run 1 and dist = run 3 in
+  Alcotest.(check bool) "staggered rows match" true (Fa.approx_equal ~tol:0.0 seq dist)
+
+(* Boundary-condition loops over ghost rows must land on the edge ranks and
+   subsequent stencil reads must observe them. *)
+let test_dist_ghost_row_bc () =
+  let run n_ranks =
+    let ctx = Ops.create () in
+    let grid = Ops.decl_block ctx ~name:"grid" in
+    let nx = 7 and ny = 9 in
+    let u = Ops.decl_dat ctx ~name:"u" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+    let w = Ops.decl_dat ctx ~name:"w" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+    Ops.init ctx u (fun x y _ -> Float.of_int (x + (10 * y)));
+    if n_ranks > 1 then Ops.partition ctx ~n_ranks ~ref_ysize:ny;
+    (* Write the bottom ghost row. *)
+    Ops.par_loop ctx ~name:"bc" grid
+      { Ops.xlo = 0; xhi = nx; ylo = -1; yhi = 0 }
+      [ Ops.arg_dat u Ops.stencil_point Access.Write ]
+      (fun a -> a.(0).(0) <- 42.0);
+    (* Read it through a downward stencil from row 0. *)
+    Ops.par_loop ctx ~name:"probe" grid
+      { Ops.xlo = 0; xhi = nx; ylo = 0; yhi = ny }
+      [
+        Ops.arg_dat u Ops.stencil_2d_minus1y Access.Read;
+        Ops.arg_dat w Ops.stencil_point Access.Write;
+      ]
+      (fun a -> a.(1).(0) <- a.(0).(1));
+    Ops.fetch_interior ctx w
+  in
+  let seq = run 1 and dist = run 4 in
+  Alcotest.(check bool) "bc visible through stencil" true
+    (Fa.approx_equal ~tol:0.0 seq dist);
+  Alcotest.(check (float 0.0)) "row0 reads bc" 42.0 seq.(0)
+
+(* ---- Reductions ---- *)
+
+let test_gbl_min_max () =
+  let m = build_mini () in
+  let mn = [| infinity |] and mx = [| neg_infinity |] in
+  Ops.par_loop m.ctx ~name:"minmax" m.grid (Ops.interior m.u)
+    [
+      Ops.arg_dat m.u Ops.stencil_point Access.Read;
+      Ops.arg_gbl ~name:"mn" mn Access.Min;
+      Ops.arg_gbl ~name:"mx" mx Access.Max;
+    ]
+    (fun a ->
+      a.(1).(0) <- Float.min a.(1).(0) a.(0).(0);
+      a.(2).(0) <- Float.max a.(2).(0) a.(0).(0));
+  let data = Ops.fetch_interior m.ctx m.u in
+  Alcotest.(check (float 1e-12)) "min" (Array.fold_left Float.min infinity data) mn.(0);
+  Alcotest.(check (float 1e-12)) "max" (Array.fold_left Float.max neg_infinity data) mx.(0)
+
+let test_arg_idx () =
+  let m = build_mini () in
+  Ops.par_loop m.ctx ~name:"coords" m.grid (Ops.interior m.u)
+    [ Ops.arg_dat m.u Ops.stencil_point Access.Write; Ops.arg_idx ]
+    (fun a -> a.(0).(0) <- a.(1).(0) +. (100.0 *. a.(1).(1)));
+  Alcotest.(check (float 0.0)) "(3,2) encodes indices" 203.0
+    (Ops.get m.u ~x:3 ~y:2 ~c:0)
+
+(* ---- Validation ---- *)
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_validation () =
+  let m = build_mini () in
+  (* Writing through an offset stencil. *)
+  expect_invalid (fun () ->
+      Ops.par_loop m.ctx ~name:"bad" m.grid (Ops.interior m.u)
+        [ Ops.arg_dat m.u Ops.stencil_2d_5pt Access.Write ]
+        ignore);
+  (* Stencil escaping the ghost ring. *)
+  expect_invalid (fun () ->
+      Ops.par_loop m.ctx ~name:"bad" m.grid
+        { Ops.xlo = -2; xhi = m.nx; ylo = 0; yhi = m.ny }
+        [ Ops.arg_dat m.u Ops.stencil_2d_minus1x Access.Read ]
+        ignore);
+  (* Loop-carried dependence: read neighbours of a dat the loop writes. *)
+  expect_invalid (fun () ->
+      Ops.par_loop m.ctx ~name:"bad" m.grid (Ops.interior m.u)
+        [
+          Ops.arg_dat m.u Ops.stencil_2d_5pt Access.Read;
+          Ops.arg_dat m.u Ops.stencil_point Access.Write;
+        ]
+        ignore);
+  (* Dat from another block. *)
+  let other = Ops.decl_block m.ctx ~name:"other" in
+  expect_invalid (fun () ->
+      Ops.par_loop m.ctx ~name:"bad" other (Ops.interior m.u)
+        [ Ops.arg_dat m.u Ops.stencil_point Access.Read ]
+        ignore)
+
+let test_partition_errors () =
+  let m = build_mini () in
+  expect_invalid (fun () -> Ops.partition m.ctx ~n_ranks:0 ~ref_ysize:m.ny);
+  (* Chunks thinner than the ghost depth are rejected. *)
+  expect_invalid (fun () -> Ops.partition m.ctx ~n_ranks:m.ny ~ref_ysize:m.ny)
+
+(* ---- Strided (grid-transfer) stencils ---- *)
+
+let test_restrict_gather () =
+  let ctx = Ops.create () in
+  let grid = Ops.decl_block ctx ~name:"g" in
+  let fine = Ops.decl_dat ctx ~name:"fine" ~block:grid ~xsize:8 ~ysize:8 () in
+  let coarse = Ops.decl_dat ctx ~name:"coarse" ~block:grid ~xsize:4 ~ysize:4 () in
+  Ops.init ctx fine (fun x y _ -> Float.of_int (x + (100 * y)));
+  Ops.par_loop ctx ~name:"restrict" grid (Ops.interior coarse)
+    [
+      Ops.arg_dat_restrict fine Ops.stencil_2d_quad ~factor:2 Access.Read;
+      Ops.arg_dat coarse Ops.stencil_point Access.Write;
+    ]
+    (fun a ->
+      (* quad order: (0,0) (1,0) (0,1) (1,1) on the fine grid at (2x, 2y) *)
+      a.(1).(0) <- a.(0).(0));
+  for y = 0 to 3 do
+    for x = 0 to 3 do
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "coarse(%d,%d) = fine(2x,2y)" x y)
+        (Float.of_int ((2 * x) + (200 * y)))
+        (Ops.get coarse ~x ~y ~c:0)
+    done
+  done
+
+let test_prolong_gather () =
+  let ctx = Ops.create () in
+  let grid = Ops.decl_block ctx ~name:"g" in
+  let fine = Ops.decl_dat ctx ~name:"fine" ~block:grid ~xsize:8 ~ysize:8 () in
+  let coarse = Ops.decl_dat ctx ~name:"coarse" ~block:grid ~xsize:4 ~ysize:4 () in
+  Ops.init ctx coarse (fun x y _ -> Float.of_int (x + (10 * y)));
+  Ops.par_loop ctx ~name:"prolong" grid (Ops.interior fine)
+    [
+      Ops.arg_dat_prolong coarse Ops.stencil_point ~factor:2 Access.Read;
+      Ops.arg_dat fine Ops.stencil_point Access.Write;
+    ]
+    (fun a -> a.(1).(0) <- a.(0).(0));
+  for y = 0 to 7 do
+    for x = 0 to 7 do
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "fine(%d,%d) = coarse(x/2,y/2)" x y)
+        (Float.of_int ((x / 2) + (10 * (y / 2))))
+        (Ops.get fine ~x ~y ~c:0)
+    done
+  done
+
+let test_strided_write_rejected () =
+  let ctx = Ops.create () in
+  let grid = Ops.decl_block ctx ~name:"g" in
+  let fine = Ops.decl_dat ctx ~name:"fine" ~block:grid ~xsize:8 ~ysize:8 () in
+  let coarse = Ops.decl_dat ctx ~name:"coarse" ~block:grid ~xsize:4 ~ysize:4 () in
+  expect_invalid (fun () ->
+      Ops.par_loop ctx ~name:"bad" grid (Ops.interior coarse)
+        [
+          Ops.arg_dat_restrict fine Ops.stencil_point ~factor:2 Access.Write;
+          Ops.arg_dat coarse Ops.stencil_point Access.Read;
+        ]
+        ignore)
+
+let test_strided_rejected_on_dist () =
+  let ctx = Ops.create () in
+  let grid = Ops.decl_block ctx ~name:"g" in
+  let fine = Ops.decl_dat ctx ~name:"fine" ~block:grid ~xsize:8 ~ysize:8 () in
+  let other = Ops.decl_dat ctx ~name:"other" ~block:grid ~xsize:8 ~ysize:8 () in
+  Ops.partition ctx ~n_ranks:2 ~ref_ysize:8;
+  expect_invalid (fun () ->
+      Ops.par_loop ctx ~name:"bad" grid { Ops.xlo = 0; xhi = 4; ylo = 0; yhi = 4 }
+        [
+          Ops.arg_dat_restrict fine Ops.stencil_point ~factor:2 Access.Read;
+          Ops.arg_dat other Ops.stencil_point Access.Write;
+        ]
+        ignore)
+
+let test_strided_cuda_matches_seq () =
+  let run backend =
+    let ctx = Ops.create ?backend () in
+    let grid = Ops.decl_block ctx ~name:"g" in
+    let fine = Ops.decl_dat ctx ~name:"fine" ~block:grid ~xsize:12 ~ysize:12 () in
+    let coarse = Ops.decl_dat ctx ~name:"coarse" ~block:grid ~xsize:6 ~ysize:6 () in
+    Ops.init ctx fine (fun x y _ -> sin (0.5 *. Float.of_int ((x * 3) + y)));
+    Ops.par_loop ctx ~name:"restrict" grid (Ops.interior coarse)
+      [
+        Ops.arg_dat_restrict fine Ops.stencil_2d_quad ~factor:2 Access.Read;
+        Ops.arg_dat coarse Ops.stencil_point Access.Write;
+      ]
+      (fun a -> a.(1).(0) <- 0.25 *. (a.(0).(0) +. a.(0).(1) +. a.(0).(2) +. a.(0).(3)));
+    Ops.fetch_interior ctx coarse
+  in
+  let seq = run None in
+  let cuda =
+    run (Some (Ops.Cuda_sim { Am_ops.Exec.tile_x = 4; tile_y = 4; strategy = Am_ops.Exec.Cuda_tiled }))
+  in
+  Alcotest.(check bool) "cuda tiled matches with strided args" true
+    (Fa.approx_equal ~tol:0.0 seq cuda)
+
+(* ---- Multi-block halos ---- *)
+
+let test_multiblock_identity_halo () =
+  let ctx = Ops.create () in
+  let left = Ops.decl_block ctx ~name:"left" in
+  let right = Ops.decl_block ctx ~name:"right" in
+  let a = Ops.decl_dat ctx ~name:"a" ~block:left ~xsize:6 ~ysize:4 ~halo:2 () in
+  let b = Ops.decl_dat ctx ~name:"b" ~block:right ~xsize:6 ~ysize:4 ~halo:2 () in
+  Ops.init ctx a (fun x y _ -> Float.of_int ((100 * x) + y));
+  Ops.init ctx b (fun _ _ _ -> 0.0);
+  (* a's rightmost interior column feeds b's left ghost column. *)
+  let h =
+    Ops.decl_halo ctx ~name:"a->b" ~src:a ~dst:b
+      ~src_range:{ Ops.xlo = 5; xhi = 6; ylo = 0; yhi = 4 }
+      ~dst_range:{ Ops.xlo = -1; xhi = 0; ylo = 0; yhi = 4 }
+      ()
+  in
+  Ops.halo_transfer ctx [ h ];
+  for y = 0 to 3 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "row %d" y)
+      (Float.of_int (500 + y))
+      (Ops.get b ~x:(-1) ~y ~c:0)
+  done
+
+let test_multiblock_rejects_mismatch () =
+  let ctx = Ops.create () in
+  let blk = Ops.decl_block ctx ~name:"b" in
+  let a = Ops.decl_dat ctx ~name:"a" ~block:blk ~xsize:6 ~ysize:4 () in
+  let b = Ops.decl_dat ctx ~name:"b" ~block:blk ~xsize:6 ~ysize:4 () in
+  expect_invalid (fun () ->
+      Ops.decl_halo ctx ~name:"bad" ~src:a ~dst:b
+        ~src_range:{ Ops.xlo = 0; xhi = 2; ylo = 0; yhi = 4 }
+        ~dst_range:{ Ops.xlo = 0; xhi = 1; ylo = 0; yhi = 4 }
+        ())
+
+(* ---- Instrumentation ---- *)
+
+let test_profile_and_trace () =
+  let m = build_mini () in
+  Am_core.Trace.set_enabled (Ops.trace m.ctx) true;
+  ignore (run_mini m 2);
+  (match Am_core.Profile.find (Ops.profile m.ctx) "diffuse" with
+  | None -> Alcotest.fail "diffuse not profiled"
+  | Some e -> Alcotest.(check int) "calls" 2 e.Am_core.Profile.count);
+  let events = Am_core.Trace.events (Ops.trace m.ctx) in
+  Alcotest.(check int) "loops traced" 4 (List.length events)
+
+(* ---- Properties ---- *)
+
+(* With zero-flux dynamics (pure copy), any backend and any decomposition
+   must reproduce the field exactly. *)
+let prop_dist_exact_for_copy =
+  QCheck.Test.make ~name:"copy loop exact under any decomposition" ~count:30
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 5 20) (int_range 5 20) (int_range 1 4)))
+    (fun (nx, ny, n_ranks) ->
+      QCheck.assume (ny / n_ranks >= 2);
+      let make part =
+        let ctx = Ops.create () in
+        let grid = Ops.decl_block ctx ~name:"grid" in
+        let u = Ops.decl_dat ctx ~name:"u" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+        let v = Ops.decl_dat ctx ~name:"v" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+        Ops.init ctx u (fun x y _ -> Float.of_int ((x * 7) + (y * 13)));
+        if part then Ops.partition ctx ~n_ranks ~ref_ysize:ny;
+        Ops.par_loop ctx ~name:"shift" grid (Ops.interior u)
+          [
+            Ops.arg_dat u Ops.stencil_2d_plus1x Access.Read;
+            Ops.arg_dat v Ops.stencil_point Access.Write;
+          ]
+          (fun a -> a.(1).(0) <- a.(0).(1));
+        Ops.fetch_interior ctx v
+      in
+      Fa.approx_equal ~tol:0.0 (make false) (make true))
+
+(* Random-stencil equivalence: a loop reading through a random (in-halo)
+   stencil and writing centre-only must agree between the sequential
+   reference and a random backend/decomposition. *)
+let prop_random_stencil_backend_equivalence =
+  QCheck.Test.make ~name:"random stencils agree on every backend" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         quad (int_range 0 1000) (int_range 6 20) (int_range 6 20) (int_range 0 3)))
+    (fun (seed, nx, ny, which) ->
+      QCheck.assume (ny / 3 >= 2);
+      let rng = Am_util.Prng.create seed in
+      let n_points = 1 + Am_util.Prng.int rng 5 in
+      let stencil =
+        Array.init n_points (fun i ->
+            if i = 0 then (0, 0)
+            else (Am_util.Prng.int rng 5 - 2, Am_util.Prng.int rng 5 - 2))
+      in
+      let weights = Array.init n_points (fun _ -> Am_util.Prng.float_range rng (-1.0) 1.0) in
+      let run configure =
+        let ctx = Ops.create () in
+        let grid = Ops.decl_block ctx ~name:"grid" in
+        let u = Ops.decl_dat ctx ~name:"u" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+        let w = Ops.decl_dat ctx ~name:"w" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+        Ops.init ctx u (fun x y _ -> cos (0.3 *. Float.of_int ((x * 5) + (y * 11))));
+        configure ctx;
+        Ops.par_loop ctx ~name:"rand_stencil" grid (Ops.interior u)
+          [
+            Ops.arg_dat u stencil Access.Read;
+            Ops.arg_dat w Ops.stencil_point Access.Write;
+          ]
+          (fun a ->
+            let acc = ref 0.0 in
+            for p = 0 to n_points - 1 do
+              acc := !acc +. (weights.(p) *. a.(0).(p))
+            done;
+            a.(1).(0) <- !acc);
+        Ops.fetch_interior ctx w
+      in
+      let reference = run (fun _ -> ()) in
+      let result =
+        run (fun ctx ->
+            match which with
+            | 0 -> Ops.partition ctx ~n_ranks:3 ~ref_ysize:ny
+            | 1 ->
+              Ops.set_backend ctx
+                (Ops.Cuda_sim
+                   { Am_ops.Exec.tile_x = 4; tile_y = 4;
+                     strategy = Am_ops.Exec.Cuda_tiled })
+            | 2 ->
+              Ops.set_backend ctx
+                (Ops.Cuda_sim
+                   { Am_ops.Exec.tile_x = 8; tile_y = 2;
+                     strategy = Am_ops.Exec.Cuda_global })
+            | _ -> Ops.partition_grid ctx ~px:2 ~py:2 ~ref_xsize:nx ~ref_ysize:ny)
+      in
+      Fa.approx_equal ~tol:0.0 reference result)
+
+let () =
+  Alcotest.run "ops"
+    [
+      ( "backend equivalence",
+        [
+          Alcotest.test_case "shared = seq" `Quick test_shared_matches;
+          Alcotest.test_case "cuda global = seq" `Quick test_cuda_global_matches;
+          Alcotest.test_case "cuda tiled = seq" `Quick test_cuda_tiled_matches;
+          Alcotest.test_case "dist(2) = seq" `Quick (dist_test 2);
+          Alcotest.test_case "dist(4) = seq" `Quick (dist_test 4);
+          Alcotest.test_case "dist traffic" `Quick test_dist_traffic;
+          Alcotest.test_case "depth-aware exchange" `Quick test_depth_aware_exchange;
+          Alcotest.test_case "center-only: no traffic" `Quick
+            test_dist_center_only_no_traffic;
+          Alcotest.test_case "staggered dat" `Quick test_dist_staggered_dat;
+          Alcotest.test_case "ghost-row BCs" `Quick test_dist_ghost_row_bc;
+        ] );
+      ( "reductions/args",
+        [
+          Alcotest.test_case "min/max" `Quick test_gbl_min_max;
+          Alcotest.test_case "arg_idx" `Quick test_arg_idx;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "par_loop misuse" `Quick test_validation;
+          Alcotest.test_case "partition misuse" `Quick test_partition_errors;
+        ] );
+      ( "strided stencils",
+        [
+          Alcotest.test_case "restrict gather" `Quick test_restrict_gather;
+          Alcotest.test_case "prolong gather" `Quick test_prolong_gather;
+          Alcotest.test_case "strided write rejected" `Quick test_strided_write_rejected;
+          Alcotest.test_case "rejected on dist" `Quick test_strided_rejected_on_dist;
+          Alcotest.test_case "cuda tiled with strided args" `Quick
+            test_strided_cuda_matches_seq;
+        ] );
+      ( "multiblock",
+        [
+          Alcotest.test_case "identity halo" `Quick test_multiblock_identity_halo;
+          Alcotest.test_case "mismatch rejected" `Quick test_multiblock_rejects_mismatch;
+        ] );
+      ( "instrumentation",
+        [ Alcotest.test_case "profile and trace" `Quick test_profile_and_trace ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_dist_exact_for_copy;
+          QCheck_alcotest.to_alcotest prop_random_stencil_backend_equivalence;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the in-process message-passing simulator and halo engine. *)
+
+module Comm = Am_simmpi.Comm
+module Halo = Am_simmpi.Halo
+
+let test_comm_fifo () =
+  let c = Comm.create ~n_ranks:2 in
+  Comm.send c ~src:0 ~dst:1 [| 1.0 |];
+  Comm.send c ~src:0 ~dst:1 [| 2.0 |];
+  Alcotest.(check (float 0.0)) "first" 1.0 (Comm.recv c ~src:0 ~dst:1).(0);
+  Alcotest.(check (float 0.0)) "second" 2.0 (Comm.recv c ~src:0 ~dst:1).(0)
+
+let test_comm_stats () =
+  let c = Comm.create ~n_ranks:2 in
+  Comm.send c ~src:0 ~dst:1 [| 1.0; 2.0; 3.0 |];
+  let s = Comm.stats c in
+  Alcotest.(check int) "messages" 1 s.Comm.messages;
+  Alcotest.(check int) "bytes" 24 s.Comm.bytes;
+  Comm.reset_stats c;
+  Alcotest.(check int) "reset" 0 (Comm.stats c).Comm.messages
+
+let test_comm_recv_empty_fails () =
+  let c = Comm.create ~n_ranks:2 in
+  Alcotest.check_raises "deadlock detected"
+    (Failure "Comm.recv: no message pending from rank 1 to rank 0") (fun () ->
+      ignore (Comm.recv c ~src:1 ~dst:0))
+
+let test_comm_allreduce () =
+  let c = Comm.create ~n_ranks:3 in
+  Alcotest.(check (float 0.0)) "sum" 6.0 (Comm.allreduce_sum c [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 0.0)) "min" 1.0 (Comm.allreduce_min c [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 0.0)) "max" 3.0 (Comm.allreduce_max c [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check int) "reductions counted" 3 (Comm.stats c).Comm.reductions
+
+let test_comm_drained () =
+  let c = Comm.create ~n_ranks:2 in
+  Alcotest.(check bool) "initially drained" true (Comm.all_drained c);
+  Comm.send c ~src:0 ~dst:1 [| 0.0 |];
+  Alcotest.(check bool) "pending" false (Comm.all_drained c);
+  ignore (Comm.recv c ~src:0 ~dst:1);
+  Alcotest.(check bool) "drained again" true (Comm.all_drained c)
+
+(* Two ranks, each owning 2 elements plus 1 halo slot mirroring the peer's
+   first element:
+     rank 0 local: [o0; o1; h(=peer slot 0)]
+     rank 1 local: [o0; o1; h(=peer slot 0)] *)
+let two_rank_plan () =
+  Halo.create ~n_ranks:2
+    ~exports:[| [| [||]; [| 0 |] |]; [| [| 0 |]; [||] |] |]
+    ~imports:[| [| [||]; [| 2 |] |]; [| [| 2 |]; [||] |] |]
+
+let test_halo_exchange () =
+  let plan = two_rank_plan () in
+  let data = [| [| 10.0; 11.0; 0.0 |]; [| 20.0; 21.0; 0.0 |] |] in
+  let c = Comm.create ~n_ranks:2 in
+  Halo.exchange c plan ~dim:1 data;
+  Alcotest.(check (float 0.0)) "rank0 halo" 20.0 data.(0).(2);
+  Alcotest.(check (float 0.0)) "rank1 halo" 10.0 data.(1).(2);
+  Alcotest.(check bool) "all delivered" true (Comm.all_drained c)
+
+let test_halo_reduce () =
+  let plan = two_rank_plan () in
+  (* Halo slots hold partial contributions for the peer's element 0. *)
+  let data = [| [| 1.0; 0.0; 5.0 |]; [| 2.0; 0.0; 7.0 |] |] in
+  let c = Comm.create ~n_ranks:2 in
+  Halo.reduce c plan ~dim:1 data;
+  Alcotest.(check (float 0.0)) "rank0 owner accumulated" (1.0 +. 7.0) data.(0).(0);
+  Alcotest.(check (float 0.0)) "rank1 owner accumulated" (2.0 +. 5.0) data.(1).(0)
+
+let test_halo_exchange_dim2 () =
+  let plan = two_rank_plan () in
+  let data =
+    [| [| 1.0; 2.0; 3.0; 4.0; 0.0; 0.0 |]; [| 5.0; 6.0; 7.0; 8.0; 0.0; 0.0 |] |]
+  in
+  let c = Comm.create ~n_ranks:2 in
+  Halo.exchange c plan ~dim:2 data;
+  Alcotest.(check (float 0.0)) "component 0" 5.0 data.(0).(4);
+  Alcotest.(check (float 0.0)) "component 1" 6.0 data.(0).(5)
+
+let test_halo_volume_and_peers () =
+  let plan = two_rank_plan () in
+  Alcotest.(check int) "volume" 2 (Halo.volume plan);
+  Alcotest.(check int) "peers" 1 (Halo.max_peers plan)
+
+let test_halo_shape_mismatch_rejected () =
+  Alcotest.check_raises "export/import mismatch"
+    (Invalid_argument "Halo.create: export 0->1 does not match import") (fun () ->
+      ignore
+        (Halo.create ~n_ranks:2
+           ~exports:[| [| [||]; [| 0; 1 |] |]; [| [||]; [||] |] |]
+           ~imports:[| [| [||]; [||] |]; [| [| 2 |]; [||] |] |]))
+
+let test_exchange_then_reduce_roundtrip () =
+  (* Property-style check on a ring of 4 ranks, each owning 3 elements and
+     importing the "previous" rank's last element. *)
+  let n_ranks = 4 in
+  let exports = Array.init n_ranks (fun _ -> Array.make n_ranks [||]) in
+  let imports = Array.init n_ranks (fun _ -> Array.make n_ranks [||]) in
+  for r = 0 to n_ranks - 1 do
+    let next = (r + 1) mod n_ranks in
+    exports.(r).(next) <- [| 2 |];
+    imports.(next).(r) <- [| 3 |]
+  done;
+  let plan = Halo.create ~n_ranks ~exports ~imports in
+  let data = Array.init n_ranks (fun r -> [| Float.of_int r; 0.0; 10.0 *. Float.of_int r; 0.0 |]) in
+  let c = Comm.create ~n_ranks in
+  Halo.exchange c plan ~dim:1 data;
+  for r = 0 to n_ranks - 1 do
+    let prev = (r + n_ranks - 1) mod n_ranks in
+    Alcotest.(check (float 0.0)) "halo holds prev rank's value"
+      (10.0 *. Float.of_int prev) data.(r).(3)
+  done;
+  (* Now accumulate 1.0 in every halo slot and reduce: every owner's slot 2
+     gains exactly 1.0. *)
+  let before = Array.map (fun d -> d.(2)) data in
+  Array.iter (fun d -> d.(3) <- 1.0) data;
+  Halo.reduce c plan ~dim:1 data;
+  for r = 0 to n_ranks - 1 do
+    Alcotest.(check (float 0.0)) "owner gained contribution" (before.(r) +. 1.0)
+      data.(r).(2)
+  done
+
+let () =
+  Alcotest.run "simmpi"
+    [
+      ( "comm",
+        [
+          Alcotest.test_case "fifo" `Quick test_comm_fifo;
+          Alcotest.test_case "stats" `Quick test_comm_stats;
+          Alcotest.test_case "recv empty fails" `Quick test_comm_recv_empty_fails;
+          Alcotest.test_case "allreduce" `Quick test_comm_allreduce;
+          Alcotest.test_case "drained" `Quick test_comm_drained;
+        ] );
+      ( "halo",
+        [
+          Alcotest.test_case "exchange" `Quick test_halo_exchange;
+          Alcotest.test_case "reduce" `Quick test_halo_reduce;
+          Alcotest.test_case "exchange dim=2" `Quick test_halo_exchange_dim2;
+          Alcotest.test_case "volume/peers" `Quick test_halo_volume_and_peers;
+          Alcotest.test_case "shape mismatch" `Quick test_halo_shape_mismatch_rejected;
+          Alcotest.test_case "ring roundtrip" `Quick test_exchange_then_reduce_roundtrip;
+        ] );
+    ]
