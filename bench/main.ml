@@ -10,7 +10,9 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- table1    # a single experiment
      dune exec bench/main.exe -- --list    # experiment ids
-     dune exec bench/main.exe -- --no-micro  # skip the Bechamel section *)
+     dune exec bench/main.exe -- --no-micro  # skip the Bechamel section
+     dune exec bench/main.exe -- micro --json [file]
+       # also write the micro estimates as JSON (default BENCH.json) *)
 
 module Registry = Am_experiments.Registry
 
@@ -93,7 +95,21 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Am_mesh.Reorder.rcm dual)));
   ]
 
-let run_micro () =
+(* Machine-readable dump of the micro estimates: benchmark name to OLS
+   nanoseconds per run.  Hand-rolled JSON — names contain only [a-z0-9_/]. *)
+let write_json path estimates =
+  let oc = open_out path in
+  output_string oc "{\n  \"unit\": \"ns_per_run\",\n  \"results\": {\n";
+  let n = List.length estimates in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    %S: %.3f%s\n" name ns (if i = n - 1 then "" else ","))
+    estimates;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d benchmarks)\n\n%!" path n
+
+let run_micro ?json () =
   let open Bechamel in
   print_endline "######## micro — Bechamel kernels (one per table/figure) ########\n";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -105,6 +121,7 @@ let run_micro () =
       ~aligns:[ Am_util.Table.Left; Right ]
       ()
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -113,19 +130,36 @@ let run_micro () =
         (fun name ols_result ->
           let cell =
             match Analyze.OLS.estimates ols_result with
-            | Some [ ns ] -> Am_util.Units.seconds (ns /. 1e9)
+            | Some [ ns ] ->
+              estimates := (name, ns) :: !estimates;
+              Am_util.Units.seconds (ns /. 1e9)
             | Some _ | None -> "n/a"
           in
           Am_util.Table.add_row table [ name; cell ])
         per_name)
     (micro_tests ());
   Am_util.Table.print table;
-  print_newline ()
+  print_newline ();
+  match json with
+  | None -> ()
+  | Some path ->
+    write_json path
+      (List.sort (fun (a, _) (b, _) -> compare a b) !estimates)
 
 (* ---- Entry point ---------------------------------------------------------- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* Extract an optional "--json [file]" (any position); the remaining
+     arguments keep their usual meaning. *)
+  let rec extract_json acc = function
+    | [] -> (None, List.rev acc)
+    | "--json" :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+      (Some path, List.rev_append acc rest)
+    | "--json" :: rest -> (Some "BENCH.json", List.rev_append acc rest)
+    | a :: rest -> extract_json (a :: acc) rest
+  in
+  let json, args = extract_json [] args in
   match args with
   | [ "--list" ] ->
     List.iter
@@ -134,12 +168,12 @@ let () =
     print_endline "micro      Bechamel micro-benchmarks"
   | [] ->
     Registry.run_all ();
-    run_micro ()
+    run_micro ?json ()
   | [ "--no-micro" ] -> Registry.run_all ()
   | ids ->
     List.iter
       (fun id ->
-        if id = "micro" then run_micro ()
+        if id = "micro" then run_micro ?json ()
         else
           match Registry.find id with
           | Some e ->

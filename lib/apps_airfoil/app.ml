@@ -27,6 +27,16 @@ type t = {
   adt : Op2.dat;
   res : Op2.dat;
   bound : Op2.dat;
+  (* Accumulator reused across iterations so the update loop's argument
+     signature stays pointer-identical for the cached executor. *)
+  rms_buf : float array;
+  (* One loop handle per call site: plan + compiled executor are resolved
+     once and revalidated with pointer compares on each invocation. *)
+  h_save_soln : Op2.handle;
+  h_adt_calc : Op2.handle;
+  h_res_calc : Op2.handle;
+  h_bres_calc : Op2.handle;
+  h_update : Op2.handle;
 }
 
 (* Free-stream initial state on every cell. *)
@@ -82,17 +92,26 @@ let create ?backend (mesh : Umesh.t) =
   {
     ctx; mesh; nodes; cells; edges; bedges; edge_nodes; edge_cells; bedge_nodes;
     bedge_cell; cell_nodes; x; q; qold; adt; res; bound;
+    rms_buf = [| 0.0 |];
+    h_save_soln = Op2.make_handle ();
+    h_adt_calc = Op2.make_handle ();
+    h_res_calc = Op2.make_handle ();
+    h_bres_calc = Op2.make_handle ();
+    h_update = Op2.make_handle ();
   }
 
 (* One outer iteration: save the state, then two inner explicit cycles.
    Returns the RMS residual of the final inner cycle. *)
 let iteration t =
-  Op2.par_loop t.ctx ~name:"save_soln" ~info:Kernels.save_soln_info t.cells
+  Op2.par_loop t.ctx ~name:"save_soln" ~info:Kernels.save_soln_info
+    ~handle:t.h_save_soln t.cells
     [ Op2.arg_dat t.q Access.Read; Op2.arg_dat t.qold Access.Write ]
     Kernels.save_soln;
-  let rms = [| 0.0 |] in
+  let rms = t.rms_buf in
+  rms.(0) <- 0.0;
   for _inner = 1 to 2 do
-    Op2.par_loop t.ctx ~name:"adt_calc" ~info:Kernels.adt_calc_info t.cells
+    Op2.par_loop t.ctx ~name:"adt_calc" ~info:Kernels.adt_calc_info
+      ~handle:t.h_adt_calc t.cells
       [
         Op2.arg_dat_indirect t.x t.cell_nodes 0 Access.Read;
         Op2.arg_dat_indirect t.x t.cell_nodes 1 Access.Read;
@@ -102,7 +121,8 @@ let iteration t =
         Op2.arg_dat t.adt Access.Write;
       ]
       Kernels.adt_calc;
-    Op2.par_loop t.ctx ~name:"res_calc" ~info:Kernels.res_calc_info t.edges
+    Op2.par_loop t.ctx ~name:"res_calc" ~info:Kernels.res_calc_info
+      ~handle:t.h_res_calc t.edges
       [
         Op2.arg_dat_indirect t.x t.edge_nodes 0 Access.Read;
         Op2.arg_dat_indirect t.x t.edge_nodes 1 Access.Read;
@@ -114,7 +134,8 @@ let iteration t =
         Op2.arg_dat_indirect t.res t.edge_cells 1 Access.Inc;
       ]
       Kernels.res_calc;
-    Op2.par_loop t.ctx ~name:"bres_calc" ~info:Kernels.bres_calc_info t.bedges
+    Op2.par_loop t.ctx ~name:"bres_calc" ~info:Kernels.bres_calc_info
+      ~handle:t.h_bres_calc t.bedges
       [
         Op2.arg_dat_indirect t.x t.bedge_nodes 0 Access.Read;
         Op2.arg_dat_indirect t.x t.bedge_nodes 1 Access.Read;
@@ -125,7 +146,8 @@ let iteration t =
       ]
       Kernels.bres_calc;
     Array.fill rms 0 1 0.0;
-    Op2.par_loop t.ctx ~name:"update" ~info:Kernels.update_info t.cells
+    Op2.par_loop t.ctx ~name:"update" ~info:Kernels.update_info
+      ~handle:t.h_update t.cells
       [
         Op2.arg_dat t.qold Access.Read;
         Op2.arg_dat t.q Access.Write;

@@ -53,7 +53,26 @@ type t = {
   ener_flux_y : Ops.dat;
   mutable dt : float;
   mutable step : int;
+  (* Global-argument buffers hoisted out of the per-step functions so every
+     call site passes pointer-identical arrays and its cached executor stays
+     valid (fresh literals would force a recompile per call). *)
+  dims_buf : float array; (* [| dx; dy |], constant *)
+  vols_buf : float array; (* [| cell volume |], constant *)
+  consts_buf : float array; (* [| dx; dy; dt_eff; volume |], refilled per phase *)
+  dt_min_buf : float array; (* calc_dt Min accumulator *)
+  sums_buf : float array; (* field_summary Inc accumulator *)
+  (* One executor handle per distinct (loop, argument-signature) site,
+     keyed by site name. *)
+  handles : (string, Ops.handle) Hashtbl.t;
 }
+
+let handle t key =
+  match Hashtbl.find_opt t.handles key with
+  | Some h -> h
+  | None ->
+    let h = Ops.make_handle () in
+    Hashtbl.add t.handles key h;
+    h
 
 (* Standard test state (clover.in): ambient (rho, e) = (0.2, 1.0); an
    energetic square (1.0, 2.5) in the lower-left quarter. *)
@@ -122,6 +141,13 @@ let create ?backend ?(advection = First_order) ~nx ~ny () =
       ener_flux_y = yface "ener_flux_y";
       dt = 0.0;
       step = 0;
+      dims_buf = [| domain_size /. Float.of_int nx; domain_size /. Float.of_int ny |];
+      vols_buf =
+        [| domain_size /. Float.of_int nx *. (domain_size /. Float.of_int ny) |];
+      consts_buf = Array.make 4 0.0;
+      dt_min_buf = [| 0.0 |];
+      sums_buf = Array.make 5 0.0;
+      handles = Hashtbl.create 32;
     }
   in
   (* Initial state, evaluated at cell centres (ghosts included, so the
@@ -161,7 +187,8 @@ let zero_kernel args = args.(0).(0) <- 0.0
 
 let wall_velocities t =
   let zero name dat range =
-    Ops.par_loop t.ctx ~name ~info:Kernels.reset_field_info t.grid range
+    Ops.par_loop t.ctx ~name ~info:Kernels.reset_field_info ~handle:(handle t name)
+      t.grid range
       [ Ops.arg_dat dat s_pt Access.Write ]
       zero_kernel
   in
@@ -178,7 +205,9 @@ let mirror_velocities t =
 let ideal_gas t ~predict =
   let density = if predict then t.density1 else t.density0 in
   let energy = if predict then t.energy1 else t.energy0 in
-  Ops.par_loop t.ctx ~name:"ideal_gas" ~info:Kernels.ideal_gas_info t.grid (cells t)
+  Ops.par_loop t.ctx ~name:"ideal_gas" ~info:Kernels.ideal_gas_info
+    ~handle:(handle t (if predict then "ideal_gas_predict" else "ideal_gas"))
+    t.grid (cells t)
     [
       Ops.arg_dat density s_pt Access.Read;
       Ops.arg_dat energy s_pt Access.Read;
@@ -190,8 +219,9 @@ let ideal_gas t ~predict =
   Ops.mirror_halo t.ctx t.soundspeed
 
 let viscosity_step t =
-  let dims = [| t.dx; t.dy |] in
-  Ops.par_loop t.ctx ~name:"viscosity" ~info:Kernels.viscosity_info t.grid (cells t)
+  let dims = t.dims_buf in
+  Ops.par_loop t.ctx ~name:"viscosity" ~info:Kernels.viscosity_info
+    ~handle:(handle t "viscosity") t.grid (cells t)
     [
       Ops.arg_dat t.xvel0 s_quad_up Access.Read;
       Ops.arg_dat t.yvel0 s_quad_up Access.Read;
@@ -203,9 +233,11 @@ let viscosity_step t =
   Ops.mirror_halo t.ctx t.viscosity
 
 let timestep t =
-  let dims = [| t.dx; t.dy |] in
-  let dt_min = [| 0.04 (* g_big clamp: the initial/maximum dt *) |] in
-  Ops.par_loop t.ctx ~name:"calc_dt" ~info:Kernels.calc_dt_info t.grid (cells t)
+  let dims = t.dims_buf in
+  let dt_min = t.dt_min_buf in
+  dt_min.(0) <- 0.04 (* g_big clamp: the initial/maximum dt *);
+  Ops.par_loop t.ctx ~name:"calc_dt" ~info:Kernels.calc_dt_info
+    ~handle:(handle t "calc_dt") t.grid (cells t)
     [
       Ops.arg_dat t.soundspeed s_pt Access.Read;
       Ops.arg_dat t.viscosity s_pt Access.Read;
@@ -218,7 +250,14 @@ let timestep t =
     Kernels.calc_dt;
   t.dt <- dt_min.(0)
 
-let consts t = [| t.dx; t.dy; t.dt; volume t |]
+(* Refill the shared consts buffer in place (loops are synchronous, so the
+   values are stable for the duration of each par_loop). *)
+let consts t ~dt =
+  t.consts_buf.(0) <- t.dx;
+  t.consts_buf.(1) <- t.dy;
+  t.consts_buf.(2) <- dt;
+  t.consts_buf.(3) <- volume t;
+  t.consts_buf
 
 (* Predictor uses the level-0 velocities twice over half the timestep; the
    corrector averages both levels over the full timestep. *)
@@ -227,7 +266,8 @@ let pdv t ~predict =
   let yv1 = if predict then t.yvel0 else t.yvel1 in
   let dt_eff = if predict then 0.5 *. t.dt else t.dt in
   let name = if predict then "PdV_predict" else "PdV" in
-  Ops.par_loop t.ctx ~name ~info:Kernels.pdv_info t.grid (cells t)
+  Ops.par_loop t.ctx ~name ~info:Kernels.pdv_info ~handle:(handle t name) t.grid
+    (cells t)
     [
       Ops.arg_dat t.xvel0 s_quad_up Access.Read;
       Ops.arg_dat t.yvel0 s_quad_up Access.Read;
@@ -239,13 +279,14 @@ let pdv t ~predict =
       Ops.arg_dat t.viscosity s_pt Access.Read;
       Ops.arg_dat t.density1 s_pt Access.Write;
       Ops.arg_dat t.energy1 s_pt Access.Write;
-      Ops.arg_gbl ~name:"consts" [| t.dx; t.dy; dt_eff; volume t |] Access.Read;
+      Ops.arg_gbl ~name:"consts" (consts t ~dt:dt_eff) Access.Read;
     ]
     Kernels.pdv;
   mirror_thermo t
 
 let accelerate t =
-  Ops.par_loop t.ctx ~name:"accelerate" ~info:Kernels.accelerate_info t.grid (nodes t)
+  Ops.par_loop t.ctx ~name:"accelerate" ~info:Kernels.accelerate_info
+    ~handle:(handle t "accelerate") t.grid (nodes t)
     [
       Ops.arg_dat t.density0 s_quad_down Access.Read;
       Ops.arg_dat t.pressure s_quad_down Access.Read;
@@ -254,39 +295,45 @@ let accelerate t =
       Ops.arg_dat t.yvel0 s_pt Access.Read;
       Ops.arg_dat t.xvel1 s_pt Access.Write;
       Ops.arg_dat t.yvel1 s_pt Access.Write;
-      Ops.arg_gbl ~name:"consts" (consts t) Access.Read;
+      Ops.arg_gbl ~name:"consts" (consts t ~dt:t.dt) Access.Read;
     ]
     Kernels.accelerate;
   mirror_velocities t
 
 let flux_calc t =
-  Ops.par_loop t.ctx ~name:"flux_calc_x" ~info:Kernels.flux_calc_info t.grid (xfaces t)
+  let c = consts t ~dt:t.dt in
+  Ops.par_loop t.ctx ~name:"flux_calc_x" ~info:Kernels.flux_calc_info
+    ~handle:(handle t "flux_calc_x") t.grid (xfaces t)
     [
       Ops.arg_dat t.xvel0 s_p1y Access.Read;
       Ops.arg_dat t.xvel1 s_p1y Access.Read;
       Ops.arg_dat t.vol_flux_x s_pt Access.Write;
-      Ops.arg_gbl ~name:"consts" (consts t) Access.Read;
+      Ops.arg_gbl ~name:"consts" c Access.Read;
     ]
     Kernels.flux_calc_x;
-  Ops.par_loop t.ctx ~name:"flux_calc_y" ~info:Kernels.flux_calc_info t.grid (yfaces t)
+  Ops.par_loop t.ctx ~name:"flux_calc_y" ~info:Kernels.flux_calc_info
+    ~handle:(handle t "flux_calc_y") t.grid (yfaces t)
     [
       Ops.arg_dat t.yvel0 s_p1x Access.Read;
       Ops.arg_dat t.yvel1 s_p1x Access.Read;
       Ops.arg_dat t.vol_flux_y s_pt Access.Write;
-      Ops.arg_gbl ~name:"consts" (consts t) Access.Read;
+      Ops.arg_gbl ~name:"consts" c Access.Read;
     ]
     Kernels.flux_calc_y
 
 let advec_cell_sweep t ~dir =
-  let vols = [| volume t |] in
+  let vols = t.vols_buf in
   let vol_kernel, vol_name =
     match dir with
     | `X -> (Kernels.advec_vol_x, "advec_vol_x")
     | `Y -> (Kernels.advec_vol_y, "advec_vol_y")
   in
   (* Extended range: the van Leer fluxes read donor pre-volumes from ghost
-     cells (ghost volume fluxes are zero, so ghost pre_vol = volume). *)
-  Ops.par_loop t.ctx ~name:vol_name ~info:Kernels.advec_vol_info t.grid (cells_ext t)
+     cells (ghost volume fluxes are zero, so ghost pre_vol = volume).
+     Both sweep directions pass the same argument list to the volume loop,
+     so they share one executor handle. *)
+  Ops.par_loop t.ctx ~name:vol_name ~info:Kernels.advec_vol_info
+    ~handle:(handle t "advec_vol") t.grid (cells_ext t)
     [
       Ops.arg_dat t.vol_flux_x s_p1x Access.Read;
       Ops.arg_dat t.vol_flux_y s_p1y Access.Read;
@@ -299,8 +346,8 @@ let advec_cell_sweep t ~dir =
   | `X ->
     (match t.advection with
     | First_order ->
-      Ops.par_loop t.ctx ~name:"advec_flux_x" ~info:Kernels.advec_flux_info t.grid
-        (xfaces t)
+      Ops.par_loop t.ctx ~name:"advec_flux_x" ~info:Kernels.advec_flux_info
+        ~handle:(handle t "advec_flux_x") t.grid (xfaces t)
         [
           Ops.arg_dat t.vol_flux_x s_pt Access.Read;
           Ops.arg_dat t.density1 s_m1x Access.Read;
@@ -311,7 +358,7 @@ let advec_cell_sweep t ~dir =
         Kernels.advec_flux_x
     | Van_leer ->
       Ops.par_loop t.ctx ~name:"advec_flux_x_vl" ~info:Kernels.advec_flux_vanleer_info
-        t.grid (xfaces t)
+        ~handle:(handle t "advec_flux_x_vl") t.grid (xfaces t)
         [
           Ops.arg_dat t.vol_flux_x s_pt Access.Read;
           Ops.arg_dat t.density1 s_4x Access.Read;
@@ -321,8 +368,8 @@ let advec_cell_sweep t ~dir =
           Ops.arg_dat t.ener_flux_x s_pt Access.Write;
         ]
         Kernels.advec_flux_vanleer);
-    Ops.par_loop t.ctx ~name:"advec_cell_x" ~info:Kernels.advec_cell_info t.grid
-      (cells t)
+    Ops.par_loop t.ctx ~name:"advec_cell_x" ~info:Kernels.advec_cell_info
+      ~handle:(handle t "advec_cell_x") t.grid (cells t)
       [
         Ops.arg_dat t.mass_flux_x s_p1x Access.Read;
         Ops.arg_dat t.ener_flux_x s_p1x Access.Read;
@@ -335,8 +382,8 @@ let advec_cell_sweep t ~dir =
   | `Y ->
     (match t.advection with
     | First_order ->
-      Ops.par_loop t.ctx ~name:"advec_flux_y" ~info:Kernels.advec_flux_info t.grid
-        (yfaces t)
+      Ops.par_loop t.ctx ~name:"advec_flux_y" ~info:Kernels.advec_flux_info
+        ~handle:(handle t "advec_flux_y") t.grid (yfaces t)
         [
           Ops.arg_dat t.vol_flux_y s_pt Access.Read;
           Ops.arg_dat t.density1 s_m1y Access.Read;
@@ -347,7 +394,7 @@ let advec_cell_sweep t ~dir =
         Kernels.advec_flux_y
     | Van_leer ->
       Ops.par_loop t.ctx ~name:"advec_flux_y_vl" ~info:Kernels.advec_flux_vanleer_info
-        t.grid (yfaces t)
+        ~handle:(handle t "advec_flux_y_vl") t.grid (yfaces t)
         [
           Ops.arg_dat t.vol_flux_y s_pt Access.Read;
           Ops.arg_dat t.density1 s_4y Access.Read;
@@ -357,8 +404,8 @@ let advec_cell_sweep t ~dir =
           Ops.arg_dat t.ener_flux_y s_pt Access.Write;
         ]
         Kernels.advec_flux_vanleer);
-    Ops.par_loop t.ctx ~name:"advec_cell_y" ~info:Kernels.advec_cell_info t.grid
-      (cells t)
+    Ops.par_loop t.ctx ~name:"advec_cell_y" ~info:Kernels.advec_cell_info
+      ~handle:(handle t "advec_cell_y") t.grid (cells t)
       [
         Ops.arg_dat t.mass_flux_y s_p1y Access.Read;
         Ops.arg_dat t.ener_flux_y s_p1y Access.Read;
@@ -371,47 +418,53 @@ let advec_cell_sweep t ~dir =
   mirror_thermo t
 
 let advec_mom_sweep t ~dir =
-  let vols = [| volume t |] in
+  let vols = t.vols_buf in
+  let dir_tag = match dir with `X -> "x" | `Y -> "y" in
   (* Stage 1: plane mass fluxes at nodes. *)
   (match dir with
   | `X ->
-    Ops.par_loop t.ctx ~name:"mom_node_flux_x" ~info:Kernels.advec_mom_info t.grid
-      (nodes t)
+    Ops.par_loop t.ctx ~name:"mom_node_flux_x" ~info:Kernels.advec_mom_info
+      ~handle:(handle t "mom_node_flux_x") t.grid (nodes t)
       [
         Ops.arg_dat t.mass_flux_x s_m1y Access.Read;
         Ops.arg_dat t.node_flux s_pt Access.Write;
       ]
       Kernels.mom_node_flux
   | `Y ->
-    Ops.par_loop t.ctx ~name:"mom_node_flux_y" ~info:Kernels.advec_mom_info t.grid
-      (nodes t)
+    Ops.par_loop t.ctx ~name:"mom_node_flux_y" ~info:Kernels.advec_mom_info
+      ~handle:(handle t "mom_node_flux_y") t.grid (nodes t)
       [
         Ops.arg_dat t.mass_flux_y s_m1x Access.Read;
         Ops.arg_dat t.node_flux s_pt Access.Write;
       ]
       Kernels.mom_node_flux);
   (* Stage 2: post-advection nodal mass. *)
-  Ops.par_loop t.ctx ~name:"mom_node_mass" ~info:Kernels.advec_mom_info t.grid (nodes t)
+  Ops.par_loop t.ctx ~name:"mom_node_mass" ~info:Kernels.advec_mom_info
+    ~handle:(handle t "mom_node_mass") t.grid (nodes t)
     [
       Ops.arg_dat t.density1 s_quad_down Access.Read;
       Ops.arg_dat t.node_mass_post s_pt Access.Write;
       Ops.arg_gbl ~name:"volume" vols Access.Read;
     ]
     Kernels.mom_node_mass;
-  (* Stages 3-4 for each velocity component. *)
+  (* Stages 3-4 for each velocity component; each (direction, component)
+     pair is its own argument signature, hence its own handle. *)
   let vel_stencil, flux_stencil =
     match dir with `X -> (s_m1x, s_p1x) | `Y -> (s_m1y, s_p1y)
   in
   List.iter
-    (fun vel ->
-      Ops.par_loop t.ctx ~name:"mom_flux" ~info:Kernels.advec_mom_info t.grid (nodes t)
+    (fun (vel_tag, vel) ->
+      let site suffix = Printf.sprintf "%s_%s_%s" suffix dir_tag vel_tag in
+      Ops.par_loop t.ctx ~name:"mom_flux" ~info:Kernels.advec_mom_info
+        ~handle:(handle t (site "mom_flux")) t.grid (nodes t)
         [
           Ops.arg_dat t.node_flux s_pt Access.Read;
           Ops.arg_dat vel vel_stencil Access.Read;
           Ops.arg_dat t.mom_flux s_pt Access.Write;
         ]
         Kernels.mom_flux;
-      Ops.par_loop t.ctx ~name:"mom_vel" ~info:Kernels.advec_mom_info t.grid (nodes t)
+      Ops.par_loop t.ctx ~name:"mom_vel" ~info:Kernels.advec_mom_info
+        ~handle:(handle t (site "mom_vel")) t.grid (nodes t)
         [
           Ops.arg_dat t.node_flux flux_stencil Access.Read;
           Ops.arg_dat t.mom_flux flux_stencil Access.Read;
@@ -419,12 +472,13 @@ let advec_mom_sweep t ~dir =
           Ops.arg_dat vel s_pt Access.Rw;
         ]
         Kernels.mom_vel)
-    [ t.xvel1; t.yvel1 ];
+    [ ("xv", t.xvel1); ("yv", t.yvel1) ];
   mirror_velocities t
 
 let reset_field t =
   let copy name src dst range =
-    Ops.par_loop t.ctx ~name ~info:Kernels.reset_field_info t.grid range
+    Ops.par_loop t.ctx ~name ~info:Kernels.reset_field_info ~handle:(handle t name)
+      t.grid range
       [ Ops.arg_dat src s_pt Access.Read; Ops.arg_dat dst s_pt Access.Write ]
       Kernels.reset_field
   in
@@ -454,10 +508,11 @@ let hydro_step t =
 type summary = { vol : float; mass : float; ie : float; ke : float; press : float }
 
 let field_summary t =
-  let vols = [| volume t |] in
-  let sums = Array.make 5 0.0 in
-  Ops.par_loop t.ctx ~name:"field_summary" ~info:Kernels.field_summary_info t.grid
-    (cells t)
+  let vols = t.vols_buf in
+  let sums = t.sums_buf in
+  Array.fill sums 0 5 0.0;
+  Ops.par_loop t.ctx ~name:"field_summary" ~info:Kernels.field_summary_info
+    ~handle:(handle t "field_summary") t.grid (cells t)
     [
       Ops.arg_dat t.density0 s_pt Access.Read;
       Ops.arg_dat t.energy0 s_pt Access.Read;

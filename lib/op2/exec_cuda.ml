@@ -217,10 +217,18 @@ let run_element_staged args compiled buffers stages kernel e =
 
 (* ---- Entry point ---------------------------------------------------- *)
 
-let run config plan ~set_size ~args ~kernel =
+let run ?compiled config plan ~set_size ~args ~kernel =
   ignore set_size;
+  (* SoA conversion must happen before compiling: it replaces [dat.data].
+     A caller-supplied executor is only valid if it was compiled after
+     [ensure_soa] (the handle path in [Op2] guarantees this). *)
   if config.strategy = Global_soa then ensure_soa args;
-  let compiled = Exec_common.compile args in
+  let compiled =
+    match compiled with
+    | Some c -> c
+    | None -> Exec_common.compile args
+  in
+  let has_globals = Exec_common.has_globals compiled in
   let blocks = plan.Plan.blocks in
   Array.iter
     (fun same_color_blocks ->
@@ -239,6 +247,6 @@ let run config plan ~set_size ~args ~kernel =
             iter_block_by_color plan ~lo ~hi (fun e ->
                 run_element_staged args compiled buffers stages kernel e);
             write_back_stages stages);
-          Exec_common.merge_globals compiled buffers)
+          if has_globals then Exec_common.merge_globals compiled buffers)
         same_color_blocks)
     plan.Plan.block_coloring.Coloring.by_color

@@ -6,10 +6,17 @@
    human-readable debugging target the source-to-source generator also
    emits. *)
 
-let run ?resolvers ~set_size ~args ~kernel () =
-  let compiled = Exec_common.compile ?resolvers args in
+(* [?compiled] lets a loop handle supply a cached executor (see [Plan]);
+   without one the arguments are compiled on the spot. *)
+let run ?resolvers ?compiled ~set_size ~args ~kernel () =
+  let compiled =
+    match compiled with
+    | Some c -> c
+    | None -> Exec_common.compile ?resolvers args
+  in
   let buffers = Exec_common.make_buffers compiled in
   for e = 0 to set_size - 1 do
     Exec_common.run_element compiled buffers kernel e
   done;
-  Exec_common.merge_globals compiled buffers
+  if Exec_common.has_globals compiled then
+    Exec_common.merge_globals compiled buffers

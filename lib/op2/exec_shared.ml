@@ -3,35 +3,79 @@
    Conflict-free loops are chunked dynamically across the pool.  Loops with
    indirect writes execute the plan's block schedule: colours run one after
    another (a barrier between colours), blocks of the same colour run
-   concurrently — exactly the OpenMP execution strategy of the paper. *)
+   concurrently — exactly the OpenMP execution strategy of the paper.
+
+   Staging buffers (and global-reduction accumulators) are worker-local and
+   pooled: each worker allocates one buffer set on its first chunk and keeps
+   it for the whole loop, including across colour rounds.  Global reductions
+   are therefore lock-free during execution and combined once at the end by
+   a tree merge — there is no per-chunk mutex, and loops without global
+   arguments skip the reduction machinery entirely. *)
 
 module Coloring = Am_mesh.Coloring
 
-let run ?resolvers pool plan ~set_size ~args ~kernel =
-  let compiled = Exec_common.compile ?resolvers args in
-  let merge_mutex = Mutex.create () in
-  let merge buffers =
-    Mutex.lock merge_mutex;
-    Exec_common.merge_globals compiled buffers;
-    Mutex.unlock merge_mutex
+let run ?resolvers ?compiled pool plan ~set_size ~args ~kernel =
+  let compiled =
+    match compiled with
+    | Some c -> c
+    | None -> Exec_common.compile ?resolvers args
   in
-  if not (Plan.has_conflicts plan) then
-    Am_taskpool.Pool.parallel_for pool ~lo:0 ~hi:set_size (fun lo hi ->
-        let buffers = Exec_common.make_buffers compiled in
-        for e = lo to hi - 1 do
-          Exec_common.run_element compiled buffers kernel e
-        done;
-        merge buffers)
+  let has_globals = Exec_common.has_globals compiled in
+  if not (Plan.has_conflicts plan) then begin
+    let states =
+      Am_taskpool.Pool.parallel_for_local pool ~lo:0 ~hi:set_size
+        ~local:(fun () -> Exec_common.make_buffers compiled)
+        ~body:(fun buffers lo hi ->
+          for e = lo to hi - 1 do
+            Exec_common.run_element compiled buffers kernel e
+          done)
+    in
+    if has_globals then Exec_common.merge_worker_globals compiled states
+  end
   else begin
     let blocks = plan.Plan.blocks in
+    (* Free-list of buffer sets handed back between colour rounds, so a
+       worker joining a later round reuses a set allocated earlier instead
+       of growing the pool.  Accumulators carry over safely: they only ever
+       accumulate, and each distinct set is merged exactly once at the end. *)
+    let free = Atomic.make [] in
+    let take () =
+      let rec pop () =
+        match Atomic.get free with
+        | [] -> Exec_common.make_buffers compiled
+        | b :: rest as old ->
+          if Atomic.compare_and_set free old rest then b else pop ()
+      in
+      pop ()
+    in
+    let give_back states =
+      List.iter
+        (fun b ->
+          let rec push () =
+            let old = Atomic.get free in
+            if not (Atomic.compare_and_set free old (b :: old)) then push ()
+          in
+          push ())
+        states
+    in
+    let all_states = ref [] in
     Array.iter
       (fun same_color_blocks ->
-        Am_taskpool.Pool.parallel_iter_indices pool same_color_blocks (fun block ->
-            let lo, hi = Coloring.block_range blocks block in
-            let buffers = Exec_common.make_buffers compiled in
-            for e = lo to hi - 1 do
-              Exec_common.run_element compiled buffers kernel e
-            done;
-            merge buffers))
-      plan.Plan.block_coloring.Coloring.by_color
+        let states =
+          Am_taskpool.Pool.parallel_iter_indices_local pool same_color_blocks
+            ~local:take
+            ~body:(fun buffers block ->
+              let lo, hi = Coloring.block_range blocks block in
+              for e = lo to hi - 1 do
+                Exec_common.run_element compiled buffers kernel e
+              done)
+        in
+        if has_globals then
+          List.iter
+            (fun b ->
+              if not (List.memq b !all_states) then all_states := b :: !all_states)
+            states;
+        give_back states)
+      plan.Plan.block_coloring.Coloring.by_color;
+    if has_globals then Exec_common.merge_worker_globals compiled !all_states
   end

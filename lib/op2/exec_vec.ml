@@ -26,9 +26,13 @@ type config = { width : int }
 
 let default_config = { width = 8 }
 
-let run ?resolvers config plan ~set_size ~args ~kernel =
+let run ?resolvers ?compiled config plan ~set_size ~args ~kernel =
   let width = max 1 config.width in
-  let compiled = Exec_common.compile ?resolvers args in
+  let compiled =
+    match compiled with
+    | Some c -> c
+    | None -> Exec_common.compile ?resolvers args
+  in
   (* Per-lane staging buffers (and per-lane global accumulators). *)
   let lanes = Array.init width (fun _ -> Exec_common.make_buffers compiled) in
   let run_pack elems lo hi =
@@ -63,4 +67,5 @@ let run ?resolvers config plan ~set_size ~args ~kernel =
     (* Colour-by-colour packing: same-colour elements share no indirect
        target, so packed gathers/scatters cannot conflict. *)
     Array.iter run_packed ec.Coloring.by_color);
-  Array.iter (fun bufs -> Exec_common.merge_globals compiled bufs) lanes
+  if Exec_common.has_globals compiled then
+    Exec_common.merge_worker_globals compiled (Array.to_list lanes)

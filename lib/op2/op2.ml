@@ -212,8 +212,9 @@ let apply_seed_permutation ctx ~seed_set ~seed_perm =
       m.values <-
         Am_mesh.Reorder.permute_sources ~perm:(perm_of m.from_set) ~dim:m.arity v)
     (maps ctx.env);
-  (* Plans depend on map contents: drop them. *)
-  Hashtbl.reset ctx.plan_cache
+  (* Plans and compiled executors depend on map contents: drop them (live
+     loop handles notice via the cache generation). *)
+  Plan.invalidate ctx.plan_cache
 
 (* Reverse Cuthill-McKee on the dual graph of [through]'s target set (the
    default OP2 renumbering); returns mean dual-graph index distance
@@ -284,36 +285,73 @@ let comm_stats ctx =
 
 let now () = Unix.gettimeofday ()
 
-let execute_loop ctx ~name iter_set args kernel =
+(* A per-call-site loop handle (see [Plan]): resolves the execution plan and
+   the compiled gather/scatter executor without rebuilding the signature
+   string per invocation. *)
+type handle = Plan.handle
+
+let make_handle = Plan.make_handle
+
+let execute_loop ctx ~name ?handle iter_set args kernel =
   match ctx.dist with
   | Some d ->
+    (* Rank-local plans have their own cache; handles do not apply. *)
     let halo_seconds = ref 0.0 in
     Dist.par_loop ~halo_seconds d ~name ~iter_set ~args ~kernel;
     Profile.record_halo ctx.profile ~name ~seconds:!halo_seconds
   | None -> (
+    let resolve ~block_size =
+      match handle with
+      | None -> None
+      | Some h -> Some (Plan.resolve ctx.plan_cache h ~name ~iter_set ~block_size args)
+    in
+    let set_size = iter_set.Types.set_size in
     match ctx.backend with
-    | Seq -> Exec_seq.run ~set_size:iter_set.Types.set_size ~args ~kernel ()
-    | Vec config ->
+    | Seq -> (
+      (* No plan needed: the entry's lazy colouring is never forced. *)
+      match resolve ~block_size:0 with
+      | None -> Exec_seq.run ~set_size ~args ~kernel ()
+      | Some (_, compiled) -> Exec_seq.run ~compiled ~set_size ~args ~kernel ())
+    | Vec config -> (
       (* The vector plan only needs element colours; block size is moot. *)
-      let plan = Plan.find_or_build ctx.plan_cache ~name ~iter_set ~block_size:256 args in
-      Exec_vec.run config plan ~set_size:iter_set.Types.set_size ~args ~kernel
-    | Shared { pool; block_size } ->
-      let plan = Plan.find_or_build ctx.plan_cache ~name ~iter_set ~block_size args in
-      Exec_shared.run pool plan ~set_size:iter_set.Types.set_size ~args ~kernel
-    | Cuda_sim config ->
-      let plan =
-        Plan.find_or_build ctx.plan_cache ~name ~iter_set
-          ~block_size:config.Exec_cuda.block_size args
-      in
-      Exec_cuda.run config plan ~set_size:iter_set.Types.set_size ~args ~kernel)
+      match resolve ~block_size:256 with
+      | None ->
+        let plan = Plan.find_or_build ctx.plan_cache ~name ~iter_set ~block_size:256 args in
+        Exec_vec.run config plan ~set_size ~args ~kernel
+      | Some (entry, compiled) ->
+        Exec_vec.run ~compiled config (Lazy.force entry.Plan.entry_plan) ~set_size
+          ~args ~kernel)
+    | Shared { pool; block_size } -> (
+      match resolve ~block_size with
+      | None ->
+        let plan = Plan.find_or_build ctx.plan_cache ~name ~iter_set ~block_size args in
+        Exec_shared.run pool plan ~set_size ~args ~kernel
+      | Some (entry, compiled) ->
+        Exec_shared.run ~compiled pool (Lazy.force entry.Plan.entry_plan) ~set_size
+          ~args ~kernel)
+    | Cuda_sim config -> (
+      (* The SoA strategy replaces dataset arrays on first touch; convert
+         before resolving so the cached executor is compiled against the
+         final arrays. *)
+      if config.Exec_cuda.strategy = Exec_cuda.Global_soa then Exec_cuda.ensure_soa args;
+      match resolve ~block_size:config.Exec_cuda.block_size with
+      | None ->
+        let plan =
+          Plan.find_or_build ctx.plan_cache ~name ~iter_set
+            ~block_size:config.Exec_cuda.block_size args
+        in
+        Exec_cuda.run config plan ~set_size ~args ~kernel
+      | Some (entry, compiled) ->
+        Exec_cuda.run ~compiled config (Lazy.force entry.Plan.entry_plan) ~set_size
+          ~args ~kernel))
 
-let par_loop ctx ~name ?(info = Descr.default_kernel_info) iter_set args kernel =
+let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle iter_set args kernel =
   Types.validate_args ~iter_set args;
   let descr = Types.describe ~name ~iter_set ~info args in
   Trace.record ctx.trace descr;
   let t0 = now () in
   (match ctx.checkpoint with
-  | None -> execute_loop ctx ~name iter_set args kernel
+  | None -> execute_loop ctx ~name ?handle iter_set args kernel
   | Some session ->
     (* Checkpointing mode: the session decides whether to run the body
        (skipped while fast-forwarding, with logged global outputs replayed),
@@ -326,7 +364,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) iter_set args kernel 
         args
     in
     Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:(fun () ->
-        execute_loop ctx ~name iter_set args kernel));
+        execute_loop ctx ~name ?handle iter_set args kernel));
   let seconds = now () -. t0 in
   Profile.record ctx.profile ~name ~seconds ~bytes:(Descr.total_bytes descr)
     ~elements:iter_set.Types.set_size
@@ -340,7 +378,14 @@ let plan_report ctx =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "execution plans:\n";
   let entries =
-    Hashtbl.fold (fun key plan acc -> (key, plan) :: acc) ctx.plan_cache []
+    Hashtbl.fold
+      (fun key entry acc ->
+        (* Entries whose lazy plan was never forced (sequential execution)
+           have no colouring to report. *)
+        if Lazy.is_val entry.Plan.entry_plan then
+          (key, Lazy.force entry.Plan.entry_plan) :: acc
+        else acc)
+      ctx.plan_cache.Plan.table []
     |> List.sort compare
   in
   if entries = [] then Buffer.add_string buf "  (none built yet)\n";

@@ -189,14 +189,27 @@ val comm_stats : ctx -> Am_simmpi.Comm.stats option
 
 (** {1 The parallel loop} *)
 
-(** [par_loop ctx ~name ?info iter_set args kernel] validates [args],
-    records trace/profile entries, and executes [kernel] over every element
-    of [iter_set] on the context's backend. [info] declares the kernel's
-    per-element flop/transcendental counts for the performance model. *)
+(** Per-call-site loop handle: caches the resolved execution plan and the
+    compiled gather/scatter executor for a [par_loop] site, so repeated
+    invocations skip the signature-string cache lookup entirely (validity is
+    re-checked with pointer compares every call, and the handle re-resolves
+    itself after renumbering, layout conversion or dataset updates).
+    Same-signature sites share one plan and one executor even through
+    distinct handles. Handles are inert on partitioned contexts. *)
+type handle = Plan.handle
+
+val make_handle : unit -> handle
+
+(** [par_loop ctx ~name ?info ?handle iter_set args kernel] validates
+    [args], records trace/profile entries, and executes [kernel] over every
+    element of [iter_set] on the context's backend. [info] declares the
+    kernel's per-element flop/transcendental counts for the performance
+    model; [handle] memoises plan + executor resolution for the call site. *)
 val par_loop :
   ctx ->
   name:string ->
   ?info:Descr.kernel_info ->
+  ?handle:handle ->
   set ->
   arg list ->
   (float array array -> unit) ->

@@ -69,9 +69,12 @@ let window_index dat w ~x ~y ~c =
   ((((y - (w.row_lo - dat.halo)) * padded_width) + (x + dat.halo)) * dat.dim) + c
 
 let window_view dat w : Exec.view =
+  let padded_width = dat.xsize + (2 * dat.halo) in
   {
-    Exec.vget = (fun x y c -> w.data.(window_index dat w ~x ~y ~c));
-    vset = (fun x y c v -> w.data.(window_index dat w ~x ~y ~c) <- v);
+    Exec.vdata = w.data;
+    vbase = (((dat.halo - w.row_lo) * padded_width) + dat.halo) * dat.dim;
+    vrow = padded_width * dat.dim;
+    vcol = dat.dim;
   }
 
 let build env ~n_ranks ~ref_ysize =

@@ -48,8 +48,9 @@ let window_index dat w ~x ~c = ((x - (w.chunk_lo - dat.halo)) * dat.dim) + c
 
 let window_view dat w : Exec1.view =
   {
-    Exec1.vget = (fun x c -> w.data.(window_index dat w ~x ~c));
-    vset = (fun x c v -> w.data.(window_index dat w ~x ~c) <- v);
+    Exec1.vdata = w.data;
+    vbase = (dat.halo - w.chunk_lo) * dat.dim;
+    vcol = dat.dim;
   }
 
 let build env ~n_ranks ~ref_xsize =

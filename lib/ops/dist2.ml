@@ -80,8 +80,10 @@ let window_index dat w ~x ~y ~c =
 
 let window_view dat w : Exec.view =
   {
-    Exec.vget = (fun x y c -> w.data.(window_index dat w ~x ~y ~c));
-    vset = (fun x y c v -> w.data.(window_index dat w ~x ~y ~c) <- v);
+    Exec.vdata = w.data;
+    vbase = (((dat.halo - w.row_lo) * w.stride) + (dat.halo - w.col_lo)) * dat.dim;
+    vrow = w.stride * dat.dim;
+    vcol = dat.dim;
   }
 
 let build env ~px ~py ~ref_xsize ~ref_ysize =

@@ -54,9 +54,13 @@ let window_index dat w ~x ~y ~z ~c =
   + c
 
 let window_view dat w : Exec3.view =
+  let px = padded_x dat and py = padded_y dat in
   {
-    Exec3.vget = (fun x y z c -> w.data.(window_index dat w ~x ~y ~z ~c));
-    vset = (fun x y z c v -> w.data.(window_index dat w ~x ~y ~z ~c) <- v);
+    Exec3.vdata = w.data;
+    vbase = (((((dat.halo - w.slab_lo) * py) + dat.halo) * px) + dat.halo) * dat.dim;
+    vplane = py * px * dat.dim;
+    vrow = px * dat.dim;
+    vcol = dat.dim;
   }
 
 let build env ~n_ranks ~ref_zsize =

@@ -71,9 +71,16 @@ let window_index dat w ~x ~y ~z ~c =
   + c
 
 let window_view dat w : Exec3.view =
+  let px = padded_x dat in
   {
-    Exec3.vget = (fun x y z c -> w.data.(window_index dat w ~x ~y ~z ~c));
-    vset = (fun x y z c v -> w.data.(window_index dat w ~x ~y ~z ~c) <- v);
+    Exec3.vdata = w.data;
+    vbase =
+      (((((dat.halo - w.slab_lo) * w.y_stride) + (dat.halo - w.row_lo)) * px)
+       + dat.halo)
+      * dat.dim;
+    vplane = w.y_stride * px * dat.dim;
+    vrow = px * dat.dim;
+    vcol = dat.dim;
   }
 
 let build env ~py ~pz ~ref_ysize ~ref_zsize =

@@ -9,22 +9,34 @@
    directly (and why its OpenMP backend handles NUMA better than hand-coded
    code, Fig 5).
 
-   Engines access data through a [view] so that the distributed backend can
-   substitute rank-local windows without duplicating the traversal logic. *)
+   Data is addressed through affine [view]s (base + y*row + x*col), so each
+   argument compiles to one [int array] of flat offsets — one delta per
+   stencil point — and the gather is a straight indexed copy with no closure
+   call or index arithmetic beyond a single base computation per point.  The
+   distributed backend substitutes rank-local window views (which are affine
+   too) without touching the traversal logic.  Inner loops use unsafe
+   indexing; [validate_args] proves every stencil stays inside the
+   addressable padded box over the whole range before execution starts. *)
 
 module Access = Am_core.Access
 open Types
 
-type view = {
-  vget : int -> int -> int -> float; (* x y c *)
-  vset : int -> int -> int -> float -> unit;
-}
+(* Affine addressing window: component [c] of logical point (x, y) lives at
+   [vbase + y*vrow + x*vcol + c] in [vdata]. *)
+type view = { vdata : float array; vbase : int; vrow : int; vcol : int }
 
 let dat_view dat =
+  let pw = dat.xsize + (2 * dat.halo) in
   {
-    vget = (fun x y c -> get dat ~x ~y ~c);
-    vset = (fun x y c v -> set dat ~x ~y ~c v);
+    vdata = dat.data;
+    vbase = ((dat.halo * pw) + dat.halo) * dat.dim;
+    vrow = pw * dat.dim;
+    vcol = dat.dim;
   }
+
+(* Bounds-checked accessors for the cold paths (tile staging, write-back). *)
+let vget v ~x ~y ~c = v.vdata.(v.vbase + (y * v.vrow) + (x * v.vcol) + c)
+let vset v ~x ~y ~c value = v.vdata.(v.vbase + (y * v.vrow) + (x * v.vcol) + c) <- value
 
 type compiled_arg =
   | C_dat of {
@@ -33,6 +45,8 @@ type compiled_arg =
       stencil : stencil;
       access : Access.t;
       stride : stride;
+      gather : float array -> int -> int -> unit; (* staging buffer, x, y *)
+      scatter : float array -> int -> int -> unit;
     }
   | C_gbl of { user_buf : float array; access : Access.t }
   | C_idx
@@ -41,14 +55,121 @@ type resolvers = { resolve_dat : dat -> view }
 
 let global_resolvers = { resolve_dat = dat_view }
 
+let ignore3 _ _ _ = ()
+
+(* Per-stencil-point flat deltas from the iteration point's base index. *)
+let build_offsets view stencil =
+  Array.map (fun (dx, dy) -> (dy * view.vrow) + (dx * view.vcol)) stencil
+
+let build_gather view ~dim ~stencil ~access ~stride =
+  let { vdata; vbase; vrow; vcol } = view in
+  let offsets = build_offsets view stencil in
+  let np = Array.length offsets in
+  match access with
+  | Access.Inc ->
+    if dim = 1 then fun buf _ _ -> Array.unsafe_set buf 0 0.0
+    else fun buf _ _ -> Array.fill buf 0 dim 0.0
+  | Access.Read | Access.Rw | Access.Write ->
+    if is_unit_stride stride then begin
+      if np = 1 && dim = 1 then
+        let o = offsets.(0) in
+        fun buf x y ->
+          Array.unsafe_set buf 0
+            (Array.unsafe_get vdata (vbase + (y * vrow) + (x * vcol) + o))
+      else if dim = 1 then
+        fun buf x y ->
+          let base = vbase + (y * vrow) + (x * vcol) in
+          for p = 0 to np - 1 do
+            Array.unsafe_set buf p
+              (Array.unsafe_get vdata (base + Array.unsafe_get offsets p))
+          done
+      else
+        fun buf x y ->
+          let base = vbase + (y * vrow) + (x * vcol) in
+          for p = 0 to np - 1 do
+            let src = base + Array.unsafe_get offsets p in
+            for d = 0 to dim - 1 do
+              Array.unsafe_set buf ((p * dim) + d) (Array.unsafe_get vdata (src + d))
+            done
+          done
+    end
+    else
+      fun buf x y ->
+        let bx, by = apply_stride stride ~x ~y in
+        let base = vbase + (by * vrow) + (bx * vcol) in
+        for p = 0 to np - 1 do
+          let src = base + Array.unsafe_get offsets p in
+          for d = 0 to dim - 1 do
+            Array.unsafe_set buf ((p * dim) + d) (Array.unsafe_get vdata (src + d))
+          done
+        done
+  | Access.Min | Access.Max -> invalid_arg "ops: Min/Max access on a dataset"
+
+(* Scatters are center-only and unit-stride by validation. *)
+let build_scatter view ~dim ~access =
+  let { vdata; vbase; vrow; vcol } = view in
+  match access with
+  | Access.Read -> ignore3
+  | Access.Write | Access.Rw ->
+    if dim = 1 then
+      fun buf x y ->
+        Array.unsafe_set vdata (vbase + (y * vrow) + (x * vcol)) (Array.unsafe_get buf 0)
+    else
+      fun buf x y ->
+        let base = vbase + (y * vrow) + (x * vcol) in
+        for d = 0 to dim - 1 do
+          Array.unsafe_set vdata (base + d) (Array.unsafe_get buf d)
+        done
+  | Access.Inc ->
+    if dim = 1 then
+      fun buf x y ->
+        let j = vbase + (y * vrow) + (x * vcol) in
+        Array.unsafe_set vdata j (Array.unsafe_get vdata j +. Array.unsafe_get buf 0)
+    else
+      fun buf x y ->
+        let base = vbase + (y * vrow) + (x * vcol) in
+        for d = 0 to dim - 1 do
+          let j = base + d in
+          Array.unsafe_set vdata j (Array.unsafe_get vdata j +. Array.unsafe_get buf d)
+        done
+  | Access.Min | Access.Max -> invalid_arg "ops: Min/Max access on a dataset"
+
+let compile_dat view ~dim ~stencil ~access ~stride =
+  C_dat
+    {
+      view; dim; stencil; access; stride;
+      gather = build_gather view ~dim ~stencil ~access ~stride;
+      scatter = build_scatter view ~dim ~access;
+    }
+
 let compile ?(resolvers = global_resolvers) args =
   let one = function
     | Arg_dat { dat; stencil; access; stride } ->
-      C_dat { view = resolvers.resolve_dat dat; dim = dat.dim; stencil; access; stride }
+      compile_dat (resolvers.resolve_dat dat) ~dim:dat.dim ~stencil ~access ~stride
     | Arg_gbl { buf; access; _ } -> C_gbl { user_buf = buf; access }
     | Arg_idx -> C_idx
   in
   Array.of_list (List.map one args)
+
+(* Freshness of a cached executor against the live arguments: dataset
+   backing arrays are compared physically (window substitution or any data
+   replacement invalidates). *)
+let compiled_matches compiled args =
+  Array.length compiled = List.length args
+  && List.for_all2
+       (fun c arg ->
+         match (c, arg) with
+         | C_dat cd, Arg_dat { dat; stencil; access; stride } ->
+           cd.view.vdata == dat.data && cd.access = access && cd.stencil = stencil
+           && cd.stride = stride
+         | C_gbl cg, Arg_gbl { buf; access; _ } ->
+           cg.user_buf == buf && cg.access = access
+         | C_idx, Arg_idx -> true
+         | (C_dat _ | C_gbl _ | C_idx), _ -> false)
+       (Array.to_list compiled) args
+
+let has_globals compiled =
+  Array.exists (function C_gbl _ -> true | C_dat _ | C_idx -> false) compiled
 
 let make_buffers compiled =
   Array.map
@@ -87,78 +208,97 @@ let merge_globals compiled buffers =
         | Access.Write | Access.Rw -> assert false))
     compiled
 
-let run_point compiled buffers kernel x y =
-  (* gather *)
+(* One level of the per-worker reduction tree: fold [src]'s global partials
+   into [dst]'s (Inc/Min/Max are associative and commutative). *)
+let combine_globals compiled dst src =
   Array.iteri
     (fun i c ->
       match c with
-      | C_gbl _ -> ()
-      | C_idx ->
-        buffers.(i).(0) <- Float.of_int x;
-        buffers.(i).(1) <- Float.of_int y
-      | C_dat { view; dim; stencil; access; stride } -> (
-        let buf = buffers.(i) in
-        match access with
-        | Access.Inc -> Array.fill buf 0 dim 0.0
-        | Access.Read | Access.Rw | Access.Write ->
-          let bx, by = apply_stride stride ~x ~y in
-          Array.iteri
-            (fun p (dx, dy) ->
-              for d = 0 to dim - 1 do
-                buf.((p * dim) + d) <- view.vget (bx + dx) (by + dy) d
-              done)
-            stencil
-        | Access.Min | Access.Max -> assert false))
-    compiled;
-  kernel buffers;
-  (* scatter: written args have center-only stencils *)
-  Array.iteri
-    (fun i c ->
-      match c with
-      | C_gbl _ | C_idx -> ()
-      | C_dat { view; dim; access; _ } -> (
-        (* Writes are unit-stride and centre-only by validation. *)
-        let buf = buffers.(i) in
+      | C_dat _ | C_idx -> ()
+      | C_gbl { access; _ } -> (
+        let a = dst.(i) and b = src.(i) in
         match access with
         | Access.Read -> ()
-        | Access.Write | Access.Rw ->
-          for d = 0 to dim - 1 do
-            view.vset x y d buf.(d)
-          done
         | Access.Inc ->
-          for d = 0 to dim - 1 do
-            view.vset x y d (view.vget x y d +. buf.(d))
+          for d = 0 to Array.length a - 1 do
+            a.(d) <- a.(d) +. b.(d)
           done
-        | Access.Min | Access.Max -> assert false))
+        | Access.Min ->
+          for d = 0 to Array.length a - 1 do
+            a.(d) <- Float.min a.(d) b.(d)
+          done
+        | Access.Max ->
+          for d = 0 to Array.length a - 1 do
+            a.(d) <- Float.max a.(d) b.(d)
+          done
+        | Access.Write | Access.Rw -> assert false))
     compiled
+
+(* Pairwise tree reduction of per-worker accumulator sets into the user
+   buffers (replaces the mutex-serialised per-chunk merge). *)
+let merge_worker_globals compiled states =
+  match states with
+  | [] -> ()
+  | states ->
+    let arr = Array.of_list states in
+    let n = ref (Array.length arr) in
+    while !n > 1 do
+      let half = (!n + 1) / 2 in
+      for i = 0 to !n - half - 1 do
+        combine_globals compiled arr.(i) arr.(half + i)
+      done;
+      n := half
+    done;
+    merge_globals compiled arr.(0)
+
+let run_point compiled buffers kernel x y =
+  for i = 0 to Array.length compiled - 1 do
+    match Array.unsafe_get compiled i with
+    | C_dat { gather; _ } -> gather (Array.unsafe_get buffers i) x y
+    | C_idx ->
+      let buf = Array.unsafe_get buffers i in
+      buf.(0) <- Float.of_int x;
+      buf.(1) <- Float.of_int y
+    | C_gbl _ -> ()
+  done;
+  kernel buffers;
+  for i = 0 to Array.length compiled - 1 do
+    match Array.unsafe_get compiled i with
+    | C_dat { scatter; _ } -> scatter (Array.unsafe_get buffers i) x y
+    | C_gbl _ | C_idx -> ()
+  done
 
 (* ---- Sequential ----------------------------------------------------- *)
 
-let run_seq ?resolvers ~range ~args ~kernel () =
-  let compiled = compile ?resolvers args in
+let run_seq ?resolvers ?compiled ~range ~args ~kernel () =
+  let compiled =
+    match compiled with Some c -> c | None -> compile ?resolvers args
+  in
   let buffers = make_buffers compiled in
   for y = range.ylo to range.yhi - 1 do
     for x = range.xlo to range.xhi - 1 do
       run_point compiled buffers kernel x y
     done
   done;
-  merge_globals compiled buffers
+  if has_globals compiled then merge_globals compiled buffers
 
 (* ---- Shared memory ("OpenMP") --------------------------------------- *)
 
-let run_shared ?resolvers pool ~range ~args ~kernel =
-  let compiled = compile ?resolvers args in
-  let merge_mutex = Mutex.create () in
-  Am_taskpool.Pool.parallel_for pool ~lo:range.ylo ~hi:range.yhi (fun ylo yhi ->
-      let buffers = make_buffers compiled in
-      for y = ylo to yhi - 1 do
-        for x = range.xlo to range.xhi - 1 do
-          run_point compiled buffers kernel x y
-        done
-      done;
-      Mutex.lock merge_mutex;
-      merge_globals compiled buffers;
-      Mutex.unlock merge_mutex)
+let run_shared ?resolvers ?compiled pool ~range ~args ~kernel =
+  let compiled =
+    match compiled with Some c -> c | None -> compile ?resolvers args
+  in
+  let states =
+    Am_taskpool.Pool.parallel_for_local pool ~lo:range.ylo ~hi:range.yhi
+      ~local:(fun () -> make_buffers compiled)
+      ~body:(fun buffers ylo yhi ->
+        for y = ylo to yhi - 1 do
+          for x = range.xlo to range.xhi - 1 do
+            run_point compiled buffers kernel x y
+          done
+        done)
+  in
+  if has_globals compiled then merge_worker_globals compiled states
 
 (* ---- GPU simulator --------------------------------------------------- *)
 
@@ -172,8 +312,10 @@ let default_cuda_config = { tile_x = 32; tile_y = 4; strategy = Cuda_tiled }
    stencil-extent ring) into a scratch tile, the kernel works on the
    scratch, and written center regions are copied back — the structure of
    OPS's shared-memory CUDA kernels. *)
-let run_cuda config ~range ~args ~kernel =
-  let compiled = compile args in
+let run_cuda ?compiled config ~range ~args ~kernel =
+  let compiled =
+    match compiled with Some c -> c | None -> compile args
+  in
   let buffers = make_buffers compiled in
   let xtiles = (range.xhi - range.xlo + config.tile_x - 1) / config.tile_x in
   let ytiles = (range.yhi - range.ylo + config.tile_y - 1) / config.tile_y in
@@ -207,7 +349,7 @@ let run_cuda config ~range ~args ~kernel =
                    footprint is not tile-shaped); they read global memory
                    directly, as OPS's generated multigrid kernels do. *)
                 c
-              | C_dat { view; dim; stencil; access; stride } ->
+              | C_dat { view; dim; stencil; access; stride; _ } ->
                 let dat =
                   match args_arr.(i) with
                   | Arg_dat { dat; _ } -> dat
@@ -218,25 +360,26 @@ let run_cuda config ~range ~args ~kernel =
                 let sylo = tile.ylo - ext and syhi = tile.yhi + ext in
                 let w = sxhi - sxlo in
                 let scratch = Array.make (w * (syhi - sylo) * dim) 0.0 in
-                let sindex x y c = ((((y - sylo) * w) + (x - sxlo)) * dim) + c in
+                let sview =
+                  {
+                    vdata = scratch;
+                    vbase = (((-sylo) * w) - sxlo) * dim;
+                    vrow = w * dim;
+                    vcol = dim;
+                  }
+                in
                 if Access.reads access || access = Access.Write then begin
                   let gxlo = max sxlo (x_min dat) and gxhi = min sxhi (x_max dat) in
                   let gylo = max sylo (y_min dat) and gyhi = min syhi (y_max dat) in
                   for y = gylo to gyhi - 1 do
                     for x = gxlo to gxhi - 1 do
                       for c = 0 to dim - 1 do
-                        scratch.(sindex x y c) <- view.vget x y c
+                        vset sview ~x ~y ~c (vget view ~x ~y ~c)
                       done
                     done
                   done
                 end;
-                let sview =
-                  {
-                    vget = (fun x y c -> scratch.(sindex x y c));
-                    vset = (fun x y c v -> scratch.(sindex x y c) <- v);
-                  }
-                in
-                C_dat { view = sview; dim; stencil; access; stride }
+                compile_dat sview ~dim ~stencil ~access ~stride
               | (C_gbl _ | C_idx) as c -> c)
             compiled
         in
@@ -255,9 +398,10 @@ let run_cuda config ~range ~args ~kernel =
               for y = tile.ylo to tile.yhi - 1 do
                 for x = tile.xlo to tile.xhi - 1 do
                   for d = 0 to dim - 1 do
-                    let v = sview.vget x y d in
-                    if access = Access.Inc then view.vset x y d (view.vget x y d +. v)
-                    else view.vset x y d v
+                    let v = vget sview ~x ~y ~c:d in
+                    if access = Access.Inc then
+                      vset view ~x ~y ~c:d (vget view ~x ~y ~c:d +. v)
+                    else vset view ~x ~y ~c:d v
                   done
                 done
               done
@@ -265,4 +409,4 @@ let run_cuda config ~range ~args ~kernel =
           compiled
     done
   done;
-  merge_globals compiled buffers
+  if has_globals compiled then merge_globals compiled buffers

@@ -1,20 +1,29 @@
-(* 1D execution engines: same architecture as [Exec]/[Exec3] — a point
-   runner over views, a sequential engine, chunk-parallel shared-memory
-   execution and a tiled GPU simulator with clamped staging. *)
+(* 1D execution engines: same architecture as [Exec]/[Exec3] — affine views
+   with per-argument offset tables, a sequential engine, chunk-parallel
+   shared-memory execution with pooled worker-local buffers, and a tiled GPU
+   simulator with clamped staging. *)
 
 module Access = Am_core.Access
 open Types1
 
-type view = {
-  vget : int -> int -> float; (* x c *)
-  vset : int -> int -> float -> unit;
-}
+(* Affine addressing window: component [c] of logical cell [x] lives at
+   [vbase + x*vcol + c] in [vdata]. *)
+type view = { vdata : float array; vbase : int; vcol : int }
 
-let dat_view dat =
-  { vget = (fun x c -> get dat ~x ~c); vset = (fun x c v -> set dat ~x ~c v) }
+let dat_view dat = { vdata = dat.data; vbase = dat.halo * dat.dim; vcol = dat.dim }
+
+let vget v ~x ~c = v.vdata.(v.vbase + (x * v.vcol) + c)
+let vset v ~x ~c value = v.vdata.(v.vbase + (x * v.vcol) + c) <- value
 
 type compiled_arg =
-  | C_dat of { view : view; dim : int; stencil : stencil; access : Access.t }
+  | C_dat of {
+      view : view;
+      dim : int;
+      stencil : stencil;
+      access : Access.t;
+      gather : float array -> int -> unit; (* staging buffer, x *)
+      scatter : float array -> int -> unit;
+    }
   | C_gbl of { user_buf : float array; access : Access.t }
   | C_idx
 
@@ -22,14 +31,98 @@ type resolvers = { resolve_dat : dat -> view }
 
 let global_resolvers = { resolve_dat = dat_view }
 
+let ignore2 _ _ = ()
+
+let build_gather view ~dim ~stencil ~access =
+  let { vdata; vbase; vcol } = view in
+  let offsets = Array.map (fun dx -> dx * vcol) stencil in
+  let np = Array.length offsets in
+  match access with
+  | Access.Inc ->
+    if dim = 1 then fun buf _ -> Array.unsafe_set buf 0 0.0
+    else fun buf _ -> Array.fill buf 0 dim 0.0
+  | Access.Read | Access.Rw | Access.Write ->
+    if np = 1 && dim = 1 then
+      let o = offsets.(0) in
+      fun buf x ->
+        Array.unsafe_set buf 0 (Array.unsafe_get vdata (vbase + (x * vcol) + o))
+    else if dim = 1 then
+      fun buf x ->
+        let base = vbase + (x * vcol) in
+        for p = 0 to np - 1 do
+          Array.unsafe_set buf p
+            (Array.unsafe_get vdata (base + Array.unsafe_get offsets p))
+        done
+    else
+      fun buf x ->
+        let base = vbase + (x * vcol) in
+        for p = 0 to np - 1 do
+          let src = base + Array.unsafe_get offsets p in
+          for d = 0 to dim - 1 do
+            Array.unsafe_set buf ((p * dim) + d) (Array.unsafe_get vdata (src + d))
+          done
+        done
+  | Access.Min | Access.Max -> invalid_arg "ops1: Min/Max access on a dataset"
+
+let build_scatter view ~dim ~access =
+  let { vdata; vbase; vcol } = view in
+  match access with
+  | Access.Read -> ignore2
+  | Access.Write | Access.Rw ->
+    if dim = 1 then
+      fun buf x -> Array.unsafe_set vdata (vbase + (x * vcol)) (Array.unsafe_get buf 0)
+    else
+      fun buf x ->
+        let base = vbase + (x * vcol) in
+        for d = 0 to dim - 1 do
+          Array.unsafe_set vdata (base + d) (Array.unsafe_get buf d)
+        done
+  | Access.Inc ->
+    if dim = 1 then
+      fun buf x ->
+        let j = vbase + (x * vcol) in
+        Array.unsafe_set vdata j (Array.unsafe_get vdata j +. Array.unsafe_get buf 0)
+    else
+      fun buf x ->
+        let base = vbase + (x * vcol) in
+        for d = 0 to dim - 1 do
+          let j = base + d in
+          Array.unsafe_set vdata j (Array.unsafe_get vdata j +. Array.unsafe_get buf d)
+        done
+  | Access.Min | Access.Max -> invalid_arg "ops1: Min/Max access on a dataset"
+
+let compile_dat view ~dim ~stencil ~access =
+  C_dat
+    {
+      view; dim; stencil; access;
+      gather = build_gather view ~dim ~stencil ~access;
+      scatter = build_scatter view ~dim ~access;
+    }
+
 let compile ?(resolvers = global_resolvers) args =
   let one = function
     | Arg_dat { dat; stencil; access } ->
-      C_dat { view = resolvers.resolve_dat dat; dim = dat.dim; stencil; access }
+      compile_dat (resolvers.resolve_dat dat) ~dim:dat.dim ~stencil ~access
     | Arg_gbl { buf; access; _ } -> C_gbl { user_buf = buf; access }
     | Arg_idx -> C_idx
   in
   Array.of_list (List.map one args)
+
+let compiled_matches compiled args =
+  Array.length compiled = List.length args
+  && List.for_all2
+       (fun c arg ->
+         match (c, arg) with
+         | C_dat cd, Arg_dat { dat; stencil; access } ->
+           cd.view.vdata == dat.data && cd.access = access && cd.stencil = stencil
+         | C_gbl cg, Arg_gbl { buf; access; _ } ->
+           cg.user_buf == buf && cg.access = access
+         | C_idx, Arg_idx -> true
+         | (C_dat _ | C_gbl _ | C_idx), _ -> false)
+       (Array.to_list compiled) args
+
+let has_globals compiled =
+  Array.exists (function C_gbl _ -> true | C_dat _ | C_idx -> false) compiled
 
 let make_buffers compiled =
   Array.map
@@ -68,74 +161,95 @@ let merge_globals compiled buffers =
         | Access.Write | Access.Rw -> assert false))
     compiled
 
-let run_point compiled buffers kernel x =
+let combine_globals compiled dst src =
   Array.iteri
     (fun i c ->
       match c with
-      | C_gbl _ -> ()
-      | C_idx -> buffers.(i).(0) <- Float.of_int x
-      | C_dat { view; dim; stencil; access } -> (
-        let buf = buffers.(i) in
-        match access with
-        | Access.Inc -> Array.fill buf 0 dim 0.0
-        | Access.Read | Access.Rw | Access.Write ->
-          Array.iteri
-            (fun p dx ->
-              for d = 0 to dim - 1 do
-                buf.((p * dim) + d) <- view.vget (x + dx) d
-              done)
-            stencil
-        | Access.Min | Access.Max -> assert false))
-    compiled;
-  kernel buffers;
-  Array.iteri
-    (fun i c ->
-      match c with
-      | C_gbl _ | C_idx -> ()
-      | C_dat { view; dim; access; _ } -> (
-        let buf = buffers.(i) in
+      | C_dat _ | C_idx -> ()
+      | C_gbl { access; _ } -> (
+        let a = dst.(i) and b = src.(i) in
         match access with
         | Access.Read -> ()
-        | Access.Write | Access.Rw ->
-          for d = 0 to dim - 1 do
-            view.vset x d buf.(d)
-          done
         | Access.Inc ->
-          for d = 0 to dim - 1 do
-            view.vset x d (view.vget x d +. buf.(d))
+          for d = 0 to Array.length a - 1 do
+            a.(d) <- a.(d) +. b.(d)
           done
-        | Access.Min | Access.Max -> assert false))
+        | Access.Min ->
+          for d = 0 to Array.length a - 1 do
+            a.(d) <- Float.min a.(d) b.(d)
+          done
+        | Access.Max ->
+          for d = 0 to Array.length a - 1 do
+            a.(d) <- Float.max a.(d) b.(d)
+          done
+        | Access.Write | Access.Rw -> assert false))
     compiled
 
-let run_seq ?resolvers ~range ~args ~kernel () =
-  let compiled = compile ?resolvers args in
+let merge_worker_globals compiled states =
+  match states with
+  | [] -> ()
+  | states ->
+    let arr = Array.of_list states in
+    let n = ref (Array.length arr) in
+    while !n > 1 do
+      let half = (!n + 1) / 2 in
+      for i = 0 to !n - half - 1 do
+        combine_globals compiled arr.(i) arr.(half + i)
+      done;
+      n := half
+    done;
+    merge_globals compiled arr.(0)
+
+let run_point compiled buffers kernel x =
+  for i = 0 to Array.length compiled - 1 do
+    match Array.unsafe_get compiled i with
+    | C_dat { gather; _ } -> gather (Array.unsafe_get buffers i) x
+    | C_idx -> (Array.unsafe_get buffers i).(0) <- Float.of_int x
+    | C_gbl _ -> ()
+  done;
+  kernel buffers;
+  for i = 0 to Array.length compiled - 1 do
+    match Array.unsafe_get compiled i with
+    | C_dat { scatter; _ } -> scatter (Array.unsafe_get buffers i) x
+    | C_gbl _ | C_idx -> ()
+  done
+
+let run_seq ?resolvers ?compiled ~range ~args ~kernel () =
+  let compiled =
+    match compiled with Some c -> c | None -> compile ?resolvers args
+  in
   let buffers = make_buffers compiled in
   for x = range.xlo to range.xhi - 1 do
     run_point compiled buffers kernel x
   done;
-  merge_globals compiled buffers
+  if has_globals compiled then merge_globals compiled buffers
 
 (* Chunk-parallel shared-memory execution: intervals across the pool
-   (centre-only writes keep any disjoint partition race-free). *)
-let run_shared ?resolvers pool ~range ~args ~kernel =
-  let compiled = compile ?resolvers args in
-  let merge_mutex = Mutex.create () in
-  Am_taskpool.Pool.parallel_for pool ~lo:range.xlo ~hi:range.xhi (fun xlo xhi ->
-      let buffers = make_buffers compiled in
-      for x = xlo to xhi - 1 do
-        run_point compiled buffers kernel x
-      done;
-      Mutex.lock merge_mutex;
-      merge_globals compiled buffers;
-      Mutex.unlock merge_mutex)
+   (centre-only writes keep any disjoint partition race-free).  Buffers are
+   worker-local and pooled; global reductions tree-merge at the end. *)
+let run_shared ?resolvers ?compiled pool ~range ~args ~kernel =
+  let compiled =
+    match compiled with Some c -> c | None -> compile ?resolvers args
+  in
+  let states =
+    Am_taskpool.Pool.parallel_for_local pool ~lo:range.xlo ~hi:range.xhi
+      ~local:(fun () -> make_buffers compiled)
+      ~body:(fun buffers xlo xhi ->
+        for x = xlo to xhi - 1 do
+          run_point compiled buffers kernel x
+        done)
+  in
+  if has_globals compiled then merge_worker_globals compiled states
 
 (* Tiled GPU simulator: 1D thread blocks with staged scratch intervals. *)
 type cuda_config = { tile_x : int; staged : bool }
 
 let default_cuda_config = { tile_x = 64; staged = true }
 
-let run_cuda config ~range ~args ~kernel =
-  let compiled = compile args in
+let run_cuda ?compiled config ~range ~args ~kernel =
+  let compiled =
+    match compiled with Some c -> c | None -> compile args
+  in
   let buffers = make_buffers compiled in
   let n_tiles = (range.xhi - range.xlo + config.tile_x - 1) / config.tile_x in
   for tx = 0 to n_tiles - 1 do
@@ -151,7 +265,7 @@ let run_cuda config ~range ~args ~kernel =
         Array.mapi
           (fun i c ->
             match c with
-            | C_dat { view; dim; stencil; access } ->
+            | C_dat { view; dim; stencil; access; _ } ->
               let dat =
                 match args_arr.(i) with
                 | Arg_dat { dat; _ } -> dat
@@ -160,20 +274,16 @@ let run_cuda config ~range ~args ~kernel =
               let ext = stencil_extent stencil in
               let sxlo = txlo - ext and sxhi = txhi + ext in
               let scratch = Array.make ((sxhi - sxlo) * dim) 0.0 in
-              let sindex x c = ((x - sxlo) * dim) + c in
+              let sview = { vdata = scratch; vbase = -sxlo * dim; vcol = dim } in
               if Access.reads access || access = Access.Write then begin
                 let gx0 = max sxlo (x_min dat) and gx1 = min sxhi (x_max dat) in
                 for x = gx0 to gx1 - 1 do
                   for c = 0 to dim - 1 do
-                    scratch.(sindex x c) <- view.vget x c
+                    vset sview ~x ~c (vget view ~x ~c)
                   done
                 done
               end;
-              let sview =
-                { vget = (fun x c -> scratch.(sindex x c));
-                  vset = (fun x c v -> scratch.(sindex x c) <- v) }
-              in
-              C_dat { view = sview; dim; stencil; access }
+              compile_dat sview ~dim ~stencil ~access
             | (C_gbl _ | C_idx) as c -> c)
           compiled
       in
@@ -187,13 +297,13 @@ let run_cuda config ~range ~args ~kernel =
             when Access.writes access ->
             for x = txlo to txhi - 1 do
               for d = 0 to dim - 1 do
-                let v = sview.vget x d in
-                if access = Access.Inc then view.vset x d (view.vget x d +. v)
-                else view.vset x d v
+                let v = vget sview ~x ~c:d in
+                if access = Access.Inc then vset view ~x ~c:d (vget view ~x ~c:d +. v)
+                else vset view ~x ~c:d v
               done
             done
           | _ -> ())
         compiled
     end
   done;
-  merge_globals compiled buffers
+  if has_globals compiled then merge_globals compiled buffers

@@ -1,21 +1,37 @@
-(* 3D execution engines: the same architecture as the 2D [Exec] — one point
-   runner over views, a sequential engine, plane-parallel shared-memory
-   execution (centre-only writes keep any disjoint partition race-free) and
-   a tiled GPU simulator with clamped staging. *)
+(* 3D execution engines: the same architecture as the 2D [Exec] — affine
+   views with per-argument offset tables, a sequential engine, plane-parallel
+   shared-memory execution with pooled worker-local buffers (centre-only
+   writes keep any disjoint partition race-free) and a tiled GPU simulator
+   with clamped staging. *)
 
 module Access = Am_core.Access
 open Types3
 
+(* Affine addressing window: component [c] of logical point (x, y, z) lives
+   at [vbase + z*vplane + y*vrow + x*vcol + c] in [vdata]. *)
 type view = {
-  vget : int -> int -> int -> int -> float; (* x y z c *)
-  vset : int -> int -> int -> int -> float -> unit;
+  vdata : float array;
+  vbase : int;
+  vplane : int;
+  vrow : int;
+  vcol : int;
 }
 
 let dat_view dat =
+  let px = padded_x dat and py = padded_y dat in
   {
-    vget = (fun x y z c -> get dat ~x ~y ~z ~c);
-    vset = (fun x y z c v -> set dat ~x ~y ~z ~c v);
+    vdata = dat.data;
+    vbase = ((((dat.halo * py) + dat.halo) * px) + dat.halo) * dat.dim;
+    vplane = py * px * dat.dim;
+    vrow = px * dat.dim;
+    vcol = dat.dim;
   }
+
+let vget v ~x ~y ~z ~c =
+  v.vdata.(v.vbase + (z * v.vplane) + (y * v.vrow) + (x * v.vcol) + c)
+
+let vset v ~x ~y ~z ~c value =
+  v.vdata.(v.vbase + (z * v.vplane) + (y * v.vrow) + (x * v.vcol) + c) <- value
 
 type compiled_arg =
   | C_dat of {
@@ -24,6 +40,8 @@ type compiled_arg =
       stencil : stencil;
       access : Access.t;
       stride : stride;
+      gather : float array -> int -> int -> int -> unit; (* buf x y z *)
+      scatter : float array -> int -> int -> int -> unit;
     }
   | C_gbl of { user_buf : float array; access : Access.t }
   | C_idx
@@ -32,14 +50,121 @@ type resolvers = { resolve_dat : dat -> view }
 
 let global_resolvers = { resolve_dat = dat_view }
 
+let ignore4 _ _ _ _ = ()
+
+let build_offsets view stencil =
+  Array.map
+    (fun (dx, dy, dz) -> (dz * view.vplane) + (dy * view.vrow) + (dx * view.vcol))
+    stencil
+
+let build_gather view ~dim ~stencil ~access ~stride =
+  let { vdata; vbase; vplane; vrow; vcol } = view in
+  let offsets = build_offsets view stencil in
+  let np = Array.length offsets in
+  match access with
+  | Access.Inc ->
+    if dim = 1 then fun buf _ _ _ -> Array.unsafe_set buf 0 0.0
+    else fun buf _ _ _ -> Array.fill buf 0 dim 0.0
+  | Access.Read | Access.Rw | Access.Write ->
+    if is_unit_stride stride then begin
+      if np = 1 && dim = 1 then
+        let o = offsets.(0) in
+        fun buf x y z ->
+          Array.unsafe_set buf 0
+            (Array.unsafe_get vdata
+               (vbase + (z * vplane) + (y * vrow) + (x * vcol) + o))
+      else if dim = 1 then
+        fun buf x y z ->
+          let base = vbase + (z * vplane) + (y * vrow) + (x * vcol) in
+          for p = 0 to np - 1 do
+            Array.unsafe_set buf p
+              (Array.unsafe_get vdata (base + Array.unsafe_get offsets p))
+          done
+      else
+        fun buf x y z ->
+          let base = vbase + (z * vplane) + (y * vrow) + (x * vcol) in
+          for p = 0 to np - 1 do
+            let src = base + Array.unsafe_get offsets p in
+            for d = 0 to dim - 1 do
+              Array.unsafe_set buf ((p * dim) + d) (Array.unsafe_get vdata (src + d))
+            done
+          done
+    end
+    else
+      fun buf x y z ->
+        let bx, by, bz = apply_stride stride ~x ~y ~z in
+        let base = vbase + (bz * vplane) + (by * vrow) + (bx * vcol) in
+        for p = 0 to np - 1 do
+          let src = base + Array.unsafe_get offsets p in
+          for d = 0 to dim - 1 do
+            Array.unsafe_set buf ((p * dim) + d) (Array.unsafe_get vdata (src + d))
+          done
+        done
+  | Access.Min | Access.Max -> invalid_arg "ops3: Min/Max access on a dataset"
+
+let build_scatter view ~dim ~access =
+  let { vdata; vbase; vplane; vrow; vcol } = view in
+  match access with
+  | Access.Read -> ignore4
+  | Access.Write | Access.Rw ->
+    if dim = 1 then
+      fun buf x y z ->
+        Array.unsafe_set vdata
+          (vbase + (z * vplane) + (y * vrow) + (x * vcol))
+          (Array.unsafe_get buf 0)
+    else
+      fun buf x y z ->
+        let base = vbase + (z * vplane) + (y * vrow) + (x * vcol) in
+        for d = 0 to dim - 1 do
+          Array.unsafe_set vdata (base + d) (Array.unsafe_get buf d)
+        done
+  | Access.Inc ->
+    if dim = 1 then
+      fun buf x y z ->
+        let j = vbase + (z * vplane) + (y * vrow) + (x * vcol) in
+        Array.unsafe_set vdata j (Array.unsafe_get vdata j +. Array.unsafe_get buf 0)
+    else
+      fun buf x y z ->
+        let base = vbase + (z * vplane) + (y * vrow) + (x * vcol) in
+        for d = 0 to dim - 1 do
+          let j = base + d in
+          Array.unsafe_set vdata j (Array.unsafe_get vdata j +. Array.unsafe_get buf d)
+        done
+  | Access.Min | Access.Max -> invalid_arg "ops3: Min/Max access on a dataset"
+
+let compile_dat view ~dim ~stencil ~access ~stride =
+  C_dat
+    {
+      view; dim; stencil; access; stride;
+      gather = build_gather view ~dim ~stencil ~access ~stride;
+      scatter = build_scatter view ~dim ~access;
+    }
+
 let compile ?(resolvers = global_resolvers) args =
   let one = function
     | Arg_dat { dat; stencil; access; stride } ->
-      C_dat { view = resolvers.resolve_dat dat; dim = dat.dim; stencil; access; stride }
+      compile_dat (resolvers.resolve_dat dat) ~dim:dat.dim ~stencil ~access ~stride
     | Arg_gbl { buf; access; _ } -> C_gbl { user_buf = buf; access }
     | Arg_idx -> C_idx
   in
   Array.of_list (List.map one args)
+
+let compiled_matches compiled args =
+  Array.length compiled = List.length args
+  && List.for_all2
+       (fun c arg ->
+         match (c, arg) with
+         | C_dat cd, Arg_dat { dat; stencil; access; stride } ->
+           cd.view.vdata == dat.data && cd.access = access && cd.stencil = stencil
+           && cd.stride = stride
+         | C_gbl cg, Arg_gbl { buf; access; _ } ->
+           cg.user_buf == buf && cg.access = access
+         | C_idx, Arg_idx -> true
+         | (C_dat _ | C_gbl _ | C_idx), _ -> false)
+       (Array.to_list compiled) args
+
+let has_globals compiled =
+  Array.exists (function C_gbl _ -> true | C_dat _ | C_idx -> false) compiled
 
 let make_buffers compiled =
   Array.map
@@ -78,51 +203,67 @@ let merge_globals compiled buffers =
         | Access.Write | Access.Rw -> assert false))
     compiled
 
-let run_point compiled buffers kernel x y z =
+let combine_globals compiled dst src =
   Array.iteri
     (fun i c ->
       match c with
-      | C_gbl _ -> ()
-      | C_idx ->
-        buffers.(i).(0) <- Float.of_int x;
-        buffers.(i).(1) <- Float.of_int y;
-        buffers.(i).(2) <- Float.of_int z
-      | C_dat { view; dim; stencil; access; stride } -> (
-        let buf = buffers.(i) in
-        match access with
-        | Access.Inc -> Array.fill buf 0 dim 0.0
-        | Access.Read | Access.Rw | Access.Write ->
-          let bx, by, bz = apply_stride stride ~x ~y ~z in
-          Array.iteri
-            (fun p (dx, dy, dz) ->
-              for d = 0 to dim - 1 do
-                buf.((p * dim) + d) <- view.vget (bx + dx) (by + dy) (bz + dz) d
-              done)
-            stencil
-        | Access.Min | Access.Max -> assert false))
-    compiled;
-  kernel buffers;
-  Array.iteri
-    (fun i c ->
-      match c with
-      | C_gbl _ | C_idx -> ()
-      | C_dat { view; dim; access; _ } -> (
-        let buf = buffers.(i) in
+      | C_dat _ | C_idx -> ()
+      | C_gbl { access; _ } -> (
+        let a = dst.(i) and b = src.(i) in
         match access with
         | Access.Read -> ()
-        | Access.Write | Access.Rw ->
-          for d = 0 to dim - 1 do
-            view.vset x y z d buf.(d)
-          done
         | Access.Inc ->
-          for d = 0 to dim - 1 do
-            view.vset x y z d (view.vget x y z d +. buf.(d))
+          for d = 0 to Array.length a - 1 do
+            a.(d) <- a.(d) +. b.(d)
           done
-        | Access.Min | Access.Max -> assert false))
+        | Access.Min ->
+          for d = 0 to Array.length a - 1 do
+            a.(d) <- Float.min a.(d) b.(d)
+          done
+        | Access.Max ->
+          for d = 0 to Array.length a - 1 do
+            a.(d) <- Float.max a.(d) b.(d)
+          done
+        | Access.Write | Access.Rw -> assert false))
     compiled
 
-let run_seq ?resolvers ~range ~args ~kernel () =
-  let compiled = compile ?resolvers args in
+let merge_worker_globals compiled states =
+  match states with
+  | [] -> ()
+  | states ->
+    let arr = Array.of_list states in
+    let n = ref (Array.length arr) in
+    while !n > 1 do
+      let half = (!n + 1) / 2 in
+      for i = 0 to !n - half - 1 do
+        combine_globals compiled arr.(i) arr.(half + i)
+      done;
+      n := half
+    done;
+    merge_globals compiled arr.(0)
+
+let run_point compiled buffers kernel x y z =
+  for i = 0 to Array.length compiled - 1 do
+    match Array.unsafe_get compiled i with
+    | C_dat { gather; _ } -> gather (Array.unsafe_get buffers i) x y z
+    | C_idx ->
+      let buf = Array.unsafe_get buffers i in
+      buf.(0) <- Float.of_int x;
+      buf.(1) <- Float.of_int y;
+      buf.(2) <- Float.of_int z
+    | C_gbl _ -> ()
+  done;
+  kernel buffers;
+  for i = 0 to Array.length compiled - 1 do
+    match Array.unsafe_get compiled i with
+    | C_dat { scatter; _ } -> scatter (Array.unsafe_get buffers i) x y z
+    | C_gbl _ | C_idx -> ()
+  done
+
+let run_seq ?resolvers ?compiled ~range ~args ~kernel () =
+  let compiled =
+    match compiled with Some c -> c | None -> compile ?resolvers args
+  in
   let buffers = make_buffers compiled in
   for z = range.zlo to range.zhi - 1 do
     for y = range.ylo to range.yhi - 1 do
@@ -131,32 +272,37 @@ let run_seq ?resolvers ~range ~args ~kernel () =
       done
     done
   done;
-  merge_globals compiled buffers
+  if has_globals compiled then merge_globals compiled buffers
 
-(* Plane-parallel shared-memory execution: z-planes across the pool. *)
-let run_shared ?resolvers pool ~range ~args ~kernel =
-  let compiled = compile ?resolvers args in
-  let merge_mutex = Mutex.create () in
-  Am_taskpool.Pool.parallel_for pool ~lo:range.zlo ~hi:range.zhi (fun zlo zhi ->
-      let buffers = make_buffers compiled in
-      for z = zlo to zhi - 1 do
-        for y = range.ylo to range.yhi - 1 do
-          for x = range.xlo to range.xhi - 1 do
-            run_point compiled buffers kernel x y z
+(* Plane-parallel shared-memory execution: z-planes across the pool, with
+   pooled worker-local buffers and an end-of-loop reduction tree merge. *)
+let run_shared ?resolvers ?compiled pool ~range ~args ~kernel =
+  let compiled =
+    match compiled with Some c -> c | None -> compile ?resolvers args
+  in
+  let states =
+    Am_taskpool.Pool.parallel_for_local pool ~lo:range.zlo ~hi:range.zhi
+      ~local:(fun () -> make_buffers compiled)
+      ~body:(fun buffers zlo zhi ->
+        for z = zlo to zhi - 1 do
+          for y = range.ylo to range.yhi - 1 do
+            for x = range.xlo to range.xhi - 1 do
+              run_point compiled buffers kernel x y z
+            done
           done
-        done
-      done;
-      Mutex.lock merge_mutex;
-      merge_globals compiled buffers;
-      Mutex.unlock merge_mutex)
+        done)
+  in
+  if has_globals compiled then merge_worker_globals compiled states
 
 (* Tiled GPU simulator: 3D thread blocks with staged scratch volumes. *)
 type cuda_config = { tile_x : int; tile_y : int; tile_z : int; staged : bool }
 
 let default_cuda_config = { tile_x = 16; tile_y = 4; tile_z = 4; staged = true }
 
-let run_cuda config ~range ~args ~kernel =
-  let compiled = compile args in
+let run_cuda ?compiled config ~range ~args ~kernel =
+  let compiled =
+    match compiled with Some c -> c | None -> compile args
+  in
   let buffers = make_buffers compiled in
   let tiles lo hi t = (hi - lo + t - 1) / t in
   for tz = 0 to tiles range.zlo range.zhi config.tile_z - 1 do
@@ -185,7 +331,7 @@ let run_cuda config ~range ~args ~kernel =
                 (* Strided (grid-transfer) args address another grid level:
                    keep the global view, no staging. *)
                 | C_dat { stride; _ } when not (is_unit_stride stride) -> c
-                | C_dat { view; dim; stencil; access; stride } ->
+                | C_dat { view; dim; stencil; access; stride; _ } ->
                   let dat =
                     match args_arr.(i) with
                     | Arg_dat { dat; _ } -> dat
@@ -197,8 +343,14 @@ let run_cuda config ~range ~args ~kernel =
                   let szlo = tzlo - ext and szhi = tzhi + ext in
                   let w = sxhi - sxlo and h = syhi - sylo in
                   let scratch = Array.make (w * h * (szhi - szlo) * dim) 0.0 in
-                  let sindex x y z c =
-                    (((((z - szlo) * h) + (y - sylo)) * w + (x - sxlo)) * dim) + c
+                  let sview =
+                    {
+                      vdata = scratch;
+                      vbase = (((((-szlo) * h) - sylo) * w) - sxlo) * dim;
+                      vplane = h * w * dim;
+                      vrow = w * dim;
+                      vcol = dim;
+                    }
                   in
                   if Access.reads access || access = Access.Write then begin
                     let gx0 = max sxlo (x_min dat) and gx1 = min sxhi (x_max dat) in
@@ -208,19 +360,13 @@ let run_cuda config ~range ~args ~kernel =
                       for y = gy0 to gy1 - 1 do
                         for x = gx0 to gx1 - 1 do
                           for c = 0 to dim - 1 do
-                            scratch.(sindex x y z c) <- view.vget x y z c
+                            vset sview ~x ~y ~z ~c (vget view ~x ~y ~z ~c)
                           done
                         done
                       done
                     done
                   end;
-                  let sview =
-                    {
-                      vget = (fun x y z c -> scratch.(sindex x y z c));
-                      vset = (fun x y z c v -> scratch.(sindex x y z c) <- v);
-                    }
-                  in
-                  C_dat { view = sview; dim; stencil; access; stride }
+                  compile_dat sview ~dim ~stencil ~access ~stride
                 | (C_gbl _ | C_idx) as c -> c)
               compiled
           in
@@ -240,10 +386,10 @@ let run_cuda config ~range ~args ~kernel =
                   for y = tylo to tyhi - 1 do
                     for x = txlo to txhi - 1 do
                       for d = 0 to dim - 1 do
-                        let v = sview.vget x y z d in
+                        let v = vget sview ~x ~y ~z ~c:d in
                         if access = Access.Inc then
-                          view.vset x y z d (view.vget x y z d +. v)
-                        else view.vset x y z d v
+                          vset view ~x ~y ~z ~c:d (vget view ~x ~y ~z ~c:d +. v)
+                        else vset view ~x ~y ~z ~c:d v
                       done
                     done
                   done
@@ -254,4 +400,4 @@ let run_cuda config ~range ~args ~kernel =
       done
     done
   done;
-  merge_globals compiled buffers
+  if has_globals compiled then merge_globals compiled buffers

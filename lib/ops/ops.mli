@@ -192,13 +192,26 @@ val mirror_halo :
 
 (** {1 The parallel loop} *)
 
-(** [par_loop ctx ~name ?info block range args kernel] validates stencils
-    against the range and ghost depth, records trace/profile entries, and
-    executes [kernel] at every point of [range] on the context's backend. *)
+(** Per-call-site loop handle. A handle caches the compiled executor
+    (per-argument offset tables and gather/scatter closures) for one
+    [par_loop] call site, so repeated invocations with the same arguments
+    skip argument compilation. Freshness is re-checked on every call with
+    a few pointer compares; a changed dataset array, stencil, access or
+    stride recompiles transparently. Handles are inert on partitioned
+    contexts (the distributed backends resolve per-rank windows). *)
+type handle
+
+val make_handle : unit -> handle
+
+(** [par_loop ctx ~name ?info ?handle block range args kernel] validates
+    stencils against the range and ghost depth, records trace/profile
+    entries, and executes [kernel] at every point of [range] on the
+    context's backend. *)
 val par_loop :
   ctx ->
   name:string ->
   ?info:Descr.kernel_info ->
+  ?handle:handle ->
   block ->
   range ->
   arg list ->

@@ -119,10 +119,16 @@ val mirror_halo : ctx -> ?depth:int -> ?sign:float -> ?center:centering -> dat -
 
 (** {1 The parallel loop} *)
 
+(** Per-call-site executor handle, as in {!Ops.make_handle}. *)
+type handle
+
+val make_handle : unit -> handle
+
 val par_loop :
   ctx ->
   name:string ->
   ?info:Descr.kernel_info ->
+  ?handle:handle ->
   block ->
   range ->
   arg list ->

@@ -154,7 +154,21 @@ let comm_stats ctx =
 
 let now () = Unix.gettimeofday ()
 
-let par_loop ctx ~name ?(info = Descr.default_kernel_info) block range args kernel =
+(* Per-call-site executor handle (see [Ops.make_handle]). *)
+type handle = { mutable h_exec : Exec3.compiled_arg array option }
+
+let make_handle () = { h_exec = None }
+
+let resolve_compiled handle args =
+  match handle.h_exec with
+  | Some c when Exec3.compiled_matches c args -> c
+  | Some _ | None ->
+    let c = Exec3.compile args in
+    handle.h_exec <- Some c;
+    c
+
+let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range args
+    kernel =
   Types3.validate_args ~block ~range args;
   let descr = Types3.describe ~name ~block ~range ~info args in
   Trace.record ctx.trace descr;
@@ -164,10 +178,11 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) block range args kern
     | Some (Slabs d) -> Dist3.par_loop d ~range ~args ~kernel
     | Some (Pencil d) -> Dist3p.par_loop d ~range ~args ~kernel
     | None -> (
+      let compiled = Option.map (fun h -> resolve_compiled h args) handle in
       match ctx.backend with
-      | Seq -> Exec3.run_seq ~range ~args ~kernel ()
-      | Shared { pool } -> Exec3.run_shared pool ~range ~args ~kernel
-      | Cuda_sim config -> Exec3.run_cuda config ~range ~args ~kernel)
+      | Seq -> Exec3.run_seq ?compiled ~range ~args ~kernel ()
+      | Shared { pool } -> Exec3.run_shared ?compiled pool ~range ~args ~kernel
+      | Cuda_sim config -> Exec3.run_cuda ?compiled config ~range ~args ~kernel)
   in
   (match ctx.checkpoint with
   | None -> execute ()

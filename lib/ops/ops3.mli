@@ -181,14 +181,20 @@ val mirror_halo :
 
 (** {1 The parallel loop} *)
 
-(** [par_loop ctx ~name ?info block range args kernel] validates stencils
-    against the range and ghost depth, records trace/profile entries, and
-    executes [kernel] at every point of [range] on the context's
-    backend. *)
+(** Per-call-site executor handle, as in {!Ops.make_handle}. *)
+type handle
+
+val make_handle : unit -> handle
+
+(** [par_loop ctx ~name ?info ?handle block range args kernel] validates
+    stencils against the range and ghost depth, records trace/profile
+    entries, and executes [kernel] at every point of [range] on the
+    context's backend. *)
 val par_loop :
   ctx ->
   name:string ->
   ?info:Descr.kernel_info ->
+  ?handle:handle ->
   block ->
   range ->
   arg list ->

@@ -170,6 +170,99 @@ let parallel_fold ?chunk t ~lo ~hi ~init ~chunk_fold ~combine =
     end
   end
 
+(* Variant of [parallel_for] with worker-local state: each participating
+   member creates its state lazily on its first chunk and reuses it for every
+   further chunk it grabs — the pooled-buffer pattern the OP2/OPS reduction
+   backends use to avoid per-chunk allocation and a serialising merge mutex.
+   Returns the states actually created (at most [size t]) for a caller-side
+   tree merge. *)
+let parallel_for_local ?chunk t ~lo ~hi ~local ~body =
+  let n = hi - lo in
+  if n <= 0 then []
+  else begin
+    let chunk = match chunk with Some c -> max 1 c | None -> default_chunk t n in
+    if t.size = 1 || n <= chunk then begin
+      let st = local () in
+      body st lo hi;
+      [ st ]
+    end
+    else begin
+      let cursor = Atomic.make lo in
+      let states = ref [] in
+      let states_mutex = Mutex.create () in
+      let work () =
+        let st = ref None in
+        let rec grab () =
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start < hi then begin
+            let s =
+              match !st with
+              | Some s -> s
+              | None ->
+                let s = local () in
+                st := Some s;
+                s
+            in
+            body s start (min hi (start + chunk));
+            grab ()
+          end
+        in
+        grab ();
+        match !st with
+        | None -> ()
+        | Some s ->
+          Mutex.lock states_mutex;
+          states := s :: !states;
+          Mutex.unlock states_mutex
+      in
+      run_on_all t work;
+      !states
+    end
+  end
+
+(* Worker-local-state variant of [parallel_iter_indices]; same contract as
+   [parallel_for_local] with one block per unit of work. *)
+let parallel_iter_indices_local t blocks ~local ~body =
+  let n = Array.length blocks in
+  if n = 0 then []
+  else if t.size = 1 then begin
+    let st = local () in
+    Array.iter (body st) blocks;
+    [ st ]
+  end
+  else begin
+    let cursor = Atomic.make 0 in
+    let states = ref [] in
+    let states_mutex = Mutex.create () in
+    let work () =
+      let st = ref None in
+      let rec grab () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          let s =
+            match !st with
+            | Some s -> s
+            | None ->
+              let s = local () in
+              st := Some s;
+              s
+          in
+          body s blocks.(i);
+          grab ()
+        end
+      in
+      grab ();
+      match !st with
+      | None -> ()
+      | Some s ->
+        Mutex.lock states_mutex;
+        states := s :: !states;
+        Mutex.unlock states_mutex
+    in
+    run_on_all t work;
+    !states
+  end
+
 (* Execute the blocks listed in [blocks] (indices into some block table) with
    dynamic self-scheduling: the unit of work is one block, matching OP2's
    "blocks of one colour run concurrently" execution model. *)

@@ -39,6 +39,26 @@ val parallel_fold :
     [blocks], one block per unit of work (OP2's same-colour block schedule). *)
 val parallel_iter_indices : t -> int array -> (int -> unit) -> unit
 
+(** [parallel_for_local ?chunk t ~lo ~hi ~local ~body] is [parallel_for]
+    with worker-local state: each participating member calls [local ()]
+    lazily on its first chunk and passes that state to [body] for every
+    chunk it self-schedules, so staging buffers and reduction accumulators
+    are allocated once per worker rather than once per chunk. Returns the
+    states that were created (at most [size t]) for a caller-side merge. *)
+val parallel_for_local :
+  ?chunk:int ->
+  t ->
+  lo:int ->
+  hi:int ->
+  local:(unit -> 'a) ->
+  body:('a -> int -> int -> unit) ->
+  'a list
+
+(** Worker-local-state variant of [parallel_iter_indices]; one block per
+    unit of work, same state contract as {!parallel_for_local}. *)
+val parallel_iter_indices_local :
+  t -> int array -> local:(unit -> 'a) -> body:('a -> int -> unit) -> 'a list
+
 (** Process-wide shared pool, created on first use at the recommended domain
     count. Never shut down. *)
 val shared : unit -> t
