@@ -38,6 +38,21 @@ let micro_tests () =
   in
   Am_op2.Op2.partition airfoil_mpi.Am_airfoil.App.ctx ~n_ranks:4
     ~strategy:(Am_op2.Op2.Kway_through airfoil_mpi.Am_airfoil.App.edge_cells);
+  let airfoil_mpi_overlap =
+    let t = Am_airfoil.App.create (Am_mesh.Umesh.generate_airfoil ~nx:48 ~ny:32 ()) in
+    Am_op2.Op2.partition t.Am_airfoil.App.ctx ~n_ranks:4
+      ~strategy:(Am_op2.Op2.Kway_through t.Am_airfoil.App.edge_cells);
+    Am_op2.Op2.set_comm_mode t.Am_airfoil.App.ctx Am_op2.Op2.Overlap;
+    t
+  in
+  let clover_mpi mode =
+    let t = Am_cloverleaf.App.create ~nx:48 ~ny:48 () in
+    Am_ops.Ops.partition t.Am_cloverleaf.App.ctx ~n_ranks:4 ~ref_ysize:48;
+    Am_ops.Ops.set_comm_mode t.Am_cloverleaf.App.ctx mode;
+    t
+  in
+  let clover_mpi_blocking = clover_mpi Am_ops.Ops.Blocking in
+  let clover_mpi_overlap = clover_mpi Am_ops.Ops.Overlap in
   let dual = Am_mesh.Umesh.cell_dual_graph airfoil_mesh in
   let fig8_chain =
     let traced = Am_experiments.Calibrate.trace_airfoil ~nx:48 ~ny:32 () in
@@ -59,6 +74,16 @@ let micro_tests () =
     (* Fig 4: the distributed Airfoil iteration (partitioned, halo traffic). *)
     Test.make ~name:"fig4/airfoil_iteration_mpi4"
       (Staged.stage (fun () -> ignore (Am_airfoil.App.iteration airfoil_mpi)));
+    (* Core/boundary split: the same distributed iterations with the halo
+       exchange overlapped against interior compute. *)
+    Test.make ~name:"dist/airfoil_dist_overlap"
+      (Staged.stage (fun () -> ignore (Am_airfoil.App.iteration airfoil_mpi_overlap)));
+    Test.make ~name:"dist/cloverleaf_dist_blocking"
+      (Staged.stage (fun () ->
+           ignore (Am_cloverleaf.App.hydro_step clover_mpi_blocking)));
+    Test.make ~name:"dist/cloverleaf_dist_overlap"
+      (Staged.stage (fun () ->
+           ignore (Am_cloverleaf.App.hydro_step clover_mpi_overlap)));
     (* Fig 5: one CloverLeaf hydro step through OPS. *)
     Test.make ~name:"fig5/cloverleaf_step_ops"
       (Staged.stage (fun () -> ignore (Am_cloverleaf.App.hydro_step clover_app)));
@@ -95,9 +120,61 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Am_mesh.Reorder.rcm dual)));
   ]
 
+(* ---- Halo-time accounting ------------------------------------------------ *)
+
+(* Exposed vs overlapped halo seconds of the distributed proxies, from the
+   runtime's own profile: run a fixed number of steps under both
+   communication modes and read the totals [Profile.record_halo]
+   accumulated.  Overlap must strictly lower the exposed time — the
+   core/boundary split's whole point. *)
+let halo_accounting () =
+  let airfoil mode =
+    let t = Am_airfoil.App.create (Am_mesh.Umesh.generate_airfoil ~nx:48 ~ny:32 ()) in
+    Am_op2.Op2.partition t.Am_airfoil.App.ctx ~n_ranks:4
+      ~strategy:(Am_op2.Op2.Kway_through t.Am_airfoil.App.edge_cells);
+    Am_op2.Op2.set_comm_mode t.Am_airfoil.App.ctx mode;
+    ignore (Am_airfoil.App.run t ~iters:10);
+    Am_op2.Op2.profile t.Am_airfoil.App.ctx
+  in
+  let clover mode =
+    let t = Am_cloverleaf.App.create ~nx:48 ~ny:48 () in
+    Am_ops.Ops.partition t.Am_cloverleaf.App.ctx ~n_ranks:4 ~ref_ysize:48;
+    Am_ops.Ops.set_comm_mode t.Am_cloverleaf.App.ctx mode;
+    ignore (Am_cloverleaf.App.run t ~steps:5);
+    Am_ops.Ops.profile t.Am_cloverleaf.App.ctx
+  in
+  let entry name profile =
+    ( name,
+      Am_core.Profile.total_halo_seconds profile,
+      Am_core.Profile.total_overlap_seconds profile )
+  in
+  [
+    entry "airfoil_dist_blocking" (airfoil Am_op2.Op2.Blocking);
+    entry "airfoil_dist_overlap" (airfoil Am_op2.Op2.Overlap);
+    entry "cloverleaf_dist_blocking" (clover Am_ops.Ops.Blocking);
+    entry "cloverleaf_dist_overlap" (clover Am_ops.Ops.Overlap);
+  ]
+
+let print_halo halo =
+  let table =
+    Am_util.Table.create ~title:"halo exchange time (4 ranks, profile totals)"
+      ~header:[ "run"; "exposed"; "overlapped" ]
+      ~aligns:[ Am_util.Table.Left; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun (name, exposed, overlapped) ->
+      Am_util.Table.add_row table
+        [ name; Am_util.Units.seconds exposed; Am_util.Units.seconds overlapped ])
+    halo;
+  Am_util.Table.print table;
+  print_newline ()
+
 (* Machine-readable dump of the micro estimates: benchmark name to OLS
-   nanoseconds per run.  Hand-rolled JSON — names contain only [a-z0-9_/]. *)
-let write_json path estimates =
+   nanoseconds per run, plus the exposed/overlapped halo-seconds split of
+   the distributed proxies.  Hand-rolled JSON — names contain only
+   [a-z0-9_/]. *)
+let write_json path estimates halo =
   let oc = open_out path in
   output_string oc "{\n  \"unit\": \"ns_per_run\",\n  \"results\": {\n";
   let n = List.length estimates in
@@ -105,6 +182,14 @@ let write_json path estimates =
     (fun i (name, ns) ->
       Printf.fprintf oc "    %S: %.3f%s\n" name ns (if i = n - 1 then "" else ","))
     estimates;
+  output_string oc "  },\n  \"halo_seconds\": {\n";
+  let n_halo = List.length halo in
+  List.iteri
+    (fun i (name, exposed, overlapped) ->
+      Printf.fprintf oc "    %S: { \"exposed\": %.9f, \"overlapped\": %.9f }%s\n"
+        name exposed overlapped
+        (if i = n_halo - 1 then "" else ","))
+    halo;
   output_string oc "  }\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d benchmarks)\n\n%!" path n
@@ -140,11 +225,14 @@ let run_micro ?json () =
     (micro_tests ());
   Am_util.Table.print table;
   print_newline ();
+  let halo = halo_accounting () in
+  print_halo halo;
   match json with
   | None -> ()
   | Some path ->
     write_json path
       (List.sort (fun (a, _) (b, _) -> compare a b) !estimates)
+      halo
 
 (* ---- Entry point ---------------------------------------------------------- *)
 

@@ -10,7 +10,7 @@ module Op2 = Am_op2.Op2
 module App = Am_airfoil.App
 module Umesh = Am_mesh.Umesh
 
-let run nx ny iters backend ranks renumber verify save_to mesh_file =
+let run nx ny iters backend ranks overlap renumber verify save_to mesh_file =
   (* Meshes load from snapshot files (the HDF5-style input path) or are
      generated; --save-mesh in a previous run produces the file. *)
   let mesh =
@@ -50,6 +50,11 @@ let run nx ny iters backend ranks renumber verify save_to mesh_file =
     pool := Some p;
     Op2.set_rank_execution t.App.ctx (Op2.Rank_shared { pool = p; block_size = 256 })
   | other -> failwith (Printf.sprintf "unknown backend %s" other));
+  if overlap then begin
+    if not (backend = "mpi" || backend = "hybrid") then
+      failwith "--overlap requires --backend mpi or hybrid";
+    Op2.set_comm_mode t.App.ctx Op2.Overlap
+  end;
   if renumber then begin
     let before, after = Op2.renumber t.App.ctx ~through:t.App.edge_cells in
     Printf.printf "renumbered: dual-graph mean bandwidth %.1f -> %.1f\n%!" before after
@@ -99,6 +104,14 @@ let backend =
 
 let ranks = Arg.(value & opt int 4 & info [ "ranks" ] ~doc:"Simulated MPI ranks.")
 
+let overlap =
+  Arg.(
+    value & flag
+    & info [ "overlap" ]
+        ~doc:
+          "Overlap halo exchanges with interior compute (core/boundary split; \
+           mpi and hybrid backends).")
+
 let renumber =
   Arg.(value & flag & info [ "renumber" ] ~doc:"Apply RCM mesh renumbering first.")
 
@@ -123,7 +136,7 @@ let cmd =
   Cmd.v
     (Cmd.info "airfoil" ~doc:"Non-linear 2D inviscid Euler proxy application (OP2)")
     Term.(
-      const run $ nx $ ny $ iters $ backend $ ranks $ renumber $ verify $ save_to
-      $ mesh_file)
+      const run $ nx $ ny $ iters $ backend $ ranks $ overlap $ renumber $ verify
+      $ save_to $ mesh_file)
 
 let () = exit (Cmd.eval cmd)

@@ -9,7 +9,7 @@
 module Ops = Am_ops.Ops
 module App = Am_cloverleaf.App
 
-let run nx ny steps backend ranks summary_every verify van_leer =
+let run nx ny steps backend ranks overlap summary_every verify van_leer =
   let advection =
     if van_leer then Am_cloverleaf.App.Van_leer else Am_cloverleaf.App.First_order
   in
@@ -46,6 +46,11 @@ let run nx ny steps backend ranks summary_every verify van_leer =
       t
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
+  if overlap then begin
+    if not (backend = "mpi" || backend = "mpi2d" || backend = "hybrid") then
+      failwith "--overlap requires --backend mpi, mpi2d or hybrid";
+    Ops.set_comm_mode t.App.ctx Ops.Overlap
+  end;
   let print_summary step =
     let s = App.field_summary t in
     Printf.printf "  step %4d  dt %.5f  mass %.6f  ie %.4f  ke %.6f  press %.3f\n%!"
@@ -89,6 +94,14 @@ let backend =
 
 let ranks = Arg.(value & opt int 4 & info [ "ranks" ] ~doc:"Simulated MPI ranks.")
 
+let overlap =
+  Arg.(
+    value & flag
+    & info [ "overlap" ]
+        ~doc:
+          "Overlap ghost exchanges with interior compute (core/boundary split; \
+           distributed backends).")
+
 let summary_every =
   Arg.(value & opt int 10 & info [ "summary-every" ] ~doc:"Field summary interval.")
 
@@ -101,6 +114,8 @@ let van_leer =
 let cmd =
   Cmd.v
     (Cmd.info "cloverleaf" ~doc:"CloverLeaf 2D hydrodynamics proxy application (OPS)")
-    Term.(const run $ nx $ ny $ steps $ backend $ ranks $ summary_every $ verify $ van_leer)
+    Term.(
+      const run $ nx $ ny $ steps $ backend $ ranks $ overlap $ summary_every
+      $ verify $ van_leer)
 
 let () = exit (Cmd.eval cmd)

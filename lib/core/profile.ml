@@ -9,7 +9,8 @@ type entry = {
   mutable seconds : float;
   mutable bytes : int;
   mutable elements : int;
-  mutable halo_seconds : float; (* time spent in communication for this loop *)
+  mutable halo_seconds : float; (* exposed communication time for this loop *)
+  mutable overlap_seconds : float; (* communication hidden behind core compute *)
 }
 
 type t = { entries : (string, entry) Hashtbl.t; mutable enabled : bool }
@@ -22,7 +23,16 @@ let entry t name =
   match Hashtbl.find_opt t.entries name with
   | Some e -> e
   | None ->
-    let e = { count = 0; seconds = 0.0; bytes = 0; elements = 0; halo_seconds = 0.0 } in
+    let e =
+      {
+        count = 0;
+        seconds = 0.0;
+        bytes = 0;
+        elements = 0;
+        halo_seconds = 0.0;
+        overlap_seconds = 0.0;
+      }
+    in
     Hashtbl.add t.entries name e;
     e
 
@@ -35,10 +45,14 @@ let record t ~name ~seconds ~bytes ~elements =
     e.elements <- e.elements + elements
   end
 
-let record_halo t ~name ~seconds =
+(* [seconds] is the exposed communication time (the loop waited for it);
+   [overlapped] the portion hidden behind core computation by a
+   non-blocking exchange. *)
+let record_halo t ~name ?(overlapped = 0.0) ~seconds () =
   if t.enabled then begin
     let e = entry t name in
-    e.halo_seconds <- e.halo_seconds +. seconds
+    e.halo_seconds <- e.halo_seconds +. seconds;
+    e.overlap_seconds <- e.overlap_seconds +. overlapped
   end
 
 let find t name = Hashtbl.find_opt t.entries name
@@ -48,6 +62,12 @@ let reset t = Hashtbl.reset t.entries
 let total_seconds t =
   Hashtbl.fold (fun _ e acc -> acc +. e.seconds) t.entries 0.0
 
+let total_halo_seconds t =
+  Hashtbl.fold (fun _ e acc -> acc +. e.halo_seconds) t.entries 0.0
+
+let total_overlap_seconds t =
+  Hashtbl.fold (fun _ e acc -> acc +. e.overlap_seconds) t.entries 0.0
+
 (* Entries sorted by descending total time. *)
 let to_list t =
   let items = Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.entries [] in
@@ -56,8 +76,8 @@ let to_list t =
 let report t =
   let table =
     Am_util.Table.create ~title:"loop profile"
-      ~header:[ "loop"; "calls"; "time"; "GB moved"; "GB/s"; "halo time" ]
-      ~aligns:[ Am_util.Table.Left; Right; Right; Right; Right; Right ]
+      ~header:[ "loop"; "calls"; "time"; "GB moved"; "GB/s"; "halo time"; "overlapped" ]
+      ~aligns:[ Am_util.Table.Left; Right; Right; Right; Right; Right; Right ]
       ()
   in
   List.iter
@@ -70,6 +90,7 @@ let report t =
           Printf.sprintf "%.3f" (Float.of_int e.bytes /. 1e9);
           Printf.sprintf "%.2f" (Am_util.Units.bandwidth_gbs e.bytes e.seconds);
           Am_util.Units.seconds e.halo_seconds;
+          Am_util.Units.seconds e.overlap_seconds;
         ])
     (to_list t);
   Am_util.Table.render table

@@ -5,7 +5,10 @@ type entry = {
   mutable seconds : float;
   mutable bytes : int;  (** estimated useful bytes moved *)
   mutable elements : int;  (** iteration elements processed *)
-  mutable halo_seconds : float;  (** communication time attributed to the loop *)
+  mutable halo_seconds : float;
+      (** exposed communication time attributed to the loop *)
+  mutable overlap_seconds : float;
+      (** communication hidden behind core compute (non-blocking exchange) *)
 }
 
 type t
@@ -16,13 +19,18 @@ val create : unit -> t
 val set_enabled : t -> bool -> unit
 
 val record : t -> name:string -> seconds:float -> bytes:int -> elements:int -> unit
-val record_halo : t -> name:string -> seconds:float -> unit
+val record_halo : t -> name:string -> ?overlapped:float -> seconds:float -> unit -> unit
+(** [seconds] is the exposed wait; [overlapped] the portion hidden behind
+    core computation. *)
+
 val find : t -> string -> entry option
 val reset : t -> unit
 val total_seconds : t -> float
+val total_halo_seconds : t -> float
+val total_overlap_seconds : t -> float
 
 (** Entries by descending total time. *)
 val to_list : t -> (string * entry) list
 
-(** Rendered table (loop, calls, time, GB, GB/s, halo time). *)
+(** Rendered table (loop, calls, time, GB, GB/s, halo time, overlapped). *)
 val report : t -> string

@@ -184,6 +184,20 @@ type halo_policy = On_demand | Eager
 
 val set_halo_policy : ctx -> halo_policy -> unit
 
+(** Communication mode of the partitioned runtime. [Blocking] (the
+    default) completes every halo exchange before the loop body runs;
+    [Overlap] posts the exchange, executes the {e core} elements — those
+    reaching only owned slots through the loop's indirections — while the
+    messages are in flight, waits, then executes the {e boundary}
+    elements. Under sequential rank execution both modes iterate
+    core-then-boundary, so their results are bitwise identical; the modes
+    differ only in how much communication time is exposed
+    (see {!Am_core.Profile.entry}). *)
+type comm_mode = Blocking | Overlap
+
+val set_comm_mode : ctx -> comm_mode -> unit
+val comm_mode : ctx -> comm_mode
+
 (** Live communication counters of the partitioned runtime. *)
 val comm_stats : ctx -> Am_simmpi.Comm.stats option
 

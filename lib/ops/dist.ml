@@ -44,6 +44,7 @@ type t = {
   env : env;
   mutable rank_exec : rank_exec;
   mutable eager_halo : bool;
+  mutable overlap : bool; (* post exchange, run interior, wait, run boundary *)
 }
 
 (* Owned-row interval of dataset [dat] on rank [r]. *)
@@ -108,6 +109,7 @@ let build env ~n_ranks ~ref_ysize =
       env;
       rank_exec = Rank_seq;
       eager_halo = false;
+      overlap = false;
     }
   in
   List.iter
@@ -148,38 +150,72 @@ let unpack_rows dat w ~row payload =
   let base = window_index dat w ~x:(-dat.halo) ~y:row ~c:0 in
   Array.blit payload 0 w.data base (Array.length payload)
 
-(* Neighbour ghost-row exchange for one dataset, to [depth] rows.
-   On-demand by default (skip when the dirty-bit says enough ghost rows are
-   fresh); [eager_halo] forces a full exchange every time, for the
-   halo-policy ablation. *)
-let exchange ?depth t dat =
+(* An in-flight ghost-row exchange: the exchanged depth and the posted
+   receives, each tagged with the receiving rank and whether the payload
+   lands in its bottom ghost (sent by the rank below) or top ghost. *)
+type token = { tok_h : int; tok_recvs : (int * bool * Comm.request) list }
+
+(* Neighbour ghost-row exchange for one dataset, to [depth] rows: pack/post
+   half.  On-demand by default (skip — [None] — when the dirty-bit says
+   enough ghost rows are fresh); [eager_halo] forces a full exchange every
+   time, for the halo-policy ablation. *)
+let exchange_start ?depth t dat =
   let dd = dat_dist t dat in
   let need = match depth with Some d -> min d dat.halo | None -> dat.halo in
   if dd.fresh_depth < need || t.eager_halo then begin
     (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
     let h = if t.eager_halo then dat.halo else need in
-    if h > 0 then begin
+    if h = 0 then begin
+      dd.fresh_depth <- max dd.fresh_depth h;
+      None
+    end
+    else begin
       for r = 0 to t.n_ranks - 2 do
         let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
         (* r's top owned rows -> (r+1)'s bottom ghost. *)
-        Comm.send t.comm ~src:r ~dst:(r + 1) (pack_rows dat w ~row:(w.row_hi - h) ~count:h);
+        ignore
+          (Comm.isend t.comm ~src:r ~dst:(r + 1)
+             (pack_rows dat w ~row:(w.row_hi - h) ~count:h));
         (* (r+1)'s bottom owned rows -> r's top ghost. *)
-        Comm.send t.comm ~src:(r + 1) ~dst:r (pack_rows dat wn ~row:wn.row_lo ~count:h)
+        ignore
+          (Comm.isend t.comm ~src:(r + 1) ~dst:r
+             (pack_rows dat wn ~row:wn.row_lo ~count:h))
       done;
-      for r = 0 to t.n_ranks - 2 do
-        let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
-        (* The h rows nearest the boundary: ghost rows [row_lo - h, row_lo)
-           and [row_hi, row_hi + h). *)
-        unpack_rows dat wn ~row:(wn.row_lo - h) (Comm.recv t.comm ~src:r ~dst:(r + 1));
-        unpack_rows dat w ~row:w.row_hi (Comm.recv t.comm ~src:(r + 1) ~dst:r)
-      done
-    end;
-    dd.fresh_depth <- max dd.fresh_depth h
+      let recvs = ref [] in
+      for r = t.n_ranks - 2 downto 0 do
+        recvs :=
+          (r + 1, true, Comm.irecv t.comm ~src:r ~dst:(r + 1))
+          :: (r, false, Comm.irecv t.comm ~src:(r + 1) ~dst:r)
+          :: !recvs
+      done;
+      Some { tok_h = h; tok_recvs = !recvs }
+    end
   end
+  else None
+
+(* Wait half: completes the receives and unpacks the h ghost rows nearest
+   each boundary — [row_lo - h, row_lo) below, [row_hi, row_hi + h) above. *)
+let exchange_finish t dat token =
+  let dd = dat_dist t dat in
+  let h = token.tok_h in
+  List.iter
+    (fun (r, from_below, req) ->
+      let payload = Comm.wait t.comm req in
+      let w = dd.windows.(r) in
+      let row = if from_below then w.row_lo - h else w.row_hi in
+      unpack_rows dat w ~row payload)
+    token.tok_recvs;
+  dd.fresh_depth <- max dd.fresh_depth h
+
+let exchange ?depth t dat =
+  match exchange_start ?depth t dat with
+  | None -> ()
+  | Some token -> exchange_finish t dat token
 
 (* ---- Loop execution --------------------------------------------------- *)
 
-let par_loop t ~range ~args ~kernel =
+let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
+    ~args ~kernel =
   (* Grid-transfer strides cross the row decomposition arbitrarily:
      unsupported on partitioned contexts (multigrid levels would need a
      proportional decomposition). *)
@@ -202,42 +238,129 @@ let par_loop t ~range ~args ~kernel =
         if need > prev then Hashtbl.replace seen dat.dat_id need
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args;
-  Hashtbl.iter
-    (fun dat_id need ->
-      let dat = List.find (fun d -> d.dat_id = dat_id) (dats t.env) in
-      exchange ~depth:need t dat)
-    seen;
-  for r = 0 to t.n_ranks - 1 do
-    (* Rows of the range this rank executes (contiguous by construction). *)
-    let rows =
-      let lo = ref max_int and hi = ref min_int in
-      for y = range.ylo to range.yhi - 1 do
-        if rank_of_row t y = r then begin
-          if y < !lo then lo := y;
-          if y + 1 > !hi then hi := y + 1
-        end
-      done;
-      if !lo > !hi then None else Some (!lo, !hi)
-    in
-    match rows with
-    | None -> ()
-    | Some (lo, hi) ->
+  let needs =
+    Hashtbl.fold
+      (fun dat_id need acc ->
+        (List.find (fun d -> d.dat_id = dat_id) (dats t.env), need) :: acc)
+      seen []
+    |> List.sort (fun (a, _) (b, _) -> compare a.dat_id b.dat_id)
+  in
+  let exposed = ref 0.0 and xfer = ref 0.0 in
+  (* Rows of the range rank [r] executes (contiguous by construction). *)
+  let rank_rows r =
+    let lo = ref max_int and hi = ref min_int in
+    for y = range.ylo to range.yhi - 1 do
+      if rank_of_row t y = r then begin
+        if y < !lo then lo := y;
+        if y + 1 > !hi then hi := y + 1
+      end
+    done;
+    if !lo > !hi then None else Some (!lo, !hi)
+  in
+  let run_rows r ~lo ~hi =
+    if hi > lo then begin
       let resolvers =
-        {
-          Exec.resolve_dat =
-            (fun d -> window_view d (dat_dist t d).windows.(r));
-        }
+        { Exec.resolve_dat = (fun d -> window_view d (dat_dist t d).windows.(r)) }
       in
-      (match t.rank_exec with
+      match t.rank_exec with
       | Rank_seq ->
-        Exec.run_seq ~resolvers
-          ~range:{ range with ylo = lo; yhi = hi }
-          ~args ~kernel ()
+        Exec.run_seq ~resolvers ~range:{ range with ylo = lo; yhi = hi } ~args
+          ~kernel ()
       | Rank_shared pool ->
         Exec.run_shared ~resolvers pool
           ~range:{ range with ylo = lo; yhi = hi }
-          ~args ~kernel)
-  done;
+          ~args ~kernel
+    end
+  in
+  (* A global Inc reduction is summed in row order: splitting the range
+     would reorder the additions and change the rounding, so such loops
+     keep the blocking exchange.  Min/Max reductions and dat writes are
+     order-insensitive. *)
+  let splittable =
+    not
+      (List.exists
+         (function
+           | Arg_gbl { access = Access.Inc; _ } -> true
+           | Arg_gbl _ | Arg_dat _ | Arg_idx -> false)
+         args)
+  in
+  let tokens =
+    if not (t.overlap && splittable) then begin
+      List.iter
+        (fun (dat, need) ->
+          let t0 = Unix.gettimeofday () in
+          exchange ~depth:need t dat;
+          exposed := !exposed +. (Unix.gettimeofday () -. t0))
+        needs;
+      []
+    end
+    else
+      List.filter_map
+        (fun (dat, need) ->
+          let t0 = Unix.gettimeofday () in
+          let tok = exchange_start ~depth:need t dat in
+          xfer := !xfer +. (Unix.gettimeofday () -. t0);
+          Option.map (fun tok -> (dat, tok, need)) tok)
+        needs
+  in
+  if tokens = [] then
+    for r = 0 to t.n_ranks - 1 do
+      match rank_rows r with
+      | None -> ()
+      | Some (lo, hi) -> run_rows r ~lo ~hi
+    done
+  else begin
+    (* Interior/boundary split: rows whose stencils stay inside the owned
+       interval run while the ghost rows are in flight; the strips within
+       [margin] of an internal partition boundary wait.  Centre-only writes
+       make the order immaterial, so results match blocking bitwise. *)
+    let margin =
+      List.fold_left (fun acc (_, _, need) -> max acc need) 0 tokens
+    in
+    let bounds =
+      Array.init t.n_ranks (fun r ->
+          match rank_rows r with
+          | None -> None
+          | Some (lo, hi) ->
+            let int_lo =
+              if r > 0 then max lo (min hi (t.chunk.(r) + margin)) else lo
+            in
+            let int_hi =
+              if r < t.n_ranks - 1 then
+                min hi (max int_lo (t.chunk.(r + 1) - margin))
+              else hi
+            in
+            Some (lo, hi, int_lo, max int_lo int_hi))
+    in
+    let t_core = Unix.gettimeofday () in
+    Array.iteri
+      (fun r b ->
+        match b with
+        | None -> ()
+        | Some (_, _, int_lo, int_hi) -> run_rows r ~lo:int_lo ~hi:int_hi)
+      bounds;
+    let core_seconds = Unix.gettimeofday () -. t_core in
+    if tokens <> [] then begin
+      let t_wait = Unix.gettimeofday () in
+      List.iter (fun (dat, tok, _) -> exchange_finish t dat tok) tokens;
+      xfer := !xfer +. (Unix.gettimeofday () -. t_wait);
+      (* Ranks run back to back in the simulator, so overlap is credited
+         analytically: exchange time covered by interior compute is hidden,
+         only the excess is exposed. *)
+      let hidden = Float.min !xfer core_seconds in
+      exposed := !exposed +. (!xfer -. hidden);
+      overlap_seconds := !overlap_seconds +. hidden
+    end;
+    Array.iteri
+      (fun r b ->
+        match b with
+        | None -> ()
+        | Some (lo, hi, int_lo, int_hi) ->
+          run_rows r ~lo ~hi:int_lo;
+          run_rows r ~lo:int_hi ~hi)
+      bounds
+  end;
+  halo_seconds := !halo_seconds +. !exposed;
   (* Post: written datasets' ghosts are stale; count global reductions. *)
   List.iter
     (function

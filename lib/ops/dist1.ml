@@ -26,6 +26,7 @@ type t = {
   env : env;
   mutable rank_exec : rank_exec;
   mutable eager_halo : bool;
+  mutable overlap : bool;
 }
 
 let owned_cells t dat r =
@@ -73,7 +74,8 @@ let build env ~n_ranks ~ref_xsize =
     (dats env);
   let t =
     { comm = Comm.create ~n_ranks; n_ranks; ref_xsize; chunk;
-      dat_dists = Hashtbl.create 16; env; rank_exec = Rank_seq; eager_halo = false }
+      dat_dists = Hashtbl.create 16; env; rank_exec = Rank_seq; eager_halo = false;
+      overlap = false }
   in
   List.iter
     (fun dat ->
@@ -104,41 +106,85 @@ let pack_cells dat w ~cell ~count =
 let unpack_cells dat w ~cell payload =
   Array.blit payload 0 w.data (window_index dat w ~x:cell ~c:0) (Array.length payload)
 
-let exchange t dat =
+(* An in-flight ghost-cell exchange: the posted receives, tagged with the
+   receiving rank and whether the payload came from the rank below (lands
+   in the left ghost cells) or above. *)
+type token = { tok_recvs : (int * bool * Comm.request) list }
+
+(* Pack/post half of the neighbour exchange; [None] when the dirty-bit says
+   the ghosts are fresh (unless [eager_halo]). *)
+let exchange_start t dat =
   let dd = dat_dist t dat in
   if (not dd.fresh) || t.eager_halo then begin
     (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
     let h = dat.halo in
-    if h > 0 then begin
+    if h = 0 then begin
+      dd.fresh <- true;
+      None
+    end
+    else begin
       for r = 0 to t.n_ranks - 2 do
         let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
-        Comm.send t.comm ~src:r ~dst:(r + 1)
-          (pack_cells dat w ~cell:(w.chunk_hi - h) ~count:h);
-        Comm.send t.comm ~src:(r + 1) ~dst:r
-          (pack_cells dat wn ~cell:wn.chunk_lo ~count:h)
+        ignore
+          (Comm.isend t.comm ~src:r ~dst:(r + 1)
+             (pack_cells dat w ~cell:(w.chunk_hi - h) ~count:h));
+        ignore
+          (Comm.isend t.comm ~src:(r + 1) ~dst:r
+             (pack_cells dat wn ~cell:wn.chunk_lo ~count:h))
       done;
-      for r = 0 to t.n_ranks - 2 do
-        let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
-        unpack_cells dat wn ~cell:(wn.chunk_lo - h) (Comm.recv t.comm ~src:r ~dst:(r + 1));
-        unpack_cells dat w ~cell:w.chunk_hi (Comm.recv t.comm ~src:(r + 1) ~dst:r)
-      done
-    end;
-    dd.fresh <- true
+      let recvs = ref [] in
+      for r = t.n_ranks - 2 downto 0 do
+        recvs :=
+          (r + 1, true, Comm.irecv t.comm ~src:r ~dst:(r + 1))
+          :: (r, false, Comm.irecv t.comm ~src:(r + 1) ~dst:r)
+          :: !recvs
+      done;
+      Some { tok_recvs = !recvs }
+    end
   end
+  else None
 
-let par_loop t ~range ~args ~kernel =
+(* Wait half: completes the receives and unpacks the ghost cells. *)
+let exchange_finish t dat token =
+  let dd = dat_dist t dat in
+  let h = dat.halo in
+  List.iter
+    (fun (r, from_below, req) ->
+      let payload = Comm.wait t.comm req in
+      let w = dd.windows.(r) in
+      let cell = if from_below then w.chunk_lo - h else w.chunk_hi in
+      unpack_cells dat w ~cell payload)
+    token.tok_recvs;
+  dd.fresh <- true
+
+let exchange t dat =
+  match exchange_start t dat with
+  | None -> ()
+  | Some token -> exchange_finish t dat token
+
+let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
+    ~args ~kernel =
+  (* Stencil-read datasets needing an exchange, with the deepest stencil of
+     the loop on each (that decides the interior margin). *)
   let seen = Hashtbl.create 4 in
   List.iter
     (function
       | Arg_dat { dat; stencil; access }
-        when Access.reads access
-             && stencil_extent stencil > 0
-             && not (Hashtbl.mem seen dat.dat_id) ->
-        Hashtbl.add seen dat.dat_id ();
-        exchange t dat
+        when Access.reads access && stencil_extent stencil > 0 ->
+        let need = stencil_extent stencil in
+        let prev = try Hashtbl.find seen dat.dat_id with Not_found -> 0 in
+        if need > prev then Hashtbl.replace seen dat.dat_id need
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args;
-  for r = 0 to t.n_ranks - 1 do
+  let needs =
+    Hashtbl.fold
+      (fun dat_id need acc ->
+        (List.find (fun d -> d.dat_id = dat_id) (dats t.env), need) :: acc)
+      seen []
+    |> List.sort (fun (a, _) (b, _) -> compare a.dat_id b.dat_id)
+  in
+  let exposed = ref 0.0 and xfer = ref 0.0 in
+  let rank_cells r =
     let lo = ref max_int and hi = ref min_int in
     for x = range.xlo to range.xhi - 1 do
       if rank_of_cell t x = r then begin
@@ -146,16 +192,103 @@ let par_loop t ~range ~args ~kernel =
         if x + 1 > !hi then hi := x + 1
       end
     done;
-    if !lo <= !hi && !lo <> max_int then begin
+    if !lo > !hi then None else Some (!lo, !hi)
+  in
+  let run_cells r ~lo ~hi =
+    if hi > lo then begin
       let resolvers =
         { Exec1.resolve_dat = (fun d -> window_view d (dat_dist t d).windows.(r)) }
       in
       match t.rank_exec with
-      | Rank_seq -> Exec1.run_seq ~resolvers ~range:{ xlo = !lo; xhi = !hi } ~args ~kernel ()
+      | Rank_seq -> Exec1.run_seq ~resolvers ~range:{ xlo = lo; xhi = hi } ~args ~kernel ()
       | Rank_shared pool ->
-        Exec1.run_shared ~resolvers pool ~range:{ xlo = !lo; xhi = !hi } ~args ~kernel
+        Exec1.run_shared ~resolvers pool ~range:{ xlo = lo; xhi = hi } ~args ~kernel
     end
-  done;
+  in
+  (* A global Inc reduction is summed in cell order: splitting the range
+     would reorder the additions, so such loops keep the blocking
+     exchange. *)
+  let splittable =
+    not
+      (List.exists
+         (function
+           | Arg_gbl { access = Access.Inc; _ } -> true
+           | Arg_gbl _ | Arg_dat _ | Arg_idx -> false)
+         args)
+  in
+  let tokens =
+    if not (t.overlap && splittable) then begin
+      List.iter
+        (fun (dat, _) ->
+          let t0 = Unix.gettimeofday () in
+          exchange t dat;
+          exposed := !exposed +. (Unix.gettimeofday () -. t0))
+        needs;
+      []
+    end
+    else
+      List.filter_map
+        (fun (dat, need) ->
+          let t0 = Unix.gettimeofday () in
+          let tok = exchange_start t dat in
+          xfer := !xfer +. (Unix.gettimeofday () -. t0);
+          Option.map (fun tok -> (dat, tok, need)) tok)
+        needs
+  in
+  if tokens = [] then
+    for r = 0 to t.n_ranks - 1 do
+      match rank_cells r with
+      | None -> ()
+      | Some (lo, hi) -> run_cells r ~lo ~hi
+    done
+  else begin
+    (* Interior/boundary split, as in the 2D backends: interior cells stay
+       [margin] away from internal partition boundaries and run while the
+       ghosts are in flight; centre-only writes make the order immaterial. *)
+    let margin =
+      List.fold_left (fun acc (_, _, need) -> max acc need) 0 tokens
+    in
+    let bounds =
+      Array.init t.n_ranks (fun r ->
+          match rank_cells r with
+          | None -> None
+          | Some (lo, hi) ->
+            let int_lo =
+              if r > 0 then max lo (min hi (t.chunk.(r) + margin)) else lo
+            in
+            let int_hi =
+              if r < t.n_ranks - 1 then
+                min hi (max int_lo (t.chunk.(r + 1) - margin))
+              else hi
+            in
+            Some (lo, hi, int_lo, max int_lo int_hi))
+    in
+    let t_core = Unix.gettimeofday () in
+    Array.iteri
+      (fun r b ->
+        match b with
+        | None -> ()
+        | Some (_, _, int_lo, int_hi) -> run_cells r ~lo:int_lo ~hi:int_hi)
+      bounds;
+    let core_seconds = Unix.gettimeofday () -. t_core in
+    if tokens <> [] then begin
+      let t_wait = Unix.gettimeofday () in
+      List.iter (fun (dat, tok, _) -> exchange_finish t dat tok) tokens;
+      xfer := !xfer +. (Unix.gettimeofday () -. t_wait);
+      let hidden = Float.min !xfer core_seconds in
+      exposed := !exposed +. (!xfer -. hidden);
+      overlap_seconds := !overlap_seconds +. hidden
+    end;
+    Array.iteri
+      (fun r b ->
+        match b with
+        | None -> ()
+        | Some (lo, hi, int_lo, int_hi) ->
+          run_cells r ~lo ~hi:int_lo;
+          run_cells r ~lo:int_hi ~hi)
+      bounds
+  end;
+  halo_seconds := !halo_seconds +. !exposed;
   List.iter
     (function
       | Arg_dat { dat; access; _ } when Access.writes access ->

@@ -46,6 +46,7 @@ type t = {
   env : env;
   mutable rank_exec : rank_exec;
   mutable eager_halo : bool;
+  mutable overlap : bool;
 }
 
 let n_ranks t = t.px * t.py
@@ -124,6 +125,7 @@ let build env ~px ~py ~ref_xsize ~ref_ysize =
       env;
       rank_exec = Rank_seq;
       eager_halo = false;
+      overlap = false;
     }
   in
   List.iter
@@ -176,63 +178,95 @@ let unpack_rect dat w ~x0 ~x1 ~y0 ~y1 payload =
     k := !k + len
   done
 
-(* Two-phase neighbour exchange for one dataset. *)
-let exchange t dat =
+(* An in-flight phase-X exchange: the posted ghost-column receives, tagged
+   with the receiving rank and whether the payload came from its left
+   neighbour (lands in the left ghost columns) or its right one. *)
+type token = { tok_recvs : (int * bool * Comm.request) list }
+
+(* Pack/post half of the two-phase exchange: phase X (ghost columns over the
+   full stored y extent) is put in flight; phase Y must run after the waits
+   because it carries the corners filled by phase X.  [None] when the
+   dirty-bit says the ghosts are fresh (unless [eager_halo]). *)
+let exchange_start t dat =
   let dd = dat_dist t dat in
   if (not dd.fresh) || t.eager_halo then begin
     (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
     let h = dat.halo in
-    if h > 0 then begin
-      (* Phase X: ghost columns over the full stored y extent. *)
-      for ry = 0 to t.py - 1 do
-        for rx = 0 to t.px - 2 do
+    if h = 0 then begin
+      dd.fresh <- true;
+      None
+    end
+    else begin
+      let recvs = ref [] in
+      for ry = t.py - 1 downto 0 do
+        for rx = t.px - 2 downto 0 do
           let r = rank_at t ~rx ~ry and rn = rank_at t ~rx:(rx + 1) ~ry in
           let w = dd.windows.(r) and wn = dd.windows.(rn) in
           let y0 = w.row_lo - h and y1 = w.row_hi + h in
-          Comm.send t.comm ~src:r ~dst:rn
-            (pack_rect dat w ~x0:(w.col_hi - h) ~x1:w.col_hi ~y0 ~y1);
-          Comm.send t.comm ~src:rn ~dst:r
-            (pack_rect dat wn ~x0:wn.col_lo ~x1:(wn.col_lo + h) ~y0 ~y1)
-        done;
-        for rx = 0 to t.px - 2 do
-          let r = rank_at t ~rx ~ry and rn = rank_at t ~rx:(rx + 1) ~ry in
-          let w = dd.windows.(r) and wn = dd.windows.(rn) in
-          let y0 = w.row_lo - h and y1 = w.row_hi + h in
-          unpack_rect dat wn ~x0:(wn.col_lo - h) ~x1:wn.col_lo ~y0 ~y1
-            (Comm.recv t.comm ~src:r ~dst:rn);
-          unpack_rect dat w ~x0:w.col_hi ~x1:(w.col_hi + h) ~y0 ~y1
-            (Comm.recv t.comm ~src:rn ~dst:r)
+          ignore
+            (Comm.isend t.comm ~src:r ~dst:rn
+               (pack_rect dat w ~x0:(w.col_hi - h) ~x1:w.col_hi ~y0 ~y1));
+          ignore
+            (Comm.isend t.comm ~src:rn ~dst:r
+               (pack_rect dat wn ~x0:wn.col_lo ~x1:(wn.col_lo + h) ~y0 ~y1));
+          recvs :=
+            (rn, true, Comm.irecv t.comm ~src:r ~dst:rn)
+            :: (r, false, Comm.irecv t.comm ~src:rn ~dst:r)
+            :: !recvs
         done
       done;
-      (* Phase Y: ghost rows over the full stored x extent — this carries
-         the corners, freshly filled by phase X at the y-neighbour. *)
-      for rx = 0 to t.px - 1 do
-        for ry = 0 to t.py - 2 do
-          let r = rank_at t ~rx ~ry and rn = rank_at t ~rx ~ry:(ry + 1) in
-          let w = dd.windows.(r) and wn = dd.windows.(rn) in
-          let x0 = w.col_lo - h and x1 = w.col_hi + h in
-          Comm.send t.comm ~src:r ~dst:rn
-            (pack_rect dat w ~x0 ~x1 ~y0:(w.row_hi - h) ~y1:w.row_hi);
-          Comm.send t.comm ~src:rn ~dst:r
-            (pack_rect dat wn ~x0 ~x1 ~y0:wn.row_lo ~y1:(wn.row_lo + h))
-        done;
-        for ry = 0 to t.py - 2 do
-          let r = rank_at t ~rx ~ry and rn = rank_at t ~rx ~ry:(ry + 1) in
-          let w = dd.windows.(r) and wn = dd.windows.(rn) in
-          let x0 = w.col_lo - h and x1 = w.col_hi + h in
-          unpack_rect dat wn ~x0 ~x1 ~y0:(wn.row_lo - h) ~y1:wn.row_lo
-            (Comm.recv t.comm ~src:r ~dst:rn);
-          unpack_rect dat w ~x0 ~x1 ~y0:w.row_hi ~y1:(w.row_hi + h)
-            (Comm.recv t.comm ~src:rn ~dst:r)
-        done
-      done
-    end;
-    dd.fresh <- true
+      Some { tok_recvs = !recvs }
+    end
   end
+  else None
+
+(* Wait half: completes the phase-X receives, unpacks the ghost columns,
+   then runs phase Y blocking — ghost rows over the full stored x extent,
+   carrying the corners freshly filled by phase X at the y-neighbour. *)
+let exchange_finish t dat token =
+  let dd = dat_dist t dat in
+  let h = dat.halo in
+  List.iter
+    (fun (r, from_left, req) ->
+      let payload = Comm.wait t.comm req in
+      let w = dd.windows.(r) in
+      let y0 = w.row_lo - h and y1 = w.row_hi + h in
+      if from_left then
+        unpack_rect dat w ~x0:(w.col_lo - h) ~x1:w.col_lo ~y0 ~y1 payload
+      else unpack_rect dat w ~x0:w.col_hi ~x1:(w.col_hi + h) ~y0 ~y1 payload)
+    token.tok_recvs;
+  for rx = 0 to t.px - 1 do
+    for ry = 0 to t.py - 2 do
+      let r = rank_at t ~rx ~ry and rn = rank_at t ~rx ~ry:(ry + 1) in
+      let w = dd.windows.(r) and wn = dd.windows.(rn) in
+      let x0 = w.col_lo - h and x1 = w.col_hi + h in
+      Comm.send t.comm ~src:r ~dst:rn
+        (pack_rect dat w ~x0 ~x1 ~y0:(w.row_hi - h) ~y1:w.row_hi);
+      Comm.send t.comm ~src:rn ~dst:r
+        (pack_rect dat wn ~x0 ~x1 ~y0:wn.row_lo ~y1:(wn.row_lo + h))
+    done;
+    for ry = 0 to t.py - 2 do
+      let r = rank_at t ~rx ~ry and rn = rank_at t ~rx ~ry:(ry + 1) in
+      let w = dd.windows.(r) and wn = dd.windows.(rn) in
+      let x0 = w.col_lo - h and x1 = w.col_hi + h in
+      unpack_rect dat wn ~x0 ~x1 ~y0:(wn.row_lo - h) ~y1:wn.row_lo
+        (Comm.recv t.comm ~src:r ~dst:rn);
+      unpack_rect dat w ~x0 ~x1 ~y0:w.row_hi ~y1:(w.row_hi + h)
+        (Comm.recv t.comm ~src:rn ~dst:r)
+    done
+  done;
+  dd.fresh <- true
+
+(* Two-phase neighbour exchange for one dataset, blocking. *)
+let exchange t dat =
+  match exchange_start t dat with
+  | None -> ()
+  | Some token -> exchange_finish t dat token
 
 (* ---- Loop execution --------------------------------------------------- *)
 
-let par_loop t ~range ~args ~kernel =
+let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
+    ~args ~kernel =
   List.iter
     (function
       | Arg_dat { stride; _ } when not (is_unit_stride stride) ->
@@ -240,7 +274,9 @@ let par_loop t ~range ~args ~kernel =
                      partitioned contexts"
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args;
+  (* Stencil-read datasets needing a ghost exchange (deduplicated). *)
   let seen = Hashtbl.create 4 in
+  let needs = ref [] in
   List.iter
     (function
       | Arg_dat { dat; stencil; access; _ }
@@ -248,12 +284,14 @@ let par_loop t ~range ~args ~kernel =
              && stencil_extent stencil > 0
              && not (Hashtbl.mem seen dat.dat_id) ->
         Hashtbl.add seen dat.dat_id ();
-        exchange t dat
+        needs := dat :: !needs
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args;
-  for r = 0 to n_ranks t - 1 do
-    (* Executed sub-box: intersection of the range with this rank's owned
-       region of the reference space (edge ranks extend to infinity). *)
+  let needs = List.rev !needs in
+  let exposed = ref 0.0 and xfer = ref 0.0 in
+  (* Executed sub-box of rank [r]: intersection of the range with its owned
+     region of the reference space (edge ranks extend to infinity). *)
+  let rank_box r =
     let rx = r mod t.px and ry = r / t.px in
     let own_xlo = if rx = 0 then min_int else t.chunk_x.(rx) in
     let own_xhi = if rx = t.px - 1 then max_int else t.chunk_x.(rx + 1) in
@@ -261,6 +299,9 @@ let par_loop t ~range ~args ~kernel =
     let own_yhi = if ry = t.py - 1 then max_int else t.chunk_y.(ry + 1) in
     let xlo = max range.xlo own_xlo and xhi = min range.xhi own_xhi in
     let ylo = max range.ylo own_ylo and yhi = min range.yhi own_yhi in
+    if xlo < xhi && ylo < yhi then Some (xlo, xhi, ylo, yhi) else None
+  in
+  let run_box r ~xlo ~xhi ~ylo ~yhi =
     if xlo < xhi && ylo < yhi then begin
       let resolvers =
         { Exec.resolve_dat = (fun d -> window_view d (dat_dist t d).windows.(r)) }
@@ -270,7 +311,111 @@ let par_loop t ~range ~args ~kernel =
       | Rank_shared pool ->
         Exec.run_shared ~resolvers pool ~range:{ xlo; xhi; ylo; yhi } ~args ~kernel
     end
-  done;
+  in
+  (* As in [Dist]: a global Inc reduction is summed in iteration order, so
+     splitting the box would change the rounding — keep those blocking. *)
+  let splittable =
+    not
+      (List.exists
+         (function
+           | Arg_gbl { access = Access.Inc; _ } -> true
+           | Arg_gbl _ | Arg_dat _ | Arg_idx -> false)
+         args)
+  in
+  let tokens =
+    if not (t.overlap && splittable) then begin
+      List.iter
+        (fun dat ->
+          let t0 = Unix.gettimeofday () in
+          exchange t dat;
+          exposed := !exposed +. (Unix.gettimeofday () -. t0))
+        needs;
+      []
+    end
+    else
+      List.filter_map
+        (fun dat ->
+          let t0 = Unix.gettimeofday () in
+          let tok = exchange_start t dat in
+          xfer := !xfer +. (Unix.gettimeofday () -. t0);
+          Option.map (fun tok -> (dat, tok)) tok)
+        needs
+  in
+  if tokens = [] then
+    for r = 0 to n_ranks t - 1 do
+      match rank_box r with
+      | None -> ()
+      | Some (xlo, xhi, ylo, yhi) -> run_box r ~xlo ~xhi ~ylo ~yhi
+    done
+  else begin
+    (* Interior/boundary split: the interior box stays [margin] away from
+       every internal partition boundary.  The margin is the full ghost
+       depth (not just the stencil extent) because phase Y packs the rows
+       nearest the boundary at wait time — the interior must not have
+       touched them.  Centre-only writes make the order immaterial, so
+       results match blocking bitwise. *)
+    let margin =
+      List.fold_left (fun acc (dat, _) -> max acc dat.halo) 0 tokens
+    in
+    let bounds =
+      Array.init (n_ranks t) (fun r ->
+          match rank_box r with
+          | None -> None
+          | Some (xlo, xhi, ylo, yhi) ->
+            let rx = r mod t.px and ry = r / t.px in
+            let int_xlo =
+              if rx > 0 then max xlo (min xhi (t.chunk_x.(rx) + margin)) else xlo
+            in
+            let int_xhi =
+              if rx < t.px - 1 then
+                min xhi (max int_xlo (t.chunk_x.(rx + 1) - margin))
+              else xhi
+            in
+            let int_ylo =
+              if ry > 0 then max ylo (min yhi (t.chunk_y.(ry) + margin)) else ylo
+            in
+            let int_yhi =
+              if ry < t.py - 1 then
+                min yhi (max int_ylo (t.chunk_y.(ry + 1) - margin))
+              else yhi
+            in
+            Some
+              ( (xlo, xhi, ylo, yhi),
+                (int_xlo, max int_xlo int_xhi, int_ylo, max int_ylo int_yhi) ))
+    in
+    let t_core = Unix.gettimeofday () in
+    Array.iteri
+      (fun r b ->
+        match b with
+        | None -> ()
+        | Some (_, (xlo, xhi, ylo, yhi)) -> run_box r ~xlo ~xhi ~ylo ~yhi)
+      bounds;
+    let core_seconds = Unix.gettimeofday () -. t_core in
+    if tokens <> [] then begin
+      let t_wait = Unix.gettimeofday () in
+      List.iter (fun (dat, tok) -> exchange_finish t dat tok) tokens;
+      xfer := !xfer +. (Unix.gettimeofday () -. t_wait);
+      (* Ranks run back to back in the simulator, so overlap is credited
+         analytically: exchange time covered by interior compute is hidden,
+         only the excess is exposed. *)
+      let hidden = Float.min !xfer core_seconds in
+      exposed := !exposed +. (!xfer -. hidden);
+      overlap_seconds := !overlap_seconds +. hidden
+    end;
+    (* Boundary frame: bottom and top rows full width, then the side
+       columns of the middle band. *)
+    Array.iteri
+      (fun r b ->
+        match b with
+        | None -> ()
+        | Some ((xlo, xhi, ylo, yhi), (int_xlo, int_xhi, int_ylo, int_yhi)) ->
+          run_box r ~xlo ~xhi ~ylo ~yhi:int_ylo;
+          run_box r ~xlo ~xhi:int_xlo ~ylo:int_ylo ~yhi:int_yhi;
+          run_box r ~xlo:int_xhi ~xhi ~ylo:int_ylo ~yhi:int_yhi;
+          run_box r ~xlo ~xhi ~ylo:int_yhi ~yhi)
+      bounds
+  end;
+  halo_seconds := !halo_seconds +. !exposed;
   List.iter
     (function
       | Arg_dat { dat; access; _ } when Access.writes access ->

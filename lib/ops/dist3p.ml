@@ -37,6 +37,7 @@ type t = {
   dat_dists : (int, dat_dist) Hashtbl.t;
   env : env;
   mutable rank_exec : rank_exec;
+  mutable overlap : bool;
 }
 
 let n_ranks t = t.py * t.pz
@@ -110,7 +111,8 @@ let build env ~py ~pz ~ref_ysize ~ref_zsize =
     (dats env);
   let t =
     { comm = Comm.create ~n_ranks:(py * pz); py; pz; ref_ysize; ref_zsize; chunk_y;
-      chunk_z; dat_dists = Hashtbl.create 16; env; rank_exec = Rank_seq }
+      chunk_z; dat_dists = Hashtbl.create 16; env; rank_exec = Rank_seq;
+      overlap = false }
   in
   List.iter
     (fun dat ->
@@ -168,60 +170,92 @@ let unpack_box dat w ~y0 ~y1 ~z0 ~z1 payload =
     done
   done
 
-let exchange t dat =
+(* An in-flight phase-Y exchange: the posted ghost-row receives, tagged with
+   the receiving rank and whether the payload came from the rank below in y
+   (lands in the bottom ghost rows) or above. *)
+type token = { tok_recvs : (int * bool * Comm.request) list }
+
+(* Pack/post half of the two-phase exchange: phase Y (ghost rows over the
+   full stored z extent) is put in flight; phase Z must run after the waits
+   because it carries the y-z edge cells filled by phase Y. *)
+let exchange_start t dat =
   let dd = dat_dist t dat in
   if not dd.fresh then begin
     (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
     let h = dat.halo in
-    if h > 0 then begin
-      (* Phase Y: ghost rows over the full stored z extent. *)
-      for rz = 0 to t.pz - 1 do
-        for ry = 0 to t.py - 2 do
+    if h = 0 then begin
+      dd.fresh <- true;
+      None
+    end
+    else begin
+      let recvs = ref [] in
+      for rz = t.pz - 1 downto 0 do
+        for ry = t.py - 2 downto 0 do
           let r = rank_at t ~ry ~rz and rn = rank_at t ~ry:(ry + 1) ~rz in
           let w = dd.windows.(r) and wn = dd.windows.(rn) in
           let z0 = w.slab_lo - h and z1 = w.slab_hi + h in
-          Comm.send t.comm ~src:r ~dst:rn
-            (pack_box dat w ~y0:(w.row_hi - h) ~y1:w.row_hi ~z0 ~z1);
-          Comm.send t.comm ~src:rn ~dst:r
-            (pack_box dat wn ~y0:wn.row_lo ~y1:(wn.row_lo + h) ~z0 ~z1)
-        done;
-        for ry = 0 to t.py - 2 do
-          let r = rank_at t ~ry ~rz and rn = rank_at t ~ry:(ry + 1) ~rz in
-          let w = dd.windows.(r) and wn = dd.windows.(rn) in
-          let z0 = w.slab_lo - h and z1 = w.slab_hi + h in
-          unpack_box dat wn ~y0:(wn.row_lo - h) ~y1:wn.row_lo ~z0 ~z1
-            (Comm.recv t.comm ~src:r ~dst:rn);
-          unpack_box dat w ~y0:w.row_hi ~y1:(w.row_hi + h) ~z0 ~z1
-            (Comm.recv t.comm ~src:rn ~dst:r)
+          ignore
+            (Comm.isend t.comm ~src:r ~dst:rn
+               (pack_box dat w ~y0:(w.row_hi - h) ~y1:w.row_hi ~z0 ~z1));
+          ignore
+            (Comm.isend t.comm ~src:rn ~dst:r
+               (pack_box dat wn ~y0:wn.row_lo ~y1:(wn.row_lo + h) ~z0 ~z1));
+          recvs :=
+            (rn, true, Comm.irecv t.comm ~src:r ~dst:rn)
+            :: (r, false, Comm.irecv t.comm ~src:rn ~dst:r)
+            :: !recvs
         done
       done;
-      (* Phase Z: ghost planes over the full y-extended extent, carrying
-         the y-z edge cells filled in phase Y. *)
-      for ry = 0 to t.py - 1 do
-        for rz = 0 to t.pz - 2 do
-          let r = rank_at t ~ry ~rz and rn = rank_at t ~ry ~rz:(rz + 1) in
-          let w = dd.windows.(r) and wn = dd.windows.(rn) in
-          let y0 = w.row_lo - h and y1 = w.row_hi + h in
-          Comm.send t.comm ~src:r ~dst:rn
-            (pack_box dat w ~y0 ~y1 ~z0:(w.slab_hi - h) ~z1:w.slab_hi);
-          Comm.send t.comm ~src:rn ~dst:r
-            (pack_box dat wn ~y0 ~y1 ~z0:wn.slab_lo ~z1:(wn.slab_lo + h))
-        done;
-        for rz = 0 to t.pz - 2 do
-          let r = rank_at t ~ry ~rz and rn = rank_at t ~ry ~rz:(rz + 1) in
-          let w = dd.windows.(r) and wn = dd.windows.(rn) in
-          let y0 = w.row_lo - h and y1 = w.row_hi + h in
-          unpack_box dat wn ~y0 ~y1 ~z0:(wn.slab_lo - h) ~z1:wn.slab_lo
-            (Comm.recv t.comm ~src:r ~dst:rn);
-          unpack_box dat w ~y0 ~y1 ~z0:w.slab_hi ~z1:(w.slab_hi + h)
-            (Comm.recv t.comm ~src:rn ~dst:r)
-        done
-      done
-    end;
-    dd.fresh <- true
+      Some { tok_recvs = !recvs }
+    end
   end
+  else None
 
-let par_loop t ~range ~args ~kernel =
+(* Wait half: completes the phase-Y receives, unpacks the ghost rows, then
+   runs phase Z blocking — ghost planes over the full y-extended extent,
+   carrying the y-z edge cells freshly filled by phase Y. *)
+let exchange_finish t dat token =
+  let dd = dat_dist t dat in
+  let h = dat.halo in
+  List.iter
+    (fun (r, from_below, req) ->
+      let payload = Comm.wait t.comm req in
+      let w = dd.windows.(r) in
+      let z0 = w.slab_lo - h and z1 = w.slab_hi + h in
+      if from_below then
+        unpack_box dat w ~y0:(w.row_lo - h) ~y1:w.row_lo ~z0 ~z1 payload
+      else unpack_box dat w ~y0:w.row_hi ~y1:(w.row_hi + h) ~z0 ~z1 payload)
+    token.tok_recvs;
+  for ry = 0 to t.py - 1 do
+    for rz = 0 to t.pz - 2 do
+      let r = rank_at t ~ry ~rz and rn = rank_at t ~ry ~rz:(rz + 1) in
+      let w = dd.windows.(r) and wn = dd.windows.(rn) in
+      let y0 = w.row_lo - h and y1 = w.row_hi + h in
+      Comm.send t.comm ~src:r ~dst:rn
+        (pack_box dat w ~y0 ~y1 ~z0:(w.slab_hi - h) ~z1:w.slab_hi);
+      Comm.send t.comm ~src:rn ~dst:r
+        (pack_box dat wn ~y0 ~y1 ~z0:wn.slab_lo ~z1:(wn.slab_lo + h))
+    done;
+    for rz = 0 to t.pz - 2 do
+      let r = rank_at t ~ry ~rz and rn = rank_at t ~ry ~rz:(rz + 1) in
+      let w = dd.windows.(r) and wn = dd.windows.(rn) in
+      let y0 = w.row_lo - h and y1 = w.row_hi + h in
+      unpack_box dat wn ~y0 ~y1 ~z0:(wn.slab_lo - h) ~z1:wn.slab_lo
+        (Comm.recv t.comm ~src:r ~dst:rn);
+      unpack_box dat w ~y0 ~y1 ~z0:w.slab_hi ~z1:(w.slab_hi + h)
+        (Comm.recv t.comm ~src:rn ~dst:r)
+    done
+  done;
+  dd.fresh <- true
+
+(* Two-phase neighbour exchange for one dataset, blocking. *)
+let exchange t dat =
+  match exchange_start t dat with
+  | None -> ()
+  | Some token -> exchange_finish t dat token
+
+let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
+    ~args ~kernel =
   List.iter
     (function
       | Arg_dat { stride; _ } when not (is_unit_stride stride) ->
@@ -229,7 +263,9 @@ let par_loop t ~range ~args ~kernel =
                      partitioned contexts"
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args;
+  (* Stencil-read datasets needing a ghost exchange (deduplicated). *)
   let seen = Hashtbl.create 4 in
+  let needs = ref [] in
   List.iter
     (function
       | Arg_dat { dat; stencil; access; _ }
@@ -237,10 +273,12 @@ let par_loop t ~range ~args ~kernel =
              && stencil_extent stencil > 0
              && not (Hashtbl.mem seen dat.dat_id) ->
         Hashtbl.add seen dat.dat_id ();
-        exchange t dat
+        needs := dat :: !needs
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args;
-  for r = 0 to n_ranks t - 1 do
+  let needs = List.rev !needs in
+  let exposed = ref 0.0 and xfer = ref 0.0 in
+  let rank_box r =
     let ry = r mod t.py and rz = r / t.py in
     let own_ylo = if ry = 0 then min_int else t.chunk_y.(ry) in
     let own_yhi = if ry = t.py - 1 then max_int else t.chunk_y.(ry + 1) in
@@ -248,6 +286,9 @@ let par_loop t ~range ~args ~kernel =
     let own_zhi = if rz = t.pz - 1 then max_int else t.chunk_z.(rz + 1) in
     let ylo = max range.ylo own_ylo and yhi = min range.yhi own_yhi in
     let zlo = max range.zlo own_zlo and zhi = min range.zhi own_zhi in
+    if ylo < yhi && zlo < zhi then Some (ylo, yhi, zlo, zhi) else None
+  in
+  let run_box r ~ylo ~yhi ~zlo ~zhi =
     if ylo < yhi && zlo < zhi then begin
       let resolvers =
         { Exec3.resolve_dat = (fun d -> window_view d (dat_dist t d).windows.(r)) }
@@ -261,7 +302,109 @@ let par_loop t ~range ~args ~kernel =
           ~range:{ range with ylo; yhi; zlo; zhi }
           ~args ~kernel
     end
-  done;
+  in
+  (* A global Inc reduction is summed in iteration order: splitting the box
+     would reorder the additions, so such loops keep the blocking
+     exchange. *)
+  let splittable =
+    not
+      (List.exists
+         (function
+           | Arg_gbl { access = Access.Inc; _ } -> true
+           | Arg_gbl _ | Arg_dat _ | Arg_idx -> false)
+         args)
+  in
+  let tokens =
+    if not (t.overlap && splittable) then begin
+      List.iter
+        (fun dat ->
+          let t0 = Unix.gettimeofday () in
+          exchange t dat;
+          exposed := !exposed +. (Unix.gettimeofday () -. t0))
+        needs;
+      []
+    end
+    else
+      List.filter_map
+        (fun dat ->
+          let t0 = Unix.gettimeofday () in
+          let tok = exchange_start t dat in
+          xfer := !xfer +. (Unix.gettimeofday () -. t0);
+          Option.map (fun tok -> (dat, tok)) tok)
+        needs
+  in
+  if tokens = [] then
+    for r = 0 to n_ranks t - 1 do
+      match rank_box r with
+      | None -> ()
+      | Some (ylo, yhi, zlo, zhi) -> run_box r ~ylo ~yhi ~zlo ~zhi
+    done
+  else begin
+    (* Interior/boundary split: the interior box stays [margin] away from
+       every internal partition boundary.  The margin is the full ghost
+       depth (not just the stencil extent) because phase Z packs the planes
+       nearest the boundary at wait time — the interior must not have
+       touched them.  Centre-only writes make the order immaterial, so
+       results match blocking bitwise. *)
+    let margin =
+      List.fold_left (fun acc (dat, _) -> max acc dat.halo) 0 tokens
+    in
+    let bounds =
+      Array.init (n_ranks t) (fun r ->
+          match rank_box r with
+          | None -> None
+          | Some (ylo, yhi, zlo, zhi) ->
+            let ry = r mod t.py and rz = r / t.py in
+            let int_ylo =
+              if ry > 0 then max ylo (min yhi (t.chunk_y.(ry) + margin)) else ylo
+            in
+            let int_yhi =
+              if ry < t.py - 1 then
+                min yhi (max int_ylo (t.chunk_y.(ry + 1) - margin))
+              else yhi
+            in
+            let int_zlo =
+              if rz > 0 then max zlo (min zhi (t.chunk_z.(rz) + margin)) else zlo
+            in
+            let int_zhi =
+              if rz < t.pz - 1 then
+                min zhi (max int_zlo (t.chunk_z.(rz + 1) - margin))
+              else zhi
+            in
+            Some
+              ( (ylo, yhi, zlo, zhi),
+                (int_ylo, max int_ylo int_yhi, int_zlo, max int_zlo int_zhi) ))
+    in
+    let t_core = Unix.gettimeofday () in
+    Array.iteri
+      (fun r b ->
+        match b with
+        | None -> ()
+        | Some (_, (ylo, yhi, zlo, zhi)) -> run_box r ~ylo ~yhi ~zlo ~zhi)
+      bounds;
+    let core_seconds = Unix.gettimeofday () -. t_core in
+    if tokens <> [] then begin
+      let t_wait = Unix.gettimeofday () in
+      List.iter (fun (dat, tok) -> exchange_finish t dat tok) tokens;
+      xfer := !xfer +. (Unix.gettimeofday () -. t_wait);
+      let hidden = Float.min !xfer core_seconds in
+      exposed := !exposed +. (!xfer -. hidden);
+      overlap_seconds := !overlap_seconds +. hidden
+    end;
+    (* Boundary frame in the y-z plane: bottom and top z-slabs full y
+       width, then the y sides of the middle band. *)
+    Array.iteri
+      (fun r b ->
+        match b with
+        | None -> ()
+        | Some ((ylo, yhi, zlo, zhi), (int_ylo, int_yhi, int_zlo, int_zhi)) ->
+          run_box r ~ylo ~yhi ~zlo ~zhi:int_zlo;
+          run_box r ~ylo ~yhi:int_ylo ~zlo:int_zlo ~zhi:int_zhi;
+          run_box r ~ylo:int_yhi ~yhi ~zlo:int_zlo ~zhi:int_zhi;
+          run_box r ~ylo ~yhi ~zlo:int_zhi ~zhi)
+      bounds
+  end;
+  halo_seconds := !halo_seconds +. !exposed;
   List.iter
     (function
       | Arg_dat { dat; access; _ } when Access.writes access ->

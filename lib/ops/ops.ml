@@ -182,6 +182,24 @@ let set_halo_policy ctx policy =
   | Some (Rows d) -> d.Dist.eager_halo <- (policy = Eager)
   | Some (Grid d) -> d.Dist2.eager_halo <- (policy = Eager)
 
+(* Communication mode, as for OP2: [Blocking] completes ghost exchanges
+   before the loop body; [Overlap] posts them, runs the interior sub-range
+   (points whose stencils stay inside the owned region) while the messages
+   are in flight, waits, then runs the boundary strips. *)
+type comm_mode = Blocking | Overlap
+
+let set_comm_mode ctx mode =
+  match ctx.dist with
+  | None -> invalid_arg "Ops.set_comm_mode: partition first"
+  | Some (Rows d) -> d.Dist.overlap <- (mode = Overlap)
+  | Some (Grid d) -> d.Dist2.overlap <- (mode = Overlap)
+
+let comm_mode ctx =
+  match ctx.dist with
+  | Some (Rows d) when d.Dist.overlap -> Overlap
+  | Some (Grid d) when d.Dist2.overlap -> Overlap
+  | Some (Rows _) | Some (Grid _) | None -> Blocking
+
 let comm_stats ctx =
   match ctx.dist with
   | None -> None
@@ -232,10 +250,11 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   let descr = Types.describe ~name ~block ~range ~info args in
   Trace.record ctx.trace descr;
   let t0 = now () in
+  let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
   let execute () =
     match ctx.dist with
-    | Some (Rows d) -> Dist.par_loop d ~range ~args ~kernel
-    | Some (Grid d) -> Dist2.par_loop d ~range ~args ~kernel
+    | Some (Rows d) -> Dist.par_loop ~halo_seconds ~overlap_seconds d ~range ~args ~kernel
+    | Some (Grid d) -> Dist2.par_loop ~halo_seconds ~overlap_seconds d ~range ~args ~kernel
     | None -> (
       let compiled = Option.map (fun h -> resolve_compiled h args) handle in
       match ctx.backend with
@@ -256,7 +275,10 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
     Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:execute);
   let seconds = now () -. t0 in
   Profile.record ctx.profile ~name ~seconds ~bytes:(Descr.total_bytes descr)
-    ~elements:(Types.range_size range)
+    ~elements:(Types.range_size range);
+  if ctx.dist <> None then
+    Profile.record_halo ctx.profile ~name ~overlapped:!overlap_seconds
+      ~seconds:!halo_seconds ()
 
 (* ---- Physical boundary conditions (update_halo) --------------------------- *)
 

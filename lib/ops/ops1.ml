@@ -102,6 +102,19 @@ let set_halo_policy ctx policy =
   | None -> invalid_arg "Ops1.set_halo_policy: partition first"
   | Some d -> d.Dist1.eager_halo <- (policy = Eager)
 
+(* Communication mode, as for the other facades (see [Ops.set_comm_mode]). *)
+type comm_mode = Blocking | Overlap
+
+let set_comm_mode ctx mode =
+  match ctx.dist with
+  | None -> invalid_arg "Ops1.set_comm_mode: partition first"
+  | Some d -> d.Dist1.overlap <- (mode = Overlap)
+
+let comm_mode ctx =
+  match ctx.dist with
+  | Some d when d.Dist1.overlap -> Overlap
+  | Some _ | None -> Blocking
+
 let comm_stats ctx =
   match ctx.dist with
   | None -> None
@@ -128,9 +141,10 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   let descr = Types1.describe ~name ~block ~range ~info args in
   Trace.record ctx.trace descr;
   let t0 = now () in
+  let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
   let execute () =
     match ctx.dist with
-    | Some d -> Dist1.par_loop d ~range ~args ~kernel
+    | Some d -> Dist1.par_loop ~halo_seconds ~overlap_seconds d ~range ~args ~kernel
     | None -> (
       let compiled = Option.map (fun h -> resolve_compiled h args) handle in
       match ctx.backend with
@@ -151,7 +165,10 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
     Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:execute);
   Profile.record ctx.profile ~name ~seconds:(now () -. t0)
     ~bytes:(Descr.total_bytes descr)
-    ~elements:(Types1.range_size range)
+    ~elements:(Types1.range_size range);
+  if ctx.dist <> None then
+    Profile.record_halo ctx.profile ~name ~overlapped:!overlap_seconds
+      ~seconds:!halo_seconds ()
 
 (* ---- Physical boundary conditions (update_halo, 1D) ----------------------- *)
 

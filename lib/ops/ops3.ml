@@ -146,6 +146,21 @@ let set_rank_execution ctx exec =
       | Rank_seq -> Dist3p.Rank_seq
       | Rank_shared pool -> Dist3p.Rank_shared pool)
 
+(* Communication mode, as for the other facades (see [Ops.set_comm_mode]). *)
+type comm_mode = Blocking | Overlap
+
+let set_comm_mode ctx mode =
+  match ctx.dist with
+  | None -> invalid_arg "Ops3.set_comm_mode: partition first"
+  | Some (Slabs d) -> d.Dist3.overlap <- (mode = Overlap)
+  | Some (Pencil d) -> d.Dist3p.overlap <- (mode = Overlap)
+
+let comm_mode ctx =
+  match ctx.dist with
+  | Some (Slabs d) when d.Dist3.overlap -> Overlap
+  | Some (Pencil d) when d.Dist3p.overlap -> Overlap
+  | Some (Slabs _) | Some (Pencil _) | None -> Blocking
+
 let comm_stats ctx =
   match ctx.dist with
   | None -> None
@@ -173,10 +188,11 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   let descr = Types3.describe ~name ~block ~range ~info args in
   Trace.record ctx.trace descr;
   let t0 = now () in
+  let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
   let execute () =
     match ctx.dist with
-    | Some (Slabs d) -> Dist3.par_loop d ~range ~args ~kernel
-    | Some (Pencil d) -> Dist3p.par_loop d ~range ~args ~kernel
+    | Some (Slabs d) -> Dist3.par_loop ~halo_seconds ~overlap_seconds d ~range ~args ~kernel
+    | Some (Pencil d) -> Dist3p.par_loop ~halo_seconds ~overlap_seconds d ~range ~args ~kernel
     | None -> (
       let compiled = Option.map (fun h -> resolve_compiled h args) handle in
       match ctx.backend with
@@ -197,7 +213,10 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
     Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:execute);
   Profile.record ctx.profile ~name ~seconds:(now () -. t0)
     ~bytes:(Descr.total_bytes descr)
-    ~elements:(Types3.range_size range)
+    ~elements:(Types3.range_size range);
+  if ctx.dist <> None then
+    Profile.record_halo ctx.profile ~name ~overlapped:!overlap_seconds
+      ~seconds:!halo_seconds ()
 
 (* ---- Multi-block halos ----------------------------------------------------- *)
 

@@ -6,7 +6,19 @@
    (src, dst) channel.  Every transfer is recorded so the performance model
    can translate observed communication volumes into cluster-scale timings,
    and so tests can assert that e.g. a loop with only direct arguments sends
-   nothing. *)
+   nothing.
+
+   Two API levels coexist:
+
+   - blocking [send]/[recv]: a send is delivered immediately; a recv pops the
+     oldest delivered message or fails (a deadlock in the simulated program);
+   - non-blocking [isend]/[irecv]/[wait]/[waitall]: an isend *stages* its
+     payload in flight without delivering it, and the matching payload only
+     becomes receivable after delivery.  Delivery normally happens inside
+     [wait]/[recv], but tests can drive it one message at a time with
+     [deliver_one] to enumerate delivery schedules (dejafu-style): FIFO order
+     is preserved within a channel, while the interleaving *across* channels
+     is up to the driver. *)
 
 type stats = {
   mutable messages : int;
@@ -17,15 +29,23 @@ type stats = {
 
 type t = {
   n_ranks : int;
-  channels : float array Queue.t array; (* indexed src * n_ranks + dst *)
+  channels : float array Queue.t array; (* delivered; indexed src * n_ranks + dst *)
+  staged : float array Queue.t array; (* isend'd, still in flight *)
   stats : stats;
 }
+
+(* A request handle carries its own byte accounting so callers can attribute
+   traffic per exchange phase, not just per communicator. *)
+type request =
+  | Send_req of { src : int; dst : int; bytes : int; mutable completed : bool }
+  | Recv_req of { src : int; dst : int; mutable payload : float array option }
 
 let create ~n_ranks =
   if n_ranks <= 0 then invalid_arg "Comm.create: n_ranks must be positive";
   {
     n_ranks;
     channels = Array.init (n_ranks * n_ranks) (fun _ -> Queue.create ());
+    staged = Array.init (n_ranks * n_ranks) (fun _ -> Queue.create ());
     stats = { messages = 0; bytes = 0; exchanges = 0; reductions = 0 };
   }
 
@@ -42,17 +62,103 @@ let reset_stats t =
 let check_rank t r name =
   if r < 0 || r >= t.n_ranks then invalid_arg ("Comm." ^ name ^ ": rank out of range")
 
+let chan t ~src ~dst = (src * t.n_ranks) + dst
+
+(* Move one in-flight message of a channel into the receivable queue. *)
+let deliver_one t ~src ~dst =
+  check_rank t src "deliver_one";
+  check_rank t dst "deliver_one";
+  let c = chan t ~src ~dst in
+  if Queue.is_empty t.staged.(c) then false
+  else begin
+    Queue.push (Queue.pop t.staged.(c)) t.channels.(c);
+    true
+  end
+
+(* Deliver everything in flight on one channel (FIFO preserved). *)
+let deliver_channel t ~src ~dst =
+  while deliver_one t ~src ~dst do
+    ()
+  done
+
+let in_flight t ~src ~dst =
+  check_rank t src "in_flight";
+  check_rank t dst "in_flight";
+  Queue.length t.staged.(chan t ~src ~dst)
+
+(* Channels with staged messages, in deterministic (src, dst) order. *)
+let in_flight_channels t =
+  let acc = ref [] in
+  for src = t.n_ranks - 1 downto 0 do
+    for dst = t.n_ranks - 1 downto 0 do
+      if not (Queue.is_empty t.staged.(chan t ~src ~dst)) then
+        acc := (src, dst) :: !acc
+    done
+  done;
+  !acc
+
+let isend t ~src ~dst payload =
+  check_rank t src "isend";
+  check_rank t dst "isend";
+  let bytes = 8 * Array.length payload in
+  Queue.push payload t.staged.(chan t ~src ~dst);
+  t.stats.messages <- t.stats.messages + 1;
+  t.stats.bytes <- t.stats.bytes + bytes;
+  Send_req { src; dst; bytes; completed = false }
+
+let irecv t ~src ~dst =
+  check_rank t src "irecv";
+  check_rank t dst "irecv";
+  Recv_req { src; dst; payload = None }
+
+(* Completing a send needs nothing: the payload is already buffered in
+   flight.  Completing a recv forces delivery of its channel, then pops;
+   with nothing staged or delivered, the simulated program has deadlocked.
+   Returns the received payload ([||] for sends). *)
+let wait t req =
+  match req with
+  | Send_req r ->
+    r.completed <- true;
+    [||]
+  | Recv_req r -> (
+    match r.payload with
+    | Some p -> p
+    | None ->
+      deliver_channel t ~src:r.src ~dst:r.dst;
+      let q = t.channels.(chan t ~src:r.src ~dst:r.dst) in
+      if Queue.is_empty q then
+        failwith
+          (Printf.sprintf
+             "Comm.wait: deadlock: no message in flight from rank %d to rank %d"
+             r.src r.dst);
+      let p = Queue.pop q in
+      r.payload <- Some p;
+      p)
+
+let waitall t reqs = List.iter (fun r -> ignore (wait t r)) reqs
+
+let request_bytes = function
+  | Send_req r -> r.bytes
+  | Recv_req r -> ( match r.payload with Some p -> 8 * Array.length p | None -> 0)
+
+let request_payload = function
+  | Send_req _ -> None
+  | Recv_req r -> r.payload
+
+(* Blocking send: delivered immediately (an isend followed by a full channel
+   delivery observes exactly the same state). *)
 let send t ~src ~dst payload =
   check_rank t src "send";
   check_rank t dst "send";
-  Queue.push payload t.channels.((src * t.n_ranks) + dst);
+  Queue.push payload t.channels.(chan t ~src ~dst);
   t.stats.messages <- t.stats.messages + 1;
   t.stats.bytes <- t.stats.bytes + (8 * Array.length payload)
 
 let recv t ~src ~dst =
   check_rank t src "recv";
   check_rank t dst "recv";
-  let q = t.channels.((src * t.n_ranks) + dst) in
+  deliver_channel t ~src ~dst;
+  let q = t.channels.(chan t ~src ~dst) in
   if Queue.is_empty q then
     failwith
       (Printf.sprintf "Comm.recv: no message pending from rank %d to rank %d" src dst);
@@ -61,10 +167,11 @@ let recv t ~src ~dst =
 let pending t ~src ~dst =
   check_rank t src "pending";
   check_rank t dst "pending";
-  Queue.length t.channels.((src * t.n_ranks) + dst)
+  let c = chan t ~src ~dst in
+  Queue.length t.channels.(c) + Queue.length t.staged.(c)
 
 let all_drained t =
-  Array.for_all Queue.is_empty t.channels
+  Array.for_all Queue.is_empty t.channels && Array.for_all Queue.is_empty t.staged
 
 (* Global reduction over one value per rank. Counted once per call. *)
 let allreduce t ~combine values =

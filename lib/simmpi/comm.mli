@@ -2,7 +2,16 @@
 
     Ranks are executed BSP-style within one process; messages are FIFO per
     (src, dst) channel and all traffic is recorded for the performance
-    model. *)
+    model.
+
+    Besides the blocking [send]/[recv] pair, the simulator offers
+    non-blocking [isend]/[irecv]/[wait]/[waitall] request handles: an
+    [isend] stages its payload {e in flight} without delivering it, so the
+    distributed backends can post exchanges, compute over core elements, and
+    only then wait.  Delivery happens implicitly inside [wait]/[recv], or
+    one message at a time via [deliver_one] so tests can enumerate delivery
+    schedules (FIFO within a channel; interleaving across channels is the
+    driver's choice). *)
 
 type stats = {
   mutable messages : int;
@@ -12,6 +21,9 @@ type stats = {
 }
 
 type t
+
+(** Opaque request handle returned by [isend]/[irecv]. *)
+type request
 
 val create : n_ranks:int -> t
 val n_ranks : t -> int
@@ -25,14 +37,52 @@ val reset_stats : t -> unit
     not mutate it afterwards. *)
 val send : t -> src:int -> dst:int -> float array -> unit
 
-(** Dequeue the oldest message on the (src, dst) channel; [Failure] if none
-    is pending (a deadlock in the simulated program). *)
+(** Dequeue the oldest message on the (src, dst) channel (delivering any
+    staged ones first); [Failure] if none is pending (a deadlock in the
+    simulated program). *)
 val recv : t -> src:int -> dst:int -> float array
 
-(** Messages currently queued on a channel. *)
+(** Stage a message in flight on the (src, dst) channel. Counted in [stats]
+    at post time; the payload is transferred by reference. *)
+val isend : t -> src:int -> dst:int -> float array -> request
+
+(** Post a receive for the oldest undelivered message on (src, dst). The
+    payload materialises at [wait]. *)
+val irecv : t -> src:int -> dst:int -> request
+
+(** Complete a request. For a receive, delivers the channel's staged
+    messages and returns the matched payload — raising a deadlock [Failure]
+    when nothing is or ever will be available. For a send, returns [[||]].
+    Waiting twice on the same receive returns the same payload. *)
+val wait : t -> request -> float array
+
+val waitall : t -> request list -> unit
+
+(** Bytes attributed to a request: the posted size for a send, the matched
+    payload size for a completed receive (0 before completion). *)
+val request_bytes : request -> int
+
+(** The payload matched to a completed receive; [None] for sends or
+    incomplete receives. *)
+val request_payload : request -> float array option
+
+(** Deliver the single oldest in-flight message on a channel; false when the
+    channel has nothing staged. Drives schedule-exploration tests. *)
+val deliver_one : t -> src:int -> dst:int -> bool
+
+(** Deliver everything in flight on one channel, preserving FIFO order. *)
+val deliver_channel : t -> src:int -> dst:int -> unit
+
+(** In-flight (staged, undelivered) messages on a channel. *)
+val in_flight : t -> src:int -> dst:int -> int
+
+(** Channels holding in-flight messages, in (src, dst) order. *)
+val in_flight_channels : t -> (int * int) list
+
+(** Messages currently queued on a channel (delivered plus in flight). *)
 val pending : t -> src:int -> dst:int -> int
 
-(** True when no channel holds an undelivered message. *)
+(** True when no channel holds an undelivered or in-flight message. *)
 val all_drained : t -> bool
 
 (** Reduce one value per rank with an associative [combine]. *)

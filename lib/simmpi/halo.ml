@@ -10,6 +10,13 @@
    - [reduce]: halo copies push accumulated contributions back to the owners,
      which add them in (increment-indirect arguments after a loop).
 
+   Both directions come in a blocking form and a split pack/post vs.
+   wait/unpack form ([exchange_start]/[exchange_finish],
+   [reduce_start]/[reduce_finish]) so the distributed executors can overlap
+   core computation with the in-flight messages.  Payloads are packed at post
+   time: the bytes on the wire snapshot the pre-loop values even if the
+   overlap phase then writes the exported slots.
+
    Export and import lists for a pair must have equal length and matching
    order; [validate] checks this. *)
 
@@ -18,6 +25,10 @@ type t = {
   exports : int array array array; (* exports.(r).(p): local slots of r sent to p *)
   imports : int array array array; (* imports.(r).(p): local slots of r receiving from p *)
 }
+
+(* In-flight exchange (or reduce): the posted receives in completion order.
+   Each entry is (receiving rank, peer it receives from, request). *)
+type token = { tok_dim : int; tok_recvs : (int * int * Comm.request) list }
 
 let create ~n_ranks ~exports ~imports =
   let t = { n_ranks; exports; imports } in
@@ -61,55 +72,88 @@ let pack data ~dim slots =
     slots;
   out
 
-(* Owner -> halo push of [dim] values per element. [data.(rank)] is that
-   rank's local array. *)
-let exchange comm t ~dim data =
-  if Comm.n_ranks comm <> t.n_ranks then invalid_arg "Halo.exchange: comm/plan mismatch";
+(* Owner -> halo push, pack/post half: every export is packed and isent, and
+   a receive is posted for every import. Counted as one exchange round. *)
+let exchange_start comm t ~dim data =
+  if Comm.n_ranks comm <> t.n_ranks then
+    invalid_arg "Halo.exchange_start: comm/plan mismatch";
   (Comm.stats comm).exchanges <- (Comm.stats comm).exchanges + 1;
   for r = 0 to t.n_ranks - 1 do
     for p = 0 to t.n_ranks - 1 do
       if r <> p && Array.length t.exports.(r).(p) > 0 then
-        Comm.send comm ~src:r ~dst:p (pack data.(r) ~dim t.exports.(r).(p))
+        ignore (Comm.isend comm ~src:r ~dst:p (pack data.(r) ~dim t.exports.(r).(p)))
     done
   done;
-  for p = 0 to t.n_ranks - 1 do
-    for r = 0 to t.n_ranks - 1 do
-      if r <> p && Array.length t.imports.(p).(r) > 0 then begin
-        let payload = Comm.recv comm ~src:r ~dst:p in
-        Array.iteri
-          (fun k slot -> Array.blit payload (k * dim) data.(p) (slot * dim) dim)
-          t.imports.(p).(r)
-      end
+  let recvs = ref [] in
+  for p = t.n_ranks - 1 downto 0 do
+    for r = t.n_ranks - 1 downto 0 do
+      if r <> p && Array.length t.imports.(p).(r) > 0 then
+        recvs := (p, r, Comm.irecv comm ~src:r ~dst:p) :: !recvs
     done
-  done
+  done;
+  { tok_dim = dim; tok_recvs = !recvs }
 
-(* Halo -> owner accumulation: each rank sends the contents of its *import*
-   slots back to the exporting owner, which adds them elementwise.  Callers
-   zero the halo slots before the contributing loop so only fresh
-   contributions flow back. *)
-let reduce comm t ~dim data =
-  if Comm.n_ranks comm <> t.n_ranks then invalid_arg "Halo.reduce: comm/plan mismatch";
+(* Wait half: completes every posted receive and scatters the payloads into
+   the import slots. *)
+let exchange_finish comm t token data =
+  let dim = token.tok_dim in
+  List.iter
+    (fun (p, r, req) ->
+      let payload = Comm.wait comm req in
+      Array.iteri
+        (fun k slot -> Array.blit payload (k * dim) data.(p) (slot * dim) dim)
+        t.imports.(p).(r))
+    token.tok_recvs
+
+(* Blocking owner -> halo push of [dim] values per element. [data.(rank)] is
+   that rank's local array. *)
+let exchange comm t ~dim data =
+  if Comm.n_ranks comm <> t.n_ranks then invalid_arg "Halo.exchange: comm/plan mismatch";
+  let token = exchange_start comm t ~dim data in
+  exchange_finish comm t token data
+
+(* Halo -> owner accumulation, pack/post half: each rank isends the contents
+   of its *import* slots back to the exporting owner.  Callers zero the halo
+   slots before the contributing loop so only fresh contributions flow
+   back. *)
+let reduce_start comm t ~dim data =
+  if Comm.n_ranks comm <> t.n_ranks then
+    invalid_arg "Halo.reduce_start: comm/plan mismatch";
   (Comm.stats comm).exchanges <- (Comm.stats comm).exchanges + 1;
   for p = 0 to t.n_ranks - 1 do
     for r = 0 to t.n_ranks - 1 do
       if r <> p && Array.length t.imports.(p).(r) > 0 then
-        Comm.send comm ~src:p ~dst:r (pack data.(p) ~dim t.imports.(p).(r))
+        ignore (Comm.isend comm ~src:p ~dst:r (pack data.(p) ~dim t.imports.(p).(r)))
     done
   done;
-  for r = 0 to t.n_ranks - 1 do
-    for p = 0 to t.n_ranks - 1 do
-      if r <> p && Array.length t.exports.(r).(p) > 0 then begin
-        let payload = Comm.recv comm ~src:p ~dst:r in
-        Array.iteri
-          (fun k slot ->
-            for d = 0 to dim - 1 do
-              data.(r).((slot * dim) + d) <-
-                data.(r).((slot * dim) + d) +. payload.((k * dim) + d)
-            done)
-          t.exports.(r).(p)
-      end
+  let recvs = ref [] in
+  for r = t.n_ranks - 1 downto 0 do
+    for p = t.n_ranks - 1 downto 0 do
+      if r <> p && Array.length t.exports.(r).(p) > 0 then
+        recvs := (r, p, Comm.irecv comm ~src:p ~dst:r) :: !recvs
     done
-  done
+  done;
+  { tok_dim = dim; tok_recvs = !recvs }
+
+(* Wait half: owners add the returned contributions elementwise. *)
+let reduce_finish comm t token data =
+  let dim = token.tok_dim in
+  List.iter
+    (fun (r, p, req) ->
+      let payload = Comm.wait comm req in
+      Array.iteri
+        (fun k slot ->
+          for d = 0 to dim - 1 do
+            data.(r).((slot * dim) + d) <-
+              data.(r).((slot * dim) + d) +. payload.((k * dim) + d)
+          done)
+        t.exports.(r).(p))
+    token.tok_recvs
+
+let reduce comm t ~dim data =
+  if Comm.n_ranks comm <> t.n_ranks then invalid_arg "Halo.reduce: comm/plan mismatch";
+  let token = reduce_start comm t ~dim data in
+  reduce_finish comm t token data
 
 (* Largest number of peers any rank talks to — feeds the network model's
    message-count term. *)

@@ -1,0 +1,758 @@
+(* Differential and schedule-exploration tests for the non-blocking
+   core/boundary runtime.
+
+   Three layers of evidence that overlapping halo exchanges with interior
+   compute changes nothing observable:
+
+   - randomized differential runs: seeded random meshes and loop chains
+     executed on the distributed OP2 backend with overlap on and off must
+     agree bitwise, and must agree with the sequential reference up to
+     reduction reordering; likewise the Airfoil and CloverLeaf proxies;
+   - schedule exploration: every delivery interleaving of the in-flight
+     messages of a halo exchange (driven one message at a time through
+     [Comm.deliver_one]) must produce the same unpacked result, and a
+     receive that can never complete must fail fast instead of hanging;
+   - halo-freshness invariants: eager and on-demand exchange policies,
+     blocking and overlapped, are bitwise interchangeable on chains that
+     interleave indirect reads, Inc accumulations and direct writes.
+
+   Every randomized case derives its PRNG stream from one base seed.
+   Failures print the seed; rerun with AM_SEED=<n> to reproduce. *)
+
+module Op2 = Am_op2.Op2
+module Ops = Am_ops.Ops
+module Access = Am_core.Access
+module Profile = Am_core.Profile
+module Umesh = Am_mesh.Umesh
+module Prng = Am_util.Prng
+module Fa = Am_util.Fa
+module Comm = Am_simmpi.Comm
+module Halo = Am_simmpi.Halo
+module Airfoil = Am_airfoil.App
+module Clover = Am_cloverleaf.App
+
+let base_seed =
+  match Sys.getenv_opt "AM_SEED" with
+  | Some s -> (
+    try int_of_string s
+    with _ -> failwith "AM_SEED must be an integer")
+  | None -> 0x0b5e1a9
+
+let failf_seed seed fmt =
+  Alcotest.failf ("[reproduce with AM_SEED=%d] " ^^ fmt) seed
+
+(* ---- Result fingerprints ---- *)
+
+type fingerprint = {
+  dats : (string * float array) list;
+  gbls : (string * float) list;
+}
+
+(* [tol = 0.0] demands bitwise agreement (same partition, overlap on/off);
+   a small tolerance absorbs reduction reordering across partitions. *)
+let check_fingerprint ~seed ~tol ~what reference fp =
+  List.iter2
+    (fun (n, a) (n', b) ->
+      if n <> n' then failf_seed seed "%s: dat list shape differs" what;
+      if not (Fa.approx_equal ~tol a b) then
+        failf_seed seed "%s: dat %s diverges (%g)" what n (Fa.rel_discrepancy a b))
+    reference.dats fp.dats;
+  List.iter2
+    (fun (n, a) (_, b) ->
+      if Float.abs (a -. b) /. (1.0 +. Float.abs a) > tol then
+        failf_seed seed "%s: reduction %s diverges (%.17g vs %.17g)" what n a b)
+    reference.gbls fp.gbls
+
+(* ---- Random OP2 programs ---- *)
+
+(* A loop chain drawn from a palette covering every communication shape the
+   distributed runtime distinguishes: indirect reads (halo exchange),
+   indirect Inc (halo zero + reduce), direct writes (dirtying), global
+   reductions (splittable Min/Max and order-sensitive Inc). *)
+type step =
+  | Flux of float (* edges: Read u x2, Inc du x2 *)
+  | Edge_gather of float (* edges: Read u x2, direct Write ew *)
+  | Edge_scatter of float (* edges: direct Read ew, Inc u x2 *)
+  | Cell_update of float (* cells: Rw u, Rw du, gbl Inc *)
+  | Cell_scale of float (* cells: Rw u *)
+  | Minmax (* cells: Read u, gbl Min, gbl Max *)
+
+type program = {
+  nx : int;
+  ny : int;
+  scramble : int option;
+  dim : int;
+  steps : step list;
+  reps : int;
+}
+
+let random_step rng =
+  let c = Prng.float_range rng (-1.0) 1.0 in
+  match Prng.int rng 6 with
+  | 0 -> Flux c
+  | 1 -> Edge_gather c
+  | 2 -> Edge_scatter c
+  | 3 -> Cell_update c
+  | 4 -> Cell_scale c
+  | _ -> Minmax
+
+let random_program rng =
+  let nx = 6 + Prng.int rng 7 and ny = 6 + Prng.int rng 7 in
+  let scramble = if Prng.bool rng then Some (Prng.int rng 1000) else None in
+  let dim = 1 + Prng.int rng 3 in
+  let n_steps = 3 + Prng.int rng 4 in
+  {
+    nx;
+    ny;
+    scramble;
+    dim;
+    steps = List.init n_steps (fun _ -> random_step rng);
+    reps = 2;
+  }
+
+type built = {
+  ctx : Op2.ctx;
+  cells : Op2.set;
+  edges : Op2.set;
+  e2c : Op2.map_t;
+  coords : Op2.dat;
+  u : Op2.dat;
+  du : Op2.dat;
+  ew : Op2.dat;
+}
+
+let build p =
+  let mesh = Umesh.generate_square ~nx:p.nx ~ny:p.ny () in
+  let mesh =
+    match p.scramble with
+    | Some s -> Umesh.scramble ~seed:s mesh
+    | None -> mesh
+  in
+  let ctx = Op2.create () in
+  let cells = Op2.decl_set ctx ~name:"cells" ~size:mesh.Umesh.n_cells in
+  let edges = Op2.decl_set ctx ~name:"edges" ~size:mesh.Umesh.n_edges in
+  let e2c =
+    Op2.decl_map ctx ~name:"e2c" ~from_set:edges ~to_set:cells ~arity:2
+      ~values:mesh.Umesh.edge_cells
+  in
+  let coords =
+    Op2.decl_dat ctx ~name:"xc" ~set:cells ~dim:2 ~data:(Umesh.cell_centroids mesh)
+  in
+  let u =
+    Op2.decl_dat ctx ~name:"u" ~set:cells ~dim:p.dim
+      ~data:
+        (Array.init (mesh.Umesh.n_cells * p.dim) (fun i ->
+             sin (0.37 *. Float.of_int i)))
+  in
+  let du = Op2.decl_dat_zero ctx ~name:"du" ~set:cells ~dim:p.dim in
+  let ew =
+    Op2.decl_dat ctx ~name:"ew" ~set:edges ~dim:1
+      ~data:(Array.init mesh.Umesh.n_edges (fun i -> cos (0.23 *. Float.of_int i)))
+  in
+  { ctx; cells; edges; e2c; coords; u; du; ew }
+
+let run_program p configure =
+  let b = build p in
+  configure b;
+  let gbls = ref [] in
+  let record name v = gbls := (name, v) :: !gbls in
+  for _rep = 1 to p.reps do
+    List.iteri
+      (fun i step ->
+        let name k = Printf.sprintf "%s%d" k i in
+        match step with
+        | Flux c ->
+          Op2.par_loop b.ctx ~name:(name "flux") b.edges
+            [
+              Op2.arg_dat_indirect b.u b.e2c 0 Access.Read;
+              Op2.arg_dat_indirect b.u b.e2c 1 Access.Read;
+              Op2.arg_dat_indirect b.du b.e2c 0 Access.Inc;
+              Op2.arg_dat_indirect b.du b.e2c 1 Access.Inc;
+            ]
+            (fun a ->
+              for d = 0 to p.dim - 1 do
+                let f = c *. (a.(1).(d) -. a.(0).(d)) in
+                a.(2).(d) <- a.(2).(d) +. f;
+                a.(3).(d) <- a.(3).(d) -. f
+              done)
+        | Edge_gather c ->
+          Op2.par_loop b.ctx ~name:(name "gather") b.edges
+            [
+              Op2.arg_dat_indirect b.u b.e2c 0 Access.Read;
+              Op2.arg_dat_indirect b.u b.e2c 1 Access.Read;
+              Op2.arg_dat b.ew Access.Write;
+            ]
+            (fun a ->
+              let s = ref 0.0 in
+              for d = 0 to p.dim - 1 do
+                s := !s +. a.(0).(d) +. a.(1).(d)
+              done;
+              a.(2).(0) <- c *. !s)
+        | Edge_scatter c ->
+          Op2.par_loop b.ctx ~name:(name "scatter") b.edges
+            [
+              Op2.arg_dat b.ew Access.Read;
+              Op2.arg_dat_indirect b.u b.e2c 0 Access.Inc;
+              Op2.arg_dat_indirect b.u b.e2c 1 Access.Inc;
+            ]
+            (fun a ->
+              for d = 0 to p.dim - 1 do
+                a.(1).(d) <- a.(1).(d) +. (c *. a.(0).(0));
+                a.(2).(d) <- a.(2).(d) -. (c *. a.(0).(0))
+              done)
+        | Cell_update c ->
+          let tot = [| 0.0 |] in
+          Op2.par_loop b.ctx ~name:(name "update") b.cells
+            [
+              Op2.arg_dat b.u Access.Rw;
+              Op2.arg_dat b.du Access.Rw;
+              Op2.arg_gbl ~name:"tot" tot Access.Inc;
+            ]
+            (fun a ->
+              for d = 0 to p.dim - 1 do
+                a.(0).(d) <- a.(0).(d) +. (c *. a.(1).(d));
+                a.(2).(0) <- a.(2).(0) +. (a.(1).(d) *. a.(1).(d));
+                a.(1).(d) <- 0.0
+              done);
+          record (name "tot") tot.(0)
+        | Cell_scale c ->
+          Op2.par_loop b.ctx ~name:(name "scale") b.cells
+            [ Op2.arg_dat b.u Access.Rw ]
+            (fun a ->
+              for d = 0 to p.dim - 1 do
+                a.(0).(d) <- (a.(0).(d) *. (1.0 +. (0.01 *. c))) +. (0.001 *. c)
+              done)
+        | Minmax ->
+          let mn = [| Float.infinity |] and mx = [| Float.neg_infinity |] in
+          Op2.par_loop b.ctx ~name:(name "minmax") b.cells
+            [
+              Op2.arg_dat b.u Access.Read;
+              Op2.arg_gbl ~name:"mn" mn Access.Min;
+              Op2.arg_gbl ~name:"mx" mx Access.Max;
+            ]
+            (fun a ->
+              for d = 0 to p.dim - 1 do
+                a.(1).(0) <- Float.min a.(1).(0) a.(0).(d);
+                a.(2).(0) <- Float.max a.(2).(0) a.(0).(d)
+              done);
+          record (name "mn") mn.(0);
+          record (name "mx") mx.(0))
+      p.steps
+  done;
+  {
+    dats =
+      [
+        ("u", Op2.fetch b.ctx b.u);
+        ("du", Op2.fetch b.ctx b.du);
+        ("ew", Op2.fetch b.ctx b.ew);
+      ];
+    gbls = List.rev !gbls;
+  }
+
+let strategies =
+  [
+    ("kway", fun b -> Op2.Kway_through b.e2c);
+    ("rcb", fun b -> Op2.Rcb_on b.coords);
+    ("block", fun b -> Op2.Block_on b.cells);
+  ]
+
+let rank_counts = [ 1; 2; 3; 7 ]
+
+let test_op2_random_differential () =
+  for case = 0 to 3 do
+    let seed = base_seed + case in
+    let p = random_program (Prng.create seed) in
+    let reference = run_program p (fun _ -> ()) in
+    List.iter
+      (fun n_ranks ->
+        List.iter
+          (fun (sname, strat_of) ->
+            let part mode b =
+              Op2.partition b.ctx ~n_ranks ~strategy:(strat_of b);
+              Op2.set_comm_mode b.ctx mode
+            in
+            let blocking = run_program p (part Op2.Blocking) in
+            let overlap = run_program p (part Op2.Overlap) in
+            let what mode =
+              Printf.sprintf "case %d %s(%d) %s" case sname n_ranks mode
+            in
+            check_fingerprint ~seed ~tol:1e-10 ~what:(what "blocking vs seq")
+              reference blocking;
+            check_fingerprint ~seed ~tol:0.0 ~what:(what "overlap vs blocking")
+              blocking overlap)
+          strategies)
+      rank_counts
+  done
+
+(* ---- Airfoil proxy ---- *)
+
+let airfoil_mesh = lazy (Umesh.generate_airfoil ~nx:12 ~ny:8 ())
+
+let run_airfoil configure =
+  let t = Airfoil.create (Lazy.force airfoil_mesh) in
+  configure t;
+  let rms = Airfoil.run t ~iters:5 in
+  (Airfoil.solution t, rms)
+
+let airfoil_strategies =
+  [
+    ("kway", fun t -> Op2.Kway_through t.Airfoil.edge_cells);
+    ("rcb", fun t -> Op2.Rcb_on t.Airfoil.x);
+    ("block", fun t -> Op2.Block_on t.Airfoil.cells);
+  ]
+
+let test_airfoil_overlap_differential () =
+  let ref_q, ref_rms = run_airfoil (fun _ -> ()) in
+  List.iter
+    (fun n_ranks ->
+      List.iter
+        (fun (sname, strat_of) ->
+          let part mode t =
+            Op2.partition t.Airfoil.ctx ~n_ranks ~strategy:(strat_of t);
+            Op2.set_comm_mode t.Airfoil.ctx mode
+          in
+          let bq, brms = run_airfoil (part Op2.Blocking) in
+          let oq, orms = run_airfoil (part Op2.Overlap) in
+          let what = Printf.sprintf "airfoil %s(%d)" sname n_ranks in
+          if not (Fa.approx_equal ~tol:1e-10 ref_q bq) then
+            Alcotest.failf "%s: blocking diverges from seq (%g)" what
+              (Fa.rel_discrepancy ref_q bq);
+          if Float.abs (brms -. ref_rms) /. (1.0 +. ref_rms) > 1e-10 then
+            Alcotest.failf "%s: rms diverges from seq" what;
+          if not (Fa.approx_equal ~tol:0.0 bq oq) then
+            Alcotest.failf "%s: overlap not bitwise equal to blocking (%g)" what
+              (Fa.rel_discrepancy bq oq);
+          if brms <> orms then
+            Alcotest.failf "%s: overlap rms %.17g <> blocking rms %.17g" what orms
+              brms)
+        airfoil_strategies)
+    [ 2; 3; 7 ]
+
+(* ---- CloverLeaf proxy ---- *)
+
+let run_clover configure =
+  let t = Clover.create ~nx:12 ~ny:12 () in
+  configure t.Clover.ctx;
+  let s = Clover.run t ~steps:4 in
+  (Clover.density t, Clover.energy t, s)
+
+let clover_partitions ny =
+  [
+    ("rows(2)", fun ctx -> Ops.partition ctx ~n_ranks:2 ~ref_ysize:ny);
+    ("rows(3)", fun ctx -> Ops.partition ctx ~n_ranks:3 ~ref_ysize:ny);
+    ("rows(5)", fun ctx -> Ops.partition ctx ~n_ranks:5 ~ref_ysize:ny);
+    ( "grid(2x2)",
+      fun ctx -> Ops.partition_grid ctx ~px:2 ~py:2 ~ref_xsize:12 ~ref_ysize:ny );
+    ( "grid(3x2)",
+      fun ctx -> Ops.partition_grid ctx ~px:3 ~py:2 ~ref_xsize:12 ~ref_ysize:ny );
+  ]
+
+let test_cloverleaf_overlap_differential () =
+  let ref_d, ref_e, ref_s = run_clover (fun _ -> ()) in
+  List.iter
+    (fun (pname, part) ->
+      let conf mode ctx =
+        part ctx;
+        Ops.set_comm_mode ctx mode
+      in
+      let bd, be, bs = run_clover (conf Ops.Blocking) in
+      let od, oe, os = run_clover (conf Ops.Overlap) in
+      let what = Printf.sprintf "cloverleaf %s" pname in
+      if not (Fa.approx_equal ~tol:1e-10 ref_d bd) then
+        Alcotest.failf "%s: density diverges from seq (%g)" what
+          (Fa.rel_discrepancy ref_d bd);
+      if not (Fa.approx_equal ~tol:1e-10 ref_e be) then
+        Alcotest.failf "%s: energy diverges from seq (%g)" what
+          (Fa.rel_discrepancy ref_e be);
+      if
+        Float.abs (bs.Clover.ke -. ref_s.Clover.ke) /. (1.0 +. ref_s.Clover.ke)
+        > 1e-10
+        || Float.abs (bs.Clover.mass -. ref_s.Clover.mass) /. ref_s.Clover.mass
+           > 1e-10
+      then Alcotest.failf "%s: summary diverges from seq" what;
+      if not (Fa.approx_equal ~tol:0.0 bd od && Fa.approx_equal ~tol:0.0 be oe)
+      then Alcotest.failf "%s: overlap not bitwise equal to blocking" what;
+      if bs.Clover.ke <> os.Clover.ke || bs.Clover.ie <> os.Clover.ie then
+        Alcotest.failf "%s: overlap summary differs from blocking" what)
+    (clover_partitions 12)
+
+(* ---- Schedule exploration ---- *)
+
+(* A 3-rank ring: every rank exports slot 0 to both neighbours and imports
+   into slot 1 (from the previous rank) and slot 2 (from the next). *)
+let ring_n = 3
+
+let ring_plan () =
+  let n = ring_n in
+  let exports = Array.init n (fun _ -> Array.make n [||]) in
+  let imports = Array.init n (fun _ -> Array.make n [||]) in
+  for r = 0 to n - 1 do
+    exports.(r).((r + 1) mod n) <- [| 0 |];
+    exports.(r).((r + n - 1) mod n) <- [| 0 |]
+  done;
+  for p = 0 to n - 1 do
+    imports.(p).((p + n - 1) mod n) <- [| 1 |];
+    imports.(p).((p + 1) mod n) <- [| 2 |]
+  done;
+  Halo.create ~n_ranks:n ~exports ~imports
+
+let ring_data base = Array.init ring_n (fun r -> [| base +. Float.of_int r; 0.0; 0.0 |])
+
+let rec perms = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x -> List.map (fun p -> x :: p) (perms (List.filter (fun y -> y <> x) l)))
+      l
+
+let check_ring ~what expected data =
+  Array.iteri
+    (fun r row ->
+      if not (Fa.approx_equal ~tol:0.0 expected.(r) row) then
+        Alcotest.failf "%s: rank %d got [%s], wanted [%s]" what r
+          (String.concat "; " (Array.to_list (Array.map string_of_float row)))
+          (String.concat "; "
+             (Array.to_list (Array.map string_of_float expected.(r)))))
+    expected;
+  ignore data
+
+(* Exhaustively drive the six in-flight messages of one ring exchange
+   through every delivery order (and, per order, a varying prefix delivered
+   before the wait): the unpacked result must never change. *)
+let test_schedule_single_exchange () =
+  let expected =
+    let comm = Comm.create ~n_ranks:ring_n in
+    let plan = ring_plan () in
+    let data = ring_data 10.0 in
+    Halo.exchange comm plan ~dim:1 data;
+    data
+  in
+  let chans =
+    let comm = Comm.create ~n_ranks:ring_n in
+    let plan = ring_plan () in
+    let data = ring_data 10.0 in
+    let tok = Halo.exchange_start comm plan ~dim:1 data in
+    let cs = Comm.in_flight_channels comm in
+    Halo.exchange_finish comm plan tok data;
+    cs
+  in
+  Alcotest.(check int) "six channels in flight" 6 (List.length chans);
+  List.iteri
+    (fun idx order ->
+      let comm = Comm.create ~n_ranks:ring_n in
+      let plan = ring_plan () in
+      let data = ring_data 10.0 in
+      let tok = Halo.exchange_start comm plan ~dim:1 data in
+      let prefix = idx mod (List.length order + 1) in
+      List.iteri
+        (fun i (src, dst) ->
+          if i < prefix && not (Comm.deliver_one comm ~src ~dst) then
+            Alcotest.failf "schedule %d: nothing to deliver on (%d,%d)" idx src dst)
+        order;
+      Halo.exchange_finish comm plan tok data;
+      if not (Comm.all_drained comm) then
+        Alcotest.failf "schedule %d: messages left behind" idx;
+      check_ring ~what:(Printf.sprintf "schedule %d" idx) expected data)
+    (perms chans)
+
+(* Two exchanges in flight on the same plan (two dats mid-loop): random
+   delivery interleavings must keep each token's payloads separate, because
+   per-channel FIFO pairs messages with receives in posted order. *)
+let test_schedule_two_exchanges () =
+  let expected_u, expected_v =
+    let comm = Comm.create ~n_ranks:ring_n in
+    let plan = ring_plan () in
+    let u = ring_data 10.0 and v = ring_data 100.0 in
+    Halo.exchange comm plan ~dim:1 u;
+    Halo.exchange comm plan ~dim:1 v;
+    (u, v)
+  in
+  let rng = Prng.create (base_seed + 777) in
+  for trial = 0 to 63 do
+    let comm = Comm.create ~n_ranks:ring_n in
+    let plan = ring_plan () in
+    let u = ring_data 10.0 and v = ring_data 100.0 in
+    let tok_u = Halo.exchange_start comm plan ~dim:1 u in
+    let tok_v = Halo.exchange_start comm plan ~dim:1 v in
+    let deliveries =
+      let cs = Comm.in_flight_channels comm in
+      Array.of_list (cs @ cs)
+    in
+    Prng.shuffle rng deliveries;
+    let k = Prng.int rng (Array.length deliveries + 1) in
+    for i = 0 to k - 1 do
+      let src, dst = deliveries.(i) in
+      ignore (Comm.deliver_one comm ~src ~dst)
+    done;
+    Halo.exchange_finish comm plan tok_u u;
+    Halo.exchange_finish comm plan tok_v v;
+    if not (Comm.all_drained comm) then
+      failf_seed (base_seed + 777) "trial %d: messages left behind" trial;
+    check_ring ~what:(Printf.sprintf "trial %d (u)" trial) expected_u u;
+    check_ring ~what:(Printf.sprintf "trial %d (v)" trial) expected_v v
+  done
+
+(* Waiting requests in any cross-channel order assigns each its own
+   channel's payload; waitall is just as deterministic. *)
+let test_wait_order_across_channels () =
+  let payload i = [| Float.of_int i; Float.of_int (i * i) |] in
+  List.iter
+    (fun order ->
+      let comm = Comm.create ~n_ranks:4 in
+      for src = 1 to 3 do
+        ignore (Comm.isend comm ~src ~dst:0 (payload src))
+      done;
+      let reqs = Array.init 3 (fun i -> Comm.irecv comm ~src:(i + 1) ~dst:0) in
+      List.iter
+        (fun i ->
+          let got = Comm.wait comm reqs.(i) in
+          if not (Fa.approx_equal ~tol:0.0 (payload (i + 1)) got) then
+            Alcotest.failf "wait order mixed up channels")
+        order;
+      if not (Comm.all_drained comm) then Alcotest.fail "messages left behind")
+    (perms [ 0; 1; 2 ]);
+  (* waitall over sends and receives together, then inspect payloads *)
+  let comm = Comm.create ~n_ranks:4 in
+  let sends =
+    List.map (fun src -> Comm.isend comm ~src ~dst:0 (payload src)) [ 1; 2; 3 ]
+  in
+  let recvs = List.map (fun src -> Comm.irecv comm ~src ~dst:0) [ 1; 2; 3 ] in
+  Comm.waitall comm (sends @ recvs);
+  List.iteri
+    (fun i r ->
+      match Comm.request_payload r with
+      | Some got ->
+        if not (Fa.approx_equal ~tol:0.0 (payload (i + 1)) got) then
+          Alcotest.fail "waitall mixed up channels"
+      | None -> Alcotest.fail "waitall left a receive incomplete")
+    recvs
+
+(* A receive that can never complete must raise the simulated-deadlock
+   [Failure] immediately — even when unrelated traffic is in flight. *)
+let test_wait_deadlock_fails_fast () =
+  let comm = Comm.create ~n_ranks:2 in
+  let r = Comm.irecv comm ~src:1 ~dst:0 in
+  (match Comm.wait comm r with
+  | exception Failure msg ->
+    Alcotest.(check bool) "mentions deadlock" true (Str_contains.contains msg "deadlock")
+  | _ -> Alcotest.fail "expected Failure");
+  let comm = Comm.create ~n_ranks:3 in
+  ignore (Comm.isend comm ~src:2 ~dst:0 [| 1.0 |]);
+  let r = Comm.irecv comm ~src:1 ~dst:0 in
+  (match Comm.wait comm r with
+  | exception Failure msg ->
+    Alcotest.(check bool) "mentions deadlock" true (Str_contains.contains msg "deadlock")
+  | _ -> Alcotest.fail "expected Failure");
+  Comm.deliver_channel comm ~src:2 ~dst:0
+
+(* A halo plan whose import lists don't match the peer's export lists is
+   rejected at construction: deadlocking plans are unrepresentable. *)
+let test_deadlocking_plan_unrepresentable () =
+  let n = 2 in
+  let exports = Array.init n (fun _ -> Array.make n [||]) in
+  let imports = Array.init n (fun _ -> Array.make n [||]) in
+  imports.(0).(1) <- [| 1 |];
+  match Halo.create ~n_ranks:n ~exports ~imports with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ---- Halo-freshness invariants ---- *)
+
+(* Eager and on-demand policies, blocking and overlapped, must be bitwise
+   interchangeable on chains interleaving indirect reads, Inc accumulations
+   and direct writes — the four combinations exercise every dirty-bit
+   transition. *)
+let freshness_chain rng =
+  let c () = Prng.float_range rng (-1.0) 1.0 in
+  {
+    nx = 8 + Prng.int rng 4;
+    ny = 8 + Prng.int rng 4;
+    scramble = None;
+    dim = 1 + Prng.int rng 2;
+    steps =
+      [
+        Flux (c ());
+        Cell_update (c ());
+        Cell_scale (c ());
+        Edge_gather (c ());
+        Flux (c ());
+        Edge_scatter (c ());
+        Minmax;
+      ];
+    reps = 2;
+  }
+
+let test_op2_halo_freshness () =
+  for case = 0 to 2 do
+    let seed = base_seed + 100 + case in
+    let p = freshness_chain (Prng.create seed) in
+    let variants =
+      [
+        ("on-demand/blocking", Op2.On_demand, Op2.Blocking);
+        ("eager/blocking", Op2.Eager, Op2.Blocking);
+        ("on-demand/overlap", Op2.On_demand, Op2.Overlap);
+        ("eager/overlap", Op2.Eager, Op2.Overlap);
+      ]
+    in
+    let fps =
+      List.map
+        (fun (label, policy, mode) ->
+          ( label,
+            run_program p (fun b ->
+                Op2.partition b.ctx ~n_ranks:3 ~strategy:(Op2.Kway_through b.e2c);
+                Op2.set_halo_policy b.ctx policy;
+                Op2.set_comm_mode b.ctx mode) ))
+        variants
+    in
+    match fps with
+    | (_, reference) :: rest ->
+      List.iter
+        (fun (label, fp) ->
+          check_fingerprint ~seed ~tol:0.0
+            ~what:(Printf.sprintf "case %d %s" case label)
+            reference fp)
+        rest
+    | [] -> ()
+  done
+
+let ops_tri_stencil : Ops.stencil = [| (0, 0); (1, 0); (0, 1) |]
+
+let run_ops_chain configure =
+  let nx = 14 and ny = 10 in
+  let ctx = Ops.create () in
+  let grid = Ops.decl_block ctx ~name:"grid" in
+  let u = Ops.decl_dat ctx ~name:"u" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+  let w = Ops.decl_dat ctx ~name:"w" ~block:grid ~xsize:nx ~ysize:ny ~halo:2 () in
+  Ops.init ctx u (fun x y _ -> sin (0.3 *. Float.of_int x) +. cos (0.2 *. Float.of_int y));
+  Ops.init ctx w (fun _ _ _ -> 0.0);
+  configure ctx;
+  let interior = Ops.interior u in
+  let total = ref 0.0 in
+  for _ = 1 to 3 do
+    Ops.par_loop ctx ~name:"stencil" grid interior
+      [
+        Ops.arg_dat u Ops.stencil_2d_5pt Access.Read;
+        Ops.arg_dat w Ops.stencil_point Access.Write;
+      ]
+      (fun a ->
+        a.(1).(0) <-
+          a.(0).(0)
+          +. (0.1 *. (a.(0).(1) +. a.(0).(2) +. a.(0).(3) +. a.(0).(4) -. (4.0 *. a.(0).(0)))));
+    (* direct write dirties u's ghost rows *)
+    Ops.par_loop ctx ~name:"dirty" grid interior
+      [ Ops.arg_dat u Ops.stencil_point Access.Rw ]
+      (fun a -> a.(0).(0) <- (0.7 *. a.(0).(0)) +. 0.3);
+    let res = [| 0.0 |] in
+    Ops.par_loop ctx ~name:"relax" grid interior
+      [
+        Ops.arg_dat u ops_tri_stencil Access.Read;
+        Ops.arg_dat w Ops.stencil_point Access.Rw;
+        Ops.arg_gbl ~name:"res" res Access.Inc;
+      ]
+      (fun a ->
+        a.(1).(0) <- a.(1).(0) +. (0.2 *. (a.(0).(1) +. a.(0).(2) -. (2.0 *. a.(0).(0))));
+        res.(0) <- res.(0) +. (a.(1).(0) *. a.(1).(0)));
+    total := !total +. res.(0)
+  done;
+  (Ops.fetch_interior ctx u, Ops.fetch_interior ctx w, !total)
+
+let test_ops_halo_freshness () =
+  let ref_u, ref_w, ref_t = run_ops_chain (fun _ -> ()) in
+  List.iter
+    (fun (pname, part) ->
+      let variants =
+        [
+          ("on-demand/blocking", Ops.On_demand, Ops.Blocking);
+          ("eager/blocking", Ops.Eager, Ops.Blocking);
+          ("on-demand/overlap", Ops.On_demand, Ops.Overlap);
+          ("eager/overlap", Ops.Eager, Ops.Overlap);
+        ]
+      in
+      let run (policy, mode) =
+        run_ops_chain (fun ctx ->
+            part ctx;
+            Ops.set_halo_policy ctx policy;
+            Ops.set_comm_mode ctx mode)
+      in
+      match List.map (fun (l, p, m) -> (l, run (p, m))) variants with
+      | (_, ((bu, bw, bt) as _reference)) :: rest ->
+        if not (Fa.approx_equal ~tol:1e-10 ref_u bu && Fa.approx_equal ~tol:1e-10 ref_w bw)
+        then Alcotest.failf "%s: fields diverge from seq" pname;
+        if Float.abs (bt -. ref_t) /. (1.0 +. ref_t) > 1e-10 then
+          Alcotest.failf "%s: reduction diverges from seq" pname;
+        List.iter
+          (fun (label, (u, w, t)) ->
+            if
+              not
+                (Fa.approx_equal ~tol:0.0 bu u
+                && Fa.approx_equal ~tol:0.0 bw w
+                && bt = t)
+            then Alcotest.failf "%s %s: not bitwise equal to baseline" pname label)
+          rest
+      | [] -> ())
+    [
+      ("rows(3)", fun ctx -> Ops.partition ctx ~n_ranks:3 ~ref_ysize:10);
+      ( "grid(2x2)",
+        fun ctx -> Ops.partition_grid ctx ~px:2 ~py:2 ~ref_xsize:14 ~ref_ysize:10 );
+    ]
+
+(* ---- Profile accounting ---- *)
+
+let test_profile_reports_overlap () =
+  let mesh = Umesh.generate_airfoil ~nx:64 ~ny:48 () in
+  let run mode =
+    let t = Airfoil.create mesh in
+    Op2.partition t.Airfoil.ctx ~n_ranks:4
+      ~strategy:(Op2.Kway_through t.Airfoil.edge_cells);
+    Op2.set_comm_mode t.Airfoil.ctx mode;
+    ignore (Airfoil.run t ~iters:5);
+    Op2.profile t.Airfoil.ctx
+  in
+  let blocking = run Op2.Blocking in
+  Alcotest.(check bool) "blocking records halo time" true
+    (Profile.total_halo_seconds blocking > 0.0);
+  Alcotest.(check (float 0.0)) "blocking hides nothing" 0.0
+    (Profile.total_overlap_seconds blocking);
+  let overlap = run Op2.Overlap in
+  Alcotest.(check bool) "overlap hides some halo time" true
+    (Profile.total_overlap_seconds overlap > 0.0);
+  Alcotest.(check bool) "report renders the overlapped column" true
+    (Str_contains.contains (Profile.report overlap) "overlapped")
+
+let () =
+  Alcotest.run "overlap"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "random OP2 chains: overlap == blocking == seq" `Quick
+            test_op2_random_differential;
+          Alcotest.test_case "airfoil: 3 partitioners x 3 rank counts" `Quick
+            test_airfoil_overlap_differential;
+          Alcotest.test_case "cloverleaf: rows + grid decompositions" `Quick
+            test_cloverleaf_overlap_differential;
+        ] );
+      ( "schedule exploration",
+        [
+          Alcotest.test_case "all delivery orders, one exchange" `Quick
+            test_schedule_single_exchange;
+          Alcotest.test_case "random interleavings, two exchanges" `Quick
+            test_schedule_two_exchanges;
+          Alcotest.test_case "wait order across channels" `Quick
+            test_wait_order_across_channels;
+          Alcotest.test_case "deadlock fails fast" `Quick test_wait_deadlock_fails_fast;
+          Alcotest.test_case "deadlocking plans unrepresentable" `Quick
+            test_deadlocking_plan_unrepresentable;
+        ] );
+      ( "halo freshness",
+        [
+          Alcotest.test_case "OP2: policy x mode bitwise equal" `Quick
+            test_op2_halo_freshness;
+          Alcotest.test_case "OPS: policy x mode bitwise equal" `Quick
+            test_ops_halo_freshness;
+        ] );
+      ( "profiling",
+        [
+          Alcotest.test_case "overlapped halo seconds recorded" `Quick
+            test_profile_reports_overlap;
+        ] );
+    ]

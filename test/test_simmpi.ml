@@ -40,6 +40,68 @@ let test_comm_drained () =
   ignore (Comm.recv c ~src:0 ~dst:1);
   Alcotest.(check bool) "drained again" true (Comm.all_drained c)
 
+(* ---- Non-blocking requests ---- *)
+
+let test_isend_stays_in_flight () =
+  let c = Comm.create ~n_ranks:2 in
+  let sreq = Comm.isend c ~src:0 ~dst:1 [| 1.0; 2.0 |] in
+  (* Staged, not delivered — but already counted and visible as pending. *)
+  Alcotest.(check int) "in flight" 1 (Comm.in_flight c ~src:0 ~dst:1);
+  Alcotest.(check int) "pending counts staged" 1 (Comm.pending c ~src:0 ~dst:1);
+  Alcotest.(check bool) "not drained" false (Comm.all_drained c);
+  Alcotest.(check int) "bytes at post time" 16 (Comm.stats c).Comm.bytes;
+  Alcotest.(check int) "request bytes" 16 (Comm.request_bytes sreq);
+  let rreq = Comm.irecv c ~src:0 ~dst:1 in
+  Alcotest.(check (option reject)) "no payload before wait" None
+    (Comm.request_payload rreq);
+  let payload = Comm.wait c rreq in
+  Alcotest.(check (float 0.0)) "payload" 2.0 payload.(1);
+  Alcotest.(check (float 0.0)) "payload cached" 2.0
+    (Comm.wait c rreq).(1);
+  ignore (Comm.wait c sreq);
+  Alcotest.(check bool) "drained after waits" true (Comm.all_drained c)
+
+let test_wait_never_posted_deadlocks () =
+  let c = Comm.create ~n_ranks:2 in
+  let req = Comm.irecv c ~src:1 ~dst:0 in
+  Alcotest.check_raises "deadlock detected"
+    (Failure "Comm.wait: deadlock: no message in flight from rank 1 to rank 0")
+    (fun () -> ignore (Comm.wait c req))
+
+let test_recv_sees_staged_messages () =
+  (* A blocking [recv] must find messages that were only isend-staged. *)
+  let c = Comm.create ~n_ranks:2 in
+  ignore (Comm.isend c ~src:0 ~dst:1 [| 7.0 |]);
+  Alcotest.(check (float 0.0)) "recv delivers staged" 7.0
+    (Comm.recv c ~src:0 ~dst:1).(0)
+
+let test_channel_fifo_with_mixed_sends () =
+  (* FIFO holds within a channel whatever the delivery schedule. *)
+  let c = Comm.create ~n_ranks:2 in
+  ignore (Comm.isend c ~src:0 ~dst:1 [| 1.0 |]);
+  ignore (Comm.isend c ~src:0 ~dst:1 [| 2.0 |]);
+  ignore (Comm.deliver_one c ~src:0 ~dst:1);
+  ignore (Comm.isend c ~src:0 ~dst:1 [| 3.0 |]);
+  Alcotest.(check (float 0.0)) "first" 1.0 (Comm.recv c ~src:0 ~dst:1).(0);
+  Alcotest.(check (float 0.0)) "second" 2.0 (Comm.recv c ~src:0 ~dst:1).(0);
+  Alcotest.(check (float 0.0)) "third" 3.0 (Comm.recv c ~src:0 ~dst:1).(0)
+
+let test_waitall_and_channels () =
+  let c = Comm.create ~n_ranks:3 in
+  ignore (Comm.isend c ~src:2 ~dst:0 [| 3.0 |]);
+  ignore (Comm.isend c ~src:0 ~dst:1 [| 1.0 |]);
+  Alcotest.(check (list (pair int int))) "channels in (src, dst) order"
+    [ (0, 1); (2, 0) ]
+    (Comm.in_flight_channels c);
+  let r1 = Comm.irecv c ~src:0 ~dst:1 in
+  let r2 = Comm.irecv c ~src:2 ~dst:0 in
+  Comm.waitall c [ r1; r2 ];
+  Alcotest.(check (option (float 0.0))) "r1 payload" (Some 1.0)
+    (Option.map (fun p -> p.(0)) (Comm.request_payload r1));
+  Alcotest.(check (option (float 0.0))) "r2 payload" (Some 3.0)
+    (Option.map (fun p -> p.(0)) (Comm.request_payload r2));
+  Alcotest.(check bool) "drained" true (Comm.all_drained c)
+
 (* Two ranks, each owning 2 elements plus 1 halo slot mirroring the peer's
    first element:
      rank 0 local: [o0; o1; h(=peer slot 0)]
@@ -130,6 +192,13 @@ let () =
           Alcotest.test_case "recv empty fails" `Quick test_comm_recv_empty_fails;
           Alcotest.test_case "allreduce" `Quick test_comm_allreduce;
           Alcotest.test_case "drained" `Quick test_comm_drained;
+          Alcotest.test_case "isend stays in flight" `Quick test_isend_stays_in_flight;
+          Alcotest.test_case "wait never-posted deadlocks" `Quick
+            test_wait_never_posted_deadlocks;
+          Alcotest.test_case "recv sees staged" `Quick test_recv_sees_staged_messages;
+          Alcotest.test_case "channel fifo mixed" `Quick
+            test_channel_fifo_with_mixed_sends;
+          Alcotest.test_case "waitall and channels" `Quick test_waitall_and_channels;
         ] );
       ( "halo",
         [
