@@ -190,6 +190,31 @@ let write_json path estimates halo =
         name exposed overlapped
         (if i = n_halo - 1 then "" else ","))
     halo;
+  (* Runtime-observability section: cache effectiveness and communication
+     totals accumulated by the counter registry over the halo-accounting
+     runs above. *)
+  let c name = match Am_obs.Counters.find Am_obs.Obs.counters name with
+    | Some (Am_obs.Counters.Int v) -> v
+    | Some (Am_obs.Counters.Float v) -> int_of_float v
+    | None -> 0
+  in
+  let rate hits misses =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let plan_hits = c "plan_cache.hits" and plan_misses = c "plan_cache.misses" in
+  let exec_hits = c "exec_cache.hits" and exec_misses = c "exec_cache.misses" in
+  output_string oc "  },\n  \"obs\": {\n";
+  Printf.fprintf oc
+    "    \"plan_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f },\n"
+    plan_hits plan_misses (rate plan_hits plan_misses);
+  Printf.fprintf oc
+    "    \"exec_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f },\n"
+    exec_hits exec_misses (rate exec_hits exec_misses);
+  Printf.fprintf oc
+    "    \"comm\": { \"messages\": %d, \"bytes_sent\": %d, \"exchanges\": %d, \"reductions\": %d }\n"
+    (c "comm.messages") (c "comm.bytes_sent") (c "comm.exchanges")
+    (c "comm.reductions");
   output_string oc "  }\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d benchmarks)\n\n%!" path n
@@ -225,14 +250,26 @@ let run_micro ?json () =
     (micro_tests ());
   Am_util.Table.print table;
   print_newline ();
+  (* Trace and count the halo-accounting runs so the JSON dump carries an
+     observability section and artifacts land next to it. *)
+  Am_obs.Obs.reset ();
+  Am_obs.Obs.set_tracing true;
   let halo = halo_accounting () in
+  Am_obs.Obs.set_tracing false;
   print_halo halo;
   match json with
   | None -> ()
   | Some path ->
     write_json path
       (List.sort (fun (a, _) (b, _) -> compare a b) !estimates)
-      halo
+      halo;
+    let stem = Filename.remove_extension path in
+    let trace_path = stem ^ ".trace.json" in
+    let counters_path = stem ^ ".counters.json" in
+    Am_obs.Obs.write_trace ~path:trace_path;
+    Am_obs.Obs.write_counters ~path:counters_path;
+    Printf.printf "wrote %s and %s (halo-accounting runs)\n%!" trace_path
+      counters_path
 
 (* ---- Entry point ---------------------------------------------------------- *)
 

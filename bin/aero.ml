@@ -11,7 +11,9 @@ module Op2 = Am_op2.Op2
 module App = Am_aero.App
 module Umesh = Am_mesh.Umesh
 
-let run n iters backend ranks renumber verify =
+let run n iters backend ranks renumber verify trace obs_json =
+  Am_obs.Obs.reset ();
+  if trace <> None then Am_obs.Obs.set_tracing true;
   let mesh = App.generate_mesh ~n in
   Printf.printf "aero: %dx%d cells, %d nodes\n%!" n n mesh.Umesh.n_nodes;
   let pool = ref None in
@@ -59,6 +61,10 @@ let run n iters backend ranks renumber verify =
       (if d < 1e-8 then "(PASS)" else "(FAIL)");
     if d >= 1e-8 then exit 1
   end;
+  Am_obs.Obs.finish ?trace ?obs_json
+    ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
+    ~loops:(Am_core.Profile.obs_rows (Op2.profile t.App.ctx))
+    ();
   match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ()
 
 open Cmdliner
@@ -80,9 +86,29 @@ let renumber =
 let verify =
   Arg.(value & flag & info [ "verify" ] ~doc:"Cross-check against the hand-coded baseline.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:
+          "Write a Chrome trace-event JSON of the run to $(docv) (open in \
+           chrome://tracing or ui.perfetto.dev).  Enables span tracing."
+        ~docv:"FILE")
+
+let obs_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-json" ]
+        ~doc:"Write the runtime counter registry as JSON to $(docv)."
+        ~docv:"FILE")
+
 let cmd =
   Cmd.v
     (Cmd.info "aero" ~doc:"2D FEM + matrix-free CG proxy application (OP2)")
-    Term.(const run $ n $ iters $ backend $ ranks $ renumber $ verify)
+    Term.(
+      const run $ n $ iters $ backend $ ranks $ renumber $ verify $ trace_arg
+      $ obs_json_arg)
 
 let () = exit (Cmd.eval cmd)

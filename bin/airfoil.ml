@@ -10,7 +10,10 @@ module Op2 = Am_op2.Op2
 module App = Am_airfoil.App
 module Umesh = Am_mesh.Umesh
 
-let run nx ny iters backend ranks overlap renumber verify save_to mesh_file =
+let run nx ny iters backend ranks overlap renumber verify save_to mesh_file trace
+    obs_json =
+  Am_obs.Obs.reset ();
+  if trace <> None then Am_obs.Obs.set_tracing true;
   (* Meshes load from snapshot files (the HDF5-style input path) or are
      generated; --save-mesh in a previous run produces the file. *)
   let mesh =
@@ -88,6 +91,10 @@ let run nx ny iters backend ranks overlap renumber verify save_to mesh_file =
     Am_sysio.Snapshot.save path [ ("q", App.solution t) ];
     Printf.printf "solution written to %s\n" path
   | None -> ());
+  Am_obs.Obs.finish ?trace ?obs_json
+    ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
+    ~loops:(Am_core.Profile.obs_rows (Op2.profile t.App.ctx))
+    ();
   match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ()
 
 open Cmdliner
@@ -132,11 +139,28 @@ let mesh_file =
         ~doc:"Mesh snapshot file: loaded if it exists, generated and written \
               otherwise (the HDF5-style input path).")
 
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:"Write a Chrome trace-event JSON of the run to $(docv) (open in \
+              chrome://tracing or ui.perfetto.dev).  Enables span tracing."
+        ~docv:"FILE")
+
+let obs_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-json" ]
+        ~doc:"Write the runtime counter registry as JSON to $(docv)." ~docv:"FILE")
+
 let cmd =
   Cmd.v
     (Cmd.info "airfoil" ~doc:"Non-linear 2D inviscid Euler proxy application (OP2)")
     Term.(
       const run $ nx $ ny $ iters $ backend $ ranks $ overlap $ renumber $ verify
-      $ save_to $ mesh_file)
+      $ save_to $ mesh_file $ trace_arg $ obs_json_arg)
 
 let () = exit (Cmd.eval cmd)

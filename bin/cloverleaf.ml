@@ -9,7 +9,10 @@
 module Ops = Am_ops.Ops
 module App = Am_cloverleaf.App
 
-let run nx ny steps backend ranks overlap summary_every verify van_leer =
+let run nx ny steps backend ranks overlap summary_every verify van_leer trace
+    obs_json =
+  Am_obs.Obs.reset ();
+  if trace <> None then Am_obs.Obs.set_tracing true;
   let advection =
     if van_leer then Am_cloverleaf.App.Van_leer else Am_cloverleaf.App.First_order
   in
@@ -81,6 +84,10 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer =
       (if d < 1e-10 then "(PASS)" else "(FAIL)");
     if d >= 1e-10 then exit 1
   end;
+  Am_obs.Obs.finish ?trace ?obs_json
+    ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
+    ~loops:(Am_core.Profile.obs_rows (Ops.profile t.App.ctx))
+    ();
   match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ()
 
 open Cmdliner
@@ -111,11 +118,29 @@ let verify =
 let van_leer =
   Arg.(value & flag & info [ "van-leer" ] ~doc:"Second-order van Leer advection.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:
+          "Write a Chrome trace-event JSON of the run to $(docv) (open in \
+           chrome://tracing or ui.perfetto.dev).  Enables span tracing."
+        ~docv:"FILE")
+
+let obs_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-json" ]
+        ~doc:"Write the runtime counter registry as JSON to $(docv)."
+        ~docv:"FILE")
+
 let cmd =
   Cmd.v
     (Cmd.info "cloverleaf" ~doc:"CloverLeaf 2D hydrodynamics proxy application (OPS)")
     Term.(
       const run $ nx $ ny $ steps $ backend $ ranks $ overlap $ summary_every
-      $ verify $ van_leer)
+      $ verify $ van_leer $ trace_arg $ obs_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -5,7 +5,9 @@
 module App = Am_cloverleaf3.App
 module Ops3 = Am_ops.Ops3
 
-let run n steps backend ranks =
+let run n steps backend ranks trace obs_json =
+  Am_obs.Obs.reset ();
+  if trace <> None then Am_obs.Obs.set_tracing true;
   let pool = ref None in
   let t =
     match backend with
@@ -45,6 +47,10 @@ let run n steps backend ranks =
   done;
   Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
   print_string (Am_core.Profile.report (Ops3.profile t.App.ctx));
+  Am_obs.Obs.finish ?trace ?obs_json
+    ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
+    ~loops:(Am_core.Profile.obs_rows (Ops3.profile t.App.ctx))
+    ();
   match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ()
 
 open Cmdliner
@@ -54,9 +60,27 @@ let steps = Arg.(value & opt int 10 & info [ "steps" ] ~doc:"Hydro steps.")
 let backend = Arg.(value & opt string "seq" & info [ "backend" ] ~doc:"seq, shared, cuda, mpi, pencil or hybrid.")
 let ranks = Arg.(value & opt int 4 & info [ "ranks" ] ~doc:"Simulated MPI ranks.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:
+          "Write a Chrome trace-event JSON of the run to $(docv) (open in \
+           chrome://tracing or ui.perfetto.dev).  Enables span tracing."
+        ~docv:"FILE")
+
+let obs_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-json" ]
+        ~doc:"Write the runtime counter registry as JSON to $(docv)."
+        ~docv:"FILE")
+
 let cmd =
   Cmd.v
     (Cmd.info "cloverleaf3" ~doc:"CloverLeaf 3D hydrodynamics proxy application (Ops3)")
-    Term.(const run $ n $ steps $ backend $ ranks)
+    Term.(const run $ n $ steps $ backend $ ranks $ trace_arg $ obs_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -5,7 +5,9 @@
 module Op2 = Am_op2.Op2
 module App = Am_hydra.App
 
-let run nx ny iters backend ranks renumber no_multigrid =
+let run nx ny iters backend ranks renumber no_multigrid trace obs_json =
+  Am_obs.Obs.reset ();
+  if trace <> None then Am_obs.Obs.set_tracing true;
   let features = { App.all_features with App.multigrid = not no_multigrid } in
   let pool = ref None in
   let t =
@@ -39,6 +41,10 @@ let run nx ny iters backend ranks renumber no_multigrid =
   done;
   Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
   print_string (Am_core.Profile.report (Op2.profile t.App.ctx));
+  Am_obs.Obs.finish ?trace ?obs_json
+    ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
+    ~loops:(Am_core.Profile.obs_rows (Op2.profile t.App.ctx))
+    ();
   (match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ())
 
 open Cmdliner
@@ -56,9 +62,29 @@ let renumber = Arg.(value & flag & info [ "renumber" ] ~doc:"Apply RCM renumberi
 let no_multigrid =
   Arg.(value & flag & info [ "no-multigrid" ] ~doc:"Disable the multigrid cycle.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:
+          "Write a Chrome trace-event JSON of the run to $(docv) (open in \
+           chrome://tracing or ui.perfetto.dev).  Enables span tracing."
+        ~docv:"FILE")
+
+let obs_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-json" ]
+        ~doc:"Write the runtime counter registry as JSON to $(docv)."
+        ~docv:"FILE")
+
 let cmd =
   Cmd.v
     (Cmd.info "hydra" ~doc:"Production-scale synthetic RANS pipeline (OP2)")
-    Term.(const run $ nx $ ny $ iters $ backend $ ranks $ renumber $ no_multigrid)
+    Term.(
+      const run $ nx $ ny $ iters $ backend $ ranks $ renumber $ no_multigrid
+      $ trace_arg $ obs_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -15,6 +15,9 @@
    execution. *)
 
 module Descr = Am_core.Descr
+module Obs = Am_obs.Obs
+module Obs_counters = Am_obs.Counters
+module Cat = Am_obs.Tracer
 
 type snapshot_fns = {
   fetch : string -> float array; (* current value of a dataset, by name *)
@@ -88,7 +91,12 @@ let units_if_triggered_now s =
   | Some future -> (Planner.plan_at future ~trigger:0).Planner.units
   | None -> max_int
 
-let snapshot s name = Hashtbl.replace s.store name (s.fns.fetch name)
+let snapshot s name =
+  Obs_counters.incr Obs.checkpoint_snapshots;
+  let traced = Obs.tracing () in
+  if traced then Obs.begin_span ~cat:Cat.Checkpoint "snapshot";
+  Hashtbl.replace s.store name (s.fns.fetch name);
+  if traced then Obs.end_span ()
 
 let begin_saving s =
   let future = predicted_future s in
@@ -161,7 +169,11 @@ let step ?(gbl_out = []) s ~descr ~run =
   | Fast_forward { target } ->
     if s.counter >= target then begin
       (* Reached the checkpoint: restore all saved state and resume. *)
+      Obs_counters.add Obs.checkpoint_restores (Hashtbl.length s.store);
+      let traced = Obs.tracing () in
+      if traced then Obs.begin_span ~cat:Cat.Checkpoint "restore";
       Hashtbl.iter (fun name data -> s.fns.restore name (Array.copy data)) s.store;
+      if traced then Obs.end_span ();
       s.phase <- Normal;
       run ()
     end

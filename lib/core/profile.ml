@@ -2,7 +2,16 @@
 
    Mirrors OP2/OPS's built-in timing breakdowns (the source of Table I):
    every [par_loop] accumulates wall time, invocation count and an estimate
-   of useful bytes moved, keyed by loop name. *)
+   of useful bytes moved, keyed by loop name.
+
+   Storage is a per-profile [Am_obs.Counters] registry — six cells per loop
+   name — so the numbers behind the table are the same ones the
+   observability layer scrapes into JSON; [entry] is a read-only snapshot
+   reconstructed from those cells.  Recording also feeds the process-wide
+   loop counters in [Am_obs.Obs]. *)
+
+module Counters = Am_obs.Counters
+module Obs = Am_obs.Obs
 
 type entry = {
   mutable count : int;
@@ -13,36 +22,54 @@ type entry = {
   mutable overlap_seconds : float; (* communication hidden behind core compute *)
 }
 
-type t = { entries : (string, entry) Hashtbl.t; mutable enabled : bool }
+(* The registry cells backing one loop name. *)
+type cells = {
+  cc_count : Counters.counter;
+  cc_seconds : Counters.gauge;
+  cc_bytes : Counters.counter;
+  cc_elements : Counters.counter;
+  cc_halo : Counters.gauge;
+  cc_overlap : Counters.gauge;
+}
 
-let create () = { entries = Hashtbl.create 32; enabled = true }
+type t = {
+  reg : Counters.t;
+  cells : (string, cells) Hashtbl.t;
+  mutable enabled : bool;
+}
+
+let create () = { reg = Counters.create (); cells = Hashtbl.create 32; enabled = true }
 
 let set_enabled t flag = t.enabled <- flag
 
-let entry t name =
-  match Hashtbl.find_opt t.entries name with
-  | Some e -> e
+let cells t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some c -> c
   | None ->
-    let e =
+    let key suffix = "loop." ^ name ^ "." ^ suffix in
+    let c =
       {
-        count = 0;
-        seconds = 0.0;
-        bytes = 0;
-        elements = 0;
-        halo_seconds = 0.0;
-        overlap_seconds = 0.0;
+        cc_count = Counters.counter t.reg (key "count");
+        cc_seconds = Counters.gauge t.reg ~unit_:"s" (key "seconds");
+        cc_bytes = Counters.counter t.reg ~unit_:"bytes" (key "bytes");
+        cc_elements = Counters.counter t.reg ~unit_:"elements" (key "elements");
+        cc_halo = Counters.gauge t.reg ~unit_:"s" (key "halo_seconds");
+        cc_overlap = Counters.gauge t.reg ~unit_:"s" (key "overlap_seconds");
       }
     in
-    Hashtbl.add t.entries name e;
-    e
+    Hashtbl.add t.cells name c;
+    c
 
 let record t ~name ~seconds ~bytes ~elements =
   if t.enabled then begin
-    let e = entry t name in
-    e.count <- e.count + 1;
-    e.seconds <- e.seconds +. seconds;
-    e.bytes <- e.bytes + bytes;
-    e.elements <- e.elements + elements
+    let c = cells t name in
+    Counters.incr c.cc_count;
+    Counters.addf c.cc_seconds seconds;
+    Counters.add c.cc_bytes bytes;
+    Counters.add c.cc_elements elements;
+    Counters.incr Obs.loop_calls;
+    Counters.add Obs.loop_bytes bytes;
+    Counters.add Obs.loop_elements elements
   end
 
 (* [seconds] is the exposed communication time (the loop waited for it);
@@ -50,28 +77,54 @@ let record t ~name ~seconds ~bytes ~elements =
    non-blocking exchange. *)
 let record_halo t ~name ?(overlapped = 0.0) ~seconds () =
   if t.enabled then begin
-    let e = entry t name in
-    e.halo_seconds <- e.halo_seconds +. seconds;
-    e.overlap_seconds <- e.overlap_seconds +. overlapped
+    let c = cells t name in
+    Counters.addf c.cc_halo seconds;
+    Counters.addf c.cc_overlap overlapped
   end
 
-let find t name = Hashtbl.find_opt t.entries name
+let snapshot c =
+  {
+    count = Counters.value c.cc_count;
+    seconds = Counters.valuef c.cc_seconds;
+    bytes = Counters.value c.cc_bytes;
+    elements = Counters.value c.cc_elements;
+    halo_seconds = Counters.valuef c.cc_halo;
+    overlap_seconds = Counters.valuef c.cc_overlap;
+  }
 
-let reset t = Hashtbl.reset t.entries
+let find t name = Option.map snapshot (Hashtbl.find_opt t.cells name)
 
-let total_seconds t =
-  Hashtbl.fold (fun _ e acc -> acc +. e.seconds) t.entries 0.0
+let counters t = t.reg
 
-let total_halo_seconds t =
-  Hashtbl.fold (fun _ e acc -> acc +. e.halo_seconds) t.entries 0.0
+let reset t =
+  Counters.reset t.reg;
+  Hashtbl.reset t.cells
+
+let fold_cells t f acc = Hashtbl.fold (fun _ c acc -> f acc c) t.cells acc
+
+let total_seconds t = fold_cells t (fun acc c -> acc +. Counters.valuef c.cc_seconds) 0.0
+let total_halo_seconds t = fold_cells t (fun acc c -> acc +. Counters.valuef c.cc_halo) 0.0
 
 let total_overlap_seconds t =
-  Hashtbl.fold (fun _ e acc -> acc +. e.overlap_seconds) t.entries 0.0
+  fold_cells t (fun acc c -> acc +. Counters.valuef c.cc_overlap) 0.0
 
 (* Entries sorted by descending total time. *)
 let to_list t =
-  let items = Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.entries [] in
+  let items = Hashtbl.fold (fun name c acc -> (name, snapshot c) :: acc) t.cells [] in
   List.sort (fun (_, a) (_, b) -> Float.compare b.seconds a.seconds) items
+
+let obs_rows t =
+  List.map
+    (fun (name, e) ->
+      {
+        Obs.lr_name = name;
+        lr_calls = e.count;
+        lr_seconds = e.seconds;
+        lr_bytes = e.bytes;
+        lr_halo_seconds = e.halo_seconds;
+        lr_overlap_seconds = e.overlap_seconds;
+      })
+    (to_list t)
 
 let report t =
   let table =
@@ -88,7 +141,10 @@ let report t =
           string_of_int e.count;
           Am_util.Units.seconds e.seconds;
           Printf.sprintf "%.3f" (Float.of_int e.bytes /. 1e9);
-          Printf.sprintf "%.2f" (Am_util.Units.bandwidth_gbs e.bytes e.seconds);
+          (* An entry touched only by [record_halo] has no compute time or
+             bytes; a bandwidth figure would be 0/0, so render "-". *)
+          (if e.seconds <= 0.0 || e.bytes = 0 then "-"
+           else Printf.sprintf "%.2f" (Am_util.Units.bandwidth_gbs e.bytes e.seconds));
           Am_util.Units.seconds e.halo_seconds;
           Am_util.Units.seconds e.overlap_seconds;
         ])

@@ -24,6 +24,16 @@ val record_halo : t -> name:string -> ?overlapped:float -> seconds:float -> unit
     core computation. *)
 
 val find : t -> string -> entry option
+(** A snapshot of the loop's accumulated totals (mutating it has no effect
+    on the profile). *)
+
+val counters : t -> Am_obs.Counters.t
+(** The registry backing this profile (six cells per loop name, keyed
+    [loop.<name>.<field>]). *)
+
+val obs_rows : t -> Am_obs.Obs.loop_row list
+(** Per-loop rows for [Am_obs.Obs.report], sorted by descending time. *)
+
 val reset : t -> unit
 val total_seconds : t -> float
 val total_halo_seconds : t -> float

@@ -1,0 +1,188 @@
+(* Counter/gauge registry: named metric cells scraped into one JSON
+   snapshot.  Updates are single mutable-field writes so the cells stay
+   always-on; only tracing has an enabled switch. *)
+
+type cell = {
+  c_name : string;
+  c_unit : string;
+  c_is_float : bool;
+  mutable c_int : int;
+  mutable c_float : float;
+}
+
+type counter = cell
+type gauge = cell
+type value = Int of int | Float of float
+
+type t = { cells : (string, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 64 }
+
+let register t ~is_float ~unit_ name =
+  match Hashtbl.find_opt t.cells name with
+  | Some c ->
+    if c.c_is_float <> is_float then
+      invalid_arg
+        (Printf.sprintf "Counters: %s already registered as a %s" name
+           (if c.c_is_float then "gauge" else "counter"));
+    c
+  | None ->
+    let c = { c_name = name; c_unit = unit_; c_is_float = is_float; c_int = 0; c_float = 0.0 } in
+    Hashtbl.add t.cells name c;
+    c
+
+let counter t ?(unit_ = "") name = register t ~is_float:false ~unit_ name
+let gauge t ?(unit_ = "") name = register t ~is_float:true ~unit_ name
+
+let add c n = c.c_int <- c.c_int + n
+let incr c = c.c_int <- c.c_int + 1
+let addf c x = c.c_float <- c.c_float +. x
+let set c x = c.c_float <- x
+let value c = c.c_int
+let valuef c = c.c_float
+let name_of c = c.c_name
+
+let reset t =
+  Hashtbl.iter
+    (fun _ c ->
+      c.c_int <- 0;
+      c.c_float <- 0.0)
+    t.cells
+
+let snapshot t =
+  Hashtbl.fold
+    (fun _ c acc ->
+      (c.c_name, if c.c_is_float then Float c.c_float else Int c.c_int) :: acc)
+    t.cells []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find t name =
+  match Hashtbl.find_opt t.cells name with
+  | None -> None
+  | Some c -> Some (if c.c_is_float then Float c.c_float else Int c.c_int)
+
+(* ---- JSON ----------------------------------------------------------- *)
+
+(* Floats must survive a print/parse round trip and stay distinguishable
+   from ints, so always emit a '.' or exponent. *)
+let float_repr x =
+  if Float.is_nan x then "0"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.17g" x
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  let cells = snapshot t in
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (Printf.sprintf "  \"%s\": " (escape name));
+      match v with
+      | Int n -> Buffer.add_string b (string_of_int n)
+      | Float x -> Buffer.add_string b (float_repr x))
+    cells;
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+(* Minimal parser for the subset emitted above: one flat object of
+   string keys to numbers. *)
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Counters.parse_json: %s at %d" msg !pos) in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      pos := !pos + 1
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos >= n || s.[!pos] <> c then fail (Printf.sprintf "expected '%c'" c);
+    pos := !pos + 1
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> pos := !pos + 1
+      | '\\' ->
+        if !pos + 1 >= n then fail "bad escape";
+        (match s.[!pos + 1] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'u' ->
+          if !pos + 5 >= n then fail "bad \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s (!pos + 2) 4) in
+          Buffer.add_char b (Char.chr (code land 0xff));
+          pos := !pos + 4
+        | c -> Buffer.add_char b c);
+        pos := !pos + 2;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        pos := !pos + 1;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    let is_float = ref false in
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | '0' .. '9' | '-' | '+' -> true
+         | '.' | 'e' | 'E' ->
+           is_float := true;
+           true
+         | _ -> false)
+    do
+      pos := !pos + 1
+    done;
+    if !pos = start then fail "expected number";
+    let lit = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string lit) else Int (int_of_string lit)
+  in
+  expect '{';
+  skip_ws ();
+  if !pos < n && s.[!pos] = '}' then begin
+    pos := !pos + 1;
+    []
+  end
+  else begin
+    let items = ref [] in
+    let rec members () =
+      let key = parse_string () in
+      expect ':';
+      let v = parse_number () in
+      items := (key, v) :: !items;
+      skip_ws ();
+      if !pos < n && s.[!pos] = ',' then begin
+        pos := !pos + 1;
+        skip_ws ();
+        members ()
+      end
+    in
+    members ();
+    expect '}';
+    List.rev !items
+  end

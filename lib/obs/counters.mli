@@ -1,0 +1,56 @@
+(** Typed counter/gauge registry.
+
+    A registry holds named metric cells: monotonic integer {e counters}
+    (messages sent, bytes moved, cache hits) and floating-point {e gauges}
+    (accumulated seconds).  Cells are registered once by name — registering
+    the same name again returns the existing cell — and the whole registry
+    is scraped into a single JSON snapshot.
+
+    Updating a cell is a single mutable-field write, so instrumentation can
+    leave counters always-on; there is no enabled flag at this level. *)
+
+type t
+(** A registry of named cells. *)
+
+type counter
+(** A monotonic integer cell. *)
+
+type gauge
+(** A floating-point cell. *)
+
+type value = Int of int | Float of float
+
+val create : unit -> t
+
+val counter : t -> ?unit_:string -> string -> counter
+(** [counter t name] registers (or retrieves) the integer cell [name].
+    [unit_] is a human label ("bytes", "elements") carried into reports.
+    Raises [Invalid_argument] if [name] is registered as a gauge. *)
+
+val gauge : t -> ?unit_:string -> string -> gauge
+(** Float-valued counterpart of {!counter}. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val addf : gauge -> float -> unit
+val set : gauge -> float -> unit
+
+val value : counter -> int
+val valuef : gauge -> float
+val name_of : counter -> string
+
+val reset : t -> unit
+(** Zero every cell (registrations are kept). *)
+
+val snapshot : t -> (string * value) list
+(** All cells, sorted by name. *)
+
+val find : t -> string -> value option
+
+val to_json : t -> string
+(** One JSON object mapping cell name to value, sorted by name. *)
+
+val parse_json : string -> (string * value) list
+(** Parse a snapshot previously produced by {!to_json} (minimal parser for
+    exactly that subset of JSON; raises [Failure] on malformed input).
+    Used for round-trip testing and by tools consuming [--obs-json]. *)

@@ -1,0 +1,80 @@
+(** Process-wide observability front end.
+
+    The runtime layers (op2, ops, simmpi, checkpoint) have no common context
+    object — [Simmpi.Comm] in particular is constructed far from any facade —
+    so the span tracer and the counter registry they report into are process
+    globals defined here.  Drivers enable tracing, run, then export with
+    {!write_trace} / {!write_counters} / {!report}. *)
+
+val tracer : Tracer.t
+val counters : Counters.t
+
+val set_tracing : bool -> unit
+val tracing : unit -> bool
+(** Fast enabled check for call sites that build span arguments. *)
+
+(** Span helpers on the global tracer (no-ops while tracing is off). *)
+
+val begin_span : ?lane:int -> ?args:(string * float) list -> cat:Tracer.category -> string -> unit
+
+val end_span : ?lane:int -> unit -> unit
+val span : ?lane:int -> ?args:(string * float) list -> cat:Tracer.category -> string -> (unit -> 'a) -> 'a
+val instant : ?lane:int -> ?args:(string * float) list -> cat:Tracer.category -> string -> unit
+
+val colour_name : int -> string
+(** ["colour0"], ["colour1"], ... without allocating for small indices. *)
+
+(** {1 Pre-registered counters}
+
+    Always-on; updating one is a single field write.  [plan_hits]/[plan_misses]
+    count plan-cache lookups served from cache vs. creating an entry;
+    [plan_builds]/[plan_colours] count plans actually constructed and their
+    block colours; [exec_hits]/[exec_misses] count compiled-executor reuses
+    vs. (re)compilations; [core_elements]/[boundary_elements] count elements
+    run while halos were in flight vs. deferred until arrival. *)
+
+val loop_calls : Counters.counter
+val loop_bytes : Counters.counter
+val loop_elements : Counters.counter
+val plan_hits : Counters.counter
+val plan_misses : Counters.counter
+val plan_builds : Counters.counter
+val plan_colours : Counters.counter
+val exec_hits : Counters.counter
+val exec_misses : Counters.counter
+val comm_messages : Counters.counter
+val comm_bytes : Counters.counter
+val comm_exchanges : Counters.counter
+val comm_reductions : Counters.counter
+val core_elements : Counters.counter
+val boundary_elements : Counters.counter
+val checkpoint_snapshots : Counters.counter
+val checkpoint_restores : Counters.counter
+
+val reset : unit -> unit
+(** Zero all counters, drop all trace events, disable tracing. *)
+
+(** {1 Reporting} *)
+
+type loop_row = {
+  lr_name : string;
+  lr_calls : int;
+  lr_seconds : float;
+  lr_bytes : int;
+  lr_halo_seconds : float;  (** exposed communication time *)
+  lr_overlap_seconds : float;  (** communication hidden behind core compute *)
+}
+
+val report : ?roofline_gbs:float -> ?loops:loop_row list -> unit -> string
+(** Rendered tables: per-loop time and achieved GB/s (against the perfmodel
+    roofline ceiling when [roofline_gbs] is given) with exposed-vs-hidden
+    halo columns, followed by cache hit-rates and communication totals. *)
+
+val counters_json : unit -> string
+val write_counters : path:string -> unit
+val write_trace : path:string -> unit
+
+val finish : ?trace:string -> ?obs_json:string -> ?roofline_gbs:float -> ?loops:loop_row list -> unit -> unit
+(** Driver epilogue for the [--trace] / [--obs-json] flags: write whichever
+    artifact paths are given and, if any is, print {!report} and the flame
+    summary to stdout. *)

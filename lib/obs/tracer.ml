@@ -1,0 +1,299 @@
+(* Ring-buffer span tracer with Chrome trace-event export.
+
+   Events live in preallocated parallel arrays (the float arrays store
+   timestamps unboxed), so recording is a handful of array stores and the
+   disabled path is a single mutable-bool check with no allocation.  Each
+   lane (Chrome [tid]; one per simulated rank) keeps its own stack of open
+   spans so nesting is tracked independently per rank. *)
+
+type category =
+  | Loop
+  | Plan
+  | Colour_round
+  | Halo_pack
+  | Halo_post
+  | Halo_wait
+  | Halo_unpack
+  | Reduce
+  | Checkpoint
+
+let category_to_string = function
+  | Loop -> "loop"
+  | Plan -> "plan"
+  | Colour_round -> "colour_round"
+  | Halo_pack -> "halo_pack"
+  | Halo_post -> "halo_post"
+  | Halo_wait -> "halo_wait"
+  | Halo_unpack -> "halo_unpack"
+  | Reduce -> "reduce"
+  | Checkpoint -> "checkpoint"
+
+type event = {
+  ev_name : string;
+  ev_cat : category;
+  ev_instant : bool;
+  ev_ts : float;
+  ev_dur : float;
+  ev_lane : int;
+  ev_args : (string * float) list;
+}
+
+(* An open span awaiting its end. *)
+type frame = { f_name : string; f_cat : category; f_ts : float; f_args : (string * float) list }
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  clock : unit -> float;
+  mutable epoch : float;
+  (* ring buffer as parallel arrays *)
+  names : string array;
+  cats : category array;
+  insts : bool array;
+  tss : float array;
+  durs : float array;
+  lanes : int array;
+  argss : (string * float) list array;
+  mutable head : int; (* next slot to write *)
+  mutable total : int; (* events recorded since clear *)
+  mutable stacks : frame list array; (* indexed by lane *)
+  mutable unmatched : int;
+}
+
+let create ?(capacity = 65536) ?clock () =
+  let capacity = max 16 capacity in
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  {
+    enabled = false;
+    capacity;
+    clock;
+    epoch = clock ();
+    names = Array.make capacity "";
+    cats = Array.make capacity Loop;
+    insts = Array.make capacity false;
+    tss = Array.make capacity 0.0;
+    durs = Array.make capacity 0.0;
+    lanes = Array.make capacity 0;
+    argss = Array.make capacity [];
+    head = 0;
+    total = 0;
+    stacks = Array.make 8 [];
+    unmatched = 0;
+  }
+
+let set_enabled t flag = t.enabled <- flag
+let enabled t = t.enabled
+
+let now_us t = (t.clock () -. t.epoch) *. 1e6
+
+let ensure_lane t lane =
+  if lane >= Array.length t.stacks then begin
+    let bigger = Array.make (max (lane + 1) (2 * Array.length t.stacks)) [] in
+    Array.blit t.stacks 0 bigger 0 (Array.length t.stacks);
+    t.stacks <- bigger
+  end
+
+let record t ~name ~cat ~inst ~ts ~dur ~lane ~args =
+  let i = t.head in
+  t.names.(i) <- name;
+  t.cats.(i) <- cat;
+  t.insts.(i) <- inst;
+  t.tss.(i) <- ts;
+  t.durs.(i) <- dur;
+  t.lanes.(i) <- lane;
+  t.argss.(i) <- args;
+  t.head <- (if i + 1 = t.capacity then 0 else i + 1);
+  t.total <- t.total + 1
+
+let begin_span t ?(lane = 0) ?(args = []) ~cat name =
+  if t.enabled then begin
+    ensure_lane t lane;
+    t.stacks.(lane) <-
+      { f_name = name; f_cat = cat; f_ts = now_us t; f_args = args } :: t.stacks.(lane)
+  end
+
+let end_span t ?(lane = 0) () =
+  if t.enabled then begin
+    ensure_lane t lane;
+    match t.stacks.(lane) with
+    | [] -> t.unmatched <- t.unmatched + 1
+    | f :: rest ->
+      t.stacks.(lane) <- rest;
+      let ts = f.f_ts in
+      record t ~name:f.f_name ~cat:f.f_cat ~inst:false ~ts ~dur:(now_us t -. ts) ~lane
+        ~args:f.f_args
+  end
+
+let with_span t ?lane ?args ~cat name f =
+  if not t.enabled then f ()
+  else begin
+    begin_span t ?lane ?args ~cat name;
+    Fun.protect ~finally:(fun () -> end_span t ?lane ()) f
+  end
+
+let instant t ?(lane = 0) ?(args = []) ~cat name =
+  if t.enabled then record t ~name ~cat ~inst:true ~ts:(now_us t) ~dur:0.0 ~lane ~args
+
+let clear t =
+  t.head <- 0;
+  t.total <- 0;
+  t.unmatched <- 0;
+  Array.iteri (fun i _ -> t.stacks.(i) <- []) t.stacks;
+  t.epoch <- t.clock ()
+
+let recorded t = t.total
+let dropped t = max 0 (t.total - t.capacity)
+let unmatched t = t.unmatched
+
+let events t =
+  let n = min t.total t.capacity in
+  let first = if t.total <= t.capacity then 0 else t.head in
+  let evs =
+    List.init n (fun k ->
+        let i = (first + k) mod t.capacity in
+        {
+          ev_name = t.names.(i);
+          ev_cat = t.cats.(i);
+          ev_instant = t.insts.(i);
+          ev_ts = t.tss.(i);
+          ev_dur = t.durs.(i);
+          ev_lane = t.lanes.(i);
+          ev_args = t.argss.(i);
+        })
+  in
+  (* Spans are recorded at their *end*, so restore timeline order; for equal
+     start times put the longer (enclosing) span first. *)
+  List.stable_sort
+    (fun a b ->
+      let c = Float.compare a.ev_ts b.ev_ts in
+      if c <> 0 then c else Float.compare b.ev_dur a.ev_dur)
+    evs
+
+(* ---- Chrome trace-event export -------------------------------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_chrome_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d"
+           (escape ev.ev_name)
+           (category_to_string ev.ev_cat)
+           (if ev.ev_instant then "i" else "X")
+           ev.ev_ts ev.ev_dur ev.ev_lane);
+      if ev.ev_instant then Buffer.add_string b ",\"s\":\"t\"";
+      if ev.ev_args <> [] then begin
+        Buffer.add_string b ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (Printf.sprintf "\"%s\":%.3f" (escape k) v))
+          ev.ev_args;
+        Buffer.add_char b '}'
+      end;
+      Buffer.add_char b '}')
+    (events t);
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write_chrome t ~path =
+  let oc = open_out path in
+  output_string oc (to_chrome_json t);
+  close_out oc
+
+(* ---- Flame summary --------------------------------------------------- *)
+
+(* Aggregate spans by call path ("loop res_calc/halo_wait wait"), merging
+   lanes; self time is inclusive time minus the inclusive time of direct
+   children. *)
+let flame_summary t =
+  let incl : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 32 in
+  let child_sum : (string, float ref) Hashtbl.t = Hashtbl.create 32 in
+  let touch path dur =
+    match Hashtbl.find_opt incl path with
+    | Some (d, c) ->
+      d := !d +. dur;
+      incr c
+    | None -> Hashtbl.add incl path (ref dur, ref 1)
+  in
+  let credit_child parent dur =
+    match Hashtbl.find_opt child_sum parent with
+    | Some d -> d := !d +. dur
+    | None -> Hashtbl.add child_sum parent (ref dur)
+  in
+  let evs = events t in
+  let lanes = List.sort_uniq compare (List.map (fun e -> e.ev_lane) evs) in
+  List.iter
+    (fun lane ->
+      (* stack of (end_ts, path) of currently enclosing spans *)
+      let stack = ref [] in
+      List.iter
+        (fun ev ->
+          if (not ev.ev_instant) && ev.ev_lane = lane then begin
+            let end_ts = ev.ev_ts +. ev.ev_dur in
+            while
+              match !stack with
+              | (e, _) :: _ when e <= ev.ev_ts +. 1e-9 -> true
+              | _ -> false
+            do
+              stack := List.tl !stack
+            done;
+            let label =
+              Printf.sprintf "%s %s" (category_to_string ev.ev_cat) ev.ev_name
+            in
+            let path =
+              match !stack with
+              | [] -> label
+              | (_, parent) :: _ ->
+                credit_child parent ev.ev_dur;
+                parent ^ "/" ^ label
+            in
+            touch path ev.ev_dur;
+            stack := (end_ts, path) :: !stack
+          end)
+        evs)
+    lanes;
+  let rows =
+    Hashtbl.fold (fun path (d, c) acc -> (path, !d, !c) :: acc) incl []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "flame summary (%d events, %d dropped)\n" (recorded t) (dropped t));
+  Buffer.add_string b
+    (Printf.sprintf "  %-56s %12s %12s %8s\n" "span" "incl ms" "self ms" "count");
+  List.iter
+    (fun (path, d, c) ->
+      let depth =
+        String.fold_left (fun acc ch -> if ch = '/' then acc + 1 else acc) 0 path
+      in
+      let leaf =
+        match String.rindex_opt path '/' with
+        | None -> path
+        | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+      in
+      let self =
+        d -. (match Hashtbl.find_opt child_sum path with Some s -> !s | None -> 0.0)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %-56s %12.3f %12.3f %8d\n"
+           (String.make (2 * depth) ' ' ^ leaf)
+           (d /. 1e3) (self /. 1e3) c))
+    rows;
+  Buffer.contents b

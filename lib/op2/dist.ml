@@ -21,6 +21,9 @@
    performance model. *)
 
 module Access = Am_core.Access
+module Obs = Am_obs.Obs
+module Obs_counters = Am_obs.Counters
+module Cat = Am_obs.Tracer
 module Comm = Am_simmpi.Comm
 module Halo = Am_simmpi.Halo
 open Types
@@ -431,8 +434,12 @@ let halo_touch_slots args =
    the rank-local map tables, which are fixed at [build] time. *)
 let rank_split t ~key ~iter_set ~slots =
   match Hashtbl.find_opt t.rank_splits key with
-  | Some s -> s
+  | Some s ->
+    Obs_counters.incr Obs.plan_hits;
+    s
   | None ->
+    Obs_counters.incr Obs.plan_misses;
+    Obs.begin_span ~cat:Cat.Plan "core_boundary_split";
     let sd = set_dist t iter_set in
     let split =
       Array.init t.n_ranks (fun r ->
@@ -451,6 +458,7 @@ let rank_split t ~key ~iter_set ~slots =
           { core = Array.of_list !core; boundary = Array.of_list !boundary })
     in
     Hashtbl.add t.rank_splits key split;
+    Obs.end_span ();
     split
 
 let rank_resolvers t r =
@@ -469,9 +477,15 @@ let rank_resolvers t r =
    [build] and only ever blitted in place, so the closures stay valid. *)
 let rank_compiled t ~key r args =
   match Hashtbl.find_opt t.rank_execs (key, r) with
-  | Some c -> c
+  | Some c ->
+    Obs_counters.incr Obs.exec_hits;
+    c
   | None ->
-    let c = Exec_common.compile ~resolvers:(rank_resolvers t r) args in
+    Obs_counters.incr Obs.exec_misses;
+    let c =
+      Obs.span ~cat:Cat.Plan "rank_compile" (fun () ->
+          Exec_common.compile ~resolvers:(rank_resolvers t r) args)
+    in
     Hashtbl.add t.rank_execs (key, r) c;
     c
 
@@ -510,9 +524,16 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~name
       let rank_plan ~block_size =
         let key = (Plan.signature ~name ~iter_set ~block_size args, r) in
         match Hashtbl.find_opt t.rank_plans key with
-        | Some plan -> plan
+        | Some plan ->
+          Obs_counters.incr Obs.plan_hits;
+          plan
         | None ->
-          let plan = Plan.build ~resolvers ~set_size:sd.n_owned.(r) ~block_size args in
+          Obs_counters.incr Obs.plan_misses;
+          let plan =
+            Obs.span ~cat:Cat.Plan name (fun () ->
+                Plan.count_build
+                  (Plan.build ~resolvers ~set_size:sd.n_owned.(r) ~block_size args))
+          in
           Hashtbl.add t.rank_plans key plan;
           plan
       in
@@ -561,9 +582,13 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~name
       Array.iter (fun e -> Exec_common.run_element compiled bufs kernel e) elems
     in
     (* Core phase: every element whose reads stay on owned slots. *)
+    let traced = Obs.tracing () in
     let t_core = Unix.gettimeofday () in
     for r = 0 to t.n_ranks - 1 do
-      run_subset r split.(r).core
+      if traced then Obs.begin_span ~lane:r ~cat:Cat.Loop "core";
+      run_subset r split.(r).core;
+      Obs_counters.add Obs.core_elements (Array.length split.(r).core);
+      if traced then Obs.end_span ~lane:r ()
     done;
     let core_seconds = Unix.gettimeofday () -. t_core in
     (* Wait for the in-flight exchanges, then the boundary phase. *)
@@ -584,11 +609,17 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~name
       overlap_seconds := !overlap_seconds +. hidden
     end;
     for r = 0 to t.n_ranks - 1 do
-      run_subset r split.(r).boundary
+      if traced then Obs.begin_span ~lane:r ~cat:Cat.Loop "boundary";
+      run_subset r split.(r).boundary;
+      Obs_counters.add Obs.boundary_elements (Array.length split.(r).boundary);
+      if traced then Obs.end_span ~lane:r ()
     done;
     for r = 0 to t.n_ranks - 1 do
-      if Exec_common.has_globals execs.(r) then
-        Exec_common.merge_globals execs.(r) buffers.(r)
+      if Exec_common.has_globals execs.(r) then begin
+        if traced then Obs.begin_span ~lane:r ~cat:Cat.Reduce "merge_globals";
+        Exec_common.merge_globals execs.(r) buffers.(r);
+        if traced then Obs.end_span ~lane:r ()
+      end
     done
   end;
   (* Post-loop: reduce increments onto owners, invalidate written halos,
@@ -601,7 +632,7 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~name
       | Arg_gbl { access; _ } ->
         (* Executed in-process; count the collective for the network model. *)
         if access <> Access.Read then
-          (Comm.stats t.comm).reductions <- (Comm.stats t.comm).reductions + 1)
+          Comm.count_reduction t.comm)
     args;
   halo_seconds := !halo_seconds +. !exposed
 

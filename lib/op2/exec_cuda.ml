@@ -230,10 +230,14 @@ let run ?compiled config plan ~set_size ~args ~kernel =
   in
   let has_globals = Exec_common.has_globals compiled in
   let blocks = plan.Plan.blocks in
-  Array.iter
-    (fun same_color_blocks ->
+  let traced = Am_obs.Obs.tracing () in
+  Array.iteri
+    (fun colour same_color_blocks ->
       (* Blocks of one colour are one "kernel launch"; we run them in order
          since the simulator is sequential. *)
+      if traced then
+        Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Colour_round
+          (Am_obs.Obs.colour_name colour);
       Array.iter
         (fun block ->
           let lo, hi = Coloring.block_range blocks block in
@@ -248,5 +252,6 @@ let run ?compiled config plan ~set_size ~args ~kernel =
                 run_element_staged args compiled buffers stages kernel e);
             write_back_stages stages);
           if has_globals then Exec_common.merge_globals compiled buffers)
-        same_color_blocks)
+        same_color_blocks;
+      if traced then Am_obs.Obs.end_span ())
     plan.Plan.block_coloring.Coloring.by_color

@@ -59,8 +59,12 @@ let run ?resolvers ?compiled pool plan ~set_size ~args ~kernel =
         states
     in
     let all_states = ref [] in
-    Array.iter
-      (fun same_color_blocks ->
+    let traced = Am_obs.Obs.tracing () in
+    Array.iteri
+      (fun colour same_color_blocks ->
+        if traced then
+          Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Colour_round
+            (Am_obs.Obs.colour_name colour);
         let states =
           Am_taskpool.Pool.parallel_iter_indices_local pool same_color_blocks
             ~local:take
@@ -75,7 +79,8 @@ let run ?resolvers ?compiled pool plan ~set_size ~args ~kernel =
             (fun b ->
               if not (List.memq b !all_states) then all_states := b :: !all_states)
             states;
-        give_back states)
+        give_back states;
+        if traced then Am_obs.Obs.end_span ())
       plan.Plan.block_coloring.Coloring.by_color;
     if has_globals then Exec_common.merge_worker_globals compiled !all_states
   end

@@ -66,6 +66,14 @@ let run ?resolvers ?compiled config plan ~set_size ~args ~kernel =
   | Some ec ->
     (* Colour-by-colour packing: same-colour elements share no indirect
        target, so packed gathers/scatters cannot conflict. *)
-    Array.iter run_packed ec.Coloring.by_color);
+    let traced = Am_obs.Obs.tracing () in
+    Array.iteri
+      (fun colour elems ->
+        if traced then
+          Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Colour_round
+            (Am_obs.Obs.colour_name colour);
+        run_packed elems;
+        if traced then Am_obs.Obs.end_span ())
+      ec.Coloring.by_color);
   if Exec_common.has_globals compiled then
     Exec_common.merge_worker_globals compiled (Array.to_list lanes)

@@ -369,6 +369,8 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle iter_set args
   let descr = Types.describe ~name ~iter_set ~info args in
   Trace.record ctx.trace descr;
   let t0 = now () in
+  let traced = Am_obs.Obs.tracing () in
+  if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
   (match ctx.checkpoint with
   | None -> execute_loop ctx ~name ?handle iter_set args kernel
   | Some session ->
@@ -384,6 +386,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle iter_set args
     in
     Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:(fun () ->
         execute_loop ctx ~name ?handle iter_set args kernel));
+  if traced then Am_obs.Obs.end_span ();
   let seconds = now () -. t0 in
   Profile.record ctx.profile ~name ~seconds ~bytes:(Descr.total_bytes descr)
     ~elements:iter_set.Types.set_size

@@ -14,6 +14,9 @@
    (loop, argument signature) and cached — [signature] is the cache key. *)
 
 module Access = Am_core.Access
+module Obs = Am_obs.Obs
+module Counters = Am_obs.Counters
+module Cat = Am_obs.Tracer
 open Types
 
 type t = {
@@ -117,6 +120,7 @@ let build ?resolvers ~set_size ~block_size args =
    is a handful of pointer compares) because [update]/[convert_layout]/SoA
    conversion replace dataset arrays wholesale. *)
 type entry = {
+  entry_name : string; (* loop name, for plan/compile trace spans *)
   entry_plan : t Lazy.t;
   mutable entry_exec : Exec_common.compiled_arg array option;
 }
@@ -133,14 +137,26 @@ let invalidate cache =
   Hashtbl.reset cache.table;
   cache.generation <- cache.generation + 1
 
+let count_build (p : t) =
+  Counters.incr Obs.plan_builds;
+  Counters.add Obs.plan_colours p.block_coloring.Am_mesh.Coloring.n_colors;
+  p
+
 let find_entry cache ~name ~iter_set ~block_size args =
   let key = signature ~name ~iter_set ~block_size args in
   match Hashtbl.find_opt cache.table key with
-  | Some e -> e
+  | Some e ->
+    Counters.incr Obs.plan_hits;
+    e
   | None ->
+    Counters.incr Obs.plan_misses;
     let e =
       {
-        entry_plan = lazy (build ~set_size:iter_set.set_size ~block_size args);
+        entry_name = name;
+        entry_plan =
+          lazy
+            (Obs.span ~cat:Cat.Plan name (fun () ->
+                 count_build (build ~set_size:iter_set.set_size ~block_size args)));
         entry_exec = None;
       }
     in
@@ -149,9 +165,12 @@ let find_entry cache ~name ~iter_set ~block_size args =
 
 let entry_exec entry args =
   match entry.entry_exec with
-  | Some c when Exec_common.compiled_matches c args -> c
+  | Some c when Exec_common.compiled_matches c args ->
+    Counters.incr Obs.exec_hits;
+    c
   | Some _ | None ->
-    let c = Exec_common.compile args in
+    Counters.incr Obs.exec_misses;
+    let c = Obs.span ~cat:Cat.Plan entry.entry_name (fun () -> Exec_common.compile args) in
     entry.entry_exec <- Some c;
     c
 
@@ -203,6 +222,7 @@ let resolve cache handle ~name ~iter_set ~block_size args =
            && handle.h_block_size = block_size
            && handle.h_set_id = iter_set.set_id
            && args_match handle.h_args args ->
+      Counters.incr Obs.plan_hits;
       e
     | Some _ | None ->
       let e = find_entry cache ~name ~iter_set ~block_size args in

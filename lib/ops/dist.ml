@@ -14,6 +14,9 @@
    by the access descriptors and declared stencils.  Whole padded rows are
    exchanged (x-ghost columns included) so boundary data stays consistent. *)
 
+module Obs = Am_obs.Obs
+module Obs_counters = Am_obs.Counters
+module Cat = Am_obs.Tracer
 module Access = Am_core.Access
 module Comm = Am_simmpi.Comm
 open Types
@@ -163,23 +166,26 @@ let exchange_start ?depth t dat =
   let dd = dat_dist t dat in
   let need = match depth with Some d -> min d dat.halo | None -> dat.halo in
   if dd.fresh_depth < need || t.eager_halo then begin
-    (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
+    Comm.count_exchange t.comm;
     let h = if t.eager_halo then dat.halo else need in
     if h = 0 then begin
       dd.fresh_depth <- max dd.fresh_depth h;
       None
     end
     else begin
+      let traced = Obs.tracing () in
       for r = 0 to t.n_ranks - 2 do
         let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
         (* r's top owned rows -> (r+1)'s bottom ghost. *)
-        ignore
-          (Comm.isend t.comm ~src:r ~dst:(r + 1)
-             (pack_rows dat w ~row:(w.row_hi - h) ~count:h));
+        if traced then Obs.begin_span ~lane:r ~cat:Cat.Halo_pack "pack_rows";
+        let up = pack_rows dat w ~row:(w.row_hi - h) ~count:h in
+        if traced then Obs.end_span ~lane:r ();
+        ignore (Comm.isend t.comm ~src:r ~dst:(r + 1) up);
         (* (r+1)'s bottom owned rows -> r's top ghost. *)
-        ignore
-          (Comm.isend t.comm ~src:(r + 1) ~dst:r
-             (pack_rows dat wn ~row:wn.row_lo ~count:h))
+        if traced then Obs.begin_span ~lane:(r + 1) ~cat:Cat.Halo_pack "pack_rows";
+        let down = pack_rows dat wn ~row:wn.row_lo ~count:h in
+        if traced then Obs.end_span ~lane:(r + 1) ();
+        ignore (Comm.isend t.comm ~src:(r + 1) ~dst:r down)
       done;
       let recvs = ref [] in
       for r = t.n_ranks - 2 downto 0 do
@@ -198,12 +204,15 @@ let exchange_start ?depth t dat =
 let exchange_finish t dat token =
   let dd = dat_dist t dat in
   let h = token.tok_h in
+  let traced = Obs.tracing () in
   List.iter
     (fun (r, from_below, req) ->
       let payload = Comm.wait t.comm req in
       let w = dd.windows.(r) in
       let row = if from_below then w.row_lo - h else w.row_hi in
-      unpack_rows dat w ~row payload)
+      if traced then Obs.begin_span ~lane:r ~cat:Cat.Halo_unpack "unpack_rows";
+      unpack_rows dat w ~row payload;
+      if traced then Obs.end_span ~lane:r ())
     token.tok_recvs;
   dd.fresh_depth <- max dd.fresh_depth h
 
@@ -332,12 +341,18 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
             in
             Some (lo, hi, int_lo, max int_lo int_hi))
     in
+    let traced = Obs.tracing () in
+    let row_width = range.xhi - range.xlo in
     let t_core = Unix.gettimeofday () in
     Array.iteri
       (fun r b ->
         match b with
         | None -> ()
-        | Some (_, _, int_lo, int_hi) -> run_rows r ~lo:int_lo ~hi:int_hi)
+        | Some (_, _, int_lo, int_hi) ->
+          if traced then Obs.begin_span ~lane:r ~cat:Cat.Loop "core";
+          run_rows r ~lo:int_lo ~hi:int_hi;
+          Obs_counters.add Obs.core_elements ((int_hi - int_lo) * row_width);
+          if traced then Obs.end_span ~lane:r ())
       bounds;
     let core_seconds = Unix.gettimeofday () -. t_core in
     if tokens <> [] then begin
@@ -356,8 +371,12 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
         match b with
         | None -> ()
         | Some (lo, hi, int_lo, int_hi) ->
+          if traced then Obs.begin_span ~lane:r ~cat:Cat.Loop "boundary";
           run_rows r ~lo ~hi:int_lo;
-          run_rows r ~lo:int_hi ~hi)
+          run_rows r ~lo:int_hi ~hi;
+          Obs_counters.add Obs.boundary_elements
+            (((int_lo - lo) + (hi - int_hi)) * row_width);
+          if traced then Obs.end_span ~lane:r ())
       bounds
   end;
   halo_seconds := !halo_seconds +. !exposed;
@@ -367,7 +386,7 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
       | Arg_dat { dat; access; _ } when Access.writes access ->
         (dat_dist t dat).fresh_depth <- 0
       | Arg_gbl { access; _ } when access <> Access.Read ->
-        (Comm.stats t.comm).reductions <- (Comm.stats t.comm).reductions + 1
+        Comm.count_reduction t.comm
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args
 

@@ -3,6 +3,9 @@
    only communication is the on-demand ghost-cell exchange before loops
    reading through offset stencils. *)
 
+module Obs = Am_obs.Obs
+module Obs_counters = Am_obs.Counters
+module Cat = Am_obs.Tracer
 module Access = Am_core.Access
 module Comm = Am_simmpi.Comm
 open Types1
@@ -116,21 +119,24 @@ type token = { tok_recvs : (int * bool * Comm.request) list }
 let exchange_start t dat =
   let dd = dat_dist t dat in
   if (not dd.fresh) || t.eager_halo then begin
-    (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
+    Comm.count_exchange t.comm;
     let h = dat.halo in
     if h = 0 then begin
       dd.fresh <- true;
       None
     end
     else begin
+      let traced = Obs.tracing () in
       for r = 0 to t.n_ranks - 2 do
         let w = dd.windows.(r) and wn = dd.windows.(r + 1) in
-        ignore
-          (Comm.isend t.comm ~src:r ~dst:(r + 1)
-             (pack_cells dat w ~cell:(w.chunk_hi - h) ~count:h));
-        ignore
-          (Comm.isend t.comm ~src:(r + 1) ~dst:r
-             (pack_cells dat wn ~cell:wn.chunk_lo ~count:h))
+        if traced then Obs.begin_span ~lane:r ~cat:Cat.Halo_pack "pack_cells";
+        let up = pack_cells dat w ~cell:(w.chunk_hi - h) ~count:h in
+        if traced then Obs.end_span ~lane:r ();
+        ignore (Comm.isend t.comm ~src:r ~dst:(r + 1) up);
+        if traced then Obs.begin_span ~lane:(r + 1) ~cat:Cat.Halo_pack "pack_cells";
+        let down = pack_cells dat wn ~cell:wn.chunk_lo ~count:h in
+        if traced then Obs.end_span ~lane:(r + 1) ();
+        ignore (Comm.isend t.comm ~src:(r + 1) ~dst:r down)
       done;
       let recvs = ref [] in
       for r = t.n_ranks - 2 downto 0 do
@@ -148,12 +154,15 @@ let exchange_start t dat =
 let exchange_finish t dat token =
   let dd = dat_dist t dat in
   let h = dat.halo in
+  let traced = Obs.tracing () in
   List.iter
     (fun (r, from_below, req) ->
       let payload = Comm.wait t.comm req in
       let w = dd.windows.(r) in
       let cell = if from_below then w.chunk_lo - h else w.chunk_hi in
-      unpack_cells dat w ~cell payload)
+      if traced then Obs.begin_span ~lane:r ~cat:Cat.Halo_unpack "unpack_cells";
+      unpack_cells dat w ~cell payload;
+      if traced then Obs.end_span ~lane:r ())
     token.tok_recvs;
   dd.fresh <- true
 
@@ -263,12 +272,17 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
             in
             Some (lo, hi, int_lo, max int_lo int_hi))
     in
+    let traced = Obs.tracing () in
     let t_core = Unix.gettimeofday () in
     Array.iteri
       (fun r b ->
         match b with
         | None -> ()
-        | Some (_, _, int_lo, int_hi) -> run_cells r ~lo:int_lo ~hi:int_hi)
+        | Some (_, _, int_lo, int_hi) ->
+          if traced then Obs.begin_span ~lane:r ~cat:Cat.Loop "core";
+          run_cells r ~lo:int_lo ~hi:int_hi;
+          Obs_counters.add Obs.core_elements (int_hi - int_lo);
+          if traced then Obs.end_span ~lane:r ())
       bounds;
     let core_seconds = Unix.gettimeofday () -. t_core in
     if tokens <> [] then begin
@@ -284,8 +298,11 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
         match b with
         | None -> ()
         | Some (lo, hi, int_lo, int_hi) ->
+          if traced then Obs.begin_span ~lane:r ~cat:Cat.Loop "boundary";
           run_cells r ~lo ~hi:int_lo;
-          run_cells r ~lo:int_hi ~hi)
+          run_cells r ~lo:int_hi ~hi;
+          Obs_counters.add Obs.boundary_elements ((int_lo - lo) + (hi - int_hi));
+          if traced then Obs.end_span ~lane:r ())
       bounds
   end;
   halo_seconds := !halo_seconds +. !exposed;
@@ -294,7 +311,7 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
       | Arg_dat { dat; access; _ } when Access.writes access ->
         (dat_dist t dat).fresh <- false
       | Arg_gbl { access; _ } when access <> Access.Read ->
-        (Comm.stats t.comm).reductions <- (Comm.stats t.comm).reductions + 1
+        Comm.count_reduction t.comm
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args
 

@@ -17,6 +17,9 @@
    whose access descriptors read a stale dataset through an offset
    stencil. *)
 
+module Obs = Am_obs.Obs
+module Obs_counters = Am_obs.Counters
+module Cat = Am_obs.Tracer
 module Access = Am_core.Access
 module Comm = Am_simmpi.Comm
 open Types
@@ -190,7 +193,7 @@ type token = { tok_recvs : (int * bool * Comm.request) list }
 let exchange_start t dat =
   let dd = dat_dist t dat in
   if (not dd.fresh) || t.eager_halo then begin
-    (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
+    Comm.count_exchange t.comm;
     let h = dat.halo in
     if h = 0 then begin
       dd.fresh <- true;
@@ -203,12 +206,15 @@ let exchange_start t dat =
           let r = rank_at t ~rx ~ry and rn = rank_at t ~rx:(rx + 1) ~ry in
           let w = dd.windows.(r) and wn = dd.windows.(rn) in
           let y0 = w.row_lo - h and y1 = w.row_hi + h in
-          ignore
-            (Comm.isend t.comm ~src:r ~dst:rn
-               (pack_rect dat w ~x0:(w.col_hi - h) ~x1:w.col_hi ~y0 ~y1));
-          ignore
-            (Comm.isend t.comm ~src:rn ~dst:r
-               (pack_rect dat wn ~x0:wn.col_lo ~x1:(wn.col_lo + h) ~y0 ~y1));
+          let traced = Obs.tracing () in
+          if traced then Obs.begin_span ~lane:r ~cat:Cat.Halo_pack "pack_rect";
+          let right = pack_rect dat w ~x0:(w.col_hi - h) ~x1:w.col_hi ~y0 ~y1 in
+          if traced then Obs.end_span ~lane:r ();
+          ignore (Comm.isend t.comm ~src:r ~dst:rn right);
+          if traced then Obs.begin_span ~lane:rn ~cat:Cat.Halo_pack "pack_rect";
+          let left = pack_rect dat wn ~x0:wn.col_lo ~x1:(wn.col_lo + h) ~y0 ~y1 in
+          if traced then Obs.end_span ~lane:rn ();
+          ignore (Comm.isend t.comm ~src:rn ~dst:r left);
           recvs :=
             (rn, true, Comm.irecv t.comm ~src:r ~dst:rn)
             :: (r, false, Comm.irecv t.comm ~src:rn ~dst:r)
@@ -226,14 +232,17 @@ let exchange_start t dat =
 let exchange_finish t dat token =
   let dd = dat_dist t dat in
   let h = dat.halo in
+  let traced = Obs.tracing () in
   List.iter
     (fun (r, from_left, req) ->
       let payload = Comm.wait t.comm req in
       let w = dd.windows.(r) in
       let y0 = w.row_lo - h and y1 = w.row_hi + h in
+      if traced then Obs.begin_span ~lane:r ~cat:Cat.Halo_unpack "unpack_rect";
       if from_left then
         unpack_rect dat w ~x0:(w.col_lo - h) ~x1:w.col_lo ~y0 ~y1 payload
-      else unpack_rect dat w ~x0:w.col_hi ~x1:(w.col_hi + h) ~y0 ~y1 payload)
+      else unpack_rect dat w ~x0:w.col_hi ~x1:(w.col_hi + h) ~y0 ~y1 payload;
+      if traced then Obs.end_span ~lane:r ())
     token.tok_recvs;
   for rx = 0 to t.px - 1 do
     for ry = 0 to t.py - 2 do
@@ -383,12 +392,18 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
               ( (xlo, xhi, ylo, yhi),
                 (int_xlo, max int_xlo int_xhi, int_ylo, max int_ylo int_yhi) ))
     in
+    let traced = Obs.tracing () in
     let t_core = Unix.gettimeofday () in
     Array.iteri
       (fun r b ->
         match b with
         | None -> ()
-        | Some (_, (xlo, xhi, ylo, yhi)) -> run_box r ~xlo ~xhi ~ylo ~yhi)
+        | Some (_, (xlo, xhi, ylo, yhi)) ->
+          if traced then Obs.begin_span ~lane:r ~cat:Cat.Loop "core";
+          run_box r ~xlo ~xhi ~ylo ~yhi;
+          Obs_counters.add Obs.core_elements
+            (max 0 (xhi - xlo) * max 0 (yhi - ylo));
+          if traced then Obs.end_span ~lane:r ())
       bounds;
     let core_seconds = Unix.gettimeofday () -. t_core in
     if tokens <> [] then begin
@@ -409,10 +424,16 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
         match b with
         | None -> ()
         | Some ((xlo, xhi, ylo, yhi), (int_xlo, int_xhi, int_ylo, int_yhi)) ->
+          if traced then Obs.begin_span ~lane:r ~cat:Cat.Loop "boundary";
           run_box r ~xlo ~xhi ~ylo ~yhi:int_ylo;
           run_box r ~xlo ~xhi:int_xlo ~ylo:int_ylo ~yhi:int_yhi;
           run_box r ~xlo:int_xhi ~xhi ~ylo:int_ylo ~yhi:int_yhi;
-          run_box r ~xlo ~xhi ~ylo:int_yhi ~yhi)
+          run_box r ~xlo ~xhi ~ylo:int_yhi ~yhi;
+          Obs_counters.add Obs.boundary_elements
+            (max 0
+               ((max 0 (xhi - xlo) * max 0 (yhi - ylo))
+               - (max 0 (int_xhi - int_xlo) * max 0 (int_yhi - int_ylo))));
+          if traced then Obs.end_span ~lane:r ())
       bounds
   end;
   halo_seconds := !halo_seconds +. !exposed;
@@ -421,7 +442,7 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
       | Arg_dat { dat; access; _ } when Access.writes access ->
         (dat_dist t dat).fresh <- false
       | Arg_gbl { access; _ } when access <> Access.Read ->
-        (Comm.stats t.comm).reductions <- (Comm.stats t.comm).reductions + 1
+        Comm.count_reduction t.comm
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args
 

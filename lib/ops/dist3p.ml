@@ -9,6 +9,9 @@
    which carries the edge cells — the 3D version of Dist2's corner
    argument, with x never decomposed. *)
 
+module Obs = Am_obs.Obs
+module Obs_counters = Am_obs.Counters
+module Cat = Am_obs.Tracer
 module Access = Am_core.Access
 module Comm = Am_simmpi.Comm
 open Types3
@@ -181,7 +184,7 @@ type token = { tok_recvs : (int * bool * Comm.request) list }
 let exchange_start t dat =
   let dd = dat_dist t dat in
   if not dd.fresh then begin
-    (Comm.stats t.comm).exchanges <- (Comm.stats t.comm).exchanges + 1;
+    Comm.count_exchange t.comm;
     let h = dat.halo in
     if h = 0 then begin
       dd.fresh <- true;
@@ -194,12 +197,15 @@ let exchange_start t dat =
           let r = rank_at t ~ry ~rz and rn = rank_at t ~ry:(ry + 1) ~rz in
           let w = dd.windows.(r) and wn = dd.windows.(rn) in
           let z0 = w.slab_lo - h and z1 = w.slab_hi + h in
-          ignore
-            (Comm.isend t.comm ~src:r ~dst:rn
-               (pack_box dat w ~y0:(w.row_hi - h) ~y1:w.row_hi ~z0 ~z1));
-          ignore
-            (Comm.isend t.comm ~src:rn ~dst:r
-               (pack_box dat wn ~y0:wn.row_lo ~y1:(wn.row_lo + h) ~z0 ~z1));
+          let traced = Obs.tracing () in
+          if traced then Obs.begin_span ~lane:r ~cat:Cat.Halo_pack "pack_box";
+          let up = pack_box dat w ~y0:(w.row_hi - h) ~y1:w.row_hi ~z0 ~z1 in
+          if traced then Obs.end_span ~lane:r ();
+          ignore (Comm.isend t.comm ~src:r ~dst:rn up);
+          if traced then Obs.begin_span ~lane:rn ~cat:Cat.Halo_pack "pack_box";
+          let down = pack_box dat wn ~y0:wn.row_lo ~y1:(wn.row_lo + h) ~z0 ~z1 in
+          if traced then Obs.end_span ~lane:rn ();
+          ignore (Comm.isend t.comm ~src:rn ~dst:r down);
           recvs :=
             (rn, true, Comm.irecv t.comm ~src:r ~dst:rn)
             :: (r, false, Comm.irecv t.comm ~src:rn ~dst:r)
@@ -217,14 +223,17 @@ let exchange_start t dat =
 let exchange_finish t dat token =
   let dd = dat_dist t dat in
   let h = dat.halo in
+  let traced = Obs.tracing () in
   List.iter
     (fun (r, from_below, req) ->
       let payload = Comm.wait t.comm req in
       let w = dd.windows.(r) in
       let z0 = w.slab_lo - h and z1 = w.slab_hi + h in
+      if traced then Obs.begin_span ~lane:r ~cat:Cat.Halo_unpack "unpack_box";
       if from_below then
         unpack_box dat w ~y0:(w.row_lo - h) ~y1:w.row_lo ~z0 ~z1 payload
-      else unpack_box dat w ~y0:w.row_hi ~y1:(w.row_hi + h) ~z0 ~z1 payload)
+      else unpack_box dat w ~y0:w.row_hi ~y1:(w.row_hi + h) ~z0 ~z1 payload;
+      if traced then Obs.end_span ~lane:r ())
     token.tok_recvs;
   for ry = 0 to t.py - 1 do
     for rz = 0 to t.pz - 2 do
@@ -375,12 +384,19 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
               ( (ylo, yhi, zlo, zhi),
                 (int_ylo, max int_ylo int_yhi, int_zlo, max int_zlo int_zhi) ))
     in
+    let traced = Obs.tracing () in
+    let col_cells = range.xhi - range.xlo in
     let t_core = Unix.gettimeofday () in
     Array.iteri
       (fun r b ->
         match b with
         | None -> ()
-        | Some (_, (ylo, yhi, zlo, zhi)) -> run_box r ~ylo ~yhi ~zlo ~zhi)
+        | Some (_, (ylo, yhi, zlo, zhi)) ->
+          if traced then Obs.begin_span ~lane:r ~cat:Cat.Loop "core";
+          run_box r ~ylo ~yhi ~zlo ~zhi;
+          Obs_counters.add Obs.core_elements
+            (max 0 (yhi - ylo) * max 0 (zhi - zlo) * col_cells);
+          if traced then Obs.end_span ~lane:r ())
       bounds;
     let core_seconds = Unix.gettimeofday () -. t_core in
     if tokens <> [] then begin
@@ -398,10 +414,17 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
         match b with
         | None -> ()
         | Some ((ylo, yhi, zlo, zhi), (int_ylo, int_yhi, int_zlo, int_zhi)) ->
+          if traced then Obs.begin_span ~lane:r ~cat:Cat.Loop "boundary";
           run_box r ~ylo ~yhi ~zlo ~zhi:int_zlo;
           run_box r ~ylo ~yhi:int_ylo ~zlo:int_zlo ~zhi:int_zhi;
           run_box r ~ylo:int_yhi ~yhi ~zlo:int_zlo ~zhi:int_zhi;
-          run_box r ~ylo ~yhi ~zlo:int_zhi ~zhi)
+          run_box r ~ylo ~yhi ~zlo:int_zhi ~zhi;
+          Obs_counters.add Obs.boundary_elements
+            (max 0
+               ((max 0 (yhi - ylo) * max 0 (zhi - zlo))
+               - (max 0 (int_yhi - int_ylo) * max 0 (int_zhi - int_zlo)))
+            * col_cells);
+          if traced then Obs.end_span ~lane:r ())
       bounds
   end;
   halo_seconds := !halo_seconds +. !exposed;
@@ -410,7 +433,7 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
       | Arg_dat { dat; access; _ } when Access.writes access ->
         (dat_dist t dat).fresh <- false
       | Arg_gbl { access; _ } when access <> Access.Read ->
-        (Comm.stats t.comm).reductions <- (Comm.stats t.comm).reductions + 1
+        Comm.count_reduction t.comm
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args
 

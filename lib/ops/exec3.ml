@@ -231,6 +231,8 @@ let merge_worker_globals compiled states =
   match states with
   | [] -> ()
   | states ->
+    let traced = Am_obs.Obs.tracing () in
+    if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Reduce "merge_globals";
     let arr = Array.of_list states in
     let n = ref (Array.length arr) in
     while !n > 1 do
@@ -240,7 +242,8 @@ let merge_worker_globals compiled states =
       done;
       n := half
     done;
-    merge_globals compiled arr.(0)
+    merge_globals compiled arr.(0);
+    if traced then Am_obs.Obs.end_span ()
 
 let run_point compiled buffers kernel x y z =
   for i = 0 to Array.length compiled - 1 do

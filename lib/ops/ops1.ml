@@ -129,9 +129,14 @@ let make_handle () = { h_exec = None }
 
 let resolve_compiled handle args =
   match handle.h_exec with
-  | Some c when Exec1.compiled_matches c args -> c
+  | Some c when Exec1.compiled_matches c args ->
+    Am_obs.Counters.incr Am_obs.Obs.exec_hits;
+    c
   | Some _ | None ->
-    let c = Exec1.compile args in
+    Am_obs.Counters.incr Am_obs.Obs.exec_misses;
+    let c =
+      Am_obs.Obs.span ~cat:Am_obs.Tracer.Plan "compile" (fun () -> Exec1.compile args)
+    in
     handle.h_exec <- Some c;
     c
 
@@ -141,6 +146,8 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   let descr = Types1.describe ~name ~block ~range ~info args in
   Trace.record ctx.trace descr;
   let t0 = now () in
+  let traced = Am_obs.Obs.tracing () in
+  if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
   let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
   let execute () =
     match ctx.dist with
@@ -163,6 +170,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
         args
     in
     Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:execute);
+  if traced then Am_obs.Obs.end_span ();
   Profile.record ctx.profile ~name ~seconds:(now () -. t0)
     ~bytes:(Descr.total_bytes descr)
     ~elements:(Types1.range_size range);

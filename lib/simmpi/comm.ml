@@ -20,6 +20,10 @@
      is preserved within a channel, while the interleaving *across* channels
      is up to the driver. *)
 
+module Obs = Am_obs.Obs
+module Counters = Am_obs.Counters
+module Cat = Am_obs.Tracer
+
 type stats = {
   mutable messages : int;
   mutable bytes : int;
@@ -52,6 +56,17 @@ let create ~n_ranks =
 let n_ranks t = t.n_ranks
 
 let stats t = t.stats
+
+(* Collective-round accounting shared by the halo layers: bump the
+   communicator's stats and the global observability counters together so
+   the two views cannot drift. *)
+let count_exchange t =
+  t.stats.exchanges <- t.stats.exchanges + 1;
+  Counters.incr Obs.comm_exchanges
+
+let count_reduction t =
+  t.stats.reductions <- t.stats.reductions + 1;
+  Counters.incr Obs.comm_reductions
 
 let reset_stats t =
   t.stats.messages <- 0;
@@ -101,9 +116,17 @@ let isend t ~src ~dst payload =
   check_rank t src "isend";
   check_rank t dst "isend";
   let bytes = 8 * Array.length payload in
+  let traced = Obs.tracing () in
+  if traced then
+    Obs.begin_span ~lane:src ~cat:Cat.Halo_post
+      ~args:[ ("dst", float_of_int dst); ("bytes", float_of_int bytes) ]
+      "isend";
   Queue.push payload t.staged.(chan t ~src ~dst);
   t.stats.messages <- t.stats.messages + 1;
   t.stats.bytes <- t.stats.bytes + bytes;
+  Counters.incr Obs.comm_messages;
+  Counters.add Obs.comm_bytes bytes;
+  if traced then Obs.end_span ~lane:src ();
   Send_req { src; dst; bytes; completed = false }
 
 let irecv t ~src ~dst =
@@ -124,6 +147,11 @@ let wait t req =
     match r.payload with
     | Some p -> p
     | None ->
+      let traced = Obs.tracing () in
+      if traced then
+        Obs.begin_span ~lane:r.dst ~cat:Cat.Halo_wait
+          ~args:[ ("src", float_of_int r.src) ]
+          "wait";
       deliver_channel t ~src:r.src ~dst:r.dst;
       let q = t.channels.(chan t ~src:r.src ~dst:r.dst) in
       if Queue.is_empty q then
@@ -133,6 +161,8 @@ let wait t req =
              r.src r.dst);
       let p = Queue.pop q in
       r.payload <- Some p;
+      if traced then
+        Obs.end_span ~lane:r.dst ();
       p)
 
 let waitall t reqs = List.iter (fun r -> ignore (wait t r)) reqs
@@ -150,13 +180,22 @@ let request_payload = function
 let send t ~src ~dst payload =
   check_rank t src "send";
   check_rank t dst "send";
+  let bytes = 8 * Array.length payload in
+  if Obs.tracing () then
+    Obs.instant ~lane:src ~cat:Cat.Halo_post
+      ~args:[ ("dst", float_of_int dst); ("bytes", float_of_int bytes) ]
+      "send";
   Queue.push payload t.channels.(chan t ~src ~dst);
   t.stats.messages <- t.stats.messages + 1;
-  t.stats.bytes <- t.stats.bytes + (8 * Array.length payload)
+  t.stats.bytes <- t.stats.bytes + bytes;
+  Counters.incr Obs.comm_messages;
+  Counters.add Obs.comm_bytes bytes
 
 let recv t ~src ~dst =
   check_rank t src "recv";
   check_rank t dst "recv";
+  if Obs.tracing () then
+    Obs.instant ~lane:dst ~cat:Cat.Halo_wait ~args:[ ("src", float_of_int src) ] "recv";
   deliver_channel t ~src ~dst;
   let q = t.channels.(chan t ~src ~dst) in
   if Queue.is_empty q then
@@ -176,7 +215,7 @@ let all_drained t =
 (* Global reduction over one value per rank. Counted once per call. *)
 let allreduce t ~combine values =
   if Array.length values <> t.n_ranks then invalid_arg "Comm.allreduce: bad arity";
-  t.stats.reductions <- t.stats.reductions + 1;
+  count_reduction t;
   let acc = ref values.(0) in
   for r = 1 to t.n_ranks - 1 do
     acc := combine !acc values.(r)

@@ -33,6 +33,13 @@ val stats : t -> stats
 
 val reset_stats : t -> unit
 
+(** Count one collective halo-exchange round, in [stats] and in the global
+    observability counters.  Called by the halo layers once per round. *)
+val count_exchange : t -> unit
+
+(** Count one global reduction (ditto; [allreduce] counts itself). *)
+val count_reduction : t -> unit
+
 (** Enqueue a message. The payload is transferred by reference; senders must
     not mutate it afterwards. *)
 val send : t -> src:int -> dst:int -> float array -> unit

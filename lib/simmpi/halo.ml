@@ -20,6 +20,9 @@
    Export and import lists for a pair must have equal length and matching
    order; [validate] checks this. *)
 
+module Obs = Am_obs.Obs
+module Cat = Am_obs.Tracer
+
 type t = {
   n_ranks : int;
   exports : int array array array; (* exports.(r).(p): local slots of r sent to p *)
@@ -77,11 +80,16 @@ let pack data ~dim slots =
 let exchange_start comm t ~dim data =
   if Comm.n_ranks comm <> t.n_ranks then
     invalid_arg "Halo.exchange_start: comm/plan mismatch";
-  (Comm.stats comm).exchanges <- (Comm.stats comm).exchanges + 1;
+  Comm.count_exchange comm;
+  let traced = Obs.tracing () in
   for r = 0 to t.n_ranks - 1 do
     for p = 0 to t.n_ranks - 1 do
-      if r <> p && Array.length t.exports.(r).(p) > 0 then
-        ignore (Comm.isend comm ~src:r ~dst:p (pack data.(r) ~dim t.exports.(r).(p)))
+      if r <> p && Array.length t.exports.(r).(p) > 0 then begin
+        if traced then Obs.begin_span ~lane:r ~cat:Cat.Halo_pack "pack";
+        let payload = pack data.(r) ~dim t.exports.(r).(p) in
+        if traced then Obs.end_span ~lane:r ();
+        ignore (Comm.isend comm ~src:r ~dst:p payload)
+      end
     done
   done;
   let recvs = ref [] in
@@ -97,12 +105,15 @@ let exchange_start comm t ~dim data =
    the import slots. *)
 let exchange_finish comm t token data =
   let dim = token.tok_dim in
+  let traced = Obs.tracing () in
   List.iter
     (fun (p, r, req) ->
       let payload = Comm.wait comm req in
+      if traced then Obs.begin_span ~lane:p ~cat:Cat.Halo_unpack "unpack";
       Array.iteri
         (fun k slot -> Array.blit payload (k * dim) data.(p) (slot * dim) dim)
-        t.imports.(p).(r))
+        t.imports.(p).(r);
+      if traced then Obs.end_span ~lane:p ())
     token.tok_recvs
 
 (* Blocking owner -> halo push of [dim] values per element. [data.(rank)] is
@@ -119,11 +130,16 @@ let exchange comm t ~dim data =
 let reduce_start comm t ~dim data =
   if Comm.n_ranks comm <> t.n_ranks then
     invalid_arg "Halo.reduce_start: comm/plan mismatch";
-  (Comm.stats comm).exchanges <- (Comm.stats comm).exchanges + 1;
+  Comm.count_exchange comm;
+  let traced = Obs.tracing () in
   for p = 0 to t.n_ranks - 1 do
     for r = 0 to t.n_ranks - 1 do
-      if r <> p && Array.length t.imports.(p).(r) > 0 then
-        ignore (Comm.isend comm ~src:p ~dst:r (pack data.(p) ~dim t.imports.(p).(r)))
+      if r <> p && Array.length t.imports.(p).(r) > 0 then begin
+        if traced then Obs.begin_span ~lane:p ~cat:Cat.Halo_pack "reduce_pack";
+        let payload = pack data.(p) ~dim t.imports.(p).(r) in
+        if traced then Obs.end_span ~lane:p ();
+        ignore (Comm.isend comm ~src:p ~dst:r payload)
+      end
     done
   done;
   let recvs = ref [] in
@@ -138,16 +154,19 @@ let reduce_start comm t ~dim data =
 (* Wait half: owners add the returned contributions elementwise. *)
 let reduce_finish comm t token data =
   let dim = token.tok_dim in
+  let traced = Obs.tracing () in
   List.iter
     (fun (r, p, req) ->
       let payload = Comm.wait comm req in
+      if traced then Obs.begin_span ~lane:r ~cat:Cat.Halo_unpack "reduce_unpack";
       Array.iteri
         (fun k slot ->
           for d = 0 to dim - 1 do
             data.(r).((slot * dim) + d) <-
               data.(r).((slot * dim) + d) +. payload.((k * dim) + d)
           done)
-        t.exports.(r).(p))
+        t.exports.(r).(p);
+      if traced then Obs.end_span ~lane:r ())
     token.tok_recvs
 
 let reduce comm t ~dim data =

@@ -1,0 +1,268 @@
+(* Unit tests for the observability layer: span-tracer well-formedness and
+   Chrome-trace export, the zero-cost disabled path, and the counter
+   registry's JSON round-trip.
+
+   The tracer takes an injectable clock, so every timing-sensitive case
+   below runs against a deterministic stepping clock (1 us per reading) and
+   checks exact timestamps. *)
+
+module Tracer = Am_obs.Tracer
+module Counters = Am_obs.Counters
+module Obs = Am_obs.Obs
+module Profile = Am_core.Profile
+
+(* A clock that advances one microsecond per reading, starting at 0. *)
+let stepping_clock () =
+  let now = ref 0.0 in
+  fun () ->
+    let v = !now in
+    now := v +. 1e-6;
+    v
+
+(* ---- Span nesting ----------------------------------------------------- *)
+
+(* Spans recorded through begin/end must come back properly nested: on any
+   one lane, two span intervals are either disjoint or one contains the
+   other. *)
+let test_nesting_well_formed () =
+  let t = Tracer.create ~clock:(stepping_clock ()) () in
+  Tracer.set_enabled t true;
+  (* lane 0: outer containing two sequential children; lane 1 interleaved *)
+  Tracer.begin_span t ~cat:Tracer.Loop "outer";
+  Tracer.begin_span t ~cat:Tracer.Plan "child_a";
+  Tracer.begin_span t ~lane:1 ~cat:Tracer.Halo_pack "other_lane";
+  Tracer.end_span t ();
+  Tracer.begin_span t ~cat:Tracer.Reduce "child_b";
+  Tracer.end_span t ~lane:1 ();
+  Tracer.end_span t ();
+  Tracer.end_span t ();
+  let evs = Tracer.events t in
+  Alcotest.(check int) "all spans recorded" 4 (List.length evs);
+  Alcotest.(check int) "no unmatched ends" 0 (Tracer.unmatched t);
+  let spans = List.filter (fun e -> not e.Tracer.ev_instant) evs in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a != b && a.Tracer.ev_lane = b.Tracer.ev_lane then begin
+            let a0 = a.Tracer.ev_ts and a1 = a.Tracer.ev_ts +. a.Tracer.ev_dur in
+            let b0 = b.Tracer.ev_ts and b1 = b.Tracer.ev_ts +. b.Tracer.ev_dur in
+            let disjoint = a1 <= b0 || b1 <= a0 in
+            let a_in_b = b0 <= a0 && a1 <= b1 in
+            let b_in_a = a0 <= b0 && b1 <= a1 in
+            if not (disjoint || a_in_b || b_in_a) then
+              Alcotest.failf "spans %s and %s overlap without nesting"
+                a.Tracer.ev_name b.Tracer.ev_name
+          end)
+        spans)
+    spans;
+  (* events come back sorted by start time *)
+  let rec monotonic = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "ts ascending" true (a.Tracer.ev_ts <= b.Tracer.ev_ts);
+      monotonic rest
+    | _ -> ()
+  in
+  monotonic evs
+
+let test_unmatched_end_counted () =
+  let t = Tracer.create ~clock:(stepping_clock ()) () in
+  Tracer.set_enabled t true;
+  Tracer.end_span t ();
+  Tracer.begin_span t ~cat:Tracer.Loop "a";
+  Tracer.end_span t ();
+  Tracer.end_span t ();
+  Alcotest.(check int) "unmatched ends" 2 (Tracer.unmatched t);
+  Alcotest.(check int) "matched span kept" 1 (List.length (Tracer.events t))
+
+let test_ring_wraparound () =
+  let t = Tracer.create ~capacity:16 ~clock:(stepping_clock ()) () in
+  Tracer.set_enabled t true;
+  for i = 1 to 20 do
+    Tracer.instant t ~cat:Tracer.Loop (Printf.sprintf "i%d" i)
+  done;
+  Alcotest.(check int) "recorded counts everything" 20 (Tracer.recorded t);
+  Alcotest.(check int) "dropped = overflow" 4 (Tracer.dropped t);
+  let evs = Tracer.events t in
+  Alcotest.(check int) "capacity retained" 16 (List.length evs);
+  (* the oldest four were overwritten: the survivors start at i5 *)
+  Alcotest.(check string) "oldest survivor" "i5" (List.hd evs).Tracer.ev_name
+
+let test_with_span_closes_on_raise () =
+  let t = Tracer.create ~clock:(stepping_clock ()) () in
+  Tracer.set_enabled t true;
+  (try Tracer.with_span t ~cat:Tracer.Loop "body" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1
+    (List.length (Tracer.events t));
+  Tracer.end_span t ();
+  Alcotest.(check int) "stack empty after raise" 1 (Tracer.unmatched t)
+
+(* ---- Chrome export ---------------------------------------------------- *)
+
+(* Exact golden output under the stepping clock: schema fields, "X" vs "i"
+   phases, microsecond timestamps, per-lane tids, args object. *)
+let test_chrome_json_golden () =
+  let t = Tracer.create ~clock:(stepping_clock ()) () in
+  Tracer.set_enabled t true;
+  Tracer.begin_span t ~cat:Tracer.Loop "outer";
+  Tracer.begin_span t ~cat:Tracer.Plan ~args:[ ("bytes", 64.0) ] "inner";
+  Tracer.end_span t ();
+  Tracer.instant t ~lane:1 ~cat:Tracer.Halo_post "isend";
+  Tracer.end_span t ();
+  let expected =
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+    ^ "{\"name\":\"outer\",\"cat\":\"loop\",\"ph\":\"X\",\"ts\":1.000,\"dur\":4.000,\"pid\":0,\"tid\":0},\n"
+    ^ "{\"name\":\"inner\",\"cat\":\"plan\",\"ph\":\"X\",\"ts\":2.000,\"dur\":1.000,\"pid\":0,\"tid\":0,\"args\":{\"bytes\":64.000}},\n"
+    ^ "{\"name\":\"isend\",\"cat\":\"halo_post\",\"ph\":\"i\",\"ts\":4.000,\"dur\":0.000,\"pid\":0,\"tid\":1,\"s\":\"t\"}\n"
+    ^ "]}\n"
+  in
+  Alcotest.(check string) "chrome trace golden" expected (Tracer.to_chrome_json t)
+
+let test_chrome_json_escaping () =
+  let t = Tracer.create ~clock:(stepping_clock ()) () in
+  Tracer.set_enabled t true;
+  Tracer.instant t ~cat:Tracer.Loop "quote\"back\\slash\nnewline";
+  let json = Tracer.to_chrome_json t in
+  Alcotest.(check bool) "escaped" true
+    (Str_contains.contains json "quote\\\"back\\\\slash\\nnewline")
+
+(* ---- Disabled path ---------------------------------------------------- *)
+
+(* With the tracer disabled, span entry points must allocate nothing: the
+   instrumentation is compiled into every hot loop permanently. *)
+let test_disabled_no_allocation () =
+  let t = Tracer.create () in
+  Alcotest.(check bool) "starts disabled" false (Tracer.enabled t);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Tracer.begin_span t ~cat:Tracer.Loop "hot";
+    Tracer.instant t ~cat:Tracer.Halo_post "isend";
+    Tracer.end_span t ()
+  done;
+  let w1 = Gc.minor_words () in
+  (* slack covers the boxed floats of the two Gc.minor_words calls *)
+  Alcotest.(check bool) "no per-call allocation" true (w1 -. w0 < 64.0);
+  Alcotest.(check int) "nothing recorded" 0 (Tracer.recorded t)
+
+(* ---- Counter registry ------------------------------------------------- *)
+
+let test_counters_basic () =
+  let reg = Counters.create () in
+  let c = Counters.counter reg ~unit_:"bytes" "comm.bytes" in
+  let g = Counters.gauge reg "halo.seconds" in
+  Counters.add c 100;
+  Counters.incr c;
+  Counters.addf g 0.5;
+  Counters.addf g 0.25;
+  Alcotest.(check int) "counter value" 101 (Counters.value c);
+  Alcotest.(check (float 1e-12)) "gauge value" 0.75 (Counters.valuef g);
+  (* re-registering the same name returns the same cell *)
+  let c' = Counters.counter reg "comm.bytes" in
+  Counters.incr c';
+  Alcotest.(check int) "same cell" 102 (Counters.value c);
+  Counters.reset reg;
+  Alcotest.(check int) "reset zeroes" 0 (Counters.value c);
+  Alcotest.check_raises "counter/gauge kind clash"
+    (Invalid_argument "Counters: comm.bytes already registered as a counter")
+    (fun () -> ignore (Counters.gauge reg "comm.bytes"))
+
+let test_counters_json_round_trip () =
+  let reg = Counters.create () in
+  let a = Counters.counter reg "zz.last" in
+  let b = Counters.counter reg "aa.first" in
+  let g = Counters.gauge reg "mid.gauge" in
+  let gi = Counters.gauge reg "mid.integral" in
+  Counters.add a 12345678;
+  Counters.add b 0;
+  Counters.set g 1.5;
+  Counters.set gi 3.0;
+  let parsed = Counters.parse_json (Counters.to_json reg) in
+  Alcotest.(check bool) "round trip equals snapshot" true
+    (parsed = Counters.snapshot reg);
+  (* sorted by name, integral floats keep a decimal point *)
+  Alcotest.(check string) "first key" "aa.first" (fst (List.hd parsed));
+  Alcotest.(check bool) "integral gauge stays float" true
+    (List.assoc "mid.integral" parsed = Counters.Float 3.0)
+
+let test_counters_json_malformed () =
+  Alcotest.(check bool) "malformed rejected" true
+    (try
+       ignore (Counters.parse_json "{\"a\": }");
+       false
+     with Failure _ -> true)
+
+(* ---- Profile-on-registry regression ----------------------------------- *)
+
+(* A loop that only ever records halo time (no bytes, no compute seconds)
+   must render "-" for bandwidth, not inf or nan. *)
+let test_report_halo_only_dash () =
+  let p = Profile.create () in
+  Profile.record_halo p ~name:"halo_only" ~seconds:0.01 ();
+  let report = Profile.report p in
+  Alcotest.(check bool) "no inf" false (Str_contains.contains report "inf");
+  Alcotest.(check bool) "no nan" false (Str_contains.contains report "nan");
+  Alcotest.(check bool) "dash rendered" true (Str_contains.contains report "-")
+
+let test_obs_report_smoke () =
+  Obs.reset ();
+  Counters.add Obs.plan_hits 9;
+  Counters.add Obs.plan_misses 1;
+  let loops =
+    [
+      {
+        Obs.lr_name = "flux";
+        lr_calls = 10;
+        lr_seconds = 0.1;
+        lr_bytes = 100_000_000;
+        lr_halo_seconds = 0.01;
+        lr_overlap_seconds = 0.002;
+      };
+      {
+        Obs.lr_name = "halo_only";
+        lr_calls = 0;
+        lr_seconds = 0.0;
+        lr_bytes = 0;
+        lr_halo_seconds = 0.01;
+        lr_overlap_seconds = 0.0;
+      };
+    ]
+  in
+  let report = Obs.report ~roofline_gbs:100.0 ~loops () in
+  Alcotest.(check bool) "loop named" true (Str_contains.contains report "flux");
+  Alcotest.(check bool) "hit rate shown" true
+    (Str_contains.contains report "90.0%");
+  Alcotest.(check bool) "no inf in report" false (Str_contains.contains report "inf");
+  Obs.reset ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "nesting well-formed" `Quick test_nesting_well_formed;
+          Alcotest.test_case "unmatched ends counted" `Quick test_unmatched_end_counted;
+          Alcotest.test_case "ring wrap-around" `Quick test_ring_wraparound;
+          Alcotest.test_case "with_span closes on raise" `Quick
+            test_with_span_closes_on_raise;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "golden export" `Quick test_chrome_json_golden;
+          Alcotest.test_case "name escaping" `Quick test_chrome_json_escaping;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "zero allocation" `Quick test_disabled_no_allocation ] );
+      ( "counters",
+        [
+          Alcotest.test_case "basic ops" `Quick test_counters_basic;
+          Alcotest.test_case "json round trip" `Quick test_counters_json_round_trip;
+          Alcotest.test_case "malformed json" `Quick test_counters_json_malformed;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "halo-only loop renders dash" `Quick
+            test_report_halo_only_dash;
+          Alcotest.test_case "obs report smoke" `Quick test_obs_report_smoke;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* End-to-end wiring of the observability layer: real proxy applications
+   run with tracing on, and the global tracer/counter state is checked for
+   the span categories and cache statistics the runtimes are supposed to
+   emit.
+
+   These tests touch process-global state (the Obs singletons), so every
+   case starts with [Obs.reset] and the suite runs sequentially within this
+   executable. *)
+
+module Op2 = Am_op2.Op2
+module Ops = Am_ops.Ops
+module Access = Am_core.Access
+module Umesh = Am_mesh.Umesh
+module Obs = Am_obs.Obs
+module Tracer = Am_obs.Tracer
+module Counters = Am_obs.Counters
+module Airfoil = Am_airfoil.App
+module Clover = Am_cloverleaf.App
+
+let cats () =
+  List.sort_uniq compare
+    (List.map (fun e -> Tracer.category_to_string e.Tracer.ev_cat)
+       (Tracer.events Obs.tracer))
+
+let has_cat c = List.mem c (cats ())
+
+let counter name =
+  match Counters.find Obs.counters name with
+  | Some (Counters.Int v) -> v
+  | Some (Counters.Float v) -> int_of_float v
+  | None -> 0
+
+let with_tracing f =
+  Obs.reset ();
+  Obs.set_tracing true;
+  Fun.protect ~finally:(fun () -> Obs.reset ()) f
+
+(* ---- Airfoil (OP2) ---------------------------------------------------- *)
+
+let airfoil_mesh () = Umesh.generate_airfoil ~nx:24 ~ny:16 ()
+
+let test_airfoil_seq () =
+  with_tracing (fun () ->
+      let t = Airfoil.create (airfoil_mesh ()) in
+      ignore (Airfoil.iteration t);
+      ignore (Airfoil.iteration t);
+      Alcotest.(check bool) "loop spans" true (has_cat "loop");
+      Alcotest.(check bool) "plan spans" true (has_cat "plan");
+      Alcotest.(check bool) "no halo spans on seq" false (has_cat "halo_post");
+      (* five distinct loops compile once each; every other call hits *)
+      Alcotest.(check int) "plan misses = distinct loops" 5
+        (counter "plan_cache.misses");
+      Alcotest.(check int) "plan hits = calls - misses"
+        (counter "loop.calls" - 5)
+        (counter "plan_cache.hits");
+      Alcotest.(check int) "tracer saw every call" (counter "loop.calls")
+        (List.length
+           (List.filter
+              (fun e ->
+                e.Tracer.ev_cat = Tracer.Loop && e.Tracer.ev_lane = 0
+                && not e.Tracer.ev_instant)
+              (Tracer.events Obs.tracer))))
+
+let test_airfoil_shared () =
+  with_tracing (fun () ->
+      let pool = Am_taskpool.Pool.create () in
+      let t = Airfoil.create (airfoil_mesh ()) in
+      Op2.set_backend t.Airfoil.ctx (Op2.Shared { pool; block_size = 64 });
+      ignore (Airfoil.iteration t);
+      Am_taskpool.Pool.shutdown pool;
+      Alcotest.(check bool) "loop spans" true (has_cat "loop");
+      Alcotest.(check bool) "colour rounds traced" true (has_cat "colour_round");
+      Alcotest.(check bool) "worker merges traced" true (has_cat "reduce"))
+
+let test_airfoil_dist () =
+  with_tracing (fun () ->
+      let t = Airfoil.create (airfoil_mesh ()) in
+      Op2.partition t.Airfoil.ctx ~n_ranks:4
+        ~strategy:(Op2.Kway_through t.Airfoil.edge_cells);
+      Op2.set_comm_mode t.Airfoil.ctx Op2.Overlap;
+      ignore (Airfoil.iteration t);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) (c ^ " spans present") true (has_cat c))
+        [ "loop"; "plan"; "halo_pack"; "halo_post"; "halo_wait"; "halo_unpack" ];
+      (* message sends must be posted before anything waits on them *)
+      let first cat =
+        List.find_opt (fun e -> e.Tracer.ev_cat = cat) (Tracer.events Obs.tracer)
+      in
+      (match (first Tracer.Halo_post, first Tracer.Halo_wait) with
+      | Some post, Some wait ->
+        Alcotest.(check bool) "first post before first wait" true
+          (post.Tracer.ev_ts <= wait.Tracer.ev_ts)
+      | _ -> Alcotest.fail "expected halo_post and halo_wait events");
+      (* per-rank lanes: spans on tids other than 0 *)
+      let lanes =
+        List.sort_uniq compare
+          (List.map (fun e -> e.Tracer.ev_lane) (Tracer.events Obs.tracer))
+      in
+      Alcotest.(check bool) "multiple rank lanes" true (List.length lanes > 1);
+      Alcotest.(check bool) "messages counted" true (counter "comm.messages" > 0);
+      Alcotest.(check bool) "bytes counted" true (counter "comm.bytes_sent" > 0);
+      Alcotest.(check bool) "exchanges counted" true (counter "comm.exchanges" > 0);
+      Alcotest.(check bool) "core elements counted" true
+        (counter "dist.core_elements" > 0);
+      Alcotest.(check bool) "boundary elements counted" true
+        (counter "dist.boundary_elements" > 0))
+
+(* A repeated handle loop resolves its plan once: hits = calls - 1. *)
+let test_handle_hits () =
+  with_tracing (fun () ->
+      let ctx = Op2.create () in
+      let n = 64 in
+      let s = Op2.decl_set ctx ~name:"cells" ~size:n in
+      let d =
+        Op2.decl_dat ctx ~name:"x" ~set:s ~dim:1 ~data:(Array.make n 1.0)
+      in
+      let handle = Op2.make_handle () in
+      let calls = 20 in
+      for _ = 1 to calls do
+        Op2.par_loop ctx ~name:"scale" ~handle s
+          [ Op2.arg_dat d Access.Rw ]
+          (fun args -> args.(0).(0) <- args.(0).(0) *. 1.000001)
+      done;
+      Alcotest.(check int) "plan hits = calls - 1" (calls - 1)
+        (counter "plan_cache.hits");
+      Alcotest.(check int) "one plan miss" 1 (counter "plan_cache.misses"))
+
+(* ---- CloverLeaf (OPS) ------------------------------------------------- *)
+
+let test_clover_seq () =
+  with_tracing (fun () ->
+      let t = Clover.create ~nx:24 ~ny:24 () in
+      ignore (Clover.hydro_step t);
+      Alcotest.(check bool) "loop spans" true (has_cat "loop");
+      Alcotest.(check bool) "compile spans" true (has_cat "plan");
+      Alcotest.(check bool) "exec cache hit"
+        true
+        (counter "exec_cache.hits" > 0))
+
+let test_clover_dist () =
+  with_tracing (fun () ->
+      let t = Clover.create ~nx:32 ~ny:32 () in
+      Ops.partition t.Clover.ctx ~n_ranks:4 ~ref_ysize:32;
+      Ops.set_comm_mode t.Clover.ctx Ops.Overlap;
+      ignore (Clover.hydro_step t);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) (c ^ " spans present") true (has_cat c))
+        [ "loop"; "halo_pack"; "halo_post"; "halo_wait"; "halo_unpack" ];
+      Alcotest.(check bool) "ghost exchanges counted" true
+        (counter "comm.exchanges" > 0);
+      Alcotest.(check bool) "core elements counted" true
+        (counter "dist.core_elements" > 0);
+      (* the trace is loadable: every event has a well-formed cat string *)
+      let json = Am_obs.Tracer.to_chrome_json Obs.tracer in
+      Alcotest.(check bool) "export non-trivial" true
+        (String.length json > 1000))
+
+(* Disabled runs leave no trace behind. *)
+let test_disabled_records_nothing () =
+  Obs.reset ();
+  let t = Airfoil.create (airfoil_mesh ()) in
+  ignore (Airfoil.iteration t);
+  Alcotest.(check int) "no events" 0 (Tracer.recorded Obs.tracer);
+  Alcotest.(check bool) "counters still live" true (counter "loop.calls" > 0);
+  Obs.reset ()
+
+let () =
+  Alcotest.run "obs_wiring"
+    [
+      ( "op2",
+        [
+          Alcotest.test_case "airfoil seq traced" `Quick test_airfoil_seq;
+          Alcotest.test_case "airfoil shared traced" `Quick test_airfoil_shared;
+          Alcotest.test_case "airfoil dist traced" `Quick test_airfoil_dist;
+          Alcotest.test_case "handle plan-cache hits" `Quick test_handle_hits;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "cloverleaf seq traced" `Quick test_clover_seq;
+          Alcotest.test_case "cloverleaf dist traced" `Quick test_clover_dist;
+        ] );
+      ( "disabled",
+        [
+          Alcotest.test_case "records nothing" `Quick
+            test_disabled_records_nothing;
+        ] );
+    ]
