@@ -170,11 +170,31 @@ let print_halo halo =
   Am_util.Table.print table;
   print_newline ()
 
+(* Sanitizer overhead: the same Airfoil iteration on the reference backend
+   and on the access-guarded Check backend, wall-clock per iteration. *)
+let sanitizer_overhead () =
+  let time app iters =
+    ignore (Am_airfoil.App.iteration app);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Am_airfoil.App.iteration app)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters
+  in
+  let mesh = Am_mesh.Umesh.generate_airfoil ~nx:48 ~ny:32 () in
+  let seq = Am_airfoil.App.create mesh in
+  let check = Am_airfoil.App.create mesh in
+  Am_op2.Op2.set_backend check.Am_airfoil.App.ctx Am_op2.Op2.Check;
+  let iters = 10 in
+  let seq_s = time seq iters in
+  let check_s = time check iters in
+  (seq_s, check_s, check_s /. seq_s)
+
 (* Machine-readable dump of the micro estimates: benchmark name to OLS
    nanoseconds per run, plus the exposed/overlapped halo-seconds split of
    the distributed proxies.  Hand-rolled JSON — names contain only
    [a-z0-9_/]. *)
-let write_json path estimates halo =
+let write_json path estimates halo sanitizer =
   let oc = open_out path in
   output_string oc "{\n  \"unit\": \"ns_per_run\",\n  \"results\": {\n";
   let n = List.length estimates in
@@ -204,7 +224,13 @@ let write_json path estimates halo =
   in
   let plan_hits = c "plan_cache.hits" and plan_misses = c "plan_cache.misses" in
   let exec_hits = c "exec_cache.hits" and exec_misses = c "exec_cache.misses" in
-  output_string oc "  },\n  \"obs\": {\n";
+  let seq_s, check_s, overhead = sanitizer in
+  output_string oc "  },\n";
+  Printf.fprintf oc
+    "  \"sanitizer\": { \"airfoil_seq_seconds\": %.9f, \
+     \"airfoil_check_seconds\": %.9f, \"overhead_x\": %.3f },\n"
+    seq_s check_s overhead;
+  output_string oc "  \"obs\": {\n";
   Printf.fprintf oc
     "    \"plan_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f },\n"
     plan_hits plan_misses (rate plan_hits plan_misses);
@@ -257,12 +283,18 @@ let run_micro ?json () =
   let halo = halo_accounting () in
   Am_obs.Obs.set_tracing false;
   print_halo halo;
+  let ((seq_s, check_s, overhead) as sanitizer) = sanitizer_overhead () in
+  Printf.printf
+    "sanitizer overhead (airfoil iteration): seq %s, check %s (%.1fx)\n\n%!"
+    (Am_util.Units.seconds seq_s)
+    (Am_util.Units.seconds check_s)
+    overhead;
   match json with
   | None -> ()
   | Some path ->
     write_json path
       (List.sort (fun (a, _) (b, _) -> compare a b) !estimates)
-      halo;
+      halo sanitizer;
     let stem = Filename.remove_extension path in
     let trace_path = stem ^ ".trace.json" in
     let counters_path = stem ^ ".counters.json" in

@@ -11,14 +11,18 @@ module Op2 = Am_op2.Op2
 module App = Am_aero.App
 module Umesh = Am_mesh.Umesh
 
-let run n iters backend ranks renumber verify trace obs_json =
+let run n iters backend ranks renumber verify check trace obs_json =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let mesh = App.generate_mesh ~n in
   Printf.printf "aero: %dx%d cells, %d nodes\n%!" n n mesh.Umesh.n_nodes;
   let pool = ref None in
   let t = App.create mesh in
-  (match backend with
+  if check then begin
+    Op2.set_backend t.App.ctx Op2.Check;
+    Am_core.Trace.set_enabled (Op2.trace t.App.ctx) true
+  end
+  else (match backend with
   | "seq" -> ()
   | "shared" ->
     let p = Am_taskpool.Pool.create () in
@@ -53,6 +57,7 @@ let run n iters backend ranks renumber verify trace obs_json =
       (Am_util.Units.bytes s.Am_simmpi.Comm.bytes)
       s.Am_simmpi.Comm.exchanges s.Am_simmpi.Comm.reductions
   | None -> ());
+  if check then Check_common.report (Am_analysis.Analysis.check_op2 t.App.ctx);
   if verify && not renumber then begin
     let h = Am_aero.Hand.create mesh in
     ignore (Am_aero.Hand.run h ~iters);
@@ -108,7 +113,7 @@ let cmd =
   Cmd.v
     (Cmd.info "aero" ~doc:"2D FEM + matrix-free CG proxy application (OP2)")
     Term.(
-      const run $ n $ iters $ backend $ ranks $ renumber $ verify $ trace_arg
-      $ obs_json_arg)
+      const run $ n $ iters $ backend $ ranks $ renumber $ verify
+      $ Check_common.arg $ trace_arg $ obs_json_arg)
 
 let () = exit (Cmd.eval cmd)

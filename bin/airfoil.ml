@@ -10,8 +10,8 @@ module Op2 = Am_op2.Op2
 module App = Am_airfoil.App
 module Umesh = Am_mesh.Umesh
 
-let run nx ny iters backend ranks overlap renumber verify save_to mesh_file trace
-    obs_json =
+let run nx ny iters backend ranks overlap renumber verify check save_to mesh_file
+    trace obs_json =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   (* Meshes load from snapshot files (the HDF5-style input path) or are
@@ -34,7 +34,11 @@ let run nx ny iters backend ranks overlap renumber verify save_to mesh_file trac
     mesh.Umesh.n_edges mesh.Umesh.n_nodes;
   let pool = ref None in
   let t = App.create mesh in
-  (match backend with
+  if check then begin
+    Op2.set_backend t.App.ctx Op2.Check;
+    Am_core.Trace.set_enabled (Op2.trace t.App.ctx) true
+  end
+  else (match backend with
   | "seq" -> ()
   | "shared" ->
     let p = Am_taskpool.Pool.create () in
@@ -76,6 +80,7 @@ let run nx ny iters backend ranks overlap renumber verify save_to mesh_file trac
       (Am_util.Units.bytes s.Am_simmpi.Comm.bytes)
       s.Am_simmpi.Comm.exchanges
   | None -> ());
+  if check then Check_common.report (Am_analysis.Analysis.check_op2 t.App.ctx);
   if verify && not renumber then begin
     let h = Am_airfoil.Hand.create mesh in
     ignore (Am_airfoil.Hand.run h ~iters);
@@ -161,6 +166,6 @@ let cmd =
     (Cmd.info "airfoil" ~doc:"Non-linear 2D inviscid Euler proxy application (OP2)")
     Term.(
       const run $ nx $ ny $ iters $ backend $ ranks $ overlap $ renumber $ verify
-      $ save_to $ mesh_file $ trace_arg $ obs_json_arg)
+      $ Check_common.arg $ save_to $ mesh_file $ trace_arg $ obs_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,30 @@
+(* Shared --check plumbing for the proxy-application drivers: the flag
+   itself, and the end-of-run reporting / exit-code policy.
+
+   Under --check a driver (a) forces the sanitizer backend, which keeps
+   sequential semantics but stages every kernel argument through
+   canary-padded, access-guarded buffers, (b) records the loop sequence,
+   and (c) runs the static analysis layers (descriptor lints + cross-loop
+   dataflow) over the recorded cycle once the run finishes.  Any
+   error-severity finding turns into exit code 1; a sanitizer violation
+   aborts the run at the offending element. *)
+
+let arg =
+  let open Cmdliner in
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Correctness-checking mode: execute on the sanitizer backend \
+           (canary-padded, access-guarded staging buffers; overrides \
+           $(b,--backend)), record the loop sequence, and run the access \
+           descriptor and dataflow analyses over it after the run. Exits 1 \
+           on any error-severity finding.")
+
+let report r =
+  print_newline ();
+  print_string (Am_analysis.Analysis.report r);
+  if Am_analysis.Analysis.errors r > 0 then begin
+    prerr_endline "check: error-severity findings; failing the run";
+    exit 1
+  end

@@ -9,8 +9,8 @@
 module Ops = Am_ops.Ops
 module App = Am_cloverleaf.App
 
-let run nx ny steps backend ranks overlap summary_every verify van_leer trace
-    obs_json =
+let run nx ny steps backend ranks overlap summary_every verify van_leer check
+    trace obs_json =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let advection =
@@ -19,7 +19,12 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer trace
   Printf.printf "cloverleaf: %dx%d cells, %d steps, backend %s\n%!" nx ny steps backend;
   let pool = ref None in
   let t =
-    match backend with
+    match (if check then "check" else backend) with
+    | "check" ->
+      let t = App.create ~advection ~nx ~ny () in
+      Ops.set_backend t.App.ctx Ops.Check;
+      Am_core.Trace.set_enabled (Ops.trace t.App.ctx) true;
+      t
     | "seq" -> App.create ~advection ~nx ~ny ()
     | "shared" ->
       let p = Am_taskpool.Pool.create () in
@@ -74,6 +79,7 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer trace
       (Am_util.Units.bytes s.Am_simmpi.Comm.bytes)
       s.Am_simmpi.Comm.exchanges
   | None -> ());
+  if check then Check_common.report (Am_analysis.Analysis.check_ops t.App.ctx);
   if verify then begin
     let h = Am_cloverleaf.Hand.create ~advection ~nx ~ny () in
     ignore (Am_cloverleaf.Hand.run h ~steps);
@@ -141,6 +147,6 @@ let cmd =
     (Cmd.info "cloverleaf" ~doc:"CloverLeaf 2D hydrodynamics proxy application (OPS)")
     Term.(
       const run $ nx $ ny $ steps $ backend $ ranks $ overlap $ summary_every
-      $ verify $ van_leer $ trace_arg $ obs_json_arg)
+      $ verify $ van_leer $ Check_common.arg $ trace_arg $ obs_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -5,12 +5,17 @@
 module App = Am_cloverleaf3.App
 module Ops3 = Am_ops.Ops3
 
-let run n steps backend ranks trace obs_json =
+let run n steps backend ranks check trace obs_json =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let pool = ref None in
   let t =
-    match backend with
+    match (if check then "check" else backend) with
+    | "check" ->
+      let t = App.create ~n () in
+      Ops3.set_backend t.App.ctx Ops3.Check;
+      Am_core.Trace.set_enabled (Ops3.trace t.App.ctx) true;
+      t
     | "seq" -> App.create ~n ()
     | "shared" ->
       let p = Am_taskpool.Pool.create () in
@@ -47,6 +52,7 @@ let run n steps backend ranks trace obs_json =
   done;
   Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
   print_string (Am_core.Profile.report (Ops3.profile t.App.ctx));
+  if check then Check_common.report (Am_analysis.Analysis.check_ops3 t.App.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
     ~loops:(Am_core.Profile.obs_rows (Ops3.profile t.App.ctx))
@@ -81,6 +87,8 @@ let obs_json_arg =
 let cmd =
   Cmd.v
     (Cmd.info "cloverleaf3" ~doc:"CloverLeaf 3D hydrodynamics proxy application (Ops3)")
-    Term.(const run $ n $ steps $ backend $ ranks $ trace_arg $ obs_json_arg)
+    Term.(
+      const run $ n $ steps $ backend $ ranks $ Check_common.arg $ trace_arg
+      $ obs_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -35,10 +35,30 @@ let target_of_string = function
       (Printf.sprintf
          "unknown target %s (seq|openmp|vec|mpi|cuda-nosoa|cuda-soa|cuda-staged)" other)
 
-let run app target out fig7 =
+let run app target out fig7 lint =
   if fig7 then print_endline (Codegen.fig7 ())
   else begin
     let loops, consts = trace_app app in
+    (* Lint before generating: refuse to emit code for descriptors the
+       analysis can prove wrong (no map tables here, so map-dependent
+       checks degrade to notes). *)
+    let r =
+      (* cloverleaf is the OPS app: its loops iterate sub-ranges, so Direct
+         writes do not provably cover their datasets *)
+      Am_analysis.Analysis.analyze ~direct_covers:(app <> "cloverleaf") loops
+    in
+    if lint then begin
+      print_string (Am_analysis.Analysis.report r);
+      if Am_analysis.Analysis.errors r > 0 then exit 1
+    end
+    else if Am_analysis.Analysis.errors r > 0 then begin
+      print_string (Am_analysis.Analysis.report ~show_info:false r);
+      prerr_endline
+        "codegen: error-severity findings in the loop descriptors; refusing \
+         to generate";
+      exit 1
+    end
+    else begin
     let target = target_of_string target in
     (* OPS applications generate through the structured emitter. *)
     let generate =
@@ -61,6 +81,7 @@ let run app target out fig7 =
           close_out oc;
           Printf.printf "wrote %s\n" path)
         loops
+    end
   end
 
 open Cmdliner
@@ -75,9 +96,19 @@ let out =
 
 let fig7 = Arg.(value & flag & info [ "fig7" ] ~doc:"Print the paper's Fig 7 listing.")
 
+let lint =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Only run the access-descriptor and dataflow analyses over the \
+           application's loops and print the findings; exits 1 on any \
+           error-severity finding. (Generation always lints first and \
+           refuses to emit code on errors.)")
+
 let cmd =
   Cmd.v
     (Cmd.info "codegen_tool" ~doc:"OP2/OPS source-to-source translator")
-    Term.(const run $ app_arg $ target $ out $ fig7)
+    Term.(const run $ app_arg $ target $ out $ fig7 $ lint)
 
 let () = exit (Cmd.eval cmd)

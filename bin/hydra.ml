@@ -5,13 +5,18 @@
 module Op2 = Am_op2.Op2
 module App = Am_hydra.App
 
-let run nx ny iters backend ranks renumber no_multigrid trace obs_json =
+let run nx ny iters backend ranks renumber no_multigrid check trace obs_json =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let features = { App.all_features with App.multigrid = not no_multigrid } in
   let pool = ref None in
   let t =
-    match backend with
+    match (if check then "check" else backend) with
+    | "check" ->
+      let t = App.create ~features ~nx ~ny () in
+      Op2.set_backend t.App.ctx Op2.Check;
+      Am_core.Trace.set_enabled (Op2.trace t.App.ctx) true;
+      t
     | "seq" -> App.create ~features ~nx ~ny ()
     | "shared" ->
       let p = Am_taskpool.Pool.create () in
@@ -41,6 +46,7 @@ let run nx ny iters backend ranks renumber no_multigrid trace obs_json =
   done;
   Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
   print_string (Am_core.Profile.report (Op2.profile t.App.ctx));
+  if check then Check_common.report (Am_analysis.Analysis.check_op2 t.App.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
     ~loops:(Am_core.Profile.obs_rows (Op2.profile t.App.ctx))
@@ -85,6 +91,6 @@ let cmd =
     (Cmd.info "hydra" ~doc:"Production-scale synthetic RANS pipeline (OP2)")
     Term.(
       const run $ nx $ ny $ iters $ backend $ ranks $ renumber $ no_multigrid
-      $ trace_arg $ obs_json_arg)
+      $ Check_common.arg $ trace_arg $ obs_json_arg)
 
 let () = exit (Cmd.eval cmd)

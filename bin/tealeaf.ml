@@ -5,12 +5,17 @@
 module Tea = Am_tealeaf.App
 module Ops3 = Am_ops.Ops3
 
-let run n steps dt backend ranks trace obs_json =
+let run n steps dt backend ranks check trace obs_json =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let pool = ref None in
   let t =
-    match backend with
+    match (if check then "check" else backend) with
+    | "check" ->
+      let t = Tea.create ~n ~dt () in
+      Ops3.set_backend t.Tea.ctx Ops3.Check;
+      Am_core.Trace.set_enabled (Ops3.trace t.Tea.ctx) true;
+      t
     | "seq" -> Tea.create ~n ~dt ()
     | "shared" ->
       let p = Am_taskpool.Pool.create () in
@@ -41,6 +46,7 @@ let run n steps dt backend ranks trace obs_json =
     (Am_util.Units.seconds (Unix.gettimeofday () -. t0))
     t.Tea.cg_iterations;
   print_string (Am_core.Profile.report (Ops3.profile t.Tea.ctx));
+  if check then Check_common.report (Am_analysis.Analysis.check_ops3 t.Tea.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
     ~loops:(Am_core.Profile.obs_rows (Ops3.profile t.Tea.ctx))
@@ -76,6 +82,8 @@ let obs_json_arg =
 let cmd =
   Cmd.v
     (Cmd.info "tealeaf" ~doc:"Implicit 3D heat conduction proxy app (Ops3 + CG)")
-    Term.(const run $ n $ steps $ dt $ backend $ ranks $ trace_arg $ obs_json_arg)
+    Term.(
+      const run $ n $ steps $ dt $ backend $ ranks $ Check_common.arg $ trace_arg
+      $ obs_json_arg)
 
 let () = exit (Cmd.eval cmd)

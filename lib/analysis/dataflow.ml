@@ -1,0 +1,282 @@
+(* Layer 3: cross-loop dataflow over a recorded loop sequence.
+
+   The trace is one iteration (or a few) of a solver that will run for
+   thousands of cycles, so the sequence is analysed *cyclically*: the loop
+   after the last is the first again.  Three families of facts fall out:
+
+   - def-use shape: datasets read before any recorded write (usually
+     initial/input data — reported as Info so clean apps stay clean),
+     datasets written but never observed by any loop (often output data
+     fetched by the driver), and values that are overwritten before anyone
+     reads them (a dead write: wasted bandwidth or a missing read);
+
+   - a machine-checked halo-exchange schedule for structured traces: a
+     dirty-bit simulation over the declared stencils and access modes that
+     replays the on-demand policy of the distributed backends and proves
+     every ghost-reaching read is preceded by an exchange, while counting
+     how many exchanges an eager policy would add redundantly;
+
+   - stencil extent versus ghost depth, when the caller supplies the
+     configured depth: a stencil whose Chebyshev radius exceeds the ghost
+     shell reads unexchanged memory on every partitioned backend. *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+
+let reads_value (a : Descr.arg) =
+  match a.Descr.access with Access.Read | Access.Rw -> true | _ -> false
+
+let writes_value (a : Descr.arg) = Access.writes a.Descr.access
+
+let is_global (a : Descr.arg) = a.Descr.kind = Descr.Global
+
+(* A pure Write that covers (at least) the elements a previous write
+   produced: Direct args rewrite the iteration set itself; a centre-only
+   stencil rewrites the iteration range. Indirect writes and wider stencils
+   cover an unknown subset, so they never count as kills. *)
+let is_kill (a : Descr.arg) =
+  a.Descr.access = Access.Write
+  &&
+  match a.Descr.kind with
+  | Descr.Direct | Descr.Stencil { extent = 0; _ } -> true
+  | Descr.Indirect _ | Descr.Stencil _ | Descr.Global -> false
+
+(* ------------------------------------------------------------------ *)
+(* Def-use shape                                                       *)
+
+(* [direct_covers]: whether a Direct write provably covers its dataset.
+   True for OP2, where par_loop always iterates the full set; false for
+   OPS, where loops iterate sub-ranges the descriptor does not record (two
+   equal-sized boundary loops may write disjoint strips), so an apparent
+   dead overwrite is only a possibility. *)
+let check_defuse ~direct_covers (loops : Descr.loop list) =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (* read before any recorded write *)
+  let written = Hashtbl.create 16 and reported = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Descr.loop) ->
+      List.iter
+        (fun (a : Descr.arg) ->
+          if
+            (not (is_global a))
+            && reads_value a
+            && (not (Hashtbl.mem written a.Descr.dat_name))
+            && not (Hashtbl.mem reported a.Descr.dat_name)
+          then begin
+            Hashtbl.add reported a.Descr.dat_name ();
+            add
+              (Finding.make ~layer:Finding.Dataflow ~severity:Finding.Info
+                 ~loop:l.Descr.loop_name ~subject:a.Descr.dat_name
+                 "read before any recorded write — initial or input data \
+                  (must be populated before the loop sequence runs)")
+          end)
+        l.Descr.args;
+      List.iter
+        (fun (a : Descr.arg) ->
+          if (not (is_global a)) && writes_value a then
+            Hashtbl.replace written a.Descr.dat_name ())
+        l.Descr.args)
+    loops;
+  (* written but never observed by any loop *)
+  let observed = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Descr.loop) ->
+      List.iter
+        (fun (a : Descr.arg) ->
+          if (not (is_global a)) && reads_value a then
+            Hashtbl.replace observed a.Descr.dat_name ())
+        l.Descr.args)
+    loops;
+  let dead_reported = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Descr.loop) ->
+      List.iter
+        (fun (a : Descr.arg) ->
+          if
+            (not (is_global a))
+            && writes_value a
+            && (not (Hashtbl.mem observed a.Descr.dat_name))
+            && not (Hashtbl.mem dead_reported a.Descr.dat_name)
+          then begin
+            Hashtbl.add dead_reported a.Descr.dat_name ();
+            add
+              (Finding.make ~layer:Finding.Dataflow ~severity:Finding.Info
+                 ~loop:l.Descr.loop_name ~subject:a.Descr.dat_name
+                 "written but never read by any recorded loop — output data, \
+                  or a write that could be elided")
+          end)
+        l.Descr.args)
+    loops;
+  (* dead write: a kill whose value is killed again (cyclically) before any
+     loop observes it. Both writes must be covering kills of at least the
+     same extent, otherwise coverage is unknown and we stay silent. *)
+  let loops_a = Array.of_list loops in
+  let n = Array.length loops_a in
+  let touches dat (l : Descr.loop) =
+    List.filter (fun (a : Descr.arg) -> (not (is_global a)) && a.Descr.dat_name = dat)
+      l.Descr.args
+  in
+  for i = 0 to n - 1 do
+    let l = loops_a.(i) in
+    List.iter
+      (fun (a : Descr.arg) ->
+        if (not (is_global a)) && is_kill a then begin
+          let dat = a.Descr.dat_name in
+          (* scan forward cyclically for the next loop touching [dat] *)
+          let rec next k steps =
+            if steps >= n then None
+            else
+              let j = (i + k) mod n in
+              match touches dat loops_a.(j) with
+              | [] -> next (k + 1) (steps + 1)
+              | args -> Some (j, args)
+          in
+          match next 1 1 with
+          | Some (j, args)
+            when (not (List.exists reads_value args))
+                 && List.exists
+                      (fun (b : Descr.arg) ->
+                        is_kill b && loops_a.(j).Descr.set_size >= l.Descr.set_size)
+                      args ->
+            let severity, qualifier =
+              if direct_covers then (Finding.Warning, "dead write: the value")
+              else
+                ( Finding.Info,
+                  "possible dead write (iteration ranges are not recorded, so \
+                   the two writes may cover different sub-ranges): the value" )
+            in
+            add
+              (Finding.make ~layer:Finding.Dataflow ~severity
+                 ~loop:l.Descr.loop_name ~subject:dat
+                 (Printf.sprintf
+                    "%s written here is overwritten by loop %s before any loop \
+                     reads it"
+                    qualifier loops_a.(j).Descr.loop_name))
+          | _ -> ()
+        end)
+      l.Descr.args
+  done;
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Dirty-bit halo simulation                                           *)
+
+type exchange_kind =
+  | Needed  (** halo is stale at this read: on-demand policy must exchange *)
+  | Redundant
+      (** halo still valid: only an eager per-read policy would exchange *)
+
+type exchange = {
+  ex_loop : string;  (** the loop whose stencil read triggers the decision *)
+  ex_dat : string;
+  ex_kind : exchange_kind;
+}
+
+(* Replay the on-demand dirty-bit policy of the distributed OPS backends
+   over the trace, treated cyclically: a write dirties a dataset's halo; a
+   ghost-reaching stencil read of a dirty dataset forces an exchange and
+   cleans it. Two passes reach the steady state (pass one settles the
+   initial all-dirty flags); the schedule of the second pass is returned.
+   By construction every ghost-reaching read in the steady-state cycle is
+   preceded by an exchange — the schedule is the witness. *)
+let halo_schedule (loops : Descr.loop list) =
+  let dirty = Hashtbl.create 16 in
+  let is_dirty d = match Hashtbl.find_opt dirty d with Some b -> b | None -> true in
+  let schedule = ref [] in
+  for pass = 0 to 1 do
+    List.iter
+      (fun (l : Descr.loop) ->
+        (* reads (gathers) happen before writes (scatters) within a loop *)
+        List.iter
+          (fun (a : Descr.arg) ->
+            match a.Descr.kind with
+            | Descr.Stencil { extent; _ } when extent > 0 && reads_value a ->
+              let kind = if is_dirty a.Descr.dat_name then Needed else Redundant in
+              if kind = Needed then Hashtbl.replace dirty a.Descr.dat_name false;
+              if pass = 1 then
+                schedule :=
+                  { ex_loop = l.Descr.loop_name; ex_dat = a.Descr.dat_name;
+                    ex_kind = kind }
+                  :: !schedule
+            | _ -> ())
+          l.Descr.args;
+        List.iter
+          (fun (a : Descr.arg) ->
+            if (not (is_global a)) && writes_value a then
+              Hashtbl.replace dirty a.Descr.dat_name true)
+          l.Descr.args)
+      loops
+  done;
+  List.rev !schedule
+
+let schedule_findings schedule =
+  (* one Info per dataset summarising its steady-state exchange pattern *)
+  let dats = ref [] in
+  List.iter
+    (fun ex -> if not (List.mem ex.ex_dat !dats) then dats := ex.ex_dat :: !dats)
+    schedule;
+  List.rev_map
+    (fun dat ->
+      let mine = List.filter (fun ex -> ex.ex_dat = dat) schedule in
+      let needed = List.filter (fun ex -> ex.ex_kind = Needed) mine in
+      let loops_of exs =
+        String.concat ", " (List.map (fun ex -> ex.ex_loop) exs)
+      in
+      let msg =
+        if needed = [] then
+          Printf.sprintf
+            "halo schedule: no exchange needed per cycle — every \
+             ghost-reaching read (%s) sees a halo still valid from the \
+             previous cycle; an eager policy would issue %d redundant \
+             exchange(s)"
+            (loops_of mine) (List.length mine)
+        else
+          Printf.sprintf
+            "halo schedule: %d exchange(s) needed per cycle (before %s); \
+             every ghost-reaching read is preceded by an exchange; an eager \
+             per-read policy would issue %d (%d redundant)"
+            (List.length needed) (loops_of needed) (List.length mine)
+            (List.length mine - List.length needed)
+      in
+      Finding.make ~layer:Finding.Dataflow ~severity:Finding.Info ~subject:dat msg)
+    !dats
+
+(* ------------------------------------------------------------------ *)
+(* Stencil extent versus ghost depth                                   *)
+
+let check_ghost_depth ~ghost_depth (loops : Descr.loop list) =
+  List.concat_map
+    (fun (l : Descr.loop) ->
+      List.concat
+        (List.mapi
+           (fun i (a : Descr.arg) ->
+             match a.Descr.kind with
+             | Descr.Stencil { extent; points } when extent > ghost_depth ->
+               [
+                 Finding.make ~layer:Finding.Dataflow ~severity:Finding.Error
+                   ~loop:l.Descr.loop_name ~arg:i ~subject:a.Descr.dat_name
+                   (Printf.sprintf
+                      "stencil (%d points, radius %d) reaches past the \
+                       %d-deep ghost shell — partitioned backends would read \
+                       unexchanged memory"
+                      points extent ghost_depth);
+               ]
+             | _ -> [])
+           l.Descr.args))
+    loops
+
+(* ------------------------------------------------------------------ *)
+
+type result = { findings : Finding.t list; schedule : exchange list }
+
+let analyze ?(direct_covers = true) ?ghost_depth (loops : Descr.loop list) =
+  let defuse = check_defuse ~direct_covers loops in
+  let schedule = halo_schedule loops in
+  let halo = schedule_findings schedule in
+  let depth =
+    match ghost_depth with
+    | None -> []
+    | Some d -> check_ghost_depth ~ghost_depth:d loops
+  in
+  { findings = depth @ defuse @ halo; schedule }

@@ -1,0 +1,55 @@
+(* A diagnostic produced by one of the four analysis layers.
+
+   Findings are deliberately plain data: the lint, plan-validation and
+   dataflow passes produce them, the facade aggregates them, and the
+   drivers decide the exit code from the worst severity.  [Info] findings
+   are observations (e.g. a dataset read before any recorded write — often
+   just initial data); [Warning] marks suspicious-but-defined behaviour;
+   [Error] marks a defect that produces wrong answers on at least one
+   backend. *)
+
+type layer = Descriptor | Plan | Dataflow | Sanitizer
+
+type severity = Info | Warning | Error
+
+type t = {
+  layer : layer;
+  severity : severity;
+  loop : string; (* loop name; "" when the finding spans the sequence *)
+  arg : int; (* argument index within the loop; -1 when not arg-specific *)
+  subject : string; (* dataset / map / global the finding is about *)
+  message : string;
+}
+
+let make ~layer ~severity ?(loop = "") ?(arg = -1) ~subject message =
+  { layer; severity; loop; arg; subject; message }
+
+let layer_to_string = function
+  | Descriptor -> "descriptor"
+  | Plan -> "plan"
+  | Dataflow -> "dataflow"
+  | Sanitizer -> "sanitizer"
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let is_error f = f.severity = Error
+let is_warning f = f.severity = Warning
+
+let to_string f =
+  let where =
+    match (f.loop, f.arg) with
+    | "", _ -> ""
+    | l, -1 -> Printf.sprintf " loop %s:" l
+    | l, a -> Printf.sprintf " loop %s arg %d:" l a
+  in
+  Printf.sprintf "[%s/%s]%s %s: %s" (layer_to_string f.layer)
+    (severity_to_string f.severity) where f.subject f.message
+
+(* Order findings worst-first for reporting. *)
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let sort findings =
+  List.stable_sort (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity)) findings

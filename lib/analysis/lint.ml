@@ -1,0 +1,197 @@
+(* Layer 1: per-loop descriptor lints.
+
+   Operates on the backend-independent [Descr.loop] plus (when available)
+   the concrete map tables, so it can decide questions the descriptor alone
+   cannot: whether a Write/Rw through a map is a definite race (two
+   iteration elements sharing a target — the same conflict discovery the
+   plan's two-level colouring performs, but reported as a diagnostic with a
+   witness instead of silently serialised), and whether two arguments
+   reaching the same dataset through different map components alias with
+   incompatible access modes. *)
+
+module Access = Am_core.Access
+module Descr = Am_core.Descr
+
+(* Concrete connectivity of one map, resolved from the executing context
+   (or synthesised in tests). *)
+type map_info = {
+  mi_name : string;
+  mi_arity : int;
+  mi_values : int array;
+}
+
+let find_map maps name = List.find_opt (fun m -> m.mi_name = name) maps
+
+(* The flat target element the [i]-th argument touches at iteration element
+   [e], when that is a well-defined single element: Some for Direct
+   (element [e] itself) and Indirect (map lookup); None for stencil and
+   global arguments. *)
+let column maps (a : Descr.arg) : (int -> int) option =
+  match a.Descr.kind with
+  | Descr.Direct -> Some (fun e -> e)
+  | Descr.Indirect { map_name; map_index; _ } -> (
+    match find_map maps map_name with
+    | None -> None
+    | Some m -> Some (fun e -> m.mi_values.((e * m.mi_arity) + map_index)))
+  | Descr.Stencil _ | Descr.Global -> None
+
+(* Mode legality — a backstop behind the argument constructors, and the
+   only enforcement for descriptors that arrive from a recorded trace. *)
+let check_modes (loop : Descr.loop) =
+  List.concat
+    (List.mapi
+       (fun i (a : Descr.arg) ->
+         match a.Descr.kind with
+         | Descr.Global ->
+           if Access.valid_on_gbl a.Descr.access then []
+           else
+             [
+               Finding.make ~layer:Finding.Descriptor ~severity:Finding.Error
+                 ~loop:loop.Descr.loop_name ~arg:i ~subject:a.Descr.dat_name
+                 (Printf.sprintf "access %s is not valid on a global argument"
+                    (Access.to_string a.Descr.access));
+             ]
+         | Descr.Direct | Descr.Indirect _ | Descr.Stencil _ ->
+           if Access.valid_on_dat a.Descr.access then []
+           else
+             [
+               Finding.make ~layer:Finding.Descriptor ~severity:Finding.Error
+                 ~loop:loop.Descr.loop_name ~arg:i ~subject:a.Descr.dat_name
+                 (Printf.sprintf
+                    "access %s is not valid on a dataset argument (Min/Max are \
+                     global reductions)"
+                    (Access.to_string a.Descr.access));
+             ])
+       loop.Descr.args)
+
+(* Write/Rw through a many-to-one map component: two iteration elements
+   write the same target element, so the result depends on execution order
+   on every backend — colouring serialises the writes but cannot decide
+   which value should win.  (Inc is excluded: increments commute, and the
+   plan exists precisely to scatter them race-free.) *)
+let check_many_to_one maps (loop : Descr.loop) =
+  List.concat
+    (List.mapi
+       (fun i (a : Descr.arg) ->
+         match (a.Descr.kind, a.Descr.access) with
+         | Descr.Indirect { map_name; map_index; _ }, (Access.Write | Access.Rw) -> (
+           match find_map maps map_name with
+           | None ->
+             [
+               Finding.make ~layer:Finding.Descriptor ~severity:Finding.Info
+                 ~loop:loop.Descr.loop_name ~arg:i ~subject:a.Descr.dat_name
+                 (Printf.sprintf
+                    "%s through map %s#%d cannot be verified race-free (map \
+                     table not available to the analysis)"
+                    (Access.to_string a.Descr.access) map_name map_index);
+             ]
+           | Some m ->
+             let n = min loop.Descr.set_size (Array.length m.mi_values / m.mi_arity) in
+             let seen = Hashtbl.create (2 * n) in
+             let finding = ref [] in
+             (try
+                for e = 0 to n - 1 do
+                  let t = m.mi_values.((e * m.mi_arity) + map_index) in
+                  match Hashtbl.find_opt seen t with
+                  | Some e0 ->
+                    finding :=
+                      [
+                        Finding.make ~layer:Finding.Descriptor
+                          ~severity:Finding.Error ~loop:loop.Descr.loop_name
+                          ~arg:i ~subject:a.Descr.dat_name
+                          (Printf.sprintf
+                             "definite race: %s through many-to-one map %s#%d — \
+                              elements %d and %d both write target element %d \
+                              (declare Inc, or restructure so the map is \
+                              one-to-one over the iteration set)"
+                             (Access.to_string a.Descr.access) map_name map_index
+                             e0 e t);
+                      ];
+                    raise Exit
+                  | None -> Hashtbl.add seen t e
+                done
+              with Exit -> ());
+             !finding)
+         | _ -> [])
+       loop.Descr.args)
+
+(* Two arguments reaching the same dataset with incompatible modes through
+   overlapping targets.  Overlap between *different* iteration elements
+   with a write involved is a race (the colouring arena only separates
+   write-write conflicts between the declared conflict args; a Read
+   argument is not protected from another element's concurrent write).
+   Overlap only ever within one element (e.g. the two endpoints of a
+   degenerate edge, or Direct Read + Direct Write of the same dat) is
+   sequentially well-defined — gathers precede scatters — but worth a
+   warning because staged backends may reorder the observation. *)
+let check_aliasing maps (loop : Descr.loop) =
+  let args = Array.of_list loop.Descr.args in
+  let findings = ref [] in
+  let n_args = Array.length args in
+  for i = 0 to n_args - 1 do
+    for j = i + 1 to n_args - 1 do
+      let a = args.(i) and b = args.(j) in
+      if
+        a.Descr.dat_id >= 0 && a.Descr.dat_id = b.Descr.dat_id
+        && (Access.writes a.Descr.access || Access.writes b.Descr.access)
+        && not (a.Descr.access = Access.Inc && b.Descr.access = Access.Inc)
+      then
+        match (column maps a, column maps b) with
+        | Some col_a, Some col_b ->
+          let n = loop.Descr.set_size in
+          let targets_a = Hashtbl.create (2 * n) in
+          for e = 0 to n - 1 do
+            let t = col_a e in
+            if not (Hashtbl.mem targets_a t) then Hashtbl.add targets_a t e
+          done;
+          let cross = ref None and same = ref None in
+          (try
+             for e = 0 to n - 1 do
+               let t = col_b e in
+               match Hashtbl.find_opt targets_a t with
+               | Some e0 when e0 <> e ->
+                 cross := Some (e0, e, t);
+                 raise Exit
+               | Some e0 -> if !same = None then same := Some (e0, t)
+               | None -> ()
+             done
+           with Exit -> ());
+          (match (!cross, !same) with
+          | Some (e0, e, t), _ ->
+            findings :=
+              Finding.make ~layer:Finding.Descriptor ~severity:Finding.Error
+                ~loop:loop.Descr.loop_name ~arg:j ~subject:a.Descr.dat_name
+                (Printf.sprintf
+                   "race: args %d (%s) and %d (%s) reach dataset %s with \
+                    incompatible modes — element %d through arg %d and element \
+                    %d through arg %d both touch target element %d"
+                   i (Access.to_string a.Descr.access) j
+                   (Access.to_string b.Descr.access) a.Descr.dat_name e0 i e j t)
+              :: !findings
+          | None, Some (e, t) ->
+            (* Overlap only ever within one iteration element: gathers
+               precede scatters per element on every backend, so this is
+               well-defined — just a sloppier declaration than a single Rw
+               argument. *)
+            findings :=
+              Finding.make ~layer:Finding.Descriptor ~severity:Finding.Info
+                ~loop:loop.Descr.loop_name ~arg:j ~subject:a.Descr.dat_name
+                (Printf.sprintf
+                   "aliased arguments: args %d (%s) and %d (%s) reach the same \
+                    element %d of dataset %s from iteration element %d (never \
+                    across elements) — consider declaring one %s argument \
+                    instead"
+                   i (Access.to_string a.Descr.access) j
+                   (Access.to_string b.Descr.access) t a.Descr.dat_name e
+                   (Access.to_string Access.Rw))
+              :: !findings
+          | None, None -> ())
+        | _ -> ()
+    done
+  done;
+  List.rev !findings
+
+(* All per-loop lints. [maps] supplies concrete connectivity; without it the
+   map-dependent checks degrade to Info-level "unverified" findings. *)
+let lint ?(maps = []) (loop : Descr.loop) =
+  check_modes loop @ check_many_to_one maps loop @ check_aliasing maps loop

@@ -12,7 +12,10 @@ type arg_kind =
        target-set size over iteration-set size — under perfect reuse a loop
        only has to move each referenced element once, so the amortised data
        volume per iteration element is dim * 8 * ratio *)
-  | Stencil of { points : int } (* OPS: structured stencil of given size *)
+  | Stencil of { points : int; extent : int }
+    (* OPS: structured stencil of given size; [extent] is the Chebyshev
+       radius (max |offset| over every axis), which the dataflow analysis
+       compares against the halo/ghost depth *)
   | Global (* reduction / read-only global *)
 
 type arg = {
@@ -102,7 +105,7 @@ let arg_to_string a =
     match a.kind with
     | Direct -> ""
     | Indirect { map_name; map_index; _ } -> Printf.sprintf "[%s#%d]" map_name map_index
-    | Stencil { points } -> Printf.sprintf "[stencil:%d]" points
+    | Stencil { points; extent } -> Printf.sprintf "[stencil:%d r%d]" points extent
     | Global -> "[gbl]"
   in
   Printf.sprintf "%s(%d):%s%s" a.dat_name a.dim (Access.to_string a.access) kind

@@ -6,7 +6,8 @@ type arg_kind =
   | Indirect of { map_name : string; map_index : int; ratio : float }
     (** [ratio] = target-set size / iteration-set size, for amortised
         traffic accounting *)
-  | Stencil of { points : int }
+  | Stencil of { points : int; extent : int }
+    (** [extent] = Chebyshev radius of the stencil (max axis offset) *)
   | Global
 
 type arg = {

@@ -36,6 +36,12 @@ let core_elements = Counters.counter counters ~unit_:"elements" "dist.core_eleme
 let boundary_elements = Counters.counter counters ~unit_:"elements" "dist.boundary_elements"
 let checkpoint_snapshots = Counters.counter counters "checkpoint.snapshots"
 let checkpoint_restores = Counters.counter counters "checkpoint.restores"
+let analysis_lint_findings = Counters.counter counters "analysis.lint_findings"
+let analysis_plan_violations = Counters.counter counters "analysis.plan_violations"
+let analysis_dataflow_findings = Counters.counter counters "analysis.dataflow_findings"
+let check_loops = Counters.counter counters "check.loops"
+let check_elements = Counters.counter counters ~unit_:"elements" "check.elements"
+let check_violations = Counters.counter counters "check.violations"
 
 let reset () =
   Counters.reset counters;

@@ -51,6 +51,17 @@ val boundary_elements : Counters.counter
 val checkpoint_snapshots : Counters.counter
 val checkpoint_restores : Counters.counter
 
+(** Static-analysis findings per layer (descriptor lints, plan/colouring
+    validation, cross-loop dataflow) and the sanitizer backend's activity:
+    loops and elements executed under guard, violations raised. *)
+
+val analysis_lint_findings : Counters.counter
+val analysis_plan_violations : Counters.counter
+val analysis_dataflow_findings : Counters.counter
+val check_loops : Counters.counter
+val check_elements : Counters.counter
+val check_violations : Counters.counter
+
 val reset : unit -> unit
 (** Zero all counters, drop all trace events, disable tracing. *)
 

@@ -38,6 +38,7 @@ type backend =
   | Vec of Exec_vec.config
   | Shared of { pool : Am_taskpool.Pool.t; block_size : int }
   | Cuda_sim of Exec_cuda.config
+  | Check (* sanitizer: seq semantics + access-descriptor guards *)
 
 type ctx = {
   env : Types.env;
@@ -62,11 +63,11 @@ let create ?(backend = Seq) () =
 
 let set_backend ctx backend =
   (match (backend, ctx.dist) with
-  | (Shared _ | Cuda_sim _ | Vec _), Some _ ->
+  | (Shared _ | Cuda_sim _ | Vec _ | Check), Some _ ->
     invalid_arg
       "Op2.set_backend: the distributed context executes ranks sequentially; \
-       shared/CUDA/vector backends apply to non-partitioned contexts"
-  | (Seq | Shared _ | Cuda_sim _ | Vec _), _ -> ());
+       shared/CUDA/vector/check backends apply to non-partitioned contexts"
+  | (Seq | Shared _ | Cuda_sim _ | Vec _ | Check), _ -> ());
   ctx.backend <- backend
 
 let backend ctx = ctx.backend
@@ -99,12 +100,33 @@ let dats ctx = Types.dats ctx.env
 
 (* ---- Argument constructors ------------------------------------------- *)
 
-let arg_dat dat access : arg = Types.Arg_dat { dat; map = None; access }
+(* Access-mode legality is enforced here, at declaration, so an illegal
+   descriptor fails with the dataset name in hand rather than surfacing as
+   an [invalid_arg] deep inside a backend's gather specialiser. *)
+let require_valid_on_dat ~ctor dat access =
+  if not (Access.valid_on_dat access) then
+    invalid_arg
+      (Printf.sprintf
+         "Op2.%s: access %s is not valid on dataset %s (datasets accept \
+          Read/Write/Inc/Rw; Min/Max are global reductions — use arg_gbl)"
+         ctor (Access.to_string access) dat.Types.dat_name)
+
+let arg_dat dat access : arg =
+  require_valid_on_dat ~ctor:"arg_dat" dat access;
+  Types.Arg_dat { dat; map = None; access }
 
 let arg_dat_indirect dat map_t idx access : arg =
+  require_valid_on_dat ~ctor:"arg_dat_indirect" dat access;
   Types.Arg_dat { dat; map = Some (map_t, idx); access }
 
-let arg_gbl ~name buf access : arg = Types.Arg_gbl { name; buf; access }
+let arg_gbl ~name buf access : arg =
+  if not (Access.valid_on_gbl access) then
+    invalid_arg
+      (Printf.sprintf
+         "Op2.arg_gbl: access %s is not valid on global %s (globals accept \
+          Read/Inc/Min/Max; Write/Rw have no race-free parallel meaning)"
+         (Access.to_string access) name);
+  Types.Arg_gbl { name; buf; access }
 
 (* ---- Data access ------------------------------------------------------ *)
 
@@ -247,7 +269,7 @@ let partition ctx ~n_ranks ~strategy =
   if ctx.dist <> None then invalid_arg "Op2.partition: context already partitioned";
   (match ctx.backend with
   | Seq -> ()
-  | Shared _ | Cuda_sim _ | Vec _ ->
+  | Shared _ | Cuda_sim _ | Vec _ | Check ->
     invalid_arg "Op2.partition: switch the backend to Seq before partitioning");
   ctx.dist <- Some (Dist.build ctx.env ~n_ranks ~strategy)
 
@@ -348,6 +370,26 @@ let execute_loop ctx ~name ?handle iter_set args kernel =
       | Some (entry, compiled) ->
         Exec_shared.run ~compiled pool (Lazy.force entry.Plan.entry_plan) ~set_size
           ~args ~kernel)
+    | Check ->
+      (* Sanitizer: prove the colouring the parallel backends would use is
+         race-free, then execute under access guards.  The plan validation
+         only applies to loops with indirect writes (others never force a
+         colouring). *)
+      let indirect_write = function
+        | Types.Arg_dat { map = Some _; access; _ } -> Access.writes access
+        | Types.Arg_dat _ | Types.Arg_gbl _ -> false
+      in
+      if List.exists indirect_write args then begin
+        let plan =
+          Plan.find_or_build ctx.plan_cache ~name ~iter_set ~block_size:256 args
+        in
+        match Plan.validate ~set_size args plan with
+        | [] -> ()
+        | v :: _ as vs ->
+          Am_obs.Counters.add Am_obs.Obs.analysis_plan_violations (List.length vs);
+          raise (Exec_check.Violation (Plan.violation_to_string ~name v))
+      end;
+      Exec_check.run ~name ~set_size ~args ~kernel ()
     | Cuda_sim config -> (
       (* The SoA strategy replaces dataset arrays on first touch; convert
          before resolving so the cached executor is compiled against the

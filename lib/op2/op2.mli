@@ -54,6 +54,12 @@ type backend =
           generated vectorised CPU code, colour-packed for indirect writes *)
   | Shared of { pool : Am_taskpool.Pool.t; block_size : int }
   | Cuda_sim of Exec_cuda.config
+  | Check
+      (** sanitizer: sequential semantics with canary-padded, access-guarded
+          staging buffers — a kernel violating its access descriptors raises
+          {!Exec_check.Violation} naming the loop, argument and element.
+          Loops with indirect writes additionally have their cached plan's
+          colouring machine-checked ({!Plan.validate}) before execution. *)
 
 type ctx
 
@@ -107,14 +113,19 @@ val dats : ctx -> dat list
 
 (** {1 Loop arguments} *)
 
-(** Direct access: element [i] of the loop touches element [i] of the dat. *)
+(** Direct access: element [i] of the loop touches element [i] of the dat.
+    Raises [Invalid_argument] when the access mode is not
+    {!Access.valid_on_dat} (Min/Max are global reductions). *)
 val arg_dat : dat -> Access.t -> arg
 
 (** Indirect access through map component [idx]: element [e] touches
-    [map.values.(e*arity + idx)]. *)
+    [map.values.(e*arity + idx)]. Same access-mode validation as
+    {!arg_dat}. *)
 val arg_dat_indirect : dat -> map_t -> int -> Access.t -> arg
 
-(** Global argument: [Read] broadcasts, [Inc]/[Min]/[Max] reduce. *)
+(** Global argument: [Read] broadcasts, [Inc]/[Min]/[Max] reduce. Raises
+    [Invalid_argument] when the mode is not {!Access.valid_on_gbl}
+    (Write/Rw on a shared scalar cannot be raced safely). *)
 val arg_gbl : name:string -> float array -> Access.t -> arg
 
 (** {1 Data access} *)

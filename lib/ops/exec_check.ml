@@ -1,0 +1,226 @@
+(* 2D sanitizer executor: sequential traversal with access-descriptor guards.
+
+   Structured-mesh kernels receive one staging buffer per argument with
+   [dim] values per declared stencil point.  Under this executor every
+   buffer carries a tail of canary slots holding a distinguished NaN bit
+   pattern, [Read] buffers are snapshot and compared bitwise after the
+   kernel, [Write] buffers are poisoned with NaN instead of gathered, and
+   written buffers are rejected if any component comes back NaN.  Together
+   these catch the three descriptor lies the library's planning depends on
+   not happening: writing a [Read] argument, reading a [Write] argument's
+   previous value, and indexing a stencil point that was never declared
+   (the read lands in the canary tail and the NaN propagates into whatever
+   the kernel writes).  Violations raise {!Violation} naming the loop,
+   argument, dataset and (x, y) iteration point.
+
+   Clean runs produce results identical to [Exec.run_seq]. *)
+
+module Access = Am_core.Access
+module Counters = Am_obs.Counters
+module Obs = Am_obs.Obs
+open Types
+
+exception Violation of string
+
+let canary_bits = 0x7FF8DEADBEEF0002L
+let canary = Int64.float_of_bits canary_bits
+let is_canary v = Int64.equal (Int64.bits_of_float v) canary_bits
+let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+type guarded =
+  | G_dat of {
+      dat : dat;
+      stencil : stencil;
+      access : Access.t;
+      stride : stride;
+      buf : float array; (* points*dim + pad, canaries in the tail *)
+      snapshot : float array; (* points*dim; pre-kernel bits for Read/Rw *)
+    }
+  | G_gbl of {
+      gname : string;
+      user_buf : float array;
+      access : Access.t;
+      buf : float array; (* persists across points, like the seq backend *)
+      snapshot : float array;
+    }
+  | G_idx of { buf : float array }
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+let fail ~name ~arg_i ~what ~x ~y fmt =
+  Printf.ksprintf
+    (fun s ->
+      Counters.incr Obs.check_violations;
+      violation "check: loop %s, arg %d (%s), point (%d,%d): %s" name arg_i what x y s)
+    fmt
+
+let pad_of dim = max 2 dim
+
+let guard_args args =
+  List.map
+    (function
+      | Arg_dat { dat; stencil; access; stride } ->
+        let n = dat.dim * Array.length stencil in
+        G_dat
+          {
+            dat;
+            stencil;
+            access;
+            stride;
+            buf = Array.make (n + pad_of dat.dim) canary;
+            snapshot = Array.make n 0.0;
+          }
+      | Arg_gbl { name; buf; access } ->
+        let dim = Array.length buf in
+        let b = Array.make (dim + pad_of dim) canary in
+        (match access with
+        | Access.Read | Access.Min | Access.Max -> Array.blit buf 0 b 0 dim
+        | Access.Inc -> Array.fill b 0 dim 0.0
+        | Access.Write | Access.Rw ->
+          invalid_arg "ops: Write/Rw access on a global argument");
+        G_gbl { gname = name; user_buf = buf; access; buf = b; snapshot = Array.copy buf }
+      | Arg_idx -> G_idx { buf = Array.make 4 canary })
+    args
+
+let gather ~name ~arg_i g ~x ~y =
+  match g with
+  | G_gbl _ -> ()
+  | G_idx { buf } ->
+    buf.(0) <- Float.of_int x;
+    buf.(1) <- Float.of_int y
+  | G_dat { dat; stencil; access; stride; buf; snapshot } -> (
+    match access with
+    | Access.Read | Access.Rw ->
+      let bx, by = apply_stride stride ~x ~y in
+      Array.iteri
+        (fun p (dx, dy) ->
+          for c = 0 to dat.dim - 1 do
+            let v = get dat ~x:(bx + dx) ~y:(by + dy) ~c in
+            buf.((p * dat.dim) + c) <- v;
+            snapshot.((p * dat.dim) + c) <- v
+          done)
+        stencil
+    | Access.Write -> Array.fill buf 0 (dat.dim * Array.length stencil) canary
+    | Access.Inc -> Array.fill buf 0 (dat.dim * Array.length stencil) 0.0
+    | Access.Min | Access.Max ->
+      fail ~name ~arg_i ~what:dat.dat_name ~x ~y "Min/Max access on a dataset")
+
+let check_and_scatter ~name ~arg_i g ~x ~y =
+  match g with
+  | G_idx { buf } ->
+    for d = 2 to 3 do
+      if not (is_canary buf.(d)) then
+        fail ~name ~arg_i ~what:"idx" ~x ~y
+          "kernel wrote past the 2 iteration-index slots"
+    done;
+    if
+      (not (same_bits buf.(0) (Float.of_int x)))
+      || not (same_bits buf.(1) (Float.of_int y))
+    then fail ~name ~arg_i ~what:"idx" ~x ~y "kernel wrote the (read-only) index buffer"
+  | G_gbl { gname; user_buf; access; buf; snapshot } -> (
+    let dim = Array.length user_buf in
+    for d = dim to Array.length buf - 1 do
+      if not (is_canary buf.(d)) then
+        fail ~name ~arg_i ~what:gname ~x ~y
+          "kernel wrote past the %d declared component(s) of the global" dim
+    done;
+    match access with
+    | Access.Read ->
+      for d = 0 to dim - 1 do
+        if not (same_bits buf.(d) snapshot.(d)) then
+          fail ~name ~arg_i ~what:gname ~x ~y
+            "kernel wrote component %d of a Read global (%.17g -> %.17g)" d
+            snapshot.(d) buf.(d)
+      done
+    | Access.Inc | Access.Min | Access.Max -> ()
+    | Access.Write | Access.Rw -> assert false)
+  | G_dat { dat; stencil; access; buf; snapshot; _ } -> (
+    let n = dat.dim * Array.length stencil in
+    for d = n to Array.length buf - 1 do
+      if not (is_canary buf.(d)) then
+        fail ~name ~arg_i ~what:dat.dat_name ~x ~y
+          "kernel wrote past the %d declared stencil value(s): undeclared \
+           stencil point or out-of-range component index"
+          n
+    done;
+    match access with
+    | Access.Read ->
+      for d = 0 to n - 1 do
+        if not (same_bits buf.(d) snapshot.(d)) then
+          fail ~name ~arg_i ~what:dat.dat_name ~x ~y
+            "kernel wrote slot %d of a Read argument (%.17g -> %.17g)" d
+            snapshot.(d) buf.(d)
+      done
+    | Access.Write ->
+      (* Center-only by validation: scatter slot p = 0. *)
+      for c = 0 to dat.dim - 1 do
+        if Float.is_nan buf.(c) then
+          fail ~name ~arg_i ~what:dat.dat_name ~x ~y
+            "component %d of a Write argument is NaN after the kernel: the \
+             kernel read the (poisoned) previous value or never wrote the slot"
+            c;
+        set dat ~x ~y ~c buf.(c)
+      done
+    | Access.Rw ->
+      for c = 0 to dat.dim - 1 do
+        if Float.is_nan buf.(c) && not (Float.is_nan snapshot.(c)) then
+          fail ~name ~arg_i ~what:dat.dat_name ~x ~y
+            "component %d of an Rw argument became NaN inside the kernel \
+             (derived from another argument's poisoned Write buffer)"
+            c;
+        set dat ~x ~y ~c buf.(c)
+      done
+    | Access.Inc ->
+      for c = 0 to dat.dim - 1 do
+        if Float.is_nan buf.(c) then
+          fail ~name ~arg_i ~what:dat.dat_name ~x ~y
+            "increment component %d is NaN (derived from another argument's \
+             poisoned Write buffer)"
+            c;
+        set dat ~x ~y ~c (get dat ~x ~y ~c +. buf.(c))
+      done
+    | Access.Min | Access.Max -> assert false)
+
+let merge_gbl g =
+  match g with
+  | G_dat _ | G_idx _ -> ()
+  | G_gbl { user_buf; access; buf; _ } -> (
+    match access with
+    | Access.Read -> ()
+    | Access.Inc ->
+      for d = 0 to Array.length user_buf - 1 do
+        user_buf.(d) <- user_buf.(d) +. buf.(d)
+      done
+    | Access.Min ->
+      for d = 0 to Array.length user_buf - 1 do
+        user_buf.(d) <- Float.min user_buf.(d) buf.(d)
+      done
+    | Access.Max ->
+      for d = 0 to Array.length user_buf - 1 do
+        user_buf.(d) <- Float.max user_buf.(d) buf.(d)
+      done
+    | Access.Write | Access.Rw -> assert false)
+
+let run ~name ~range ~args ~kernel () =
+  Counters.incr Obs.check_loops;
+  Counters.add Obs.check_elements (range_size range);
+  let guarded = Array.of_list (guard_args args) in
+  let buffers =
+    Array.map
+      (function G_dat { buf; _ } -> buf | G_gbl { buf; _ } -> buf | G_idx { buf } -> buf)
+      guarded
+  in
+  for y = range.ylo to range.yhi - 1 do
+    for x = range.xlo to range.xhi - 1 do
+      Array.iteri (fun i g -> gather ~name ~arg_i:i g ~x ~y) guarded;
+      (try kernel buffers
+       with Invalid_argument msg ->
+         Counters.incr Obs.check_violations;
+         violation
+           "check: loop %s, point (%d,%d): kernel raised Invalid_argument (%s) \
+            — out-of-range staging-buffer index"
+           name x y msg);
+      Array.iteri (fun i g -> check_and_scatter ~name ~arg_i:i g ~x ~y) guarded
+    done
+  done;
+  Array.iter merge_gbl guarded

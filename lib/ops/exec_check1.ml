@@ -1,0 +1,198 @@
+(* 1D sanitizer executor — same guard discipline as the 2D [Exec_check]:
+   canary-padded staging, bitwise Read snapshots, NaN-poisoned Write
+   buffers, NaN-rejected outputs.  Violations raise
+   [Exec_check.Violation] with the loop, argument, dataset and x. *)
+
+module Access = Am_core.Access
+module Counters = Am_obs.Counters
+module Obs = Am_obs.Obs
+open Types1
+
+let canary = Exec_check.canary
+let is_canary = Exec_check.is_canary
+let same_bits = Exec_check.same_bits
+
+type guarded =
+  | G_dat of {
+      dat : dat;
+      stencil : stencil;
+      access : Access.t;
+      buf : float array;
+      snapshot : float array;
+    }
+  | G_gbl of {
+      gname : string;
+      user_buf : float array;
+      access : Access.t;
+      buf : float array;
+      snapshot : float array;
+    }
+  | G_idx of { buf : float array }
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Exec_check.Violation s)) fmt
+
+let fail ~name ~arg_i ~what ~x fmt =
+  Printf.ksprintf
+    (fun s ->
+      Counters.incr Obs.check_violations;
+      violation "check: loop %s, arg %d (%s), point %d: %s" name arg_i what x s)
+    fmt
+
+let guard_args args =
+  List.map
+    (function
+      | Arg_dat { dat; stencil; access } ->
+        let n = dat.dim * Array.length stencil in
+        G_dat
+          {
+            dat;
+            stencil;
+            access;
+            buf = Array.make (n + Exec_check.pad_of dat.dim) canary;
+            snapshot = Array.make n 0.0;
+          }
+      | Arg_gbl { name; buf; access } ->
+        let dim = Array.length buf in
+        let b = Array.make (dim + Exec_check.pad_of dim) canary in
+        (match access with
+        | Access.Read | Access.Min | Access.Max -> Array.blit buf 0 b 0 dim
+        | Access.Inc -> Array.fill b 0 dim 0.0
+        | Access.Write | Access.Rw ->
+          invalid_arg "ops1: Write/Rw access on a global argument");
+        G_gbl { gname = name; user_buf = buf; access; buf = b; snapshot = Array.copy buf }
+      | Arg_idx -> G_idx { buf = Array.make 3 canary })
+    args
+
+let gather ~name ~arg_i g ~x =
+  match g with
+  | G_gbl _ -> ()
+  | G_idx { buf } -> buf.(0) <- Float.of_int x
+  | G_dat { dat; stencil; access; buf; snapshot } -> (
+    match access with
+    | Access.Read | Access.Rw ->
+      Array.iteri
+        (fun p dx ->
+          for c = 0 to dat.dim - 1 do
+            let v = get dat ~x:(x + dx) ~c in
+            buf.((p * dat.dim) + c) <- v;
+            snapshot.((p * dat.dim) + c) <- v
+          done)
+        stencil
+    | Access.Write -> Array.fill buf 0 (dat.dim * Array.length stencil) canary
+    | Access.Inc -> Array.fill buf 0 (dat.dim * Array.length stencil) 0.0
+    | Access.Min | Access.Max ->
+      fail ~name ~arg_i ~what:dat.dat_name ~x "Min/Max access on a dataset")
+
+let check_and_scatter ~name ~arg_i g ~x =
+  match g with
+  | G_idx { buf } ->
+    for d = 1 to 2 do
+      if not (is_canary buf.(d)) then
+        fail ~name ~arg_i ~what:"idx" ~x "kernel wrote past the iteration-index slot"
+    done;
+    if not (same_bits buf.(0) (Float.of_int x)) then
+      fail ~name ~arg_i ~what:"idx" ~x "kernel wrote the (read-only) index buffer"
+  | G_gbl { gname; user_buf; access; buf; snapshot } -> (
+    let dim = Array.length user_buf in
+    for d = dim to Array.length buf - 1 do
+      if not (is_canary buf.(d)) then
+        fail ~name ~arg_i ~what:gname ~x
+          "kernel wrote past the %d declared component(s) of the global" dim
+    done;
+    match access with
+    | Access.Read ->
+      for d = 0 to dim - 1 do
+        if not (same_bits buf.(d) snapshot.(d)) then
+          fail ~name ~arg_i ~what:gname ~x
+            "kernel wrote component %d of a Read global (%.17g -> %.17g)" d
+            snapshot.(d) buf.(d)
+      done
+    | Access.Inc | Access.Min | Access.Max -> ()
+    | Access.Write | Access.Rw -> assert false)
+  | G_dat { dat; stencil; access; buf; snapshot } -> (
+    let n = dat.dim * Array.length stencil in
+    for d = n to Array.length buf - 1 do
+      if not (is_canary buf.(d)) then
+        fail ~name ~arg_i ~what:dat.dat_name ~x
+          "kernel wrote past the %d declared stencil value(s): undeclared \
+           stencil point or out-of-range component index"
+          n
+    done;
+    match access with
+    | Access.Read ->
+      for d = 0 to n - 1 do
+        if not (same_bits buf.(d) snapshot.(d)) then
+          fail ~name ~arg_i ~what:dat.dat_name ~x
+            "kernel wrote slot %d of a Read argument (%.17g -> %.17g)" d
+            snapshot.(d) buf.(d)
+      done
+    | Access.Write ->
+      for c = 0 to dat.dim - 1 do
+        if Float.is_nan buf.(c) then
+          fail ~name ~arg_i ~what:dat.dat_name ~x
+            "component %d of a Write argument is NaN after the kernel: the \
+             kernel read the (poisoned) previous value or never wrote the slot"
+            c;
+        set dat ~x ~c buf.(c)
+      done
+    | Access.Rw ->
+      for c = 0 to dat.dim - 1 do
+        if Float.is_nan buf.(c) && not (Float.is_nan snapshot.(c)) then
+          fail ~name ~arg_i ~what:dat.dat_name ~x
+            "component %d of an Rw argument became NaN inside the kernel \
+             (derived from another argument's poisoned Write buffer)"
+            c;
+        set dat ~x ~c buf.(c)
+      done
+    | Access.Inc ->
+      for c = 0 to dat.dim - 1 do
+        if Float.is_nan buf.(c) then
+          fail ~name ~arg_i ~what:dat.dat_name ~x
+            "increment component %d is NaN (derived from another argument's \
+             poisoned Write buffer)"
+            c;
+        set dat ~x ~c (get dat ~x ~c +. buf.(c))
+      done
+    | Access.Min | Access.Max -> assert false)
+
+let merge_gbl g =
+  match g with
+  | G_dat _ | G_idx _ -> ()
+  | G_gbl { user_buf; access; buf; _ } -> (
+    match access with
+    | Access.Read -> ()
+    | Access.Inc ->
+      for d = 0 to Array.length user_buf - 1 do
+        user_buf.(d) <- user_buf.(d) +. buf.(d)
+      done
+    | Access.Min ->
+      for d = 0 to Array.length user_buf - 1 do
+        user_buf.(d) <- Float.min user_buf.(d) buf.(d)
+      done
+    | Access.Max ->
+      for d = 0 to Array.length user_buf - 1 do
+        user_buf.(d) <- Float.max user_buf.(d) buf.(d)
+      done
+    | Access.Write | Access.Rw -> assert false)
+
+let run ~name ~range ~args ~kernel () =
+  Counters.incr Obs.check_loops;
+  Counters.add Obs.check_elements (range_size range);
+  let guarded = Array.of_list (guard_args args) in
+  let buffers =
+    Array.map
+      (function G_dat { buf; _ } -> buf | G_gbl { buf; _ } -> buf | G_idx { buf } -> buf)
+      guarded
+  in
+  for x = range.xlo to range.xhi - 1 do
+    Array.iteri (fun i g -> gather ~name ~arg_i:i g ~x) guarded;
+    (try kernel buffers
+     with Invalid_argument msg ->
+       Counters.incr Obs.check_violations;
+       violation
+         "check: loop %s, point %d: kernel raised Invalid_argument (%s) — \
+          out-of-range staging-buffer index"
+         name x msg);
+    Array.iteri (fun i g -> check_and_scatter ~name ~arg_i:i g ~x) guarded
+  done;
+  Array.iter merge_gbl guarded

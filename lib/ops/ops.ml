@@ -47,6 +47,7 @@ type backend =
   | Seq
   | Shared of { pool : Am_taskpool.Pool.t }
   | Cuda_sim of Exec.cuda_config
+  | Check (* sanitizer: seq semantics + access-descriptor guards *)
 
 (* Distributed state: row decomposition or the 2D process grid. *)
 type dist_state = Rows of Dist.t | Grid of Dist2.t
@@ -72,9 +73,9 @@ let create ?(backend = Seq) () =
 
 let set_backend ctx backend =
   (match (backend, ctx.dist) with
-  | (Shared _ | Cuda_sim _), Some _ ->
+  | (Shared _ | Cuda_sim _ | Check), Some _ ->
     invalid_arg "Ops.set_backend: context is partitioned; ranks execute sequentially"
-  | (Seq | Shared _ | Cuda_sim _), _ -> ());
+  | (Seq | Shared _ | Cuda_sim _ | Check), _ -> ());
   ctx.backend <- backend
 
 let backend ctx = ctx.backend
@@ -93,7 +94,18 @@ let dats ctx = Types.dats ctx.env
 
 (* ---- Argument constructors --------------------------------------------- *)
 
+(* Access-mode legality fails here, at construction, with the dataset name
+   in hand (the loop-time [validate_args] re-checks as a backstop). *)
+let require_valid_on_dat ~ctor (dat : Types.dat) access =
+  if not (Access.valid_on_dat access) then
+    invalid_arg
+      (Printf.sprintf
+         "Ops.%s: access %s is not valid on dataset %s (datasets accept \
+          Read/Write/Inc/Rw; Min/Max are global reductions — use arg_gbl)"
+         ctor (Access.to_string access) dat.Types.dat_name)
+
 let arg_dat dat stencil access : arg =
+  require_valid_on_dat ~ctor:"arg_dat" dat access;
   Types.Arg_dat { dat; stencil; access; stride = Types.unit_stride }
 
 (* Grid-transfer arguments for multigrid: [arg_dat_restrict] reads a finer
@@ -101,13 +113,23 @@ let arg_dat dat stencil access : arg =
    point + offset); [arg_dat_prolong] reads a coarser dataset from a
    fine-grid loop (point / factor + offset). Read-only. *)
 let arg_dat_restrict dat stencil ~factor access : arg =
+  require_valid_on_dat ~ctor:"arg_dat_restrict" dat access;
   Types.Arg_dat
     { dat; stencil; access; stride = { Types.xn = factor; xd = 1; yn = factor; yd = 1 } }
 
 let arg_dat_prolong dat stencil ~factor access : arg =
+  require_valid_on_dat ~ctor:"arg_dat_prolong" dat access;
   Types.Arg_dat
     { dat; stencil; access; stride = { Types.xn = 1; xd = factor; yn = 1; yd = factor } }
-let arg_gbl ~name buf access : arg = Types.Arg_gbl { name; buf; access }
+
+let arg_gbl ~name buf access : arg =
+  if not (Access.valid_on_gbl access) then
+    invalid_arg
+      (Printf.sprintf
+         "Ops.arg_gbl: access %s is not valid on global %s (globals accept \
+          Read/Inc/Min/Max)"
+         (Access.to_string access) name);
+  Types.Arg_gbl { name; buf; access }
 let arg_idx : arg = Types.Arg_idx
 
 (* ---- Data access -------------------------------------------------------- *)
@@ -145,7 +167,7 @@ let check_partitionable ctx =
   if ctx.dist <> None then invalid_arg "Ops.partition: context already partitioned";
   match ctx.backend with
   | Seq -> ()
-  | Shared _ | Cuda_sim _ ->
+  | Shared _ | Cuda_sim _ | Check ->
     invalid_arg "Ops.partition: switch the backend to Seq before partitioning"
 
 let partition ctx ~n_ranks ~ref_ysize =
@@ -267,7 +289,8 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
       match ctx.backend with
       | Seq -> Exec.run_seq ?compiled ~range ~args ~kernel ()
       | Shared { pool } -> Exec.run_shared ?compiled pool ~range ~args ~kernel
-      | Cuda_sim config -> Exec.run_cuda ?compiled config ~range ~args ~kernel)
+      | Cuda_sim config -> Exec.run_cuda ?compiled config ~range ~args ~kernel
+      | Check -> Exec_check.run ~name ~range ~args ~kernel ())
   in
   (match ctx.checkpoint with
   | None -> execute ()

@@ -57,6 +57,10 @@ type backend =
   | Seq
   | Shared of { pool : Am_taskpool.Pool.t }
   | Cuda_sim of Exec.cuda_config
+  | Check
+      (** sanitizer: sequential semantics with canary-padded, access-guarded
+          staging buffers — a kernel violating its access descriptors raises
+          {!Exec_check.Violation} naming the loop, argument and point *)
 
 type ctx
 

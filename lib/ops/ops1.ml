@@ -20,6 +20,7 @@ type backend =
   | Seq
   | Shared of { pool : Am_taskpool.Pool.t }
   | Cuda_sim of Exec1.cuda_config
+  | Check (* sanitizer: seq semantics + access-descriptor guards *)
 
 type ctx = {
   env : Types1.env;
@@ -42,9 +43,9 @@ let create ?(backend = Seq) () =
 
 let set_backend ctx backend =
   (match (backend, ctx.dist) with
-  | (Shared _ | Cuda_sim _), Some _ ->
+  | (Shared _ | Cuda_sim _ | Check), Some _ ->
     invalid_arg "Ops1.set_backend: context is partitioned"
-  | (Seq | Shared _ | Cuda_sim _), _ -> ());
+  | (Seq | Shared _ | Cuda_sim _ | Check), _ -> ());
   ctx.backend <- backend
 
 let backend ctx = ctx.backend
@@ -58,8 +59,23 @@ let decl_block ctx ~name = Types1.decl_block ctx.env ~name
 let decl_dat ctx ~name ~block ~xsize ?halo ?dim () =
   Types1.decl_dat ctx.env ~name ~block ~xsize ?halo ?dim ()
 
-let arg_dat dat stencil access : arg = Types1.Arg_dat { dat; stencil; access }
-let arg_gbl ~name buf access : arg = Types1.Arg_gbl { name; buf; access }
+let arg_dat dat stencil access : arg =
+  if not (Access.valid_on_dat access) then
+    invalid_arg
+      (Printf.sprintf
+         "Ops1.arg_dat: access %s is not valid on dataset %s (datasets accept \
+          Read/Write/Inc/Rw; Min/Max are global reductions — use arg_gbl)"
+         (Access.to_string access) dat.Types1.dat_name);
+  Types1.Arg_dat { dat; stencil; access }
+
+let arg_gbl ~name buf access : arg =
+  if not (Access.valid_on_gbl access) then
+    invalid_arg
+      (Printf.sprintf
+         "Ops1.arg_gbl: access %s is not valid on global %s (globals accept \
+          Read/Inc/Min/Max)"
+         (Access.to_string access) name);
+  Types1.Arg_gbl { name; buf; access }
 let arg_idx : arg = Types1.Arg_idx
 
 let interior = Types1.interior
@@ -83,7 +99,7 @@ let partition ctx ~n_ranks ~ref_xsize =
   if ctx.dist <> None then invalid_arg "Ops1.partition: already partitioned";
   (match ctx.backend with
   | Seq -> ()
-  | Shared _ | Cuda_sim _ ->
+  | Shared _ | Cuda_sim _ | Check ->
     invalid_arg "Ops1.partition: switch the backend to Seq before partitioning");
   ctx.dist <- Some (Dist1.build ctx.env ~n_ranks ~ref_xsize)
 
@@ -157,7 +173,8 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
       match ctx.backend with
       | Seq -> Exec1.run_seq ?compiled ~range ~args ~kernel ()
       | Shared { pool } -> Exec1.run_shared ?compiled pool ~range ~args ~kernel
-      | Cuda_sim config -> Exec1.run_cuda ?compiled config ~range ~args ~kernel)
+      | Cuda_sim config -> Exec1.run_cuda ?compiled config ~range ~args ~kernel
+      | Check -> Exec_check1.run ~name ~range ~args ~kernel ())
   in
   (match ctx.checkpoint with
   | None -> execute ()

@@ -29,6 +29,7 @@ type backend =
   | Seq
   | Shared of { pool : Am_taskpool.Pool.t }
   | Cuda_sim of Exec3.cuda_config
+  | Check (* sanitizer: seq semantics + access-descriptor guards *)
 
 (* Distributed state: z-slab decomposition or the y x z pencil grid. *)
 type dist_state = Slabs of Dist3.t | Pencil of Dist3p.t
@@ -54,9 +55,9 @@ let create ?(backend = Seq) () =
 
 let set_backend ctx backend =
   (match (backend, ctx.dist) with
-  | (Shared _ | Cuda_sim _), Some _ ->
+  | (Shared _ | Cuda_sim _ | Check), Some _ ->
     invalid_arg "Ops3.set_backend: context is partitioned"
-  | (Seq | Shared _ | Cuda_sim _), _ -> ());
+  | (Seq | Shared _ | Cuda_sim _ | Check), _ -> ());
   ctx.backend <- backend
 
 let backend ctx = ctx.backend
@@ -70,7 +71,18 @@ let decl_block ctx ~name = Types3.decl_block ctx.env ~name
 let decl_dat ctx ~name ~block ~xsize ~ysize ~zsize ?halo ?dim () =
   Types3.decl_dat ctx.env ~name ~block ~xsize ~ysize ~zsize ?halo ?dim ()
 
+(* Access-mode legality fails here, at construction, with the dataset name
+   in hand (the loop-time [validate_args] re-checks as a backstop). *)
+let require_valid_on_dat ~ctor (dat : Types3.dat) access =
+  if not (Access.valid_on_dat access) then
+    invalid_arg
+      (Printf.sprintf
+         "Ops3.%s: access %s is not valid on dataset %s (datasets accept \
+          Read/Write/Inc/Rw; Min/Max are global reductions — use arg_gbl)"
+         ctor (Access.to_string access) dat.Types3.dat_name)
+
 let arg_dat dat stencil access : arg =
+  require_valid_on_dat ~ctor:"arg_dat" dat access;
   Types3.Arg_dat { dat; stencil; access; stride = Types3.unit_stride }
 
 (* Grid-transfer arguments for 3D multigrid, as in the 2D facade:
@@ -79,17 +91,27 @@ let arg_dat dat stencil access : arg =
    reads a coarser dataset from a fine-grid loop (point / factor + offset).
    Read-only. *)
 let arg_dat_restrict dat stencil ~factor access : arg =
+  require_valid_on_dat ~ctor:"arg_dat_restrict" dat access;
   Types3.Arg_dat
     { dat; stencil; access;
       stride =
         { Types3.xn = factor; xd = 1; yn = factor; yd = 1; zn = factor; zd = 1 } }
 
 let arg_dat_prolong dat stencil ~factor access : arg =
+  require_valid_on_dat ~ctor:"arg_dat_prolong" dat access;
   Types3.Arg_dat
     { dat; stencil; access;
       stride =
         { Types3.xn = 1; xd = factor; yn = 1; yd = factor; zn = 1; zd = factor } }
-let arg_gbl ~name buf access : arg = Types3.Arg_gbl { name; buf; access }
+
+let arg_gbl ~name buf access : arg =
+  if not (Access.valid_on_gbl access) then
+    invalid_arg
+      (Printf.sprintf
+         "Ops3.arg_gbl: access %s is not valid on global %s (globals accept \
+          Read/Inc/Min/Max)"
+         (Access.to_string access) name);
+  Types3.Arg_gbl { name; buf; access }
 let arg_idx : arg = Types3.Arg_idx
 
 let interior = Types3.interior
@@ -121,7 +143,7 @@ let check_partitionable ctx =
   if ctx.dist <> None then invalid_arg "Ops3.partition: already partitioned";
   match ctx.backend with
   | Seq -> ()
-  | Shared _ | Cuda_sim _ ->
+  | Shared _ | Cuda_sim _ | Check ->
     invalid_arg "Ops3.partition: switch the backend to Seq before partitioning"
 
 let partition ctx ~n_ranks ~ref_zsize =
@@ -205,7 +227,8 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
       match ctx.backend with
       | Seq -> Exec3.run_seq ?compiled ~range ~args ~kernel ()
       | Shared { pool } -> Exec3.run_shared ?compiled pool ~range ~args ~kernel
-      | Cuda_sim config -> Exec3.run_cuda ?compiled config ~range ~args ~kernel)
+      | Cuda_sim config -> Exec3.run_cuda ?compiled config ~range ~args ~kernel
+      | Check -> Exec_check3.run ~name ~range ~args ~kernel ())
   in
   (match ctx.checkpoint with
   | None -> execute ()

@@ -57,6 +57,9 @@ type backend =
   | Seq
   | Shared of { pool : Am_taskpool.Pool.t }
   | Cuda_sim of Exec3.cuda_config
+  | Check
+      (** sanitizer: sequential semantics with canary-padded, access-guarded
+          staging buffers — violations raise {!Exec_check.Violation} *)
 
 type ctx
 

@@ -144,7 +144,9 @@ let describe ~name ~block ~range ~info args : Am_core.Descr.loop =
         access;
         kind =
           (if is_center_only stencil then Am_core.Descr.Direct
-           else Am_core.Descr.Stencil { points = Array.length stencil });
+           else
+             Am_core.Descr.Stencil
+               { points = Array.length stencil; extent = stencil_extent stencil });
       }
   in
   { Am_core.Descr.loop_name = name; set_name = block.block_name;

@@ -129,8 +129,8 @@ let test_ops_targets () =
       set_size = 100;
       args =
         [
-          arg ~kind:(Descr.Stencil { points = 1 }) "density" 1 Access.Read;
-          arg ~kind:(Descr.Stencil { points = 1 }) "pressure" 1 Access.Write;
+          arg ~kind:(Descr.Stencil { points = 1; extent = 0 }) "density" 1 Access.Read;
+          arg ~kind:(Descr.Stencil { points = 1; extent = 0 }) "pressure" 1 Access.Write;
         ];
       info = Descr.default_kernel_info;
     }
