@@ -12,7 +12,11 @@
      dune exec bench/main.exe -- --list    # experiment ids
      dune exec bench/main.exe -- --no-micro  # skip the Bechamel section
      dune exec bench/main.exe -- micro --json [file]
-       # also write the micro estimates as JSON (default BENCH.json) *)
+       # also write the micro estimates as JSON (default BENCH.json)
+
+   --json additionally drops <stem>.trace.json and <stem>.counters.json
+   (the traced halo-accounting runs) next to the JSON.  All three are
+   generated artifacts and gitignored — regenerate, don't commit. *)
 
 module Registry = Am_experiments.Registry
 
@@ -170,6 +174,122 @@ let print_halo halo =
   Am_util.Table.print table;
   print_newline ()
 
+(* Fault-tolerance cost accounting.  Three numbers per distributed proxy:
+   the wall-clock of a clean partitioned run, the same run under a
+   lossy-but-survivable schedule (drops, duplicates, delays — every loss
+   is absorbed by the retry machinery), and the cost of the
+   checkpoint/restart path (persisting a snapshot, then restoring it into
+   a fresh context and replaying the run). *)
+type recovery_row = {
+  rec_name : string;
+  rec_clean_s : float;
+  rec_lossy_s : float;
+  rec_retransmits : int;
+  rec_save_s : float;
+  rec_restore_replay_s : float;
+}
+
+let recovery_accounting () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let lossy =
+    { Am_simmpi.Fault.default with
+      seed = 42; drop = 0.05; dup = 0.05; delay = 0.1; max_delay = 3 }
+  in
+  (* [fresh ()] builds a partitioned context from scratch; [run t] drives a
+     fixed number of steps; the ops record abstracts OP2 vs OPS. *)
+  let measure rec_name fresh run ~set_fault ~enable ~session ~save ~recover =
+    let rec_clean_s = time (fun () -> run (fresh ())) in
+    Am_obs.Obs.reset ();
+    let rec_lossy_s =
+      let t = fresh () in
+      set_fault t (Am_simmpi.Fault.create lossy);
+      time (fun () -> run t)
+    in
+    let rec_retransmits = Am_obs.Counters.value Am_obs.Obs.fault_retransmits in
+    let path = Filename.temp_file "am_bench_ckpt" ".snap" in
+    let rec_save_s =
+      let t = fresh () in
+      enable t;
+      run t;
+      (match session t with
+      | Some s when Am_checkpoint.Runtime.complete s -> ()
+      | _ -> failwith (rec_name ^ ": checkpoint did not complete"));
+      time (fun () -> save t path)
+    in
+    let rec_restore_replay_s =
+      let t = fresh () in
+      time (fun () ->
+          recover t path;
+          run t)
+    in
+    Sys.remove path;
+    { rec_name; rec_clean_s; rec_lossy_s; rec_retransmits; rec_save_s;
+      rec_restore_replay_s }
+  in
+  let airfoil =
+    measure "airfoil_dist"
+      (fun () ->
+        let t =
+          Am_airfoil.App.create (Am_mesh.Umesh.generate_airfoil ~nx:48 ~ny:32 ())
+        in
+        Am_op2.Op2.partition t.Am_airfoil.App.ctx ~n_ranks:4
+          ~strategy:(Am_op2.Op2.Kway_through t.Am_airfoil.App.edge_cells);
+        t)
+      (fun t -> ignore (Am_airfoil.App.run t ~iters:10))
+      ~set_fault:(fun t -> Am_op2.Op2.set_fault_injector t.Am_airfoil.App.ctx)
+      ~enable:(fun t ->
+        Am_op2.Op2.enable_checkpointing t.Am_airfoil.App.ctx;
+        Am_op2.Op2.request_checkpoint t.Am_airfoil.App.ctx)
+      ~session:(fun t -> Am_op2.Op2.checkpoint_session t.Am_airfoil.App.ctx)
+      ~save:(fun t path -> Am_op2.Op2.checkpoint_to_file t.Am_airfoil.App.ctx ~path)
+      ~recover:(fun t path -> Am_op2.Op2.recover_from_file t.Am_airfoil.App.ctx ~path)
+  in
+  let clover =
+    measure "cloverleaf_dist"
+      (fun () ->
+        let t = Am_cloverleaf.App.create ~nx:48 ~ny:48 () in
+        Am_ops.Ops.partition t.Am_cloverleaf.App.ctx ~n_ranks:4 ~ref_ysize:48;
+        t)
+      (fun t -> ignore (Am_cloverleaf.App.run t ~steps:5))
+      ~set_fault:(fun t -> Am_ops.Ops.set_fault_injector t.Am_cloverleaf.App.ctx)
+      ~enable:(fun t ->
+        Am_ops.Ops.enable_checkpointing t.Am_cloverleaf.App.ctx;
+        Am_ops.Ops.request_checkpoint t.Am_cloverleaf.App.ctx)
+      ~session:(fun t -> Am_ops.Ops.checkpoint_session t.Am_cloverleaf.App.ctx)
+      ~save:(fun t path ->
+        Am_ops.Ops.checkpoint_to_file t.Am_cloverleaf.App.ctx ~path)
+      ~recover:(fun t path ->
+        Am_ops.Ops.recover_from_file t.Am_cloverleaf.App.ctx ~path)
+  in
+  [ airfoil; clover ]
+
+let print_recovery rows =
+  let table =
+    Am_util.Table.create
+      ~title:"fault-tolerance costs (4 ranks, wall-clock)"
+      ~header:[ "run"; "clean"; "lossy"; "retx"; "ckpt save"; "restore+replay" ]
+      ~aligns:[ Am_util.Table.Left; Right; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Am_util.Table.add_row table
+        [
+          r.rec_name;
+          Am_util.Units.seconds r.rec_clean_s;
+          Am_util.Units.seconds r.rec_lossy_s;
+          string_of_int r.rec_retransmits;
+          Am_util.Units.seconds r.rec_save_s;
+          Am_util.Units.seconds r.rec_restore_replay_s;
+        ])
+    rows;
+  Am_util.Table.print table;
+  print_newline ()
+
 (* Sanitizer overhead: the same Airfoil iteration on the reference backend
    and on the access-guarded Check backend, wall-clock per iteration. *)
 let sanitizer_overhead () =
@@ -194,7 +314,7 @@ let sanitizer_overhead () =
    nanoseconds per run, plus the exposed/overlapped halo-seconds split of
    the distributed proxies.  Hand-rolled JSON — names contain only
    [a-z0-9_/]. *)
-let write_json path estimates halo sanitizer =
+let write_json path estimates halo sanitizer recovery =
   let oc = open_out path in
   output_string oc "{\n  \"unit\": \"ns_per_run\",\n  \"results\": {\n";
   let n = List.length estimates in
@@ -241,6 +361,19 @@ let write_json path estimates halo sanitizer =
     "    \"comm\": { \"messages\": %d, \"bytes_sent\": %d, \"exchanges\": %d, \"reductions\": %d }\n"
     (c "comm.messages") (c "comm.bytes_sent") (c "comm.exchanges")
     (c "comm.reductions");
+  output_string oc "  },\n  \"recovery\": {\n";
+  let n_rec = List.length recovery in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    %S: { \"clean_seconds\": %.9f, \"lossy_seconds\": %.9f, \
+         \"retry_overhead_x\": %.3f, \"retransmits\": %d, \
+         \"checkpoint_save_seconds\": %.9f, \"restore_replay_seconds\": %.9f }%s\n"
+        r.rec_name r.rec_clean_s r.rec_lossy_s
+        (if r.rec_clean_s > 0.0 then r.rec_lossy_s /. r.rec_clean_s else 0.0)
+        r.rec_retransmits r.rec_save_s r.rec_restore_replay_s
+        (if i = n_rec - 1 then "" else ","))
+    recovery;
   output_string oc "  }\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d benchmarks)\n\n%!" path n
@@ -289,12 +422,14 @@ let run_micro ?json () =
     (Am_util.Units.seconds seq_s)
     (Am_util.Units.seconds check_s)
     overhead;
+  let recovery = recovery_accounting () in
+  print_recovery recovery;
   match json with
   | None -> ()
   | Some path ->
     write_json path
       (List.sort (fun (a, _) (b, _) -> compare a b) !estimates)
-      halo sanitizer;
+      halo sanitizer recovery;
     let stem = Filename.remove_extension path in
     let trace_path = stem ^ ".trace.json" in
     let counters_path = stem ^ ".counters.json" in

@@ -11,11 +11,12 @@ module Op2 = Am_op2.Op2
 module App = Am_aero.App
 module Umesh = Am_mesh.Umesh
 
-let run n iters backend ranks renumber verify check trace obs_json =
+let run n iters backend ranks renumber verify check trace obs_json faults recover =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let mesh = App.generate_mesh ~n in
   Printf.printf "aero: %dx%d cells, %d nodes\n%!" n n mesh.Umesh.n_nodes;
+  Fault_common.with_faults ~app:"aero" ~faults ~recover @@ fun fc ~recovering ->
   let pool = ref None in
   let t = App.create mesh in
   if check then begin
@@ -42,9 +43,19 @@ let run n iters backend ranks renumber verify check trace obs_json =
     let before, after = Op2.renumber t.App.ctx ~through:t.App.cell_nodes in
     Printf.printf "renumbered: mean bandwidth %.1f -> %.1f\n%!" before after
   end;
+  (match Fault_common.injector fc with
+  | Some f -> Op2.set_fault_injector t.App.ctx f
+  | None -> ());
+  Fault_common.arm fc ~recovering
+    ~recover:(fun path -> Op2.recover_from_file t.App.ctx ~path)
+    ~enable:(fun () ->
+      Op2.enable_checkpointing t.App.ctx;
+      Op2.request_checkpoint t.App.ctx);
   let t0 = Unix.gettimeofday () in
   for i = 1 to iters do
     let cg_iters, rms = App.iteration t in
+    Fault_common.maybe_persist fc (Op2.checkpoint_session t.App.ctx) (fun path ->
+        Op2.checkpoint_to_file t.App.ctx ~path);
     Printf.printf "  newton %d: %3d CG iterations, update rms %10.5e\n%!" i cg_iters rms
   done;
   Printf.printf "L2 error vs analytic solution: %.3e\n" (App.l2_error t);
@@ -114,6 +125,7 @@ let cmd =
     (Cmd.info "aero" ~doc:"2D FEM + matrix-free CG proxy application (OP2)")
     Term.(
       const run $ n $ iters $ backend $ ranks $ renumber $ verify
-      $ Check_common.arg $ trace_arg $ obs_json_arg)
+      $ Check_common.arg $ trace_arg $ obs_json_arg
+      $ Fault_common.faults_arg $ Fault_common.recover_arg)
 
 let () = exit (Cmd.eval cmd)

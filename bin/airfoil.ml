@@ -11,7 +11,7 @@ module App = Am_airfoil.App
 module Umesh = Am_mesh.Umesh
 
 let run nx ny iters backend ranks overlap renumber verify check save_to mesh_file
-    trace obs_json =
+    trace obs_json faults recover =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   (* Meshes load from snapshot files (the HDF5-style input path) or are
@@ -32,6 +32,7 @@ let run nx ny iters backend ranks overlap renumber verify check save_to mesh_fil
   in
   Printf.printf "airfoil: %d cells, %d edges, %d nodes\n%!" mesh.Umesh.n_cells
     mesh.Umesh.n_edges mesh.Umesh.n_nodes;
+  Fault_common.with_faults ~app:"airfoil" ~faults ~recover @@ fun fc ~recovering ->
   let pool = ref None in
   let t = App.create mesh in
   if check then begin
@@ -66,9 +67,19 @@ let run nx ny iters backend ranks overlap renumber verify check save_to mesh_fil
     let before, after = Op2.renumber t.App.ctx ~through:t.App.edge_cells in
     Printf.printf "renumbered: dual-graph mean bandwidth %.1f -> %.1f\n%!" before after
   end;
+  (match Fault_common.injector fc with
+  | Some f -> Op2.set_fault_injector t.App.ctx f
+  | None -> ());
+  Fault_common.arm fc ~recovering
+    ~recover:(fun path -> Op2.recover_from_file t.App.ctx ~path)
+    ~enable:(fun () ->
+      Op2.enable_checkpointing t.App.ctx;
+      Op2.request_checkpoint t.App.ctx);
   let t0 = Unix.gettimeofday () in
   for i = 1 to iters do
     let rms = App.iteration t in
+    Fault_common.maybe_persist fc (Op2.checkpoint_session t.App.ctx) (fun path ->
+        Op2.checkpoint_to_file t.App.ctx ~path);
     if i mod 100 = 0 || i = iters then Printf.printf "  %4d  %10.5e\n%!" i rms
   done;
   Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
@@ -166,6 +177,7 @@ let cmd =
     (Cmd.info "airfoil" ~doc:"Non-linear 2D inviscid Euler proxy application (OP2)")
     Term.(
       const run $ nx $ ny $ iters $ backend $ ranks $ overlap $ renumber $ verify
-      $ Check_common.arg $ save_to $ mesh_file $ trace_arg $ obs_json_arg)
+      $ Check_common.arg $ save_to $ mesh_file $ trace_arg $ obs_json_arg
+      $ Fault_common.faults_arg $ Fault_common.recover_arg)
 
 let () = exit (Cmd.eval cmd)

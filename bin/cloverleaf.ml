@@ -10,13 +10,14 @@ module Ops = Am_ops.Ops
 module App = Am_cloverleaf.App
 
 let run nx ny steps backend ranks overlap summary_every verify van_leer check
-    trace obs_json =
+    trace obs_json faults recover =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let advection =
     if van_leer then Am_cloverleaf.App.Van_leer else Am_cloverleaf.App.First_order
   in
   Printf.printf "cloverleaf: %dx%d cells, %d steps, backend %s\n%!" nx ny steps backend;
+  Fault_common.with_faults ~app:"cloverleaf" ~faults ~recover @@ fun fc ~recovering ->
   let pool = ref None in
   let t =
     match (if check then "check" else backend) with
@@ -59,6 +60,14 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer check
       failwith "--overlap requires --backend mpi, mpi2d or hybrid";
     Ops.set_comm_mode t.App.ctx Ops.Overlap
   end;
+  (match Fault_common.injector fc with
+  | Some f -> Ops.set_fault_injector t.App.ctx f
+  | None -> ());
+  Fault_common.arm fc ~recovering
+    ~recover:(fun path -> Ops.recover_from_file t.App.ctx ~path)
+    ~enable:(fun () ->
+      Ops.enable_checkpointing t.App.ctx;
+      Ops.request_checkpoint t.App.ctx);
   let print_summary step =
     let s = App.field_summary t in
     Printf.printf "  step %4d  dt %.5f  mass %.6f  ie %.4f  ke %.6f  press %.3f\n%!"
@@ -68,6 +77,8 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer check
   print_summary 0;
   for i = 1 to steps do
     ignore (App.hydro_step t);
+    Fault_common.maybe_persist fc (Ops.checkpoint_session t.App.ctx) (fun path ->
+        Ops.checkpoint_to_file t.App.ctx ~path);
     if i mod summary_every = 0 || i = steps then print_summary i
   done;
   Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
@@ -147,6 +158,7 @@ let cmd =
     (Cmd.info "cloverleaf" ~doc:"CloverLeaf 2D hydrodynamics proxy application (OPS)")
     Term.(
       const run $ nx $ ny $ steps $ backend $ ranks $ overlap $ summary_every
-      $ verify $ van_leer $ Check_common.arg $ trace_arg $ obs_json_arg)
+      $ verify $ van_leer $ Check_common.arg $ trace_arg $ obs_json_arg
+      $ Fault_common.faults_arg $ Fault_common.recover_arg)
 
 let () = exit (Cmd.eval cmd)

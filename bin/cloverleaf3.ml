@@ -5,9 +5,10 @@
 module App = Am_cloverleaf3.App
 module Ops3 = Am_ops.Ops3
 
-let run n steps backend ranks check trace obs_json =
+let run n steps backend ranks check trace obs_json faults recover =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
+  Fault_common.with_faults ~app:"cloverleaf3" ~faults ~recover @@ fun fc ~recovering ->
   let pool = ref None in
   let t =
     match (if check then "check" else backend) with
@@ -41,9 +42,19 @@ let run n steps backend ranks check trace obs_json =
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
   Printf.printf "cloverleaf3: %d^3 cells, %d steps, backend %s\n%!" n steps backend;
+  (match Fault_common.injector fc with
+  | Some f -> Ops3.set_fault_injector t.App.ctx f
+  | None -> ());
+  Fault_common.arm fc ~recovering
+    ~recover:(fun path -> Ops3.recover_from_file t.App.ctx ~path)
+    ~enable:(fun () ->
+      Ops3.enable_checkpointing t.App.ctx;
+      Ops3.request_checkpoint t.App.ctx);
   let t0 = Unix.gettimeofday () in
   for i = 1 to steps do
     let dt = App.hydro_step t in
+    Fault_common.maybe_persist fc (Ops3.checkpoint_session t.App.ctx) (fun path ->
+        Ops3.checkpoint_to_file t.App.ctx ~path);
     if i mod 5 = 0 || i = steps then begin
       let s = App.field_summary t in
       Printf.printf "  step %4d  dt %.5f  mass %.6f  ie %.4f  ke %.6f\n%!" i dt
@@ -89,6 +100,6 @@ let cmd =
     (Cmd.info "cloverleaf3" ~doc:"CloverLeaf 3D hydrodynamics proxy application (Ops3)")
     Term.(
       const run $ n $ steps $ backend $ ranks $ Check_common.arg $ trace_arg
-      $ obs_json_arg)
+      $ obs_json_arg $ Fault_common.faults_arg $ Fault_common.recover_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,105 @@
+(* Shared --faults/--recover plumbing for the proxy-application drivers.
+
+   --faults SPEC attaches a seeded fault injector to the application's
+   communicator (message drop / duplicate / delay / bit-flip corruption,
+   plus an armed rank crash at a chosen parallel-loop counter); the
+   reliable transport detects and retries what it can.  Without --recover
+   an injected failure that survives the transport (a crash, or retries
+   exhausted) aborts the run cleanly with a resilience finding and exit
+   code 1.  With --recover the driver checkpoints early, persists the
+   snapshot as soon as it is complete, and on failure restores it and
+   replays forward — up to [max_restarts] times before giving up the same
+   way. *)
+
+let faults_arg =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ]
+        ~doc:
+          "Fault-injection specification: comma-separated \
+           $(b,seed=N,drop=P,dup=P,delay=P,max-delay=N,corrupt=P,crash=RANK@LOOP). \
+           Probabilities are per message (distributed backends); the crash \
+           trigger fires on any backend." ~docv:"SPEC")
+
+let recover_arg =
+  let open Cmdliner in
+  Arg.(
+    value & flag
+    & info [ "recover" ]
+        ~doc:
+          "Recover from injected faults: checkpoint early and, on a rank \
+           crash or unrecoverable message loss, restore the last snapshot \
+           and replay forward (up to 3 restarts) instead of aborting.")
+
+type t = {
+  injector : Am_simmpi.Fault.t option;
+  ckpt_path : string option; (* Some iff recovery is armed *)
+  mutable written : bool; (* snapshot file holds a complete checkpoint *)
+}
+
+let max_restarts = 3
+let injector t = t.injector
+
+(* Install the recovery entry point for one attempt: restore the persisted
+   snapshot when restarting past one, otherwise enable checkpointing so
+   this attempt produces one. *)
+let arm t ~recovering ~recover ~enable =
+  match t.ckpt_path with
+  | None -> ()
+  | Some path when recovering && t.written && Sys.file_exists path -> recover path
+  | Some _ -> enable ()
+
+(* Persist the checkpoint the moment it is complete (deferred dataset
+   saves included), so a crash at any later loop can restore it. *)
+let maybe_persist t session save =
+  match (t.ckpt_path, session) with
+  | Some path, Some s when (not t.written) && Am_checkpoint.Runtime.complete s ->
+    save path;
+    t.written <- true
+  | _ -> ()
+
+(* Wrap a driver body.  Parses the spec (exit 2 on a malformed one) and
+   runs the body under the resilience harness; an unrecoverable outcome
+   prints the finding and exits 1 — no fault-layer exception escapes. *)
+let with_faults ~app ~faults ~recover body =
+  match faults with
+  | None -> body { injector = None; ckpt_path = None; written = false } ~recovering:false
+  | Some s ->
+    let spec =
+      match Am_simmpi.Fault.spec_of_string s with
+      | Ok spec -> spec
+      | Error msg ->
+        Printf.eprintf "%s: --faults: %s\n" app msg;
+        exit 2
+    in
+    Printf.printf "fault injection: %s%s\n%!"
+      (Am_simmpi.Fault.spec_to_string spec)
+      (if recover then " (recovery armed)" else "");
+    let ckpt_path =
+      if recover then (
+        let p = Filename.temp_file (app ^ "_ckpt") ".snap" in
+        Sys.remove p (* existence marks a persisted checkpoint *);
+        Some p)
+      else None
+    in
+    let t = { injector = Some (Am_simmpi.Fault.create spec); ckpt_path; written = false } in
+    let result =
+      Am_analysis.Resilience.protect ~max_restarts:(if recover then max_restarts else 0)
+        (fun ~recovering ->
+          if recovering then
+            Printf.printf "\nfault: restarting %s\n%!"
+              (if t.written then "from the persisted checkpoint" else "from the beginning");
+          body t ~recovering)
+    in
+    (match ckpt_path with
+    | Some p when Sys.file_exists p -> Sys.remove p
+    | _ -> ());
+    (match result with
+    | Ok v -> v
+    | Error finding ->
+      print_newline ();
+      print_endline (Am_analysis.Finding.to_string finding);
+      prerr_endline (app ^ ": unrecoverable fault; failing the run");
+      exit 1)

@@ -5,10 +5,12 @@
 module Op2 = Am_op2.Op2
 module App = Am_hydra.App
 
-let run nx ny iters backend ranks renumber no_multigrid check trace obs_json =
+let run nx ny iters backend ranks renumber no_multigrid check trace obs_json faults
+    recover =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let features = { App.all_features with App.multigrid = not no_multigrid } in
+  Fault_common.with_faults ~app:"hydra" ~faults ~recover @@ fun fc ~recovering ->
   let pool = ref None in
   let t =
     match (if check then "check" else backend) with
@@ -39,9 +41,19 @@ let run nx ny iters backend ranks renumber no_multigrid check trace obs_json =
     let before, after = Op2.renumber t.App.ctx ~through:t.App.edge_cells in
     Printf.printf "renumbered: dual-graph mean bandwidth %.1f -> %.1f\n%!" before after
   end;
+  (match Fault_common.injector fc with
+  | Some f -> Op2.set_fault_injector t.App.ctx f
+  | None -> ());
+  Fault_common.arm fc ~recovering
+    ~recover:(fun path -> Op2.recover_from_file t.App.ctx ~path)
+    ~enable:(fun () ->
+      Op2.enable_checkpointing t.App.ctx;
+      Op2.request_checkpoint t.App.ctx);
   let t0 = Unix.gettimeofday () in
   for i = 1 to iters do
     let rms = App.iteration t in
+    Fault_common.maybe_persist fc (Op2.checkpoint_session t.App.ctx) (fun path ->
+        Op2.checkpoint_to_file t.App.ctx ~path);
     if i mod 10 = 0 || i = iters then Printf.printf "  %4d  %10.5e\n%!" i rms
   done;
   Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
@@ -91,6 +103,7 @@ let cmd =
     (Cmd.info "hydra" ~doc:"Production-scale synthetic RANS pipeline (OP2)")
     Term.(
       const run $ nx $ ny $ iters $ backend $ ranks $ renumber $ no_multigrid
-      $ Check_common.arg $ trace_arg $ obs_json_arg)
+      $ Check_common.arg $ trace_arg $ obs_json_arg
+      $ Fault_common.faults_arg $ Fault_common.recover_arg)
 
 let () = exit (Cmd.eval cmd)

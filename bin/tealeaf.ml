@@ -5,9 +5,10 @@
 module Tea = Am_tealeaf.App
 module Ops3 = Am_ops.Ops3
 
-let run n steps dt backend ranks check trace obs_json =
+let run n steps dt backend ranks check trace obs_json faults recover =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
+  Fault_common.with_faults ~app:"tealeaf" ~faults ~recover @@ fun fc ~recovering ->
   let pool = ref None in
   let t =
     match (if check then "check" else backend) with
@@ -36,9 +37,19 @@ let run n steps dt backend ranks check trace obs_json =
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
   Printf.printf "tealeaf-sim: %d^3 cells, dt %.3f, backend %s\n%!" n dt backend;
+  (match Fault_common.injector fc with
+  | Some f -> Ops3.set_fault_injector t.Tea.ctx f
+  | None -> ());
+  Fault_common.arm fc ~recovering
+    ~recover:(fun path -> Ops3.recover_from_file t.Tea.ctx ~path)
+    ~enable:(fun () ->
+      Ops3.enable_checkpointing t.Tea.ctx;
+      Ops3.request_checkpoint t.Tea.ctx);
   let t0 = Unix.gettimeofday () in
   for i = 1 to steps do
     let iters = Tea.step t in
+    Fault_common.maybe_persist fc (Ops3.checkpoint_session t.Tea.ctx) (fun path ->
+        Ops3.checkpoint_to_file t.Tea.ctx ~path);
     Printf.printf "  step %3d: %3d CG iterations, total heat %.6f\n%!" i iters
       (Tea.total_heat t)
   done;
@@ -84,6 +95,6 @@ let cmd =
     (Cmd.info "tealeaf" ~doc:"Implicit 3D heat conduction proxy app (Ops3 + CG)")
     Term.(
       const run $ n $ steps $ dt $ backend $ ranks $ Check_common.arg $ trace_arg
-      $ obs_json_arg)
+      $ obs_json_arg $ Fault_common.faults_arg $ Fault_common.recover_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,4 +1,4 @@
-(* A diagnostic produced by one of the four analysis layers.
+(* A diagnostic produced by one of the analysis layers.
 
    Findings are deliberately plain data: the lint, plan-validation and
    dataflow passes produce them, the facade aggregates them, and the
@@ -8,7 +8,7 @@
    [Error] marks a defect that produces wrong answers on at least one
    backend. *)
 
-type layer = Descriptor | Plan | Dataflow | Sanitizer
+type layer = Descriptor | Plan | Dataflow | Sanitizer | Resilience
 
 type severity = Info | Warning | Error
 
@@ -29,6 +29,7 @@ let layer_to_string = function
   | Plan -> "plan"
   | Dataflow -> "dataflow"
   | Sanitizer -> "sanitizer"
+  | Resilience -> "resilience"
 
 let severity_to_string = function
   | Info -> "info"

@@ -1,0 +1,48 @@
+(* Recovery harness: the restart loop between the fault injector and the
+   checkpoint runtime.
+
+   An application run is handed over as a closure; when it dies from an
+   injected rank crash ([Am_simmpi.Fault.Crashed]) or an unrecoverable
+   message loss ([Am_simmpi.Fault.Unrecoverable] — retransmits exhausted,
+   or the simulated network deadlocked), the harness re-invokes it with
+   [recovering:true] so the driver can restore the last on-disk snapshot
+   and fast-forward.  When the restart budget is spent the harness gives
+   up cleanly: the caller gets an [Error] carrying a {!Finding.t} on the
+   [Resilience] layer rather than an escaping exception, so drivers report
+   it like any other diagnostic and exit non-zero.
+
+   Unexpected exceptions (bugs, [Invalid_argument], ...) are not recovery
+   material and re-raise unchanged. *)
+
+let describe_fault = function
+  | Am_simmpi.Fault.Crashed { rank; loop } ->
+    Some (Printf.sprintf "rank %d crashed at parallel loop %d" rank loop)
+  | Am_simmpi.Fault.Unrecoverable msg -> Some ("halo exchange lost: " ^ msg)
+  | Failure msg -> Some ("runtime failure: " ^ msg)
+  | _ -> None
+
+(* [protect ~max_restarts run] runs [run ~recovering:false], restarting on
+   survivable faults up to [max_restarts] times ([recovering:true] from the
+   first restart on).  [max_restarts = 0] means detect-and-abort. *)
+let protect ?(max_restarts = 3) run =
+  let rec go ~attempt =
+    match run ~recovering:(attempt > 0) with
+    | v -> Ok v
+    | exception e -> (
+      match describe_fault e with
+      | None -> raise e
+      | Some what ->
+        if attempt < max_restarts then (
+          Am_obs.Counters.incr Am_obs.Obs.fault_recoveries;
+          if Am_obs.Obs.tracing () then
+            Am_obs.Obs.instant ~cat:Am_obs.Tracer.Fault "restart";
+          go ~attempt:(attempt + 1))
+        else (
+          Am_obs.Counters.incr Am_obs.Obs.fault_aborts;
+          Error
+            (Finding.make ~layer:Finding.Resilience ~severity:Finding.Error
+               ~subject:"recovery"
+               (Printf.sprintf "%s; gave up after %d restart%s" what attempt
+                  (if attempt = 1 then "" else "s")))))
+  in
+  go ~attempt:0

@@ -56,6 +56,12 @@ let create ~fns =
 
 let counter s = s.counter
 let trigger_at s = s.trigger_at
+
+(* A made checkpoint is a complete restart image only once its deferred
+   (Save_at) datasets have all been snapshotted. *)
+let complete s =
+  s.trigger_at <> None
+  && (match s.phase with Saving _ -> false | Normal | Awaiting _ | Fast_forward _ -> true)
 let saved_names s = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.store [])
 let saved_units s = Hashtbl.fold (fun _ v acc -> acc + Array.length v) s.store 0
 

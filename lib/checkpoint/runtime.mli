@@ -26,6 +26,11 @@ val counter : session -> int
 (** Position of the completed checkpoint, once made. *)
 val trigger_at : session -> int option
 
+(** True once a checkpoint was made {e and} its deferred datasets have all
+    been snapshotted — the earliest point at which {!save_to_file} captures
+    a complete restart image. *)
+val complete : session -> bool
+
 (** Names snapshotted so far (sorted). *)
 val saved_names : session -> string list
 

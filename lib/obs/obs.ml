@@ -39,6 +39,17 @@ let checkpoint_restores = Counters.counter counters "checkpoint.restores"
 let analysis_lint_findings = Counters.counter counters "analysis.lint_findings"
 let analysis_plan_violations = Counters.counter counters "analysis.plan_violations"
 let analysis_dataflow_findings = Counters.counter counters "analysis.dataflow_findings"
+let fault_drops = Counters.counter counters "fault.injected_drops"
+let fault_dups = Counters.counter counters "fault.injected_dups"
+let fault_delays = Counters.counter counters "fault.injected_delays"
+let fault_corruptions = Counters.counter counters "fault.injected_corruptions"
+let fault_crc_failures = Counters.counter counters "fault.crc_failures"
+let fault_stale = Counters.counter counters "fault.stale_discards"
+let fault_timeouts = Counters.counter counters "fault.timeouts"
+let fault_retransmits = Counters.counter counters "fault.retransmits"
+let fault_crashes = Counters.counter counters "fault.crashes"
+let fault_recoveries = Counters.counter counters "fault.recoveries"
+let fault_aborts = Counters.counter counters "fault.aborts"
 let check_loops = Counters.counter counters "check.loops"
 let check_elements = Counters.counter counters ~unit_:"elements" "check.elements"
 let check_violations = Counters.counter counters "check.violations"

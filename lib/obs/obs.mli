@@ -51,6 +51,24 @@ val boundary_elements : Counters.counter
 val checkpoint_snapshots : Counters.counter
 val checkpoint_restores : Counters.counter
 
+(** Fault-injection and recovery activity: faults injected per kind
+    (drops, duplicates, delays, corruptions), faults detected by the
+    reliable transport (CRC failures, stale-sequence discards, timeouts)
+    and its retransmissions, plus whole-run events — injected rank
+    crashes, recovery restarts, and aborts after retries were exhausted. *)
+
+val fault_drops : Counters.counter
+val fault_dups : Counters.counter
+val fault_delays : Counters.counter
+val fault_corruptions : Counters.counter
+val fault_crc_failures : Counters.counter
+val fault_stale : Counters.counter
+val fault_timeouts : Counters.counter
+val fault_retransmits : Counters.counter
+val fault_crashes : Counters.counter
+val fault_recoveries : Counters.counter
+val fault_aborts : Counters.counter
+
 (** Static-analysis findings per layer (descriptor lints, plan/colouring
     validation, cross-loop dataflow) and the sanitizer backend's activity:
     loops and elements executed under guard, violations raised. *)

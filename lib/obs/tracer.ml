@@ -16,6 +16,7 @@ type category =
   | Halo_unpack
   | Reduce
   | Checkpoint
+  | Fault
 
 let category_to_string = function
   | Loop -> "loop"
@@ -27,6 +28,7 @@ let category_to_string = function
   | Halo_unpack -> "halo_unpack"
   | Reduce -> "reduce"
   | Checkpoint -> "checkpoint"
+  | Fault -> "fault"
 
 type event = {
   ev_name : string;

@@ -20,6 +20,7 @@ type category =
   | Halo_unpack  (** scattering a received payload into halo slots *)
   | Reduce  (** global reductions and worker-state merges *)
   | Checkpoint  (** checkpoint snapshot / restore activity *)
+  | Fault  (** fault injection, detection and retransmission activity *)
 
 val category_to_string : category -> string
 (** Lower-case name used as the Chrome [cat] field ("loop", "halo_post", ...). *)

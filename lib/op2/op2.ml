@@ -48,6 +48,7 @@ type ctx = {
   trace : Trace.t;
   mutable dist : Dist.t option;
   mutable checkpoint : Am_checkpoint.Runtime.session option;
+  mutable fault : Am_simmpi.Fault.t option;
 }
 
 let create ?(backend = Seq) () =
@@ -59,6 +60,7 @@ let create ?(backend = Seq) () =
     trace = Trace.create ();
     dist = None;
     checkpoint = None;
+    fault = None;
   }
 
 let set_backend ctx backend =
@@ -271,9 +273,23 @@ let partition ctx ~n_ranks ~strategy =
   | Seq -> ()
   | Shared _ | Cuda_sim _ | Vec _ | Check ->
     invalid_arg "Op2.partition: switch the backend to Seq before partitioning");
-  ctx.dist <- Some (Dist.build ctx.env ~n_ranks ~strategy)
+  let d = Dist.build ctx.env ~n_ranks ~strategy in
+  (match ctx.fault with
+  | Some f -> Am_simmpi.Comm.attach_fault d.Dist.comm f
+  | None -> ());
+  ctx.dist <- Some d
 
 let dist ctx = ctx.dist
+
+(* Route the distributed runtime's messages through the fault injector's
+   reliable transport; a loop-counter crash trigger fires on any backend. *)
+let set_fault_injector ctx f =
+  ctx.fault <- Some f;
+  match ctx.dist with
+  | Some d -> Am_simmpi.Comm.attach_fault d.Dist.comm f
+  | None -> ()
+
+let fault_injector ctx = ctx.fault
 
 (* Intra-rank execution of the distributed backend: the hybrid MPI+OpenMP
    and MPI+vectorised modes of the paper. *)
@@ -410,6 +426,11 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle iter_set args
   Types.validate_args ~iter_set args;
   let descr = Types.describe ~name ~iter_set ~info args in
   Trace.record ctx.trace descr;
+  (* The injected rank crash counts parallel loops on the injector itself,
+     so the trigger position survives a recovery restart's fresh context. *)
+  (match ctx.fault with
+  | Some f -> Am_simmpi.Fault.note_loop f
+  | None -> ());
   let t0 = now () in
   let traced = Am_obs.Obs.tracing () in
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;

@@ -212,6 +212,19 @@ val comm_mode : ctx -> comm_mode
 (** Live communication counters of the partitioned runtime. *)
 val comm_stats : ctx -> Am_simmpi.Comm.stats option
 
+(** {1 Fault injection}
+
+    Attach a seeded {!Am_simmpi.Fault} injector: the partitioned runtime's
+    messages then travel through the communicator's reliable transport
+    (sequence numbers, CRC verification, timeout-driven retransmission),
+    and the injector's armed rank crash fires from {!par_loop} when its
+    loop counter is reached — raising [Am_simmpi.Fault.Crashed], which a
+    recovery harness turns into a restart.  May be called before or after
+    {!partition}; the injector is shared across recovery restarts. *)
+
+val set_fault_injector : ctx -> Am_simmpi.Fault.t -> unit
+val fault_injector : ctx -> Am_simmpi.Fault.t option
+
 (** {1 The parallel loop} *)
 
 (** Per-call-site loop handle: caches the resolved execution plan and the

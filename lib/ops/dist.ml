@@ -407,6 +407,21 @@ let fetch_interior t dat =
   done;
   out
 
+(* Pull every window's owned values (global ghost rows included — the edge
+   ranks own them) back into the global padded array: the inverse of [push].
+   Reading only from owners never sees a stale ghost copy, so the result is
+   exact whatever each dataset's current [fresh_depth]. *)
+let pull t dat =
+  let dd = dat_dist t dat in
+  for y = y_min dat to y_max dat - 1 do
+    let w = dd.windows.(rank_of_row t y) in
+    for x = -dat.halo to dat.xsize + dat.halo - 1 do
+      for c = 0 to dat.dim - 1 do
+        set dat ~x ~y ~c w.data.(window_index dat w ~x ~y ~c)
+      done
+    done
+  done
+
 (* Push the global array's current contents into every window (ghosts too). *)
 let push t dat =
   let dd = dat_dist t dat in

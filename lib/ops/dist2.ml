@@ -461,6 +461,20 @@ let fetch_interior t dat =
   done;
   out
 
+(* Pull every window's owned values (global ghost cells included — the edge
+   ranks own them) back into the global padded array: the inverse of [push].
+   Reading only from owners never sees a stale ghost copy. *)
+let pull t dat =
+  let dd = dat_dist t dat in
+  for y = y_min dat to y_max dat - 1 do
+    for x = x_min dat to x_max dat - 1 do
+      let w = dd.windows.(rank_of_point t ~x ~y) in
+      for c = 0 to dat.dim - 1 do
+        set dat ~x ~y ~c w.data.(window_index dat w ~x ~y ~c)
+      done
+    done
+  done
+
 let push t dat =
   let dd = dat_dist t dat in
   for r = 0 to n_ranks t - 1 do

@@ -454,6 +454,22 @@ let fetch_interior t dat =
   done;
   out
 
+(* Pull every window's owned values (global ghost cells included — the
+   edge ranks own them) back into the global padded array: the inverse of
+   [push].  Reading only from owners never sees a stale ghost copy. *)
+let pull t dat =
+  let dd = dat_dist t dat in
+  for z = z_min dat to z_max dat - 1 do
+    for y = y_min dat to y_max dat - 1 do
+      let w = dd.windows.(rank_of_point t ~y ~z) in
+      for x = -dat.halo to dat.xsize + dat.halo - 1 do
+        for c = 0 to dat.dim - 1 do
+          set dat ~x ~y ~z ~c w.data.(window_index dat w ~x ~y ~z ~c)
+        done
+      done
+    done
+  done
+
 let push t dat =
   let dd = dat_dist t dat in
   for r = 0 to n_ranks t - 1 do

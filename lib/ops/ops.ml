@@ -59,6 +59,7 @@ type ctx = {
   trace : Trace.t;
   mutable dist : dist_state option;
   mutable checkpoint : Am_checkpoint.Runtime.session option;
+  mutable fault : Am_simmpi.Fault.t option;
 }
 
 let create ?(backend = Seq) () =
@@ -69,6 +70,7 @@ let create ?(backend = Seq) () =
     trace = Trace.create ();
     dist = None;
     checkpoint = None;
+    fault = None;
   }
 
 let set_backend ctx backend =
@@ -170,16 +172,39 @@ let check_partitionable ctx =
   | Shared _ | Cuda_sim _ | Check ->
     invalid_arg "Ops.partition: switch the backend to Seq before partitioning"
 
+let dist_comm ctx =
+  match ctx.dist with
+  | None -> None
+  | Some (Rows d) -> Some d.Dist.comm
+  | Some (Grid d) -> Some d.Dist2.comm
+
+(* Route the distributed runtime's messages through the fault injector's
+   reliable transport; a loop-counter crash trigger fires on any backend. *)
+let set_fault_injector ctx f =
+  ctx.fault <- Some f;
+  match dist_comm ctx with
+  | Some comm -> Am_simmpi.Comm.attach_fault comm f
+  | None -> ()
+
+let fault_injector ctx = ctx.fault
+
+let attach_pending_fault ctx =
+  match (ctx.fault, dist_comm ctx) with
+  | Some f, Some comm -> Am_simmpi.Comm.attach_fault comm f
+  | _ -> ()
+
 let partition ctx ~n_ranks ~ref_ysize =
   check_partitionable ctx;
-  ctx.dist <- Some (Rows (Dist.build ctx.env ~n_ranks ~ref_ysize))
+  ctx.dist <- Some (Rows (Dist.build ctx.env ~n_ranks ~ref_ysize));
+  attach_pending_fault ctx
 
 (* 2D grid decomposition (px x py ranks), as the production OPS uses for
    CloverLeaf at scale: both dimensions split, two-phase ghost exchange
    carrying the corners. *)
 let partition_grid ctx ~px ~py ~ref_xsize ~ref_ysize =
   check_partitionable ctx;
-  ctx.dist <- Some (Grid (Dist2.build ctx.env ~px ~py ~ref_xsize ~ref_ysize))
+  ctx.dist <- Some (Grid (Dist2.build ctx.env ~px ~py ~ref_xsize ~ref_ysize));
+  attach_pending_fault ctx
 
 (* Hybrid MPI+OpenMP: run each rank's rows on a shared pool. *)
 type rank_execution = Dist.rank_exec = Rank_seq | Rank_shared of Am_taskpool.Pool.t
@@ -276,6 +301,11 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   Types.validate_args ~block ~range args;
   let descr = Types.describe ~name ~block ~range ~info args in
   Trace.record ctx.trace descr;
+  (* The injected rank crash counts parallel loops on the injector itself,
+     so the trigger position survives a recovery restart's fresh context. *)
+  (match ctx.fault with
+  | Some f -> Am_simmpi.Fault.note_loop f
+  | None -> ());
   let t0 = now () in
   let traced = Am_obs.Obs.tracing () in
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
@@ -328,24 +358,43 @@ let mirror_halo ctx ?(depth = 2) ?(sign_x = 1.0) ?(sign_y = 1.0) ?(center_x = Ce
 (* ---- Automatic checkpointing (paper Section VI) -------------------------- *)
 
 (* Snapshots capture the full padded array of a dataset (ghost ring
-   included) so recovery restores boundary state exactly; only supported on
-   non-partitioned contexts. *)
+   included) so recovery restores boundary state exactly.  On a partitioned
+   context the padded array is assembled from the rank windows' owned
+   values before the copy ([pull]), and scattered back into every window
+   (ghost copies included, which are then exactly the owners' values — what
+   an exchange would deliver) after a restore ([push]); the snapshot is
+   therefore decomposition-independent. *)
 let checkpoint_fns ctx =
-  if ctx.dist <> None then
-    invalid_arg "Ops checkpointing: unsupported on partitioned contexts";
   let find name =
     match List.find_opt (fun d -> d.Types.dat_name = name) (dats ctx) with
     | Some d -> d
     | None -> invalid_arg (Printf.sprintf "Ops checkpoint: unknown dataset %s" name)
   in
+  let pull d =
+    match ctx.dist with
+    | None -> ()
+    | Some (Rows t) -> Dist.pull t d
+    | Some (Grid t) -> Dist2.pull t d
+  in
+  let push d =
+    match ctx.dist with
+    | None -> ()
+    | Some (Rows t) -> Dist.push t d
+    | Some (Grid t) -> Dist2.push t d
+  in
   {
-    Am_checkpoint.Runtime.fetch = (fun name -> Array.copy (find name).Types.data);
+    Am_checkpoint.Runtime.fetch =
+      (fun name ->
+        let d = find name in
+        pull d;
+        Array.copy d.Types.data);
     restore =
       (fun name data ->
         let d = find name in
         if Array.length data <> Array.length d.Types.data then
           invalid_arg "Ops checkpoint: snapshot size mismatch";
-        Array.blit data 0 d.Types.data 0 (Array.length data));
+        Array.blit data 0 d.Types.data 0 (Array.length data);
+        push d);
   }
 
 let enable_checkpointing ctx =

@@ -178,6 +178,18 @@ val comm_mode : ctx -> comm_mode
 
 val comm_stats : ctx -> Am_simmpi.Comm.stats option
 
+(** {1 Fault injection}
+
+    Attach a seeded {!Am_simmpi.Fault} injector: the partitioned runtime's
+    messages then travel through the communicator's reliable transport
+    (sequence numbers, CRC verification, timeout-driven retransmission),
+    and the injector's armed rank crash fires from {!par_loop} when its
+    loop counter is reached.  May be called before or after partitioning;
+    the injector is shared across recovery restarts. *)
+
+val set_fault_injector : ctx -> Am_simmpi.Fault.t -> unit
+val fault_injector : ctx -> Am_simmpi.Fault.t option
+
 (** {1 Multi-block halos} *)
 
 type halo = Multiblock.halo
@@ -242,7 +254,8 @@ val par_loop :
     As for OP2: one [request_checkpoint] and the library picks the cheapest
     trigger within a detected loop period, saves only what recovery needs
     (full padded arrays, ghost ring included) and fast-forwards a restarted
-    run. Non-partitioned contexts only. *)
+    run. On partitioned contexts snapshots are pulled from (and restored
+    to) the owning ranks' windows. *)
 
 val enable_checkpointing : ctx -> unit
 val request_checkpoint : ctx -> unit

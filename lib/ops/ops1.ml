@@ -29,6 +29,7 @@ type ctx = {
   trace : Trace.t;
   mutable dist : Dist1.t option;
   mutable checkpoint : Am_checkpoint.Runtime.session option;
+  mutable fault : Am_simmpi.Fault.t option;
 }
 
 let create ?(backend = Seq) () =
@@ -39,6 +40,7 @@ let create ?(backend = Seq) () =
     trace = Trace.create ();
     dist = None;
     checkpoint = None;
+    fault = None;
   }
 
 let set_backend ctx backend =
@@ -95,13 +97,29 @@ let init ctx dat f =
   done;
   match ctx.dist with Some d -> Dist1.push d dat | None -> ()
 
+(* Route the distributed runtime's messages through the fault injector's
+   reliable transport; a loop-counter crash trigger fires on any backend. *)
+let set_fault_injector ctx f =
+  ctx.fault <- Some f;
+  match ctx.dist with
+  | Some d -> Am_simmpi.Comm.attach_fault d.Dist1.comm f
+  | None -> ()
+
+let fault_injector ctx = ctx.fault
+
+let attach_pending_fault ctx =
+  match (ctx.fault, ctx.dist) with
+  | Some f, Some d -> Am_simmpi.Comm.attach_fault d.Dist1.comm f
+  | _ -> ()
+
 let partition ctx ~n_ranks ~ref_xsize =
   if ctx.dist <> None then invalid_arg "Ops1.partition: already partitioned";
   (match ctx.backend with
   | Seq -> ()
   | Shared _ | Cuda_sim _ | Check ->
     invalid_arg "Ops1.partition: switch the backend to Seq before partitioning");
-  ctx.dist <- Some (Dist1.build ctx.env ~n_ranks ~ref_xsize)
+  ctx.dist <- Some (Dist1.build ctx.env ~n_ranks ~ref_xsize);
+  attach_pending_fault ctx
 
 type rank_execution = Dist1.rank_exec = Rank_seq | Rank_shared of Am_taskpool.Pool.t
 
@@ -161,6 +179,11 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   Types1.validate_args ~block ~range args;
   let descr = Types1.describe ~name ~block ~range ~info args in
   Trace.record ctx.trace descr;
+  (* The injected rank crash counts parallel loops on the injector itself,
+     so the trigger position survives a recovery restart's fresh context. *)
+  (match ctx.fault with
+  | Some f -> Am_simmpi.Fault.note_loop f
+  | None -> ());
   let t0 = now () in
   let traced = Am_obs.Obs.tracing () in
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
@@ -206,22 +229,30 @@ let mirror_halo ctx ?(depth = 2) ?(sign = 1.0) ?(center = Cell) dat =
 
 (* ---- Automatic checkpointing (paper Section VI) -------------------------- *)
 
+(* On partitioned contexts [fetch] first pulls every point back from its
+   owning rank's window and [restore] re-scatters, keeping snapshots
+   canonical (see [Ops.checkpoint_fns]). *)
 let checkpoint_fns ctx =
-  if ctx.dist <> None then
-    invalid_arg "Ops1 checkpointing: unsupported on partitioned contexts";
   let find name =
     match List.find_opt (fun d -> d.Types1.dat_name = name) (dats ctx) with
     | Some d -> d
     | None -> invalid_arg (Printf.sprintf "Ops1 checkpoint: unknown dataset %s" name)
   in
+  let pull d = match ctx.dist with None -> () | Some t -> Dist1.pull t d in
+  let push d = match ctx.dist with None -> () | Some t -> Dist1.push t d in
   {
-    Am_checkpoint.Runtime.fetch = (fun name -> Array.copy (find name).Types1.data);
+    Am_checkpoint.Runtime.fetch =
+      (fun name ->
+        let d = find name in
+        pull d;
+        Array.copy d.Types1.data);
     restore =
       (fun name data ->
         let d = find name in
         if Array.length data <> Array.length d.Types1.data then
           invalid_arg "Ops1 checkpoint: snapshot size mismatch";
-        Array.blit data 0 d.Types1.data 0 (Array.length data));
+        Array.blit data 0 d.Types1.data 0 (Array.length data);
+        push d);
   }
 
 let enable_checkpointing ctx =

@@ -120,6 +120,16 @@ val comm_mode : ctx -> comm_mode
 
 val comm_stats : ctx -> Am_simmpi.Comm.stats option
 
+(** {1 Fault injection}
+
+    Attach a seeded {!Am_simmpi.Fault} injector, as in {!Ops}: partitioned
+    messages travel through the communicator's reliable transport and the
+    armed rank crash fires from {!par_loop}.  May be called before or after
+    partitioning; the injector is shared across recovery restarts. *)
+
+val set_fault_injector : ctx -> Am_simmpi.Fault.t -> unit
+val fault_injector : ctx -> Am_simmpi.Fault.t option
+
 (** {1 Boundary conditions} *)
 
 type centering = Boundary1.centering = Cell | Node
@@ -151,7 +161,8 @@ val par_loop :
 
     As for the other facades: one [request_checkpoint] and the library
     picks the cheapest trigger within a detected loop period and
-    fast-forwards a restarted run. Non-partitioned contexts only. *)
+    fast-forwards a restarted run. On partitioned contexts snapshots are
+    pulled from (and restored to) the owning ranks' windows. *)
 
 val enable_checkpointing : ctx -> unit
 val request_checkpoint : ctx -> unit

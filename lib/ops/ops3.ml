@@ -41,6 +41,7 @@ type ctx = {
   trace : Trace.t;
   mutable dist : dist_state option;
   mutable checkpoint : Am_checkpoint.Runtime.session option;
+  mutable fault : Am_simmpi.Fault.t option;
 }
 
 let create ?(backend = Seq) () =
@@ -51,6 +52,7 @@ let create ?(backend = Seq) () =
     trace = Trace.create ();
     dist = None;
     checkpoint = None;
+    fault = None;
   }
 
 let set_backend ctx backend =
@@ -146,14 +148,37 @@ let check_partitionable ctx =
   | Shared _ | Cuda_sim _ | Check ->
     invalid_arg "Ops3.partition: switch the backend to Seq before partitioning"
 
+let dist_comm ctx =
+  match ctx.dist with
+  | None -> None
+  | Some (Slabs d) -> Some d.Dist3.comm
+  | Some (Pencil d) -> Some d.Dist3p.comm
+
+(* Route the distributed runtime's messages through the fault injector's
+   reliable transport; a loop-counter crash trigger fires on any backend. *)
+let set_fault_injector ctx f =
+  ctx.fault <- Some f;
+  match dist_comm ctx with
+  | Some comm -> Am_simmpi.Comm.attach_fault comm f
+  | None -> ()
+
+let fault_injector ctx = ctx.fault
+
+let attach_pending_fault ctx =
+  match (ctx.fault, dist_comm ctx) with
+  | Some f, Some comm -> Am_simmpi.Comm.attach_fault comm f
+  | _ -> ()
+
 let partition ctx ~n_ranks ~ref_zsize =
   check_partitionable ctx;
-  ctx.dist <- Some (Slabs (Dist3.build ctx.env ~n_ranks ~ref_zsize))
+  ctx.dist <- Some (Slabs (Dist3.build ctx.env ~n_ranks ~ref_zsize));
+  attach_pending_fault ctx
 
 (* Pencil (y x z) decomposition over py * pz ranks; x stays whole. *)
 let partition_pencil ctx ~py ~pz ~ref_ysize ~ref_zsize =
   check_partitionable ctx;
-  ctx.dist <- Some (Pencil (Dist3p.build ctx.env ~py ~pz ~ref_ysize ~ref_zsize))
+  ctx.dist <- Some (Pencil (Dist3p.build ctx.env ~py ~pz ~ref_ysize ~ref_zsize));
+  attach_pending_fault ctx
 
 (* Hybrid MPI+OpenMP: each rank's planes run on a shared pool. *)
 type rank_execution = Dist3.rank_exec = Rank_seq | Rank_shared of Am_taskpool.Pool.t
@@ -214,6 +239,11 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   Types3.validate_args ~block ~range args;
   let descr = Types3.describe ~name ~block ~range ~info args in
   Trace.record ctx.trace descr;
+  (* The injected rank crash counts parallel loops on the injector itself,
+     so the trigger position survives a recovery restart's fresh context. *)
+  (match ctx.fault with
+  | Some f -> Am_simmpi.Fault.note_loop f
+  | None -> ());
   let t0 = now () in
   let traced = Am_obs.Obs.tracing () in
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
@@ -286,24 +316,41 @@ let mirror_halo ctx ?(depth = 2) ?(sign_x = 1.0) ?(sign_y = 1.0) ?(sign_z = 1.0)
 (* ---- Automatic checkpointing (paper Section VI) -------------------------- *)
 
 (* Snapshots capture the full padded array of a dataset (ghost shell
-   included) so recovery restores boundary state exactly; only supported on
-   non-partitioned contexts. *)
+   included) so recovery restores boundary state exactly. On partitioned
+   contexts [fetch] first pulls every point back from its owning rank's
+   window and [restore] re-scatters (ghost copies become owner values —
+   exactly what an exchange delivers), so snapshots stay canonical. *)
 let checkpoint_fns ctx =
-  if ctx.dist <> None then
-    invalid_arg "Ops3 checkpointing: unsupported on partitioned contexts";
   let find name =
     match List.find_opt (fun d -> d.Types3.dat_name = name) (dats ctx) with
     | Some d -> d
     | None -> invalid_arg (Printf.sprintf "Ops3 checkpoint: unknown dataset %s" name)
   in
+  let pull d =
+    match ctx.dist with
+    | None -> ()
+    | Some (Slabs t) -> Dist3.pull t d
+    | Some (Pencil t) -> Dist3p.pull t d
+  in
+  let push d =
+    match ctx.dist with
+    | None -> ()
+    | Some (Slabs t) -> Dist3.push t d
+    | Some (Pencil t) -> Dist3p.push t d
+  in
   {
-    Am_checkpoint.Runtime.fetch = (fun name -> Array.copy (find name).Types3.data);
+    Am_checkpoint.Runtime.fetch =
+      (fun name ->
+        let d = find name in
+        pull d;
+        Array.copy d.Types3.data);
     restore =
       (fun name data ->
         let d = find name in
         if Array.length data <> Array.length d.Types3.data then
           invalid_arg "Ops3 checkpoint: snapshot size mismatch";
-        Array.blit data 0 d.Types3.data 0 (Array.length data));
+        Array.blit data 0 d.Types3.data 0 (Array.length data);
+        push d);
   }
 
 let enable_checkpointing ctx =

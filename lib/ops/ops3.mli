@@ -158,6 +158,16 @@ val comm_mode : ctx -> comm_mode
 
 val comm_stats : ctx -> Am_simmpi.Comm.stats option
 
+(** {1 Fault injection}
+
+    Attach a seeded {!Am_simmpi.Fault} injector, as in {!Ops}: partitioned
+    messages travel through the communicator's reliable transport and the
+    armed rank crash fires from {!par_loop}.  May be called before or after
+    partitioning; the injector is shared across recovery restarts. *)
+
+val set_fault_injector : ctx -> Am_simmpi.Fault.t -> unit
+val fault_injector : ctx -> Am_simmpi.Fault.t option
+
 (** {1 Multi-block halos} *)
 
 type halo = Multiblock3.halo
@@ -217,7 +227,8 @@ val par_loop :
     As for OP2 and 2D OPS: one [request_checkpoint] and the library picks
     the cheapest trigger within a detected loop period, saves only what
     recovery needs (full padded arrays, ghost shell included) and
-    fast-forwards a restarted run. Non-partitioned contexts only. *)
+    fast-forwards a restarted run. On partitioned contexts snapshots are
+    pulled from (and restored to) the owning ranks' windows. *)
 
 val enable_checkpointing : ctx -> unit
 val request_checkpoint : ctx -> unit

@@ -31,11 +31,27 @@ type stats = {
   mutable reductions : int;
 }
 
+(* Reliable-transport state, allocated only when a fault injector is
+   attached.  Every message then travels inside a sequence-numbered,
+   CRC-verified envelope; the receiver discards corrupt and stale copies,
+   stashes early ones, and drives capped retransmission with backoff from
+   the sender-side buffer when the expected sequence number times out (in
+   simulated deliver-steps).  All fields are per (src, dst) channel. *)
+type reliable = {
+  fault : Fault.t;
+  send_seq : int array; (* next sequence number to assign *)
+  recv_seq : int array; (* next sequence number to accept *)
+  sent : (int, float array) Hashtbl.t array; (* clean payloads, for retransmit *)
+  stash : (int, float array) Hashtbl.t array; (* early out-of-order payloads *)
+  delayed : (int ref * float array) Queue.t array; (* maturing envelopes *)
+}
+
 type t = {
   n_ranks : int;
   channels : float array Queue.t array; (* delivered; indexed src * n_ranks + dst *)
   staged : float array Queue.t array; (* isend'd, still in flight *)
   stats : stats;
+  mutable reliable : reliable option;
 }
 
 (* A request handle carries its own byte accounting so callers can attribute
@@ -51,6 +67,7 @@ let create ~n_ranks =
     channels = Array.init (n_ranks * n_ranks) (fun _ -> Queue.create ());
     staged = Array.init (n_ranks * n_ranks) (fun _ -> Queue.create ());
     stats = { messages = 0; bytes = 0; exchanges = 0; reductions = 0 };
+    reliable = None;
   }
 
 let n_ranks t = t.n_ranks
@@ -112,22 +129,205 @@ let in_flight_channels t =
   done;
   !acc
 
-let isend t ~src ~dst payload =
-  check_rank t src "isend";
-  check_rank t dst "isend";
-  let bytes = 8 * Array.length payload in
-  let traced = Obs.tracing () in
-  if traced then
-    Obs.begin_span ~lane:src ~cat:Cat.Halo_post
-      ~args:[ ("dst", float_of_int dst); ("bytes", float_of_int bytes) ]
-      "isend";
-  Queue.push payload t.staged.(chan t ~src ~dst);
+(* ---- Reliable transport (fault injection attached) -------------------- *)
+
+let attach_fault t fault =
+  let n = t.n_ranks * t.n_ranks in
+  t.reliable <-
+    Some
+      {
+        fault;
+        send_seq = Array.make n 0;
+        recv_seq = Array.make n 0;
+        sent = Array.init n (fun _ -> Hashtbl.create 8);
+        stash = Array.init n (fun _ -> Hashtbl.create 8);
+        delayed = Array.init n (fun _ -> Queue.create ());
+      }
+
+let fault t = Option.map (fun r -> r.fault) t.reliable
+
+(* Envelope layout: [| magic; seq; crc; payload... |].  The CRC covers the
+   sequence number and the payload, so a bit flip anywhere in the envelope
+   (header included) is detected; the magic word guards against the header
+   itself being flipped into a plausible CRC. *)
+let env_magic = Int64.float_of_bits 0x414D_4641_554C_5431L (* "AMFAULT1" *)
+
+let env_crc ~seq payload =
+  let acc = Am_util.Crc.add_float Am_util.Crc.start (float_of_int seq) in
+  float_of_int (Am_util.Crc.finish (Array.fold_left Am_util.Crc.add_float acc payload))
+
+let make_envelope ~seq payload =
+  let n = Array.length payload in
+  let env = Array.make (3 + n) 0.0 in
+  env.(0) <- env_magic;
+  env.(1) <- float_of_int seq;
+  env.(2) <- env_crc ~seq payload;
+  Array.blit payload 0 env 3 n;
+  env
+
+(* (seq, payload) of a verified envelope; [None] when the magic or the CRC
+   does not check out (injected corruption, detected). *)
+let parse_envelope env =
+  if Array.length env < 3 then None
+  else if Int64.bits_of_float env.(0) <> Int64.bits_of_float env_magic then None
+  else begin
+    let seq = int_of_float env.(1) in
+    let payload = Array.sub env 3 (Array.length env - 3) in
+    if Int64.bits_of_float (env_crc ~seq payload) <> Int64.bits_of_float env.(2) then
+      None
+    else Some (seq, payload)
+  end
+
+(* Stage one envelope through the injector: deliver, drop, duplicate, or
+   park it in the delayed queue for a few deliver-steps (later messages of
+   the channel then overtake it — the reorder fault). *)
+let inject t rel ~src ~dst env =
+  let c = chan t ~src ~dst in
+  let env =
+    match Fault.corrupted rel.fault env with
+    | Some flipped ->
+      Counters.incr Obs.fault_corruptions;
+      flipped
+    | None -> env
+  in
+  match Fault.classify rel.fault with
+  | Fault.Deliver -> Queue.push env t.staged.(c)
+  | Fault.Drop ->
+    Counters.incr Obs.fault_drops;
+    if Obs.tracing () then Obs.instant ~lane:src ~cat:Cat.Fault "drop"
+  | Fault.Duplicate ->
+    Counters.incr Obs.fault_dups;
+    Queue.push env t.staged.(c);
+    Queue.push (Array.copy env) t.staged.(c)
+  | Fault.Delay steps ->
+    Counters.incr Obs.fault_delays;
+    Queue.push (ref steps, env) rel.delayed.(c)
+
+(* One simulated deliver-step of a channel's delayed queue: matured
+   envelopes move (in parked order) into the in-flight queue. *)
+let tick_delayed t rel c =
+  let q = rel.delayed.(c) in
+  for _ = 1 to Queue.length q do
+    let (left, env) = Queue.pop q in
+    decr left;
+    if !left <= 0 then Queue.push env t.staged.(c) else Queue.push (left, env) q
+  done
+
+let reliable_isend t rel ~src ~dst payload =
+  let c = chan t ~src ~dst in
+  let seq = rel.send_seq.(c) in
+  rel.send_seq.(c) <- seq + 1;
+  Hashtbl.replace rel.sent.(c) seq payload;
+  let env = make_envelope ~seq payload in
+  let bytes = 8 * Array.length env in
   t.stats.messages <- t.stats.messages + 1;
   t.stats.bytes <- t.stats.bytes + bytes;
   Counters.incr Obs.comm_messages;
   Counters.add Obs.comm_bytes bytes;
-  if traced then Obs.end_span ~lane:src ();
-  Send_req { src; dst; bytes; completed = false }
+  inject t rel ~src ~dst env;
+  bytes
+
+(* Timeout/backoff policy, in simulated deliver-steps: retry [r] waits
+   [timeout_steps lsl r] steps before retransmitting. *)
+let timeout_steps = 4
+let max_retries = 6
+
+(* Blocking receive of the channel's next in-order message.  Drives the
+   deliver-step clock (maturing delayed messages), discards corrupt and
+   stale envelopes, stashes early ones, and retransmits from the sender
+   buffer on timeout.  Raises [Fault.Unrecoverable] — never the plain
+   deadlock [Failure] — when the message cannot be obtained. *)
+let reliable_receive t rel ~src ~dst =
+  let c = chan t ~src ~dst in
+  let expected = rel.recv_seq.(c) in
+  let accept payload =
+    rel.recv_seq.(c) <- expected + 1;
+    Hashtbl.remove rel.sent.(c) expected;
+    Hashtbl.remove rel.stash.(c) expected;
+    payload
+  in
+  match Hashtbl.find_opt rel.stash.(c) expected with
+  | Some payload -> accept payload
+  | None ->
+    let result = ref None in
+    (try
+       for retry = 0 to max_retries do
+         let steps = timeout_steps lsl retry in
+         let step = ref 0 in
+         while !result = None && !step < steps do
+           incr step;
+           tick_delayed t rel c;
+           while deliver_one t ~src ~dst do
+             ()
+           done;
+           let q = t.channels.(c) in
+           while !result = None && not (Queue.is_empty q) do
+             match parse_envelope (Queue.pop q) with
+             | None ->
+               Counters.incr Obs.fault_crc_failures;
+               if Obs.tracing () then
+                 Obs.instant ~lane:dst ~cat:Cat.Fault "crc_failure"
+             | Some (seq, payload) ->
+               if seq < expected then Counters.incr Obs.fault_stale
+               else if seq > expected then Hashtbl.replace rel.stash.(c) seq payload
+               else result := Some payload
+           done;
+           (* Nothing in flight and nothing maturing: further steps of this
+              window cannot help, jump straight to the timeout. *)
+           if
+             !result = None
+             && Queue.is_empty t.staged.(c)
+             && Queue.is_empty rel.delayed.(c)
+           then step := steps
+         done;
+         if !result <> None then raise Exit;
+         if retry < max_retries then begin
+           Counters.incr Obs.fault_timeouts;
+           match Hashtbl.find_opt rel.sent.(c) expected with
+           | Some payload ->
+             Counters.incr Obs.fault_retransmits;
+             if Obs.tracing () then
+               Obs.instant ~lane:src ~cat:Cat.Fault
+                 ~args:[ ("seq", float_of_int expected); ("retry", float_of_int retry) ]
+                 "retransmit";
+             inject t rel ~src ~dst (make_envelope ~seq:expected payload)
+           | None ->
+             raise
+               (Fault.Unrecoverable
+                  (Printf.sprintf
+                     "message %d->%d seq %d: nothing in flight and no retransmit \
+                      source (simulated deadlock)"
+                     src dst expected))
+         end
+       done;
+       raise
+         (Fault.Unrecoverable
+            (Printf.sprintf "message %d->%d seq %d lost after %d retransmits" src dst
+               expected max_retries))
+     with Exit -> ());
+    accept (Option.get !result)
+
+let isend t ~src ~dst payload =
+  check_rank t src "isend";
+  check_rank t dst "isend";
+  match t.reliable with
+  | Some rel ->
+    let bytes = reliable_isend t rel ~src ~dst payload in
+    Send_req { src; dst; bytes; completed = false }
+  | None ->
+    let bytes = 8 * Array.length payload in
+    let traced = Obs.tracing () in
+    if traced then
+      Obs.begin_span ~lane:src ~cat:Cat.Halo_post
+        ~args:[ ("dst", float_of_int dst); ("bytes", float_of_int bytes) ]
+        "isend";
+    Queue.push payload t.staged.(chan t ~src ~dst);
+    t.stats.messages <- t.stats.messages + 1;
+    t.stats.bytes <- t.stats.bytes + bytes;
+    Counters.incr Obs.comm_messages;
+    Counters.add Obs.comm_bytes bytes;
+    if traced then Obs.end_span ~lane:src ();
+    Send_req { src; dst; bytes; completed = false }
 
 let irecv t ~src ~dst =
   check_rank t src "irecv";
@@ -152,14 +352,19 @@ let wait t req =
         Obs.begin_span ~lane:r.dst ~cat:Cat.Halo_wait
           ~args:[ ("src", float_of_int r.src) ]
           "wait";
-      deliver_channel t ~src:r.src ~dst:r.dst;
-      let q = t.channels.(chan t ~src:r.src ~dst:r.dst) in
-      if Queue.is_empty q then
-        failwith
-          (Printf.sprintf
-             "Comm.wait: deadlock: no message in flight from rank %d to rank %d"
-             r.src r.dst);
-      let p = Queue.pop q in
+      let p =
+        match t.reliable with
+        | Some rel -> reliable_receive t rel ~src:r.src ~dst:r.dst
+        | None ->
+          deliver_channel t ~src:r.src ~dst:r.dst;
+          let q = t.channels.(chan t ~src:r.src ~dst:r.dst) in
+          if Queue.is_empty q then
+            failwith
+              (Printf.sprintf
+                 "Comm.wait: deadlock: no message in flight from rank %d to rank %d"
+                 r.src r.dst);
+          Queue.pop q
+      in
       r.payload <- Some p;
       if traced then
         Obs.end_span ~lane:r.dst ();
@@ -176,41 +381,59 @@ let request_payload = function
   | Recv_req r -> r.payload
 
 (* Blocking send: delivered immediately (an isend followed by a full channel
-   delivery observes exactly the same state). *)
+   delivery observes exactly the same state).  Under fault injection the
+   message instead goes through the reliable transport — staged, enveloped
+   and injected — which [recv] forces delivery of anyway. *)
 let send t ~src ~dst payload =
   check_rank t src "send";
   check_rank t dst "send";
-  let bytes = 8 * Array.length payload in
-  if Obs.tracing () then
-    Obs.instant ~lane:src ~cat:Cat.Halo_post
-      ~args:[ ("dst", float_of_int dst); ("bytes", float_of_int bytes) ]
-      "send";
-  Queue.push payload t.channels.(chan t ~src ~dst);
-  t.stats.messages <- t.stats.messages + 1;
-  t.stats.bytes <- t.stats.bytes + bytes;
-  Counters.incr Obs.comm_messages;
-  Counters.add Obs.comm_bytes bytes
+  match t.reliable with
+  | Some rel -> ignore (reliable_isend t rel ~src ~dst payload)
+  | None ->
+    let bytes = 8 * Array.length payload in
+    if Obs.tracing () then
+      Obs.instant ~lane:src ~cat:Cat.Halo_post
+        ~args:[ ("dst", float_of_int dst); ("bytes", float_of_int bytes) ]
+        "send";
+    Queue.push payload t.channels.(chan t ~src ~dst);
+    t.stats.messages <- t.stats.messages + 1;
+    t.stats.bytes <- t.stats.bytes + bytes;
+    Counters.incr Obs.comm_messages;
+    Counters.add Obs.comm_bytes bytes
 
 let recv t ~src ~dst =
   check_rank t src "recv";
   check_rank t dst "recv";
   if Obs.tracing () then
     Obs.instant ~lane:dst ~cat:Cat.Halo_wait ~args:[ ("src", float_of_int src) ] "recv";
-  deliver_channel t ~src ~dst;
-  let q = t.channels.(chan t ~src ~dst) in
-  if Queue.is_empty q then
-    failwith
-      (Printf.sprintf "Comm.recv: no message pending from rank %d to rank %d" src dst);
-  Queue.pop q
+  match t.reliable with
+  | Some rel -> reliable_receive t rel ~src ~dst
+  | None ->
+    deliver_channel t ~src ~dst;
+    let q = t.channels.(chan t ~src ~dst) in
+    if Queue.is_empty q then
+      failwith
+        (Printf.sprintf "Comm.recv: no message pending from rank %d to rank %d" src dst);
+    Queue.pop q
 
 let pending t ~src ~dst =
   check_rank t src "pending";
   check_rank t dst "pending";
   let c = chan t ~src ~dst in
   Queue.length t.channels.(c) + Queue.length t.staged.(c)
+  + match t.reliable with
+    | Some rel -> Queue.length rel.delayed.(c) + Hashtbl.length rel.stash.(c)
+    | None -> 0
 
 let all_drained t =
-  Array.for_all Queue.is_empty t.channels && Array.for_all Queue.is_empty t.staged
+  Array.for_all Queue.is_empty t.channels
+  && Array.for_all Queue.is_empty t.staged
+  &&
+  match t.reliable with
+  | Some rel ->
+    Array.for_all Queue.is_empty rel.delayed
+    && Array.for_all (fun h -> Hashtbl.length h = 0) rel.stash
+  | None -> true
 
 (* Global reduction over one value per rank. Counted once per call. *)
 let allreduce t ~combine values =

@@ -92,6 +92,31 @@ val pending : t -> src:int -> dst:int -> int
 (** True when no channel holds an undelivered or in-flight message. *)
 val all_drained : t -> bool
 
+(** {1 Fault injection and reliable transport}
+
+    With a {!Fault} injector attached, every message travels inside a
+    sequence-numbered, CRC-verified envelope and passes through the
+    injector when staged (drop / duplicate / delay / bit-flip corruption).
+    Receives then discard corrupt and stale copies, stash early
+    out-of-order ones, and retransmit from a sender-side buffer with
+    exponential backoff when the expected sequence number times out (in
+    simulated deliver-steps).  An exhausted retry budget — or a receive
+    with nothing in flight and no retransmit source — raises
+    [Fault.Unrecoverable] instead of the deadlock [Failure].
+
+    Without an attached injector every path is byte-for-byte the plain
+    transport above: no envelopes, no sequence state, no overhead beyond
+    one field test per call. *)
+
+(** Route all subsequent traffic through the reliable enveloped transport,
+    injecting faults per [fault]'s specification.  Attach before the first
+    message: sequence numbering starts at the attach point. *)
+val attach_fault : t -> Fault.t -> unit
+
+val fault : t -> Fault.t option
+
+(** {1 Reductions} *)
+
 (** Reduce one value per rank with an associative [combine]. *)
 val allreduce : t -> combine:(float -> float -> float) -> float array -> float
 

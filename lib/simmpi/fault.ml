@@ -1,0 +1,172 @@
+(* Seeded, schedule-driven fault injector for the simulated communicator.
+
+   A [t] carries a fault specification (per-message probabilities for drop,
+   duplicate, delay and payload corruption, plus an optional armed rank
+   crash) and a splitmix64 stream.  The communicator consults it on every
+   message it stages; the facades consult it once per parallel loop for the
+   crash trigger.  All decisions are drawn from the one stream in a fixed
+   order per message, so a (seed, program) pair replays the identical fault
+   schedule — the property the soak harness's AM_SEED reproduction relies
+   on.
+
+   The injector deliberately holds no per-channel state: a recovery restart
+   builds a fresh communicator but keeps the same injector, so the stream
+   advances monotonically across restarts (a transient fault does not
+   re-occur identically on replay) while the crash trigger, once fired, is
+   disarmed — the simulated analogue of replacing the failed node. *)
+
+module Prng = Am_util.Prng
+
+type spec = {
+  seed : int;
+  drop : float; (* per-message loss probability *)
+  dup : float; (* per-message duplication probability *)
+  delay : float; (* per-message delay probability *)
+  max_delay : int; (* delays are uniform in 1..max_delay deliver-steps *)
+  corrupt : float; (* per-message single-bit-flip probability *)
+  crash : (int * int) option; (* (rank, loop counter) to crash at *)
+}
+
+let default =
+  { seed = 1; drop = 0.0; dup = 0.0; delay = 0.0; max_delay = 8; corrupt = 0.0;
+    crash = None }
+
+exception Crashed of { rank : int; loop : int }
+exception Unrecoverable of string
+
+let () =
+  Printexc.register_printer (function
+    | Crashed { rank; loop } ->
+      Some (Printf.sprintf "Fault.Crashed(rank %d at loop %d)" rank loop)
+    | Unrecoverable msg -> Some ("Fault.Unrecoverable: " ^ msg)
+    | _ -> None)
+
+(* ---- Specification strings ------------------------------------------- *)
+
+(* "seed=42,drop=0.1,dup=0.05,delay=0.1,corrupt=0.02,crash=1@12" *)
+let spec_of_string s =
+  let prob what v =
+    if v < 0.0 || v > 1.0 then
+      Error (Printf.sprintf "faults: %s must be a probability in [0,1]" what)
+    else Ok v
+  in
+  let parse_field spec field =
+    match String.index_opt field '=' with
+    | None -> Error (Printf.sprintf "faults: expected key=value, got %S" field)
+    | Some i -> (
+      let key = String.sub field 0 i in
+      let value = String.sub field (i + 1) (String.length field - i - 1) in
+      let float_v what =
+        match float_of_string_opt value with
+        | Some v -> prob what v
+        | None -> Error (Printf.sprintf "faults: %s must be a float, got %S" what value)
+      in
+      match key with
+      | "seed" -> (
+        match int_of_string_opt value with
+        | Some seed -> Ok { spec with seed }
+        | None -> Error (Printf.sprintf "faults: seed must be an integer, got %S" value))
+      | "drop" -> Result.map (fun drop -> { spec with drop }) (float_v "drop")
+      | "dup" -> Result.map (fun dup -> { spec with dup }) (float_v "dup")
+      | "delay" -> Result.map (fun delay -> { spec with delay }) (float_v "delay")
+      | "corrupt" ->
+        Result.map (fun corrupt -> { spec with corrupt }) (float_v "corrupt")
+      | "max_delay" -> (
+        match int_of_string_opt value with
+        | Some d when d >= 1 -> Ok { spec with max_delay = d }
+        | Some _ | None ->
+          Error (Printf.sprintf "faults: max_delay must be a positive integer, got %S" value))
+      | "crash" -> (
+        match String.index_opt value '@' with
+        | None -> Error "faults: crash takes RANK@LOOP, e.g. crash=1@12"
+        | Some j -> (
+          let rank = String.sub value 0 j in
+          let loop = String.sub value (j + 1) (String.length value - j - 1) in
+          match (int_of_string_opt rank, int_of_string_opt loop) with
+          | Some r, Some l when r >= 0 && l >= 0 -> Ok { spec with crash = Some (r, l) }
+          | _ -> Error "faults: crash takes RANK@LOOP with non-negative integers"))
+      | other -> Error (Printf.sprintf "faults: unknown key %S" other))
+  in
+  String.split_on_char ',' (String.trim s)
+  |> List.filter (fun f -> String.trim f <> "")
+  |> List.fold_left
+       (fun acc field ->
+         Result.bind acc (fun spec -> parse_field spec (String.trim field)))
+       (Ok default)
+
+let spec_to_string s =
+  let fields =
+    [ Printf.sprintf "seed=%d" s.seed ]
+    @ (if s.drop > 0.0 then [ Printf.sprintf "drop=%g" s.drop ] else [])
+    @ (if s.dup > 0.0 then [ Printf.sprintf "dup=%g" s.dup ] else [])
+    @ (if s.delay > 0.0 then
+         [ Printf.sprintf "delay=%g" s.delay; Printf.sprintf "max_delay=%d" s.max_delay ]
+       else [])
+    @ (if s.corrupt > 0.0 then [ Printf.sprintf "corrupt=%g" s.corrupt ] else [])
+    @
+    match s.crash with
+    | Some (r, l) -> [ Printf.sprintf "crash=%d@%d" r l ]
+    | None -> []
+  in
+  String.concat "," fields
+
+(* ---- Injector state --------------------------------------------------- *)
+
+type t = {
+  spec : spec;
+  rng : Prng.t;
+  mutable loops : int; (* parallel loops entered since creation *)
+  mutable crash_armed : bool;
+}
+
+let create spec =
+  { spec; rng = Prng.create spec.seed; loops = 0; crash_armed = spec.crash <> None }
+
+let spec t = t.spec
+let loops_seen t = t.loops
+let crash_armed t = t.crash_armed
+
+(* Message-level verdict.  One uniform draw per category, in fixed order,
+   whether or not the category is enabled — so adding e.g. duplication to a
+   spec does not shift the drop decisions of an otherwise identical seed. *)
+type verdict = Deliver | Drop | Duplicate | Delay of int
+
+let classify t =
+  let roll p = Prng.float t.rng < p in
+  let dropped = roll t.spec.drop in
+  let duplicated = roll t.spec.dup in
+  let delayed = roll t.spec.delay in
+  let delay_steps = 1 + Prng.int t.rng (max 1 t.spec.max_delay) in
+  if dropped then Drop
+  else if duplicated then Duplicate
+  else if delayed then Delay delay_steps
+  else Deliver
+
+(* Single-bit flip in a copy of the message; [None] leaves it untouched.
+   The bit position is drawn even when corruption misses, for the same
+   stream-stability reason as [classify]. *)
+let corrupted t msg =
+  let hit = Prng.float t.rng < t.spec.corrupt in
+  let word = Prng.int t.rng (max 1 (Array.length msg)) in
+  let bit = Prng.int t.rng 64 in
+  if (not hit) || Array.length msg = 0 then None
+  else begin
+    let out = Array.copy msg in
+    out.(word) <-
+      Int64.float_of_bits
+        (Int64.logxor (Int64.bits_of_float out.(word)) (Int64.shift_left 1L bit));
+    Some out
+  end
+
+(* Loop-counter crash trigger, called by the facades once per parallel
+   loop.  Fires at most once: the "failed node" does not fail again when
+   the restarted application replays past the same loop. *)
+let note_loop t =
+  let at = t.loops in
+  t.loops <- at + 1;
+  match t.spec.crash with
+  | Some (rank, loop) when t.crash_armed && at = loop ->
+    t.crash_armed <- false;
+    Am_obs.Counters.incr Am_obs.Obs.fault_crashes;
+    raise (Crashed { rank; loop })
+  | Some _ | None -> ()

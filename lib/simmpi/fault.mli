@@ -1,0 +1,65 @@
+(** Seeded, schedule-driven fault injector for the simulated communicator.
+
+    A fault specification gives per-message probabilities (drop, duplicate,
+    delay, single-bit payload corruption) and an optional armed rank crash
+    at a chosen parallel-loop counter.  Attach an injector to a
+    communicator with {!Comm.attach_fault} and every staged message passes
+    through it; the OP2/OPS facades consult {!note_loop} once per parallel
+    loop for the crash trigger.
+
+    All decisions come from one splitmix64 stream in a fixed per-message
+    order, so a (seed, program) pair replays the identical fault schedule.
+    An injector survives recovery restarts (the stream keeps advancing; the
+    crash trigger fires at most once), while all per-channel transport
+    state lives in the communicator and is rebuilt fresh. *)
+
+type spec = {
+  seed : int;
+  drop : float;  (** per-message loss probability *)
+  dup : float;  (** per-message duplication probability *)
+  delay : float;  (** per-message delay probability *)
+  max_delay : int;  (** delays are uniform in [1..max_delay] deliver-steps *)
+  corrupt : float;  (** per-message single-bit-flip probability *)
+  crash : (int * int) option;  (** (rank, loop counter) to crash at *)
+}
+
+(** No faults, seed 1. *)
+val default : spec
+
+(** Parse "seed=42,drop=0.1,dup=0.05,delay=0.1,corrupt=0.02,crash=1\@12";
+    omitted keys keep their {!default}. *)
+val spec_of_string : string -> (spec, string) result
+
+val spec_to_string : spec -> string
+
+(** Raised by {!note_loop} when the armed crash fires (at most once per
+    injector). *)
+exception Crashed of { rank : int; loop : int }
+
+(** Raised by the communicator when a message cannot be recovered (retries
+    exhausted, or nothing in flight and no retransmit source). *)
+exception Unrecoverable of string
+
+type t
+
+val create : spec -> t
+val spec : t -> spec
+
+(** Parallel loops entered since creation (across restarts). *)
+val loops_seen : t -> int
+
+(** True while the crash trigger has not yet fired. *)
+val crash_armed : t -> bool
+
+(** Per-message fate, drawn from the stream. *)
+type verdict = Deliver | Drop | Duplicate | Delay of int
+
+val classify : t -> verdict
+
+(** Single-bit-flipped copy of the message when the corruption roll hits;
+    [None] otherwise. *)
+val corrupted : t -> float array -> float array option
+
+(** Count one parallel loop; raises {!Crashed} when the armed crash's loop
+    counter is reached. *)
+val note_loop : t -> unit

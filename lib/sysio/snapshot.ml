@@ -3,16 +3,21 @@
    OP2/OPS use HDF5 for mesh input, dataset dumps and checkpoint files; this
    container has no HDF5, so we use a minimal self-describing format:
 
-     magic "AMSNAP01"
+     magic "AMSNAP02"
+     u32   CRC-32 of everything after this word
      u32   entry count
      per entry:
        u32   name length, name bytes
        u32   value count, values as IEEE-754 little-endian doubles
 
    All integers are little-endian. The format is versioned through the magic
-   string. *)
+   string: "AMSNAP01" files (no checksum word) are still read, so snapshots
+   written before the CRC was added remain loadable; a bit flip anywhere in
+   an AMSNAP02 body is detected at load time rather than silently restored
+   into a restarted run. *)
 
-let magic = "AMSNAP01"
+let magic = "AMSNAP02"
+let magic_v1 = "AMSNAP01"
 
 let write_u32 buf v =
   if v < 0 then invalid_arg "Snapshot: negative length";
@@ -24,16 +29,20 @@ let write_u32 buf v =
 let write_f64 buf v = Buffer.add_int64_le buf (Int64.bits_of_float v)
 
 let encode entries =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
-  write_u32 buf (List.length entries);
+  let body = Buffer.create 4096 in
+  write_u32 body (List.length entries);
   List.iter
     (fun (name, values) ->
-      write_u32 buf (String.length name);
-      Buffer.add_string buf name;
-      write_u32 buf (Array.length values);
-      Array.iter (write_f64 buf) values)
+      write_u32 body (String.length name);
+      Buffer.add_string body name;
+      write_u32 body (Array.length values);
+      Array.iter (write_f64 body) values)
     entries;
+  let body = Buffer.contents body in
+  let buf = Buffer.create (String.length body + 12) in
+  Buffer.add_string buf magic;
+  write_u32 buf (Am_util.Crc.string body);
+  Buffer.add_string buf body;
   Buffer.contents buf
 
 exception Corrupt of string
@@ -55,9 +64,16 @@ let read_f64 s pos =
   Int64.float_of_bits !v
 
 let decode s =
-  if String.length s < String.length magic || String.sub s 0 (String.length magic) <> magic
-  then raise (Corrupt "bad magic");
-  let pos = ref (String.length magic) in
+  let mlen = String.length magic in
+  if String.length s < mlen then raise (Corrupt "bad magic");
+  let pos = ref mlen in
+  (match String.sub s 0 mlen with
+  | m when m = magic ->
+    let expected = read_u32 s pos in
+    let actual = Am_util.Crc.string (String.sub s !pos (String.length s - !pos)) in
+    if actual <> expected then raise (Corrupt "checksum mismatch")
+  | m when m = magic_v1 -> () (* legacy: no checksum word *)
+  | _ -> raise (Corrupt "bad magic"));
   let count = read_u32 s pos in
   List.init count (fun _ ->
       let name_len = read_u32 s pos in

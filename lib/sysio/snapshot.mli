@@ -1,10 +1,12 @@
 (** Self-describing binary snapshot files (the HDF5 stand-in).
 
     A snapshot is an ordered list of named float arrays, written with a
-    magic header ("AMSNAP01"), little-endian sizes and IEEE-754 payloads.
-    Used by checkpointing, the mesh format and the CLI drivers' [--save]
-    options. Every decode validates lengths and the magic; corrupt input
-    raises {!Corrupt} rather than yielding garbage. *)
+    magic header ("AMSNAP02"), a CRC-32 of the body, little-endian sizes
+    and IEEE-754 payloads. Used by checkpointing, the mesh format and the
+    CLI drivers' [--save] options. Every decode validates lengths, the
+    magic and the checksum — a truncated file or a flipped bit raises
+    {!Corrupt} rather than yielding garbage. Legacy "AMSNAP01" files
+    (written before the checksum word) still load, without verification. *)
 
 (** Raised by {!decode}/{!load} on malformed input, with a description. *)
 exception Corrupt of string

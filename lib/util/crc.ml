@@ -1,0 +1,41 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+
+   One checksum shared by the two integrity layers: snapshot files verify
+   their body against a stored CRC on load, and the fault-injected
+   communicator verifies every halo message envelope before unpacking.
+   The accumulator is exposed so callers can fold headers and payloads
+   into one running value without concatenating buffers. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(* Accumulator values are pre-inversion CRC states. *)
+let start = 0xFFFFFFFF
+
+let add_byte acc b = (Lazy.force table).((acc lxor b) land 0xff) lxor (acc lsr 8)
+
+let add_string acc s =
+  let acc = ref acc in
+  String.iter (fun ch -> acc := add_byte !acc (Char.code ch)) s;
+  !acc
+
+(* Fold a float as its IEEE-754 bits, little-endian byte order. *)
+let add_float acc v =
+  let bits = Int64.bits_of_float v in
+  let acc = ref acc in
+  for i = 0 to 7 do
+    acc :=
+      add_byte !acc (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+  done;
+  !acc
+
+let finish acc = acc lxor 0xFFFFFFFF
+
+let string s = finish (add_string start s)
+let floats a = finish (Array.fold_left add_float start a)

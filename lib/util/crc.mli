@@ -1,0 +1,29 @@
+(** CRC-32 (IEEE 802.3) over byte strings and float arrays.
+
+    Shared by snapshot-file verification and the fault-injected
+    communicator's message envelopes.  The running accumulator lets callers
+    checksum a header and a payload in one pass:
+
+    {[
+      Crc.start |> fun a -> Crc.add_float a seq
+      |> fun a -> Array.fold_left Crc.add_float a payload
+      |> Crc.finish
+    ]} *)
+
+(** Initial accumulator state. *)
+val start : int
+
+val add_byte : int -> int -> int
+val add_string : int -> string -> int
+
+(** Fold a float's IEEE-754 bits (little-endian byte order). *)
+val add_float : int -> float -> int
+
+(** Final checksum of an accumulator (32-bit, non-negative). *)
+val finish : int -> int
+
+(** One-shot CRC-32 of a byte string. *)
+val string : string -> int
+
+(** One-shot CRC-32 of a float array's IEEE-754 bits. *)
+val floats : float array -> int

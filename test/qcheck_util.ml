@@ -1,0 +1,24 @@
+(* Shared seeded-randomness plumbing for the randomized test suites.
+
+   Every randomized case derives its PRNG stream from one base seed, taken
+   from the AM_SEED environment variable when set; failures print the seed
+   so any run reproduces with AM_SEED=<n>. *)
+
+let base_seed =
+  match Sys.getenv_opt "AM_SEED" with
+  | Some s -> (
+    try int_of_string s with _ -> failwith "AM_SEED must be an integer")
+  | None -> 0x0b5e1a9
+
+let failf_seed seed fmt =
+  Alcotest.failf ("[reproduce with AM_SEED=%d] " ^^ fmt) seed
+
+(* Deterministic multiplicative perturbation of an array (a cheap way to
+   give every backend-differential case distinct, reproducible data). *)
+let lcg_fill seed arr ~scale =
+  let state = ref (seed land 0x3FFFFFFF) in
+  for i = 0 to Array.length arr - 1 do
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    let r = Float.of_int !state /. Float.of_int 0x3FFFFFFF in
+    arr.(i) <- arr.(i) *. (1.0 +. (scale *. (r -. 0.5)))
+  done

@@ -27,13 +27,7 @@ let eps = 1e-10
 
 (* Deterministic "random" perturbation (no global RNG state): a cheap LCG
    so every backend sees byte-identical initial data. *)
-let lcg_fill seed arr ~scale =
-  let state = ref (seed land 0x3FFFFFFF) in
-  for i = 0 to Array.length arr - 1 do
-    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
-    let r = Float.of_int !state /. Float.of_int 0x3FFFFFFF in
-    arr.(i) <- arr.(i) *. (1.0 +. (scale *. (r -. 0.5)))
-  done
+let lcg_fill = Qcheck_util.lcg_fill
 
 (* ---- Airfoil: one OP2 iteration per backend ------------------------------ *)
 

@@ -248,6 +248,76 @@ let test_file_persistence_rejects_garbage () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
 
+(* ---- Snapshot damage: detected, never silently restored ---- *)
+
+(* A session snapshot written to disk, for the damage cases below. *)
+let write_snapshot () =
+  let app = make_app () in
+  let session = Runtime.create ~fns:(app_fns app) in
+  run_app ~request_at:4 session app 10;
+  let path = Filename.temp_file "am_checkpoint" ".snap" in
+  Runtime.save_to_file session ~path;
+  path
+
+let expect_corrupt what path =
+  match Runtime.recover_from_file ~path ~fns:(app_fns (make_app ())) with
+  | exception Am_sysio.Snapshot.Corrupt _ -> Sys.remove path
+  | _ ->
+    Sys.remove path;
+    Alcotest.failf "%s snapshot accepted" what
+
+let test_truncated_snapshot_rejected () =
+  let path = write_snapshot () in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full - (String.length full / 3))));
+  expect_corrupt "truncated" path
+
+let test_bitflip_snapshot_rejected () =
+  (* Flip one payload bit well past the header: only the body checksum can
+     catch this — the framing still parses. *)
+  let path = write_snapshot () in
+  let full = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+  let pos = Bytes.length full - 11 in
+  Bytes.set full pos (Char.chr (Char.code (Bytes.get full pos) lxor 0x10));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc full);
+  (match Runtime.recover_from_file ~path ~fns:(app_fns (make_app ())) with
+  | exception Am_sysio.Snapshot.Corrupt msg ->
+    Sys.remove path;
+    if not (Str_contains.contains msg "checksum") then
+      Alcotest.failf "corruption not attributed to the checksum: %s" msg
+  | _ ->
+    Sys.remove path;
+    Alcotest.fail "bit-flipped snapshot silently restored")
+
+(* ---- Restore-then-replay equivalence after a mid-period crash ---- *)
+
+let test_restore_then_replay_after_midperiod_crash () =
+  (* The run "crashes" mid-cycle — after modify but before accum — later
+     than the persisted snapshot.  Restarting from the file and replaying
+     from the top must still land exactly on the uninterrupted result. *)
+  let truth = make_app () in
+  run_app (Runtime.create ~fns:(app_fns truth)) truth 10;
+  let original = make_app () in
+  let session = Runtime.create ~fns:(app_fns original) in
+  run_app ~request_at:4 session original 7;
+  let path = Filename.temp_file "am_checkpoint" ".snap" in
+  Runtime.save_to_file session ~path;
+  (* One and a half more cycles, then the crash. *)
+  Runtime.step session ~descr:modify_loop ~run:(fun () ->
+      Array.iteri (fun i v -> original.u.(i) <- v +. 1.0) original.u);
+  let recovered = make_app () in
+  Array.fill recovered.u 0 8 nan;
+  Array.fill recovered.acc 0 8 nan;
+  let r = Runtime.recover_from_file ~path ~fns:(app_fns recovered) in
+  run_app r recovered 10;
+  Sys.remove path;
+  Alcotest.(check bool) "replayed u matches truth" true
+    (Am_util.Fa.approx_equal ~tol:0.0 truth.u recovered.u);
+  Alcotest.(check bool) "replayed acc matches truth" true
+    (Am_util.Fa.approx_equal ~tol:0.0 truth.acc recovered.acc)
+
 let () =
   Alcotest.run "checkpoint"
     [
@@ -273,5 +343,14 @@ let () =
           Alcotest.test_case "file persistence" `Quick test_file_persistence;
           Alcotest.test_case "file garbage rejected" `Quick
             test_file_persistence_rejects_garbage;
+        ] );
+      ( "damage",
+        [
+          Alcotest.test_case "truncated snapshot rejected" `Quick
+            test_truncated_snapshot_rejected;
+          Alcotest.test_case "bit flip caught by checksum" `Quick
+            test_bitflip_snapshot_rejected;
+          Alcotest.test_case "restore-then-replay after mid-period crash" `Quick
+            test_restore_then_replay_after_midperiod_crash;
         ] );
     ]

@@ -1,0 +1,534 @@
+(* Fault-injection and recovery test suite.
+
+   Three layers of evidence that the survivable-halo-exchange stack works:
+
+   - protocol unit tests on a bare communicator: the CRC rejects corrupted
+     envelopes, duplicates are discarded as stale, delayed messages are
+     re-ordered through the out-of-order stash, dropped messages are
+     retransmitted after a timeout, and a total loss raises
+     [Fault.Unrecoverable] instead of hanging or leaking the deadlock
+     [Failure];
+
+   - a randomized fault-schedule soak: seeded schedules across rank counts
+     {1,2,3,7} x fault kinds {drop, duplicate, delay, corrupt, crash} x
+     the Airfoil and CloverLeaf proxies.  A schedule the transport (or the
+     checkpoint/restart harness, for crashes) survives must produce
+     results bitwise identical to the fault-free run of the same
+     configuration; one it cannot survive must end in a clean resilience
+     finding.  The fault-free distributed runs are checked against the
+     sequential reference up to reduction reordering (1e-10);
+
+   - fixed regression schedules (seeds that once exercised interesting
+     paths) plus spec-parser round-trips.
+
+   Every randomized case derives its PRNG stream from one base seed.
+   Failures print the seed; rerun with AM_SEED=<n> to reproduce. *)
+
+module Op2 = Am_op2.Op2
+module Ops = Am_ops.Ops
+module Comm = Am_simmpi.Comm
+module Fault = Am_simmpi.Fault
+module Prng = Am_util.Prng
+module Fa = Am_util.Fa
+module Counters = Am_obs.Counters
+module Obs = Am_obs.Obs
+module Resilience = Am_analysis.Resilience
+module Finding = Am_analysis.Finding
+module Umesh = Am_mesh.Umesh
+module Airfoil = Am_airfoil.App
+module Clover = Am_cloverleaf.App
+
+let base_seed = Qcheck_util.base_seed
+let failf_seed seed fmt = Qcheck_util.failf_seed seed fmt
+
+(* ---- Protocol unit tests on a bare communicator -------------------------- *)
+
+let with_fault spec f =
+  let t = Comm.create ~n_ranks:2 in
+  Comm.attach_fault t (Fault.create spec);
+  f t
+
+let payload i = Array.init 4 (fun c -> Float.of_int ((10 * i) + c))
+
+let check_payload what i got =
+  if got <> payload i then
+    Alcotest.failf "%s: message %d arrived as %s" what i
+      (String.concat "," (Array.to_list (Array.map string_of_float got)))
+
+let test_no_injector_no_envelope () =
+  (* Without an injector the transport is the plain one: a 4-word message
+     costs exactly 4 words on the wire (no envelope overhead). *)
+  let t = Comm.create ~n_ranks:2 in
+  Alcotest.(check bool) "no injector by default" true (Comm.fault t = None);
+  Comm.send t ~src:0 ~dst:1 (payload 0);
+  Alcotest.(check int) "bytes = payload only" (4 * 8) (Comm.stats t).Comm.bytes;
+  check_payload "plain" 0 (Comm.recv t ~src:0 ~dst:1)
+
+let test_envelope_overhead_when_enabled () =
+  with_fault { Fault.default with seed = 1 } (fun t ->
+      Comm.send t ~src:0 ~dst:1 (payload 0);
+      Alcotest.(check int) "bytes = payload + 3-word envelope" ((4 + 3) * 8)
+        (Comm.stats t).Comm.bytes;
+      check_payload "enveloped" 0 (Comm.recv t ~src:0 ~dst:1))
+
+let test_crc_rejects_corruption () =
+  (* Every transmission (retransmits included) is bit-flipped.  A flip can
+     land harmlessly (e.g. a mantissa bit of the seq word that truncation
+     ignores), so an accept is possible — but an accepted message must be
+     bit-correct, and a flip that touches the content must either be
+     rejected by the CRC until a clean retransmit or end in Unrecoverable.
+     Never a wrong payload, never a hang, never the deadlock Failure. *)
+  Obs.reset ();
+  let unrecoverable = ref 0 in
+  for seed = 1 to 10 do
+    with_fault { Fault.default with seed; corrupt = 1.0 } (fun t ->
+        Comm.send t ~src:0 ~dst:1 (payload 0);
+        match Comm.recv t ~src:0 ~dst:1 with
+        | got -> check_payload (Printf.sprintf "corrupt seed %d" seed) 0 got
+        | exception Fault.Unrecoverable _ -> incr unrecoverable)
+  done;
+  if Counters.value Obs.fault_corruptions = 0 then
+    Alcotest.fail "no corruption injected";
+  if Counters.value Obs.fault_crc_failures = 0 then
+    Alcotest.fail "no CRC failure was counted";
+  if !unrecoverable = 0 then
+    Alcotest.fail "persistent corruption never exhausted the retries"
+
+let test_duplicates_discarded () =
+  Obs.reset ();
+  with_fault { Fault.default with seed = 5; dup = 1.0 } (fun t ->
+      for i = 0 to 4 do
+        Comm.send t ~src:0 ~dst:1 (payload i)
+      done;
+      for i = 0 to 4 do
+        check_payload "dup" i (Comm.recv t ~src:0 ~dst:1)
+      done;
+      if Counters.value Obs.fault_dups = 0 then Alcotest.fail "no duplicate injected";
+      if Counters.value Obs.fault_stale = 0 then
+        Alcotest.fail "no duplicate was discarded as stale")
+
+let test_delays_reordered () =
+  (* Everything is delayed by a random number of deliver-steps; FIFO order
+     is destroyed in flight and must be rebuilt by sequence number. *)
+  Obs.reset ();
+  for seed = 1 to 10 do
+    with_fault { Fault.default with seed; delay = 1.0; max_delay = 6 } (fun t ->
+        for i = 0 to 4 do
+          Comm.send t ~src:0 ~dst:1 (payload i)
+        done;
+        for i = 0 to 4 do
+          check_payload (Printf.sprintf "delay seed %d" seed) i
+            (Comm.recv t ~src:0 ~dst:1)
+        done)
+  done;
+  if Counters.value Obs.fault_delays = 0 then Alcotest.fail "no delay injected"
+
+let test_drops_retransmitted () =
+  Obs.reset ();
+  for seed = 1 to 10 do
+    (* 0.3^7 per-message loss: retransmission is exercised constantly,
+       actual loss across these fixed seeds never happens. *)
+    with_fault { Fault.default with seed; drop = 0.3 } (fun t ->
+        for i = 0 to 9 do
+          Comm.send t ~src:0 ~dst:1 (payload i)
+        done;
+        for i = 0 to 9 do
+          check_payload (Printf.sprintf "drop seed %d" seed) i
+            (Comm.recv t ~src:0 ~dst:1)
+        done)
+  done;
+  if Counters.value Obs.fault_drops = 0 then Alcotest.fail "no drop injected";
+  if Counters.value Obs.fault_retransmits = 0 then
+    Alcotest.fail "no retransmission happened"
+
+let test_total_loss_unrecoverable () =
+  Obs.reset ();
+  with_fault { Fault.default with seed = 7; drop = 1.0 } (fun t ->
+      Comm.send t ~src:0 ~dst:1 (payload 0);
+      (match Comm.recv t ~src:0 ~dst:1 with
+      | _ -> Alcotest.fail "total loss was survived"
+      | exception Fault.Unrecoverable msg ->
+        if not (Str_contains.contains msg "retransmits") then
+          Alcotest.failf "unexpected diagnostic: %s" msg);
+      if Counters.value Obs.fault_timeouts = 0 then
+        Alcotest.fail "no timeout was counted")
+
+let test_recv_nothing_in_flight () =
+  (* The reliable transport's analogue of the simulator's deadlock
+     fail-fast: a receive that can never complete raises Unrecoverable. *)
+  with_fault { Fault.default with seed = 2 } (fun t ->
+      match Comm.recv t ~src:0 ~dst:1 with
+      | _ -> Alcotest.fail "receive of nothing returned"
+      | exception Fault.Unrecoverable _ -> ())
+
+(* ---- Spec parsing --------------------------------------------------------- *)
+
+let test_spec_roundtrip () =
+  let rng = Prng.create (base_seed lxor 0x5bec) in
+  for _ = 1 to 50 do
+    let spec =
+      {
+        Fault.seed = Prng.int rng 100000;
+        drop = Float.of_int (Prng.int rng 100) /. 100.0;
+        dup = Float.of_int (Prng.int rng 100) /. 100.0;
+        delay = Float.of_int (Prng.int rng 100) /. 100.0;
+        max_delay = 1 + Prng.int rng 20;
+        corrupt = Float.of_int (Prng.int rng 100) /. 100.0;
+        crash = (if Prng.bool rng then Some (Prng.int rng 8, Prng.int rng 100) else None);
+      }
+    in
+    match Fault.spec_of_string (Fault.spec_to_string spec) with
+    | Ok spec' ->
+      if spec' <> spec then
+        Alcotest.failf "round-trip changed %s into %s" (Fault.spec_to_string spec)
+          (Fault.spec_to_string spec')
+    | Error msg -> Alcotest.failf "round-trip of %s failed: %s" (Fault.spec_to_string spec) msg
+  done
+
+let test_spec_errors () =
+  List.iter
+    (fun s ->
+      match Fault.spec_of_string s with
+      | Ok _ -> Alcotest.failf "bad spec %S was accepted" s
+      | Error _ -> ())
+    [ "drop=2.0"; "drop=-0.1"; "bogus=1"; "crash=1"; "crash=x@2"; "seed="; "dup=abc" ]
+
+(* ---- Randomized fault-schedule soak --------------------------------------- *)
+
+type kind = KDrop | KDup | KDelay | KCorrupt | KCrash
+
+let kind_name = function
+  | KDrop -> "drop"
+  | KDup -> "dup"
+  | KDelay -> "delay"
+  | KCorrupt -> "corrupt"
+  | KCrash -> "crash"
+
+let kinds = [ KDrop; KDup; KDelay; KCorrupt; KCrash ]
+let rank_counts = [ 1; 2; 3; 7 ]
+
+(* Survivable-by-construction probabilities: a message is only lost when
+   every one of the 1 + max_retries transmissions drops, so p <= 0.2 keeps
+   the per-message loss probability below 2e-5. *)
+let spec_for rng kind ~n_ranks ~crash_range =
+  let seed = 1 + Prng.int rng 1_000_000 in
+  let base = { Fault.default with seed } in
+  match kind with
+  | KDrop -> { base with drop = 0.05 +. Prng.float_range rng 0.0 0.15 }
+  | KDup -> { base with dup = 0.1 +. Prng.float_range rng 0.0 0.4 }
+  | KDelay ->
+    { base with delay = 0.2 +. Prng.float_range rng 0.0 0.6;
+      max_delay = 1 + Prng.int rng 8 }
+  | KCorrupt -> { base with corrupt = 0.02 +. Prng.float_range rng 0.0 0.1 }
+  | KCrash ->
+    let lo, hi = crash_range in
+    { base with crash = Some (Prng.int rng n_ranks, lo + Prng.int rng (hi - lo)) }
+
+(* One proxy application, abstracted over what the restart harness needs:
+   [run] builds the application from scratch (partitioned over [n_ranks],
+   the injector attached when given), drives it while persisting the first
+   complete checkpoint to [ckpt], restoring from it when [recovering], and
+   returns a result fingerprint. *)
+type proxy = {
+  p_name : string;
+  crash_range : int * int; (* injected crash-loop window *)
+  run :
+    n_ranks:int -> fault:Fault.t option -> ckpt:string option ->
+    written:bool ref -> recovering:bool -> float array;
+}
+
+let airfoil_mesh = lazy (Umesh.generate_airfoil ~nx:12 ~ny:8 ())
+
+let airfoil_proxy =
+  {
+    p_name = "airfoil";
+    crash_range = (3, 22);
+    run =
+      (fun ~n_ranks ~fault ~ckpt ~written ~recovering ->
+        let t = Airfoil.create (Lazy.force airfoil_mesh) in
+        let ctx = t.Airfoil.ctx in
+        if n_ranks > 1 then
+          Op2.partition ctx ~n_ranks ~strategy:(Op2.Kway_through t.Airfoil.edge_cells);
+        (match fault with Some f -> Op2.set_fault_injector ctx f | None -> ());
+        (match ckpt with
+        | Some path when recovering && !written -> Op2.recover_from_file ctx ~path
+        | Some _ ->
+          Op2.enable_checkpointing ctx;
+          Op2.request_checkpoint ctx
+        | None -> ());
+        for _ = 1 to 5 do
+          ignore (Airfoil.iteration t);
+          match (ckpt, Op2.checkpoint_session ctx) with
+          | Some path, Some s
+            when (not !written) && Am_checkpoint.Runtime.complete s ->
+            Op2.checkpoint_to_file ctx ~path;
+            written := true
+          | _ -> ()
+        done;
+        Airfoil.solution t);
+  }
+
+let clover_proxy =
+  {
+    p_name = "cloverleaf";
+    crash_range = (5, 90);
+    run =
+      (fun ~n_ranks ~fault ~ckpt ~written ~recovering ->
+        (* 16 rows: every rank count in the soak (up to 7) still owns at
+           least the 2-deep ghost region. *)
+        let t = Clover.create ~nx:12 ~ny:16 () in
+        let ctx = t.Clover.ctx in
+        if n_ranks > 1 then Ops.partition ctx ~n_ranks ~ref_ysize:16;
+        (match fault with Some f -> Ops.set_fault_injector ctx f | None -> ());
+        (match ckpt with
+        | Some path when recovering && !written -> Ops.recover_from_file ctx ~path
+        | Some _ ->
+          Ops.enable_checkpointing ctx;
+          Ops.request_checkpoint ctx
+        | None -> ());
+        for _ = 1 to 4 do
+          ignore (Clover.hydro_step t);
+          match (ckpt, Ops.checkpoint_session ctx) with
+          | Some path, Some s
+            when (not !written) && Am_checkpoint.Runtime.complete s ->
+            Ops.checkpoint_to_file ctx ~path;
+            written := true
+          | _ -> ()
+        done;
+        Array.append (Clover.density t) (Clover.energy t));
+  }
+
+let proxies = [ airfoil_proxy; clover_proxy ]
+
+(* Fault-free result of a proxy at one rank count, built once per suite. *)
+let clean_cache : (string * int, float array) Hashtbl.t = Hashtbl.create 16
+
+let clean proxy ~n_ranks =
+  match Hashtbl.find_opt clean_cache (proxy.p_name, n_ranks) with
+  | Some r -> r
+  | None ->
+    let r =
+      proxy.run ~n_ranks ~fault:None ~ckpt:None ~written:(ref false)
+        ~recovering:false
+    in
+    Hashtbl.replace clean_cache (proxy.p_name, n_ranks) r;
+    r
+
+(* Run one schedule under the restart harness.  [recover] arms
+   checkpoint/restart (crash schedules must survive); without it the
+   harness is detect-and-abort. *)
+let run_schedule proxy ~n_ranks ~spec ~recover =
+  let fault = Some (Fault.create spec) in
+  let ckpt =
+    if recover then (
+      let p = Filename.temp_file ("am_fault_" ^ proxy.p_name) ".snap" in
+      Sys.remove p;
+      Some p)
+    else None
+  in
+  let written = ref false in
+  let result =
+    Resilience.protect ~max_restarts:(if recover then 3 else 0)
+      (fun ~recovering -> proxy.run ~n_ranks ~fault ~ckpt ~written ~recovering)
+  in
+  (match ckpt with Some p when Sys.file_exists p -> Sys.remove p | _ -> ());
+  result
+
+let test_soak () =
+  let rng = Prng.create base_seed in
+  let survived = ref 0 and aborted = ref 0 in
+  List.iter
+    (fun proxy ->
+      List.iter
+        (fun n_ranks ->
+          (* The fault-free distributed run agrees with the sequential
+             reference up to reduction reordering. *)
+          let reference = clean proxy ~n_ranks in
+          if not (Fa.approx_equal ~tol:1e-10 (clean proxy ~n_ranks:1) reference)
+          then
+            failf_seed base_seed "%s(%d): fault-free run diverges from seq"
+              proxy.p_name n_ranks;
+          List.iter
+            (fun kind ->
+              for _rep = 1 to 5 do
+                let spec =
+                  spec_for rng kind ~n_ranks ~crash_range:proxy.crash_range
+                in
+                let recover = kind = KCrash in
+                let what =
+                  Printf.sprintf "%s(%d) %s [%s]" proxy.p_name n_ranks
+                    (kind_name kind) (Fault.spec_to_string spec)
+                in
+                match run_schedule proxy ~n_ranks ~spec ~recover with
+                | Ok solution ->
+                  incr survived;
+                  if not (Fa.approx_equal ~tol:0.0 reference solution) then
+                    failf_seed base_seed
+                      "%s: survived but not bitwise equal to fault-free (%g)"
+                      what
+                      (Fa.rel_discrepancy reference solution)
+                | Error finding ->
+                  (* A legitimately unsurvivable draw must still abort
+                     cleanly through the resilience layer. *)
+                  incr aborted;
+                  if finding.Finding.layer <> Finding.Resilience then
+                    failf_seed base_seed "%s: abort through wrong layer (%s)"
+                      what
+                      (Finding.to_string finding);
+                  if kind = KCrash then
+                    failf_seed base_seed
+                      "%s: crash schedule was not recovered: %s" what
+                      (Finding.to_string finding)
+              done)
+            kinds)
+        rank_counts)
+    proxies;
+  (* 2 proxies x 4 rank counts x 5 kinds x 5 reps = 200 schedules; the
+     probabilities are tuned so survival is the overwhelmingly common
+     outcome — a soak where most schedules abort would prove nothing. *)
+  Alcotest.(check int) "schedules exercised" 200 (!survived + !aborted);
+  if !aborted > !survived / 4 then
+    failf_seed base_seed "too many unsurvivable draws (%d of %d)" !aborted
+      (!survived + !aborted)
+
+(* Same seed, same schedule: the whole faulty run must replay bitwise. *)
+let test_soak_deterministic () =
+  let rng = Prng.create (base_seed lxor 0xdef) in
+  List.iter
+    (fun proxy ->
+      List.iter
+        (fun kind ->
+          let spec = spec_for rng kind ~n_ranks:3 ~crash_range:proxy.crash_range in
+          let recover = kind = KCrash in
+          let once () = run_schedule proxy ~n_ranks:3 ~spec ~recover in
+          match (once (), once ()) with
+          | Ok a, Ok b ->
+            if not (Fa.approx_equal ~tol:0.0 a b) then
+              failf_seed base_seed "%s %s: same seed, different results"
+                proxy.p_name (kind_name kind)
+          | Error a, Error b ->
+            if Finding.to_string a <> Finding.to_string b then
+              failf_seed base_seed "%s %s: same seed, different findings"
+                proxy.p_name (kind_name kind)
+          | Ok _, Error f | Error f, Ok _ ->
+            failf_seed base_seed "%s %s: same seed, different outcome (%s)"
+              proxy.p_name (kind_name kind) (Finding.to_string f))
+        kinds)
+    proxies
+
+(* ---- Fixed regression schedules ------------------------------------------- *)
+
+(* Schedules kept verbatim: each once exercised a distinct recovery path
+   (mixed loss+reorder, corruption under load, crash before the checkpoint
+   is complete, crash long after it). *)
+let regression_schedules =
+  [
+    ("airfoil", 3, "seed=1905414,drop=0.12,dup=0.2,delay=0.3,max_delay=5", false);
+    ("airfoil", 2, "seed=77,corrupt=0.08,delay=0.25", false);
+    ("airfoil", 3, "seed=424242,crash=2@4", true);
+    ("cloverleaf", 2, "seed=31337,crash=1@80", true);
+    ("cloverleaf", 7, "seed=90210,drop=0.1,corrupt=0.05", false);
+  ]
+
+let test_regressions () =
+  List.iter
+    (fun (pname, n_ranks, spec_s, recover) ->
+      let proxy = List.find (fun p -> p.p_name = pname) proxies in
+      let spec =
+        match Fault.spec_of_string spec_s with
+        | Ok s -> s
+        | Error m -> Alcotest.failf "bad regression spec %s: %s" spec_s m
+      in
+      match run_schedule proxy ~n_ranks ~spec ~recover with
+      | Ok solution ->
+        let reference = clean proxy ~n_ranks in
+        if not (Fa.approx_equal ~tol:0.0 reference solution) then
+          Alcotest.failf "regression %s(%d) %s: not bitwise equal (%g)" pname
+            n_ranks spec_s
+            (Fa.rel_discrepancy reference solution)
+      | Error finding ->
+        Alcotest.failf "regression %s(%d) %s: not survived: %s" pname n_ranks
+          spec_s (Finding.to_string finding))
+    regression_schedules
+
+(* ---- Unsurvivable schedules abort cleanly --------------------------------- *)
+
+let test_unsurvivable_aborts () =
+  (* Total loss, no recovery: a named resilience finding, no hang, no
+     leaked exception. *)
+  (match
+     run_schedule airfoil_proxy ~n_ranks:2
+       ~spec:{ Fault.default with seed = 13; drop = 1.0 }
+       ~recover:false
+   with
+  | Ok _ -> Alcotest.fail "total loss was survived"
+  | Error f ->
+    Alcotest.(check bool) "resilience layer" true (f.Finding.layer = Finding.Resilience);
+    Alcotest.(check string) "finding subject" "recovery" f.Finding.subject;
+    if not (Str_contains.contains (Finding.to_string f) "lost") then
+      Alcotest.failf "finding does not name the loss: %s" (Finding.to_string f));
+  (* Crash without --recover: detect-and-abort, naming the crash. *)
+  match
+    run_schedule airfoil_proxy ~n_ranks:2
+      ~spec:{ Fault.default with seed = 13; crash = Some (1, 8) }
+      ~recover:false
+  with
+  | Ok _ -> Alcotest.fail "crash was survived without recovery"
+  | Error f ->
+    if not (Str_contains.contains (Finding.to_string f) "crashed") then
+      Alcotest.failf "finding does not name the crash: %s" (Finding.to_string f)
+
+(* Total loss under recovery exhausts the restart budget and still ends in
+   a finding (the restarts replay the same deterministic loss). *)
+let test_recovery_budget_exhausted () =
+  Obs.reset ();
+  match
+    run_schedule airfoil_proxy ~n_ranks:2
+      ~spec:{ Fault.default with seed = 21; drop = 1.0 }
+      ~recover:true
+  with
+  | Ok _ -> Alcotest.fail "total loss was survived"
+  | Error f ->
+    if not (Str_contains.contains (Finding.to_string f) "3 restarts") then
+      Alcotest.failf "finding does not count the restarts: %s" (Finding.to_string f);
+    Alcotest.(check int) "restarts counted" 3 (Counters.value Obs.fault_recoveries);
+    Alcotest.(check int) "abort counted" 1 (Counters.value Obs.fault_aborts)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "no injector, no envelope" `Quick
+            test_no_injector_no_envelope;
+          Alcotest.test_case "envelope overhead when enabled" `Quick
+            test_envelope_overhead_when_enabled;
+          Alcotest.test_case "crc rejects corruption" `Quick test_crc_rejects_corruption;
+          Alcotest.test_case "duplicates discarded" `Quick test_duplicates_discarded;
+          Alcotest.test_case "delays reordered" `Quick test_delays_reordered;
+          Alcotest.test_case "drops retransmitted" `Quick test_drops_retransmitted;
+          Alcotest.test_case "total loss unrecoverable" `Quick
+            test_total_loss_unrecoverable;
+          Alcotest.test_case "recv of nothing fails fast" `Quick
+            test_recv_nothing_in_flight;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "round-trip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "malformed specs rejected" `Quick test_spec_errors;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "200 randomized schedules" `Slow test_soak;
+          Alcotest.test_case "schedules replay deterministically" `Slow
+            test_soak_deterministic;
+          Alcotest.test_case "fixed regression schedules" `Quick test_regressions;
+        ] );
+      ( "abort",
+        [
+          Alcotest.test_case "unsurvivable aborts cleanly" `Quick
+            test_unsurvivable_aborts;
+          Alcotest.test_case "restart budget exhausts cleanly" `Quick
+            test_recovery_budget_exhausted;
+        ] );
+    ]

@@ -31,15 +31,8 @@ module Halo = Am_simmpi.Halo
 module Airfoil = Am_airfoil.App
 module Clover = Am_cloverleaf.App
 
-let base_seed =
-  match Sys.getenv_opt "AM_SEED" with
-  | Some s -> (
-    try int_of_string s
-    with _ -> failwith "AM_SEED must be an integer")
-  | None -> 0x0b5e1a9
-
-let failf_seed seed fmt =
-  Alcotest.failf ("[reproduce with AM_SEED=%d] " ^^ fmt) seed
+let base_seed = Qcheck_util.base_seed
+let failf_seed seed fmt = Qcheck_util.failf_seed seed fmt
 
 (* ---- Result fingerprints ---- *)
 
