@@ -10,7 +10,7 @@ module Ops = Am_ops.Ops
 module App = Am_cloverleaf.App
 
 let run nx ny steps backend ranks overlap summary_every verify van_leer check
-    trace obs_json faults recover =
+    trace obs_json faults recover tile =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let advection =
@@ -60,6 +60,15 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer check
       failwith "--overlap requires --backend mpi, mpi2d or hybrid";
     Ops.set_comm_mode t.App.ctx Ops.Overlap
   end;
+  (match tile with
+  | Some tile_size ->
+    Ops.set_lazy t.App.ctx ~tile_size true;
+    Printf.printf "lazy loop chains: %s, tile %d rows\n%!"
+      (match (if check then "check" else backend) with
+      | "seq" | "check" -> "on"
+      | _ -> "recording bypassed on this backend")
+      (Ops.tile_size t.App.ctx)
+  | None -> ());
   (match Fault_common.injector fc with
   | Some f -> Ops.set_fault_injector t.App.ctx f
   | None -> ());
@@ -153,12 +162,23 @@ let obs_json_arg =
         ~doc:"Write the runtime counter registry as JSON to $(docv)."
         ~docv:"FILE")
 
+let tile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 0) (some int) None
+    & info [ "tile" ]
+        ~doc:
+          "Lazy loop chains with skewed cache tiling: par_loops are queued and \
+           executed tile-by-tile at flush points.  Optional $(docv) is the tile \
+           height in rows (bare --tile keeps the default)."
+        ~docv:"ROWS")
+
 let cmd =
   Cmd.v
     (Cmd.info "cloverleaf" ~doc:"CloverLeaf 2D hydrodynamics proxy application (OPS)")
     Term.(
       const run $ nx $ ny $ steps $ backend $ ranks $ overlap $ summary_every
       $ verify $ van_leer $ Check_common.arg $ trace_arg $ obs_json_arg
-      $ Fault_common.faults_arg $ Fault_common.recover_arg)
+      $ Fault_common.faults_arg $ Fault_common.recover_arg $ tile_arg)
 
 let () = exit (Cmd.eval cmd)

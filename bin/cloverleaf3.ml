@@ -5,7 +5,7 @@
 module App = Am_cloverleaf3.App
 module Ops3 = Am_ops.Ops3
 
-let run n steps backend ranks check trace obs_json faults recover =
+let run n steps backend ranks check trace obs_json faults recover tile =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   Fault_common.with_faults ~app:"cloverleaf3" ~faults ~recover @@ fun fc ~recovering ->
@@ -42,6 +42,15 @@ let run n steps backend ranks check trace obs_json faults recover =
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
   Printf.printf "cloverleaf3: %d^3 cells, %d steps, backend %s\n%!" n steps backend;
+  (match tile with
+  | Some tile_size ->
+    Ops3.set_lazy t.App.ctx ~tile_size true;
+    Printf.printf "lazy loop chains: %s, tile %d z-planes\n%!"
+      (match (if check then "check" else backend) with
+      | "seq" | "check" -> "on"
+      | _ -> "recording bypassed on this backend")
+      (Ops3.tile_size t.App.ctx)
+  | None -> ());
   (match Fault_common.injector fc with
   | Some f -> Ops3.set_fault_injector t.App.ctx f
   | None -> ());
@@ -95,11 +104,23 @@ let obs_json_arg =
         ~doc:"Write the runtime counter registry as JSON to $(docv)."
         ~docv:"FILE")
 
+let tile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 0) (some int) None
+    & info [ "tile" ]
+        ~doc:
+          "Lazy loop chains with skewed cache tiling: par_loops are queued and \
+           executed tile-by-tile at flush points.  Optional $(docv) is the tile \
+           depth in z-planes (bare --tile keeps the default)."
+        ~docv:"PLANES")
+
 let cmd =
   Cmd.v
     (Cmd.info "cloverleaf3" ~doc:"CloverLeaf 3D hydrodynamics proxy application (Ops3)")
     Term.(
       const run $ n $ steps $ backend $ ranks $ Check_common.arg $ trace_arg
-      $ obs_json_arg $ Fault_common.faults_arg $ Fault_common.recover_arg)
+      $ obs_json_arg $ Fault_common.faults_arg $ Fault_common.recover_arg
+      $ tile_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -6,7 +6,7 @@ module Op2 = Am_op2.Op2
 module App = Am_hydra.App
 
 let run nx ny iters backend ranks renumber no_multigrid check trace obs_json faults
-    recover =
+    recover tile =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let features = { App.all_features with App.multigrid = not no_multigrid } in
@@ -37,6 +37,8 @@ let run nx ny iters backend ranks renumber no_multigrid check trace obs_json fau
   Printf.printf "hydra-sim: %d fine cells (+%d coarse), %d loops/iteration\n%!"
     t.App.mesh.Am_mesh.Umesh.n_cells t.App.coarse_mesh.Am_mesh.Umesh.n_cells
     App.loops_per_iteration;
+  if tile <> None then
+    Printf.printf "--tile: loop-chain tiling is unsupported on OP2 (unstructured mesh), ignored\n%!";
   if renumber then begin
     let before, after = Op2.renumber t.App.ctx ~through:t.App.edge_cells in
     Printf.printf "renumbered: dual-graph mean bandwidth %.1f -> %.1f\n%!" before after
@@ -98,12 +100,23 @@ let obs_json_arg =
         ~doc:"Write the runtime counter registry as JSON to $(docv)."
         ~docv:"FILE")
 
+let tile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 0) (some int) None
+    & info [ "tile" ]
+        ~doc:
+          "Accepted for driver-flag parity with the OPS proxies; loop-chain \
+           tiling needs the structured-mesh dependence model and is \
+           unsupported on OP2, so the flag is ignored."
+        ~docv:"N")
+
 let cmd =
   Cmd.v
     (Cmd.info "hydra" ~doc:"Production-scale synthetic RANS pipeline (OP2)")
     Term.(
       const run $ nx $ ny $ iters $ backend $ ranks $ renumber $ no_multigrid
       $ Check_common.arg $ trace_arg $ obs_json_arg
-      $ Fault_common.faults_arg $ Fault_common.recover_arg)
+      $ Fault_common.faults_arg $ Fault_common.recover_arg $ tile_arg)
 
 let () = exit (Cmd.eval cmd)

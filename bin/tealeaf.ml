@@ -5,7 +5,7 @@
 module Tea = Am_tealeaf.App
 module Ops3 = Am_ops.Ops3
 
-let run n steps dt backend ranks check trace obs_json faults recover =
+let run n steps dt backend ranks check trace obs_json faults recover tile =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   Fault_common.with_faults ~app:"tealeaf" ~faults ~recover @@ fun fc ~recovering ->
@@ -37,6 +37,15 @@ let run n steps dt backend ranks check trace obs_json faults recover =
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
   Printf.printf "tealeaf-sim: %d^3 cells, dt %.3f, backend %s\n%!" n dt backend;
+  (match tile with
+  | Some tile_size ->
+    Ops3.set_lazy t.Tea.ctx ~tile_size true;
+    Printf.printf "lazy loop chains: %s, tile %d z-planes\n%!"
+      (match (if check then "check" else backend) with
+      | "seq" | "check" -> "on"
+      | _ -> "recording bypassed on this backend")
+      (Ops3.tile_size t.Tea.ctx)
+  | None -> ());
   (match Fault_common.injector fc with
   | Some f -> Ops3.set_fault_injector t.Tea.ctx f
   | None -> ());
@@ -90,11 +99,23 @@ let obs_json_arg =
         ~doc:"Write the runtime counter registry as JSON to $(docv)."
         ~docv:"FILE")
 
+let tile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 0) (some int) None
+    & info [ "tile" ]
+        ~doc:
+          "Lazy loop chains with skewed cache tiling: par_loops are queued and \
+           executed tile-by-tile at flush points.  Optional $(docv) is the tile \
+           depth in z-planes (bare --tile keeps the default)."
+        ~docv:"PLANES")
+
 let cmd =
   Cmd.v
     (Cmd.info "tealeaf" ~doc:"Implicit 3D heat conduction proxy app (Ops3 + CG)")
     Term.(
       const run $ n $ steps $ dt $ backend $ ranks $ Check_common.arg $ trace_arg
-      $ obs_json_arg $ Fault_common.faults_arg $ Fault_common.recover_arg)
+      $ obs_json_arg $ Fault_common.faults_arg $ Fault_common.recover_arg
+      $ tile_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -53,6 +53,21 @@ let fault_aborts = Counters.counter counters "fault.aborts"
 let check_loops = Counters.counter counters "check.loops"
 let check_elements = Counters.counter counters ~unit_:"elements" "check.elements"
 let check_violations = Counters.counter counters "check.violations"
+let chain_loops = Counters.counter counters "chain.queued_loops"
+let chain_flushes = Counters.counter counters "chain.flushes"
+let chain_tiles = Counters.counter counters "chain.tiles"
+let tile_hits = Counters.counter counters "tile_cache.hits"
+let tile_misses = Counters.counter counters "tile_cache.misses"
+
+(* Pre-export flush hooks.  Lazy-chain contexts (the OPS facades' delayed
+   evaluation mode) register a chain flush here so any queued loops run
+   before a trace or counter artifact is written — an export must never
+   observe (or silently drop) half-recorded work.  Hooks are idempotent
+   closures; contexts register once and live for the process. *)
+let flush_hooks : (unit -> unit) list ref = ref []
+
+let add_flush_hook f = flush_hooks := f :: !flush_hooks
+let run_flush_hooks () = List.iter (fun f -> f ()) !flush_hooks
 
 let reset () =
   Counters.reset counters;
@@ -132,6 +147,7 @@ let counters_table () =
   Am_util.Table.render table
 
 let report ?roofline_gbs ?(loops = []) () =
+  run_flush_hooks ();
   let b = Buffer.create 1024 in
   if loops <> [] then begin
     Buffer.add_string b (loops_table ?roofline_gbs loops);
@@ -148,13 +164,17 @@ let report ?roofline_gbs ?(loops = []) () =
 let counters_json () = Counters.to_json counters
 
 let write_counters ~path =
+  run_flush_hooks ();
   let oc = open_out path in
   output_string oc (counters_json ());
   close_out oc
 
-let write_trace ~path = Tracer.write_chrome tracer ~path
+let write_trace ~path =
+  run_flush_hooks ();
+  Tracer.write_chrome tracer ~path
 
 let finish ?trace ?obs_json ?roofline_gbs ?loops () =
+  run_flush_hooks ();
   match (trace, obs_json) with
   | None, None -> ()
   | _ ->

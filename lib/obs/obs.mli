@@ -80,6 +80,23 @@ val check_loops : Counters.counter
 val check_elements : Counters.counter
 val check_violations : Counters.counter
 
+(** Lazy loop-chain activity: loops recorded into a chain instead of run,
+    chain flushes, skewed tiles executed, and tile-schedule cache lookups
+    served from cache vs. planned (and validated) fresh. *)
+
+val chain_loops : Counters.counter
+val chain_flushes : Counters.counter
+val chain_tiles : Counters.counter
+val tile_hits : Counters.counter
+val tile_misses : Counters.counter
+
+val add_flush_hook : (unit -> unit) -> unit
+(** Register an idempotent hook run before every trace/counter export and
+    {!report}: lazy-chain contexts flush queued loops here so exports never
+    observe (or drop) deferred work.  Hooks live for the process. *)
+
+val run_flush_hooks : unit -> unit
+
 val reset : unit -> unit
 (** Zero all counters, drop all trace events, disable tracing. *)
 

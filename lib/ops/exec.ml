@@ -271,6 +271,17 @@ let run_point compiled buffers kernel x y =
     | C_gbl _ | C_idx -> ()
   done
 
+(* Slab runner for the lazy-chain tiled executor: the caller owns the
+   compiled arguments and staging buffers — which persist across slabs so
+   global accumulations keep the eager traversal order — and merges
+   globals once after the whole chain. *)
+let run_range compiled buffers ~range ~kernel =
+  for y = range.ylo to range.yhi - 1 do
+    for x = range.xlo to range.xhi - 1 do
+      run_point compiled buffers kernel x y
+    done
+  done
+
 (* ---- Sequential ----------------------------------------------------- *)
 
 let run_seq ?resolvers ?compiled ~range ~args ~kernel () =

@@ -217,6 +217,15 @@ let run_point compiled buffers kernel x =
     | C_gbl _ | C_idx -> ()
   done
 
+(* Slab runner for the lazy-chain tiled executor: caller-owned compiled
+   arguments and staging buffers (persist across slabs so global
+   accumulations keep the eager traversal order), globals merged once
+   after the whole chain. *)
+let run_range compiled buffers ~range ~kernel =
+  for x = range.xlo to range.xhi - 1 do
+    run_point compiled buffers kernel x
+  done
+
 let run_seq ?resolvers ?compiled ~range ~args ~kernel () =
   let compiled =
     match compiled with Some c -> c | None -> compile ?resolvers args

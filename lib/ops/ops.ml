@@ -52,6 +52,34 @@ type backend =
 (* Distributed state: row decomposition or the 2D process grid. *)
 type dist_state = Rows of Dist.t | Grid of Dist2.t
 
+(* Per-call-site loop handle: caches the compiled gather/scatter executor
+   (offset tables and specialised closures) so repeated invocations skip
+   argument compilation.  Freshness is a handful of pointer compares per
+   call; a changed dataset array, stencil or access recompiles. *)
+type handle = { mutable h_exec : Exec.compiled_arg array option }
+
+let make_handle () = { h_exec = None }
+
+(* One recorded [par_loop] invocation: everything needed to run it later.
+   Read-global buffers are snapshotted at record time ([q_snapshots]) —
+   applications refill scratch constant arrays in place between loops, so
+   the values the loop saw when it was recorded must be restored (into the
+   same array, preserving the handle cache's pointer identity) before the
+   deferred execution reads them. *)
+type queued_loop = {
+  q_name : string;
+  q_descr : Descr.loop;
+  q_range : range;
+  q_args : arg list;
+  q_kernel : float array array -> unit;
+  q_handle : handle option;
+  q_snapshots : (float array * float array) list; (* user buffer, copy *)
+}
+
+(* A chain entry: a recorded loop, or an order-preserving deferred data
+   operation (ghost-ring mirrors) that splits tileable segments. *)
+type chain_item = Q_loop of queued_loop | Q_op of (unit -> unit) * string
+
 type ctx = {
   env : Types.env;
   mutable backend : backend;
@@ -60,7 +88,21 @@ type ctx = {
   mutable dist : dist_state option;
   mutable checkpoint : Am_checkpoint.Runtime.session option;
   mutable fault : Am_simmpi.Fault.t option;
+  (* Lazy loop chains (cross-loop cache tiling). *)
+  mutable lazy_mode : bool;
+  mutable tile_size : int;
+  mutable chain_rev : chain_item list;
+  mutable chain_len : int;
+  mutable obs_hooked : bool;
 }
+
+(* Outer-axis (row) slab height of the skewed tiles. *)
+let default_tile = 16
+
+(* Longest chain recorded before a forced flush: bounds the closures (and
+   global snapshots) held alive, and keeps a runaway chain's tile schedule
+   from degenerating into one giant skewed wavefront. *)
+let max_chain = 64
 
 let create ?(backend = Seq) () =
   {
@@ -71,9 +113,266 @@ let create ?(backend = Seq) () =
     dist = None;
     checkpoint = None;
     fault = None;
+    lazy_mode = false;
+    tile_size = default_tile;
+    chain_rev = [];
+    chain_len = 0;
+    obs_hooked = false;
   }
 
+(* ---- Lazy loop chains (record / flush / tile) --------------------------- *)
+
+let now () = Unix.gettimeofday ()
+
+let resolve_compiled handle args =
+  match handle.h_exec with
+  | Some c when Exec.compiled_matches c args ->
+    Am_obs.Counters.incr Am_obs.Obs.exec_hits;
+    c
+  | Some _ | None ->
+    Am_obs.Counters.incr Am_obs.Obs.exec_misses;
+    let c =
+      Am_obs.Obs.span ~cat:Am_obs.Tracer.Plan "compile" (fun () -> Exec.compile args)
+    in
+    handle.h_exec <- Some c;
+    c
+
+(* Lazy recording applies on the backends whose execution we can replay
+   slab-by-slab (Seq bitwise-exactly, Check semantically); a partitioned or
+   checkpointing context needs every loop's side effects at its program
+   point, so recording is bypassed rather than half-supported. *)
+let lazy_active ctx =
+  ctx.lazy_mode && ctx.dist = None && ctx.checkpoint = None
+  && (match ctx.backend with Seq | Check -> true | Shared _ | Cuda_sim _ -> false)
+
+let enqueue ctx item =
+  ctx.chain_rev <- item :: ctx.chain_rev;
+  ctx.chain_len <- ctx.chain_len + 1
+
+(* Restore the record-time values of a loop's Read globals (in place: the
+   arrays' identities are what the compiled-executor cache keys on). *)
+let blit_snapshots q =
+  List.iter
+    (fun (buf, snap) -> Array.blit snap 0 buf 0 (Array.length snap))
+    q.q_snapshots
+
+(* A flush rewinds Read-global buffers entry by entry, so the caller-visible
+   (live) values are saved first and restored when the flush completes. *)
+let save_gbl_live items =
+  let saved = ref [] in
+  List.iter
+    (function
+      | Q_loop q ->
+        List.iter
+          (fun (buf, _) ->
+            if not (List.exists (fun (b, _) -> b == buf) !saved) then
+              saved := (buf, Array.copy buf) :: !saved)
+          q.q_snapshots
+      | Q_op _ -> ())
+    items;
+  !saved
+
+let restore_gbl_live saved =
+  List.iter (fun (buf, live) -> Array.blit live 0 buf 0 (Array.length live)) saved
+
+(* Only unit-stride loops tile: a multigrid transfer argument couples each
+   iteration row to factor-scaled rows of the other grid, which the
+   outer-axis skew model does not describe.  Such loops run as segment
+   boundaries at their recorded program point. *)
+let loop_tileable q =
+  List.for_all
+    (function
+      | Types.Arg_dat { stride; _ } -> stride = Types.unit_stride
+      | Types.Arg_gbl _ | Types.Arg_idx -> true)
+    q.q_args
+
+(* Project a recorded loop onto the tiled (outer, y) axis.  Writes are
+   centre-only (validated), so a writing access contributes its dataset to
+   [li_writes] plus a centre-row touch in [li_reads]; reading accesses
+   contribute their stencil's row extents. *)
+let entry_info q =
+  let reads = ref [] and writes = ref [] in
+  List.iter
+    (function
+      | Types.Arg_dat { dat; stencil; access; _ } ->
+        let id = dat.Types.dat_id in
+        if Access.writes access then writes := id :: !writes;
+        let below = ref 0 and above = ref 0 in
+        if Access.reads access then
+          Array.iter
+            (fun (_dx, dy) ->
+              if -dy > !below then below := -dy;
+              if dy > !above then above := dy)
+            stencil;
+        reads := (id, !below, !above) :: !reads
+      | Types.Arg_gbl _ | Types.Arg_idx -> ())
+    q.q_args;
+  {
+    Tiling.li_lo = q.q_range.ylo;
+    li_hi = q.q_range.yhi;
+    li_reads = List.rev !reads;
+    li_writes = List.rev !writes;
+  }
+
+let record_entry_profile ctx q ~seconds =
+  Profile.record ctx.profile ~name:q.q_name ~seconds
+    ~bytes:(Descr.total_bytes q.q_descr) ~elements:(Types.range_size q.q_range)
+
+(* Run one recorded item eagerly at its program point (single-loop
+   segments, non-tileable loops, deferred data operations). *)
+let run_queued_eager ctx q =
+  blit_snapshots q;
+  let traced = Am_obs.Obs.tracing () in
+  if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop q.q_name;
+  let t0 = now () in
+  (match ctx.backend with
+  | Seq ->
+    let compiled = Option.map (fun h -> resolve_compiled h q.q_args) q.q_handle in
+    Exec.run_seq ?compiled ~range:q.q_range ~args:q.q_args ~kernel:q.q_kernel ()
+  | Check ->
+    Exec_check.run ~name:q.q_name ~range:q.q_range ~args:q.q_args ~kernel:q.q_kernel ()
+  | Shared _ | Cuda_sim _ -> assert false (* lazy_active excludes these *));
+  if traced then Am_obs.Obs.end_span ();
+  record_entry_profile ctx q ~seconds:(now () -. t0)
+
+(* Tiled execution of a maximal run of tileable loops on Seq.  Bitwise
+   equality with the eager backend comes from three invariants: each
+   entry's arguments are compiled and its staging buffers made ONCE before
+   any slab runs (global accumulators persist across slabs); a loop's slabs
+   execute in ascending row order, so their concatenation is exactly the
+   eager traversal; and globals merge once per entry after the last slab,
+   in chain order. *)
+let run_segment_seq ctx entries =
+  let infos = Array.map entry_info entries in
+  let sched = Tiling.find ~tile_size:ctx.tile_size infos in
+  Am_obs.Counters.add Am_obs.Obs.chain_tiles (Array.length sched.Tiling.sched_tiles);
+  let prepped =
+    Array.map
+      (fun q ->
+        blit_snapshots q;
+        let compiled =
+          match q.q_handle with
+          | Some h -> resolve_compiled h q.q_args
+          | None -> Exec.compile q.q_args
+        in
+        (compiled, Exec.make_buffers compiled, ref 0.0))
+      entries
+  in
+  let traced = Am_obs.Obs.tracing () in
+  Array.iteri
+    (fun t slabs ->
+      if traced then
+        Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop
+          ~args:[ ("tile", float_of_int t) ]
+          "tile";
+      Array.iter
+        (fun { Tiling.s_loop; s_lo; s_hi } ->
+          let q = entries.(s_loop) in
+          let compiled, buffers, secs = prepped.(s_loop) in
+          let t0 = now () in
+          Exec.run_range compiled buffers
+            ~range:{ q.q_range with ylo = s_lo; yhi = s_hi }
+            ~kernel:q.q_kernel;
+          secs := !secs +. (now () -. t0))
+        slabs;
+      if traced then Am_obs.Obs.end_span ())
+    sched.Tiling.sched_tiles;
+  Array.iteri
+    (fun k q ->
+      let compiled, buffers, secs = prepped.(k) in
+      if Exec.has_globals compiled then Exec.merge_globals compiled buffers;
+      record_entry_profile ctx q ~seconds:!secs)
+    entries
+
+(* The sanitizer executes the same slab schedule through its guarded
+   engine, so descriptor violations are caught under the tiled traversal
+   too.  Each slab is a fresh guarded run (record-time globals re-blitted
+   first); global reductions merge per slab, which is associative for
+   Inc/Min/Max — Check promises seq semantics, not bitwise identity. *)
+let run_segment_check ctx entries =
+  let infos = Array.map entry_info entries in
+  let sched = Tiling.find ~tile_size:ctx.tile_size infos in
+  Am_obs.Counters.add Am_obs.Obs.chain_tiles (Array.length sched.Tiling.sched_tiles);
+  let secs = Array.map (fun _ -> ref 0.0) entries in
+  Array.iter
+    (fun slabs ->
+      Array.iter
+        (fun { Tiling.s_loop; s_lo; s_hi } ->
+          let q = entries.(s_loop) in
+          blit_snapshots q;
+          let t0 = now () in
+          Exec_check.run ~name:q.q_name
+            ~range:{ q.q_range with ylo = s_lo; yhi = s_hi }
+            ~args:q.q_args ~kernel:q.q_kernel ();
+          secs.(s_loop) := !(secs.(s_loop)) +. (now () -. t0))
+        slabs)
+    sched.Tiling.sched_tiles;
+  Array.iteri
+    (fun k q -> record_entry_profile ctx q ~seconds:!(secs.(k)))
+    entries
+
+(* Flush the recorded chain: split it at deferred data operations and
+   non-tileable loops, run each maximal tileable segment slab-by-slab
+   through the skewed schedule, and run everything else eagerly at its
+   recorded position.  Loop order inside a tile is chain order, so the
+   observable dataset state after a flush is identical to eager execution
+   (bitwise on Seq). *)
+let flush ctx =
+  if ctx.chain_len > 0 then begin
+    let items = List.rev ctx.chain_rev in
+    ctx.chain_rev <- [];
+    ctx.chain_len <- 0;
+    Am_obs.Counters.incr Am_obs.Obs.chain_flushes;
+    Am_obs.Obs.span ~cat:Am_obs.Tracer.Loop "chain_flush" (fun () ->
+        let saved = save_gbl_live items in
+        let seg = ref [] in
+        let run_segment () =
+          match List.rev !seg with
+          | [] -> ()
+          | [ q ] ->
+            seg := [];
+            run_queued_eager ctx q
+          | entries -> (
+            seg := [];
+            let entries = Array.of_list entries in
+            match ctx.backend with
+            | Seq -> run_segment_seq ctx entries
+            | Check -> run_segment_check ctx entries
+            | Shared _ | Cuda_sim _ -> assert false)
+        in
+        List.iter
+          (function
+            | Q_loop q when loop_tileable q -> seg := q :: !seg
+            | Q_loop q ->
+              run_segment ();
+              run_queued_eager ctx q
+            | Q_op (f, _name) ->
+              run_segment ();
+              f ())
+          items;
+        run_segment ();
+        restore_gbl_live saved)
+  end
+
+let set_lazy ctx ?tile_size enabled =
+  flush ctx;
+  (match tile_size with
+  | Some t when t > 0 -> ctx.tile_size <- t
+  | Some _ | None -> ());
+  ctx.lazy_mode <- enabled;
+  if enabled && not ctx.obs_hooked then begin
+    (* Trace/counter exports and Obs.report force a flush first, so queued
+       loops are never dropped from (or double-counted in) an artifact. *)
+    ctx.obs_hooked <- true;
+    Am_obs.Obs.add_flush_hook (fun () -> flush ctx)
+  end
+
+let lazy_mode ctx = ctx.lazy_mode
+let tile_size ctx = ctx.tile_size
+let pending ctx = ctx.chain_len
+
 let set_backend ctx backend =
+  flush ctx;
   (match (backend, ctx.dist) with
   | (Shared _ | Cuda_sim _ | Check), Some _ ->
     invalid_arg "Ops.set_backend: context is partitioned; ranks execute sequentially"
@@ -81,7 +380,11 @@ let set_backend ctx backend =
   ctx.backend <- backend
 
 let backend ctx = ctx.backend
-let profile ctx = ctx.profile
+
+let profile ctx =
+  flush ctx;
+  ctx.profile
+
 let trace ctx = ctx.trace
 
 (* ---- Declarations ------------------------------------------------------ *)
@@ -142,6 +445,7 @@ let get = Types.get
 let set = Types.set
 
 let fetch_interior ctx dat =
+  flush ctx;
   match ctx.dist with
   | Some (Rows d) -> Dist.fetch_interior d dat
   | Some (Grid d) -> Dist2.fetch_interior d dat
@@ -151,6 +455,7 @@ let fetch_interior ctx dat =
    function receives logical (x, y) and the component index. Pushes to the
    distributed windows when partitioned. *)
 let init ctx dat f =
+  flush ctx;
   for y = Types.y_min dat to Types.y_max dat - 1 do
     for x = Types.x_min dat to Types.x_max dat - 1 do
       for c = 0 to dat.Types.dim - 1 do
@@ -194,6 +499,7 @@ let attach_pending_fault ctx =
   | _ -> ()
 
 let partition ctx ~n_ranks ~ref_ysize =
+  flush ctx;
   check_partitionable ctx;
   ctx.dist <- Some (Rows (Dist.build ctx.env ~n_ranks ~ref_ysize));
   attach_pending_fault ctx
@@ -202,6 +508,7 @@ let partition ctx ~n_ranks ~ref_ysize =
    CloverLeaf at scale: both dimensions split, two-phase ghost exchange
    carrying the corners. *)
 let partition_grid ctx ~px ~py ~ref_xsize ~ref_ysize =
+  flush ctx;
   check_partitionable ctx;
   ctx.dist <- Some (Grid (Dist2.build ctx.env ~px ~py ~ref_xsize ~ref_ysize));
   attach_pending_fault ctx
@@ -266,35 +573,13 @@ let decl_halo ctx ~name ~src ~dst ~src_range ~dst_range ?orientation () =
   Multiblock.decl_halo ~name ~src ~dst ~src_range ~dst_range ?orientation ()
 
 let halo_transfer ctx halos =
+  flush ctx;
   if ctx.dist <> None then
     invalid_arg "Ops.halo_transfer: inter-block halos unsupported on a partitioned \
                  context (partition a single block instead)";
   Multiblock.transfer_all halos
 
 (* ---- The parallel loop ----------------------------------------------------- *)
-
-let now () = Unix.gettimeofday ()
-
-(* Per-call-site loop handle: caches the compiled gather/scatter executor
-   (offset tables and specialised closures) so repeated invocations skip
-   argument compilation.  Freshness is a handful of pointer compares per
-   call; a changed dataset array, stencil or access recompiles. *)
-type handle = { mutable h_exec : Exec.compiled_arg array option }
-
-let make_handle () = { h_exec = None }
-
-let resolve_compiled handle args =
-  match handle.h_exec with
-  | Some c when Exec.compiled_matches c args ->
-    Am_obs.Counters.incr Am_obs.Obs.exec_hits;
-    c
-  | Some _ | None ->
-    Am_obs.Counters.incr Am_obs.Obs.exec_misses;
-    let c =
-      Am_obs.Obs.span ~cat:Am_obs.Tracer.Plan "compile" (fun () -> Exec.compile args)
-    in
-    handle.h_exec <- Some c;
-    c
 
 let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range args
     kernel =
@@ -306,6 +591,41 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   (match ctx.fault with
   | Some f -> Am_simmpi.Fault.note_loop f
   | None -> ());
+  if lazy_active ctx then begin
+    (* Record instead of run.  A non-Read global is a demanded result (the
+       caller reads the reduction buffer on return), so the loop is queued —
+       keeping it eligible as the chain's last tiled entry — and the chain
+       flushes before par_loop returns. *)
+    let snapshots =
+      List.filter_map
+        (function
+          | Types.Arg_gbl { buf; access = Access.Read; _ } ->
+            Some (buf, Array.copy buf)
+          | Types.Arg_gbl _ | Types.Arg_dat _ | Types.Arg_idx -> None)
+        args
+    in
+    let demands_result =
+      List.exists
+        (function
+          | Types.Arg_gbl { access; _ } -> access <> Access.Read
+          | Types.Arg_dat _ | Types.Arg_idx -> false)
+        args
+    in
+    enqueue ctx
+      (Q_loop
+         {
+           q_name = name;
+           q_descr = descr;
+           q_range = range;
+           q_args = args;
+           q_kernel = kernel;
+           q_handle = handle;
+           q_snapshots = snapshots;
+         });
+    Am_obs.Counters.incr Am_obs.Obs.chain_loops;
+    if demands_result || ctx.chain_len >= max_chain then flush ctx
+  end
+  else begin
   let t0 = now () in
   let traced = Am_obs.Obs.tracing () in
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
@@ -340,6 +660,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   if ctx.dist <> None then
     Profile.record_halo ctx.profile ~name ~overlapped:!overlap_seconds
       ~seconds:!halo_seconds ()
+  end
 
 (* ---- Physical boundary conditions (update_halo) --------------------------- *)
 
@@ -351,7 +672,17 @@ type centering = Boundary.centering = Cell | Node
 let mirror_halo ctx ?(depth = 2) ?(sign_x = 1.0) ?(sign_y = 1.0) ?(center_x = Cell)
     ?(center_y = Cell) dat =
   match ctx.dist with
-  | None -> Boundary.mirror ~depth ~sign_x ~sign_y ~center_x ~center_y dat
+  | None ->
+    if lazy_active ctx then begin
+      (* Order-preserving barrier in the chain: ghost rows depend on the
+         whole interior, so the mirror runs between tiled segments. *)
+      enqueue ctx
+        (Q_op
+           ( (fun () -> Boundary.mirror ~depth ~sign_x ~sign_y ~center_x ~center_y dat),
+             "mirror_halo" ));
+      if ctx.chain_len >= max_chain then flush ctx
+    end
+    else Boundary.mirror ~depth ~sign_x ~sign_y ~center_x ~center_y dat
   | Some (Rows d) -> Dist.mirror d dat ~depth ~sign_x ~sign_y ~center_x ~center_y
   | Some (Grid d) -> Dist2.mirror d dat ~depth ~sign_x ~sign_y ~center_x ~center_y
 
@@ -397,11 +728,19 @@ let checkpoint_fns ctx =
         push d);
   }
 
+(* Checkpointing and lazy chains compose by sequencing, not interleaving:
+   every entry point below flushes queued loops first (a snapshot must see
+   their effects, and a restore must never be followed by a stale queued
+   re-run), and [lazy_active] keeps recording off while a session is
+   live — the checkpoint runtime needs each loop's side effects at its
+   program point to count steps and capture domains. *)
 let enable_checkpointing ctx =
+  flush ctx;
   if ctx.checkpoint = None then
     ctx.checkpoint <- Some (Am_checkpoint.Runtime.create ~fns:(checkpoint_fns ctx))
 
 let request_checkpoint ctx =
+  flush ctx;
   match ctx.checkpoint with
   | None -> invalid_arg "Ops.request_checkpoint: call enable_checkpointing first"
   | Some session -> Am_checkpoint.Runtime.request_checkpoint session
@@ -409,10 +748,12 @@ let request_checkpoint ctx =
 let checkpoint_session ctx = ctx.checkpoint
 
 let checkpoint_to_file ctx ~path =
+  flush ctx;
   match ctx.checkpoint with
   | None -> invalid_arg "Ops.checkpoint_to_file: checkpointing not enabled"
   | Some session -> Am_checkpoint.Runtime.save_to_file session ~path
 
 let recover_from_file ctx ~path =
+  flush ctx;
   ctx.checkpoint <-
     Some (Am_checkpoint.Runtime.recover_from_file ~path ~fns:(checkpoint_fns ctx))

@@ -249,6 +249,46 @@ val par_loop :
   (float array array -> unit) ->
   unit
 
+(** {1 Lazy loop chains (cross-loop cache tiling)}
+
+    With lazy execution enabled, {!par_loop} records the invocation —
+    descriptor, argument list, kernel closure, range — into a loop chain
+    instead of running it, and Read-global buffers are snapshotted so
+    in-place refills between loops stay safe.  The chain flushes when a
+    result is demanded: a global reduction (the caller reads the buffer on
+    return), {!fetch_interior}, {!init}, {!profile}, backend or partition
+    changes, any checkpoint entry point, {!halo_transfer}, trace/counter
+    exports via [Obs], an explicit {!flush}, or the chain-length bound.
+
+    A flush splits the chain at {!mirror_halo} barriers and non-unit-stride
+    (multigrid) loops, and executes each remaining multi-loop run of
+    unit-stride loops tile-by-tile under a skewed schedule (see {!Tiling}):
+    a row slab of loop 0, then a dependence-lagged slab of loop 1, and so
+    on — keeping the slab's working set in cache across the whole chain.
+    On the [Seq] backend the tiled execution is bitwise identical to eager
+    execution; on [Check] the sanitizer guards the tiled traversal itself.
+    Recording is bypassed (loops run eagerly) on the other backends, on
+    partitioned contexts, and while a checkpoint session is live.
+
+    Direct storage access ({!get}/{!set}/{!fill}) does not see the context
+    and therefore does not flush — use {!fetch_interior} or call {!flush}
+    first when loops may be queued. *)
+
+(** [set_lazy ctx ?tile_size enabled] flushes any queued loops, then turns
+    recording on or off.  [tile_size] (rows per tile on the outer axis)
+    replaces the current size when positive; pass [0] to keep the
+    default. *)
+val set_lazy : ctx -> ?tile_size:int -> bool -> unit
+
+val lazy_mode : ctx -> bool
+val tile_size : ctx -> int
+
+(** Queued chain entries (recorded loops plus deferred mirrors). *)
+val pending : ctx -> int
+
+(** Run every queued entry now.  Idempotent; safe on any context. *)
+val flush : ctx -> unit
+
 (** {1 Automatic checkpointing}
 
     As for OP2: one [request_checkpoint] and the library picks the cheapest

@@ -157,6 +157,19 @@ val par_loop :
   (float array array -> unit) ->
   unit
 
+(** {1 Lazy loop chains (cross-loop cache tiling)}
+
+    As in {!Ops.set_lazy}, instantiated for the x axis (the only axis, so
+    a tile is a contiguous chunk of cells).  Every 1D dataset argument is
+    unit-stride, so every recorded loop is tileable; {!mirror_halo}
+    barriers still split segments. *)
+
+val set_lazy : ctx -> ?tile_size:int -> bool -> unit
+val lazy_mode : ctx -> bool
+val tile_size : ctx -> int
+val pending : ctx -> int
+val flush : ctx -> unit
+
 (** {1 Automatic checkpointing}
 
     As for the other facades: one [request_checkpoint] and the library

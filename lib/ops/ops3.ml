@@ -34,6 +34,24 @@ type backend =
 (* Distributed state: z-slab decomposition or the y x z pencil grid. *)
 type dist_state = Slabs of Dist3.t | Pencil of Dist3p.t
 
+(* Per-call-site executor handle (see [Ops.make_handle]). *)
+type handle = { mutable h_exec : Exec3.compiled_arg array option }
+
+let make_handle () = { h_exec = None }
+
+(* One recorded [par_loop] invocation (see [Ops.queued_loop]). *)
+type queued_loop = {
+  q_name : string;
+  q_descr : Descr.loop;
+  q_range : range;
+  q_args : arg list;
+  q_kernel : float array array -> unit;
+  q_handle : handle option;
+  q_snapshots : (float array * float array) list; (* user buffer, copy *)
+}
+
+type chain_item = Q_loop of queued_loop | Q_op of (unit -> unit) * string
+
 type ctx = {
   env : Types3.env;
   mutable backend : backend;
@@ -42,7 +60,19 @@ type ctx = {
   mutable dist : dist_state option;
   mutable checkpoint : Am_checkpoint.Runtime.session option;
   mutable fault : Am_simmpi.Fault.t option;
+  (* Lazy loop chains (cross-loop cache tiling). *)
+  mutable lazy_mode : bool;
+  mutable tile_size : int;
+  mutable chain_rev : chain_item list;
+  mutable chain_len : int;
+  mutable obs_hooked : bool;
 }
+
+(* z (the slowest-varying axis) is tiled; a tile is a stack of z-planes,
+   so the default is much smaller than the 2D row default. *)
+let default_tile = 4
+
+let max_chain = 64
 
 let create ?(backend = Seq) () =
   {
@@ -53,9 +83,233 @@ let create ?(backend = Seq) () =
     dist = None;
     checkpoint = None;
     fault = None;
+    lazy_mode = false;
+    tile_size = default_tile;
+    chain_rev = [];
+    chain_len = 0;
+    obs_hooked = false;
   }
 
+(* ---- Lazy loop chains (see [Ops] for the full commentary) ---------------- *)
+
+let now () = Unix.gettimeofday ()
+
+let resolve_compiled handle args =
+  match handle.h_exec with
+  | Some c when Exec3.compiled_matches c args ->
+    Am_obs.Counters.incr Am_obs.Obs.exec_hits;
+    c
+  | Some _ | None ->
+    Am_obs.Counters.incr Am_obs.Obs.exec_misses;
+    let c =
+      Am_obs.Obs.span ~cat:Am_obs.Tracer.Plan "compile" (fun () -> Exec3.compile args)
+    in
+    handle.h_exec <- Some c;
+    c
+
+let lazy_active ctx =
+  ctx.lazy_mode && ctx.dist = None && ctx.checkpoint = None
+  && (match ctx.backend with Seq | Check -> true | Shared _ | Cuda_sim _ -> false)
+
+let enqueue ctx item =
+  ctx.chain_rev <- item :: ctx.chain_rev;
+  ctx.chain_len <- ctx.chain_len + 1
+
+let blit_snapshots q =
+  List.iter
+    (fun (buf, snap) -> Array.blit snap 0 buf 0 (Array.length snap))
+    q.q_snapshots
+
+let save_gbl_live items =
+  let saved = ref [] in
+  List.iter
+    (function
+      | Q_loop q ->
+        List.iter
+          (fun (buf, _) ->
+            if not (List.exists (fun (b, _) -> b == buf) !saved) then
+              saved := (buf, Array.copy buf) :: !saved)
+          q.q_snapshots
+      | Q_op _ -> ())
+    items;
+  !saved
+
+let restore_gbl_live saved =
+  List.iter (fun (buf, live) -> Array.blit live 0 buf 0 (Array.length live)) saved
+
+(* Multigrid transfer arguments couple z to factor-scaled planes of the
+   other grid; such loops run eagerly as segment boundaries. *)
+let loop_tileable q =
+  List.for_all
+    (function
+      | Types3.Arg_dat { stride; _ } -> stride = Types3.unit_stride
+      | Types3.Arg_gbl _ | Types3.Arg_idx -> true)
+    q.q_args
+
+(* Project a recorded loop onto the tiled (outermost, z) axis. *)
+let entry_info q =
+  let reads = ref [] and writes = ref [] in
+  List.iter
+    (function
+      | Types3.Arg_dat { dat; stencil; access; _ } ->
+        let id = dat.Types3.dat_id in
+        if Access.writes access then writes := id :: !writes;
+        let below = ref 0 and above = ref 0 in
+        if Access.reads access then
+          Array.iter
+            (fun (_dx, _dy, dz) ->
+              if -dz > !below then below := -dz;
+              if dz > !above then above := dz)
+            stencil;
+        reads := (id, !below, !above) :: !reads
+      | Types3.Arg_gbl _ | Types3.Arg_idx -> ())
+    q.q_args;
+  {
+    Tiling.li_lo = q.q_range.zlo;
+    li_hi = q.q_range.zhi;
+    li_reads = List.rev !reads;
+    li_writes = List.rev !writes;
+  }
+
+let record_entry_profile ctx q ~seconds =
+  Profile.record ctx.profile ~name:q.q_name ~seconds
+    ~bytes:(Descr.total_bytes q.q_descr) ~elements:(Types3.range_size q.q_range)
+
+let run_queued_eager ctx q =
+  blit_snapshots q;
+  let traced = Am_obs.Obs.tracing () in
+  if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop q.q_name;
+  let t0 = now () in
+  (match ctx.backend with
+  | Seq ->
+    let compiled = Option.map (fun h -> resolve_compiled h q.q_args) q.q_handle in
+    Exec3.run_seq ?compiled ~range:q.q_range ~args:q.q_args ~kernel:q.q_kernel ()
+  | Check ->
+    Exec_check3.run ~name:q.q_name ~range:q.q_range ~args:q.q_args
+      ~kernel:q.q_kernel ()
+  | Shared _ | Cuda_sim _ -> assert false (* lazy_active excludes these *));
+  if traced then Am_obs.Obs.end_span ();
+  record_entry_profile ctx q ~seconds:(now () -. t0)
+
+(* Tiled Seq segment: compile + make buffers once per entry, z-slabs in
+   ascending order, globals merged once per entry — bitwise equal to eager
+   execution (see [Ops.run_segment_seq]). *)
+let run_segment_seq ctx entries =
+  let infos = Array.map entry_info entries in
+  let sched = Tiling.find ~tile_size:ctx.tile_size infos in
+  Am_obs.Counters.add Am_obs.Obs.chain_tiles (Array.length sched.Tiling.sched_tiles);
+  let prepped =
+    Array.map
+      (fun q ->
+        blit_snapshots q;
+        let compiled =
+          match q.q_handle with
+          | Some h -> resolve_compiled h q.q_args
+          | None -> Exec3.compile q.q_args
+        in
+        (compiled, Exec3.make_buffers compiled, ref 0.0))
+      entries
+  in
+  let traced = Am_obs.Obs.tracing () in
+  Array.iteri
+    (fun t slabs ->
+      if traced then
+        Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop
+          ~args:[ ("tile", float_of_int t) ]
+          "tile";
+      Array.iter
+        (fun { Tiling.s_loop; s_lo; s_hi } ->
+          let q = entries.(s_loop) in
+          let compiled, buffers, secs = prepped.(s_loop) in
+          let t0 = now () in
+          Exec3.run_range compiled buffers
+            ~range:{ q.q_range with zlo = s_lo; zhi = s_hi }
+            ~kernel:q.q_kernel;
+          secs := !secs +. (now () -. t0))
+        slabs;
+      if traced then Am_obs.Obs.end_span ())
+    sched.Tiling.sched_tiles;
+  Array.iteri
+    (fun k q ->
+      let compiled, buffers, secs = prepped.(k) in
+      if Exec3.has_globals compiled then Exec3.merge_globals compiled buffers;
+      record_entry_profile ctx q ~seconds:!secs)
+    entries
+
+let run_segment_check ctx entries =
+  let infos = Array.map entry_info entries in
+  let sched = Tiling.find ~tile_size:ctx.tile_size infos in
+  Am_obs.Counters.add Am_obs.Obs.chain_tiles (Array.length sched.Tiling.sched_tiles);
+  let secs = Array.map (fun _ -> ref 0.0) entries in
+  Array.iter
+    (fun slabs ->
+      Array.iter
+        (fun { Tiling.s_loop; s_lo; s_hi } ->
+          let q = entries.(s_loop) in
+          blit_snapshots q;
+          let t0 = now () in
+          Exec_check3.run ~name:q.q_name
+            ~range:{ q.q_range with zlo = s_lo; zhi = s_hi }
+            ~args:q.q_args ~kernel:q.q_kernel ();
+          secs.(s_loop) := !(secs.(s_loop)) +. (now () -. t0))
+        slabs)
+    sched.Tiling.sched_tiles;
+  Array.iteri (fun k q -> record_entry_profile ctx q ~seconds:!(secs.(k))) entries
+
+let flush ctx =
+  if ctx.chain_len > 0 then begin
+    let items = List.rev ctx.chain_rev in
+    ctx.chain_rev <- [];
+    ctx.chain_len <- 0;
+    Am_obs.Counters.incr Am_obs.Obs.chain_flushes;
+    Am_obs.Obs.span ~cat:Am_obs.Tracer.Loop "chain_flush" (fun () ->
+        let saved = save_gbl_live items in
+        let seg = ref [] in
+        let run_segment () =
+          match List.rev !seg with
+          | [] -> ()
+          | [ q ] ->
+            seg := [];
+            run_queued_eager ctx q
+          | entries -> (
+            seg := [];
+            let entries = Array.of_list entries in
+            match ctx.backend with
+            | Seq -> run_segment_seq ctx entries
+            | Check -> run_segment_check ctx entries
+            | Shared _ | Cuda_sim _ -> assert false)
+        in
+        List.iter
+          (function
+            | Q_loop q when loop_tileable q -> seg := q :: !seg
+            | Q_loop q ->
+              run_segment ();
+              run_queued_eager ctx q
+            | Q_op (f, _name) ->
+              run_segment ();
+              f ())
+          items;
+        run_segment ();
+        restore_gbl_live saved)
+  end
+
+let set_lazy ctx ?tile_size enabled =
+  flush ctx;
+  (match tile_size with
+  | Some t when t > 0 -> ctx.tile_size <- t
+  | Some _ | None -> ());
+  ctx.lazy_mode <- enabled;
+  if enabled && not ctx.obs_hooked then begin
+    ctx.obs_hooked <- true;
+    Am_obs.Obs.add_flush_hook (fun () -> flush ctx)
+  end
+
+let lazy_mode ctx = ctx.lazy_mode
+let tile_size ctx = ctx.tile_size
+let pending ctx = ctx.chain_len
+
 let set_backend ctx backend =
+  flush ctx;
   (match (backend, ctx.dist) with
   | (Shared _ | Cuda_sim _ | Check), Some _ ->
     invalid_arg "Ops3.set_backend: context is partitioned"
@@ -63,7 +317,11 @@ let set_backend ctx backend =
   ctx.backend <- backend
 
 let backend ctx = ctx.backend
-let profile ctx = ctx.profile
+
+let profile ctx =
+  flush ctx;
+  ctx.profile
+
 let trace ctx = ctx.trace
 let blocks ctx = Types3.blocks ctx.env
 let dats ctx = Types3.dats ctx.env
@@ -121,12 +379,14 @@ let get = Types3.get
 let set = Types3.set
 
 let fetch_interior ctx dat =
+  flush ctx;
   match ctx.dist with
   | Some (Slabs d) -> Dist3.fetch_interior d dat
   | Some (Pencil d) -> Dist3p.fetch_interior d dat
   | None -> Types3.fetch_interior dat
 
 let init ctx dat f =
+  flush ctx;
   for z = Types3.z_min dat to Types3.z_max dat - 1 do
     for y = Types3.y_min dat to Types3.y_max dat - 1 do
       for x = Types3.x_min dat to Types3.x_max dat - 1 do
@@ -170,12 +430,14 @@ let attach_pending_fault ctx =
   | _ -> ()
 
 let partition ctx ~n_ranks ~ref_zsize =
+  flush ctx;
   check_partitionable ctx;
   ctx.dist <- Some (Slabs (Dist3.build ctx.env ~n_ranks ~ref_zsize));
   attach_pending_fault ctx
 
 (* Pencil (y x z) decomposition over py * pz ranks; x stays whole. *)
 let partition_pencil ctx ~py ~pz ~ref_ysize ~ref_zsize =
+  flush ctx;
   check_partitionable ctx;
   ctx.dist <- Some (Pencil (Dist3p.build ctx.env ~py ~pz ~ref_ysize ~ref_zsize));
   attach_pending_fault ctx
@@ -214,26 +476,6 @@ let comm_stats ctx =
   | Some (Slabs d) -> Some (Am_simmpi.Comm.stats d.Dist3.comm)
   | Some (Pencil d) -> Some (Am_simmpi.Comm.stats d.Dist3p.comm)
 
-let now () = Unix.gettimeofday ()
-
-(* Per-call-site executor handle (see [Ops.make_handle]). *)
-type handle = { mutable h_exec : Exec3.compiled_arg array option }
-
-let make_handle () = { h_exec = None }
-
-let resolve_compiled handle args =
-  match handle.h_exec with
-  | Some c when Exec3.compiled_matches c args ->
-    Am_obs.Counters.incr Am_obs.Obs.exec_hits;
-    c
-  | Some _ | None ->
-    Am_obs.Counters.incr Am_obs.Obs.exec_misses;
-    let c =
-      Am_obs.Obs.span ~cat:Am_obs.Tracer.Plan "compile" (fun () -> Exec3.compile args)
-    in
-    handle.h_exec <- Some c;
-    c
-
 let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range args
     kernel =
   Types3.validate_args ~block ~range args;
@@ -244,6 +486,37 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   (match ctx.fault with
   | Some f -> Am_simmpi.Fault.note_loop f
   | None -> ());
+  if lazy_active ctx then begin
+    let snapshots =
+      List.filter_map
+        (function
+          | Types3.Arg_gbl { buf; access = Access.Read; _ } ->
+            Some (buf, Array.copy buf)
+          | Types3.Arg_gbl _ | Types3.Arg_dat _ | Types3.Arg_idx -> None)
+        args
+    in
+    let demands_result =
+      List.exists
+        (function
+          | Types3.Arg_gbl { access; _ } -> access <> Access.Read
+          | Types3.Arg_dat _ | Types3.Arg_idx -> false)
+        args
+    in
+    enqueue ctx
+      (Q_loop
+         {
+           q_name = name;
+           q_descr = descr;
+           q_range = range;
+           q_args = args;
+           q_kernel = kernel;
+           q_handle = handle;
+           q_snapshots = snapshots;
+         });
+    Am_obs.Counters.incr Am_obs.Obs.chain_loops;
+    if demands_result || ctx.chain_len >= max_chain then flush ctx
+  end
+  else begin
   let t0 = now () in
   let traced = Am_obs.Obs.tracing () in
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
@@ -278,6 +551,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   if ctx.dist <> None then
     Profile.record_halo ctx.profile ~name ~overlapped:!overlap_seconds
       ~seconds:!halo_seconds ()
+  end
 
 (* ---- Multi-block halos ----------------------------------------------------- *)
 
@@ -292,6 +566,7 @@ let decl_halo ctx ~name ~src ~dst ~src_range ~dst_range ?orientation () =
   Multiblock3.decl_halo ~name ~src ~dst ~src_range ~dst_range ?orientation ()
 
 let halo_transfer ctx halos =
+  flush ctx;
   if ctx.dist <> None then
     invalid_arg "Ops3.halo_transfer: inter-block halos unsupported on a partitioned \
                  context (partition a single block instead)";
@@ -307,7 +582,18 @@ let mirror_halo ctx ?(depth = 2) ?(sign_x = 1.0) ?(sign_y = 1.0) ?(sign_z = 1.0)
     ?(center_x = Cell) ?(center_y = Cell) ?(center_z = Cell) dat =
   match ctx.dist with
   | None ->
-    Boundary3.mirror ~depth ~sign_x ~sign_y ~sign_z ~center_x ~center_y ~center_z dat
+    if lazy_active ctx then begin
+      enqueue ctx
+        (Q_op
+           ( (fun () ->
+               Boundary3.mirror ~depth ~sign_x ~sign_y ~sign_z ~center_x ~center_y
+                 ~center_z dat),
+             "mirror_halo" ));
+      if ctx.chain_len >= max_chain then flush ctx
+    end
+    else
+      Boundary3.mirror ~depth ~sign_x ~sign_y ~sign_z ~center_x ~center_y ~center_z
+        dat
   | Some (Slabs d) ->
     Dist3.mirror d dat ~depth ~sign_x ~sign_y ~sign_z ~center_x ~center_y ~center_z
   | Some (Pencil d) ->
@@ -353,11 +639,15 @@ let checkpoint_fns ctx =
         push d);
   }
 
+(* Checkpoint entry points flush queued loops first and [lazy_active]
+   keeps recording off while a session is live (see [Ops]). *)
 let enable_checkpointing ctx =
+  flush ctx;
   if ctx.checkpoint = None then
     ctx.checkpoint <- Some (Am_checkpoint.Runtime.create ~fns:(checkpoint_fns ctx))
 
 let request_checkpoint ctx =
+  flush ctx;
   match ctx.checkpoint with
   | None -> invalid_arg "Ops3.request_checkpoint: call enable_checkpointing first"
   | Some session -> Am_checkpoint.Runtime.request_checkpoint session
@@ -365,10 +655,12 @@ let request_checkpoint ctx =
 let checkpoint_session ctx = ctx.checkpoint
 
 let checkpoint_to_file ctx ~path =
+  flush ctx;
   match ctx.checkpoint with
   | None -> invalid_arg "Ops3.checkpoint_to_file: checkpointing not enabled"
   | Some session -> Am_checkpoint.Runtime.save_to_file session ~path
 
 let recover_from_file ctx ~path =
+  flush ctx;
   ctx.checkpoint <-
     Some (Am_checkpoint.Runtime.recover_from_file ~path ~fns:(checkpoint_fns ctx))

@@ -222,6 +222,21 @@ val par_loop :
   (float array array -> unit) ->
   unit
 
+(** {1 Lazy loop chains (cross-loop cache tiling)}
+
+    As in {!Ops.set_lazy}, instantiated for the z axis: recorded loops
+    flush tile-by-tile under a skewed schedule of z-plane slabs, bitwise
+    identical to eager [Seq] execution.  {!mirror_halo} barriers and
+    non-unit-stride (multigrid) loops split tileable segments; recording
+    is bypassed on partitioned contexts, under a live checkpoint session,
+    and on the [Shared]/[Cuda_sim] backends. *)
+
+val set_lazy : ctx -> ?tile_size:int -> bool -> unit
+val lazy_mode : ctx -> bool
+val tile_size : ctx -> int
+val pending : ctx -> int
+val flush : ctx -> unit
+
 (** {1 Automatic checkpointing}
 
     As for OP2 and 2D OPS: one [request_checkpoint] and the library picks

@@ -1,0 +1,532 @@
+(* Lazy loop chains and cross-loop cache tiling.
+
+   The contract under test is strong: on the Seq backend a flushed chain,
+   executed tile-by-tile under the skewed schedule, must be BITWISE equal
+   to eager execution — same traversal order per loop, one global merge
+   per loop.  The suites therefore compare float bit patterns, not
+   epsilon-close values: CloverLeaf hydro steps and TeaLeaf CG solves
+   across a tile-size sweep, randomized synthetic chains (stencils,
+   read-global refills, mirrors, reductions, chain-bound flushes), plus
+   the planner/validator unit tests, the schedule cache, every flush
+   trigger the facades promise (reductions, checkpoints, Obs exports),
+   and the sanitizer backend driving the tiled schedule. *)
+
+module Ops = Am_ops.Ops
+module Ops1 = Am_ops.Ops1
+module Ops3 = Am_ops.Ops3
+module Tiling = Am_ops.Tiling
+module Access = Am_core.Access
+module Obs = Am_obs.Obs
+module Counters = Am_obs.Counters
+module CApp = Am_cloverleaf.App
+module TApp = Am_tealeaf.App
+
+(* Bit-pattern equality: distinguishes -0.0 from 0.0 and treats equal NaN
+   payloads as equal, which float (=) does not. *)
+let bits_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float b.(i))) then
+        ok := false)
+    a;
+  !ok
+
+let check_bits name want got =
+  if not (bits_equal want got) then
+    Alcotest.failf "%s: tiled result is not bitwise equal to eager Seq" name
+
+(* Deterministic int stream (no global RNG state). *)
+let make_rand seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun n ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod n
+
+(* ---- Planner and validator unit tests ------------------------------------ *)
+
+(* u' = smooth(u) ; v = smooth(u') ; u'' = combine(u', v): flow deps with
+   extent 1 force a monotone skew of at least 1 per producer link. *)
+let sample_chain =
+  [|
+    { Tiling.li_lo = 0; li_hi = 40; li_reads = [ (0, 1, 1) ]; li_writes = [ 1 ] };
+    { Tiling.li_lo = 0; li_hi = 40; li_reads = [ (1, 1, 1) ]; li_writes = [ 2 ] };
+    {
+      Tiling.li_lo = 2;
+      li_hi = 38;
+      li_reads = [ (1, 0, 0); (2, 1, 1) ];
+      li_writes = [ 1 ];
+    };
+  |]
+
+let test_skew_monotone () =
+  let sigma = Tiling.skew sample_chain in
+  Alcotest.(check int) "loop 0 unskewed" 0 sigma.(0);
+  if sigma.(1) < 1 then Alcotest.failf "flow dep ignored: sigma.(1) = %d" sigma.(1);
+  if sigma.(2) < sigma.(1) + 1 then
+    Alcotest.failf "transitive dep ignored: sigma = %d, %d" sigma.(1) sigma.(2)
+
+let test_plan_validates () =
+  List.iter
+    (fun tile_size ->
+      let sched = Tiling.plan ~tile_size sample_chain in
+      (match Tiling.validate sample_chain sched with
+      | [] -> ()
+      | e :: _ -> Alcotest.failf "tile %d: %s" tile_size e);
+      let total =
+        Array.fold_left
+          (fun acc l -> acc + max 0 (l.Tiling.li_hi - l.Tiling.li_lo))
+          0 sample_chain
+      in
+      let covered =
+        Array.fold_left
+          (fun acc slabs ->
+            Array.fold_left
+              (fun acc { Tiling.s_lo; s_hi; _ } -> acc + (s_hi - s_lo))
+              acc slabs)
+          0 sched.Tiling.sched_tiles
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "tile %d covers every row once" tile_size)
+        total covered)
+    [ 1; 2; 3; 5; 8; 16; 64 ]
+
+let test_validator_rejects_unskewed () =
+  (* A schedule that ignores the flow dependence: both loops advance to the
+     same frontier per tile, so loop 1 reads rows loop 0 has not written. *)
+  let bogus =
+    {
+      Tiling.sched_tile = 8;
+      sched_sigma = [| 0; 0; 0 |];
+      sched_tiles =
+        Array.init 5 (fun t ->
+            let lo k = max (if k = 2 then 2 else 0) (t * 8) in
+            let hi k = min (if k = 2 then 38 else 40) ((t + 1) * 8) in
+            Array.of_list
+              (List.filter_map
+                 (fun k ->
+                   if hi k > lo k then
+                     Some { Tiling.s_loop = k; s_lo = lo k; s_hi = hi k }
+                   else None)
+                 [ 0; 1; 2 ]));
+    }
+  in
+  match Tiling.validate sample_chain bogus with
+  | [] -> Alcotest.fail "validator accepted a dependence-violating schedule"
+  | _ :: _ -> ()
+
+let test_schedule_cache () =
+  let hits0 = Counters.value Obs.tile_hits in
+  let misses0 = Counters.value Obs.tile_misses in
+  let s1 = Tiling.find ~tile_size:7 sample_chain in
+  let s2 = Tiling.find ~tile_size:7 sample_chain in
+  if not (s1 == s2) then Alcotest.fail "same signature did not hit the cache";
+  let s3 = Tiling.find ~tile_size:9 sample_chain in
+  if s1 == s3 then Alcotest.fail "different tile size shared a schedule";
+  if Counters.value Obs.tile_hits < hits0 + 1 then
+    Alcotest.fail "tile_cache.hits did not advance";
+  if Counters.value Obs.tile_misses < misses0 + 1 then
+    Alcotest.fail "tile_cache.misses did not advance"
+
+(* ---- CloverLeaf 2D: hydro steps across the tile sweep -------------------- *)
+
+let seed_clover t =
+  let bump dat seed =
+    Ops.init t.CApp.ctx dat (fun x y _ ->
+        let base = Ops.get dat ~x ~y ~c:0 in
+        let h = ((x * 73) + (y * 179) + seed) land 0xFF in
+        base *. (1.0 +. (1e-3 *. (Float.of_int h /. 255.0 -. 0.5))))
+  in
+  bump t.CApp.density0 7;
+  bump t.CApp.energy0 13
+
+let clover_state ?tile () =
+  let t = CApp.create ~nx:24 ~ny:24 () in
+  seed_clover t;
+  (match tile with
+  | Some tile_size -> Ops.set_lazy t.CApp.ctx ~tile_size true
+  | None -> ());
+  ignore (CApp.hydro_step t);
+  ignore (CApp.hydro_step t);
+  (CApp.density t, CApp.energy t, CApp.xvel t, t.CApp.dt)
+
+let clover_eager = lazy (clover_state ())
+
+let test_clover_tile_sweep () =
+  let rd, re, rv, rdt = Lazy.force clover_eager in
+  List.iter
+    (fun tile ->
+      let d, e, v, dt = clover_state ~tile () in
+      let name field = Printf.sprintf "clover tile=%d %s" tile field in
+      if Int64.bits_of_float dt <> Int64.bits_of_float rdt then
+        Alcotest.failf "%s (%.17g vs %.17g)" (name "dt") dt rdt;
+      check_bits (name "density") rd d;
+      check_bits (name "energy") re e;
+      check_bits (name "xvel") rv v)
+    [ 1; 3; 8; 16; 64 ]
+
+(* ---- TeaLeaf 3D: a CG solve across the tile sweep ------------------------ *)
+
+let tea_state ?tile () =
+  let t = TApp.create ~n:10 () in
+  (match tile with
+  | Some tile_size -> Ops3.set_lazy t.TApp.ctx ~tile_size true
+  | None -> ());
+  let iters = TApp.step ~max_iters:20 t in
+  (TApp.temperature t, TApp.total_heat t, iters)
+
+let tea_eager = lazy (tea_state ())
+
+let test_tealeaf_tile_sweep () =
+  let ru, rheat, riters = Lazy.force tea_eager in
+  List.iter
+    (fun tile ->
+      let u, heat, iters = tea_state ~tile () in
+      if iters <> riters then
+        Alcotest.failf "tealeaf tile=%d: CG iteration count diverged (%d vs %d)"
+          tile iters riters;
+      if Int64.bits_of_float heat <> Int64.bits_of_float rheat then
+        Alcotest.failf "tealeaf tile=%d: total heat diverged" tile;
+      check_bits (Printf.sprintf "tealeaf tile=%d u" tile) ru u)
+    [ 1; 2; 4; 10 ]
+
+(* ---- 1D chain ------------------------------------------------------------ *)
+
+let ops1_state ?tile () =
+  let ctx = Ops1.create () in
+  let block = Ops1.decl_block ctx ~name:"line" in
+  let u = Ops1.decl_dat ctx ~name:"u" ~block ~xsize:100 () in
+  let w = Ops1.decl_dat ctx ~name:"w" ~block ~xsize:100 () in
+  Ops1.init ctx u (fun x _ -> Float.of_int ((x * 37) mod 17) *. 0.25);
+  (match tile with
+  | Some tile_size -> Ops1.set_lazy ctx ~tile_size true
+  | None -> ());
+  for _ = 1 to 4 do
+    Ops1.mirror_halo ctx u;
+    Ops1.par_loop ctx ~name:"smooth" block (Ops1.interior w)
+      [
+        Ops1.arg_dat u Ops1.stencil_3pt Access.Read;
+        Ops1.arg_dat w Ops1.stencil_point Access.Write;
+      ]
+      (fun a -> a.(1).(0) <- (a.(0).(0) +. a.(0).(1) +. a.(0).(2)) /. 3.0);
+    Ops1.par_loop ctx ~name:"relax" block (Ops1.interior u)
+      [
+        Ops1.arg_dat w Ops1.stencil_point Access.Read;
+        Ops1.arg_dat u Ops1.stencil_point Access.Rw;
+      ]
+      (fun a -> a.(1).(0) <- (0.7 *. a.(1).(0)) +. (0.3 *. a.(0).(0)))
+  done;
+  (Ops1.fetch_interior ctx u, Ops1.fetch_interior ctx w)
+
+let test_ops1_chain () =
+  let ru, rw = ops1_state () in
+  List.iter
+    (fun tile ->
+      let u, w = ops1_state ~tile () in
+      check_bits (Printf.sprintf "1d tile=%d u" tile) ru u;
+      check_bits (Printf.sprintf "1d tile=%d w" tile) rw w)
+    [ 1; 7; 32; 512 ]
+
+(* ---- Randomized 2D chains ------------------------------------------------ *)
+
+(* A scripted chain interpreter: the same random script runs on an eager
+   and a lazy context, so any divergence is the tiling's fault.  Scripts
+   mix stencil loops (Write and Rw), an in-place-refilled Read-global
+   (the CloverLeaf consts_buf hazard), mirrors and Inc reductions. *)
+type env = { ctx : Ops.ctx; block : Ops.block; dats : Ops.dat array }
+
+let make_env () =
+  let ctx = Ops.create () in
+  let block = Ops.decl_block ctx ~name:"b" in
+  let dats =
+    Array.init 3 (fun i ->
+        Ops.decl_dat ctx ~name:(Printf.sprintf "d%d" i) ~block ~xsize:17 ~ysize:13 ())
+  in
+  Array.iteri
+    (fun i dat ->
+      Ops.init ctx dat (fun x y _ ->
+          Float.of_int (((x * 31) + (y * 57) + (i * 11)) mod 23) *. 0.125))
+    dats;
+  { ctx; block; dats }
+
+(* One shared scratch global, refilled in place before every loop that
+   reads it — the record-time snapshot must preserve each loop's value. *)
+let consts_buf = [| 0.0 |]
+
+type step =
+  | Smooth of int * int * float (* src, dst, consts value *)
+  | Shift of int * int
+  | Relax of int * int
+  | Mirror of int
+  | Reduce of int
+
+let apply env sums step =
+  match step with
+  | Smooth (src, dst, c) ->
+    consts_buf.(0) <- c;
+    Ops.par_loop env.ctx ~name:"smooth" env.block (Ops.interior env.dats.(dst))
+      [
+        Ops.arg_dat env.dats.(src) Ops.stencil_2d_5pt Access.Read;
+        Ops.arg_dat env.dats.(dst) Ops.stencil_point Access.Write;
+        Ops.arg_gbl ~name:"consts" consts_buf Access.Read;
+      ]
+      (fun a ->
+        a.(1).(0) <-
+          a.(2).(0)
+          *. (a.(0).(0) +. a.(0).(1) +. a.(0).(2) +. a.(0).(3) +. a.(0).(4)))
+  | Shift (src, dst) ->
+    Ops.par_loop env.ctx ~name:"shift" env.block (Ops.interior env.dats.(dst))
+      [
+        Ops.arg_dat env.dats.(src) Ops.stencil_2d_plus1y Access.Read;
+        Ops.arg_dat env.dats.(dst) Ops.stencil_point Access.Write;
+        Ops.arg_idx;
+      ]
+      (fun a ->
+        a.(1).(0) <- a.(0).(1) +. (1e-3 *. (a.(2).(0) +. a.(2).(1))))
+  | Relax (src, dst) ->
+    Ops.par_loop env.ctx ~name:"relax" env.block (Ops.interior env.dats.(dst))
+      [
+        Ops.arg_dat env.dats.(src) Ops.stencil_2d_minus1y Access.Read;
+        Ops.arg_dat env.dats.(dst) Ops.stencil_point Access.Rw;
+      ]
+      (fun a -> a.(1).(0) <- (0.6 *. a.(1).(0)) +. (0.4 *. a.(0).(1)))
+  | Mirror i -> Ops.mirror_halo env.ctx env.dats.(i)
+  | Reduce i ->
+    let acc = [| 0.0 |] in
+    Ops.par_loop env.ctx ~name:"sum" env.block (Ops.interior env.dats.(i))
+      [
+        Ops.arg_dat env.dats.(i) Ops.stencil_point Access.Read;
+        Ops.arg_gbl ~name:"sum" acc Access.Inc;
+      ]
+      (fun a -> a.(1).(0) <- a.(1).(0) +. a.(0).(0));
+    sums := acc.(0) :: !sums
+
+let random_script rand =
+  (* A written dat must be accessed centre-only by the whole loop, so the
+     stencil-reading source is always a different dat. *)
+  let pick2 rand =
+    let src = rand 3 in
+    (src, (src + 1 + rand 2) mod 3)
+  in
+  let len = 3 + rand 22 in
+  List.init len (fun _ ->
+      match rand 10 with
+      | 0 | 1 | 2 ->
+        let src, dst = pick2 rand in
+        Smooth (src, dst, 0.19 +. (0.01 *. Float.of_int (rand 7)))
+      | 3 | 4 ->
+        let src, dst = pick2 rand in
+        Shift (src, dst)
+      | 5 | 6 ->
+        let src, dst = pick2 rand in
+        Relax (src, dst)
+      | 7 | 8 -> Mirror (rand 3)
+      | _ -> Reduce (rand 3))
+
+let run_script ?tile script =
+  let env = make_env () in
+  (match tile with
+  | Some tile_size -> Ops.set_lazy env.ctx ~tile_size true
+  | None -> ());
+  let sums = ref [] in
+  List.iter (apply env sums) script;
+  let fields = Array.map (Ops.fetch_interior env.ctx) env.dats in
+  (fields, List.rev !sums)
+
+let test_random_chains () =
+  let rand = make_rand 0x5eed in
+  for case = 1 to 40 do
+    let script = random_script rand in
+    let tile = 1 + rand 20 in
+    let ref_fields, ref_sums = run_script script in
+    let fields, sums = run_script ~tile script in
+    if List.length sums <> List.length ref_sums then
+      Alcotest.failf "case %d: reduction count diverged" case;
+    List.iteri
+      (fun i (a, b) ->
+        if Int64.bits_of_float a <> Int64.bits_of_float b then
+          Alcotest.failf "case %d tile=%d: reduction %d diverged (%.17g vs %.17g)"
+            case tile i b a)
+      (List.combine sums ref_sums);
+    Array.iteri
+      (fun i got ->
+        check_bits
+          (Printf.sprintf "case %d tile=%d dat %d" case tile i)
+          ref_fields.(i) got)
+      fields
+  done
+
+(* The chain-length bound must flush transparently: a chain far longer
+   than [max_chain] still matches eager execution bitwise. *)
+let test_long_chain_bound () =
+  let script =
+    List.concat
+      (List.init 50 (fun i -> [ Smooth (0, 1, 0.2); Relax (1, 0); Mirror (i mod 3) ]))
+  in
+  let ref_fields, _ = run_script script in
+  let fields, _ = run_script ~tile:8 script in
+  Array.iteri
+    (fun i got -> check_bits (Printf.sprintf "long chain dat %d" i) ref_fields.(i) got)
+    fields
+
+(* ---- Flush triggers ------------------------------------------------------ *)
+
+let simple_loop env ~src ~dst =
+  Ops.par_loop env.ctx ~name:"copy5" env.block (Ops.interior env.dats.(dst))
+    [
+      Ops.arg_dat env.dats.(src) Ops.stencil_2d_5pt Access.Read;
+      Ops.arg_dat env.dats.(dst) Ops.stencil_point Access.Write;
+    ]
+    (fun a ->
+      a.(1).(0) <- 0.2 *. (a.(0).(0) +. a.(0).(1) +. a.(0).(2) +. a.(0).(3) +. a.(0).(4)))
+
+let test_reduction_flushes () =
+  let env = make_env () in
+  Ops.set_lazy env.ctx ~tile_size:4 true;
+  simple_loop env ~src:0 ~dst:1;
+  Alcotest.(check int) "loop queued" 1 (Ops.pending env.ctx);
+  let acc = [| 0.0 |] in
+  Ops.par_loop env.ctx ~name:"sum" env.block (Ops.interior env.dats.(1))
+    [
+      Ops.arg_dat env.dats.(1) Ops.stencil_point Access.Read;
+      Ops.arg_gbl ~name:"sum" acc Access.Inc;
+    ]
+    (fun a -> a.(1).(0) <- a.(1).(0) +. a.(0).(0));
+  Alcotest.(check int) "reduction flushed the chain" 0 (Ops.pending env.ctx);
+  if acc.(0) = 0.0 then Alcotest.fail "reduction result not materialised"
+
+let test_checkpoint_flushes () =
+  let eager = make_env () in
+  simple_loop eager ~src:0 ~dst:1;
+  simple_loop eager ~src:1 ~dst:2;
+  let want = Ops.fetch_interior eager.ctx eager.dats.(2) in
+  let env = make_env () in
+  Ops.set_lazy env.ctx ~tile_size:4 true;
+  simple_loop env ~src:0 ~dst:1;
+  Alcotest.(check int) "queued before checkpointing" 1 (Ops.pending env.ctx);
+  Ops.enable_checkpointing env.ctx;
+  Alcotest.(check int) "enable_checkpointing flushed" 0 (Ops.pending env.ctx);
+  (* With a live session, recording is bypassed: the loop runs eagerly at
+     its program point (a later restore must never replay a queued loop). *)
+  simple_loop env ~src:1 ~dst:2;
+  Alcotest.(check int) "live session bypasses recording" 0 (Ops.pending env.ctx);
+  check_bits "checkpointed run" want (Ops.fetch_interior env.ctx env.dats.(2))
+
+let test_obs_export_flushes () =
+  let env = make_env () in
+  Ops.set_lazy env.ctx ~tile_size:4 true;
+  simple_loop env ~src:0 ~dst:1;
+  Alcotest.(check int) "loop queued" 1 (Ops.pending env.ctx);
+  ignore (Obs.report ());
+  Alcotest.(check int) "Obs.report flushed the chain" 0 (Ops.pending env.ctx)
+
+let test_chain_counters () =
+  let loops0 = Counters.value Obs.chain_loops in
+  let flushes0 = Counters.value Obs.chain_flushes in
+  let tiles0 = Counters.value Obs.chain_tiles in
+  let env = make_env () in
+  Ops.set_lazy env.ctx ~tile_size:4 true;
+  simple_loop env ~src:0 ~dst:1;
+  simple_loop env ~src:1 ~dst:2;
+  Ops.flush env.ctx;
+  if Counters.value Obs.chain_loops < loops0 + 2 then
+    Alcotest.fail "chain.queued_loops did not advance";
+  if Counters.value Obs.chain_flushes < flushes0 + 1 then
+    Alcotest.fail "chain.flushes did not advance";
+  if Counters.value Obs.chain_tiles <= tiles0 then
+    Alcotest.fail "chain.tiles did not advance"
+
+(* ---- Sanitizer backend over the tiled schedule --------------------------- *)
+
+let test_check_backend_tiled () =
+  let run backend tile =
+    let ctx = Ops.create ?backend () in
+    let block = Ops.decl_block ctx ~name:"b" in
+    let u = Ops.decl_dat ctx ~name:"u" ~block ~xsize:15 ~ysize:11 () in
+    let w = Ops.decl_dat ctx ~name:"w" ~block ~xsize:15 ~ysize:11 () in
+    Ops.init ctx u (fun x y _ -> Float.of_int (((x * 3) + (y * 7)) mod 13));
+    (match tile with
+    | Some tile_size -> Ops.set_lazy ctx ~tile_size true
+    | None -> ());
+    for _ = 1 to 3 do
+      Ops.par_loop ctx ~name:"smooth" block (Ops.interior w)
+        [
+          Ops.arg_dat u Ops.stencil_2d_5pt Access.Read;
+          Ops.arg_dat w Ops.stencil_point Access.Write;
+        ]
+        (fun a ->
+          a.(1).(0) <-
+            0.2 *. (a.(0).(0) +. a.(0).(1) +. a.(0).(2) +. a.(0).(3) +. a.(0).(4)));
+      Ops.par_loop ctx ~name:"relax" block (Ops.interior u)
+        [
+          Ops.arg_dat w Ops.stencil_point Access.Read;
+          Ops.arg_dat u Ops.stencil_point Access.Rw;
+        ]
+        (fun a -> a.(1).(0) <- (0.5 *. a.(1).(0)) +. (0.5 *. a.(0).(0)))
+    done;
+    Ops.fetch_interior ctx u
+  in
+  (* The guarded engine accepts a clean chain under tiling... *)
+  let want = run None None in
+  let got = run (Some Ops.Check) (Some 3) in
+  check_bits "check backend, tiled chain" want got;
+  (* ... and still catches a descriptor violation inside a tiled slab. *)
+  let violated =
+    let ctx = Ops.create ~backend:Ops.Check () in
+    let block = Ops.decl_block ctx ~name:"b" in
+    let u = Ops.decl_dat ctx ~name:"u" ~block ~xsize:8 ~ysize:8 () in
+    let w = Ops.decl_dat ctx ~name:"w" ~block ~xsize:8 ~ysize:8 () in
+    Ops.set_lazy ctx ~tile_size:2 true;
+    Ops.par_loop ctx ~name:"fill_w" block (Ops.interior w)
+      [ Ops.arg_dat w Ops.stencil_point Access.Write ]
+      (fun a -> a.(0).(0) <- 1.0);
+    Ops.par_loop ctx ~name:"bad" block (Ops.interior u)
+      [
+        Ops.arg_dat w Ops.stencil_point Access.Read;
+        Ops.arg_dat u Ops.stencil_point Access.Write;
+      ]
+      (fun a ->
+        a.(0).(0) <- 99.0 (* writes its Read argument *);
+        a.(1).(0) <- 0.0);
+    match Ops.flush ctx with
+    | () -> false
+    | exception Am_ops.Exec_check.Violation _ -> true
+  in
+  if not violated then
+    Alcotest.fail "sanitizer missed a violation under tiled execution"
+
+let () =
+  Alcotest.run "tiling"
+    [
+      ( "planner",
+        [
+          Alcotest.test_case "skew respects dependences" `Quick test_skew_monotone;
+          Alcotest.test_case "plans validate and cover" `Quick test_plan_validates;
+          Alcotest.test_case "validator rejects unskewed schedule" `Quick
+            test_validator_rejects_unskewed;
+          Alcotest.test_case "schedule cache hits on repeat signature" `Quick
+            test_schedule_cache;
+        ] );
+      ( "differential (bitwise vs eager Seq)",
+        [
+          Alcotest.test_case "cloverleaf 2D tile sweep" `Quick test_clover_tile_sweep;
+          Alcotest.test_case "tealeaf 3D CG tile sweep" `Quick test_tealeaf_tile_sweep;
+          Alcotest.test_case "1D smooth/relax chain" `Quick test_ops1_chain;
+          Alcotest.test_case "randomized chains" `Quick test_random_chains;
+          Alcotest.test_case "chain-length bound" `Quick test_long_chain_bound;
+        ] );
+      ( "flush triggers",
+        [
+          Alcotest.test_case "global reduction" `Quick test_reduction_flushes;
+          Alcotest.test_case "checkpoint entry points" `Quick test_checkpoint_flushes;
+          Alcotest.test_case "Obs exports" `Quick test_obs_export_flushes;
+          Alcotest.test_case "chain counters" `Quick test_chain_counters;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "Check drives the tiled schedule" `Quick
+            test_check_backend_tiled;
+        ] );
+    ]
