@@ -53,6 +53,10 @@ let fault_aborts = Counters.counter counters "fault.aborts"
 let check_loops = Counters.counter counters "check.loops"
 let check_elements = Counters.counter counters ~unit_:"elements" "check.elements"
 let check_violations = Counters.counter counters "check.violations"
+let dpor_executions = Counters.counter counters "dpor.executions"
+let dpor_backtracks = Counters.counter counters "dpor.backtracks"
+let dpor_sleep_hits = Counters.counter counters "dpor.sleep_hits"
+let dpor_bound_skips = Counters.counter counters "dpor.bound_skips"
 let chain_loops = Counters.counter counters "chain.queued_loops"
 let chain_flushes = Counters.counter counters "chain.flushes"
 let chain_tiles = Counters.counter counters "chain.tiles"

@@ -80,6 +80,15 @@ val check_loops : Counters.counter
 val check_elements : Counters.counter
 val check_violations : Counters.counter
 
+(** Schedule-exploration (bounded DPOR) activity: program executions run by
+    the explorer, backtrack points taken, redundant schedules pruned by
+    sleep sets, and backtrack points skipped by the delay bound. *)
+
+val dpor_executions : Counters.counter
+val dpor_backtracks : Counters.counter
+val dpor_sleep_hits : Counters.counter
+val dpor_bound_skips : Counters.counter
+
 (** Lazy loop-chain activity: loops recorded into a chain instead of run,
     chain flushes, skewed tiles executed, and tile-schedule cache lookups
     served from cache vs. planned (and validated) fresh. *)

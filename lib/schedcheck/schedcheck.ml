@@ -1,0 +1,363 @@
+(* Bounded dynamic partial-order reduction over delivery schedules.
+
+   The explorer drives a schedule-deterministic program through the
+   controlled scheduler hook of the simulated communicator
+   ([Comm.set_chooser]).  Each run is recorded as the sequence of (src, dst)
+   delivery events the program's waits forced; the runs form an execution
+   tree whose nodes remember, per decision point,
+
+   - the channels that were enabled (staged messages present),
+   - the default choice (the channel the blocked receive needed — the
+     schedule an uncontrolled run would take),
+   - which alternatives have been explored ([done]), are pending ([todo]),
+     and the branch currently on the path ([chosen]).
+
+   After (and during) every run, backtrack points are inserted: an enabled
+   event that is *dependent* with the chosen one — by default, targets the
+   same destination rank — and not yet covered becomes a [todo] entry,
+   unless taking it would exceed the delay bound (deviations from the
+   default schedule along the prefix, déjà-fu's BPOR bounding) or it is in
+   the branch's sleep set (it leads into an already-explored equivalence
+   class: classic Godefroid sleep sets, inherited along the path and
+   filtered by independence with each chosen event).  Independent
+   co-enabled events never get a backtrack point, which is the whole
+   reduction: the tree grows one branch per Mazurkiewicz trace, not one
+   per interleaving.
+
+   The DFS always takes the deepest pending backtrack point, so truncating
+   the node vector to that depth discards only fully-explored subtrees.
+   Every run's decisions serialise to a one-line token for replay. *)
+
+module Comm = Am_simmpi.Comm
+module Obs = Am_obs.Obs
+module Counters = Am_obs.Counters
+
+type event = int * int
+
+let event_to_string (s, d) = string_of_int s ^ ">" ^ string_of_int d
+
+let token_of_events evs = String.concat "," (List.map event_to_string evs)
+
+let events_of_token tok =
+  let parse_one part =
+    match String.index_opt part '>' with
+    | None -> Error (Printf.sprintf "schedule token: expected SRC>DST, got %S" part)
+    | Some i -> (
+      let a = String.sub part 0 i
+      and b = String.sub part (i + 1) (String.length part - i - 1) in
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some s, Some d when s >= 0 && d >= 0 -> Ok (s, d)
+      | _ -> Error (Printf.sprintf "schedule token: expected SRC>DST, got %S" part))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+      match parse_one p with Ok e -> go (e :: acc) rest | Error _ as err -> err)
+  in
+  go []
+    (List.filter
+       (fun p -> p <> "")
+       (List.map String.trim (String.split_on_char ',' (String.trim tok))))
+
+let same_dst (_, d1) (_, d2) = d1 = d2
+let conflict_all _ _ = true
+
+exception Bad_schedule of string
+
+let () =
+  Printexc.register_printer (function
+    | Bad_schedule msg -> Some ("Schedcheck.Bad_schedule: " ^ msg)
+    | _ -> None)
+
+(* The schedule an uncontrolled run takes: deliver what the blocked receive
+   needs; if that channel has nothing staged (its message was already
+   delivered, or never will be), fall back to the first enabled channel. *)
+let default_choice ~needed ~enabled =
+  if List.mem needed enabled then needed else List.hd enabled
+
+(* ---- Replay ----------------------------------------------------------- *)
+
+let replay ~token prog =
+  match events_of_token token with
+  | Error msg -> raise (Bad_schedule msg)
+  | Ok evs ->
+    let remaining = ref evs in
+    let chooser ~needed ~enabled =
+      match !remaining with
+      | [] -> default_choice ~needed ~enabled
+      | e :: rest ->
+        if not (List.mem e enabled) then
+          raise
+            (Bad_schedule
+               (Printf.sprintf "replay: %s is not enabled (enabled: %s)"
+                  (event_to_string e) (token_of_events enabled)));
+        remaining := rest;
+        e
+    in
+    Comm.set_chooser (Some chooser);
+    Fun.protect ~finally:(fun () -> Comm.set_chooser None) prog
+
+(* ---- Exploration ------------------------------------------------------ *)
+
+type 'a cls = {
+  cls_token : string;
+  cls_count : int;
+  cls_result : ('a, string) result;
+}
+
+type 'a report = {
+  rp_executions : int;
+  rp_backtracks : int;
+  rp_sleep_hits : int;
+  rp_bound_skips : int;
+  rp_max_depth : int;
+  rp_truncated : bool;
+  rp_traces : event list list;
+  rp_classes : 'a cls list;
+}
+
+let report_to_string r =
+  let pruned = r.rp_sleep_hits + r.rp_bound_skips in
+  let denom = r.rp_executions + pruned in
+  let pct =
+    if denom = 0 then 0.0 else 100.0 *. float_of_int pruned /. float_of_int denom
+  in
+  Printf.sprintf
+    "dpor: %d executions, %d backtracks, %d sleep hits, %d bound skips (pruned \
+     %.1f%%), max depth %d, %d result class%s%s"
+    r.rp_executions r.rp_backtracks r.rp_sleep_hits r.rp_bound_skips pct
+    r.rp_max_depth
+    (List.length r.rp_classes)
+    (if List.length r.rp_classes = 1 then "" else "es")
+    (if r.rp_truncated then " [TRUNCATED at execution cap]" else "")
+
+(* One decision point of the execution tree. *)
+type node = {
+  nd_enabled : event list; (* channels with staged messages, (src,dst) order *)
+  nd_default : event; (* what an uncontrolled run would deliver here *)
+  nd_dev_in : int; (* deviations from default strictly before this node *)
+  mutable nd_chosen : event; (* branch currently on the path *)
+  mutable nd_done : event list; (* branches fully explored *)
+  mutable nd_todo : event list; (* backtrack points pending *)
+}
+
+let run_search ~bound ~max_executions ~dependent ~equal prog =
+  (* Node vector for the current path; truncation just lowers the length. *)
+  let nodes = ref (Array.make 64 None) in
+  let n_nodes = ref 0 in
+  let node i = match !nodes.(i) with Some n -> n | None -> assert false in
+  let push n =
+    if !n_nodes = Array.length !nodes then begin
+      let bigger = Array.make (2 * Array.length !nodes) None in
+      Array.blit !nodes 0 bigger 0 !n_nodes;
+      nodes := bigger
+    end;
+    !nodes.(!n_nodes) <- Some n;
+    incr n_nodes
+  in
+  let executions = ref 0
+  and backtracks = ref 0
+  and sleep_hits = ref 0
+  and bound_skips = ref 0
+  and max_depth = ref 0
+  and truncated = ref false in
+  let classes = ref [] in
+  let traces = ref [] in
+  let record token result =
+    let matches c =
+      match (c.cls_result, result) with
+      | Ok a, Ok b -> equal a b
+      | Error a, Error b -> String.equal a b
+      | Ok _, Error _ | Error _, Ok _ -> false
+    in
+    match List.find_opt matches !classes with
+    | Some c ->
+      classes :=
+        List.map
+          (fun c' -> if c' == c then { c' with cls_count = c'.cls_count + 1 } else c')
+          !classes
+    | None ->
+      classes := !classes @ [ { cls_token = token; cls_count = 1; cls_result = result } ]
+  in
+  (* One program execution: follow the tree's chosen branches through the
+     first [forced_len] decisions, then default (steered off sleeping
+     events); insert backtrack points at every decision. *)
+  let run_once ~forced_len =
+    let depth = ref 0 in
+    let sleep = ref [] in
+    let devs = ref 0 in
+    let all_asleep = ref false in
+    let chooser ~needed ~enabled =
+      if enabled = [] then
+        raise (Bad_schedule "chooser consulted with no channel enabled");
+      let d = !depth in
+      let n =
+        if d < forced_len then begin
+          let n = node d in
+          if n.nd_enabled <> enabled then
+            raise
+              (Bad_schedule
+                 "program is not schedule-deterministic: enabled channels changed \
+                  under an identical prefix");
+          n
+        end
+        else begin
+          let n =
+            {
+              nd_enabled = enabled;
+              nd_default = default_choice ~needed ~enabled;
+              nd_dev_in = !devs;
+              nd_chosen = (0, 0);
+              nd_done = [];
+              nd_todo = [];
+            }
+          in
+          push n;
+          n
+        end
+      in
+      (* Sleep set on entry to this branch: inherited sleep plus the
+         alternatives already explored from this node. *)
+      let sleep_here =
+        List.fold_left
+          (fun acc e -> if List.mem e acc then acc else e :: acc)
+          !sleep n.nd_done
+      in
+      if d >= forced_len then begin
+        let awake = List.filter (fun e -> not (List.mem e sleep_here)) enabled in
+        n.nd_chosen <-
+          (match awake with
+          | [] ->
+            (* Every enabled choice leads into an explored class: this whole
+               run is redundant.  Finish it anyway (aborting mid-program is
+               not possible) and count the prune. *)
+            all_asleep := true;
+            n.nd_default
+          | aw -> if List.mem n.nd_default aw then n.nd_default else List.hd aw)
+      end;
+      let choice = n.nd_chosen in
+      devs := n.nd_dev_in + (if choice = n.nd_default then 0 else 1);
+      (* Backtrack points: co-enabled dependent alternatives not yet
+         covered, within the delay bound. *)
+      List.iter
+        (fun e ->
+          if
+            e <> choice && dependent e choice
+            && not (List.mem e n.nd_done)
+            && not (List.mem e n.nd_todo)
+            && not (List.mem e sleep_here)
+          then begin
+            let cost = n.nd_dev_in + if e = n.nd_default then 0 else 1 in
+            if cost <= bound then n.nd_todo <- e :: n.nd_todo
+            else begin
+              incr bound_skips;
+              Counters.incr Obs.dpor_bound_skips
+            end
+          end)
+        n.nd_enabled;
+      sleep := List.filter (fun e -> not (dependent e choice)) sleep_here;
+      incr depth;
+      choice
+    in
+    Comm.set_chooser (Some chooser);
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Comm.set_chooser None)
+        (fun () ->
+          try Ok (prog ()) with
+          | Bad_schedule _ as e -> raise e
+          | e -> Error (Printexc.to_string e))
+    in
+    incr executions;
+    Counters.incr Obs.dpor_executions;
+    if !all_asleep then begin
+      incr sleep_hits;
+      Counters.incr Obs.dpor_sleep_hits
+    end;
+    if !n_nodes > !max_depth then max_depth := !n_nodes;
+    let trace = List.init !n_nodes (fun i -> (node i).nd_chosen) in
+    record (token_of_events trace) result;
+    traces := trace :: !traces
+  in
+  run_once ~forced_len:0;
+  let continue_ = ref true in
+  while !continue_ do
+    (* Deepest node with a pending backtrack point; nodes below it are
+       fully explored, so truncating to it loses nothing. *)
+    let d = ref (!n_nodes - 1) in
+    while !d >= 0 && (node !d).nd_todo = [] do
+      decr d
+    done;
+    if !d < 0 then continue_ := false
+    else if !executions >= max_executions then begin
+      truncated := true;
+      continue_ := false
+    end
+    else begin
+      let n = node !d in
+      match n.nd_todo with
+      | [] -> assert false
+      | e :: rest ->
+        n.nd_todo <- rest;
+        n.nd_done <- n.nd_chosen :: n.nd_done;
+        n.nd_chosen <- e;
+        n_nodes := !d + 1;
+        incr backtracks;
+        Counters.incr Obs.dpor_backtracks;
+        run_once ~forced_len:(!d + 1)
+    end
+  done;
+  {
+    rp_executions = !executions;
+    rp_backtracks = !backtracks;
+    rp_sleep_hits = !sleep_hits;
+    rp_bound_skips = !bound_skips;
+    rp_max_depth = !max_depth;
+    rp_truncated = !truncated;
+    rp_traces = !traces;
+    rp_classes = !classes;
+  }
+
+let explore ?(bound = 2) ?(max_executions = 10_000) ?(dependent = same_dst)
+    ?(equal = fun a b -> a = b) prog =
+  run_search ~bound ~max_executions ~dependent ~equal prog
+
+(* ---- Brute force and Mazurkiewicz quotient ---------------------------- *)
+
+(* Canonical linearisation of a trace's dependence DAG: repeatedly emit the
+   smallest event whose unemitted predecessors are all independent of it.
+   Two traces are Mazurkiewicz-equivalent iff their canonical forms agree
+   (equal events must be dependent for the tie to be unreachable). *)
+let canonical ~dependent trace =
+  let evs = Array.of_list trace in
+  let n = Array.length evs in
+  let emitted = Array.make n false in
+  let out = Buffer.create (n * 4) in
+  for _ = 1 to n do
+    let best = ref (-1) in
+    for i = n - 1 downto 0 do
+      if not emitted.(i) then begin
+        let available = ref true in
+        for j = 0 to i - 1 do
+          if (not emitted.(j)) && dependent evs.(j) evs.(i) then available := false
+        done;
+        if !available && (!best < 0 || compare evs.(i) evs.(!best) < 0) then best := i
+      end
+    done;
+    emitted.(!best) <- true;
+    Buffer.add_string out (event_to_string evs.(!best));
+    Buffer.add_char out ','
+  done;
+  Buffer.contents out
+
+let mazurkiewicz_classes ~dependent traces =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace tbl (canonical ~dependent t) ()) traces;
+  Hashtbl.length tbl
+
+let brute_force ?(max_executions = 100_000) ?(dependent = same_dst)
+    ?(equal = fun a b -> a = b) prog =
+  let report =
+    run_search ~bound:max_int ~max_executions ~dependent:conflict_all ~equal prog
+  in
+  (report, mazurkiewicz_classes ~dependent report.rp_traces)

@@ -1,0 +1,122 @@
+(** Bounded dynamic partial-order reduction over simulated-communicator
+    delivery schedules.
+
+    The simulated communicator's only nondeterminism is the order in which
+    in-flight messages are delivered across channels ({!Comm.deliver_one}
+    interleavings; FIFO within a channel is fixed).  This explorer runs a
+    program repeatedly under a controlled scheduler ({!Comm.set_chooser}),
+    records each run as a sequence of [(src, dst)] delivery events, and —
+    in the style of déjà-fu's BPOR — inserts backtrack points wherever two
+    {e dependent} events were co-enabled, prunes already-covered branches
+    with sleep sets, and bounds the search by the number of deviations from
+    the default (need-driven, FIFO) schedule.  For independent events no
+    backtrack is ever inserted, so the visited executions approach one per
+    Mazurkiewicz trace instead of one per interleaving.
+
+    The default dependence relation is the cheap one this simulator admits:
+    two deliveries commute unless they target the same destination rank's
+    receive sequence ({!same_dst}).  Under an attached fault injector the
+    transport couples channels through the shared splitmix64 roll order and
+    the per-channel deliver-step clocks, so fault suites pass
+    {!conflict_all} and the search degenerates to a bounded exhaustive
+    enumeration — still deterministic, still replayable.
+
+    Programs must be schedule-deterministic: executed twice under the same
+    prefix of delivery choices they must reach the same states and make the
+    same sends ([Bad_schedule] is raised when the explorer detects
+    otherwise).  Build every context, communicator, and fault injector
+    fresh inside the program thunk. *)
+
+(** One delivery decision: the (src, dst) channel delivered next. *)
+type event = int * int
+
+val event_to_string : event -> string
+
+(** {1 Replay tokens}
+
+    A schedule serialises to a one-line token ["0>1,2>1,1>0"] (the chosen
+    events in order).  Failing schedules print their token; {!replay} runs
+    a program under that exact schedule, following the recorded choices and
+    falling back to the default need-driven choice once they are spent. *)
+
+val token_of_events : event list -> string
+val events_of_token : string -> (event list, string) result
+val replay : token:string -> (unit -> 'a) -> 'a
+
+(** {1 Dependence relations} *)
+
+(** Deliveries to the same destination rank conflict; all others commute.
+    The right relation for the plain transport, where a receive names its
+    source channel and payloads cannot cross channels. *)
+val same_dst : event -> event -> bool
+
+(** Every pair conflicts: bounded exhaustive exploration.  Required under a
+    fault injector, whose retransmission windows and delay clocks couple
+    otherwise-independent channels. *)
+val conflict_all : event -> event -> bool
+
+(** {1 Exploration} *)
+
+(** Raised when a program is not schedule-deterministic (the enabled set
+    changed under an identical choice prefix), or a replay token names a
+    channel with nothing staged. *)
+exception Bad_schedule of string
+
+(** One distinct outcome: a witness token, how many explored schedules
+    produced it, and the result ([Error] carries the printed exception of
+    runs that raised — a named resilience finding, never a hang). *)
+type 'a cls = {
+  cls_token : string;
+  cls_count : int;
+  cls_result : ('a, string) result;
+}
+
+type 'a report = {
+  rp_executions : int;  (** program runs (root + every backtrack branch) *)
+  rp_backtracks : int;  (** backtrack points taken *)
+  rp_sleep_hits : int;  (** runs whose every enabled choice was asleep *)
+  rp_bound_skips : int;  (** backtrack points dropped by the delay bound *)
+  rp_max_depth : int;  (** longest recorded delivery trace *)
+  rp_truncated : bool;  (** stopped at [max_executions] with work pending *)
+  rp_traces : event list list;  (** every executed delivery trace, newest first *)
+  rp_classes : 'a cls list;  (** distinct outcomes, in discovery order *)
+}
+
+(** Distinct-outcome count, executions, backtracks, prune counts and the
+    pruned fraction, one line per concern — the per-suite exploration
+    report the test drivers print on failure. *)
+val report_to_string : _ report -> string
+
+(** [explore program] drives [program] through every inequivalent delivery
+    schedule reachable with at most [bound] deviations from the default
+    schedule (capped at [max_executions] runs — the cap is reported via
+    [rp_truncated], never silent).  [dependent] defaults to {!same_dst};
+    [equal] (default [(=)]) classifies results into [rp_classes].  The
+    chooser installed into {!Comm} is always removed, even on raise. *)
+val explore :
+  ?bound:int ->
+  ?max_executions:int ->
+  ?dependent:(event -> event -> bool) ->
+  ?equal:('a -> 'a -> bool) ->
+  (unit -> 'a) ->
+  'a report
+
+(** {1 Brute force (ground truth for small programs)}
+
+    [brute_force program] enumerates {e every} delivery interleaving (no
+    reduction, no bound) and additionally quotients the recorded traces by
+    Mazurkiewicz equivalence under [dependent], returning the class count —
+    the number a correct DPOR run should approach.  Explodes factorially:
+    only for cross-checking tiny configurations; larger ones must skip it
+    explicitly and rely on [explore]. *)
+val brute_force :
+  ?max_executions:int ->
+  ?dependent:(event -> event -> bool) ->
+  ?equal:('a -> 'a -> bool) ->
+  (unit -> 'a) ->
+  'a report * int
+
+(** Number of Mazurkiewicz classes among [traces] under [dependent]
+    (canonical form: lexicographically least linearisation of each trace's
+    dependence DAG).  [dependent] must relate equal events. *)
+val mazurkiewicz_classes : dependent:(event -> event -> bool) -> event list list -> int

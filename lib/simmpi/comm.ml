@@ -96,6 +96,22 @@ let check_rank t r name =
 
 let chan t ~src ~dst = (src * t.n_ranks) + dst
 
+(* ---- Controlled delivery scheduling ----------------------------------- *)
+
+(* A chooser intercepts every implicit delivery a wait/recv would perform
+   and picks which in-flight channel delivers next.  It is process-global
+   (like the Obs singletons) because communicators are constructed deep
+   inside the facades, far from the test harness that wants to steer them;
+   schedule explorers install one around each run and must remove it again
+   (the Schedcheck library wraps runs in [Fun.protect]).  With no chooser
+   installed every path below is byte-for-byte the historical behaviour. *)
+type chooser = needed:int * int -> enabled:(int * int) list -> int * int
+
+let chooser_ref : chooser option ref = ref None
+
+let set_chooser c = chooser_ref := c
+let current_chooser () = !chooser_ref
+
 (* Move one in-flight message of a channel into the receivable queue. *)
 let deliver_one t ~src ~dst =
   check_rank t src "deliver_one";
@@ -128,6 +144,39 @@ let in_flight_channels t =
     done
   done;
   !acc
+
+(* Deliver until the (src, dst) channel has a receivable message or nothing
+   staged remains on it.  Without a chooser this is [deliver_channel]; with
+   one, every delivery is a scheduling decision: the chooser may interleave
+   deliveries of *other* channels before the needed one.  Termination: each
+   choice removes one staged message somewhere, and the needed channel stays
+   enabled until the chooser finally picks it. *)
+let drive t ~src ~dst =
+  match !chooser_ref with
+  | None -> deliver_channel t ~src ~dst
+  | Some choose ->
+    let c = chan t ~src ~dst in
+    while Queue.is_empty t.channels.(c) && not (Queue.is_empty t.staged.(c)) do
+      let enabled = in_flight_channels t in
+      let s, d = choose ~needed:(src, dst) ~enabled in
+      if not (deliver_one t ~src:s ~dst:d) then
+        invalid_arg "Comm: schedule chooser picked a channel with nothing staged"
+    done
+
+(* Deliver everything staged on the (src, dst) channel — the reliable
+   transport drains its channel once per simulated deliver-step — again
+   giving an installed chooser the cross-channel interleaving decisions. *)
+let drain t ~src ~dst =
+  match !chooser_ref with
+  | None -> deliver_channel t ~src ~dst
+  | Some choose ->
+    let c = chan t ~src ~dst in
+    while not (Queue.is_empty t.staged.(c)) do
+      let enabled = in_flight_channels t in
+      let s, d = choose ~needed:(src, dst) ~enabled in
+      if not (deliver_one t ~src:s ~dst:d) then
+        invalid_arg "Comm: schedule chooser picked a channel with nothing staged"
+    done
 
 (* ---- Reliable transport (fault injection attached) -------------------- *)
 
@@ -257,9 +306,7 @@ let reliable_receive t rel ~src ~dst =
          while !result = None && !step < steps do
            incr step;
            tick_delayed t rel c;
-           while deliver_one t ~src ~dst do
-             ()
-           done;
+           drain t ~src ~dst;
            let q = t.channels.(c) in
            while !result = None && not (Queue.is_empty q) do
              match parse_envelope (Queue.pop q) with
@@ -356,7 +403,7 @@ let wait t req =
         match t.reliable with
         | Some rel -> reliable_receive t rel ~src:r.src ~dst:r.dst
         | None ->
-          deliver_channel t ~src:r.src ~dst:r.dst;
+          drive t ~src:r.src ~dst:r.dst;
           let q = t.channels.(chan t ~src:r.src ~dst:r.dst) in
           if Queue.is_empty q then
             failwith
@@ -409,7 +456,7 @@ let recv t ~src ~dst =
   match t.reliable with
   | Some rel -> reliable_receive t rel ~src ~dst
   | None ->
-    deliver_channel t ~src ~dst;
+    drive t ~src ~dst;
     let q = t.channels.(chan t ~src ~dst) in
     if Queue.is_empty q then
       failwith

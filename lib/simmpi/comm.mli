@@ -92,6 +92,29 @@ val pending : t -> src:int -> dst:int -> int
 (** True when no channel holds an undelivered or in-flight message. *)
 val all_drained : t -> bool
 
+(** {1 Controlled delivery scheduling}
+
+    Schedule explorers (the [Am_schedcheck] library) install a {e chooser}
+    that intercepts every delivery a [wait]/[recv] would perform implicitly:
+    whenever a receive needs its channel driven, the chooser is offered the
+    set of channels with staged messages ([enabled], in (src, dst) order)
+    together with the channel the receive is blocked on ([needed]), and
+    returns the channel to deliver next — so the interleaving of deliveries
+    across channels becomes an explicit, replayable decision sequence.  The
+    chooser must return a member of [enabled] ([Invalid_argument]
+    otherwise); it keeps being consulted until the needed channel can make
+    the receive progress.
+
+    The hook is process-global, like the observability singletons, because
+    communicators are built deep inside the facades; installers must remove
+    it when done.  With no chooser installed (the default) delivery
+    behaviour is unchanged. *)
+
+type chooser = needed:int * int -> enabled:(int * int) list -> int * int
+
+val set_chooser : chooser option -> unit
+val current_chooser : unit -> chooser option
+
 (** {1 Fault injection and reliable transport}
 
     With a {!Fault} injector attached, every message travels inside a

@@ -1,10 +1,18 @@
 (* Tests for the checkpoint planner (Fig 8 logic) and the fast-forward
-   recovery runtime. *)
+   recovery runtime.  The "dpor" group (also under `dune build @dpor`)
+   additionally exhausts a fixed crash/restart scenario over every
+   delivery interleaving within a bound: wherever the deliver-step clock
+   places the crash, restore-then-replay must rebuild the fault-free
+   bits.  Failing schedules print a replay token (AM_SCHED=<token>). *)
 
 module Planner = Am_checkpoint.Planner
 module Runtime = Am_checkpoint.Runtime
 module Descr = Am_core.Descr
 module Access = Am_core.Access
+module Fault = Am_simmpi.Fault
+module Finding = Am_analysis.Finding
+module Schedcheck = Am_schedcheck.Schedcheck
+module Fa = Am_util.Fa
 
 (* The Airfoil loop chain of Fig 8, as descriptors.  Dataset dims follow the
    figure: bounds(1), x(2), q(4), q_old(4), adt(1), res(4); rms is a global. *)
@@ -318,6 +326,40 @@ let test_restore_then_replay_after_midperiod_crash () =
   Alcotest.(check bool) "replayed acc matches truth" true
     (Am_util.Fa.approx_equal ~tol:0.0 truth.acc recovered.acc)
 
+(* ---- Bounded-DPOR exploration of crash/restart schedules ------------------ *)
+
+(* The crash fires when a rank's deliver-step clock reaches the spec'd
+   count, so reordering deliveries moves the crash point — every
+   interleaving within the bound is a different mid-run crash, and each
+   must recover through the checkpoint to the fault-free bits.  All
+   channels are coupled through the shared clocks and injector stream,
+   hence [Schedcheck.conflict_all]. *)
+let test_dpor_crash_restart_exhausted () =
+  let spec =
+    match Fault.spec_of_string "seed=31337,crash=1@80" with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "bad spec: %s" m
+  in
+  let proxy = Sched_util.clover_proxy in
+  let prog () =
+    match Sched_util.run_schedule proxy ~n_ranks:2 ~spec ~recover:true with
+    | Ok solution -> solution
+    | Error f -> failwith (Finding.to_string f)
+  in
+  let reference = Sched_util.clean proxy ~n_ranks:2 in
+  let solution, r =
+    Sched_util.assert_uniform ~bound:1 ~max_executions:600
+      ~dependent:Schedcheck.conflict_all
+      ~equal:(fun a b -> Fa.approx_equal ~tol:0.0 a b)
+      ~what:"cloverleaf(2) crash/restart" prog
+  in
+  if not (Fa.approx_equal ~tol:0.0 reference solution) then
+    Alcotest.failf
+      "recovered run is not bitwise equal to fault-free (%g)"
+      (Fa.rel_discrepancy reference solution);
+  if Sched_util.am_sched = None && r.Schedcheck.rp_executions <= 1 then
+    Alcotest.fail "crash scenario offered no delivery decisions to explore"
+
 let () =
   Alcotest.run "checkpoint"
     [
@@ -352,5 +394,10 @@ let () =
             test_bitflip_snapshot_rejected;
           Alcotest.test_case "restore-then-replay after mid-period crash" `Quick
             test_restore_then_replay_after_midperiod_crash;
+        ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "crash/restart schedules exhausted" `Quick
+            test_dpor_crash_restart_exhausted;
         ] );
     ]

@@ -19,10 +19,18 @@
      sequential reference up to reduction reordering (1e-10);
 
    - fixed regression schedules (seeds that once exercised interesting
-     paths) plus spec-parser round-trips.
+     paths) plus spec-parser round-trips;
 
-   Every randomized case derives its PRNG stream from one base seed.
-   Failures print the seed; rerun with AM_SEED=<n> to reproduce. *)
+   - bounded-DPOR delivery-schedule exploration (the "dpor" group, also
+     under `dune build @dpor`): fixed fault specs are exhausted over every
+     delivery interleaving within the bound — [Schedcheck.conflict_all],
+     because the shared splitmix64 roll order and the deliver-step clocks
+     couple all channels — and must either produce the fault-free bits or
+     one named resilience finding.
+
+   Every randomized case derives its PRNG stream from one base seed;
+   failures print the seed (rerun with AM_SEED=<n>).  Failing delivery
+   schedules print a replay token (rerun with AM_SCHED=<token>). *)
 
 module Op2 = Am_op2.Op2
 module Ops = Am_ops.Ops
@@ -32,11 +40,8 @@ module Prng = Am_util.Prng
 module Fa = Am_util.Fa
 module Counters = Am_obs.Counters
 module Obs = Am_obs.Obs
-module Resilience = Am_analysis.Resilience
 module Finding = Am_analysis.Finding
-module Umesh = Am_mesh.Umesh
-module Airfoil = Am_airfoil.App
-module Clover = Am_cloverleaf.App
+module Schedcheck = Am_schedcheck.Schedcheck
 
 let base_seed = Qcheck_util.base_seed
 let failf_seed seed fmt = Qcheck_util.failf_seed seed fmt
@@ -205,7 +210,7 @@ let kind_name = function
   | KCrash -> "crash"
 
 let kinds = [ KDrop; KDup; KDelay; KCorrupt; KCrash ]
-let rank_counts = [ 1; 2; 3; 7 ]
+let rank_counts = Sched_util.rank_counts
 
 (* Survivable-by-construction probabilities: a message is only lost when
    every one of the 1 + max_retries transmissions drops, so p <= 0.2 keeps
@@ -224,115 +229,14 @@ let spec_for rng kind ~n_ranks ~crash_range =
     let lo, hi = crash_range in
     { base with crash = Some (Prng.int rng n_ranks, lo + Prng.int rng (hi - lo)) }
 
-(* One proxy application, abstracted over what the restart harness needs:
-   [run] builds the application from scratch (partitioned over [n_ranks],
-   the injector attached when given), drives it while persisting the first
-   complete checkpoint to [ckpt], restoring from it when [recovering], and
-   returns a result fingerprint. *)
-type proxy = {
-  p_name : string;
-  crash_range : int * int; (* injected crash-loop window *)
-  run :
-    n_ranks:int -> fault:Fault.t option -> ckpt:string option ->
-    written:bool ref -> recovering:bool -> float array;
-}
-
-let airfoil_mesh = lazy (Umesh.generate_airfoil ~nx:12 ~ny:8 ())
-
-let airfoil_proxy =
-  {
-    p_name = "airfoil";
-    crash_range = (3, 22);
-    run =
-      (fun ~n_ranks ~fault ~ckpt ~written ~recovering ->
-        let t = Airfoil.create (Lazy.force airfoil_mesh) in
-        let ctx = t.Airfoil.ctx in
-        if n_ranks > 1 then
-          Op2.partition ctx ~n_ranks ~strategy:(Op2.Kway_through t.Airfoil.edge_cells);
-        (match fault with Some f -> Op2.set_fault_injector ctx f | None -> ());
-        (match ckpt with
-        | Some path when recovering && !written -> Op2.recover_from_file ctx ~path
-        | Some _ ->
-          Op2.enable_checkpointing ctx;
-          Op2.request_checkpoint ctx
-        | None -> ());
-        for _ = 1 to 5 do
-          ignore (Airfoil.iteration t);
-          match (ckpt, Op2.checkpoint_session ctx) with
-          | Some path, Some s
-            when (not !written) && Am_checkpoint.Runtime.complete s ->
-            Op2.checkpoint_to_file ctx ~path;
-            written := true
-          | _ -> ()
-        done;
-        Airfoil.solution t);
-  }
-
-let clover_proxy =
-  {
-    p_name = "cloverleaf";
-    crash_range = (5, 90);
-    run =
-      (fun ~n_ranks ~fault ~ckpt ~written ~recovering ->
-        (* 16 rows: every rank count in the soak (up to 7) still owns at
-           least the 2-deep ghost region. *)
-        let t = Clover.create ~nx:12 ~ny:16 () in
-        let ctx = t.Clover.ctx in
-        if n_ranks > 1 then Ops.partition ctx ~n_ranks ~ref_ysize:16;
-        (match fault with Some f -> Ops.set_fault_injector ctx f | None -> ());
-        (match ckpt with
-        | Some path when recovering && !written -> Ops.recover_from_file ctx ~path
-        | Some _ ->
-          Ops.enable_checkpointing ctx;
-          Ops.request_checkpoint ctx
-        | None -> ());
-        for _ = 1 to 4 do
-          ignore (Clover.hydro_step t);
-          match (ckpt, Ops.checkpoint_session ctx) with
-          | Some path, Some s
-            when (not !written) && Am_checkpoint.Runtime.complete s ->
-            Ops.checkpoint_to_file ctx ~path;
-            written := true
-          | _ -> ()
-        done;
-        Array.append (Clover.density t) (Clover.energy t));
-  }
-
-let proxies = [ airfoil_proxy; clover_proxy ]
-
-(* Fault-free result of a proxy at one rank count, built once per suite. *)
-let clean_cache : (string * int, float array) Hashtbl.t = Hashtbl.create 16
-
-let clean proxy ~n_ranks =
-  match Hashtbl.find_opt clean_cache (proxy.p_name, n_ranks) with
-  | Some r -> r
-  | None ->
-    let r =
-      proxy.run ~n_ranks ~fault:None ~ckpt:None ~written:(ref false)
-        ~recovering:false
-    in
-    Hashtbl.replace clean_cache (proxy.p_name, n_ranks) r;
-    r
-
-(* Run one schedule under the restart harness.  [recover] arms
-   checkpoint/restart (crash schedules must survive); without it the
-   harness is detect-and-abort. *)
-let run_schedule proxy ~n_ranks ~spec ~recover =
-  let fault = Some (Fault.create spec) in
-  let ckpt =
-    if recover then (
-      let p = Filename.temp_file ("am_fault_" ^ proxy.p_name) ".snap" in
-      Sys.remove p;
-      Some p)
-    else None
-  in
-  let written = ref false in
-  let result =
-    Resilience.protect ~max_restarts:(if recover then 3 else 0)
-      (fun ~recovering -> proxy.run ~n_ranks ~fault ~ckpt ~written ~recovering)
-  in
-  (match ckpt with Some p when Sys.file_exists p -> Sys.remove p | _ -> ());
-  result
+(* The proxy runners, their fault-free cache and the restart harness now
+   live in [Sched_util], shared with the checkpoint suite's DPOR group. *)
+let proxies = Sched_util.proxies
+let airfoil_proxy = Sched_util.airfoil_proxy
+let clean = Sched_util.clean
+let run_schedule = Sched_util.run_schedule
+let proxy_name (p : Sched_util.proxy) = p.Sched_util.p_name
+let proxy_crash_range (p : Sched_util.proxy) = p.Sched_util.crash_range
 
 let test_soak () =
   let rng = Prng.create base_seed in
@@ -347,16 +251,16 @@ let test_soak () =
           if not (Fa.approx_equal ~tol:1e-10 (clean proxy ~n_ranks:1) reference)
           then
             failf_seed base_seed "%s(%d): fault-free run diverges from seq"
-              proxy.p_name n_ranks;
+              (proxy_name proxy) n_ranks;
           List.iter
             (fun kind ->
               for _rep = 1 to 5 do
                 let spec =
-                  spec_for rng kind ~n_ranks ~crash_range:proxy.crash_range
+                  spec_for rng kind ~n_ranks ~crash_range:(proxy_crash_range proxy)
                 in
                 let recover = kind = KCrash in
                 let what =
-                  Printf.sprintf "%s(%d) %s [%s]" proxy.p_name n_ranks
+                  Printf.sprintf "%s(%d) %s [%s]" (proxy_name proxy) n_ranks
                     (kind_name kind) (Fault.spec_to_string spec)
                 in
                 match run_schedule proxy ~n_ranks ~spec ~recover with
@@ -398,21 +302,21 @@ let test_soak_deterministic () =
     (fun proxy ->
       List.iter
         (fun kind ->
-          let spec = spec_for rng kind ~n_ranks:3 ~crash_range:proxy.crash_range in
+          let spec = spec_for rng kind ~n_ranks:3 ~crash_range:(proxy_crash_range proxy) in
           let recover = kind = KCrash in
           let once () = run_schedule proxy ~n_ranks:3 ~spec ~recover in
           match (once (), once ()) with
           | Ok a, Ok b ->
             if not (Fa.approx_equal ~tol:0.0 a b) then
               failf_seed base_seed "%s %s: same seed, different results"
-                proxy.p_name (kind_name kind)
+                (proxy_name proxy) (kind_name kind)
           | Error a, Error b ->
             if Finding.to_string a <> Finding.to_string b then
               failf_seed base_seed "%s %s: same seed, different findings"
-                proxy.p_name (kind_name kind)
+                (proxy_name proxy) (kind_name kind)
           | Ok _, Error f | Error f, Ok _ ->
             failf_seed base_seed "%s %s: same seed, different outcome (%s)"
-              proxy.p_name (kind_name kind) (Finding.to_string f))
+              (proxy_name proxy) (kind_name kind) (Finding.to_string f))
         kinds)
     proxies
 
@@ -433,7 +337,7 @@ let regression_schedules =
 let test_regressions () =
   List.iter
     (fun (pname, n_ranks, spec_s, recover) ->
-      let proxy = List.find (fun p -> p.p_name = pname) proxies in
+      let proxy = List.find (fun p -> proxy_name p = pname) proxies in
       let spec =
         match Fault.spec_of_string spec_s with
         | Ok s -> s
@@ -494,6 +398,101 @@ let test_recovery_budget_exhausted () =
     Alcotest.(check int) "restarts counted" 3 (Counters.value Obs.fault_recoveries);
     Alcotest.(check int) "abort counted" 1 (Counters.value Obs.fault_aborts)
 
+(* ---- Bounded-DPOR exploration of delivery schedules ----------------------- *)
+
+(* Under fault injection every channel is coupled to every other (shared
+   splitmix64 roll order, deliver-step clocks), so the dependence relation
+   is [Schedcheck.conflict_all]: no two deliveries commute. *)
+
+(* Two source ranks dup-flooding rank 0: every delivery interleaving of
+   the two channels within the bound must rebuild the same payloads, and
+   the exploration itself must replay bitwise. *)
+let test_dpor_dup_flood_exhausted () =
+  let prog () =
+    let t = Comm.create ~n_ranks:3 in
+    Comm.attach_fault t (Fault.create { Fault.default with seed = 5; dup = 1.0 });
+    Comm.send t ~src:1 ~dst:0 (payload 0);
+    Comm.send t ~src:2 ~dst:0 (payload 2);
+    Comm.send t ~src:1 ~dst:0 (payload 1);
+    Comm.send t ~src:2 ~dst:0 (payload 3);
+    List.map
+      (fun (src, i) ->
+        let got = Comm.recv t ~src ~dst:0 in
+        check_payload "dpor dup flood" i got;
+        got)
+      [ (1, 0); (1, 1); (2, 2); (2, 3) ]
+  in
+  let _, r =
+    Sched_util.assert_uniform ~bound:2 ~max_executions:2000
+      ~dependent:Schedcheck.conflict_all ~what:"dup flood" prog
+  in
+  if Sched_util.am_sched = None then begin
+    if r.Schedcheck.rp_executions <= 1 then
+      Alcotest.fail "dup flood offered no delivery decisions to explore";
+    (* Deterministically exhausted: a second exploration visits the very
+       same schedules in the very same order. *)
+    let r' =
+      Schedcheck.explore ~bound:2 ~max_executions:2000
+        ~dependent:Schedcheck.conflict_all prog
+    in
+    Alcotest.(check int) "same executions" r.Schedcheck.rp_executions
+      r'.Schedcheck.rp_executions;
+    if r'.Schedcheck.rp_traces <> r.Schedcheck.rp_traces then
+      Alcotest.fail "exploration is not deterministic"
+  end
+
+(* Total loss offers no delivery decisions (nothing is ever staged), so
+   the exploration collapses to one class: the named resilience failure. *)
+let test_dpor_total_loss_one_finding () =
+  let prog () =
+    let t = Comm.create ~n_ranks:2 in
+    Comm.attach_fault t (Fault.create { Fault.default with seed = 13; drop = 1.0 });
+    Comm.send t ~src:0 ~dst:1 (payload 0);
+    Comm.recv t ~src:0 ~dst:1
+  in
+  let r =
+    Schedcheck.explore ~bound:2 ~dependent:Schedcheck.conflict_all prog
+  in
+  match r.Schedcheck.rp_classes with
+  | [ { Schedcheck.cls_result = Error msg; cls_count; _ } ] ->
+    Alcotest.(check int) "one schedule" r.Schedcheck.rp_executions cls_count;
+    if not (Str_contains.contains msg "retransmits") then
+      Alcotest.failf "finding does not name the loss: %s" msg
+  | classes ->
+    Alcotest.failf "expected one Error class, got %d classes:\n%s"
+      (List.length classes) (Schedcheck.report_to_string r)
+
+(* A scenario previously covered only by randomized draws, now exhausted
+   deterministically: a fixed corrupt+delay schedule on the 2-rank
+   CloverLeaf (whose staggered exchanges keep both directions in flight
+   at once) must produce the fault-free bits under every delivery
+   interleaving within the bound. *)
+let test_dpor_proxy_fault_exhausted () =
+  let spec =
+    match Fault.spec_of_string "seed=77,corrupt=0.08,delay=0.25" with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "bad spec: %s" m
+  in
+  let proxy = Sched_util.clover_proxy in
+  let prog () =
+    match run_schedule proxy ~n_ranks:2 ~spec ~recover:false with
+    | Ok solution -> solution
+    | Error f -> failwith (Finding.to_string f)
+  in
+  let reference = clean proxy ~n_ranks:2 in
+  let solution, r =
+    Sched_util.assert_uniform ~bound:1 ~max_executions:600
+      ~dependent:Schedcheck.conflict_all
+      ~equal:(fun a b -> Fa.approx_equal ~tol:0.0 a b)
+      ~what:"cloverleaf(2) corrupt+delay" prog
+  in
+  if not (Fa.approx_equal ~tol:0.0 reference solution) then
+    Alcotest.failf
+      "explored fault run is not bitwise equal to fault-free (%g)"
+      (Fa.rel_discrepancy reference solution);
+  if Sched_util.am_sched = None && r.Schedcheck.rp_executions <= 1 then
+    Alcotest.fail "proxy fault run offered no delivery decisions to explore"
+
 let () =
   Alcotest.run "faults"
     [
@@ -530,5 +529,14 @@ let () =
             test_unsurvivable_aborts;
           Alcotest.test_case "restart budget exhausts cleanly" `Quick
             test_recovery_budget_exhausted;
+        ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "dup flood exhausted within bound" `Quick
+            test_dpor_dup_flood_exhausted;
+          Alcotest.test_case "total loss collapses to one finding" `Quick
+            test_dpor_total_loss_one_finding;
+          Alcotest.test_case "fixed proxy fault exhausted" `Quick
+            test_dpor_proxy_fault_exhausted;
         ] );
     ]

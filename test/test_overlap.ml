@@ -8,16 +8,20 @@
      executed on the distributed OP2 backend with overlap on and off must
      agree bitwise, and must agree with the sequential reference up to
      reduction reordering; likewise the Airfoil and CloverLeaf proxies;
-   - schedule exploration: every delivery interleaving of the in-flight
-     messages of a halo exchange (driven one message at a time through
-     [Comm.deliver_one]) must produce the same unpacked result, and a
-     receive that can never complete must fail fast instead of hanging;
+   - schedule exploration (the "dpor" group, also under `dune build
+     @dpor`): the bounded DPOR explorer drives halo exchanges — and a
+     small overlapped OP2 program — through every Mazurkiewicz-
+     inequivalent delivery schedule, cross-checked against brute-force
+     enumeration where that is small enough, and demands one bitwise
+     outcome; a receive that can never complete must fail fast instead of
+     hanging;
    - halo-freshness invariants: eager and on-demand exchange policies,
      blocking and overlapped, are bitwise interchangeable on chains that
      interleave indirect reads, Inc accumulations and direct writes.
 
-   Every randomized case derives its PRNG stream from one base seed.
-   Failures print the seed; rerun with AM_SEED=<n> to reproduce. *)
+   Every randomized case derives its PRNG stream from one base seed;
+   failures print the seed (rerun with AM_SEED=<n>).  Failing delivery
+   schedules print a replay token (rerun with AM_SCHED=<token>). *)
 
 module Op2 = Am_op2.Op2
 module Ops = Am_ops.Ops
@@ -28,6 +32,7 @@ module Prng = Am_util.Prng
 module Fa = Am_util.Fa
 module Comm = Am_simmpi.Comm
 module Halo = Am_simmpi.Halo
+module Schedcheck = Am_schedcheck.Schedcheck
 module Airfoil = Am_airfoil.App
 module Clover = Am_cloverleaf.App
 
@@ -249,7 +254,7 @@ let strategies =
     ("block", fun b -> Op2.Block_on b.cells);
   ]
 
-let rank_counts = [ 1; 2; 3; 7 ]
+let rank_counts = Sched_util.rank_counts
 
 let test_op2_random_differential () =
   for case = 0 to 3 do
@@ -279,7 +284,7 @@ let test_op2_random_differential () =
 
 (* ---- Airfoil proxy ---- *)
 
-let airfoil_mesh = lazy (Umesh.generate_airfoil ~nx:12 ~ny:8 ())
+let airfoil_mesh = Sched_util.airfoil_mesh
 
 let run_airfoil configure =
   let t = Airfoil.create (Lazy.force airfoil_mesh) in
@@ -369,121 +374,132 @@ let test_cloverleaf_overlap_differential () =
         Alcotest.failf "%s: overlap summary differs from blocking" what)
     (clover_partitions 12)
 
-(* ---- Schedule exploration ---- *)
+(* ---- Schedule exploration (bounded DPOR) ---- *)
 
-(* A 3-rank ring: every rank exports slot 0 to both neighbours and imports
-   into slot 1 (from the previous rank) and slot 2 (from the next). *)
-let ring_n = 3
+(* These used to be a hand-rolled exhaustive permutation sweep (720 orders
+   at 3 ranks, silently out of reach beyond that) and a 64-trial random
+   interleaving soak.  The DPOR explorer replaces both: it visits every
+   Mazurkiewicz-inequivalent delivery schedule — cross-checked against
+   brute-force enumeration where that is still enumerable — and each
+   outcome class carries a replay token for AM_SCHED. *)
 
-let ring_plan () =
-  let n = ring_n in
-  let exports = Array.init n (fun _ -> Array.make n [||]) in
-  let imports = Array.init n (fun _ -> Array.make n [||]) in
-  for r = 0 to n - 1 do
-    exports.(r).((r + 1) mod n) <- [| 0 |];
-    exports.(r).((r + n - 1) mod n) <- [| 0 |]
-  done;
-  for p = 0 to n - 1 do
-    imports.(p).((p + n - 1) mod n) <- [| 1 |];
-    imports.(p).((p + 1) mod n) <- [| 2 |]
-  done;
-  Halo.create ~n_ranks:n ~exports ~imports
+let perms = Sched_util.perms
 
-let ring_data base = Array.init ring_n (fun r -> [| base +. Float.of_int r; 0.0; 0.0 |])
+(* One halo-ring exchange per rank count: DPOR must cover exactly the
+   classes brute force finds, in strictly fewer executions. *)
+let test_dpor_ring_vs_brute () =
+  List.iter
+    (fun n ->
+      let what = Printf.sprintf "ring(%d)" n in
+      let prog () = Sched_util.ring_exchange ~n 10.0 in
+      let expected = prog () in
+      let brute, classes = Schedcheck.brute_force ~max_executions:2000 prog in
+      if brute.Schedcheck.rp_truncated then
+        Alcotest.failf "%s: brute force truncated" what;
+      let v, r = Sched_util.assert_uniform ~bound:6 ~what prog in
+      if not (Fa.approx_equal ~tol:0.0 expected v) then
+        Alcotest.failf "%s: explored schedules changed the result" what;
+      if Sched_util.am_sched = None then begin
+        Alcotest.(check int)
+          (what ^ ": covers every inequivalent schedule")
+          classes
+          (Schedcheck.mazurkiewicz_classes ~dependent:Schedcheck.same_dst
+             r.Schedcheck.rp_traces);
+        if r.Schedcheck.rp_executions >= brute.Schedcheck.rp_executions then
+          Alcotest.failf "%s: DPOR ran %d schedules, brute force only %d" what
+            r.Schedcheck.rp_executions brute.Schedcheck.rp_executions
+      end)
+    [ 2; 3 ]
 
-let rec perms = function
-  | [] -> [ [] ]
-  | l ->
-    List.concat_map
-      (fun x -> List.map (fun p -> x :: p) (perms (List.filter (fun y -> y <> x) l)))
-      l
-
-let check_ring ~what expected data =
-  Array.iteri
-    (fun r row ->
-      if not (Fa.approx_equal ~tol:0.0 expected.(r) row) then
-        Alcotest.failf "%s: rank %d got [%s], wanted [%s]" what r
-          (String.concat "; " (Array.to_list (Array.map string_of_float row)))
-          (String.concat "; "
-             (Array.to_list (Array.map string_of_float expected.(r)))))
-    expected;
-  ignore data
-
-(* Exhaustively drive the six in-flight messages of one ring exchange
-   through every delivery order (and, per order, a varying prefix delivered
-   before the wait): the unpacked result must never change. *)
-let test_schedule_single_exchange () =
-  let expected =
-    let comm = Comm.create ~n_ranks:ring_n in
-    let plan = ring_plan () in
-    let data = ring_data 10.0 in
-    Halo.exchange comm plan ~dim:1 data;
-    data
+(* At 4 ranks the old sweep silently capped: 8 messages mean 8! = 40320
+   interleavings.  Brute force is now skipped out loud, and DPOR covers
+   the quotient — two conflicting messages per destination, 2^4 classes. *)
+let test_dpor_ring4 () =
+  print_endline
+    "ring(4): brute-force cross-check skipped (8! = 40320 interleavings); \
+     DPOR covers the 16-class quotient instead";
+  let prog () = Sched_util.ring_exchange ~n:4 10.0 in
+  let expected = prog () in
+  let v, r =
+    Sched_util.assert_uniform ~bound:8 ~max_executions:4000 ~what:"ring(4)" prog
   in
-  let chans =
-    let comm = Comm.create ~n_ranks:ring_n in
-    let plan = ring_plan () in
-    let data = ring_data 10.0 in
-    let tok = Halo.exchange_start comm plan ~dim:1 data in
-    let cs = Comm.in_flight_channels comm in
-    Halo.exchange_finish comm plan tok data;
-    cs
-  in
-  Alcotest.(check int) "six channels in flight" 6 (List.length chans);
-  List.iteri
-    (fun idx order ->
-      let comm = Comm.create ~n_ranks:ring_n in
-      let plan = ring_plan () in
-      let data = ring_data 10.0 in
-      let tok = Halo.exchange_start comm plan ~dim:1 data in
-      let prefix = idx mod (List.length order + 1) in
-      List.iteri
-        (fun i (src, dst) ->
-          if i < prefix && not (Comm.deliver_one comm ~src ~dst) then
-            Alcotest.failf "schedule %d: nothing to deliver on (%d,%d)" idx src dst)
-        order;
-      Halo.exchange_finish comm plan tok data;
-      if not (Comm.all_drained comm) then
-        Alcotest.failf "schedule %d: messages left behind" idx;
-      check_ring ~what:(Printf.sprintf "schedule %d" idx) expected data)
-    (perms chans)
+  if not (Fa.approx_equal ~tol:0.0 expected v) then
+    Alcotest.fail "ring(4): explored schedules changed the result";
+  if Sched_util.am_sched = None then
+    Alcotest.(check int) "ring(4): 16 inequivalent schedules covered" 16
+      (Schedcheck.mazurkiewicz_classes ~dependent:Schedcheck.same_dst
+         r.Schedcheck.rp_traces)
 
-(* Two exchanges in flight on the same plan (two dats mid-loop): random
-   delivery interleavings must keep each token's payloads separate, because
-   per-channel FIFO pairs messages with receives in posted order. *)
-let test_schedule_two_exchanges () =
-  let expected_u, expected_v =
-    let comm = Comm.create ~n_ranks:ring_n in
-    let plan = ring_plan () in
-    let u = ring_data 10.0 and v = ring_data 100.0 in
-    Halo.exchange comm plan ~dim:1 u;
-    Halo.exchange comm plan ~dim:1 v;
-    (u, v)
-  in
-  let rng = Prng.create (base_seed + 777) in
-  for trial = 0 to 63 do
-    let comm = Comm.create ~n_ranks:ring_n in
-    let plan = ring_plan () in
-    let u = ring_data 10.0 and v = ring_data 100.0 in
+(* Two exchanges in flight on the same plan (two dats mid-loop): every
+   inequivalent interleaving within the delay bound must keep each token's
+   payloads separate, because per-channel FIFO pairs messages with
+   receives in posted order. *)
+let test_dpor_two_exchanges () =
+  let n = 3 in
+  let prog () =
+    let comm = Comm.create ~n_ranks:n in
+    let plan = Sched_util.ring_plan ~n in
+    let u = Sched_util.ring_data ~n 10.0 in
+    let v = Sched_util.ring_data ~n 100.0 in
     let tok_u = Halo.exchange_start comm plan ~dim:1 u in
     let tok_v = Halo.exchange_start comm plan ~dim:1 v in
-    let deliveries =
-      let cs = Comm.in_flight_channels comm in
-      Array.of_list (cs @ cs)
-    in
-    Prng.shuffle rng deliveries;
-    let k = Prng.int rng (Array.length deliveries + 1) in
-    for i = 0 to k - 1 do
-      let src, dst = deliveries.(i) in
-      ignore (Comm.deliver_one comm ~src ~dst)
-    done;
     Halo.exchange_finish comm plan tok_u u;
     Halo.exchange_finish comm plan tok_v v;
-    if not (Comm.all_drained comm) then
-      failf_seed (base_seed + 777) "trial %d: messages left behind" trial;
-    check_ring ~what:(Printf.sprintf "trial %d (u)" trial) expected_u u;
-    check_ring ~what:(Printf.sprintf "trial %d (v)" trial) expected_v v
-  done
+    if not (Comm.all_drained comm) then failwith "messages left behind";
+    Array.concat (Array.to_list u @ Array.to_list v)
+  in
+  let expected = prog () in
+  let v, r =
+    Sched_util.assert_uniform ~bound:2 ~max_executions:4000
+      ~what:"two exchanges" prog
+  in
+  if not (Fa.approx_equal ~tol:0.0 expected v) then
+    Alcotest.fail "two exchanges: explored schedules changed the result";
+  if Sched_util.am_sched = None then begin
+    Alcotest.(check bool) "explored beyond the default schedule" true
+      (r.Schedcheck.rp_executions > 1);
+    (* every witness token replays to the same bits *)
+    List.iter
+      (fun (c : _ Schedcheck.cls) ->
+        let replayed = Schedcheck.replay ~token:c.Schedcheck.cls_token prog in
+        if not (Fa.approx_equal ~tol:0.0 expected replayed) then
+          Alcotest.failf "token %s did not replay bitwise" c.Schedcheck.cls_token)
+      r.Schedcheck.rp_classes
+  end
+
+(* A small overlapped OP2 program under DPOR: delivery order of the real
+   runtime's halo and reduction messages must never leak into results. *)
+let test_dpor_op2_overlap () =
+  let p =
+    {
+      nx = 6;
+      ny = 6;
+      scramble = None;
+      dim = 1;
+      steps = [ Flux 0.5; Cell_update 0.3; Minmax ];
+      reps = 1;
+    }
+  in
+  List.iter
+    (fun n_ranks ->
+      let what = Printf.sprintf "op2 overlap(%d)" n_ranks in
+      let prog () =
+        run_program p (fun b ->
+            Op2.partition b.ctx ~n_ranks ~strategy:(Op2.Kway_through b.e2c);
+            Op2.set_comm_mode b.ctx Op2.Overlap)
+      in
+      let baseline = prog () in
+      let v, r =
+        Sched_util.assert_uniform ~bound:2 ~max_executions:3000 ~what prog
+      in
+      check_fingerprint ~seed:base_seed ~tol:0.0 ~what baseline v;
+      (* At 2 ranks every message pair targets distinct destinations, so a
+         single schedule legitimately covers the quotient; at 3 ranks some
+         rank receives from two peers and real alternatives must exist. *)
+      if Sched_util.am_sched = None && n_ranks >= 3 then
+        Alcotest.(check bool) (what ^ ": explored beyond the default") true
+          (r.Schedcheck.rp_executions > 1))
+    [ 2; 3 ]
 
 (* Waiting requests in any cross-channel order assigns each its own
    channel's payload; waitall is just as deterministic. *)
@@ -579,14 +595,7 @@ let test_op2_halo_freshness () =
   for case = 0 to 2 do
     let seed = base_seed + 100 + case in
     let p = freshness_chain (Prng.create seed) in
-    let variants =
-      [
-        ("on-demand/blocking", Op2.On_demand, Op2.Blocking);
-        ("eager/blocking", Op2.Eager, Op2.Blocking);
-        ("on-demand/overlap", Op2.On_demand, Op2.Overlap);
-        ("eager/overlap", Op2.Eager, Op2.Overlap);
-      ]
-    in
+    let variants = Sched_util.op2_variants in
     let fps =
       List.map
         (fun (label, policy, mode) ->
@@ -653,14 +662,7 @@ let test_ops_halo_freshness () =
   let ref_u, ref_w, ref_t = run_ops_chain (fun _ -> ()) in
   List.iter
     (fun (pname, part) ->
-      let variants =
-        [
-          ("on-demand/blocking", Ops.On_demand, Ops.Blocking);
-          ("eager/blocking", Ops.Eager, Ops.Blocking);
-          ("on-demand/overlap", Ops.On_demand, Ops.Overlap);
-          ("eager/overlap", Ops.Eager, Ops.Overlap);
-        ]
-      in
+      let variants = Sched_util.ops_variants in
       let run (policy, mode) =
         run_ops_chain (fun ctx ->
             part ctx;
@@ -724,12 +726,19 @@ let () =
           Alcotest.test_case "cloverleaf: rows + grid decompositions" `Quick
             test_cloverleaf_overlap_differential;
         ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "ring exchange vs brute force, ranks 2-3" `Quick
+            test_dpor_ring_vs_brute;
+          Alcotest.test_case "ring(4): quotient coverage, brute skipped" `Quick
+            test_dpor_ring4;
+          Alcotest.test_case "two exchanges, replayable witnesses" `Quick
+            test_dpor_two_exchanges;
+          Alcotest.test_case "overlapped OP2 program, ranks 2-3" `Quick
+            test_dpor_op2_overlap;
+        ] );
       ( "schedule exploration",
         [
-          Alcotest.test_case "all delivery orders, one exchange" `Quick
-            test_schedule_single_exchange;
-          Alcotest.test_case "random interleavings, two exchanges" `Quick
-            test_schedule_two_exchanges;
           Alcotest.test_case "wait order across channels" `Quick
             test_wait_order_across_channels;
           Alcotest.test_case "deadlock fails fast" `Quick test_wait_deadlock_fails_fast;

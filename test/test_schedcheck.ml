@@ -1,0 +1,316 @@
+(* Unit and property tests for the bounded DPOR schedule explorer.
+
+   The explorer itself is test infrastructure, so it gets the strongest
+   checks we can state: on programs small enough to brute-force, DPOR must
+   run {e exactly} the number of Mazurkiewicz-inequivalent schedules the
+   full enumeration admits — no fewer (coverage) and no more (reduction).
+   Alongside: the delay-bound semantics, replay-token round-trips, the
+   schedule-determinism guard, Obs counter wiring, and qcheck properties
+   for the communicator's channel-count invariants under random
+   isend/deliver/recv interleavings. *)
+
+module Comm = Am_simmpi.Comm
+module Sc = Am_schedcheck.Schedcheck
+module Obs = Am_obs.Obs
+module Counters = Am_obs.Counters
+
+(* ---- Tiny fixed programs --------------------------------------------- *)
+
+(* Two ranks, one message each way: the two delivery orders commute under
+   [same_dst] — a single Mazurkiewicz class. *)
+let independent_pair () =
+  let comm = Comm.create ~n_ranks:2 in
+  ignore (Comm.isend comm ~src:0 ~dst:1 [| 1.0 |]);
+  ignore (Comm.isend comm ~src:1 ~dst:0 [| 2.0 |]);
+  let r01 = Comm.irecv comm ~src:0 ~dst:1 in
+  let r10 = Comm.irecv comm ~src:1 ~dst:0 in
+  let a = Comm.wait comm r01 in
+  let b = Comm.wait comm r10 in
+  if not (Comm.all_drained comm) then failwith "messages left behind";
+  (a.(0), b.(0))
+
+(* Three sources fanning into rank 0: every delivery pair conflicts, so
+   all 3! interleavings are inequivalent. *)
+let fan_in () =
+  let comm = Comm.create ~n_ranks:4 in
+  List.iter
+    (fun s -> ignore (Comm.isend comm ~src:s ~dst:0 [| Float.of_int s |]))
+    [ 1; 2; 3 ];
+  let got = List.map (fun s -> (Comm.recv comm ~src:s ~dst:0).(0)) [ 1; 2; 3 ] in
+  if not (Comm.all_drained comm) then failwith "messages left behind";
+  got
+
+(* ---- DPOR == Mazurkiewicz quotient on brute-forceable programs -------- *)
+
+let test_independent_pair_exact () =
+  let brute, classes = Sc.brute_force independent_pair in
+  Alcotest.(check int) "brute enumerates both interleavings" 2
+    brute.Sc.rp_executions;
+  Alcotest.(check int) "one Mazurkiewicz class" 1 classes;
+  let r = Sc.explore ~bound:3 independent_pair in
+  Alcotest.(check int) "DPOR runs exactly one schedule" classes r.Sc.rp_executions;
+  Alcotest.(check int) "no backtracks" 0 r.Sc.rp_backtracks;
+  match r.Sc.rp_classes with
+  | [ { Sc.cls_result = Ok (1.0, 2.0); _ } ] -> ()
+  | _ -> Alcotest.fail "wrong outcome class"
+
+let test_fan_in_exact () =
+  let brute, classes = Sc.brute_force fan_in in
+  Alcotest.(check int) "brute enumerates all 3! interleavings" 6
+    brute.Sc.rp_executions;
+  Alcotest.(check int) "all interleavings inequivalent" 6 classes;
+  let r = Sc.explore ~bound:2 fan_in in
+  Alcotest.(check int) "DPOR runs exactly the quotient" classes r.Sc.rp_executions;
+  Alcotest.(check int) "every run covered a distinct class" classes
+    (Sc.mazurkiewicz_classes ~dependent:Sc.same_dst r.Sc.rp_traces);
+  Alcotest.(check bool) "not truncated" false r.Sc.rp_truncated;
+  match r.Sc.rp_classes with
+  | [ { Sc.cls_result = Ok [ 1.0; 2.0; 3.0 ]; cls_count = 6; _ } ] -> ()
+  | _ -> Alcotest.fail "schedules disagreed or were miscounted"
+
+let test_bound_semantics () =
+  (* bound 0: only the default schedule, with the skipped deviations
+     accounted for. *)
+  let r0 = Sc.explore ~bound:0 fan_in in
+  Alcotest.(check int) "bound 0 runs once" 1 r0.Sc.rp_executions;
+  Alcotest.(check bool) "bound 0 skips deviations" true (r0.Sc.rp_bound_skips > 0);
+  (* bound 1: the default plus every schedule one deviation away — two
+     alternatives at the first decision, one at the second (a second
+     deviation anywhere would cost 2). *)
+  let r1 = Sc.explore ~bound:1 fan_in in
+  Alcotest.(check int) "bound 1 reaches 4 schedules" 4 r1.Sc.rp_executions;
+  Alcotest.(check int) "4 distinct classes at bound 1" 4
+    (Sc.mazurkiewicz_classes ~dependent:Sc.same_dst r1.Sc.rp_traces);
+  Alcotest.(check bool) "bound 1 still skips" true (r1.Sc.rp_bound_skips > 0);
+  (* raising the bound only adds schedules *)
+  Alcotest.(check bool) "monotone in the bound" true
+    ((Sc.explore ~bound:2 fan_in).Sc.rp_executions >= r1.Sc.rp_executions)
+
+let test_max_executions_reports_truncation () =
+  let r = Sc.explore ~bound:2 ~max_executions:2 fan_in in
+  Alcotest.(check int) "stopped at the cap" 2 r.Sc.rp_executions;
+  Alcotest.(check bool) "truncation is reported, never silent" true
+    r.Sc.rp_truncated;
+  Alcotest.(check bool) "report names the cap" true
+    (Str_contains.contains (Sc.report_to_string r) "TRUNCATED")
+
+(* ---- Replay tokens ---------------------------------------------------- *)
+
+let test_token_roundtrip () =
+  let evs = [ (0, 1); (12, 3); (2, 0) ] in
+  let tok = Sc.token_of_events evs in
+  Alcotest.(check string) "rendered" "0>1,12>3,2>0" tok;
+  (match Sc.events_of_token tok with
+  | Ok evs' -> Alcotest.(check bool) "round-trips" true (evs = evs')
+  | Error m -> Alcotest.failf "round-trip failed: %s" m);
+  (match Sc.events_of_token " 0>1 , 2>0 " with
+  | Ok [ (0, 1); (2, 0) ] -> ()
+  | _ -> Alcotest.fail "whitespace not tolerated");
+  (match Sc.events_of_token "" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty token should parse to the empty schedule");
+  List.iter
+    (fun bad ->
+      match Sc.events_of_token bad with
+      | Ok _ -> Alcotest.failf "malformed token %S accepted" bad
+      | Error _ -> ())
+    [ "1"; "x>1"; "1>"; ">2"; "1>-2"; "1>2>3" ]
+
+let test_replay () =
+  let default = fan_in () in
+  (* a non-default interleaving replays to the same (source-addressed)
+     result *)
+  let replayed = Sc.replay ~token:"3>0,1>0,2>0" fan_in in
+  Alcotest.(check bool) "replayed schedule agrees" true (default = replayed);
+  (* every trace the explorer visited replays to its recorded class *)
+  let r = Sc.explore ~bound:2 fan_in in
+  List.iter
+    (fun trace ->
+      let v = Sc.replay ~token:(Sc.token_of_events trace) fan_in in
+      if v <> default then Alcotest.fail "trace replayed to a different result")
+    r.Sc.rp_traces;
+  (* a token naming a channel with nothing staged is rejected *)
+  (match Sc.replay ~token:"0>3" fan_in with
+  | exception Sc.Bad_schedule _ -> ()
+  | _ -> Alcotest.fail "impossible schedule accepted");
+  match Sc.replay ~token:"nonsense" fan_in with
+  | exception Sc.Bad_schedule _ -> ()
+  | _ -> Alcotest.fail "malformed token accepted"
+
+(* ---- Guard rails ------------------------------------------------------ *)
+
+(* A program whose communication depends on how often it has run is not
+   schedule-deterministic; the explorer must say so instead of exploring
+   garbage. *)
+let test_nondeterminism_detected () =
+  let runs = ref 0 in
+  let prog () =
+    incr runs;
+    let comm = Comm.create ~n_ranks:4 in
+    ignore (Comm.isend comm ~src:1 ~dst:0 [| 1.0 |]);
+    ignore (Comm.isend comm ~src:2 ~dst:0 [| 2.0 |]);
+    if !runs > 1 then ignore (Comm.isend comm ~src:3 ~dst:0 [| 3.0 |]);
+    ignore (Comm.recv comm ~src:1 ~dst:0);
+    ignore (Comm.recv comm ~src:2 ~dst:0);
+    if !runs > 1 then ignore (Comm.recv comm ~src:3 ~dst:0)
+  in
+  match Sc.explore ~bound:2 prog with
+  | exception Sc.Bad_schedule _ -> ()
+  | _ -> Alcotest.fail "non-schedule-deterministic program explored silently"
+
+(* The chooser hook is removed even when the program raises. *)
+let test_chooser_always_removed () =
+  (match Sc.explore ~bound:1 (fun () -> failwith "boom") with
+  | r -> (
+    match r.Sc.rp_classes with
+    | [ { Sc.cls_result = Error _; _ } ] -> ()
+    | _ -> Alcotest.fail "raise not recorded as an Error class")
+  | exception _ -> Alcotest.fail "program exception escaped the explorer");
+  Alcotest.(check bool) "no chooser left installed" true
+    (Comm.current_chooser () = None);
+  (match Sc.replay ~token:"0>1" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "replay swallowed the exception");
+  Alcotest.(check bool) "no chooser left after replay raise" true
+    (Comm.current_chooser () = None)
+
+let test_explore_deterministic () =
+  let r1 = Sc.explore ~bound:2 fan_in in
+  let r2 = Sc.explore ~bound:2 fan_in in
+  Alcotest.(check bool) "same traces in the same order" true
+    (r1.Sc.rp_traces = r2.Sc.rp_traces);
+  Alcotest.(check bool) "same witness tokens" true
+    (List.map (fun c -> c.Sc.cls_token) r1.Sc.rp_classes
+    = List.map (fun c -> c.Sc.cls_token) r2.Sc.rp_classes)
+
+let test_obs_counters_wired () =
+  Obs.reset ();
+  let r = Sc.explore ~bound:1 fan_in in
+  Alcotest.(check int) "dpor.executions" r.Sc.rp_executions
+    (Counters.value Obs.dpor_executions);
+  Alcotest.(check int) "dpor.backtracks" r.Sc.rp_backtracks
+    (Counters.value Obs.dpor_backtracks);
+  Alcotest.(check int) "dpor.sleep_hits" r.Sc.rp_sleep_hits
+    (Counters.value Obs.dpor_sleep_hits);
+  Alcotest.(check int) "dpor.bound_skips" r.Sc.rp_bound_skips
+    (Counters.value Obs.dpor_bound_skips)
+
+(* ---- Channel-count invariants (qcheck) -------------------------------- *)
+
+(* Random op sequences against a reference model of the channel queues:
+   [in_flight] counts exactly the staged messages, [pending] the staged
+   plus delivered-but-unconsumed ones, [all_drained] holds iff every
+   channel is empty on both counts, [deliver_one] returns false exactly
+   when nothing is staged, and [recv] consumes in FIFO order. *)
+let op_printer ops =
+  String.concat ";"
+    (List.map (fun (k, s, d) -> Printf.sprintf "%d:%d>%d" k s d) ops)
+
+let arb_ops =
+  QCheck.make ~print:op_printer
+    QCheck.Gen.(
+      list_size (int_range 1 80)
+        (triple (int_range 0 3) (int_range 0 2) (int_range 0 2)))
+
+let prop_channel_invariants =
+  QCheck.Test.make ~name:"channel counts match a reference model" ~count:300
+    arb_ops
+    (fun ops ->
+      let n = 3 in
+      let comm = Comm.create ~n_ranks:n in
+      let staged = Array.make (n * n) 0 in
+      let delivered = Array.make (n * n) 0 in
+      let fifo = Array.init (n * n) (fun _ -> Queue.create ()) in
+      let idx s d = (s * n) + d in
+      let next = ref 0.0 in
+      let check () =
+        for s = 0 to n - 1 do
+          for d = 0 to n - 1 do
+            let c = idx s d in
+            if Comm.in_flight comm ~src:s ~dst:d <> staged.(c) then
+              failwith "in_flight diverged from the staged count";
+            if Comm.pending comm ~src:s ~dst:d <> staged.(c) + delivered.(c) then
+              failwith "pending diverged from staged + delivered"
+          done
+        done;
+        let empty =
+          Array.for_all (( = ) 0) staged && Array.for_all (( = ) 0) delivered
+        in
+        if Comm.all_drained comm <> empty then
+          failwith "all_drained disagrees with the channel counts";
+        let listed = Comm.in_flight_channels comm in
+        for s = 0 to n - 1 do
+          for d = 0 to n - 1 do
+            if List.mem (s, d) listed <> (staged.(idx s d) > 0) then
+              failwith "in_flight_channels lists the wrong channels"
+          done
+        done
+      in
+      List.iter
+        (fun (k, s, d) ->
+          let c = idx s d in
+          (match k with
+          | 0 ->
+            next := !next +. 1.0;
+            ignore (Comm.isend comm ~src:s ~dst:d [| !next |]);
+            Queue.push !next fifo.(c);
+            staged.(c) <- staged.(c) + 1
+          | 1 ->
+            let expect = staged.(c) > 0 in
+            if Comm.deliver_one comm ~src:s ~dst:d <> expect then
+              failwith "deliver_one: false iff channel empty violated";
+            if expect then begin
+              staged.(c) <- staged.(c) - 1;
+              delivered.(c) <- delivered.(c) + 1
+            end
+          | 2 ->
+            Comm.deliver_channel comm ~src:s ~dst:d;
+            delivered.(c) <- delivered.(c) + staged.(c);
+            staged.(c) <- 0
+          | _ ->
+            if staged.(c) + delivered.(c) > 0 then begin
+              let got = Comm.recv comm ~src:s ~dst:d in
+              let want = Queue.pop fifo.(c) in
+              if got <> [| want |] then failwith "recv broke FIFO order";
+              (* recv delivers the whole channel, then consumes the head *)
+              delivered.(c) <- delivered.(c) + staged.(c) - 1;
+              staged.(c) <- 0
+            end);
+          check ())
+        ops;
+      true)
+
+let () =
+  Alcotest.run "schedcheck"
+    [
+      ( "dpor",
+        [
+          Alcotest.test_case "independent pair: one class, one run" `Quick
+            test_independent_pair_exact;
+          Alcotest.test_case "fan-in: exactly the Mazurkiewicz quotient" `Quick
+            test_fan_in_exact;
+          Alcotest.test_case "delay-bound semantics" `Quick test_bound_semantics;
+          Alcotest.test_case "execution cap reported" `Quick
+            test_max_executions_reports_truncation;
+          Alcotest.test_case "exploration is deterministic" `Quick
+            test_explore_deterministic;
+          Alcotest.test_case "obs counters wired" `Quick test_obs_counters_wired;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "token round-trip" `Quick test_token_roundtrip;
+          Alcotest.test_case "tokens replay schedules" `Quick test_replay;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "nondeterministic programs rejected" `Quick
+            test_nondeterminism_detected;
+          Alcotest.test_case "chooser removed on raise" `Quick
+            test_chooser_always_removed;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "channel counts match a reference model" `Quick
+            (fun () -> QCheck.Test.check_exn prop_channel_invariants);
+        ] );
+    ]
