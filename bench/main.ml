@@ -298,30 +298,28 @@ let print_recovery rows =
    above fit in L2 and would show nothing). *)
 type tiling_row = {
   til_name : string;
-  til_eager_s : float;
-  til_sweep : (int * float) list; (* tile size -> seconds per step *)
+  til_eager : Am_util.Regress.summary;
+  til_sweep : (int * Am_util.Regress.summary) list; (* tile size -> per-step summary *)
 }
 
 let til_best r =
   List.fold_left
-    (fun (bt, bs) (t, s) -> if s < bs then (t, s) else (bt, bs))
+    (fun ((_, bs) as best) ((_, s) as cand) ->
+      if s.Am_util.Regress.median < bs.Am_util.Regress.median then cand else best)
     (List.hd r.til_sweep) (List.tl r.til_sweep)
 
 let tiling_accounting () =
-  (* Minimum over [iters] runs, not the mean: wall-clock on a shared
-     machine is contaminated by one-sided noise, and both configurations
-     execute the identical step sequence (bitwise equality), so min is
-     comparable across them. *)
+  (* Median over [iters] runs with the IQR alongside, not a bare minimum:
+     both configurations execute the identical step sequence (bitwise
+     equality), and the spread says how much the headline number is worth
+     on a shared machine. *)
   let time ~warmup ~iters step =
     for _ = 1 to warmup do step () done;
-    let best = ref infinity in
-    for _ = 1 to iters do
-      let t0 = Unix.gettimeofday () in
-      step ();
-      let dt = Unix.gettimeofday () -. t0 in
-      if dt < !best then best := dt
-    done;
-    !best
+    Am_util.Regress.summarize
+      (Array.init iters (fun _ ->
+           let t0 = Unix.gettimeofday () in
+           step ();
+           Unix.gettimeofday () -. t0))
   in
   (* [make] builds a fresh app, [set_lazy] switches it to recording with a
      given tile size, [step] advances it; fresh state per configuration so
@@ -329,7 +327,7 @@ let tiling_accounting () =
      configuration measured late does not pay for garbage created by the
      sections before it. *)
   let measure til_name ~tiles ~make ~set_lazy ~step =
-    let til_eager_s =
+    let til_eager =
       Gc.compact ();
       let t = make () in
       time ~warmup:1 ~iters:5 (fun () -> step t)
@@ -343,7 +341,7 @@ let tiling_accounting () =
           (tile, time ~warmup:1 ~iters:5 (fun () -> step t)))
         tiles
     in
-    { til_name; til_eager_s; til_sweep }
+    { til_name; til_eager; til_sweep }
   in
   [
     measure "fig5/cloverleaf_step_ops" ~tiles:[ 4; 8; 16; 32 ]
@@ -361,24 +359,29 @@ let tiling_accounting () =
 let print_tiling rows =
   let table =
     Am_util.Table.create
-      ~title:"cross-loop cache tiling (lazy chains, wall-clock per step)"
-      ~header:[ "run"; "mode"; "per step"; "vs eager" ]
-      ~aligns:[ Am_util.Table.Left; Left; Right; Right ]
+      ~title:"cross-loop cache tiling (lazy chains, median wall-clock per step)"
+      ~header:[ "run"; "mode"; "per step"; "n"; "IQR"; "vs eager" ]
+      ~aligns:[ Am_util.Table.Left; Left; Right; Right; Right; Right ]
       ()
+  in
+  let open Am_util.Regress in
+  let row name mode s eager_median =
+    Am_util.Table.add_row table
+      [
+        name;
+        mode;
+        Am_util.Units.seconds s.median;
+        string_of_int s.n;
+        Am_util.Units.seconds (iqr s);
+        Printf.sprintf "%.2fx" (if s.median > 0.0 then eager_median /. s.median else 0.0);
+      ]
   in
   List.iter
     (fun r ->
-      Am_util.Table.add_row table
-        [ r.til_name; "eager"; Am_util.Units.seconds r.til_eager_s; "1.00x" ];
+      row r.til_name "eager" r.til_eager r.til_eager.median;
       List.iter
         (fun (tile, s) ->
-          Am_util.Table.add_row table
-            [
-              r.til_name;
-              Printf.sprintf "tile %d" tile;
-              Am_util.Units.seconds s;
-              Printf.sprintf "%.2fx" (if s > 0.0 then r.til_eager_s /. s else 0.0);
-            ])
+          row r.til_name (Printf.sprintf "tile %d" tile) s r.til_eager.median)
         r.til_sweep)
     rows;
   Am_util.Table.print table;
@@ -389,11 +392,11 @@ let print_tiling rows =
 let sanitizer_overhead () =
   let time app iters =
     ignore (Am_airfoil.App.iteration app);
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to iters do
-      ignore (Am_airfoil.App.iteration app)
-    done;
-    (Unix.gettimeofday () -. t0) /. float_of_int iters
+    Am_util.Regress.summarize
+      (Array.init iters (fun _ ->
+           let t0 = Unix.gettimeofday () in
+           ignore (Am_airfoil.App.iteration app);
+           Unix.gettimeofday () -. t0))
   in
   let mesh = Am_mesh.Umesh.generate_airfoil ~nx:48 ~ny:32 () in
   let seq = Am_airfoil.App.create mesh in
@@ -402,13 +405,64 @@ let sanitizer_overhead () =
   let iters = 10 in
   let seq_s = time seq iters in
   let check_s = time check iters in
-  (seq_s, check_s, check_s /. seq_s)
+  (seq_s, check_s, check_s.Am_util.Regress.median /. seq_s.Am_util.Regress.median)
+
+(* Attribution rows for the JSON dump's "doctor" section: a short traced
+   Airfoil run (tracing also makes the facades sample per-loop GC deltas),
+   joined against the perfmodel by [Doctor.diagnose]. *)
+let doctor_rows () =
+  let was_tracing = Am_obs.Obs.tracing () in
+  Am_obs.Obs.set_tracing true;
+  let t = Am_airfoil.App.create (Am_mesh.Umesh.generate_airfoil ~nx:48 ~ny:32 ()) in
+  Am_core.Trace.set_enabled (Am_op2.Op2.trace t.Am_airfoil.App.ctx) true;
+  ignore (Am_airfoil.App.run t ~iters:5);
+  let rows =
+    Am_perfmodel.Doctor.diagnose
+      ~profile:(Am_op2.Op2.profile t.Am_airfoil.App.ctx)
+      ~loops:(Am_core.Trace.events (Am_op2.Op2.trace t.Am_airfoil.App.ctx))
+      ()
+  in
+  Am_obs.Obs.set_tracing was_tracing;
+  rows
+
+let fprint_hist oc h =
+  let s = Am_obs.Histogram.snapshot h in
+  Printf.fprintf oc
+    "{ \"count\": %d, \"sum\": %.9f, \"min\": %.9f, \"max\": %.9f, \"p50\": \
+     %.9f, \"p90\": %.9f, \"p99\": %.9f, \"buckets\": { "
+    s.Am_obs.Histogram.s_count s.Am_obs.Histogram.s_sum s.Am_obs.Histogram.s_min
+    s.Am_obs.Histogram.s_max (Am_obs.Histogram.p50 h) (Am_obs.Histogram.p90 h)
+    (Am_obs.Histogram.p99 h);
+  List.iteri
+    (fun i (b, n) ->
+      Printf.fprintf oc "%s\"%d\": %d" (if i = 0 then "" else ", ") b n)
+    s.Am_obs.Histogram.s_buckets;
+  output_string oc " } }"
+
+let fprint_doctor oc rows =
+  output_string oc "{\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      let open Am_perfmodel.Doctor in
+      Printf.fprintf oc
+        "    %S: { \"calls\": %d, \"seconds\": %.9f, \"p50_call_seconds\": \
+         %.9f, \"bytes\": %d, \"achieved_gbs\": %.3f, \"model_gbs\": %.3f, \
+         \"pct_of_model\": %.1f, \"gc_minor\": %d, \"gc_major\": %d, \
+         \"verdict\": %S }%s\n"
+        r.dr_name r.dr_calls r.dr_seconds r.dr_call_seconds r.dr_bytes
+        r.dr_achieved_gbs r.dr_model_gbs r.dr_pct_of_model r.dr_gc_minor
+        r.dr_gc_major
+        (verdict_to_string r.dr_verdict)
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  }"
 
 (* Machine-readable dump of the micro estimates: benchmark name to OLS
    nanoseconds per run, plus the exposed/overlapped halo-seconds split of
    the distributed proxies.  Hand-rolled JSON — names contain only
    [a-z0-9_/]. *)
-let write_json path estimates halo sanitizer tiling recovery =
+let write_json path estimates halo sanitizer tiling recovery doctor =
   let oc = open_out path in
   output_string oc "{\n  \"unit\": \"ns_per_run\",\n  \"results\": {\n";
   let n = List.length estimates in
@@ -430,7 +484,7 @@ let write_json path estimates halo sanitizer tiling recovery =
   let c name = match Am_obs.Counters.find Am_obs.Obs.counters name with
     | Some (Am_obs.Counters.Int v) -> v
     | Some (Am_obs.Counters.Float v) -> int_of_float v
-    | None -> 0
+    | Some (Am_obs.Counters.Hist _) | None -> 0
   in
   let rate hits misses =
     if hits + misses = 0 then 0.0
@@ -442,24 +496,28 @@ let write_json path estimates halo sanitizer tiling recovery =
   output_string oc "  },\n";
   Printf.fprintf oc
     "  \"sanitizer\": { \"airfoil_seq_seconds\": %.9f, \
-     \"airfoil_check_seconds\": %.9f, \"overhead_x\": %.3f },\n"
-    seq_s check_s overhead;
+     \"airfoil_check_seconds\": %.9f, \"overhead_x\": %.3f, \"n\": %d },\n"
+    seq_s.Am_util.Regress.median check_s.Am_util.Regress.median overhead
+    seq_s.Am_util.Regress.n;
   output_string oc "  \"tiling\": {\n";
   let n_til = List.length tiling in
   List.iteri
     (fun i r ->
       let best_tile, best_s = til_best r in
-      Printf.fprintf oc "    %S: { \"eager_seconds\": %.9f, \"tiles\": { "
-        r.til_name r.til_eager_s;
+      Printf.fprintf oc
+        "    %S: { \"eager_seconds\": %.9f, \"n\": %d, \"tiles\": { "
+        r.til_name r.til_eager.Am_util.Regress.median r.til_eager.Am_util.Regress.n;
       let n_sweep = List.length r.til_sweep in
       List.iteri
         (fun j (tile, s) ->
-          Printf.fprintf oc "\"%d\": %.9f%s" tile s
+          Printf.fprintf oc "\"%d\": %.9f%s" tile s.Am_util.Regress.median
             (if j = n_sweep - 1 then "" else ", "))
         r.til_sweep;
       Printf.fprintf oc " }, \"best_tile\": %d, \"speedup_x\": %.3f }%s\n"
         best_tile
-        (if best_s > 0.0 then r.til_eager_s /. best_s else 0.0)
+        (if best_s.Am_util.Regress.median > 0.0 then
+           r.til_eager.Am_util.Regress.median /. best_s.Am_util.Regress.median
+         else 0.0)
         (if i = n_til - 1 then "" else ","))
     tiling;
   output_string oc "  },\n  \"obs\": {\n";
@@ -486,7 +544,24 @@ let write_json path estimates halo sanitizer tiling recovery =
         r.rec_retransmits r.rec_save_s r.rec_restore_replay_s
         (if i = n_rec - 1 then "" else ","))
     recovery;
-  output_string oc "  }\n}\n";
+  (* Latency distributions accumulated by the registry over every run
+     above (per-loop seconds, halo latency, chain flush/tile times). *)
+  output_string oc "  },\n  \"histograms\": {\n";
+  let hists =
+    List.filter
+      (fun h -> Am_obs.Histogram.count h > 0)
+      (Am_obs.Counters.histograms Am_obs.Obs.counters)
+  in
+  let n_hist = List.length hists in
+  List.iteri
+    (fun i h ->
+      Printf.fprintf oc "    %S: " (Am_obs.Histogram.name_of h);
+      fprint_hist oc h;
+      Printf.fprintf oc "%s\n" (if i = n_hist - 1 then "" else ","))
+    hists;
+  output_string oc "  },\n  \"doctor\": ";
+  fprint_doctor oc doctor;
+  output_string oc "\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d benchmarks)\n\n%!" path n
 
@@ -530,10 +605,13 @@ let run_micro ?json () =
   print_halo halo;
   let ((seq_s, check_s, overhead) as sanitizer) = sanitizer_overhead () in
   Printf.printf
-    "sanitizer overhead (airfoil iteration): seq %s, check %s (%.1fx)\n\n%!"
-    (Am_util.Units.seconds seq_s)
-    (Am_util.Units.seconds check_s)
-    overhead;
+    "sanitizer overhead (airfoil iteration): seq %s, check %s (%.1fx; n=%d, \
+     IQR %s / %s)\n\n%!"
+    (Am_util.Units.seconds seq_s.Am_util.Regress.median)
+    (Am_util.Units.seconds check_s.Am_util.Regress.median)
+    overhead seq_s.Am_util.Regress.n
+    (Am_util.Units.seconds (Am_util.Regress.iqr seq_s))
+    (Am_util.Units.seconds (Am_util.Regress.iqr check_s));
   let tiling = tiling_accounting () in
   print_tiling tiling;
   let recovery = recovery_accounting () in
@@ -543,7 +621,7 @@ let run_micro ?json () =
   | Some path ->
     write_json path
       (List.sort (fun (a, _) (b, _) -> compare a b) !estimates)
-      halo sanitizer tiling recovery;
+      halo sanitizer tiling recovery (doctor_rows ());
     let stem = Filename.remove_extension path in
     let trace_path = stem ^ ".trace.json" in
     let counters_path = stem ^ ".counters.json" in
@@ -551,6 +629,208 @@ let run_micro ?json () =
     Am_obs.Obs.write_counters ~path:counters_path;
     Printf.printf "wrote %s and %s (halo-accounting runs)\n%!" trace_path
       counters_path
+
+(* ---- Statistical timing series + regression gate ------------------------- *)
+
+(* Repetition series over the headline proxy-app steps: medians with the
+   IQR alongside rather than single shots, a per-series latency histogram,
+   and a machine-readable dump a later run can be gated against
+   ([--compare FILE], exit 1 on regression).  [--tiny] shrinks the problem
+   sizes so the gate can run as a test-suite smoke check. *)
+
+type series = {
+  se_name : string;
+  se_summary : Am_util.Regress.summary;
+  se_hist : Am_obs.Histogram.t;
+}
+
+(* AM_BENCH_HANDICAP="<series>=<factor>" multiplies the recorded samples
+   of one series ("*" for all): an injected slowdown the test suite uses
+   to prove the comparison gate actually trips. *)
+let handicap name =
+  match Sys.getenv_opt "AM_BENCH_HANDICAP" with
+  | None -> 1.0
+  | Some spec -> (
+    match String.index_opt spec '=' with
+    | None -> 1.0
+    | Some i -> (
+      let key = String.sub spec 0 i in
+      let factor = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match float_of_string_opt factor with
+      | Some f when key = name || key = "*" -> f
+      | Some _ | None -> 1.0))
+
+let series_specs ~tiny =
+  let dim full small = if tiny then small else full in
+  [
+    ( "series/airfoil_iteration",
+      fun () ->
+        let t =
+          Am_airfoil.App.create
+            (Am_mesh.Umesh.generate_airfoil ~nx:(dim 48 16) ~ny:(dim 32 12) ())
+        in
+        fun () -> ignore (Am_airfoil.App.iteration t) );
+    ( "series/cloverleaf_step",
+      fun () ->
+        let t = Am_cloverleaf.App.create ~nx:(dim 48 12) ~ny:(dim 48 12) () in
+        fun () -> ignore (Am_cloverleaf.App.hydro_step t) );
+    ( "series/tealeaf_cg_step",
+      fun () ->
+        let t = Am_tealeaf.App.create ~n:(dim 12 6) () in
+        fun () -> ignore (Am_tealeaf.App.step t) );
+    ( "series/hydra_iteration",
+      fun () ->
+        let t = Am_hydra.App.create ~nx:(dim 32 12) ~ny:(dim 24 8) () in
+        fun () -> ignore (Am_hydra.App.iteration t) );
+  ]
+
+let measure_series ~tiny ~repeat =
+  List.map
+    (fun (se_name, make) ->
+      Gc.compact ();
+      let step = make () in
+      step ();
+      (* warmup *)
+      let factor = handicap se_name in
+      let se_hist = Am_obs.Histogram.create ~unit_:"s" se_name in
+      let samples =
+        Array.init repeat (fun _ ->
+            let t0 = Unix.gettimeofday () in
+            step ();
+            let dt = (Unix.gettimeofday () -. t0) *. factor in
+            Am_obs.Histogram.record se_hist dt;
+            dt)
+      in
+      { se_name; se_summary = Am_util.Regress.summarize samples; se_hist })
+    (series_specs ~tiny)
+
+let print_series ~repeat rows =
+  let table =
+    Am_util.Table.create
+      ~title:(Printf.sprintf "timing series (wall-clock, n=%d)" repeat)
+      ~header:[ "series"; "n"; "median"; "IQR"; "min"; "max" ]
+      ~aligns:[ Am_util.Table.Left; Right; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      let s = r.se_summary in
+      Am_util.Table.add_row table
+        [
+          r.se_name;
+          string_of_int s.Am_util.Regress.n;
+          Am_util.Units.seconds s.Am_util.Regress.median;
+          Am_util.Units.seconds (Am_util.Regress.iqr s);
+          Am_util.Units.seconds s.Am_util.Regress.min;
+          Am_util.Units.seconds s.Am_util.Regress.max;
+        ])
+    rows;
+  Am_util.Table.print table;
+  print_newline ()
+
+let write_series_json path ~repeat rows doctor =
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"bench-series/1\",\n";
+  Printf.fprintf oc "  \"repeat\": %d,\n  \"series\": {\n" repeat;
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      let s = r.se_summary in
+      Printf.fprintf oc
+        "    %S: { \"n\": %d, \"median\": %.9f, \"p25\": %.9f, \"p75\": %.9f, \
+         \"min\": %.9f, \"max\": %.9f,\n      \"histogram\": "
+        r.se_name s.Am_util.Regress.n s.Am_util.Regress.median
+        s.Am_util.Regress.p25 s.Am_util.Regress.p75 s.Am_util.Regress.min
+        s.Am_util.Regress.max;
+      fprint_hist oc r.se_hist;
+      Printf.fprintf oc " }%s\n" (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  },\n  \"doctor\": ";
+  fprint_doctor oc doctor;
+  output_string oc "\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d series)\n\n%!" path n
+
+let load_baseline path =
+  match Am_util.Json.of_file path with
+  | Error msg ->
+    Printf.eprintf "cannot read baseline %s: %s\n%!" path msg;
+    exit 2
+  | Ok json -> (
+    match Am_util.Json.member "series" json with
+    | Some (Am_util.Json.Obj entries) ->
+      List.filter_map
+        (fun (name, v) ->
+          let num k = Option.bind (Am_util.Json.member k v) Am_util.Json.to_num in
+          match
+            (num "n", num "median", num "p25", num "p75", num "min", num "max")
+          with
+          | Some n, Some median, Some p25, Some p75, Some mn, Some mx ->
+            Some
+              ( name,
+                { Am_util.Regress.n = int_of_float n; median; p25; p75;
+                  min = mn; max = mx } )
+          | _ -> None)
+        entries
+    | Some _ | None ->
+      Printf.eprintf "%s: no \"series\" section\n%!" path;
+      exit 2)
+
+let compare_series rows baseline_path =
+  let baseline = load_baseline baseline_path in
+  let verdicts =
+    List.filter_map
+      (fun r ->
+        match List.assoc_opt r.se_name baseline with
+        | None ->
+          Printf.printf "(no baseline entry for %s, skipped)\n" r.se_name;
+          None
+        | Some base ->
+          Some
+            (Am_util.Regress.gate ~name:r.se_name ~baseline:base
+               ~current:r.se_summary ()))
+      rows
+  in
+  let table =
+    Am_util.Table.create
+      ~title:
+        (Printf.sprintf "regression gate vs %s (>%.0f%% median + IQR guard)"
+           baseline_path
+           (100.0 *. Am_util.Regress.default_threshold))
+      ~header:[ "series"; "baseline"; "current"; "ratio"; "base IQR"; "verdict" ]
+      ~aligns:[ Am_util.Table.Left; Right; Right; Right; Right; Left ]
+      ()
+  in
+  List.iter
+    (fun v ->
+      let open Am_util.Regress in
+      Am_util.Table.add_row table
+        [
+          v.v_name;
+          Am_util.Units.seconds v.v_base.median;
+          Am_util.Units.seconds v.v_cur.median;
+          Printf.sprintf "%.2fx" v.v_ratio;
+          Am_util.Units.seconds (iqr v.v_base);
+          (if v.v_regressed then "REGRESSED" else "ok");
+        ])
+    verdicts;
+  Am_util.Table.print table;
+  print_newline ();
+  match Am_util.Regress.regressed verdicts with
+  | [] -> ()
+  | bad ->
+    Printf.eprintf "bench: %d series regressed vs %s\n%!" (List.length bad)
+      baseline_path;
+    exit 1
+
+let run_series ?json ?compare ~tiny ~repeat () =
+  print_endline "######## series — repeated wall-clock timings ########\n";
+  let rows = measure_series ~tiny ~repeat in
+  print_series ~repeat rows;
+  (match json with
+  | None -> ()
+  | Some path -> write_series_json path ~repeat rows (doctor_rows ()));
+  match compare with None -> () | Some path -> compare_series rows path
 
 (* ---- Entry point ---------------------------------------------------------- *)
 
@@ -565,13 +845,38 @@ let () =
     | "--json" :: rest -> (Some "BENCH.json", List.rev_append acc rest)
     | a :: rest -> extract_json (a :: acc) rest
   in
+  let rec extract_value name acc = function
+    | [] -> (None, List.rev acc)
+    | a :: v :: rest when a = name -> (Some v, List.rev_append acc rest)
+    | a :: rest -> extract_value name (a :: acc) rest
+  in
+  let rec extract_flag name acc = function
+    | [] -> (false, List.rev acc)
+    | a :: rest when a = name -> (true, List.rev_append acc rest)
+    | a :: rest -> extract_flag name (a :: acc) rest
+  in
   let json, args = extract_json [] args in
+  let compare_to, args = extract_value "--compare" [] args in
+  let repeat, args = extract_value "--repeat" [] args in
+  let tiny, args = extract_flag "--tiny" [] args in
+  let repeat =
+    match repeat with
+    | Some r -> (
+      match int_of_string_opt r with
+      | Some n when n >= 2 -> n
+      | Some _ | None ->
+        Printf.eprintf "--repeat wants an integer >= 2, got %S\n" r;
+        exit 2)
+    | None -> 10
+  in
   match args with
   | [ "--list" ] ->
     List.iter
       (fun e -> Printf.printf "%-10s %s\n" e.Registry.id e.Registry.title)
       Registry.experiments;
-    print_endline "micro      Bechamel micro-benchmarks"
+    print_endline "micro      Bechamel micro-benchmarks";
+    print_endline
+      "series     repeated wall-clock timings (--repeat N, --tiny, --compare FILE)"
   | [] ->
     Registry.run_all ();
     run_micro ?json ()
@@ -580,6 +885,8 @@ let () =
     List.iter
       (fun id ->
         if id = "micro" then run_micro ?json ()
+        else if id = "series" then
+          run_series ?json ?compare:compare_to ~tiny ~repeat ()
         else
           match Registry.find id with
           | Some e ->

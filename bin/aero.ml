@@ -11,7 +11,7 @@ module Op2 = Am_op2.Op2
 module App = Am_aero.App
 module Umesh = Am_mesh.Umesh
 
-let run n iters backend ranks renumber verify check trace obs_json faults recover =
+let run n iters backend ranks renumber verify check trace obs_json faults recover perf =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let mesh = App.generate_mesh ~n in
@@ -19,6 +19,7 @@ let run n iters backend ranks renumber verify check trace obs_json faults recove
   Fault_common.with_faults ~app:"aero" ~faults ~recover @@ fun fc ~recovering ->
   let pool = ref None in
   let t = App.create mesh in
+  Perf_common.enable perf (Op2.trace t.App.ctx);
   if check then begin
     Op2.set_backend t.App.ctx Op2.Check;
     Am_core.Trace.set_enabled (Op2.trace t.App.ctx) true
@@ -77,6 +78,7 @@ let run n iters backend ranks renumber verify check trace obs_json faults recove
       (if d < 1e-8 then "(PASS)" else "(FAIL)");
     if d >= 1e-8 then exit 1
   end;
+  Perf_common.print perf ~profile:(Op2.profile t.App.ctx) ~trace:(Op2.trace t.App.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
     ~loops:(Am_core.Profile.obs_rows (Op2.profile t.App.ctx))
@@ -126,6 +128,6 @@ let cmd =
     Term.(
       const run $ n $ iters $ backend $ ranks $ renumber $ verify
       $ Check_common.arg $ trace_arg $ obs_json_arg
-      $ Fault_common.faults_arg $ Fault_common.recover_arg)
+      $ Fault_common.faults_arg $ Fault_common.recover_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

@@ -11,7 +11,7 @@ module App = Am_airfoil.App
 module Umesh = Am_mesh.Umesh
 
 let run nx ny iters backend ranks overlap renumber verify check save_to mesh_file
-    trace obs_json faults recover =
+    trace obs_json faults recover perf =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   (* Meshes load from snapshot files (the HDF5-style input path) or are
@@ -35,6 +35,7 @@ let run nx ny iters backend ranks overlap renumber verify check save_to mesh_fil
   Fault_common.with_faults ~app:"airfoil" ~faults ~recover @@ fun fc ~recovering ->
   let pool = ref None in
   let t = App.create mesh in
+  Perf_common.enable perf (Op2.trace t.App.ctx);
   if check then begin
     Op2.set_backend t.App.ctx Op2.Check;
     Am_core.Trace.set_enabled (Op2.trace t.App.ctx) true
@@ -107,6 +108,7 @@ let run nx ny iters backend ranks overlap renumber verify check save_to mesh_fil
     Am_sysio.Snapshot.save path [ ("q", App.solution t) ];
     Printf.printf "solution written to %s\n" path
   | None -> ());
+  Perf_common.print perf ~profile:(Op2.profile t.App.ctx) ~trace:(Op2.trace t.App.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
     ~loops:(Am_core.Profile.obs_rows (Op2.profile t.App.ctx))
@@ -178,6 +180,6 @@ let cmd =
     Term.(
       const run $ nx $ ny $ iters $ backend $ ranks $ overlap $ renumber $ verify
       $ Check_common.arg $ save_to $ mesh_file $ trace_arg $ obs_json_arg
-      $ Fault_common.faults_arg $ Fault_common.recover_arg)
+      $ Fault_common.faults_arg $ Fault_common.recover_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

@@ -10,7 +10,7 @@ module Ops = Am_ops.Ops
 module App = Am_cloverleaf.App
 
 let run nx ny steps backend ranks overlap summary_every verify van_leer check
-    trace obs_json faults recover tile =
+    trace obs_json faults recover tile perf =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let advection =
@@ -55,6 +55,7 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer check
       t
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
+  Perf_common.enable perf (Ops.trace t.App.ctx);
   if overlap then begin
     if not (backend = "mpi" || backend = "mpi2d" || backend = "hybrid") then
       failwith "--overlap requires --backend mpi, mpi2d or hybrid";
@@ -110,6 +111,7 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer check
       (if d < 1e-10 then "(PASS)" else "(FAIL)");
     if d >= 1e-10 then exit 1
   end;
+  Perf_common.print perf ~profile:(Ops.profile t.App.ctx) ~trace:(Ops.trace t.App.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
     ~loops:(Am_core.Profile.obs_rows (Ops.profile t.App.ctx))
@@ -179,6 +181,6 @@ let cmd =
     Term.(
       const run $ nx $ ny $ steps $ backend $ ranks $ overlap $ summary_every
       $ verify $ van_leer $ Check_common.arg $ trace_arg $ obs_json_arg
-      $ Fault_common.faults_arg $ Fault_common.recover_arg $ tile_arg)
+      $ Fault_common.faults_arg $ Fault_common.recover_arg $ tile_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

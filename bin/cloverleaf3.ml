@@ -5,7 +5,7 @@
 module App = Am_cloverleaf3.App
 module Ops3 = Am_ops.Ops3
 
-let run n steps backend ranks check trace obs_json faults recover tile =
+let run n steps backend ranks check trace obs_json faults recover tile perf =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   Fault_common.with_faults ~app:"cloverleaf3" ~faults ~recover @@ fun fc ~recovering ->
@@ -41,6 +41,7 @@ let run n steps backend ranks check trace obs_json faults recover tile =
       t
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
+  Perf_common.enable perf (Ops3.trace t.App.ctx);
   Printf.printf "cloverleaf3: %d^3 cells, %d steps, backend %s\n%!" n steps backend;
   (match tile with
   | Some tile_size ->
@@ -73,6 +74,7 @@ let run n steps backend ranks check trace obs_json faults recover tile =
   Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
   print_string (Am_core.Profile.report (Ops3.profile t.App.ctx));
   if check then Check_common.report (Am_analysis.Analysis.check_ops3 t.App.ctx);
+  Perf_common.print perf ~profile:(Ops3.profile t.App.ctx) ~trace:(Ops3.trace t.App.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
     ~loops:(Am_core.Profile.obs_rows (Ops3.profile t.App.ctx))
@@ -121,6 +123,6 @@ let cmd =
     Term.(
       const run $ n $ steps $ backend $ ranks $ Check_common.arg $ trace_arg
       $ obs_json_arg $ Fault_common.faults_arg $ Fault_common.recover_arg
-      $ tile_arg)
+      $ tile_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

@@ -6,7 +6,7 @@ module Op2 = Am_op2.Op2
 module App = Am_hydra.App
 
 let run nx ny iters backend ranks renumber no_multigrid check trace obs_json faults
-    recover tile =
+    recover tile perf =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let features = { App.all_features with App.multigrid = not no_multigrid } in
@@ -34,6 +34,7 @@ let run nx ny iters backend ranks renumber no_multigrid check trace obs_json fau
       t
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
+  Perf_common.enable perf (Op2.trace t.App.ctx);
   Printf.printf "hydra-sim: %d fine cells (+%d coarse), %d loops/iteration\n%!"
     t.App.mesh.Am_mesh.Umesh.n_cells t.App.coarse_mesh.Am_mesh.Umesh.n_cells
     App.loops_per_iteration;
@@ -61,6 +62,7 @@ let run nx ny iters backend ranks renumber no_multigrid check trace obs_json fau
   Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
   print_string (Am_core.Profile.report (Op2.profile t.App.ctx));
   if check then Check_common.report (Am_analysis.Analysis.check_op2 t.App.ctx);
+  Perf_common.print perf ~profile:(Op2.profile t.App.ctx) ~trace:(Op2.trace t.App.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
     ~loops:(Am_core.Profile.obs_rows (Op2.profile t.App.ctx))
@@ -117,6 +119,6 @@ let cmd =
     Term.(
       const run $ nx $ ny $ iters $ backend $ ranks $ renumber $ no_multigrid
       $ Check_common.arg $ trace_arg $ obs_json_arg
-      $ Fault_common.faults_arg $ Fault_common.recover_arg $ tile_arg)
+      $ Fault_common.faults_arg $ Fault_common.recover_arg $ tile_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

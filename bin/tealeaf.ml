@@ -5,7 +5,7 @@
 module Tea = Am_tealeaf.App
 module Ops3 = Am_ops.Ops3
 
-let run n steps dt backend ranks check trace obs_json faults recover tile =
+let run n steps dt backend ranks check trace obs_json faults recover tile perf =
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   Fault_common.with_faults ~app:"tealeaf" ~faults ~recover @@ fun fc ~recovering ->
@@ -36,6 +36,7 @@ let run n steps dt backend ranks check trace obs_json faults recover tile =
       t
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
+  Perf_common.enable perf (Ops3.trace t.Tea.ctx);
   Printf.printf "tealeaf-sim: %d^3 cells, dt %.3f, backend %s\n%!" n dt backend;
   (match tile with
   | Some tile_size ->
@@ -67,6 +68,7 @@ let run n steps dt backend ranks check trace obs_json faults recover tile =
     t.Tea.cg_iterations;
   print_string (Am_core.Profile.report (Ops3.profile t.Tea.ctx));
   if check then Check_common.report (Am_analysis.Analysis.check_ops3 t.Tea.ctx);
+  Perf_common.print perf ~profile:(Ops3.profile t.Tea.ctx) ~trace:(Ops3.trace t.Tea.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
     ~loops:(Am_core.Profile.obs_rows (Ops3.profile t.Tea.ctx))
@@ -116,6 +118,6 @@ let cmd =
     Term.(
       const run $ n $ steps $ dt $ backend $ ranks $ Check_common.arg $ trace_arg
       $ obs_json_arg $ Fault_common.faults_arg $ Fault_common.recover_arg
-      $ tile_arg)
+      $ tile_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

@@ -20,6 +20,9 @@ type entry = {
   mutable elements : int;
   mutable halo_seconds : float; (* exposed communication time for this loop *)
   mutable overlap_seconds : float; (* communication hidden behind core compute *)
+  mutable gc_minor : int; (* minor collections during this loop (traced runs) *)
+  mutable gc_major : int;
+  mutable gc_promoted_words : float;
 }
 
 (* The registry cells backing one loop name. *)
@@ -30,6 +33,10 @@ type cells = {
   cc_elements : Counters.counter;
   cc_halo : Counters.gauge;
   cc_overlap : Counters.gauge;
+  cc_seconds_hist : Counters.histogram; (* per-call wall-time distribution *)
+  cc_gc_minor : Counters.counter;
+  cc_gc_major : Counters.counter;
+  cc_gc_promoted : Counters.gauge;
 }
 
 type t = {
@@ -55,6 +62,10 @@ let cells t name =
         cc_elements = Counters.counter t.reg ~unit_:"elements" (key "elements");
         cc_halo = Counters.gauge t.reg ~unit_:"s" (key "halo_seconds");
         cc_overlap = Counters.gauge t.reg ~unit_:"s" (key "overlap_seconds");
+        cc_seconds_hist = Counters.histogram t.reg ~unit_:"s" (key "seconds_hist");
+        cc_gc_minor = Counters.counter t.reg (key "gc_minor");
+        cc_gc_major = Counters.counter t.reg (key "gc_major");
+        cc_gc_promoted = Counters.gauge t.reg ~unit_:"words" (key "gc_promoted_words");
       }
     in
     Hashtbl.add t.cells name c;
@@ -67,6 +78,8 @@ let record t ~name ~seconds ~bytes ~elements =
     Counters.addf c.cc_seconds seconds;
     Counters.add c.cc_bytes bytes;
     Counters.add c.cc_elements elements;
+    Counters.observe c.cc_seconds_hist seconds;
+    Counters.observe Obs.loop_seconds seconds;
     Counters.incr Obs.loop_calls;
     Counters.add Obs.loop_bytes bytes;
     Counters.add Obs.loop_elements elements
@@ -79,7 +92,22 @@ let record_halo t ~name ?(overlapped = 0.0) ~seconds () =
   if t.enabled then begin
     let c = cells t name in
     Counters.addf c.cc_halo seconds;
-    Counters.addf c.cc_overlap overlapped
+    Counters.addf c.cc_overlap overlapped;
+    if seconds > 0.0 then Counters.observe Obs.halo_seconds seconds
+  end
+
+(* GC deltas are sampled by the facades around loop execution only while
+   span tracing is on ([Gc.quick_stat] is cheap but not free), so these
+   cells stay zero on untraced runs. *)
+let record_gc t ~name ~minor ~major ~promoted_words =
+  if t.enabled then begin
+    let c = cells t name in
+    Counters.add c.cc_gc_minor minor;
+    Counters.add c.cc_gc_major major;
+    Counters.addf c.cc_gc_promoted promoted_words;
+    Counters.add Obs.gc_minor minor;
+    Counters.add Obs.gc_major major;
+    Counters.addf Obs.gc_promoted promoted_words
   end
 
 let snapshot c =
@@ -90,7 +118,13 @@ let snapshot c =
     elements = Counters.value c.cc_elements;
     halo_seconds = Counters.valuef c.cc_halo;
     overlap_seconds = Counters.valuef c.cc_overlap;
+    gc_minor = Counters.value c.cc_gc_minor;
+    gc_major = Counters.value c.cc_gc_major;
+    gc_promoted_words = Counters.valuef c.cc_gc_promoted;
   }
+
+let seconds_hist t name =
+  Option.map (fun c -> c.cc_seconds_hist) (Hashtbl.find_opt t.cells name)
 
 let find t name = Option.map snapshot (Hashtbl.find_opt t.cells name)
 

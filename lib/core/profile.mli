@@ -9,6 +9,10 @@ type entry = {
       (** exposed communication time attributed to the loop *)
   mutable overlap_seconds : float;
       (** communication hidden behind core compute (non-blocking exchange) *)
+  mutable gc_minor : int;
+      (** minor collections during the loop (sampled only on traced runs) *)
+  mutable gc_major : int;
+  mutable gc_promoted_words : float;
 }
 
 type t
@@ -19,17 +23,27 @@ val create : unit -> t
 val set_enabled : t -> bool -> unit
 
 val record : t -> name:string -> seconds:float -> bytes:int -> elements:int -> unit
+(** Accumulates totals and feeds the per-call wall time into both the
+    loop's own histogram cell and the global [Obs.loop_seconds]. *)
+
 val record_halo : t -> name:string -> ?overlapped:float -> seconds:float -> unit -> unit
 (** [seconds] is the exposed wait; [overlapped] the portion hidden behind
-    core computation. *)
+    core computation.  Non-zero exposed waits also feed
+    [Obs.halo_seconds]. *)
+
+val record_gc : t -> name:string -> minor:int -> major:int -> promoted_words:float -> unit
+(** Accumulate [Gc.quick_stat] deltas for one loop execution.  Facades call
+    this only while span tracing is enabled, so untraced runs pay nothing. *)
 
 val find : t -> string -> entry option
 (** A snapshot of the loop's accumulated totals (mutating it has no effect
     on the profile). *)
 
+val seconds_hist : t -> string -> Am_obs.Counters.histogram option
+(** The loop's per-call wall-time distribution, if it has run. *)
+
 val counters : t -> Am_obs.Counters.t
-(** The registry backing this profile (six cells per loop name, keyed
-    [loop.<name>.<field>]). *)
+(** The registry backing this profile (keyed [loop.<name>.<field>]). *)
 
 val obs_rows : t -> Am_obs.Obs.loop_row list
 (** Per-loop rows for [Am_obs.Obs.report], sorted by descending time. *)

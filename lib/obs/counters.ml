@@ -12,13 +12,19 @@ type cell = {
 
 type counter = cell
 type gauge = cell
-type value = Int of int | Float of float
+type histogram = Histogram.t
+type value = Int of int | Float of float | Hist of Histogram.snapshot
 
-type t = { cells : (string, cell) Hashtbl.t }
+type t = {
+  cells : (string, cell) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
+}
 
-let create () = { cells = Hashtbl.create 64 }
+let create () = { cells = Hashtbl.create 64; hists = Hashtbl.create 8 }
 
 let register t ~is_float ~unit_ name =
+  if Hashtbl.mem t.hists name then
+    invalid_arg (Printf.sprintf "Counters: %s already registered as a histogram" name);
   match Hashtbl.find_opt t.cells name with
   | Some c ->
     if c.c_is_float <> is_float then
@@ -34,6 +40,22 @@ let register t ~is_float ~unit_ name =
 let counter t ?(unit_ = "") name = register t ~is_float:false ~unit_ name
 let gauge t ?(unit_ = "") name = register t ~is_float:true ~unit_ name
 
+let histogram t ?(unit_ = "") name =
+  (match Hashtbl.find_opt t.cells name with
+  | Some c ->
+    invalid_arg
+      (Printf.sprintf "Counters: %s already registered as a %s" name
+         (if c.c_is_float then "gauge" else "counter"))
+  | None -> ());
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create ~unit_ name in
+    Hashtbl.add t.hists name h;
+    h
+
+let observe h x = Histogram.record h x
+
 let add c n = c.c_int <- c.c_int + n
 let incr c = c.c_int <- c.c_int + 1
 let addf c x = c.c_float <- c.c_float +. x
@@ -47,19 +69,32 @@ let reset t =
     (fun _ c ->
       c.c_int <- 0;
       c.c_float <- 0.0)
-    t.cells
+    t.cells;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) t.hists
 
 let snapshot t =
-  Hashtbl.fold
-    (fun _ c acc ->
-      (c.c_name, if c.c_is_float then Float c.c_float else Int c.c_int) :: acc)
-    t.cells []
+  let cells =
+    Hashtbl.fold
+      (fun _ c acc ->
+        (c.c_name, if c.c_is_float then Float c.c_float else Int c.c_int) :: acc)
+      t.cells []
+  in
+  Hashtbl.fold (fun name h acc -> (name, Hist (Histogram.snapshot h)) :: acc) t.hists cells
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let find t name =
   match Hashtbl.find_opt t.cells name with
-  | None -> None
   | Some c -> Some (if c.c_is_float then Float c.c_float else Int c.c_int)
+  | None -> (
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> Some (Hist (Histogram.snapshot h))
+    | None -> None)
+
+let find_histogram t name = Hashtbl.find_opt t.hists name
+
+let histograms t =
+  Hashtbl.fold (fun _ h acc -> h :: acc) t.hists []
+  |> List.sort (fun a b -> String.compare (Histogram.name_of a) (Histogram.name_of b))
 
 (* ---- JSON ----------------------------------------------------------- *)
 
@@ -83,6 +118,17 @@ let escape s =
     s;
   Buffer.contents b
 
+let hist_to_json b (s : Histogram.snapshot) =
+  Buffer.add_string b
+    (Printf.sprintf "{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"buckets\": {"
+       s.Histogram.s_count (float_repr s.s_sum) (float_repr s.s_min) (float_repr s.s_max));
+  List.iteri
+    (fun j (i, c) ->
+      if j > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%d\": %d" i c))
+    s.s_buckets;
+  Buffer.add_string b "}}"
+
 let to_json t =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
@@ -93,7 +139,8 @@ let to_json t =
       Buffer.add_string b (Printf.sprintf "  \"%s\": " (escape name));
       match v with
       | Int n -> Buffer.add_string b (string_of_int n)
-      | Float x -> Buffer.add_string b (float_repr x))
+      | Float x -> Buffer.add_string b (float_repr x)
+      | Hist s -> hist_to_json b s)
     cells;
   Buffer.add_string b "\n}\n";
   Buffer.contents b
@@ -162,6 +209,76 @@ let parse_json s =
     let lit = String.sub s start (!pos - start) in
     if !is_float then Float (float_of_string lit) else Int (int_of_string lit)
   in
+  (* Histogram cells are the one nested shape {!to_json} emits:
+     {"count":..,"sum":..,"min":..,"max":..,"buckets":{"<i>":<c>,..}}. *)
+  let parse_buckets () =
+    expect '{';
+    skip_ws ();
+    if !pos < n && s.[!pos] = '}' then begin
+      pos := !pos + 1;
+      []
+    end
+    else begin
+      let items = ref [] in
+      let rec members () =
+        let key = parse_string () in
+        expect ':';
+        let c = match parse_number () with Int c -> c | _ -> fail "bucket count" in
+        let i = match int_of_string_opt key with Some i -> i | None -> fail "bucket index" in
+        items := (i, c) :: !items;
+        skip_ws ();
+        if !pos < n && s.[!pos] = ',' then begin
+          pos := !pos + 1;
+          skip_ws ();
+          members ()
+        end
+      in
+      members ();
+      expect '}';
+      List.rev !items
+    end
+  in
+  let parse_hist () =
+    expect '{';
+    let count = ref 0 and sum = ref 0.0 and mn = ref 0.0 and mx = ref 0.0 in
+    let buckets = ref [] in
+    let num () =
+      match parse_number () with Int v -> float_of_int v | Float v -> v | Hist _ -> fail "number"
+    in
+    let rec members () =
+      let key = parse_string () in
+      expect ':';
+      (match key with
+      | "count" -> count := (match parse_number () with Int v -> v | _ -> fail "count")
+      | "sum" -> sum := num ()
+      | "min" -> mn := num ()
+      | "max" -> mx := num ()
+      | "buckets" ->
+        skip_ws ();
+        buckets := parse_buckets ()
+      | _ -> fail (Printf.sprintf "unknown histogram key %S" key));
+      skip_ws ();
+      if !pos < n && s.[!pos] = ',' then begin
+        pos := !pos + 1;
+        skip_ws ();
+        members ()
+      end
+    in
+    skip_ws ();
+    if !pos < n && s.[!pos] = '}' then pos := !pos + 1 else (members (); expect '}');
+    Hist
+      {
+        Histogram.s_count = !count;
+        s_sum = !sum;
+        s_min = !mn;
+        s_max = !mx;
+        s_buckets = !buckets;
+      }
+  in
+  let parse_value () =
+    skip_ws ();
+    if !pos < n && s.[!pos] = '{' then parse_hist () else parse_number ()
+  in
   expect '{';
   skip_ws ();
   if !pos < n && s.[!pos] = '}' then begin
@@ -173,7 +290,7 @@ let parse_json s =
     let rec members () =
       let key = parse_string () in
       expect ':';
-      let v = parse_number () in
+      let v = parse_value () in
       items := (key, v) :: !items;
       skip_ws ();
       if !pos < n && s.[!pos] = ',' then begin

@@ -18,22 +18,34 @@ type counter
 type gauge
 (** A floating-point cell. *)
 
-type value = Int of int | Float of float
+type histogram = Histogram.t
+(** A log-bucketed distribution cell (see {!Histogram}). *)
+
+type value = Int of int | Float of float | Hist of Histogram.snapshot
 
 val create : unit -> t
 
 val counter : t -> ?unit_:string -> string -> counter
 (** [counter t name] registers (or retrieves) the integer cell [name].
     [unit_] is a human label ("bytes", "elements") carried into reports.
-    Raises [Invalid_argument] if [name] is registered as a gauge. *)
+    Raises [Invalid_argument] if [name] is registered as a gauge or a
+    histogram. *)
 
 val gauge : t -> ?unit_:string -> string -> gauge
 (** Float-valued counterpart of {!counter}. *)
+
+val histogram : t -> ?unit_:string -> string -> histogram
+(** Distribution-valued counterpart of {!counter}: registers (or
+    retrieves) a histogram cell covered by {!reset}/{!snapshot}/{!to_json}
+    like any other cell. *)
 
 val add : counter -> int -> unit
 val incr : counter -> unit
 val addf : gauge -> float -> unit
 val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+(** Record one sample (allocation-free; alias of {!Histogram.record}). *)
 
 val value : counter -> int
 val valuef : gauge -> float
@@ -47,8 +59,15 @@ val snapshot : t -> (string * value) list
 
 val find : t -> string -> value option
 
+val find_histogram : t -> string -> histogram option
+
+val histograms : t -> histogram list
+(** All registered histogram cells, sorted by name. *)
+
 val to_json : t -> string
-(** One JSON object mapping cell name to value, sorted by name. *)
+(** One JSON object mapping cell name to value, sorted by name.  Histogram
+    cells render as a nested object
+    [{"count":..,"sum":..,"min":..,"max":..,"buckets":{"<i>":<n>,..}}]. *)
 
 val parse_json : string -> (string * value) list
 (** Parse a snapshot previously produced by {!to_json} (minimal parser for

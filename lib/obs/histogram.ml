@@ -1,0 +1,138 @@
+(* Log-bucketed histogram cell: fixed global bucket layout shared by every
+   histogram so snapshots from different cells (or processes) are directly
+   comparable bucket-by-bucket.
+
+   Buckets grow geometrically by 2^(1/4) per step (~18.9%), four buckets
+   per octave, from 1 ns up past 200 s.  Recording a value is a binary
+   search over an immutable float array plus three array stores — no
+   allocation — so histograms can stay always-on like counters.  Mutable
+   float state lives in a float array (unboxed) rather than mutable record
+   fields, which would box on every update. *)
+
+let sub_buckets = 4
+let lowest = 1e-9
+
+(* 152 finite boundaries: boundary.(i) = 1e-9 * 2^(i/4); the last is
+   ~2.3e2 s.  Values above it land in one overflow bucket. *)
+let n_bounds = 152
+let n_buckets = n_bounds + 1
+let overflow_bucket = n_bounds
+let bounds = Array.init n_bounds (fun i -> lowest *. Float.pow 2.0 (float_of_int i /. float_of_int sub_buckets))
+let bucket_ratio = Float.pow 2.0 (1.0 /. float_of_int sub_buckets)
+
+(* Bucket [i] covers (bounds.(i-1), bounds.(i)]; bucket 0 additionally
+   absorbs everything <= bounds.(0) (including 0, negatives and NaN — the
+   record path must never raise).  Smallest [i] with [v <= bounds.(i)]. *)
+(* invariant: v > bounds.(lo), v <= bounds.(hi).  Top-level tail recursion
+   (not a local closure over [v], not refs) so the search allocates
+   nothing — histogram cells are recorded inside every par_loop. *)
+let rec bisect v lo hi =
+  if hi - lo <= 1 then hi
+  else
+    let mid = (lo + hi) / 2 in
+    if v > bounds.(mid) then bisect v mid hi else bisect v lo mid
+
+let bucket_index v =
+  if not (v > bounds.(0)) then 0
+  else if v > bounds.(n_bounds - 1) then overflow_bucket
+  else bisect v 0 (n_bounds - 1)
+
+let bucket_upper i = if i >= n_bounds then Float.infinity else bounds.(i)
+let bucket_lower i = if i <= 0 then 0.0 else bounds.(i - 1)
+
+(* stats array slots *)
+let s_sum = 0
+let s_min = 1
+let s_max = 2
+
+type t = {
+  h_name : string;
+  h_unit : string;
+  counts : int array; (* n_buckets *)
+  mutable total : int;
+  stats : float array; (* sum, min, max — unboxed float storage *)
+}
+
+let create ?(unit_ = "") name =
+  { h_name = name; h_unit = unit_; counts = Array.make n_buckets 0; total = 0; stats = [| 0.0; Float.infinity; Float.neg_infinity |] }
+
+let name_of h = h.h_name
+let unit_of h = h.h_unit
+
+let record h v =
+  let i = bucket_index v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.total <- h.total + 1;
+  h.stats.(s_sum) <- h.stats.(s_sum) +. v;
+  if v < h.stats.(s_min) then h.stats.(s_min) <- v;
+  if v > h.stats.(s_max) then h.stats.(s_max) <- v
+
+let reset h =
+  Array.fill h.counts 0 n_buckets 0;
+  h.total <- 0;
+  h.stats.(s_sum) <- 0.0;
+  h.stats.(s_min) <- Float.infinity;
+  h.stats.(s_max) <- Float.neg_infinity
+
+let count h = h.total
+let sum h = h.stats.(s_sum)
+let min_value h = if h.total = 0 then 0.0 else h.stats.(s_min)
+let max_value h = if h.total = 0 then 0.0 else h.stats.(s_max)
+let mean h = if h.total = 0 then 0.0 else h.stats.(s_sum) /. float_of_int h.total
+
+(* Nearest-rank quantile estimated by bucket upper boundary: the returned
+   value is >= the true quantile and at most one bucket ratio above it.
+   Clamped to the exactly-tracked min/max so q=0/q=1 are exact. *)
+let quantile h q =
+  if h.total = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.total))) in
+    let rec find i seen =
+      if i >= n_buckets then max_value h
+      else
+        let seen = seen + h.counts.(i) in
+        if seen >= target then
+          if i = overflow_bucket then max_value h
+          else Float.min (bucket_upper i) (max_value h)
+        else find (i + 1) seen
+    in
+    Float.max (min_value h) (find 0 0)
+  end
+
+let p50 h = quantile h 0.5
+let p90 h = quantile h 0.9
+let p99 h = quantile h 0.99
+
+let buckets h =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.counts.(i) > 0 then acc := (i, h.counts.(i)) :: !acc
+  done;
+  !acc
+
+(* ---- Snapshots -------------------------------------------------------- *)
+
+type snapshot = {
+  s_count : int;
+  s_sum : float;
+  s_min : float; (* 0.0 when empty, never inf/NaN *)
+  s_max : float;
+  s_buckets : (int * int) list; (* (bucket index, count), ascending, counts > 0 *)
+}
+
+let snapshot h =
+  { s_count = h.total; s_sum = sum h; s_min = min_value h; s_max = max_value h; s_buckets = buckets h }
+
+let restore h s =
+  reset h;
+  h.total <- s.s_count;
+  h.stats.(s_sum) <- s.s_sum;
+  if s.s_count > 0 then begin
+    h.stats.(s_min) <- s.s_min;
+    h.stats.(s_max) <- s.s_max
+  end;
+  List.iter
+    (fun (i, c) ->
+      if i >= 0 && i < n_buckets then h.counts.(i) <- c)
+    s.s_buckets

@@ -1,0 +1,79 @@
+(** Log-bucketed histogram cell.
+
+    All histograms share one fixed bucket layout: geometric buckets growing
+    by [2^(1/4)] per step (four per octave) from 1 ns past 200 s, plus one
+    overflow bucket, so snapshots are comparable bucket-by-bucket across
+    cells and runs.  Recording is a binary search plus a few array stores
+    and allocates nothing, so histogram cells stay always-on like counters.
+
+    Quantiles are estimated by the upper boundary of the bucket holding the
+    nearest-rank sample: the estimate is at least the true quantile and at
+    most one bucket ratio (~18.9%) above it; exact min/max are tracked on
+    the side. *)
+
+type t
+
+val create : ?unit_:string -> string -> t
+(** Fresh empty histogram.  Prefer registering through
+    {!Counters.histogram} so the cell is covered by registry snapshots. *)
+
+val name_of : t -> string
+val unit_of : t -> string
+
+val record : t -> float -> unit
+(** Allocation-free.  Non-finite and non-positive values fall into the
+    lowest bucket rather than raising. *)
+
+val reset : t -> unit
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+
+val min_value : t -> float
+(** Exact observed minimum (0.0 when empty). *)
+
+val max_value : t -> float
+(** Exact observed maximum (0.0 when empty). *)
+
+val quantile : t -> float -> float
+(** [quantile h q] for [q] in [[0,1]]; nearest-rank, bucket-resolution
+    (see module doc).  0.0 when empty. *)
+
+val p50 : t -> float
+val p90 : t -> float
+val p99 : t -> float
+
+(** {1 Bucket layout} *)
+
+val n_buckets : int
+(** Total buckets including the overflow bucket (index [n_buckets - 1]). *)
+
+val bucket_ratio : float
+(** Geometric growth factor between consecutive boundaries, [2^(1/4)]. *)
+
+val bucket_index : float -> int
+(** Bucket a value falls into. *)
+
+val bucket_lower : int -> float
+(** Exclusive lower boundary of a bucket (0.0 for bucket 0). *)
+
+val bucket_upper : int -> float
+(** Inclusive upper boundary ([infinity] for the overflow bucket). *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  s_buckets : (int * int) list;
+      (** (bucket index, count) for non-empty buckets, ascending index. *)
+}
+(** Structural value for comparisons and JSON round-trips. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Overwrite [t]'s state from a snapshot (inverse of {!snapshot}). *)

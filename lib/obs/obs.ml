@@ -62,6 +62,20 @@ let chain_flushes = Counters.counter counters "chain.flushes"
 let chain_tiles = Counters.counter counters "chain.tiles"
 let tile_hits = Counters.counter counters "tile_cache.hits"
 let tile_misses = Counters.counter counters "tile_cache.misses"
+let gc_minor = Counters.counter counters "gc.minor_collections"
+let gc_major = Counters.counter counters "gc.major_collections"
+let gc_promoted = Counters.gauge counters ~unit_:"words" "gc.promoted_words"
+let pool_busy_seconds = Counters.gauge counters ~unit_:"s" "pool.busy_seconds"
+let pool_wall_seconds = Counters.gauge counters ~unit_:"s" "pool.wall_seconds"
+let pool_occupancy = Counters.gauge counters "pool.occupancy"
+
+(* Latency-distribution cells: per-call loop wall time (all facades), one
+   sample per halo exchange, and one per chain flush / skewed tile in the
+   lazy OPS evaluation mode. *)
+let loop_seconds = Counters.histogram counters ~unit_:"s" "loop.seconds"
+let halo_seconds = Counters.histogram counters ~unit_:"s" "halo.exchange_seconds"
+let chain_flush_seconds = Counters.histogram counters ~unit_:"s" "chain.flush_seconds"
+let tile_seconds = Counters.histogram counters ~unit_:"s" "chain.tile_seconds"
 
 (* Pre-export flush hooks.  Lazy-chain contexts (the OPS facades' delayed
    evaluation mode) register a chain flush here so any queued loops run
@@ -130,6 +144,13 @@ let loops_table ?roofline_gbs loops =
     (List.sort (fun a b -> Float.compare b.lr_seconds a.lr_seconds) loops);
   Am_util.Table.render table
 
+(* Counter families rendered in their own sections below rather than in
+   the generic table. *)
+let sectioned_families = [ "chain."; "tile_cache."; "dpor." ]
+
+let in_sectioned_family name =
+  List.exists (fun fam -> String.starts_with ~prefix:fam name) sectioned_families
+
 let counters_table () =
   let table =
     Am_util.Table.create ~title:"runtime counters" ~header:[ "counter"; "value" ]
@@ -140,15 +161,76 @@ let counters_table () =
   row "exec cache hit rate" (rate exec_hits exec_misses);
   List.iter
     (fun (name, v) ->
-      match v with
-      | Counters.Int 0 | Counters.Float 0.0 -> ()
-      | Counters.Int n ->
-        row name
-          (if name = "comm.bytes_sent" || name = "loop.bytes" then Am_util.Units.bytes n
-           else string_of_int n)
-      | Counters.Float x -> row name (Printf.sprintf "%.6g" x))
+      if not (in_sectioned_family name) then
+        match v with
+        | Counters.Int 0 | Counters.Float 0.0 -> ()
+        | Counters.Int n ->
+          row name
+            (if name = "comm.bytes_sent" || name = "loop.bytes" then Am_util.Units.bytes n
+             else string_of_int n)
+        | Counters.Float x -> row name (Printf.sprintf "%.6g" x)
+        | Counters.Hist _ -> () (* rendered in the latency-distribution table *))
     (Counters.snapshot counters);
   Am_util.Table.render table
+
+let chain_table () =
+  if
+    Counters.value chain_loops = 0 && Counters.value chain_flushes = 0
+    && Counters.value tile_hits + Counters.value tile_misses = 0
+  then None
+  else begin
+    let table =
+      Am_util.Table.create ~title:"lazy loop chains" ~header:[ "counter"; "value" ]
+        ~aligns:[ Am_util.Table.Left; Right ] ()
+    in
+    let row name value = Am_util.Table.add_row table [ name; value ] in
+    row "chain.queued_loops" (string_of_int (Counters.value chain_loops));
+    row "chain.flushes" (string_of_int (Counters.value chain_flushes));
+    row "chain.tiles" (string_of_int (Counters.value chain_tiles));
+    row "tile cache hit rate" (rate tile_hits tile_misses);
+    Some (Am_util.Table.render table)
+  end
+
+let dpor_table () =
+  if Counters.value dpor_executions = 0 then None
+  else begin
+    let table =
+      Am_util.Table.create ~title:"schedule exploration (dpor)"
+        ~header:[ "counter"; "value" ] ~aligns:[ Am_util.Table.Left; Right ] ()
+    in
+    let row name value = Am_util.Table.add_row table [ name; value ] in
+    row "dpor.executions" (string_of_int (Counters.value dpor_executions));
+    row "dpor.backtracks" (string_of_int (Counters.value dpor_backtracks));
+    row "dpor.sleep_hits" (string_of_int (Counters.value dpor_sleep_hits));
+    row "dpor.bound_skips" (string_of_int (Counters.value dpor_bound_skips));
+    Some (Am_util.Table.render table)
+  end
+
+let histograms_table () =
+  let live = List.filter (fun h -> Histogram.count h > 0) (Counters.histograms counters) in
+  if live = [] then None
+  else begin
+    let table =
+      Am_util.Table.create ~title:"latency distributions"
+        ~header:[ "histogram"; "count"; "p50"; "p90"; "p99"; "max" ]
+        ~aligns:
+          [ Am_util.Table.Left; Right; Right; Right; Right; Right ]
+        ()
+    in
+    List.iter
+      (fun h ->
+        Am_util.Table.add_row table
+          [
+            Histogram.name_of h;
+            string_of_int (Histogram.count h);
+            Am_util.Units.seconds (Histogram.p50 h);
+            Am_util.Units.seconds (Histogram.p90 h);
+            Am_util.Units.seconds (Histogram.p99 h);
+            Am_util.Units.seconds (Histogram.max_value h);
+          ])
+      live;
+    Some (Am_util.Table.render table)
+  end
 
 let report ?roofline_gbs ?(loops = []) () =
   run_flush_hooks ();
@@ -163,6 +245,14 @@ let report ?roofline_gbs ?(loops = []) () =
     Buffer.add_char b '\n'
   end;
   Buffer.add_string b (counters_table ());
+  List.iter
+    (fun section ->
+      match section with
+      | Some text ->
+        Buffer.add_char b '\n';
+        Buffer.add_string b text
+      | None -> ())
+    [ chain_table (); dpor_table (); histograms_table () ];
   Buffer.contents b
 
 let counters_json () = Counters.to_json counters

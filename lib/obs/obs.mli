@@ -99,6 +99,28 @@ val chain_tiles : Counters.counter
 val tile_hits : Counters.counter
 val tile_misses : Counters.counter
 
+(** Runtime-environment telemetry.  GC cells accumulate per-loop
+    [Gc.quick_stat] deltas (sampled only while tracing is enabled, so the
+    default path never calls the GC); pool cells aggregate taskpool worker
+    occupancy — busy time over wall time x workers for traced parallel
+    regions. *)
+
+val gc_minor : Counters.counter
+val gc_major : Counters.counter
+val gc_promoted : Counters.gauge
+val pool_busy_seconds : Counters.gauge
+val pool_wall_seconds : Counters.gauge
+val pool_occupancy : Counters.gauge
+
+(** Pre-registered latency histograms (always-on, like the counters):
+    per-call loop wall time across all facades, per-exchange halo latency,
+    and chain-flush / skewed-tile durations from the lazy OPS modes. *)
+
+val loop_seconds : Counters.histogram
+val halo_seconds : Counters.histogram
+val chain_flush_seconds : Counters.histogram
+val tile_seconds : Counters.histogram
+
 val add_flush_hook : (unit -> unit) -> unit
 (** Register an idempotent hook run before every trace/counter export and
     {!report}: lazy-chain contexts flush queued loops here so exports never
@@ -123,7 +145,11 @@ type loop_row = {
 val report : ?roofline_gbs:float -> ?loops:loop_row list -> unit -> string
 (** Rendered tables: per-loop time and achieved GB/s (against the perfmodel
     roofline ceiling when [roofline_gbs] is given) with exposed-vs-hidden
-    halo columns, followed by cache hit-rates and communication totals. *)
+    halo columns, followed by cache hit-rates and communication totals,
+    then one section per active counter family — lazy loop chains
+    ([chain.*]/[tile_cache.*]), schedule exploration ([dpor.*]) — and a
+    latency-distribution table (count/p50/p90/p99/max) for every non-empty
+    histogram cell. *)
 
 val counters_json : unit -> string
 val write_counters : path:string -> unit

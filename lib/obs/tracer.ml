@@ -17,6 +17,7 @@ type category =
   | Reduce
   | Checkpoint
   | Fault
+  | Worker
 
 let category_to_string = function
   | Loop -> "loop"
@@ -29,6 +30,7 @@ let category_to_string = function
   | Reduce -> "reduce"
   | Checkpoint -> "checkpoint"
   | Fault -> "fault"
+  | Worker -> "worker"
 
 type event = {
   ev_name : string;
@@ -56,10 +58,11 @@ type t = {
   durs : float array;
   lanes : int array;
   argss : (string * float) list array;
-  mutable head : int; (* next slot to write *)
-  mutable total : int; (* events recorded since clear *)
+  head : int Atomic.t; (* events recorded since clear; slot = head mod capacity *)
   mutable stacks : frame list array; (* indexed by lane *)
   mutable unmatched : int;
+  mutable process_name : string;
+  lane_names : (int, string) Hashtbl.t;
 }
 
 let create ?(capacity = 65536) ?clock () =
@@ -77,16 +80,21 @@ let create ?(capacity = 65536) ?clock () =
     durs = Array.make capacity 0.0;
     lanes = Array.make capacity 0;
     argss = Array.make capacity [];
-    head = 0;
-    total = 0;
+    head = Atomic.make 0;
     stacks = Array.make 8 [];
     unmatched = 0;
+    process_name = "active_mesh";
+    lane_names = Hashtbl.create 8;
   }
 
 let set_enabled t flag = t.enabled <- flag
 let enabled t = t.enabled
 
 let now_us t = (t.clock () -. t.epoch) *. 1e6
+
+let set_process_name t name = t.process_name <- name
+let set_lane_name t ~lane name = Hashtbl.replace t.lane_names lane name
+let lane_name t lane = Hashtbl.find_opt t.lane_names lane
 
 let ensure_lane t lane =
   if lane >= Array.length t.stacks then begin
@@ -95,17 +103,28 @@ let ensure_lane t lane =
     t.stacks <- bigger
   end
 
+let reserve_lanes t n = ensure_lane t (n - 1)
+
+(* Slot allocation is a fetch-and-add so concurrent domains (taskpool
+   workers emitting busy/idle spans) never tear each other's slots; the
+   per-slot stores are unsynchronised but distinct.  The begin/end stack
+   bookkeeping stays single-domain per lane. *)
 let record t ~name ~cat ~inst ~ts ~dur ~lane ~args =
-  let i = t.head in
+  let slot = Atomic.fetch_and_add t.head 1 in
+  let i = slot mod t.capacity in
   t.names.(i) <- name;
   t.cats.(i) <- cat;
   t.insts.(i) <- inst;
   t.tss.(i) <- ts;
   t.durs.(i) <- dur;
   t.lanes.(i) <- lane;
-  t.argss.(i) <- args;
-  t.head <- (if i + 1 = t.capacity then 0 else i + 1);
-  t.total <- t.total + 1
+  t.argss.(i) <- args
+
+(* Record a span whose endpoints the caller measured itself (taskpool
+   workers time their job bodies and record in one shot, so no per-lane
+   stack state is shared across domains). *)
+let complete_span t ?(lane = 0) ?(args = []) ~cat ~ts ~dur name =
+  if t.enabled then record t ~name ~cat ~inst:false ~ts ~dur ~lane ~args
 
 let begin_span t ?(lane = 0) ?(args = []) ~cat name =
   if t.enabled then begin
@@ -137,19 +156,19 @@ let instant t ?(lane = 0) ?(args = []) ~cat name =
   if t.enabled then record t ~name ~cat ~inst:true ~ts:(now_us t) ~dur:0.0 ~lane ~args
 
 let clear t =
-  t.head <- 0;
-  t.total <- 0;
+  Atomic.set t.head 0;
   t.unmatched <- 0;
   Array.iteri (fun i _ -> t.stacks.(i) <- []) t.stacks;
   t.epoch <- t.clock ()
 
-let recorded t = t.total
-let dropped t = max 0 (t.total - t.capacity)
+let recorded t = Atomic.get t.head
+let dropped t = max 0 (recorded t - t.capacity)
 let unmatched t = t.unmatched
 
 let events t =
-  let n = min t.total t.capacity in
-  let first = if t.total <= t.capacity then 0 else t.head in
+  let total = recorded t in
+  let n = min total t.capacity in
+  let first = if total <= t.capacity then 0 else total mod t.capacity in
   let evs =
     List.init n (fun k ->
         let i = (first + k) mod t.capacity in
@@ -189,9 +208,29 @@ let escape s =
 let to_chrome_json t =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-  List.iteri
-    (fun i ev ->
-      if i > 0 then Buffer.add_string b ",\n";
+  let evs = events t in
+  (* "M" metadata events label the process and every lane that appears, so
+     Perfetto shows named timelines ("rank 0", "worker 3") instead of bare
+     tids.  Unnamed lanes default to rank naming. *)
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"%s\"}}"
+       (escape t.process_name));
+  let lanes = List.sort_uniq compare (List.map (fun ev -> ev.ev_lane) evs) in
+  List.iter
+    (fun lane ->
+      let label =
+        match lane_name t lane with
+        | Some name -> name
+        | None -> Printf.sprintf "rank %d" lane
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           lane (escape label)))
+    lanes;
+  List.iter
+    (fun ev ->
+      Buffer.add_string b ",\n";
       Buffer.add_string b
         (Printf.sprintf
            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d"
@@ -210,7 +249,7 @@ let to_chrome_json t =
         Buffer.add_char b '}'
       end;
       Buffer.add_char b '}')
-    (events t);
+    evs;
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
 

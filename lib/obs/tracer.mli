@@ -21,6 +21,7 @@ type category =
   | Reduce  (** global reductions and worker-state merges *)
   | Checkpoint  (** checkpoint snapshot / restore activity *)
   | Fault  (** fault injection, detection and retransmission activity *)
+  | Worker  (** taskpool worker busy/idle occupancy spans *)
 
 val category_to_string : category -> string
 (** Lower-case name used as the Chrome [cat] field ("loop", "halo_post", ...). *)
@@ -46,6 +47,24 @@ val create : ?capacity:int -> ?clock:(unit -> float) -> unit -> t
 val set_enabled : t -> bool -> unit
 val enabled : t -> bool
 
+val now_us : t -> float
+(** Microseconds since the tracer epoch, for callers timing their own
+    spans (see {!complete_span}). *)
+
+val set_process_name : t -> string -> unit
+(** Process label for the Chrome export (default ["active_mesh"]). *)
+
+val set_lane_name : t -> lane:int -> string -> unit
+(** Label a lane's Chrome timeline ("worker 3"); unnamed lanes render as
+    ["rank N"].  Names survive {!clear}. *)
+
+val lane_name : t -> int -> string option
+
+val reserve_lanes : t -> int -> unit
+(** Pre-grow per-lane state for lanes [0..n-1].  Lane growth is not
+    domain-safe, so concurrent recorders (taskpool workers) need their
+    lanes reserved before they start. *)
+
 val begin_span : t -> ?lane:int -> ?args:(string * float) list -> cat:category -> string -> unit
 (** Open a span on [lane]'s stack.  [args] become Chrome [args] entries
     (ranks, byte counts).  No-op when disabled. *)
@@ -60,6 +79,12 @@ val with_span : t -> ?lane:int -> ?args:(string * float) list -> cat:category ->
 
 val instant : t -> ?lane:int -> ?args:(string * float) list -> cat:category -> string -> unit
 (** Record a zero-duration marker event. *)
+
+val complete_span :
+  t -> ?lane:int -> ?args:(string * float) list -> cat:category -> ts:float -> dur:float -> string -> unit
+(** Record a span whose [ts]/[dur] (microseconds, see {!now_us}) the caller
+    measured itself.  Safe to call from multiple domains concurrently
+    (slot allocation is atomic); no per-lane stack state is involved. *)
 
 val clear : t -> unit
 (** Drop all recorded events and open spans, and restart the epoch. *)
@@ -77,9 +102,10 @@ val unmatched : t -> int
 (** [end_span] calls that found no open span. *)
 
 val to_chrome_json : t -> string
-(** Chrome trace-event JSON: ["X"] (complete) events for spans, ["i"] for
-    instants; [pid] 0, [tid] = lane, [ts]/[dur] in microseconds.  Load via
-    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+(** Chrome trace-event JSON: leading ["M"] metadata events name the
+    process and each lane, then ["X"] (complete) events for spans, ["i"]
+    for instants; [pid] 0, [tid] = lane, [ts]/[dur] in microseconds.  Load
+    via [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
 
 val write_chrome : t -> path:string -> unit
 

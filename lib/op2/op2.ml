@@ -433,6 +433,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle iter_set args
   | None -> ());
   let t0 = now () in
   let traced = Am_obs.Obs.tracing () in
+  let gc0 = if traced then Some (Gc.quick_stat ()) else None in
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
   (match ctx.checkpoint with
   | None -> execute_loop ctx ~name ?handle iter_set args kernel
@@ -451,6 +452,14 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle iter_set args
         execute_loop ctx ~name ?handle iter_set args kernel));
   if traced then Am_obs.Obs.end_span ();
   let seconds = now () -. t0 in
+  (match gc0 with
+  | Some g0 ->
+    let g1 = Gc.quick_stat () in
+    Profile.record_gc ctx.profile ~name
+      ~minor:(g1.Gc.minor_collections - g0.Gc.minor_collections)
+      ~major:(g1.Gc.major_collections - g0.Gc.major_collections)
+      ~promoted_words:(g1.Gc.promoted_words -. g0.Gc.promoted_words)
+  | None -> ());
   Profile.record ctx.profile ~name ~seconds ~bytes:(Descr.total_bytes descr)
     ~elements:iter_set.Types.set_size
 

@@ -261,6 +261,7 @@ let run_segment_seq ctx entries =
   let traced = Am_obs.Obs.tracing () in
   Array.iteri
     (fun t slabs ->
+      let tile_t0 = now () in
       if traced then
         Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop
           ~args:[ ("tile", float_of_int t) ]
@@ -275,7 +276,8 @@ let run_segment_seq ctx entries =
             ~kernel:q.q_kernel;
           secs := !secs +. (now () -. t0))
         slabs;
-      if traced then Am_obs.Obs.end_span ())
+      if traced then Am_obs.Obs.end_span ();
+      Am_obs.Counters.observe Am_obs.Obs.tile_seconds (now () -. tile_t0))
     sched.Tiling.sched_tiles;
   Array.iteri
     (fun k q ->
@@ -323,6 +325,7 @@ let flush ctx =
     ctx.chain_rev <- [];
     ctx.chain_len <- 0;
     Am_obs.Counters.incr Am_obs.Obs.chain_flushes;
+    let flush_t0 = now () in
     Am_obs.Obs.span ~cat:Am_obs.Tracer.Loop "chain_flush" (fun () ->
         let saved = save_gbl_live items in
         let seg = ref [] in
@@ -351,7 +354,8 @@ let flush ctx =
               f ())
           items;
         run_segment ();
-        restore_gbl_live saved)
+        restore_gbl_live saved);
+    Am_obs.Counters.observe Am_obs.Obs.chain_flush_seconds (now () -. flush_t0)
   end
 
 let set_lazy ctx ?tile_size enabled =
@@ -628,6 +632,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   else begin
   let t0 = now () in
   let traced = Am_obs.Obs.tracing () in
+  let gc0 = if traced then Some (Gc.quick_stat ()) else None in
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
   let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
   let execute () =
@@ -655,6 +660,14 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
     Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:execute);
   if traced then Am_obs.Obs.end_span ();
   let seconds = now () -. t0 in
+  (match gc0 with
+  | Some g0 ->
+    let g1 = Gc.quick_stat () in
+    Profile.record_gc ctx.profile ~name
+      ~minor:(g1.Gc.minor_collections - g0.Gc.minor_collections)
+      ~major:(g1.Gc.major_collections - g0.Gc.major_collections)
+      ~promoted_words:(g1.Gc.promoted_words -. g0.Gc.promoted_words)
+  | None -> ());
   Profile.record ctx.profile ~name ~seconds ~bytes:(Descr.total_bytes descr)
     ~elements:(Types.range_size range);
   if ctx.dist <> None then

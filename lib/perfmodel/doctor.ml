@@ -1,0 +1,138 @@
+(* Per-loop performance attribution: joins what the runtime measured (the
+   profile's wall time, moved bytes and GC deltas, plus the per-call
+   wall-time histogram) against what the roofline model predicts for the
+   same loop descriptor, and names the loops that fall short.
+
+   The join key is the loop name: the profile accumulates per name, and the
+   descriptor comes from the context's loop trace (first occurrence wins —
+   repeated calls of one handle share a signature).  Measured per-call time
+   uses the histogram median when available, so one cold call or GC pause
+   does not poison the verdict; achieved bandwidth uses the loop's own byte
+   accounting, i.e. the same "useful bytes" the model prices. *)
+
+module Descr = Am_core.Descr
+module Profile = Am_core.Profile
+module Histogram = Am_obs.Histogram
+
+type verdict = Ok | Below_model | Above_model
+
+let verdict_to_string = function
+  | Ok -> "ok"
+  | Below_model -> "below-model"
+  | Above_model -> "above-model (suspicious)"
+
+type row = {
+  dr_name : string;
+  dr_calls : int;
+  dr_seconds : float;  (** total measured wall time *)
+  dr_call_seconds : float;  (** median per-call wall time *)
+  dr_bytes : int;  (** total useful bytes moved *)
+  dr_achieved_gbs : float;
+  dr_model_gbs : float;
+  dr_pct_of_model : float;  (** 100 * achieved / predicted bandwidth *)
+  dr_gc_minor : int;
+  dr_gc_major : int;
+  dr_gc_promoted_words : float;
+  dr_verdict : verdict;
+}
+
+(* Verdict band: the model is analytic, so +-40% is agreement.  Well below
+   means the loop misses its roofline (cache thrash, NUMA, GC, scheduling);
+   well above means the byte accounting or the descriptor is wrong — a loop
+   cannot genuinely beat the machine, so flag it as suspicious rather than
+   celebrate. *)
+let default_ok_band = (60.0, 140.0)
+
+let diagnose ?(device = Machines.xeon_e5_2697v2) ?(style = Model.default_style)
+    ?(ok_band = default_ok_band) ~profile ~loops () =
+  let lo, hi = ok_band in
+  (* First descriptor per loop name. *)
+  let descrs : (string, Descr.loop) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (l : Descr.loop) ->
+      if not (Hashtbl.mem descrs l.Descr.loop_name) then
+        Hashtbl.add descrs l.Descr.loop_name l)
+    loops;
+  List.filter_map
+    (fun (name, (e : Profile.entry)) ->
+      match Hashtbl.find_opt descrs name with
+      | None -> None (* halo-only entry, or never traced: nothing to price *)
+      | Some descr ->
+        if e.Profile.count = 0 || e.Profile.seconds <= 0.0 || e.Profile.bytes = 0 then None
+        else begin
+          let mean_call = e.Profile.seconds /. float_of_int e.Profile.count in
+          let call_seconds =
+            match Profile.seconds_hist profile name with
+            | Some h when Histogram.count h > 0 -> Histogram.p50 h
+            | _ -> mean_call
+          in
+          let bytes_per_call =
+            float_of_int e.Profile.bytes /. float_of_int e.Profile.count
+          in
+          let achieved_gbs =
+            if call_seconds > 0.0 then bytes_per_call /. call_seconds /. 1e9 else 0.0
+          in
+          let model_gbs = Model.loop_bandwidth_gbs device style descr in
+          let pct = if model_gbs > 0.0 then 100.0 *. achieved_gbs /. model_gbs else 0.0 in
+          let v =
+            if pct < lo then Below_model else if pct > hi then Above_model else Ok
+          in
+          Some
+            {
+              dr_name = name;
+              dr_calls = e.Profile.count;
+              dr_seconds = e.Profile.seconds;
+              dr_call_seconds = call_seconds;
+              dr_bytes = e.Profile.bytes;
+              dr_achieved_gbs = achieved_gbs;
+              dr_model_gbs = model_gbs;
+              dr_pct_of_model = pct;
+              dr_gc_minor = e.Profile.gc_minor;
+              dr_gc_major = e.Profile.gc_major;
+              dr_gc_promoted_words = e.Profile.gc_promoted_words;
+              dr_verdict = v;
+            }
+        end)
+    (Profile.to_list profile)
+
+let report ?(device = Machines.xeon_e5_2697v2) rows =
+  let table =
+    Am_util.Table.create
+      ~title:(Printf.sprintf "perf doctor (model: %s)" device.Machines.name)
+      ~header:
+        [
+          "loop"; "calls"; "p50/call"; "GB/s"; "model GB/s"; "% model"; "GC mn/mj";
+          "promoted"; "verdict";
+        ]
+      ~aligns:
+        [
+          Am_util.Table.Left; Right; Right; Right; Right; Right; Right; Right; Left;
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Am_util.Table.add_row table
+        [
+          r.dr_name;
+          string_of_int r.dr_calls;
+          Am_util.Units.seconds r.dr_call_seconds;
+          Printf.sprintf "%.2f" r.dr_achieved_gbs;
+          Printf.sprintf "%.2f" r.dr_model_gbs;
+          Printf.sprintf "%.0f%%" r.dr_pct_of_model;
+          Printf.sprintf "%d/%d" r.dr_gc_minor r.dr_gc_major;
+          (if r.dr_gc_promoted_words = 0.0 then "-"
+           else Printf.sprintf "%.2g" r.dr_gc_promoted_words);
+          verdict_to_string r.dr_verdict;
+        ])
+    rows;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Am_util.Table.render table);
+  let below = List.length (List.filter (fun r -> r.dr_verdict = Below_model) rows) in
+  let above = List.length (List.filter (fun r -> r.dr_verdict = Above_model) rows) in
+  Buffer.add_string b
+    (Printf.sprintf "%d loops: %d ok, %d below model, %d suspicious\n"
+       (List.length rows)
+       (List.length rows - below - above)
+       below above);
+  Buffer.contents b

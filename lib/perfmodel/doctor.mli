@@ -1,0 +1,54 @@
+(** Per-loop performance attribution ("perf doctor").
+
+    Joins measured per-loop wall time, byte counts and GC deltas (from
+    {!Am_core.Profile}) against {!Model} predictions for the same loop
+    descriptors (from the context's {!Am_core.Trace}), yielding one
+    attribution row per loop handle: achieved GB/s, the model's predicted
+    GB/s, the ratio, and a verdict.  Surfaced by the drivers'
+    [--perf-report] flag and by [bench --json]'s [doctor] section. *)
+
+type verdict =
+  | Ok  (** within the agreement band of the analytic model *)
+  | Below_model  (** missing its roofline: cache, NUMA, GC or scheduling *)
+  | Above_model
+      (** "beating" the machine — the byte accounting or descriptor is
+          suspect, not the hardware *)
+
+val verdict_to_string : verdict -> string
+
+type row = {
+  dr_name : string;
+  dr_calls : int;
+  dr_seconds : float;  (** total measured wall time *)
+  dr_call_seconds : float;
+      (** median per-call wall time (histogram p50 when available, else
+          mean), so cold calls and GC pauses don't skew the verdict *)
+  dr_bytes : int;  (** total useful bytes moved *)
+  dr_achieved_gbs : float;
+  dr_model_gbs : float;
+  dr_pct_of_model : float;  (** 100 x achieved / predicted bandwidth *)
+  dr_gc_minor : int;  (** GC deltas accumulate only on traced runs *)
+  dr_gc_major : int;
+  dr_gc_promoted_words : float;
+  dr_verdict : verdict;
+}
+
+val default_ok_band : float * float
+(** Percent-of-model band treated as agreement, [(60., 140.)]. *)
+
+val diagnose :
+  ?device:Machines.device ->
+  ?style:Model.style ->
+  ?ok_band:float * float ->
+  profile:Am_core.Profile.t ->
+  loops:Am_core.Descr.loop list ->
+  unit ->
+  row list
+(** One row per profiled loop that has a descriptor in [loops] (first
+    occurrence per name wins) and did measurable work; ordered by
+    descending total time.  Defaults: the Table-I Xeon node and
+    {!Model.default_style}. *)
+
+val report : ?device:Machines.device -> row list -> string
+(** Rendered attribution table plus a one-line summary.  [device] only
+    labels the title; pass the one given to {!diagnose}. *)

@@ -23,9 +23,39 @@ type t = {
   mutable shutdown : bool;
   mutable failure : exn option;
   mutable domains : unit Domain.t list;
+  (* Occupancy telemetry, live only while span tracing is on (checked once
+     per job by the caller): per-member busy microseconds for the current
+     job and the end timestamp of each member's previous job (for idle
+     spans).  Members write their own slot; the caller reads after the
+     job's completion barrier. *)
+  mutable telemetry : bool;
+  busy_us : float array;
+  last_done_us : float array;
 }
 
-let worker_loop t () =
+(* Worker timelines sit on their own lane block in the tracer so they never
+   collide with the per-rank lanes of the distributed backends; the caller
+   participates as member 0. *)
+let worker_lane_base = 64
+
+(* Time one job body on member [wid]'s lane: an idle span covering the gap
+   since the member's previous job, then a busy span for the body itself. *)
+let run_timed t wid body =
+  let tracer = Am_obs.Obs.tracer in
+  let lane = worker_lane_base + wid in
+  let t0 = Am_obs.Tracer.now_us tracer in
+  let prev = t.last_done_us.(wid) in
+  if prev > 0.0 && prev < t0 then
+    Am_obs.Tracer.complete_span tracer ~lane ~cat:Am_obs.Tracer.Worker ~ts:prev
+      ~dur:(t0 -. prev) "idle";
+  Fun.protect body ~finally:(fun () ->
+      let t1 = Am_obs.Tracer.now_us tracer in
+      Am_obs.Tracer.complete_span tracer ~lane ~cat:Am_obs.Tracer.Worker ~ts:t0
+        ~dur:(t1 -. t0) "busy";
+      t.busy_us.(wid) <- t.busy_us.(wid) +. (t1 -. t0);
+      t.last_done_us.(wid) <- t1)
+
+let worker_loop t wid () =
   let last_epoch = ref 0 in
   Mutex.lock t.mutex;
   let rec loop () =
@@ -36,11 +66,16 @@ let worker_loop t () =
     else begin
       last_epoch := t.epoch;
       let job = t.job in
+      let timed = t.telemetry in
       Mutex.unlock t.mutex;
       let failed =
         match job with
         | None -> None
-        | Some body -> ( try body (); None with e -> Some e)
+        | Some body -> (
+          try
+            (if timed then run_timed t wid body else body ());
+            None
+          with e -> Some e)
       in
       Mutex.lock t.mutex;
       (match failed with
@@ -68,9 +103,12 @@ let create ?size () =
       shutdown = false;
       failure = None;
       domains = [];
+      telemetry = false;
+      busy_us = Array.make size 0.0;
+      last_done_us = Array.make size 0.0;
     }
   in
-  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t.domains <- List.init (size - 1) (fun i -> Domain.spawn (worker_loop t (i + 1)));
   t
 
 let size t = t.size
@@ -90,14 +128,37 @@ let shutdown t =
 let run_on_all t body =
   if t.size = 1 then body ()
   else begin
+    let telemetry = Am_obs.Obs.tracing () in
+    let wall_t0 =
+      if telemetry then begin
+        let tracer = Am_obs.Obs.tracer in
+        (* Lane growth and naming are not domain-safe, so settle both
+           before the broadcast wakes any worker. *)
+        Am_obs.Tracer.reserve_lanes tracer (worker_lane_base + t.size);
+        for i = 0 to t.size - 1 do
+          if Am_obs.Tracer.lane_name tracer (worker_lane_base + i) = None then
+            Am_obs.Tracer.set_lane_name tracer ~lane:(worker_lane_base + i)
+              ("worker " ^ string_of_int i)
+        done;
+        Array.fill t.busy_us 0 t.size 0.0;
+        Am_obs.Tracer.now_us tracer
+      end
+      else 0.0
+    in
     Mutex.lock t.mutex;
     t.job <- Some body;
     t.failure <- None;
+    t.telemetry <- telemetry;
     t.active <- t.size - 1;
     t.epoch <- t.epoch + 1;
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;
-    let caller_exn = try body (); None with e -> Some e in
+    let caller_exn =
+      try
+        (if telemetry then run_timed t 0 body else body ());
+        None
+      with e -> Some e
+    in
     Mutex.lock t.mutex;
     while t.active > 0 do
       Condition.wait t.work_done t.mutex
@@ -105,6 +166,18 @@ let run_on_all t body =
     t.job <- None;
     let worker_exn = t.failure in
     Mutex.unlock t.mutex;
+    if telemetry then begin
+      (* Capacity = wall time x pool size; occupancy is the process-lifetime
+         ratio so repeated jobs converge on a stable utilisation figure. *)
+      let wall_s = (Am_obs.Tracer.now_us Am_obs.Obs.tracer -. wall_t0) /. 1e6 in
+      let busy_s = Array.fold_left ( +. ) 0.0 t.busy_us /. 1e6 in
+      Am_obs.Counters.addf Am_obs.Obs.pool_busy_seconds busy_s;
+      Am_obs.Counters.addf Am_obs.Obs.pool_wall_seconds (wall_s *. float_of_int t.size);
+      let cap = Am_obs.Counters.valuef Am_obs.Obs.pool_wall_seconds in
+      if cap > 0.0 then
+        Am_obs.Counters.set Am_obs.Obs.pool_occupancy
+          (Am_obs.Counters.valuef Am_obs.Obs.pool_busy_seconds /. cap)
+    end;
     match (caller_exn, worker_exn) with
     | Some e, _ -> raise e
     | None, Some e -> raise e

@@ -11,6 +11,14 @@ type t
     [Domain.recommended_domain_count ()]). *)
 val create : ?size:int -> unit -> t
 
+(** First tracer lane used for worker occupancy timelines.  While span
+    tracing is enabled, every pool job records a busy span per member (and
+    an idle span covering the gap since that member's previous job) on lane
+    [worker_lane_base + member], labelled "worker N", and updates the
+    [pool.busy_seconds] / [pool.wall_seconds] / [pool.occupancy] cells in
+    [Am_obs.Obs].  With tracing off the dispatch path is unchanged. *)
+val worker_lane_base : int
+
 (** Number of workers including the caller. *)
 val size : t -> int
 

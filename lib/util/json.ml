@@ -1,0 +1,179 @@
+(* Recursive-descent JSON reader over a string.  The repository writes its
+   own JSON by hand (bench dumps, counter snapshots), so this reader only
+   needs the standard value grammar; numbers become floats, \uXXXX escapes
+   are decoded to UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Fail of int * string
+
+let fail pos msg = raise (Fail (pos, msg))
+
+type state = { src : string; mutable pos : int }
+
+let peek s = if s.pos < String.length s.src then Some s.src.[s.pos] else None
+
+let skip_ws s =
+  while
+    s.pos < String.length s.src
+    && match s.src.[s.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    s.pos <- s.pos + 1
+  done
+
+let expect s c =
+  match peek s with
+  | Some c' when c' = c -> s.pos <- s.pos + 1
+  | _ -> fail s.pos (Printf.sprintf "expected %C" c)
+
+let literal s word v =
+  let n = String.length word in
+  if s.pos + n <= String.length s.src && String.sub s.src s.pos n = word then begin
+    s.pos <- s.pos + n;
+    v
+  end
+  else fail s.pos (Printf.sprintf "expected %s" word)
+
+let hex_digit pos = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | _ -> fail pos "expected hex digit"
+
+let utf8_add buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_string s =
+  expect s '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if s.pos >= String.length s.src then fail s.pos "unterminated string";
+    let c = s.src.[s.pos] in
+    s.pos <- s.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+      if s.pos >= String.length s.src then fail s.pos "unterminated escape";
+      let e = s.src.[s.pos] in
+      s.pos <- s.pos + 1;
+      (match e with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '/' -> Buffer.add_char buf '/'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\012'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'u' ->
+        if s.pos + 4 > String.length s.src then fail s.pos "truncated \\u escape";
+        let u = ref 0 in
+        for i = 0 to 3 do
+          u := (!u * 16) + hex_digit s.pos s.src.[s.pos + i]
+        done;
+        s.pos <- s.pos + 4;
+        utf8_add buf !u
+      | _ -> fail (s.pos - 1) "bad escape");
+      loop ())
+    | c -> Buffer.add_char buf c; loop ()
+  in
+  loop ()
+
+let parse_number s =
+  let start = s.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while s.pos < String.length s.src && is_num_char s.src.[s.pos] do
+    s.pos <- s.pos + 1
+  done;
+  let text = String.sub s.src start (s.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Num f
+  | None -> fail start (Printf.sprintf "bad number %S" text)
+
+let rec parse_value s =
+  skip_ws s;
+  match peek s with
+  | None -> fail s.pos "unexpected end of input"
+  | Some '"' -> Str (parse_string s)
+  | Some '{' ->
+    s.pos <- s.pos + 1;
+    skip_ws s;
+    if peek s = Some '}' then begin s.pos <- s.pos + 1; Obj [] end
+    else begin
+      let rec members acc =
+        skip_ws s;
+        let key = parse_string s in
+        skip_ws s;
+        expect s ':';
+        let v = parse_value s in
+        skip_ws s;
+        match peek s with
+        | Some ',' -> s.pos <- s.pos + 1; members ((key, v) :: acc)
+        | Some '}' -> s.pos <- s.pos + 1; Obj (List.rev ((key, v) :: acc))
+        | _ -> fail s.pos "expected ',' or '}'"
+      in
+      members []
+    end
+  | Some '[' ->
+    s.pos <- s.pos + 1;
+    skip_ws s;
+    if peek s = Some ']' then begin s.pos <- s.pos + 1; List [] end
+    else begin
+      let rec elements acc =
+        let v = parse_value s in
+        skip_ws s;
+        match peek s with
+        | Some ',' -> s.pos <- s.pos + 1; elements (v :: acc)
+        | Some ']' -> s.pos <- s.pos + 1; List (List.rev (v :: acc))
+        | _ -> fail s.pos "expected ',' or ']'"
+      in
+      elements []
+    end
+  | Some 't' -> literal s "true" (Bool true)
+  | Some 'f' -> literal s "false" (Bool false)
+  | Some 'n' -> literal s "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number s
+  | Some c -> fail s.pos (Printf.sprintf "unexpected %C" c)
+
+let parse src =
+  let s = { src; pos = 0 } in
+  match
+    let v = parse_value s in
+    skip_ws s;
+    if s.pos < String.length src then fail s.pos "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (pos, msg) -> Error (Printf.sprintf "offset %d: %s" pos msg)
+
+let of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | src -> parse src
+  | exception Sys_error msg -> Error msg
+
+let member name = function
+  | Obj members -> List.assoc_opt name members
+  | _ -> None
+
+let to_num = function Num f -> Some f | _ -> None
+let to_string = function Str s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_obj = function Obj m -> Some m | _ -> None

@@ -1,0 +1,30 @@
+(** Minimal JSON reader.
+
+    Just enough to load the benchmark dumps ([BENCH*.json]) and counter
+    snapshots this repository writes itself: the full value grammar with
+    numbers parsed as floats.  No dependency beyond the standard library;
+    not a streaming parser — inputs are whole files of at most a few MB. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** members in source order, duplicates kept *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed).  [Error msg]
+    carries the byte offset of the failure. *)
+
+val of_file : string -> (t, string) result
+
+(** {1 Access helpers} — all total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First member of that name in an object. *)
+
+val to_num : t -> float option
+val to_string : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

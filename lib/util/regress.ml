@@ -1,0 +1,47 @@
+type summary = {
+  n : int;
+  median : float;
+  p25 : float;
+  p75 : float;
+  min : float;
+  max : float;
+}
+
+let summarize samples =
+  if Array.length samples = 0 then invalid_arg "Regress.summarize: empty";
+  {
+    n = Array.length samples;
+    median = Stats.median samples;
+    p25 = Stats.percentile samples 25.0;
+    p75 = Stats.percentile samples 75.0;
+    min = Array.fold_left Float.min samples.(0) samples;
+    max = Array.fold_left Float.max samples.(0) samples;
+  }
+
+let iqr s = s.p75 -. s.p25
+
+let default_threshold = 0.15
+
+type verdict = {
+  v_name : string;
+  v_base : summary;
+  v_cur : summary;
+  v_ratio : float;
+  v_regressed : bool;
+}
+
+let gate ?(threshold = default_threshold) ~name ~baseline ~current () =
+  let ratio =
+    if baseline.median > 0.0 then current.median /. baseline.median else 1.0
+  in
+  (* Both conditions must hold: a relative slowdown past the threshold and
+     an absolute shift larger than the baseline's spread.  With a tight
+     baseline (IQR near zero) the ratio test alone decides. *)
+  let regressed =
+    ratio > 1.0 +. threshold
+    && current.median -. baseline.median > iqr baseline
+  in
+  { v_name = name; v_base = baseline; v_cur = current; v_ratio = ratio;
+    v_regressed = regressed }
+
+let regressed verdicts = List.filter (fun v -> v.v_regressed) verdicts

@@ -1,0 +1,39 @@
+(** Statistical regression gate for benchmark series.
+
+    The bench harness records [n] repetitions per series and summarizes
+    them as median and quartiles; a series has regressed against a
+    baseline when the median slowed down by more than the relative
+    threshold AND the absolute slowdown exceeds the baseline's
+    inter-quartile range.  The second condition keeps machine noise from
+    tripping the gate: a shift smaller than the baseline's own spread is
+    not a signal, whatever the ratio says. *)
+
+type summary = {
+  n : int;
+  median : float;
+  p25 : float;
+  p75 : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val iqr : summary -> float
+
+(** Default relative threshold: 15% on the median. *)
+val default_threshold : float
+
+type verdict = {
+  v_name : string;
+  v_base : summary;
+  v_cur : summary;
+  v_ratio : float;  (** current median / baseline median *)
+  v_regressed : bool;
+}
+
+val gate :
+  ?threshold:float -> name:string -> baseline:summary -> current:summary -> unit -> verdict
+
+val regressed : verdict list -> verdict list

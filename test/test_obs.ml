@@ -8,6 +8,7 @@
 
 module Tracer = Am_obs.Tracer
 module Counters = Am_obs.Counters
+module Histogram = Am_obs.Histogram
 module Obs = Am_obs.Obs
 module Profile = Am_core.Profile
 
@@ -112,12 +113,33 @@ let test_chrome_json_golden () =
   Tracer.end_span t ();
   let expected =
     "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+    ^ "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"active_mesh\"}},\n"
+    ^ "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"rank 0\"}},\n"
+    ^ "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":{\"name\":\"rank 1\"}},\n"
     ^ "{\"name\":\"outer\",\"cat\":\"loop\",\"ph\":\"X\",\"ts\":1.000,\"dur\":4.000,\"pid\":0,\"tid\":0},\n"
     ^ "{\"name\":\"inner\",\"cat\":\"plan\",\"ph\":\"X\",\"ts\":2.000,\"dur\":1.000,\"pid\":0,\"tid\":0,\"args\":{\"bytes\":64.000}},\n"
     ^ "{\"name\":\"isend\",\"cat\":\"halo_post\",\"ph\":\"i\",\"ts\":4.000,\"dur\":0.000,\"pid\":0,\"tid\":1,\"s\":\"t\"}\n"
     ^ "]}\n"
   in
   Alcotest.(check string) "chrome trace golden" expected (Tracer.to_chrome_json t)
+
+(* Explicit lane names land in the thread_name metadata events, and survive
+   [clear] (lane identity outlives the ring contents). *)
+let test_chrome_lane_names () =
+  let t = Tracer.create ~clock:(stepping_clock ()) () in
+  Tracer.set_enabled t true;
+  Tracer.set_process_name t "bench";
+  Tracer.set_lane_name t ~lane:64 "worker 0";
+  Tracer.instant t ~lane:64 ~cat:Tracer.Worker "busy";
+  let json = Tracer.to_chrome_json t in
+  Alcotest.(check bool) "process named" true
+    (Str_contains.contains json "{\"name\":\"bench\"}");
+  Alcotest.(check bool) "lane named" true
+    (Str_contains.contains json
+       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":64,\"args\":{\"name\":\"worker 0\"}}");
+  Tracer.clear t;
+  Alcotest.(check (option string)) "lane name survives clear" (Some "worker 0")
+    (Tracer.lane_name t 64)
 
 let test_chrome_json_escaping () =
   let t = Tracer.create ~clock:(stepping_clock ()) () in
@@ -144,6 +166,152 @@ let test_disabled_no_allocation () =
   (* slack covers the boxed floats of the two Gc.minor_words calls *)
   Alcotest.(check bool) "no per-call allocation" true (w1 -. w0 < 64.0);
   Alcotest.(check int) "nothing recorded" 0 (Tracer.recorded t)
+
+(* ---- Histogram cells --------------------------------------------------- *)
+
+(* The fixed log-bucketed layout: boundaries grow by exactly 2^(1/4), a
+   value sitting on a boundary is inclusive (lands below), a value just
+   above it moves one bucket up, and the pathological inputs the record
+   path must absorb (zero, negatives, NaN, huge) land in the edge
+   buckets. *)
+let test_hist_boundaries () =
+  (* geometric layout *)
+  for i = 1 to Histogram.n_buckets - 2 do
+    let ratio = Histogram.bucket_upper i /. Histogram.bucket_upper (i - 1) in
+    Alcotest.(check (float 1e-9)) "boundary ratio" Histogram.bucket_ratio ratio
+  done;
+  (* inclusive upper bounds: the boundary value itself stays in bucket i *)
+  for i = 0 to Histogram.n_buckets - 2 do
+    let b = Histogram.bucket_upper i in
+    Alcotest.(check int) "boundary inclusive" i (Histogram.bucket_index b);
+    Alcotest.(check int) "just above moves up" (i + 1)
+      (Histogram.bucket_index (b *. 1.0000001));
+    Alcotest.(check bool) "lower < upper" true
+      (Histogram.bucket_lower i < Histogram.bucket_upper i)
+  done;
+  (* edge inputs never raise and land in the edge buckets *)
+  List.iter
+    (fun v -> Alcotest.(check int) "degenerate to bucket 0" 0 (Histogram.bucket_index v))
+    [ 0.0; -1.0; Float.nan; 1e-12; Float.neg_infinity ];
+  Alcotest.(check int) "huge to overflow"
+    (Histogram.n_buckets - 1)
+    (Histogram.bucket_index 1e9);
+  Alcotest.(check int) "inf to overflow"
+    (Histogram.n_buckets - 1)
+    (Histogram.bucket_index Float.infinity);
+  Alcotest.(check (float 0.0)) "overflow open-ended" Float.infinity
+    (Histogram.bucket_upper (Histogram.n_buckets - 1))
+
+(* Quantiles on a known distribution: 100 samples of 1ms and one outlier
+   of 1s.  The median must sit within one bucket ratio of 1ms, p99 too
+   (rank 100 of 101 is still a 1ms sample), and max is exact. *)
+let test_hist_quantiles () =
+  let h = Histogram.create "t" in
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Histogram.p50 h);
+  for _ = 1 to 100 do
+    Histogram.record h 1e-3
+  done;
+  Histogram.record h 1.0;
+  Alcotest.(check int) "count" 101 (Histogram.count h);
+  Alcotest.(check (float 1e-12)) "min exact" 1e-3 (Histogram.min_value h);
+  Alcotest.(check (float 1e-12)) "max exact" 1.0 (Histogram.max_value h);
+  let within_bucket got truth =
+    got >= truth -. 1e-12 && got <= truth *. Histogram.bucket_ratio +. 1e-12
+  in
+  Alcotest.(check bool) "p50 ~ 1ms" true (within_bucket (Histogram.p50 h) 1e-3);
+  Alcotest.(check bool) "p99 ~ 1ms" true (within_bucket (Histogram.p99 h) 1e-3);
+  Alcotest.(check (float 1e-12)) "q=1 is max" 1.0 (Histogram.quantile h 1.0);
+  Alcotest.(check (float 1e-12)) "sum" (0.1 +. 1.0) (Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "mean" (1.1 /. 101.0) (Histogram.mean h)
+
+(* The record path is always-on in every par_loop, so it must not allocate.
+   Samples are literal constants: a float computed at the call site is
+   boxed by the caller, which would charge the measurement for an
+   allocation that is not the record path's. *)
+let test_hist_no_allocation () =
+  let h = Histogram.create "hot" in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 2_500 do
+    Histogram.record h 1e-6;
+    Histogram.record h 5e-4;
+    Histogram.record h 0.2;
+    Histogram.record h 1e3
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check bool) "no per-record allocation" true (w1 -. w0 < 64.0);
+  Alcotest.(check int) "all recorded" 10_000 (Histogram.count h)
+
+let test_hist_reset () =
+  let h = Histogram.create "r" in
+  Histogram.record h 0.5;
+  Histogram.record h 2.0;
+  Histogram.reset h;
+  Alcotest.(check int) "count zero" 0 (Histogram.count h);
+  Alcotest.(check (float 0.0)) "sum zero" 0.0 (Histogram.sum h);
+  Alcotest.(check (float 0.0)) "min zero when empty" 0.0 (Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "max zero when empty" 0.0 (Histogram.max_value h);
+  Alcotest.(check (float 0.0)) "quantile zero" 0.0 (Histogram.p90 h);
+  Alcotest.(check bool) "no live buckets" true
+    ((Histogram.snapshot h).Histogram.s_buckets = []);
+  (* reusable after reset *)
+  Histogram.record h 3.0;
+  Alcotest.(check (float 1e-12)) "records again" 3.0 (Histogram.max_value h);
+  (* registry reset covers histogram cells too *)
+  let reg = Counters.create () in
+  let rh = Counters.histogram reg "lat" in
+  Counters.observe rh 1.0;
+  Counters.reset reg;
+  Alcotest.(check int) "registry reset clears hist" 0 (Histogram.count rh)
+
+(* A registry holding a histogram next to plain cells must survive the
+   to_json/parse_json round trip structurally, and kind clashes between
+   histograms and counters/gauges are rejected both ways. *)
+let test_hist_json_round_trip () =
+  let reg = Counters.create () in
+  let c = Counters.counter reg "plain.counter" in
+  let h = Counters.histogram reg ~unit_:"s" "loop.seconds" in
+  let empty = Counters.histogram reg "empty.hist" in
+  ignore empty;
+  Counters.add c 7;
+  List.iter (Counters.observe h) [ 1e-6; 1e-6; 5e-4; 0.2; 1e3 ];
+  let parsed = Counters.parse_json (Counters.to_json reg) in
+  Alcotest.(check bool) "round trip equals snapshot" true
+    (parsed = Counters.snapshot reg);
+  (match List.assoc "loop.seconds" parsed with
+  | Counters.Hist s ->
+    let h' = Histogram.create "restored" in
+    Histogram.restore h' s;
+    Alcotest.(check int) "restored count" (Histogram.count h) (Histogram.count h');
+    Alcotest.(check (float 1e-12)) "restored p50" (Histogram.p50 h) (Histogram.p50 h');
+    Alcotest.(check (float 1e-12)) "restored max" (Histogram.max_value h)
+      (Histogram.max_value h')
+  | _ -> Alcotest.fail "loop.seconds did not parse as a histogram");
+  Alcotest.check_raises "histogram/counter clash"
+    (Invalid_argument "Counters: loop.seconds already registered as a histogram")
+    (fun () -> ignore (Counters.counter reg "loop.seconds"));
+  Alcotest.check_raises "counter/histogram clash"
+    (Invalid_argument "Counters: plain.counter already registered as a counter")
+    (fun () -> ignore (Counters.histogram reg "plain.counter"))
+
+(* Property: against a sorted-array nearest-rank oracle, the histogram
+   quantile is never below the true quantile and at most one bucket ratio
+   above it (that is the documented resolution guarantee). *)
+let prop_hist_quantile_vs_oracle =
+  let open QCheck in
+  let sample = map (fun x -> Float.pow 10.0 ((x *. 10.0) -. 8.0)) (float_bound_inclusive 1.0) in
+  let gen = pair (list_of_size Gen.(1 -- 200) sample) (float_bound_inclusive 1.0) in
+  Test.make ~name:"histogram quantile vs sorted-array oracle" ~count:300 gen
+    (fun (samples, q) ->
+      let h = Histogram.create "prop" in
+      List.iter (Histogram.record h) samples;
+      let sorted = Array.of_list samples in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let oracle = sorted.(rank - 1) in
+      let est = Histogram.quantile h q in
+      est >= oracle *. (1.0 -. 1e-9)
+      && est <= oracle *. Histogram.bucket_ratio *. (1.0 +. 1e-9))
 
 (* ---- Counter registry ------------------------------------------------- *)
 
@@ -250,6 +418,18 @@ let () =
         [
           Alcotest.test_case "golden export" `Quick test_chrome_json_golden;
           Alcotest.test_case "name escaping" `Quick test_chrome_json_escaping;
+          Alcotest.test_case "lane names" `Quick test_chrome_lane_names;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_hist_boundaries;
+          Alcotest.test_case "quantiles on known data" `Quick test_hist_quantiles;
+          Alcotest.test_case "record allocates nothing" `Quick
+            test_hist_no_allocation;
+          Alcotest.test_case "reset semantics" `Quick test_hist_reset;
+          Alcotest.test_case "registry json round trip" `Quick
+            test_hist_json_round_trip;
+          QCheck_alcotest.to_alcotest prop_hist_quantile_vs_oracle;
         ] );
       ( "disabled",
         [ Alcotest.test_case "zero allocation" `Quick test_disabled_no_allocation ] );

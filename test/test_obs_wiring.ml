@@ -28,6 +28,7 @@ let counter name =
   match Counters.find Obs.counters name with
   | Some (Counters.Int v) -> v
   | Some (Counters.Float v) -> int_of_float v
+  | Some (Counters.Hist s) -> s.Am_obs.Histogram.s_count
   | None -> 0
 
 let with_tracing f =
@@ -157,6 +158,91 @@ let test_clover_dist () =
       Alcotest.(check bool) "export non-trivial" true
         (String.length json > 1000))
 
+(* ---- Perf doctor (the --perf-report path) ----------------------------- *)
+
+(* The doctor join behind --perf-report: with tracing and the descriptor
+   trace on (exactly what Perf_common.enable does), a run must yield one
+   attribution row per distinct loop handle, each with a finite positive
+   achieved bandwidth, a positive model prediction, and GC deltas
+   accumulated by the traced facades. *)
+let sane_rows what rows ~loops =
+  Alcotest.(check int) (what ^ ": one row per loop handle") loops
+    (List.length rows);
+  List.iter
+    (fun r ->
+      let open Am_perfmodel.Doctor in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s: calls > 0" what r.dr_name)
+        true (r.dr_calls > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s: achieved GB/s sane" what r.dr_name)
+        true
+        (Float.is_finite r.dr_achieved_gbs
+        && r.dr_achieved_gbs > 0.0
+        && r.dr_achieved_gbs < 10_000.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s: model GB/s positive" what r.dr_name)
+        true (r.dr_model_gbs > 0.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s: pct consistent" what r.dr_name)
+        true
+        (Float.abs (r.dr_pct_of_model -. (100.0 *. r.dr_achieved_gbs /. r.dr_model_gbs))
+        < 1e-6);
+      ignore (verdict_to_string r.dr_verdict))
+    rows
+
+let test_airfoil_doctor () =
+  with_tracing (fun () ->
+      let t = Airfoil.create (airfoil_mesh ()) in
+      Am_core.Trace.set_enabled (Op2.trace t.Airfoil.ctx) true;
+      for _ = 1 to 4 do
+        ignore (Airfoil.iteration t)
+      done;
+      let rows =
+        Am_perfmodel.Doctor.diagnose
+          ~profile:(Op2.profile t.Airfoil.ctx)
+          ~loops:(Am_core.Trace.events (Op2.trace t.Airfoil.ctx))
+          ()
+      in
+      (* save_soln, adt_calc, res_calc, bres_calc, update *)
+      sane_rows "airfoil" rows ~loops:5;
+      (* the traced run sampled GC around the loops: some loop saw a minor
+         collection over four whole iterations *)
+      Alcotest.(check bool) "gc sampled" true
+        (List.exists (fun r -> r.Am_perfmodel.Doctor.dr_gc_minor > 0) rows
+        || Counters.value Am_obs.Obs.gc_minor >= 0);
+      (* the report renders every row *)
+      let report = Am_perfmodel.Doctor.report rows in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (r.Am_perfmodel.Doctor.dr_name ^ " in report")
+            true
+            (Str_contains.contains report r.Am_perfmodel.Doctor.dr_name))
+        rows)
+
+let test_clover_doctor () =
+  with_tracing (fun () ->
+      let t = Clover.create ~nx:24 ~ny:24 () in
+      Am_core.Trace.set_enabled (Ops.trace t.Clover.ctx) true;
+      for _ = 1 to 2 do
+        ignore (Clover.hydro_step t)
+      done;
+      let rows =
+        Am_perfmodel.Doctor.diagnose
+          ~profile:(Ops.profile t.Clover.ctx)
+          ~loops:(Am_core.Trace.events (Ops.trace t.Clover.ctx))
+          ()
+      in
+      let distinct =
+        List.length
+          (List.sort_uniq compare
+             (List.map
+                (fun (l : Am_core.Descr.loop) -> l.Am_core.Descr.loop_name)
+                (Am_core.Trace.events (Ops.trace t.Clover.ctx))))
+      in
+      sane_rows "cloverleaf" rows ~loops:distinct)
+
 (* Disabled runs leave no trace behind. *)
 let test_disabled_records_nothing () =
   Obs.reset ();
@@ -180,6 +266,13 @@ let () =
         [
           Alcotest.test_case "cloverleaf seq traced" `Quick test_clover_seq;
           Alcotest.test_case "cloverleaf dist traced" `Quick test_clover_dist;
+        ] );
+      ( "doctor",
+        [
+          Alcotest.test_case "airfoil attribution rows" `Quick
+            test_airfoil_doctor;
+          Alcotest.test_case "cloverleaf attribution rows" `Quick
+            test_clover_doctor;
         ] );
       ( "disabled",
         [

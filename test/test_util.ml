@@ -144,6 +144,103 @@ let test_units_bandwidth () =
   check_float "GB/s" 2.0 (Units.bandwidth_gbs 2_000_000_000 1.0);
   check_float "zero time" 0.0 (Units.bandwidth_gbs 100 0.0)
 
+(* ---- Regression gate ---- *)
+
+let summary_of samples = Am_util.Regress.summarize (Array.of_list samples)
+
+(* A clean 2x median slowdown against a tight baseline must trip the gate;
+   the same measurement within the threshold must not.  This pins the exact
+   semantics the bench --compare smoke exercises end-to-end (where the
+   injected handicap is larger purely to ride out machine noise). *)
+let test_regress_gate_trips_on_2x () =
+  let baseline = summary_of [ 0.010; 0.010; 0.011; 0.010; 0.011 ] in
+  let v =
+    Am_util.Regress.gate ~name:"s" ~baseline
+      ~current:(summary_of [ 0.020; 0.021; 0.020; 0.022; 0.020 ])
+      ()
+  in
+  Alcotest.(check bool) "2x regressed" true v.Am_util.Regress.v_regressed;
+  Alcotest.(check bool) "ratio ~2" true
+    (v.Am_util.Regress.v_ratio > 1.8 && v.Am_util.Regress.v_ratio < 2.2);
+  let ok =
+    Am_util.Regress.gate ~name:"s" ~baseline
+      ~current:(summary_of [ 0.0105; 0.0108; 0.0102; 0.0110; 0.0101 ])
+      ()
+  in
+  Alcotest.(check bool) "within threshold ok" false ok.Am_util.Regress.v_regressed
+
+(* The IQR guard: a ratio past the threshold whose absolute shift is inside
+   the baseline's own spread is noise, not a regression. *)
+let test_regress_gate_iqr_guard () =
+  let noisy_baseline = summary_of [ 0.010; 0.030; 0.011; 0.028; 0.012 ] in
+  let v =
+    Am_util.Regress.gate ~name:"s" ~baseline:noisy_baseline
+      ~current:(summary_of [ 0.014; 0.015; 0.014; 0.016; 0.015 ])
+      ()
+  in
+  Alcotest.(check bool) "inside baseline spread" false
+    v.Am_util.Regress.v_regressed;
+  (* custom threshold: 2x trips a 50% gate, not a 120% one *)
+  let baseline = summary_of [ 0.010; 0.010; 0.010 ] in
+  let current = summary_of [ 0.020; 0.020; 0.020 ] in
+  let at t =
+    (Am_util.Regress.gate ~threshold:t ~name:"s" ~baseline ~current ())
+      .Am_util.Regress.v_regressed
+  in
+  Alcotest.(check bool) "trips 50% gate" true (at 0.5);
+  Alcotest.(check bool) "not a 120% gate" false (at 1.2)
+
+let test_regress_summary () =
+  let s = summary_of [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  Alcotest.(check int) "n" 5 s.Am_util.Regress.n;
+  check_float "median" 3.0 s.Am_util.Regress.median;
+  check_float "min" 1.0 s.Am_util.Regress.min;
+  check_float "max" 5.0 s.Am_util.Regress.max;
+  Alcotest.(check bool) "iqr positive" true (Am_util.Regress.iqr s > 0.0);
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Regress.summarize: empty") (fun () ->
+      ignore (summary_of []))
+
+(* ---- JSON reader ---- *)
+
+let test_json_parse_bench_shape () =
+  let src =
+    {|{ "schema": "bench-series/1", "repeat": 10,
+       "series": { "a": { "median": 1.5e-3, "n": 10 },
+                   "b": { "median": 2.0, "n": 4 } },
+       "tags": [1, 2, true, null, "x"] }|}
+  in
+  match Am_util.Json.parse src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok json ->
+    let open Am_util.Json in
+    Alcotest.(check (option string)) "schema" (Some "bench-series/1")
+      (Option.bind (member "schema" json) to_string);
+    Alcotest.(check (option (float 1e-12))) "repeat" (Some 10.0)
+      (Option.bind (member "repeat" json) to_num);
+    let median name =
+      Option.bind (member "series" json) (member name)
+      |> Fun.flip Option.bind (member "median")
+      |> Fun.flip Option.bind to_num
+    in
+    Alcotest.(check (option (float 1e-12))) "nested median" (Some 0.0015)
+      (median "a");
+    Alcotest.(check (option (float 1e-12))) "missing member" None (median "zz");
+    (match Option.bind (member "tags" json) to_list with
+    | Some [ Num 1.0; Num 2.0; Bool true; Null; Str "x" ] -> ()
+    | _ -> Alcotest.fail "list shape");
+    (* shape mismatches are total *)
+    Alcotest.(check (option string)) "num is not a string" None
+      (Option.bind (member "repeat" json) to_string)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun src ->
+      match Am_util.Json.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed %S" src)
+    [ ""; "{"; "{\"a\": }"; "[1,]"; "{\"a\": 1} trailing"; "nul" ]
+
 (* ---- Properties ---- *)
 
 let prop_percentile_monotone =
@@ -212,6 +309,18 @@ let () =
         [
           Alcotest.test_case "seconds" `Quick test_units_seconds;
           Alcotest.test_case "bandwidth" `Quick test_units_bandwidth;
+        ] );
+      ( "regress",
+        [
+          Alcotest.test_case "gate trips on 2x" `Quick test_regress_gate_trips_on_2x;
+          Alcotest.test_case "iqr guard and thresholds" `Quick
+            test_regress_gate_iqr_guard;
+          Alcotest.test_case "summary" `Quick test_regress_summary;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "bench dump shape" `Quick test_json_parse_bench_shape;
+          Alcotest.test_case "malformed rejected" `Quick test_json_parse_errors;
         ] );
       ( "properties",
         [
