@@ -407,6 +407,95 @@ let sanitizer_overhead () =
   let check_s = time check iters in
   (seq_s, check_s, check_s.Am_util.Regress.median /. seq_s.Am_util.Regress.median)
 
+(* Footprint-inference accounting: what the once-per-signature probing
+   costs (signatures, probe kernel runs, seconds) against what the proven
+   facts buy back — the Check backend's light mode (per-element guards
+   reduced to NaN checks on loops the probe proved exact) and the
+   distributed backends' tightened halo exchanges. *)
+type analysis_row = {
+  an_signatures : int;
+  an_kernel_runs : int;
+  an_infer_seconds : float;
+  an_light_loops : int;
+  an_light_elements : int;
+  an_check_light : Am_util.Regress.summary; (* Check, inference on *)
+  an_check_full : Am_util.Regress.summary; (* Check, inference off *)
+  an_halo_depth_saved : int;
+  an_halo_exchanges_saved : int;
+}
+
+let analysis_accounting () =
+  let time app iters =
+    ignore (Am_airfoil.App.iteration app);
+    Am_util.Regress.summarize
+      (Array.init iters (fun _ ->
+           let t0 = Unix.gettimeofday () in
+           ignore (Am_airfoil.App.iteration app);
+           Unix.gettimeofday () -. t0))
+  in
+  let mesh = Am_mesh.Umesh.generate_airfoil ~nx:48 ~ny:32 () in
+  let iters = 10 in
+  (* Check with inference off: every loop pays the full per-element guard. *)
+  let full = Am_airfoil.App.create mesh in
+  Am_op2.Op2.set_infer full.Am_airfoil.App.ctx false;
+  Am_op2.Op2.set_backend full.Am_airfoil.App.ctx Am_op2.Op2.Check;
+  let an_check_full = time full iters in
+  (* Check with inference on (the default): proved-clean loops run light. *)
+  let sig0 = Am_obs.Counters.value Am_obs.Obs.infer_signatures in
+  let run0 = Am_obs.Counters.value Am_obs.Obs.infer_kernel_runs in
+  let sec0 = Am_obs.Counters.valuef Am_obs.Obs.infer_seconds in
+  let loops0 = Am_obs.Counters.value Am_obs.Obs.check_light_loops in
+  let elems0 = Am_obs.Counters.value Am_obs.Obs.check_light_elements in
+  let light = Am_airfoil.App.create mesh in
+  Am_op2.Op2.set_backend light.Am_airfoil.App.ctx Am_op2.Op2.Check;
+  let an_check_light = time light iters in
+  (* Tightened halos: a short distributed CloverLeaf run; the counters say
+     how many ghost rows and whole exchanges the observed extents removed
+     versus the declared stencils. *)
+  let depth0 = Am_obs.Counters.value Am_obs.Obs.halo_depth_saved in
+  let exch0 = Am_obs.Counters.value Am_obs.Obs.halo_exchanges_saved in
+  let cl = Am_cloverleaf.App.create ~nx:96 ~ny:96 () in
+  Am_ops.Ops.partition cl.Am_cloverleaf.App.ctx ~n_ranks:4 ~ref_ysize:96;
+  for _ = 1 to 2 do
+    ignore (Am_cloverleaf.App.hydro_step cl)
+  done;
+  {
+    an_signatures = Am_obs.Counters.value Am_obs.Obs.infer_signatures - sig0;
+    an_kernel_runs = Am_obs.Counters.value Am_obs.Obs.infer_kernel_runs - run0;
+    an_infer_seconds = Am_obs.Counters.valuef Am_obs.Obs.infer_seconds -. sec0;
+    an_light_loops = Am_obs.Counters.value Am_obs.Obs.check_light_loops - loops0;
+    an_light_elements =
+      Am_obs.Counters.value Am_obs.Obs.check_light_elements - elems0;
+    an_check_light;
+    an_check_full;
+    an_halo_depth_saved =
+      Am_obs.Counters.value Am_obs.Obs.halo_depth_saved - depth0;
+    an_halo_exchanges_saved =
+      Am_obs.Counters.value Am_obs.Obs.halo_exchanges_saved - exch0;
+  }
+
+let print_analysis a =
+  let open Am_util.Regress in
+  Printf.printf
+    "footprint inference: %d signature(s) probed in %s (%d probe kernel runs)\n"
+    a.an_signatures
+    (Am_util.Units.seconds a.an_infer_seconds)
+    a.an_kernel_runs;
+  Printf.printf
+    "check light mode (airfoil iteration, n=%d): full %s vs light %s \
+     (%.2fx; %d loop calls, %d elements lightened)\n"
+    a.an_check_full.n
+    (Am_util.Units.seconds a.an_check_full.median)
+    (Am_util.Units.seconds a.an_check_light.median)
+    (if a.an_check_light.median > 0.0 then
+       a.an_check_full.median /. a.an_check_light.median
+     else 0.0)
+    a.an_light_loops a.an_light_elements;
+  Printf.printf
+    "dist tightening (cloverleaf mpi, 2 steps): %d ghost row(s) and %d whole \
+     exchange(s) dropped\n\n%!"
+    a.an_halo_depth_saved a.an_halo_exchanges_saved
+
 (* Attribution rows for the JSON dump's "doctor" section: a short traced
    Airfoil run (tracing also makes the facades sample per-loop GC deltas),
    joined against the perfmodel by [Doctor.diagnose]. *)
@@ -462,7 +551,7 @@ let fprint_doctor oc rows =
    nanoseconds per run, plus the exposed/overlapped halo-seconds split of
    the distributed proxies.  Hand-rolled JSON — names contain only
    [a-z0-9_/]. *)
-let write_json path estimates halo sanitizer tiling recovery doctor =
+let write_json path estimates halo sanitizer analysis tiling recovery doctor =
   let oc = open_out path in
   output_string oc "{\n  \"unit\": \"ns_per_run\",\n  \"results\": {\n";
   let n = List.length estimates in
@@ -499,6 +588,19 @@ let write_json path estimates halo sanitizer tiling recovery doctor =
      \"airfoil_check_seconds\": %.9f, \"overhead_x\": %.3f, \"n\": %d },\n"
     seq_s.Am_util.Regress.median check_s.Am_util.Regress.median overhead
     seq_s.Am_util.Regress.n;
+  Printf.fprintf oc
+    "  \"analysis\": { \"infer_signatures\": %d, \"infer_kernel_runs\": %d, \
+     \"infer_seconds\": %.9f, \"check_full_seconds\": %.9f, \
+     \"check_light_seconds\": %.9f, \"check_seconds_saved\": %.9f, \
+     \"light_loops\": %d, \"light_elements\": %d, \
+     \"halo_depth_saved_rows\": %d, \"halo_exchanges_saved\": %d },\n"
+    analysis.an_signatures analysis.an_kernel_runs analysis.an_infer_seconds
+    analysis.an_check_full.Am_util.Regress.median
+    analysis.an_check_light.Am_util.Regress.median
+    (analysis.an_check_full.Am_util.Regress.median
+    -. analysis.an_check_light.Am_util.Regress.median)
+    analysis.an_light_loops analysis.an_light_elements
+    analysis.an_halo_depth_saved analysis.an_halo_exchanges_saved;
   output_string oc "  \"tiling\": {\n";
   let n_til = List.length tiling in
   List.iteri
@@ -612,6 +714,8 @@ let run_micro ?json () =
     overhead seq_s.Am_util.Regress.n
     (Am_util.Units.seconds (Am_util.Regress.iqr seq_s))
     (Am_util.Units.seconds (Am_util.Regress.iqr check_s));
+  let analysis = analysis_accounting () in
+  print_analysis analysis;
   let tiling = tiling_accounting () in
   print_tiling tiling;
   let recovery = recovery_accounting () in
@@ -621,7 +725,7 @@ let run_micro ?json () =
   | Some path ->
     write_json path
       (List.sort (fun (a, _) (b, _) -> compare a b) !estimates)
-      halo sanitizer tiling recovery (doctor_rows ());
+      halo sanitizer analysis tiling recovery (doctor_rows ());
     let stem = Filename.remove_extension path in
     let trace_path = stem ^ ".trace.json" in
     let counters_path = stem ^ ".counters.json" in

@@ -11,7 +11,9 @@ module Op2 = Am_op2.Op2
 module App = Am_aero.App
 module Umesh = Am_mesh.Umesh
 
-let run n iters backend ranks renumber verify check trace obs_json faults recover perf =
+let run n iters backend ranks renumber verify check analyze trace obs_json faults
+    recover perf =
+  Check_common.guard @@ fun () ->
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let mesh = App.generate_mesh ~n in
@@ -20,6 +22,7 @@ let run n iters backend ranks renumber verify check trace obs_json faults recove
   let pool = ref None in
   let t = App.create mesh in
   Perf_common.enable perf (Op2.trace t.App.ctx);
+  if analyze then Am_core.Trace.set_enabled (Op2.trace t.App.ctx) true;
   if check then begin
     Op2.set_backend t.App.ctx Op2.Check;
     Am_core.Trace.set_enabled (Op2.trace t.App.ctx) true
@@ -69,7 +72,10 @@ let run n iters backend ranks renumber verify check trace obs_json faults recove
       (Am_util.Units.bytes s.Am_simmpi.Comm.bytes)
       s.Am_simmpi.Comm.exchanges s.Am_simmpi.Comm.reductions
   | None -> ());
-  if check then Check_common.report (Am_analysis.Analysis.check_op2 t.App.ctx);
+  if check || analyze then
+    Check_common.report
+      (if analyze then Am_analysis.Analysis.static_op2 t.App.ctx
+       else Am_analysis.Analysis.check_op2 t.App.ctx);
   if verify && not renumber then begin
     let h = Am_aero.Hand.create mesh in
     ignore (Am_aero.Hand.run h ~iters);
@@ -127,7 +133,7 @@ let cmd =
     (Cmd.info "aero" ~doc:"2D FEM + matrix-free CG proxy application (OP2)")
     Term.(
       const run $ n $ iters $ backend $ ranks $ renumber $ verify
-      $ Check_common.arg $ trace_arg $ obs_json_arg
+      $ Check_common.arg $ Check_common.analyze_arg $ trace_arg $ obs_json_arg
       $ Fault_common.faults_arg $ Fault_common.recover_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

@@ -10,8 +10,9 @@ module Op2 = Am_op2.Op2
 module App = Am_airfoil.App
 module Umesh = Am_mesh.Umesh
 
-let run nx ny iters backend ranks overlap renumber verify check save_to mesh_file
-    trace obs_json faults recover perf =
+let run nx ny iters backend ranks overlap renumber verify check analyze save_to
+    mesh_file trace obs_json faults recover perf =
+  Check_common.guard @@ fun () ->
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   (* Meshes load from snapshot files (the HDF5-style input path) or are
@@ -36,6 +37,7 @@ let run nx ny iters backend ranks overlap renumber verify check save_to mesh_fil
   let pool = ref None in
   let t = App.create mesh in
   Perf_common.enable perf (Op2.trace t.App.ctx);
+  if analyze then Am_core.Trace.set_enabled (Op2.trace t.App.ctx) true;
   if check then begin
     Op2.set_backend t.App.ctx Op2.Check;
     Am_core.Trace.set_enabled (Op2.trace t.App.ctx) true
@@ -92,7 +94,10 @@ let run nx ny iters backend ranks overlap renumber verify check save_to mesh_fil
       (Am_util.Units.bytes s.Am_simmpi.Comm.bytes)
       s.Am_simmpi.Comm.exchanges
   | None -> ());
-  if check then Check_common.report (Am_analysis.Analysis.check_op2 t.App.ctx);
+  if check || analyze then
+    Check_common.report
+      (if analyze then Am_analysis.Analysis.static_op2 t.App.ctx
+       else Am_analysis.Analysis.check_op2 t.App.ctx);
   if verify && not renumber then begin
     let h = Am_airfoil.Hand.create mesh in
     ignore (Am_airfoil.Hand.run h ~iters);
@@ -179,7 +184,8 @@ let cmd =
     (Cmd.info "airfoil" ~doc:"Non-linear 2D inviscid Euler proxy application (OP2)")
     Term.(
       const run $ nx $ ny $ iters $ backend $ ranks $ overlap $ renumber $ verify
-      $ Check_common.arg $ save_to $ mesh_file $ trace_arg $ obs_json_arg
+      $ Check_common.arg $ Check_common.analyze_arg $ save_to $ mesh_file
+      $ trace_arg $ obs_json_arg
       $ Fault_common.faults_arg $ Fault_common.recover_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

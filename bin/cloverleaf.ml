@@ -10,7 +10,8 @@ module Ops = Am_ops.Ops
 module App = Am_cloverleaf.App
 
 let run nx ny steps backend ranks overlap summary_every verify van_leer check
-    trace obs_json faults recover tile perf =
+    analyze trace obs_json faults recover tile perf =
+  Check_common.guard @@ fun () ->
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let advection =
@@ -55,6 +56,7 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer check
       t
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
+  if analyze then Am_core.Trace.set_enabled (Ops.trace t.App.ctx) true;
   Perf_common.enable perf (Ops.trace t.App.ctx);
   if overlap then begin
     if not (backend = "mpi" || backend = "mpi2d" || backend = "hybrid") then
@@ -100,7 +102,10 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer check
       (Am_util.Units.bytes s.Am_simmpi.Comm.bytes)
       s.Am_simmpi.Comm.exchanges
   | None -> ());
-  if check then Check_common.report (Am_analysis.Analysis.check_ops t.App.ctx);
+  if check || analyze then
+    Check_common.report
+      (if analyze then Am_analysis.Analysis.static_ops t.App.ctx
+       else Am_analysis.Analysis.check_ops t.App.ctx);
   if verify then begin
     let h = Am_cloverleaf.Hand.create ~advection ~nx ~ny () in
     ignore (Am_cloverleaf.Hand.run h ~steps);
@@ -180,7 +185,8 @@ let cmd =
     (Cmd.info "cloverleaf" ~doc:"CloverLeaf 2D hydrodynamics proxy application (OPS)")
     Term.(
       const run $ nx $ ny $ steps $ backend $ ranks $ overlap $ summary_every
-      $ verify $ van_leer $ Check_common.arg $ trace_arg $ obs_json_arg
+      $ verify $ van_leer $ Check_common.arg $ Check_common.analyze_arg
+      $ trace_arg $ obs_json_arg
       $ Fault_common.faults_arg $ Fault_common.recover_arg $ tile_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

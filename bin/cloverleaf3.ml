@@ -5,7 +5,8 @@
 module App = Am_cloverleaf3.App
 module Ops3 = Am_ops.Ops3
 
-let run n steps backend ranks check trace obs_json faults recover tile perf =
+let run n steps backend ranks check analyze trace obs_json faults recover tile perf =
+  Check_common.guard @@ fun () ->
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   Fault_common.with_faults ~app:"cloverleaf3" ~faults ~recover @@ fun fc ~recovering ->
@@ -41,6 +42,7 @@ let run n steps backend ranks check trace obs_json faults recover tile perf =
       t
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
+  if analyze then Am_core.Trace.set_enabled (Ops3.trace t.App.ctx) true;
   Perf_common.enable perf (Ops3.trace t.App.ctx);
   Printf.printf "cloverleaf3: %d^3 cells, %d steps, backend %s\n%!" n steps backend;
   (match tile with
@@ -73,7 +75,10 @@ let run n steps backend ranks check trace obs_json faults recover tile perf =
   done;
   Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
   print_string (Am_core.Profile.report (Ops3.profile t.App.ctx));
-  if check then Check_common.report (Am_analysis.Analysis.check_ops3 t.App.ctx);
+  if check || analyze then
+    Check_common.report
+      (if analyze then Am_analysis.Analysis.static_ops3 t.App.ctx
+       else Am_analysis.Analysis.check_ops3 t.App.ctx);
   Perf_common.print perf ~profile:(Ops3.profile t.App.ctx) ~trace:(Ops3.trace t.App.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
@@ -121,8 +126,9 @@ let cmd =
   Cmd.v
     (Cmd.info "cloverleaf3" ~doc:"CloverLeaf 3D hydrodynamics proxy application (Ops3)")
     Term.(
-      const run $ n $ steps $ backend $ ranks $ Check_common.arg $ trace_arg
-      $ obs_json_arg $ Fault_common.faults_arg $ Fault_common.recover_arg
+      const run $ n $ steps $ backend $ ranks $ Check_common.arg
+      $ Check_common.analyze_arg $ trace_arg $ obs_json_arg
+      $ Fault_common.faults_arg $ Fault_common.recover_arg
       $ tile_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

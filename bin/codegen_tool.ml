@@ -20,7 +20,49 @@ let trace_app name =
   ( List.map
       (fun p -> p.Am_experiments.Calibrate.descr)
       t.Am_experiments.Calibrate.profiles,
-    t.Am_experiments.Calibrate.consts )
+    t.Am_experiments.Calibrate.consts,
+    t.Am_experiments.Calibrate.footprints )
+
+(* A deliberately mismatched (descriptor, kernel) pair for --lint-mutate:
+   the kernel scribbles on its Read argument's staging buffer, the class of
+   descriptor lie the probe catches as a definite error.  Injected into the
+   traced app's footprints so the generation gate demonstrably refuses. *)
+let seeded_mutation () =
+  let module Descr = Am_core.Descr in
+  let module Probe = Am_core.Probe in
+  let descr =
+    {
+      Descr.loop_name = "selftest_mutated_res";
+      set_name = "edges";
+      set_size = 0;
+      args =
+        [
+          {
+            Descr.dat_name = "x";
+            dat_id = 0;
+            dim = 2;
+            access = Am_core.Access.Read;
+            kind = Descr.Indirect { map_name = "edge_nodes"; map_index = 0; ratio = 1.0 };
+          };
+          {
+            Descr.dat_name = "res";
+            dat_id = 1;
+            dim = 2;
+            access = Am_core.Access.Inc;
+            kind = Descr.Indirect { map_name = "edge_nodes"; map_index = 1; ratio = 1.0 };
+          };
+        ];
+      info = Descr.default_kernel_info;
+    }
+  in
+  let kernel (bufs : float array array) =
+    bufs.(1).(0) <- bufs.(1).(0) +. bufs.(0).(0);
+    bufs.(1).(1) <- bufs.(1).(1) +. bufs.(0).(1);
+    (* the lie: an undeclared write to the Read argument *)
+    bufs.(0).(0) <- 0.0
+  in
+  let fp = Probe.infer ~loop:descr ~kernel in
+  { Probe.in_loop = descr; in_foot = fp; in_read_ext = [| -1; -1 |] }
 
 let target_of_string = function
   | "seq" -> Codegen.C_seq
@@ -35,17 +77,23 @@ let target_of_string = function
       (Printf.sprintf
          "unknown target %s (seq|openmp|vec|mpi|cuda-nosoa|cuda-soa|cuda-staged)" other)
 
-let run app target out fig7 lint =
+let run app target out fig7 lint mutate =
   if fig7 then print_endline (Codegen.fig7 ())
   else begin
-    let loops, consts = trace_app app in
+    let loops, consts, footprints = trace_app app in
+    let footprints =
+      if mutate then seeded_mutation () :: footprints else footprints
+    in
     (* Lint before generating: refuse to emit code for descriptors the
        analysis can prove wrong (no map tables here, so map-dependent
-       checks degrade to notes). *)
+       checks degrade to notes).  The footprints observed while tracing
+       feed the kernel verifier, so a kernel/descriptor mismatch also
+       refuses generation — with the witness printed. *)
     let r =
       (* cloverleaf is the OPS app: its loops iterate sub-ranges, so Direct
          writes do not provably cover their datasets *)
-      Am_analysis.Analysis.analyze ~direct_covers:(app <> "cloverleaf") loops
+      Am_analysis.Analysis.analyze ~direct_covers:(app <> "cloverleaf")
+        ~footprints loops
     in
     if lint then begin
       print_string (Am_analysis.Analysis.report r);
@@ -101,14 +149,24 @@ let lint =
     value & flag
     & info [ "lint" ]
         ~doc:
-          "Only run the access-descriptor and dataflow analyses over the \
-           application's loops and print the findings; exits 1 on any \
-           error-severity finding. (Generation always lints first and \
-           refuses to emit code on errors.)")
+          "Only run the access-descriptor, dataflow and kernel-footprint \
+           verification analyses over the application's loops and print the \
+           findings; exits 1 on any error-severity finding. (Generation \
+           always lints first and refuses to emit code on errors.)")
+
+let mutate =
+  Arg.(
+    value & flag
+    & info [ "lint-mutate" ]
+        ~doc:
+          "Self-test of the verification gate: inject a seeded \
+           (descriptor, kernel) mismatch — a kernel caught writing its Read \
+           argument — alongside the app's observed footprints.  Generation \
+           must refuse with the witness printed and exit 1.")
 
 let cmd =
   Cmd.v
     (Cmd.info "codegen_tool" ~doc:"OP2/OPS source-to-source translator")
-    Term.(const run $ app_arg $ target $ out $ fig7 $ lint)
+    Term.(const run $ app_arg $ target $ out $ fig7 $ lint $ mutate)
 
 let () = exit (Cmd.eval cmd)

@@ -5,8 +5,9 @@
 module Op2 = Am_op2.Op2
 module App = Am_hydra.App
 
-let run nx ny iters backend ranks renumber no_multigrid check trace obs_json faults
-    recover tile perf =
+let run nx ny iters backend ranks renumber no_multigrid check analyze trace
+    obs_json faults recover tile perf =
+  Check_common.guard @@ fun () ->
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   let features = { App.all_features with App.multigrid = not no_multigrid } in
@@ -34,6 +35,7 @@ let run nx ny iters backend ranks renumber no_multigrid check trace obs_json fau
       t
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
+  if analyze then Am_core.Trace.set_enabled (Op2.trace t.App.ctx) true;
   Perf_common.enable perf (Op2.trace t.App.ctx);
   Printf.printf "hydra-sim: %d fine cells (+%d coarse), %d loops/iteration\n%!"
     t.App.mesh.Am_mesh.Umesh.n_cells t.App.coarse_mesh.Am_mesh.Umesh.n_cells
@@ -61,7 +63,10 @@ let run nx ny iters backend ranks renumber no_multigrid check trace obs_json fau
   done;
   Printf.printf "wall time: %s\n\n%!" (Am_util.Units.seconds (Unix.gettimeofday () -. t0));
   print_string (Am_core.Profile.report (Op2.profile t.App.ctx));
-  if check then Check_common.report (Am_analysis.Analysis.check_op2 t.App.ctx);
+  if check || analyze then
+    Check_common.report
+      (if analyze then Am_analysis.Analysis.static_op2 t.App.ctx
+       else Am_analysis.Analysis.check_op2 t.App.ctx);
   Perf_common.print perf ~profile:(Op2.profile t.App.ctx) ~trace:(Op2.trace t.App.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
@@ -118,7 +123,7 @@ let cmd =
     (Cmd.info "hydra" ~doc:"Production-scale synthetic RANS pipeline (OP2)")
     Term.(
       const run $ nx $ ny $ iters $ backend $ ranks $ renumber $ no_multigrid
-      $ Check_common.arg $ trace_arg $ obs_json_arg
+      $ Check_common.arg $ Check_common.analyze_arg $ trace_arg $ obs_json_arg
       $ Fault_common.faults_arg $ Fault_common.recover_arg $ tile_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

@@ -5,7 +5,9 @@
 module Tea = Am_tealeaf.App
 module Ops3 = Am_ops.Ops3
 
-let run n steps dt backend ranks check trace obs_json faults recover tile perf =
+let run n steps dt backend ranks check analyze trace obs_json faults recover tile
+    perf =
+  Check_common.guard @@ fun () ->
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
   Fault_common.with_faults ~app:"tealeaf" ~faults ~recover @@ fun fc ~recovering ->
@@ -36,6 +38,7 @@ let run n steps dt backend ranks check trace obs_json faults recover tile perf =
       t
     | other -> failwith (Printf.sprintf "unknown backend %s" other)
   in
+  if analyze then Am_core.Trace.set_enabled (Ops3.trace t.Tea.ctx) true;
   Perf_common.enable perf (Ops3.trace t.Tea.ctx);
   Printf.printf "tealeaf-sim: %d^3 cells, dt %.3f, backend %s\n%!" n dt backend;
   (match tile with
@@ -67,7 +70,10 @@ let run n steps dt backend ranks check trace obs_json faults recover tile perf =
     (Am_util.Units.seconds (Unix.gettimeofday () -. t0))
     t.Tea.cg_iterations;
   print_string (Am_core.Profile.report (Ops3.profile t.Tea.ctx));
-  if check then Check_common.report (Am_analysis.Analysis.check_ops3 t.Tea.ctx);
+  if check || analyze then
+    Check_common.report
+      (if analyze then Am_analysis.Analysis.static_ops3 t.Tea.ctx
+       else Am_analysis.Analysis.check_ops3 t.Tea.ctx);
   Perf_common.print perf ~profile:(Ops3.profile t.Tea.ctx) ~trace:(Ops3.trace t.Tea.ctx);
   Am_obs.Obs.finish ?trace ?obs_json
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
@@ -116,8 +122,9 @@ let cmd =
   Cmd.v
     (Cmd.info "tealeaf" ~doc:"Implicit 3D heat conduction proxy app (Ops3 + CG)")
     Term.(
-      const run $ n $ steps $ dt $ backend $ ranks $ Check_common.arg $ trace_arg
-      $ obs_json_arg $ Fault_common.faults_arg $ Fault_common.recover_arg
+      const run $ n $ steps $ dt $ backend $ ranks $ Check_common.arg
+      $ Check_common.analyze_arg $ trace_arg $ obs_json_arg
+      $ Fault_common.faults_arg $ Fault_common.recover_arg
       $ tile_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

@@ -11,6 +11,7 @@
    first occurrences when the sequence is aperiodic). *)
 
 module Descr = Am_core.Descr
+module Probe = Am_core.Probe
 module Trace = Am_core.Trace
 
 type report = {
@@ -43,17 +44,34 @@ let significant f = Finding.is_error f || Finding.is_warning f
 
 let count_significant findings = List.length (List.filter significant findings)
 
-let analyze ?(maps = []) ?(direct_covers = true) ?ghost_depth
+(* [footprints] carries the facades' once-per-signature kernel probe results
+   (see {!Am_core.Probe} and the [footprints] accessor on each facade): the
+   Verify layer diffs each observed footprint against its declared
+   descriptor, and the observed read radii feed the halo-schedule replay so
+   exchanges forced only by declared-but-unread stencil points surface.
+   The default is empty — the [check_*] paths report only dynamic facts, so
+   a clean app stays clean; the [static_*] entry points (and the drivers'
+   [--analyze] flag) opt in. *)
+let analyze ?(maps = []) ?(direct_covers = true) ?ghost_depth ?(footprints = [])
     (loops : Descr.loop list) =
   let period = one_period loops in
   let lint_findings = List.concat_map (Lint.lint ~maps) period in
-  let df = Dataflow.analyze ~direct_covers ?ghost_depth period in
+  let verify_findings = Verify.check footprints in
+  let inferred =
+    List.map
+      (fun (fi : Probe.info) ->
+        (fi.Probe.in_loop.Descr.loop_name, fi.Probe.in_read_ext))
+      footprints
+  in
+  let df = Dataflow.analyze ~direct_covers ?ghost_depth ~inferred period in
   Am_obs.Counters.add Am_obs.Obs.analysis_lint_findings
     (count_significant lint_findings);
   Am_obs.Counters.add Am_obs.Obs.analysis_dataflow_findings
     (count_significant df.Dataflow.findings);
+  Am_obs.Counters.add Am_obs.Obs.infer_findings
+    (count_significant verify_findings);
   {
-    findings = Finding.sort (lint_findings @ df.Dataflow.findings);
+    findings = Finding.sort (verify_findings @ lint_findings @ df.Dataflow.findings);
     schedule = df.Dataflow.schedule;
     loops_analyzed = List.length period;
   }
@@ -75,37 +93,55 @@ let map_infos_of_op2 ctx =
       })
     (Am_op2.Op2.maps ctx)
 
-let check_op2 ctx =
-  analyze ~maps:(map_infos_of_op2 ctx)
+let op2_analyze ?footprints ctx =
+  analyze ~maps:(map_infos_of_op2 ctx) ?footprints
     (Trace.events (Am_op2.Op2.trace ctx))
+
+let check_op2 ctx = op2_analyze ctx
 
 let min_halo halos = List.fold_left min max_int halos
 
-let check_ops ctx =
+let ops_analyze ?footprints ctx =
   let ghost_depth =
     match Am_ops.Ops.dats ctx with
     | [] -> None
     | dats -> Some (min_halo (List.map (fun d -> d.Am_ops.Types.halo) dats))
   in
-  analyze ~direct_covers:false ?ghost_depth (Trace.events (Am_ops.Ops.trace ctx))
+  analyze ~direct_covers:false ?ghost_depth ?footprints
+    (Trace.events (Am_ops.Ops.trace ctx))
 
-let check_ops1 ctx =
+let check_ops ctx = ops_analyze ctx
+
+let ops1_analyze ?footprints ctx =
   let ghost_depth =
     match Am_ops.Ops1.dats ctx with
     | [] -> None
     | dats -> Some (min_halo (List.map (fun d -> d.Am_ops.Types1.halo) dats))
   in
-  analyze ~direct_covers:false ?ghost_depth
+  analyze ~direct_covers:false ?ghost_depth ?footprints
     (Trace.events (Am_ops.Ops1.trace ctx))
 
-let check_ops3 ctx =
+let check_ops1 ctx = ops1_analyze ctx
+
+let ops3_analyze ?footprints ctx =
   let ghost_depth =
     match Am_ops.Ops3.dats ctx with
     | [] -> None
     | dats -> Some (min_halo (List.map (fun d -> d.Am_ops.Types3.halo) dats))
   in
-  analyze ~direct_covers:false ?ghost_depth
+  analyze ~direct_covers:false ?ghost_depth ?footprints
     (Trace.events (Am_ops.Ops3.trace ctx))
+
+let check_ops3 ctx = ops3_analyze ctx
+
+(* Static verification entry points: the [check_*] analysis plus the Verify
+   diff of every probed kernel footprint recorded by the context.  Over-
+   declarations surface as Warnings and observed-outside-declared accesses
+   as Errors — before any backend has run the loop in anger. *)
+let static_op2 ctx = op2_analyze ~footprints:(Am_op2.Op2.footprints ctx) ctx
+let static_ops ctx = ops_analyze ~footprints:(Am_ops.Ops.footprints ctx) ctx
+let static_ops1 ctx = ops1_analyze ~footprints:(Am_ops.Ops1.footprints ctx) ctx
+let static_ops3 ctx = ops3_analyze ~footprints:(Am_ops.Ops3.footprints ctx) ctx
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)

@@ -179,26 +179,70 @@ type exchange = {
    cleans it. Two passes reach the steady state (pass one settles the
    initial all-dirty flags); the schedule of the second pass is returned.
    By construction every ghost-reaching read in the steady-state cycle is
-   preceded by an exchange — the schedule is the witness. *)
-let halo_schedule (loops : Descr.loop list) =
+   preceded by an exchange — the schedule is the witness.
+
+   [inferred] carries kernel-footprint evidence (see {!Am_core.Probe}):
+   per loop name, the per-argument Chebyshev radius the kernel was
+   *observed* to read (-1 = no information).  An observed radius of 0 on a
+   positive-radius stencil means only declared-but-unread points reach the
+   ghost shell; the runtime drops that exchange, so the replay skips it too
+   and reports it as a [Redundant] over-declaration finding (second return
+   value). *)
+let halo_schedule ?(inferred = []) (loops : Descr.loop list) =
+  let ext_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, exts) ->
+      match Hashtbl.find_opt ext_tbl name with
+      | None -> Hashtbl.add ext_tbl name (Array.copy exts)
+      | Some prev ->
+        (* several signatures under one loop name: keep the widest observed
+           radius — only facts every variant exhibits may tighten *)
+        Array.iteri
+          (fun i e -> if i < Array.length prev && e > prev.(i) then prev.(i) <- e)
+          exts)
+    inferred;
+  let observed l i =
+    match Hashtbl.find_opt ext_tbl l with
+    | Some e when i < Array.length e -> e.(i)
+    | Some _ | None -> -1
+  in
   let dirty = Hashtbl.create 16 in
   let is_dirty d = match Hashtbl.find_opt dirty d with Some b -> b | None -> true in
   let schedule = ref [] in
+  let over = ref [] in
   for pass = 0 to 1 do
     List.iter
       (fun (l : Descr.loop) ->
         (* reads (gathers) happen before writes (scatters) within a loop *)
-        List.iter
-          (fun (a : Descr.arg) ->
+        List.iteri
+          (fun i (a : Descr.arg) ->
             match a.Descr.kind with
-            | Descr.Stencil { extent; _ } when extent > 0 && reads_value a ->
-              let kind = if is_dirty a.Descr.dat_name then Needed else Redundant in
-              if kind = Needed then Hashtbl.replace dirty a.Descr.dat_name false;
-              if pass = 1 then
-                schedule :=
-                  { ex_loop = l.Descr.loop_name; ex_dat = a.Descr.dat_name;
-                    ex_kind = kind }
-                  :: !schedule
+            | Descr.Stencil { extent; points } when extent > 0 && reads_value a ->
+              if observed l.Descr.loop_name i = 0 then begin
+                (* centre-only in every probe: the exchange this read would
+                   force exists only because of the over-declared points *)
+                if pass = 1 && is_dirty a.Descr.dat_name then
+                  over :=
+                    Finding.make ~layer:Finding.Dataflow ~severity:Finding.Warning
+                      ~loop:l.Descr.loop_name ~arg:i ~subject:a.Descr.dat_name
+                      (Printf.sprintf
+                         "redundant halo exchange: of the %d-point radius-%d \
+                          stencil only declared-but-unread points reach the \
+                          ghost shell (the kernel was observed reading the \
+                          centre alone) — tightening the descriptor removes \
+                          this exchange from the schedule"
+                         points extent)
+                    :: !over
+              end
+              else begin
+                let kind = if is_dirty a.Descr.dat_name then Needed else Redundant in
+                if kind = Needed then Hashtbl.replace dirty a.Descr.dat_name false;
+                if pass = 1 then
+                  schedule :=
+                    { ex_loop = l.Descr.loop_name; ex_dat = a.Descr.dat_name;
+                      ex_kind = kind }
+                    :: !schedule
+              end
             | _ -> ())
           l.Descr.args;
         List.iter
@@ -208,7 +252,7 @@ let halo_schedule (loops : Descr.loop list) =
           l.Descr.args)
       loops
   done;
-  List.rev !schedule
+  (List.rev !schedule, List.rev !over)
 
 let schedule_findings schedule =
   (* one Info per dataset summarising its steady-state exchange pattern *)
@@ -270,13 +314,14 @@ let check_ghost_depth ~ghost_depth (loops : Descr.loop list) =
 
 type result = { findings : Finding.t list; schedule : exchange list }
 
-let analyze ?(direct_covers = true) ?ghost_depth (loops : Descr.loop list) =
+let analyze ?(direct_covers = true) ?ghost_depth ?(inferred = [])
+    (loops : Descr.loop list) =
   let defuse = check_defuse ~direct_covers loops in
-  let schedule = halo_schedule loops in
+  let schedule, over = halo_schedule ~inferred loops in
   let halo = schedule_findings schedule in
   let depth =
     match ghost_depth with
     | None -> []
     | Some d -> check_ghost_depth ~ghost_depth:d loops
   in
-  { findings = depth @ defuse @ halo; schedule }
+  { findings = depth @ defuse @ over @ halo; schedule }

@@ -8,7 +8,7 @@
    [Error] marks a defect that produces wrong answers on at least one
    backend. *)
 
-type layer = Descriptor | Plan | Dataflow | Sanitizer | Resilience
+type layer = Descriptor | Plan | Dataflow | Sanitizer | Resilience | Verify
 
 type severity = Info | Warning | Error
 
@@ -30,6 +30,7 @@ let layer_to_string = function
   | Dataflow -> "dataflow"
   | Sanitizer -> "sanitizer"
   | Resilience -> "resilience"
+  | Verify -> "verify"
 
 let severity_to_string = function
   | Info -> "info"

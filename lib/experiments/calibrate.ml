@@ -53,6 +53,8 @@ type traced_app = {
   app_name : string;
   profiles : loop_profile list;
   consts : (string * float array) list; (* op_decl_const registry *)
+  footprints : Am_core.Probe.info list;
+      (* observed kernel footprints from the traced run's inference cache *)
   ref_cells : int; (* iteration elements of the primary set *)
   comm_bytes_per_iter : float; (* measured at [comm_ranks] *)
   comm_ranks : int;
@@ -85,6 +87,7 @@ let trace_airfoil ?(nx = default_nx) ?(ny = default_ny) () =
     app_name = "Airfoil";
     profiles;
     consts = Op2.consts app.Am_airfoil.App.ctx;
+    footprints = Op2.footprints app.Am_airfoil.App.ctx;
     ref_cells = mesh.Am_mesh.Umesh.n_cells;
     comm_bytes_per_iter = Float.of_int stats.Am_simmpi.Comm.bytes;
     comm_ranks = ranks;
@@ -111,6 +114,7 @@ let trace_hydra ?(nx = 64) ?(ny = 48) () =
     app_name = "Hydra";
     profiles;
     consts = Op2.consts app.Am_hydra.App.ctx;
+    footprints = Op2.footprints app.Am_hydra.App.ctx;
     ref_cells = app.Am_hydra.App.mesh.Am_mesh.Umesh.n_cells;
     comm_bytes_per_iter = Float.of_int stats.Am_simmpi.Comm.bytes;
     comm_ranks = ranks;
@@ -140,6 +144,7 @@ let trace_aero ?(n = 32) () =
     app_name = "Aero";
     profiles;
     consts = Op2.consts app.Am_aero.App.ctx;
+    footprints = Op2.footprints app.Am_aero.App.ctx;
     ref_cells = app.Am_aero.App.mesh.Am_mesh.Umesh.n_cells;
     comm_bytes_per_iter = Float.of_int stats.Am_simmpi.Comm.bytes;
     comm_ranks = ranks;
@@ -171,6 +176,7 @@ let trace_cloverleaf ?(nx = 96) ?(ny = 96) () =
     app_name = "CloverLeaf";
     profiles;
     consts = [];
+    footprints = Ops.footprints app.Am_cloverleaf.App.ctx;
     ref_cells = nx * ny;
     comm_bytes_per_iter = Float.of_int stats.Am_simmpi.Comm.bytes;
     comm_ranks = ranks;
@@ -204,6 +210,7 @@ let trace_tealeaf ?(n = 24) () =
     app_name = "TeaLeaf";
     profiles;
     consts = [];
+    footprints = Am_ops.Ops3.footprints app.Am_tealeaf.App.ctx;
     ref_cells = n * n * n;
     comm_bytes_per_iter = Float.of_int stats.Am_simmpi.Comm.bytes;
     comm_ranks = ranks;
@@ -233,6 +240,7 @@ let trace_cloverleaf3 ?(n = 24) () =
     app_name = "CloverLeaf3D";
     profiles;
     consts = [];
+    footprints = Am_ops.Ops3.footprints app.Am_cloverleaf3.App.ctx;
     ref_cells = n * n * n;
     comm_bytes_per_iter = Float.of_int stats.Am_simmpi.Comm.bytes;
     comm_ranks = ranks;

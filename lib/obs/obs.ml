@@ -39,6 +39,12 @@ let checkpoint_restores = Counters.counter counters "checkpoint.restores"
 let analysis_lint_findings = Counters.counter counters "analysis.lint_findings"
 let analysis_plan_violations = Counters.counter counters "analysis.plan_violations"
 let analysis_dataflow_findings = Counters.counter counters "analysis.dataflow_findings"
+let infer_signatures = Counters.counter counters "analysis.infer.signatures"
+let infer_kernel_runs = Counters.counter counters "analysis.infer.kernel_runs"
+let infer_hits = Counters.counter counters "analysis.infer.cache_hits"
+let infer_misses = Counters.counter counters "analysis.infer.cache_misses"
+let infer_seconds = Counters.gauge counters ~unit_:"s" "analysis.infer.seconds"
+let infer_findings = Counters.counter counters "analysis.infer.findings"
 let fault_drops = Counters.counter counters "fault.injected_drops"
 let fault_dups = Counters.counter counters "fault.injected_dups"
 let fault_delays = Counters.counter counters "fault.injected_delays"
@@ -53,10 +59,15 @@ let fault_aborts = Counters.counter counters "fault.aborts"
 let check_loops = Counters.counter counters "check.loops"
 let check_elements = Counters.counter counters ~unit_:"elements" "check.elements"
 let check_violations = Counters.counter counters "check.violations"
+let check_light_loops = Counters.counter counters "check.light_loops"
+let check_light_elements = Counters.counter counters ~unit_:"elements" "check.light_elements"
+let halo_depth_saved = Counters.counter counters ~unit_:"rows" "dist.halo_depth_saved"
+let halo_exchanges_saved = Counters.counter counters "dist.halo_exchanges_saved"
 let dpor_executions = Counters.counter counters "dpor.executions"
 let dpor_backtracks = Counters.counter counters "dpor.backtracks"
 let dpor_sleep_hits = Counters.counter counters "dpor.sleep_hits"
 let dpor_bound_skips = Counters.counter counters "dpor.bound_skips"
+let tile_skew_rows = Counters.counter counters ~unit_:"rows" "tiling.skew_rows"
 let chain_loops = Counters.counter counters "chain.queued_loops"
 let chain_flushes = Counters.counter counters "chain.flushes"
 let chain_tiles = Counters.counter counters "chain.tiles"

@@ -489,8 +489,8 @@ let rank_compiled t ~key r args =
     Hashtbl.add t.rank_execs (key, r) c;
     c
 
-let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~name
-    ~iter_set ~args ~kernel =
+let par_loop ?unread ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t
+    ~name ~iter_set ~args ~kernel =
   check_supported args;
   let exposed = ref 0.0 in
   let timed f x =
@@ -498,9 +498,34 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~name
     f x;
     exposed := !exposed +. (Unix.gettimeofday () -. t0)
   in
-  let read_dats =
+  let all_read_dats =
     distinct_dats args (fun map access ->
         map <> None && (access = Access.Read || access = Access.Rw))
+  in
+  (* Footprint inference (see [Op2.footprint]) marks indirectly-read
+     arguments the kernel was observed never to read; a dataset whose every
+     read argument carries the mark needs no fresh halo for this loop.
+     Phase classification is left untouched — it orders elements, it does
+     not move data. *)
+  let read_dats =
+    match unread with
+    | None -> all_read_dats
+    | Some u ->
+      let live = Hashtbl.create 4 in
+      List.iteri
+        (fun i arg ->
+          match arg with
+          | Arg_dat { dat; map = Some _; access = Access.Read | Access.Rw; _ }
+            when not (i < Array.length u && u.(i)) ->
+            Hashtbl.replace live dat.dat_id ()
+          | Arg_dat _ | Arg_gbl _ -> ())
+        args;
+      List.filter
+        (fun (d : dat) ->
+          let needed = Hashtbl.mem live d.dat_id in
+          if not needed then Obs_counters.incr Obs.halo_exchanges_saved;
+          needed)
+        all_read_dats
   in
   let inc_dats =
     distinct_dats args (fun map access -> map <> None && access = Access.Inc)

@@ -24,6 +24,7 @@
 
 module Access = Am_core.Access
 module Descr = Am_core.Descr
+module Probe = Am_core.Probe
 module Profile = Am_core.Profile
 module Trace = Am_core.Trace
 
@@ -49,6 +50,8 @@ type ctx = {
   mutable dist : Dist.t option;
   mutable checkpoint : Am_checkpoint.Runtime.session option;
   mutable fault : Am_simmpi.Fault.t option;
+  mutable infer : bool; (* kernel footprint inference (on by default) *)
+  foot_tbl : (string, Probe.info) Hashtbl.t; (* keyed by Probe.signature *)
 }
 
 let create ?(backend = Seq) () =
@@ -61,6 +64,8 @@ let create ?(backend = Seq) () =
     dist = None;
     checkpoint = None;
     fault = None;
+    infer = true;
+    foot_tbl = Hashtbl.create 32;
   }
 
 let set_backend ctx backend =
@@ -348,12 +353,86 @@ type handle = Plan.handle
 
 let make_handle = Plan.make_handle
 
-let execute_loop ctx ~name ?handle iter_set args kernel =
+(* ---- Kernel footprint inference --------------------------------------- *)
+
+(* Probe the kernel once per loop signature (see [Am_core.Probe]): the
+   observed footprint feeds the Verify findings ([footprints] below), lets
+   the Check backend skip the per-element guards the probes already proved,
+   and drops halo exchanges for indirectly-read datasets the kernel was
+   observed never to read.  Cached in [foot_tbl] by descriptor signature and,
+   for handle-bearing call sites, on the plan entry itself. *)
+let footprint ctx ?handle (descr : Descr.loop) iter_set args kernel =
+  if not ctx.infer then None
+  else begin
+    let from_handle =
+      match handle with
+      | Some h -> Plan.handle_foot ctx.plan_cache h ~iter_set args
+      | None -> None
+    in
+    match from_handle with
+    | Some fi ->
+      Am_obs.Counters.incr Am_obs.Obs.infer_hits;
+      Some fi
+    | None ->
+      let key = Probe.signature descr in
+      let fi =
+        match Hashtbl.find_opt ctx.foot_tbl key with
+        | Some fi ->
+          Am_obs.Counters.incr Am_obs.Obs.infer_hits;
+          fi
+        | None ->
+          Am_obs.Counters.incr Am_obs.Obs.infer_misses;
+          let fp = Probe.infer ~loop:descr ~kernel in
+          (* Unstructured arguments carry no stencil radius to tighten; the
+             extent column is the no-information marker throughout. *)
+          let fi =
+            {
+              Probe.in_loop = descr;
+              in_foot = fp;
+              in_read_ext = Array.make (List.length args) (-1);
+            }
+          in
+          Hashtbl.add ctx.foot_tbl key fi;
+          fi
+      in
+      (match handle with Some h -> Plan.set_handle_foot h fi | None -> ());
+      Some fi
+  end
+
+let light_of = function Some fi -> Probe.clean fi.Probe.in_foot | None -> false
+
+(* Per-argument "declared indirectly-read but observed wholly unread" flags
+   for the distributed backend — only offered on clean footprints. *)
+let unread_of args = function
+  | Some (fi : Probe.info) when Probe.clean fi.Probe.in_foot ->
+    let fp = fi.Probe.in_foot in
+    Some
+      (Array.of_list
+         (List.mapi
+            (fun i arg ->
+              match arg with
+              | Types.Arg_dat { map = Some _; access; _ }
+                when Access.reads access && i < Array.length fp.Probe.fp_args ->
+                not (Array.exists Fun.id fp.Probe.fp_args.(i).Probe.af_read)
+              | Types.Arg_dat _ | Types.Arg_gbl _ -> false)
+            args))
+  | Some _ | None -> None
+
+let set_infer ctx enabled = ctx.infer <- enabled
+let infer_enabled ctx = ctx.infer
+
+let footprints ctx =
+  Hashtbl.fold (fun _ fi acc -> fi :: acc) ctx.foot_tbl []
+  |> List.sort (fun a b ->
+         compare a.Probe.in_loop.Descr.loop_name b.Probe.in_loop.Descr.loop_name)
+
+let execute_loop ctx ~name ~foot ?handle iter_set args kernel =
   match ctx.dist with
   | Some d ->
     (* Rank-local plans have their own cache; handles do not apply. *)
     let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
-    Dist.par_loop ~halo_seconds ~overlap_seconds d ~name ~iter_set ~args ~kernel;
+    Dist.par_loop ?unread:(unread_of args foot) ~halo_seconds ~overlap_seconds d
+      ~name ~iter_set ~args ~kernel;
     Profile.record_halo ctx.profile ~name ~overlapped:!overlap_seconds
       ~seconds:!halo_seconds ()
   | None -> (
@@ -405,7 +484,7 @@ let execute_loop ctx ~name ?handle iter_set args kernel =
           Am_obs.Counters.add Am_obs.Obs.analysis_plan_violations (List.length vs);
           raise (Exec_check.Violation (Plan.violation_to_string ~name v))
       end;
-      Exec_check.run ~name ~set_size ~args ~kernel ()
+      Exec_check.run ~light:(light_of foot) ~name ~set_size ~args ~kernel ()
     | Cuda_sim config -> (
       (* The SoA strategy replaces dataset arrays on first touch; convert
          before resolving so the cached executor is compiled against the
@@ -431,12 +510,13 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle iter_set args
   (match ctx.fault with
   | Some f -> Am_simmpi.Fault.note_loop f
   | None -> ());
+  let foot = footprint ctx ?handle descr iter_set args kernel in
   let t0 = now () in
   let traced = Am_obs.Obs.tracing () in
   let gc0 = if traced then Some (Gc.quick_stat ()) else None in
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
   (match ctx.checkpoint with
-  | None -> execute_loop ctx ~name ?handle iter_set args kernel
+  | None -> execute_loop ctx ~name ~foot ?handle iter_set args kernel
   | Some session ->
     (* Checkpointing mode: the session decides whether to run the body
        (skipped while fast-forwarding, with logged global outputs replayed),
@@ -449,7 +529,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle iter_set args
         args
     in
     Am_checkpoint.Runtime.step ~gbl_out session ~descr ~run:(fun () ->
-        execute_loop ctx ~name ?handle iter_set args kernel));
+        execute_loop ctx ~name ~foot ?handle iter_set args kernel));
   if traced then Am_obs.Obs.end_span ();
   let seconds = now () -. t0 in
   (match gc0 with

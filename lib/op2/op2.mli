@@ -253,6 +253,20 @@ val par_loop :
   (float array array -> unit) ->
   unit
 
+(** {1 Kernel footprint inference}
+
+    On by default and cached once per loop signature: each kernel is probed
+    over sentinel-filled staging buffers before its first execution, and the
+    observed footprint is compared against the declared descriptor by
+    {!Am_analysis.Verify}.  Clean footprints let the Check backend skip the
+    per-element guards the probes already proved and let the distributed
+    backend drop halo exchanges for indirectly-read datasets the kernel
+    never reads. *)
+
+val set_infer : ctx -> bool -> unit
+val infer_enabled : ctx -> bool
+val footprints : ctx -> Am_core.Probe.info list
+
 (** {1 Diagnostics} *)
 
 (** Human-readable summary of every cached execution plan (block counts and

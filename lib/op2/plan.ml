@@ -239,6 +239,9 @@ type entry = {
   entry_name : string; (* loop name, for plan/compile trace spans *)
   entry_plan : t Lazy.t;
   mutable entry_exec : Exec_common.compiled_arg array option;
+  mutable entry_foot : Am_core.Probe.info option;
+      (* inferred kernel footprint, cached per signature alongside the plan
+         so handle-resolved call sites skip the footprint-table lookup *)
 }
 
 type cache = {
@@ -274,6 +277,7 @@ let find_entry cache ~name ~iter_set ~block_size args =
             (Obs.span ~cat:Cat.Plan name (fun () ->
                  count_build (build ~set_size:iter_set.set_size ~block_size args)));
         entry_exec = None;
+        entry_foot = None;
       }
     in
     Hashtbl.add cache.table key e;
@@ -350,6 +354,25 @@ let resolve cache handle ~name ~iter_set ~block_size args =
       e
   in
   (entry, entry_exec entry args)
+
+(* Footprint side-channel: a handle whose last resolution is still valid for
+   these arguments exposes the entry's cached footprint; [set_handle_foot]
+   stores one there after the first (Hashtbl-keyed) inference.  Validity
+   mirrors [resolve] minus the block size — a footprint depends only on the
+   kernel and the descriptor, never on the block decomposition. *)
+let handle_foot cache handle ~iter_set args =
+  match handle.h_entry with
+  | Some e
+    when handle.h_generation = cache.generation
+         && handle.h_set_id = iter_set.set_id
+         && args_match handle.h_args args ->
+    e.entry_foot
+  | Some _ | None -> None
+
+let set_handle_foot handle fi =
+  match handle.h_entry with
+  | Some e when e.entry_foot = None -> e.entry_foot <- Some fi
+  | Some _ | None -> ()
 
 (* Diagnostics / test hooks: what the handle last resolved to. *)
 let handle_plan handle =

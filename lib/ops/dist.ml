@@ -223,7 +223,7 @@ let exchange ?depth t dat =
 
 (* ---- Loop execution --------------------------------------------------- *)
 
-let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
+let par_loop ?ext ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
     ~args ~kernel =
   (* Grid-transfer strides cross the row decomposition arbitrarily:
      unsupported on partitioned contexts (multigrid levels would need a
@@ -235,16 +235,30 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
                      partitioned contexts"
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args;
-  (* Ghost exchanges for stencil-read datasets (deduplicated per dataset). *)
+  (* Ghost exchanges for stencil-read datasets (deduplicated per dataset).
+     When footprint inference proved the kernel's read extent shallower
+     than its declared stencil ([ext], -1 where no proof), the exchange
+     depth — and the overlap margin downstream — shrink to the observed
+     extent; depth 0 drops the exchange altogether. *)
   let seen = Hashtbl.create 4 in
-  List.iter
-    (function
+  List.iteri
+    (fun i arg ->
+      match arg with
       | Arg_dat { dat; stencil; access; _ }
         when Access.reads access && stencil_extent stencil > 0 ->
         (* Deepest stencil of this loop on this dataset decides the depth. *)
-        let need = stencil_extent stencil in
-        let prev = try Hashtbl.find seen dat.dat_id with Not_found -> 0 in
-        if need > prev then Hashtbl.replace seen dat.dat_id need
+        let declared = stencil_extent stencil in
+        let need =
+          match ext with
+          | Some e when i < Array.length e && e.(i) >= 0 && e.(i) < declared ->
+            Obs_counters.add Obs.halo_depth_saved (declared - e.(i));
+            e.(i)
+          | Some _ | None -> declared
+        in
+        if need > 0 then begin
+          let prev = try Hashtbl.find seen dat.dat_id with Not_found -> 0 in
+          if need > prev then Hashtbl.replace seen dat.dat_id need
+        end
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args;
   let needs =

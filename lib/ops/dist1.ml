@@ -171,18 +171,30 @@ let exchange t dat =
   | None -> ()
   | Some token -> exchange_finish t dat token
 
-let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
+let par_loop ?ext ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
     ~args ~kernel =
   (* Stencil-read datasets needing an exchange, with the deepest stencil of
-     the loop on each (that decides the interior margin). *)
+     the loop on each (that decides the interior margin).  Footprint
+     inference tightens the depth to the observed read extent ([ext], -1
+     where no proof); observed centre-only reads skip the exchange. *)
   let seen = Hashtbl.create 4 in
-  List.iter
-    (function
+  List.iteri
+    (fun i arg ->
+      match arg with
       | Arg_dat { dat; stencil; access }
         when Access.reads access && stencil_extent stencil > 0 ->
-        let need = stencil_extent stencil in
-        let prev = try Hashtbl.find seen dat.dat_id with Not_found -> 0 in
-        if need > prev then Hashtbl.replace seen dat.dat_id need
+        let declared = stencil_extent stencil in
+        let need =
+          match ext with
+          | Some e when i < Array.length e && e.(i) >= 0 && e.(i) < declared ->
+            Obs_counters.add Obs.halo_depth_saved (declared - e.(i));
+            e.(i)
+          | Some _ | None -> declared
+        in
+        if need > 0 then begin
+          let prev = try Hashtbl.find seen dat.dat_id with Not_found -> 0 in
+          if need > prev then Hashtbl.replace seen dat.dat_id need
+        end
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args;
   let needs =

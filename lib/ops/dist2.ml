@@ -274,7 +274,7 @@ let exchange t dat =
 
 (* ---- Loop execution --------------------------------------------------- *)
 
-let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
+let par_loop ?ext ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
     ~args ~kernel =
   List.iter
     (function
@@ -283,20 +283,41 @@ let par_loop ?(halo_seconds = ref 0.0) ?(overlap_seconds = ref 0.0) t ~range
                      partitioned contexts"
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args;
-  (* Stencil-read datasets needing a ghost exchange (deduplicated). *)
+  (* Stencil-read datasets needing a ghost exchange (deduplicated).  The
+     two-phase exchange is all-or-nothing at the full ghost depth, so the
+     inference-tightened extents ([ext], -1 where no proof) act here as a
+     filter: a dataset whose every stencil read was observed centre-only
+     skips its exchange outright. *)
   let seen = Hashtbl.create 4 in
-  let needs = ref [] in
-  List.iter
-    (function
+  let order = ref [] in
+  List.iteri
+    (fun i arg ->
+      match arg with
       | Arg_dat { dat; stencil; access; _ }
-        when Access.reads access
-             && stencil_extent stencil > 0
-             && not (Hashtbl.mem seen dat.dat_id) ->
-        Hashtbl.add seen dat.dat_id ();
-        needs := dat :: !needs
+        when Access.reads access && stencil_extent stencil > 0 ->
+        let declared = stencil_extent stencil in
+        let need =
+          match ext with
+          | Some e when i < Array.length e && e.(i) >= 0 && e.(i) < declared ->
+            e.(i)
+          | Some _ | None -> declared
+        in
+        if not (Hashtbl.mem seen dat.dat_id) then order := dat :: !order;
+        let prev = try Hashtbl.find seen dat.dat_id with Not_found -> -1 in
+        if need > prev then Hashtbl.replace seen dat.dat_id need
       | Arg_dat _ | Arg_gbl _ | Arg_idx -> ())
     args;
-  let needs = List.rev !needs in
+  let needs =
+    List.filter
+      (fun (d : dat) ->
+        match Hashtbl.find_opt seen d.dat_id with
+        | Some need when need > 0 -> true
+        | Some _ ->
+          Obs_counters.add Obs.halo_depth_saved d.halo;
+          false
+        | None -> false)
+      (List.rev !order)
+  in
   let exposed = ref 0.0 and xfer = ref 0.0 in
   (* Executed sub-box of rank [r]: intersection of the range with its owned
      region of the reference space (edge ranks extend to infinity). *)

@@ -90,54 +90,63 @@ let gather ~name ~arg_i g ~x ~y ~z =
     | Access.Min | Access.Max ->
       fail ~name ~arg_i ~what:dat.dat_name ~x ~y ~z "Min/Max access on a dataset")
 
-let check_and_scatter ~name ~arg_i g ~x ~y ~z =
+(* [light] as in [Exec_check]: inference proved the footprint, so the
+   snapshot compares and canary sweeps are skipped; NaN checks stay. *)
+let check_and_scatter ~light ~name ~arg_i g ~x ~y ~z =
   match g with
   | G_idx { buf } ->
-    for d = 3 to 4 do
-      if not (is_canary buf.(d)) then
+    if not light then begin
+      for d = 3 to 4 do
+        if not (is_canary buf.(d)) then
+          fail ~name ~arg_i ~what:"idx" ~x ~y ~z
+            "kernel wrote past the 3 iteration-index slots"
+      done;
+      if
+        (not (same_bits buf.(0) (Float.of_int x)))
+        || (not (same_bits buf.(1) (Float.of_int y)))
+        || not (same_bits buf.(2) (Float.of_int z))
+      then
         fail ~name ~arg_i ~what:"idx" ~x ~y ~z
-          "kernel wrote past the 3 iteration-index slots"
-    done;
-    if
-      (not (same_bits buf.(0) (Float.of_int x)))
-      || (not (same_bits buf.(1) (Float.of_int y)))
-      || not (same_bits buf.(2) (Float.of_int z))
-    then
-      fail ~name ~arg_i ~what:"idx" ~x ~y ~z "kernel wrote the (read-only) index buffer"
+          "kernel wrote the (read-only) index buffer"
+    end
   | G_gbl { gname; user_buf; access; buf; snapshot } -> (
     let dim = Array.length user_buf in
-    for d = dim to Array.length buf - 1 do
-      if not (is_canary buf.(d)) then
-        fail ~name ~arg_i ~what:gname ~x ~y ~z
-          "kernel wrote past the %d declared component(s) of the global" dim
-    done;
+    if not light then
+      for d = dim to Array.length buf - 1 do
+        if not (is_canary buf.(d)) then
+          fail ~name ~arg_i ~what:gname ~x ~y ~z
+            "kernel wrote past the %d declared component(s) of the global" dim
+      done;
     match access with
     | Access.Read ->
-      for d = 0 to dim - 1 do
-        if not (same_bits buf.(d) snapshot.(d)) then
-          fail ~name ~arg_i ~what:gname ~x ~y ~z
-            "kernel wrote component %d of a Read global (%.17g -> %.17g)" d
-            snapshot.(d) buf.(d)
-      done
+      if not light then
+        for d = 0 to dim - 1 do
+          if not (same_bits buf.(d) snapshot.(d)) then
+            fail ~name ~arg_i ~what:gname ~x ~y ~z
+              "kernel wrote component %d of a Read global (%.17g -> %.17g)" d
+              snapshot.(d) buf.(d)
+        done
     | Access.Inc | Access.Min | Access.Max -> ()
     | Access.Write | Access.Rw -> assert false)
   | G_dat { dat; stencil; access; buf; snapshot; _ } -> (
     let n = dat.dim * Array.length stencil in
-    for d = n to Array.length buf - 1 do
-      if not (is_canary buf.(d)) then
-        fail ~name ~arg_i ~what:dat.dat_name ~x ~y ~z
-          "kernel wrote past the %d declared stencil value(s): undeclared \
-           stencil point or out-of-range component index"
-          n
-    done;
+    if not light then
+      for d = n to Array.length buf - 1 do
+        if not (is_canary buf.(d)) then
+          fail ~name ~arg_i ~what:dat.dat_name ~x ~y ~z
+            "kernel wrote past the %d declared stencil value(s): undeclared \
+             stencil point or out-of-range component index"
+            n
+      done;
     match access with
     | Access.Read ->
-      for d = 0 to n - 1 do
-        if not (same_bits buf.(d) snapshot.(d)) then
-          fail ~name ~arg_i ~what:dat.dat_name ~x ~y ~z
-            "kernel wrote slot %d of a Read argument (%.17g -> %.17g)" d
-            snapshot.(d) buf.(d)
-      done
+      if not light then
+        for d = 0 to n - 1 do
+          if not (same_bits buf.(d) snapshot.(d)) then
+            fail ~name ~arg_i ~what:dat.dat_name ~x ~y ~z
+              "kernel wrote slot %d of a Read argument (%.17g -> %.17g)" d
+              snapshot.(d) buf.(d)
+        done
     | Access.Write ->
       for c = 0 to dat.dim - 1 do
         if Float.is_nan buf.(c) then
@@ -187,9 +196,13 @@ let merge_gbl g =
       done
     | Access.Write | Access.Rw -> assert false)
 
-let run ~name ~range ~args ~kernel () =
+let run ?(light = false) ~name ~range ~args ~kernel () =
   Counters.incr Obs.check_loops;
   Counters.add Obs.check_elements (range_size range);
+  if light then begin
+    Counters.incr Obs.check_light_loops;
+    Counters.add Obs.check_light_elements (range_size range)
+  end;
   let guarded = Array.of_list (guard_args args) in
   let buffers =
     Array.map
@@ -207,7 +220,9 @@ let run ~name ~range ~args ~kernel () =
              "check: loop %s, point (%d,%d,%d): kernel raised Invalid_argument \
               (%s) — out-of-range staging-buffer index"
              name x y z msg);
-        Array.iteri (fun i g -> check_and_scatter ~name ~arg_i:i g ~x ~y ~z) guarded
+        Array.iteri
+          (fun i g -> check_and_scatter ~light ~name ~arg_i:i g ~x ~y ~z)
+          guarded
       done
     done
   done;

@@ -21,6 +21,7 @@
 
 module Access = Am_core.Access
 module Descr = Am_core.Descr
+module Probe = Am_core.Probe
 module Profile = Am_core.Profile
 module Trace = Am_core.Trace
 
@@ -74,6 +75,7 @@ type queued_loop = {
   q_kernel : float array array -> unit;
   q_handle : handle option;
   q_snapshots : (float array * float array) list; (* user buffer, copy *)
+  q_foot : Probe.info option; (* observed footprint, if inference is on *)
 }
 
 (* A chain entry: a recorded loop, or an order-preserving deferred data
@@ -94,6 +96,9 @@ type ctx = {
   mutable chain_rev : chain_item list;
   mutable chain_len : int;
   mutable obs_hooked : bool;
+  (* Kernel footprint inference (once per loop signature). *)
+  mutable infer : bool;
+  foot_tbl : (string, Probe.info) Hashtbl.t;
 }
 
 (* Outer-axis (row) slab height of the skewed tiles. *)
@@ -118,7 +123,74 @@ let create ?(backend = Seq) () =
     chain_rev = [];
     chain_len = 0;
     obs_hooked = false;
+    infer = true;
+    foot_tbl = Hashtbl.create 32;
   }
+
+(* ---- Kernel footprint inference ----------------------------------------- *)
+
+(* Observed Chebyshev read extent per argument, computed against the real
+   stencil offsets (which [Descr] does not keep): the widest offset whose
+   point was observed read on some probe.  [-1] marks "no tightening" —
+   not a stencil read, or a footprint the consumers must not act on. *)
+let observed_exts args (fp : Probe.t) =
+  let usable = Probe.clean fp in
+  Array.of_list
+    (List.mapi
+       (fun i arg ->
+         match arg with
+         | Types.Arg_dat { dat; stencil; access; _ }
+           when usable && Access.reads access && i < Array.length fp.Probe.fp_args
+           ->
+           let pr = Probe.points_read fp.Probe.fp_args.(i) ~dim:dat.Types.dim in
+           let ext = ref 0 in
+           Array.iteri
+             (fun p (dx, dy) ->
+               if p < Array.length pr && pr.(p) then
+                 ext := max !ext (max (abs dx) (abs dy)))
+             stencil;
+           !ext
+         | Types.Arg_dat _ | Types.Arg_gbl _ | Types.Arg_idx -> -1)
+       args)
+
+(* Probe on first sight of a loop signature, then serve the cached
+   observation: the kernel is a pure function of its staging buffers, so
+   one inference per (name, argument structure) covers every later call. *)
+let footprint ctx (descr : Descr.loop) args kernel =
+  if not ctx.infer then None
+  else begin
+    let key = Probe.signature descr in
+    match Hashtbl.find_opt ctx.foot_tbl key with
+    | Some fi ->
+      Am_obs.Counters.incr Am_obs.Obs.infer_hits;
+      Some fi
+    | None ->
+      Am_obs.Counters.incr Am_obs.Obs.infer_misses;
+      let fp = Probe.infer ~loop:descr ~kernel in
+      let fi =
+        { Probe.in_loop = descr; in_foot = fp; in_read_ext = observed_exts args fp }
+      in
+      Hashtbl.add ctx.foot_tbl key fi;
+      Some fi
+  end
+
+(* The sanitizer drops to light mode (NaN checks only) exactly when the
+   static pass proved the declaration: a loop whose footprint was caught
+   violating keeps the full per-element guards, so the pinned dynamic
+   violation is still raised. *)
+let light_of = function
+  | Some fi -> Probe.clean fi.Probe.in_foot
+  | None -> false
+
+let set_infer ctx enabled = ctx.infer <- enabled
+let infer_enabled ctx = ctx.infer
+
+(* Every footprint this context has inferred, for the analysis layer
+   ([Verify.check], halo-schedule tightening). *)
+let footprints ctx =
+  Hashtbl.fold (fun _ fi acc -> fi :: acc) ctx.foot_tbl []
+  |> List.sort (fun a b ->
+         compare a.Probe.in_loop.Descr.loop_name b.Probe.in_loop.Descr.loop_name)
 
 (* ---- Lazy loop chains (record / flush / tile) --------------------------- *)
 
@@ -191,19 +263,38 @@ let loop_tileable q =
    [li_writes] plus a centre-row touch in [li_reads]; reading accesses
    contribute their stencil's row extents. *)
 let entry_info q =
+  (* When inference proved the declaration, the skew distances come from
+     the points observed read, not the declared stencil: an over-declared
+     point costs tile skew for nothing. *)
+  let foot =
+    match q.q_foot with
+    | Some fi when Probe.clean fi.Probe.in_foot -> Some fi.Probe.in_foot
+    | Some _ | None -> None
+  in
   let reads = ref [] and writes = ref [] in
-  List.iter
-    (function
+  List.iteri
+    (fun i arg ->
+      match arg with
       | Types.Arg_dat { dat; stencil; access; _ } ->
         let id = dat.Types.dat_id in
         if Access.writes access then writes := id :: !writes;
         let below = ref 0 and above = ref 0 in
-        if Access.reads access then
-          Array.iter
-            (fun (_dx, dy) ->
-              if -dy > !below then below := -dy;
-              if dy > !above then above := dy)
-            stencil;
+        if Access.reads access then begin
+          let keep =
+            match foot with
+            | Some fp when i < Array.length fp.Probe.fp_args ->
+              let pr = Probe.points_read fp.Probe.fp_args.(i) ~dim:dat.Types.dim in
+              fun p -> p < Array.length pr && pr.(p)
+            | Some _ | None -> fun _ -> true
+          in
+          Array.iteri
+            (fun p (_dx, dy) ->
+              if keep p then begin
+                if -dy > !below then below := -dy;
+                if dy > !above then above := dy
+              end)
+            stencil
+        end;
         reads := (id, !below, !above) :: !reads
       | Types.Arg_gbl _ | Types.Arg_idx -> ())
     q.q_args;
@@ -230,7 +321,8 @@ let run_queued_eager ctx q =
     let compiled = Option.map (fun h -> resolve_compiled h q.q_args) q.q_handle in
     Exec.run_seq ?compiled ~range:q.q_range ~args:q.q_args ~kernel:q.q_kernel ()
   | Check ->
-    Exec_check.run ~name:q.q_name ~range:q.q_range ~args:q.q_args ~kernel:q.q_kernel ()
+    Exec_check.run ~light:(light_of q.q_foot) ~name:q.q_name ~range:q.q_range
+      ~args:q.q_args ~kernel:q.q_kernel ()
   | Shared _ | Cuda_sim _ -> assert false (* lazy_active excludes these *));
   if traced then Am_obs.Obs.end_span ();
   record_entry_profile ctx q ~seconds:(now () -. t0)
@@ -303,7 +395,7 @@ let run_segment_check ctx entries =
           let q = entries.(s_loop) in
           blit_snapshots q;
           let t0 = now () in
-          Exec_check.run ~name:q.q_name
+          Exec_check.run ~light:(light_of q.q_foot) ~name:q.q_name
             ~range:{ q.q_range with ylo = s_lo; yhi = s_hi }
             ~args:q.q_args ~kernel:q.q_kernel ();
           secs.(s_loop) := !(secs.(s_loop)) +. (now () -. t0))
@@ -595,6 +687,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   (match ctx.fault with
   | Some f -> Am_simmpi.Fault.note_loop f
   | None -> ());
+  let foot = footprint ctx descr args kernel in
   if lazy_active ctx then begin
     (* Record instead of run.  A non-Read global is a demanded result (the
        caller reads the reduction buffer on return), so the loop is queued —
@@ -625,6 +718,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
            q_kernel = kernel;
            q_handle = handle;
            q_snapshots = snapshots;
+           q_foot = foot;
          });
     Am_obs.Counters.incr Am_obs.Obs.chain_loops;
     if demands_result || ctx.chain_len >= max_chain then flush ctx
@@ -636,16 +730,19 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
   let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
   let execute () =
+    let ext = Option.map (fun fi -> fi.Probe.in_read_ext) foot in
     match ctx.dist with
-    | Some (Rows d) -> Dist.par_loop ~halo_seconds ~overlap_seconds d ~range ~args ~kernel
-    | Some (Grid d) -> Dist2.par_loop ~halo_seconds ~overlap_seconds d ~range ~args ~kernel
+    | Some (Rows d) ->
+      Dist.par_loop ?ext ~halo_seconds ~overlap_seconds d ~range ~args ~kernel
+    | Some (Grid d) ->
+      Dist2.par_loop ?ext ~halo_seconds ~overlap_seconds d ~range ~args ~kernel
     | None -> (
       let compiled = Option.map (fun h -> resolve_compiled h args) handle in
       match ctx.backend with
       | Seq -> Exec.run_seq ?compiled ~range ~args ~kernel ()
       | Shared { pool } -> Exec.run_shared ?compiled pool ~range ~args ~kernel
       | Cuda_sim config -> Exec.run_cuda ?compiled config ~range ~args ~kernel
-      | Check -> Exec_check.run ~name ~range ~args ~kernel ())
+      | Check -> Exec_check.run ~light:(light_of foot) ~name ~range ~args ~kernel ())
   in
   (match ctx.checkpoint with
   | None -> execute ()

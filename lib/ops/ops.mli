@@ -289,6 +289,22 @@ val pending : ctx -> int
 (** Run every queued entry now.  Idempotent; safe on any context. *)
 val flush : ctx -> unit
 
+(** {1 Kernel footprint inference}
+
+    On by default: the first call of each loop signature interprets the
+    kernel over sentinel-laden probe buffers ({!Am_core.Probe}) and caches
+    the observed footprint.  The facade consumes the proven facts
+    immediately — distributed ghost exchanges shrink to the observed read
+    extent, the lazy tiler skews by observed (not declared) dependence
+    distances, and the Check backend drops to NaN-only guards on loops
+    whose declaration probing could not fault.  [footprints] hands the
+    observations to the analysis layer ({!Am_analysis.Verify}) for
+    observed-versus-declared diffing. *)
+
+val set_infer : ctx -> bool -> unit
+val infer_enabled : ctx -> bool
+val footprints : ctx -> Am_core.Probe.info list
+
 (** {1 Automatic checkpointing}
 
     As for OP2: one [request_checkpoint] and the library picks the cheapest

@@ -4,6 +4,7 @@
 
 module Access = Am_core.Access
 module Descr = Am_core.Descr
+module Probe = Am_core.Probe
 module Profile = Am_core.Profile
 module Trace = Am_core.Trace
 
@@ -37,6 +38,7 @@ type queued_loop = {
   q_kernel : float array array -> unit;
   q_handle : handle option;
   q_snapshots : (float array * float array) list; (* user buffer, copy *)
+  q_foot : Probe.info option; (* observed footprint, if inference is on *)
 }
 
 type chain_item = Q_loop of queued_loop | Q_op of (unit -> unit) * string
@@ -55,6 +57,9 @@ type ctx = {
   mutable chain_rev : chain_item list;
   mutable chain_len : int;
   mutable obs_hooked : bool;
+  (* Kernel footprint inference (once per loop signature). *)
+  mutable infer : bool;
+  foot_tbl : (string, Probe.info) Hashtbl.t;
 }
 
 (* x is the only (and therefore the tiled) axis; a tile is a contiguous
@@ -77,7 +82,60 @@ let create ?(backend = Seq) () =
     chain_rev = [];
     chain_len = 0;
     obs_hooked = false;
+    infer = true;
+    foot_tbl = Hashtbl.create 32;
   }
+
+(* ---- Kernel footprint inference (see [Ops] for the full commentary) ------ *)
+
+let observed_exts args (fp : Probe.t) =
+  let usable = Probe.clean fp in
+  Array.of_list
+    (List.mapi
+       (fun i arg ->
+         match arg with
+         | Types1.Arg_dat { dat; stencil; access }
+           when usable && Access.reads access && i < Array.length fp.Probe.fp_args
+           ->
+           let pr = Probe.points_read fp.Probe.fp_args.(i) ~dim:dat.Types1.dim in
+           let ext = ref 0 in
+           Array.iteri
+             (fun p dx ->
+               if p < Array.length pr && pr.(p) then ext := max !ext (abs dx))
+             stencil;
+           !ext
+         | Types1.Arg_dat _ | Types1.Arg_gbl _ | Types1.Arg_idx -> -1)
+       args)
+
+let footprint ctx (descr : Descr.loop) args kernel =
+  if not ctx.infer then None
+  else begin
+    let key = Probe.signature descr in
+    match Hashtbl.find_opt ctx.foot_tbl key with
+    | Some fi ->
+      Am_obs.Counters.incr Am_obs.Obs.infer_hits;
+      Some fi
+    | None ->
+      Am_obs.Counters.incr Am_obs.Obs.infer_misses;
+      let fp = Probe.infer ~loop:descr ~kernel in
+      let fi =
+        { Probe.in_loop = descr; in_foot = fp; in_read_ext = observed_exts args fp }
+      in
+      Hashtbl.add ctx.foot_tbl key fi;
+      Some fi
+  end
+
+let light_of = function
+  | Some fi -> Probe.clean fi.Probe.in_foot
+  | None -> false
+
+let set_infer ctx enabled = ctx.infer <- enabled
+let infer_enabled ctx = ctx.infer
+
+let footprints ctx =
+  Hashtbl.fold (fun _ fi acc -> fi :: acc) ctx.foot_tbl []
+  |> List.sort (fun a b ->
+         compare a.Probe.in_loop.Descr.loop_name b.Probe.in_loop.Descr.loop_name)
 
 (* ---- Lazy loop chains (see [Ops] for the full commentary) ---------------- *)
 
@@ -126,21 +184,38 @@ let save_gbl_live items =
 let restore_gbl_live saved =
   List.iter (fun (buf, live) -> Array.blit live 0 buf 0 (Array.length live)) saved
 
-(* Project a recorded loop onto the (only) x axis. *)
+(* Project a recorded loop onto the (only) x axis, skewing by observed
+   dependence distances when inference proved the declaration. *)
 let entry_info q =
+  let foot =
+    match q.q_foot with
+    | Some fi when Probe.clean fi.Probe.in_foot -> Some fi.Probe.in_foot
+    | Some _ | None -> None
+  in
   let reads = ref [] and writes = ref [] in
-  List.iter
-    (function
+  List.iteri
+    (fun i arg ->
+      match arg with
       | Types1.Arg_dat { dat; stencil; access } ->
         let id = dat.Types1.dat_id in
         if Access.writes access then writes := id :: !writes;
         let below = ref 0 and above = ref 0 in
-        if Access.reads access then
-          Array.iter
-            (fun dx ->
-              if -dx > !below then below := -dx;
-              if dx > !above then above := dx)
-            stencil;
+        if Access.reads access then begin
+          let keep =
+            match foot with
+            | Some fp when i < Array.length fp.Probe.fp_args ->
+              let pr = Probe.points_read fp.Probe.fp_args.(i) ~dim:dat.Types1.dim in
+              fun p -> p < Array.length pr && pr.(p)
+            | Some _ | None -> fun _ -> true
+          in
+          Array.iteri
+            (fun p dx ->
+              if keep p then begin
+                if -dx > !below then below := -dx;
+                if dx > !above then above := dx
+              end)
+            stencil
+        end;
         reads := (id, !below, !above) :: !reads
       | Types1.Arg_gbl _ | Types1.Arg_idx -> ())
     q.q_args;
@@ -165,8 +240,8 @@ let run_queued_eager ctx q =
     let compiled = Option.map (fun h -> resolve_compiled h q.q_args) q.q_handle in
     Exec1.run_seq ?compiled ~range:q.q_range ~args:q.q_args ~kernel:q.q_kernel ()
   | Check ->
-    Exec_check1.run ~name:q.q_name ~range:q.q_range ~args:q.q_args
-      ~kernel:q.q_kernel ()
+    Exec_check1.run ~light:(light_of q.q_foot) ~name:q.q_name ~range:q.q_range
+      ~args:q.q_args ~kernel:q.q_kernel ()
   | Shared _ | Cuda_sim _ -> assert false (* lazy_active excludes these *));
   if traced then Am_obs.Obs.end_span ();
   record_entry_profile ctx q ~seconds:(now () -. t0)
@@ -230,7 +305,7 @@ let run_segment_check ctx entries =
           let q = entries.(s_loop) in
           blit_snapshots q;
           let t0 = now () in
-          Exec_check1.run ~name:q.q_name
+          Exec_check1.run ~light:(light_of q.q_foot) ~name:q.q_name
             ~range:{ xlo = s_lo; xhi = s_hi }
             ~args:q.q_args ~kernel:q.q_kernel ();
           secs.(s_loop) := !(secs.(s_loop)) +. (now () -. t0))
@@ -418,6 +493,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   (match ctx.fault with
   | Some f -> Am_simmpi.Fault.note_loop f
   | None -> ());
+  let foot = footprint ctx descr args kernel in
   if lazy_active ctx then begin
     let snapshots =
       List.filter_map
@@ -444,6 +520,7 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
            q_kernel = kernel;
            q_handle = handle;
            q_snapshots = snapshots;
+           q_foot = foot;
          });
     Am_obs.Counters.incr Am_obs.Obs.chain_loops;
     if demands_result || ctx.chain_len >= max_chain then flush ctx
@@ -455,15 +532,17 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
   let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
   let execute () =
+    let ext = Option.map (fun fi -> fi.Probe.in_read_ext) foot in
     match ctx.dist with
-    | Some d -> Dist1.par_loop ~halo_seconds ~overlap_seconds d ~range ~args ~kernel
+    | Some d ->
+      Dist1.par_loop ?ext ~halo_seconds ~overlap_seconds d ~range ~args ~kernel
     | None -> (
       let compiled = Option.map (fun h -> resolve_compiled h args) handle in
       match ctx.backend with
       | Seq -> Exec1.run_seq ?compiled ~range ~args ~kernel ()
       | Shared { pool } -> Exec1.run_shared ?compiled pool ~range ~args ~kernel
       | Cuda_sim config -> Exec1.run_cuda ?compiled config ~range ~args ~kernel
-      | Check -> Exec_check1.run ~name ~range ~args ~kernel ())
+      | Check -> Exec_check1.run ~light:(light_of foot) ~name ~range ~args ~kernel ())
   in
   (match ctx.checkpoint with
   | None -> execute ()

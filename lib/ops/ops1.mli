@@ -170,6 +170,14 @@ val tile_size : ctx -> int
 val pending : ctx -> int
 val flush : ctx -> unit
 
+(** Kernel footprint inference (see {!Ops}): on by default, once per loop
+    signature; proven facts tighten halo depth and tile skew and lighten
+    the Check backend.  [footprints] feeds {!Am_analysis.Verify}. *)
+
+val set_infer : ctx -> bool -> unit
+val infer_enabled : ctx -> bool
+val footprints : ctx -> Am_core.Probe.info list
+
 (** {1 Automatic checkpointing}
 
     As for the other facades: one [request_checkpoint] and the library

@@ -104,6 +104,10 @@ let plan ~tile_size loops =
   if n = 0 then { sched_tile = tile_size; sched_sigma = [||]; sched_tiles = [||] }
   else begin
     let sigma = skew loops in
+    (* Total skew is the per-chain price of the declared (or, with footprint
+       inference, the observed) dependence distances — the counter makes
+       descriptor tightening measurable in bench output. *)
+    Array.iter (fun s -> Am_obs.Counters.add Am_obs.Obs.tile_skew_rows s) sigma;
     let base = Array.fold_left (fun a l -> min a l.li_lo) max_int loops in
     let top = ref min_int in
     Array.iteri

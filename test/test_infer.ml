@@ -1,0 +1,280 @@
+(* Tests for kernel footprint inference (Probe) and the Verify diff.
+
+   The central property is a round-trip: synthesize a (descriptor, kernel)
+   pair from a randomly chosen footprint — the kernel mechanically reads
+   exactly the chosen slots and writes exactly its output argument — and
+   inference must recover that footprint bit-for-bit: every chosen slot
+   observed read, no other slot observed read or written, the footprint
+   clean.
+
+   The mutation tests drive the whole pipeline instead: a real facade
+   context (Airfoil-shaped OP2 program, CloverLeaf-shaped OPS stencil
+   loop) runs one seeded descriptor lie — an undeclared write to a Read
+   argument, an over-declared stencil point, an Inc that overwrites — and
+   [Analysis.static_*] must report exactly that defect, naming the loop,
+   the argument and the slot. *)
+
+module Probe = Am_core.Probe
+module Descr = Am_core.Descr
+module Access = Am_core.Access
+module Trace = Am_core.Trace
+module Verify = Am_analysis.Verify
+module Finding = Am_analysis.Finding
+module Analysis = Am_analysis.Analysis
+module Op2 = Am_op2.Op2
+module Ops = Am_ops.Ops
+module Umesh = Am_mesh.Umesh
+
+let contains = Str_contains.contains
+
+(* ---- round-trip property --------------------------------------------- *)
+
+(* One synthetic input argument: [mask] marks the staging slots the
+   generated kernel actually reads (length points * dim). *)
+type arg_spec = { sp_dim : int; sp_points : int; sp_mask : bool array }
+
+let spec_gen =
+  QCheck.Gen.(
+    let input =
+      int_range 1 2 >>= fun sp_dim ->
+      int_range 1 4 >>= fun sp_points ->
+      array_size (return (sp_points * sp_dim)) bool >>= fun sp_mask ->
+      return { sp_dim; sp_points; sp_mask }
+    in
+    list_size (int_range 1 3) input >>= fun inputs ->
+    int_range 1 2 >>= fun out_dim ->
+    bool >>= fun out_inc -> return (inputs, out_dim, out_inc))
+
+let spec_print (inputs, out_dim, out_inc) =
+  let mask m =
+    String.concat "" (Array.to_list (Array.map (fun b -> if b then "1" else "0") m))
+  in
+  Printf.sprintf "inputs=[%s] out_dim=%d out=%s"
+    (String.concat "; "
+       (List.map
+          (fun sp -> Printf.sprintf "%dx%d:%s" sp.sp_points sp.sp_dim (mask sp.sp_mask))
+          inputs))
+    out_dim
+    (if out_inc then "Inc" else "Write")
+
+let descr_of_spec inputs out_dim out_inc =
+  let nin = List.length inputs in
+  let args =
+    List.mapi
+      (fun i sp ->
+        {
+          Descr.dat_name = Printf.sprintf "in%d" i;
+          dat_id = i;
+          dim = sp.sp_dim;
+          access = Access.Read;
+          kind =
+            (if sp.sp_points = 1 then Descr.Direct
+             else Descr.Stencil { points = sp.sp_points; extent = sp.sp_points / 2 });
+        })
+      inputs
+    @ [
+        {
+          Descr.dat_name = "out";
+          dat_id = nin;
+          dim = out_dim;
+          access = (if out_inc then Access.Inc else Access.Write);
+          kind = Descr.Direct;
+        };
+      ]
+  in
+  {
+    Descr.loop_name = "synth";
+    set_name = "s";
+    set_size = 0;
+    args;
+    info = Descr.default_kernel_info;
+  }
+
+(* The kernel reads exactly the masked slots (each with a distinct nonzero
+   coefficient, so any masked slot's value flows into the output) and
+   writes exactly the output argument's slots. *)
+let kernel_of_spec inputs out_dim out_inc (bufs : float array array) =
+  let nin = List.length inputs in
+  let acc = ref 1.0 in
+  List.iteri
+    (fun i sp ->
+      Array.iteri
+        (fun s m -> if m then acc := !acc +. (bufs.(i).(s) *. Float.of_int (s + 2)))
+        sp.sp_mask)
+    inputs;
+  for s = 0 to out_dim - 1 do
+    let v = (!acc *. Float.of_int (s + 1)) +. 0.25 in
+    if out_inc then bufs.(nin).(s) <- bufs.(nin).(s) +. v else bufs.(nin).(s) <- v
+  done
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"synthesized footprint round-trips exactly" ~count:100
+    (QCheck.make ~print:spec_print spec_gen)
+    (fun ((inputs, out_dim, out_inc) as spec) ->
+      let descr = descr_of_spec inputs out_dim out_inc in
+      let fp = Probe.infer ~loop:descr ~kernel:(kernel_of_spec inputs out_dim out_inc) in
+      let fail fmt = QCheck.Test.fail_reportf ("%s: " ^^ fmt) (spec_print spec) in
+      if not (Probe.clean fp) then fail "footprint not clean";
+      List.iteri
+        (fun i sp ->
+          let af = fp.Probe.fp_args.(i) in
+          if af.Probe.af_read <> sp.sp_mask then
+            fail "arg %d: observed reads differ from the synthesized mask" i;
+          if Probe.any af.Probe.af_written then fail "arg %d: phantom write observed" i;
+          if af.Probe.af_pad_read || af.Probe.af_pad_written then
+            fail "arg %d: phantom pad access" i)
+        inputs;
+      let out = fp.Probe.fp_args.(List.length inputs) in
+      if not (Array.for_all Fun.id out.Probe.af_written) then
+        fail "output: not every slot observed written";
+      if out.Probe.af_non_additive then fail "output: additive Inc flagged";
+      true)
+
+(* ---- mutation: undeclared write on an Airfoil-shaped program ----------- *)
+
+(* The res_calc shape: u read through both components of edge_cells, du
+   incremented through the same map. *)
+type mini = {
+  ctx : Op2.ctx;
+  edges : Op2.set;
+  edge_cells : Op2.map_t;
+  u : Op2.dat;
+  du : Op2.dat;
+}
+
+let build_mini () =
+  let mesh = Umesh.generate_square ~nx:9 ~ny:7 () in
+  let ctx = Op2.create () in
+  let cells = Op2.decl_set ctx ~name:"cells" ~size:mesh.Umesh.n_cells in
+  let edges = Op2.decl_set ctx ~name:"edges" ~size:mesh.Umesh.n_edges in
+  let edge_cells =
+    Op2.decl_map ctx ~name:"edge_cells" ~from_set:edges ~to_set:cells ~arity:2
+      ~values:mesh.Umesh.edge_cells
+  in
+  let init = Array.init mesh.Umesh.n_cells (fun c -> 1.0 +. (0.1 *. Float.of_int c)) in
+  let u = Op2.decl_dat ctx ~name:"u" ~set:cells ~dim:1 ~data:init in
+  let du = Op2.decl_dat_zero ctx ~name:"du" ~set:cells ~dim:1 in
+  Trace.set_enabled (Op2.trace ctx) true;
+  { ctx; edges; edge_cells; u; du }
+
+let find_verify ~severity ~loop ~arg ~needle findings =
+  List.exists
+    (fun (f : Finding.t) ->
+      f.Finding.layer = Finding.Verify
+      && f.Finding.severity = severity
+      && f.Finding.loop = loop && f.Finding.arg = arg
+      && contains f.Finding.message needle)
+    findings
+
+let test_undeclared_write () =
+  let m = build_mini () in
+  Op2.par_loop m.ctx ~name:"flux_bad" m.edges
+    [
+      Op2.arg_dat_indirect m.u m.edge_cells 0 Access.Read;
+      Op2.arg_dat_indirect m.u m.edge_cells 1 Access.Read;
+      Op2.arg_dat_indirect m.du m.edge_cells 0 Access.Inc;
+      Op2.arg_dat_indirect m.du m.edge_cells 1 Access.Inc;
+    ]
+    (fun a ->
+      let f = a.(1).(0) -. a.(0).(0) in
+      a.(2).(0) <- a.(2).(0) +. f;
+      a.(3).(0) <- a.(3).(0) -. f;
+      (* the lie: scribble on the Read argument's staging *)
+      a.(0).(0) <- 0.0);
+  let r = Analysis.static_op2 m.ctx in
+  Alcotest.(check bool)
+    "error names loop flux_bad, arg 0, slot 0" true
+    (find_verify ~severity:Finding.Error ~loop:"flux_bad" ~arg:0
+       ~needle:"observed write to slot(s) 0 of a Read argument"
+       r.Analysis.findings)
+
+(* ---- mutation: Inc that overwrites ------------------------------------ *)
+
+let test_inc_overwrite () =
+  let m = build_mini () in
+  Op2.par_loop m.ctx ~name:"flux_clobber" m.edges
+    [
+      Op2.arg_dat_indirect m.u m.edge_cells 0 Access.Read;
+      Op2.arg_dat_indirect m.du m.edge_cells 0 Access.Inc;
+    ]
+    (fun a -> (* overwrite instead of accumulate *)
+      a.(1).(0) <- a.(0).(0));
+  let r = Analysis.static_op2 m.ctx in
+  Alcotest.(check bool)
+    "error names loop flux_clobber, arg 1, overwriting Inc" true
+    (find_verify ~severity:Finding.Error ~loop:"flux_clobber" ~arg:1
+       ~needle:"Inc argument observed overwriting" r.Analysis.findings)
+
+(* ---- mutation: over-declared stencil point (CloverLeaf shape) ---------- *)
+
+let test_overdeclared_stencil () =
+  let ctx = Ops.create () in
+  let grid = Ops.decl_block ctx ~name:"grid" in
+  let u = Ops.decl_dat ctx ~name:"u" ~block:grid ~xsize:12 ~ysize:10 ~halo:1 () in
+  let w = Ops.decl_dat ctx ~name:"w" ~block:grid ~xsize:12 ~ysize:10 ~halo:1 () in
+  Ops.init ctx u (fun x y _ -> Float.of_int ((x * 3) + y));
+  Trace.set_enabled (Ops.trace ctx) true;
+  (* Declares the full 5-point stencil but reads only one point — the
+     CloverLeaf advection shape whose over-declaration the halo consumer
+     pays for. *)
+  Ops.par_loop ctx ~name:"advec_narrow" grid (Ops.interior u)
+    [
+      Ops.arg_dat u Ops.stencil_2d_5pt Access.Read;
+      Ops.arg_dat w Ops.stencil_point Access.Write;
+    ]
+    (fun a -> a.(1).(0) <- 2.0 *. a.(0).(0));
+  let r = Analysis.static_ops ctx in
+  let fs = r.Analysis.findings in
+  Alcotest.(check bool)
+    "warning names loop advec_narrow, arg 0, unread stencil points" true
+    (find_verify ~severity:Finding.Warning ~loop:"advec_narrow" ~arg:0
+       ~needle:"never observed read" fs);
+  Alcotest.(check bool)
+    "no error-severity finding for a mere over-declaration" true
+    (not (List.exists Finding.is_error fs))
+
+(* ---- direct Verify diff on a hand-built footprint ---------------------- *)
+
+(* The Verify layer itself, without a facade: an undeclared write shows as
+   an Error carrying the slot list, an unread declared argument as a
+   Warning — the severity split the probing soundness model dictates. *)
+let test_verify_severity_split () =
+  let descr =
+    descr_of_spec
+      [ { sp_dim = 1; sp_points = 1; sp_mask = [| false |] } ]
+      1 false
+  in
+  let fp =
+    Probe.infer ~loop:descr ~kernel:(fun bufs ->
+        bufs.(1).(0) <- 1.0 +. bufs.(0).(0);
+        bufs.(0).(0) <- 7.0 (* undeclared write *))
+  in
+  let fi = { Probe.in_loop = descr; in_foot = fp; in_read_ext = [| -1; -1 |] } in
+  let fs = Verify.check [ fi ] in
+  Alcotest.(check bool)
+    "undeclared write is an error" true
+    (find_verify ~severity:Finding.Error ~loop:"synth" ~arg:0
+       ~needle:"observed write to slot(s) 0" fs);
+  Alcotest.(check bool)
+    "clean footprints are withheld from consumers" false
+    (Probe.clean fp)
+
+let () =
+  Alcotest.run "infer"
+    [
+      ( "roundtrip",
+        [ QCheck_alcotest.to_alcotest prop_roundtrip ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "undeclared write (airfoil shape)" `Quick
+            test_undeclared_write;
+          Alcotest.test_case "inc overwrite (airfoil shape)" `Quick
+            test_inc_overwrite;
+          Alcotest.test_case "over-declared stencil (cloverleaf shape)" `Quick
+            test_overdeclared_stencil;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "severity split" `Quick test_verify_severity_split;
+        ] );
+    ]
