@@ -61,7 +61,7 @@ let seeded_mutation () =
     (* the lie: an undeclared write to the Read argument *)
     bufs.(0).(0) <- 0.0
   in
-  let fp = Probe.infer ~loop:descr ~kernel in
+  let fp = Probe.infer ~loop:descr ~kernel () in
   { Probe.in_loop = descr; in_foot = fp; in_read_ext = [| -1; -1 |] }
 
 let target_of_string = function

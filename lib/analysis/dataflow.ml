@@ -195,11 +195,18 @@ let halo_schedule ?(inferred = []) (loops : Descr.loop list) =
       match Hashtbl.find_opt ext_tbl name with
       | None -> Hashtbl.add ext_tbl name (Array.copy exts)
       | Some prev ->
-        (* several signatures under one loop name: keep the widest observed
-           radius — only facts every variant exhibits may tighten *)
-        Array.iteri
-          (fun i e -> if i < Array.length prev && e > prev.(i) then prev.(i) <- e)
-          exts)
+        (* several signatures under one loop name: a radius may tighten
+           only when every variant proves it, so the no-information
+           sentinel (-1) is absorbing — max would let one clean variant
+           tighten past another variant's unproven footprint — and a
+           mismatched argument count discards the whole entry *)
+        if Array.length prev <> Array.length exts then
+          Hashtbl.replace ext_tbl name [||]
+        else
+          Array.iteri
+            (fun i e ->
+              prev.(i) <- (if e < 0 || prev.(i) < 0 then -1 else max e prev.(i)))
+            exts)
     inferred;
   let observed l i =
     match Hashtbl.find_opt ext_tbl l with

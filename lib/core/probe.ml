@@ -59,10 +59,18 @@ type t = {
    argument structure (name, dim, access, kind with stencil shape).  Two
    call sites that disagree on any of those probe separately; iteration
    range and set size are deliberately excluded — the kernel does not see
-   them, and apps like TeaLeaf pass fresh global literals per call. *)
-let signature (loop : Descr.loop) =
+   them, and apps like TeaLeaf pass fresh global literals per call.
+
+   [Descr] renders a stencil as only its point count and radius, so the
+   facades must pass the concrete offsets (and strides) through [salt]:
+   without it a 2-point horizontal and a 2-point vertical stencil under
+   the same loop name would share one cached footprint, and the
+   offset-indexed masks of the first call would be applied to the other
+   call's offsets. *)
+let signature ?(salt = "") (loop : Descr.loop) =
   loop.Descr.loop_name ^ "|"
   ^ String.concat "," (List.map Descr.arg_to_string loop.Descr.args)
+  ^ salt
 
 let slots_of (a : Descr.arg) =
   match a.Descr.kind with
@@ -73,8 +81,6 @@ let slots_of (a : Descr.arg) =
    an index that the Check backend would catch in the canary tail is also
    observed here. *)
 let pad_of (a : Descr.arg) = max 2 a.Descr.dim
-
-let is_idx (a : Descr.arg) = a.Descr.dat_name = "idx" && a.Descr.kind = Descr.Global
 
 (* ---- deterministic probe values -------------------------------------- *)
 
@@ -139,7 +145,13 @@ let write_sentinel ~seed ~probe ~arg ~slot =
 
 exception Probe_stop of string option * string option (* oob, failed *)
 
-let infer ~(loop : Descr.loop) ~(kernel : float array array -> unit) =
+(* [idx] marks argument positions the facade declared as iteration-index
+   buffers (its [Arg_idx] constructor) — [Descr] flattens those into a
+   Read global, and matching on the rendered name would misprobe a user
+   global genuinely called "idx". *)
+let infer ?(idx = [||]) ~(loop : Descr.loop) ~(kernel : float array array -> unit)
+    () =
+  let is_idx i = i < Array.length idx && idx.(i) in
   Counters.incr Obs.infer_signatures;
   let t0 = Sys.time () in
   let seed = hash_string (signature loop) in
@@ -208,7 +220,7 @@ let infer ~(loop : Descr.loop) ~(kernel : float array array -> unit) =
                 | A.Min -> 1.0e30
                 | A.Max -> -1.0e30
                 | A.Read | A.Rw ->
-                  if is_idx a then idx_value ~probe ~slot:s
+                  if is_idx i then idx_value ~probe ~slot:s
                   else probe_value ~seed ~probe ~arg:i ~slot:s)
          done
        done;

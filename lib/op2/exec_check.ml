@@ -123,21 +123,22 @@ let gather_dat ~name ~arg_i g e =
       fail ~name ~arg_i ~what:dat.dat_name ~elem "Min/Max access on a dat argument")
 
 (* [light] is the inference-backed fast path: the loop's footprint was
-   probed clean against its descriptor, so the canary sweeps and bitwise
-   snapshot compares those probes already covered are skipped; the NaN
-   checks on scattered outputs stay (they guard values, not footprints).
-   Loops whose footprint was caught lying never run light, so every
-   violation the full guards would raise still is. *)
+   probed clean against its descriptor, so the bitwise Read snapshot
+   compares are skipped; the NaN checks on scattered outputs AND the
+   cheap canary-pad sweeps stay — probed-clean is a 4-sample fact, and
+   the pad sweep still catches an out-of-bounds component index behind a
+   branch the probes never triggered, at the offending element.  Loops
+   whose footprint was caught lying never run light, so every violation
+   the full guards would raise still is. *)
 let check_and_scatter ~light ~name ~arg_i g e =
   match g with
   | G_gbl { name = gname; user_buf; access; buf; snapshot } ->
     let dim = Array.length user_buf in
-    if not light then
-      for d = 0 to pad - 1 do
-        if not (is_canary buf.(dim + d)) then
-          fail ~name ~arg_i ~what:gname ~elem:e
-            "kernel wrote past the %d declared component(s) of the global" dim
-      done;
+    for d = 0 to pad - 1 do
+      if not (is_canary buf.(dim + d)) then
+        fail ~name ~arg_i ~what:gname ~elem:e
+          "kernel wrote past the %d declared component(s) of the global" dim
+    done;
     (match access with
     | Access.Read ->
       if not light then
@@ -155,12 +156,11 @@ let check_and_scatter ~light ~name ~arg_i g e =
     | Access.Write | Access.Rw -> assert false)
   | G_dat { dat; access; map; buf; snapshot } -> (
     let elem = target_of ~map e in
-    if not light then
-      for d = 0 to pad - 1 do
-        if not (is_canary buf.(dat.dim + d)) then
-          fail ~name ~arg_i ~what:dat.dat_name ~elem
-            "kernel wrote past the %d declared component(s) of the staging buffer"
-            dat.dim
+    for d = 0 to pad - 1 do
+      if not (is_canary buf.(dat.dim + d)) then
+        fail ~name ~arg_i ~what:dat.dat_name ~elem
+          "kernel wrote past the %d declared component(s) of the staging buffer"
+          dat.dim
       done;
     match access with
     | Access.Read ->

@@ -51,6 +51,10 @@ type ctx = {
   mutable checkpoint : Am_checkpoint.Runtime.session option;
   mutable fault : Am_simmpi.Fault.t option;
   mutable infer : bool; (* kernel footprint inference (on by default) *)
+  (* Spend sampled never-observed-read facts on dropping halo exchanges:
+     explicit opt-in, off by default (see DESIGN.md 5j) — a read the
+     probes never triggered must not leave a rank consuming stale ghosts. *)
+  mutable tighten : bool;
   foot_tbl : (string, Probe.info) Hashtbl.t; (* keyed by Probe.signature *)
 }
 
@@ -65,6 +69,7 @@ let create ?(backend = Seq) () =
     checkpoint = None;
     fault = None;
     infer = true;
+    tighten = false;
     foot_tbl = Hashtbl.create 32;
   }
 
@@ -382,7 +387,7 @@ let footprint ctx ?handle (descr : Descr.loop) iter_set args kernel =
           fi
         | None ->
           Am_obs.Counters.incr Am_obs.Obs.infer_misses;
-          let fp = Probe.infer ~loop:descr ~kernel in
+          let fp = Probe.infer ~loop:descr ~kernel () in
           (* Unstructured arguments carry no stencil radius to tighten; the
              extent column is the no-information marker throughout. *)
           let fi =
@@ -420,6 +425,8 @@ let unread_of args = function
 
 let set_infer ctx enabled = ctx.infer <- enabled
 let infer_enabled ctx = ctx.infer
+let set_tighten ctx enabled = ctx.tighten <- enabled
+let tighten_enabled ctx = ctx.tighten
 
 let footprints ctx =
   Hashtbl.fold (fun _ fi acc -> fi :: acc) ctx.foot_tbl []
@@ -431,7 +438,8 @@ let execute_loop ctx ~name ~foot ?handle iter_set args kernel =
   | Some d ->
     (* Rank-local plans have their own cache; handles do not apply. *)
     let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
-    Dist.par_loop ?unread:(unread_of args foot) ~halo_seconds ~overlap_seconds d
+    let unread = if ctx.tighten then unread_of args foot else None in
+    Dist.par_loop ?unread ~halo_seconds ~overlap_seconds d
       ~name ~iter_set ~args ~kernel;
     Profile.record_halo ctx.profile ~name ~overlapped:!overlap_seconds
       ~seconds:!halo_seconds ()

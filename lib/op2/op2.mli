@@ -259,12 +259,20 @@ val par_loop :
     over sentinel-filled staging buffers before its first execution, and the
     observed footprint is compared against the declared descriptor by
     {!Am_analysis.Verify}.  Clean footprints let the Check backend skip the
-    per-element guards the probes already proved and let the distributed
-    backend drop halo exchanges for indirectly-read datasets the kernel
-    never reads. *)
+    bitwise Read snapshot compares the probes already covered.  Dropping
+    halo exchanges for indirectly-read datasets the probes never saw the
+    kernel read is an explicit opt-in via [set_tighten] (off by default):
+    never-observed is a sampled negative, and a data-dependent read the
+    probes missed would otherwise consume stale ghost elements silently. *)
 
 val set_infer : ctx -> bool -> unit
 val infer_enabled : ctx -> bool
+
+(** Opt in to dropping ghost exchanges for datasets whose reads probing
+    never observed.  Off by default; see the caveat above. *)
+val set_tighten : ctx -> bool -> unit
+
+val tighten_enabled : ctx -> bool
 val footprints : ctx -> Am_core.Probe.info list
 
 (** {1 Diagnostics} *)

@@ -106,34 +106,35 @@ let gather ~name ~arg_i g ~x ~y =
       fail ~name ~arg_i ~what:dat.dat_name ~x ~y "Min/Max access on a dataset")
 
 (* [light] is the inference-backed fast path: when the static probe proved
-   the loop's footprint exact, the bitwise snapshot compares and canary-pad
-   sweeps (the per-slot cost of the sanitizer) are skipped, keeping only
-   the NaN checks on scattered results — those guard against real data the
-   probes cannot speak for.  Loops whose footprint was caught lying never
-   run light, so every violation the full guards would raise still is. *)
+   the loop's footprint exact, the bitwise snapshot compares of Read
+   staging (the dominant per-slot cost of the sanitizer) are skipped,
+   keeping the NaN checks on scattered results AND the cheap canary-pad
+   and index-buffer sweeps — "probed clean" is itself a 4-sample fact, so
+   an out-of-bounds access or index scribble behind a branch the probes
+   never triggered is still caught at the offending element; only the
+   Read write-back guard inherits the probe's sampling blind spot.  Loops
+   whose footprint was caught lying never run light, so every violation
+   the full guards would raise still is. *)
 let check_and_scatter ~light ~name ~arg_i g ~x ~y =
   match g with
   | G_idx { buf } ->
-    if not light then begin
-      for d = 2 to 3 do
-        if not (is_canary buf.(d)) then
-          fail ~name ~arg_i ~what:"idx" ~x ~y
-            "kernel wrote past the 2 iteration-index slots"
-      done;
-      if
-        (not (same_bits buf.(0) (Float.of_int x)))
-        || not (same_bits buf.(1) (Float.of_int y))
-      then
-        fail ~name ~arg_i ~what:"idx" ~x ~y "kernel wrote the (read-only) index buffer"
-    end
+    for d = 2 to 3 do
+      if not (is_canary buf.(d)) then
+        fail ~name ~arg_i ~what:"idx" ~x ~y
+          "kernel wrote past the 2 iteration-index slots"
+    done;
+    if
+      (not (same_bits buf.(0) (Float.of_int x)))
+      || not (same_bits buf.(1) (Float.of_int y))
+    then
+      fail ~name ~arg_i ~what:"idx" ~x ~y "kernel wrote the (read-only) index buffer"
   | G_gbl { gname; user_buf; access; buf; snapshot } -> (
     let dim = Array.length user_buf in
-    if not light then
-      for d = dim to Array.length buf - 1 do
-        if not (is_canary buf.(d)) then
-          fail ~name ~arg_i ~what:gname ~x ~y
-            "kernel wrote past the %d declared component(s) of the global" dim
-      done;
+    for d = dim to Array.length buf - 1 do
+      if not (is_canary buf.(d)) then
+        fail ~name ~arg_i ~what:gname ~x ~y
+          "kernel wrote past the %d declared component(s) of the global" dim
+    done;
     match access with
     | Access.Read ->
       if not light then
@@ -147,14 +148,13 @@ let check_and_scatter ~light ~name ~arg_i g ~x ~y =
     | Access.Write | Access.Rw -> assert false)
   | G_dat { dat; stencil; access; buf; snapshot; _ } -> (
     let n = dat.dim * Array.length stencil in
-    if not light then
-      for d = n to Array.length buf - 1 do
-        if not (is_canary buf.(d)) then
-          fail ~name ~arg_i ~what:dat.dat_name ~x ~y
-            "kernel wrote past the %d declared stencil value(s): undeclared \
-             stencil point or out-of-range component index"
-            n
-      done;
+    for d = n to Array.length buf - 1 do
+      if not (is_canary buf.(d)) then
+        fail ~name ~arg_i ~what:dat.dat_name ~x ~y
+          "kernel wrote past the %d declared stencil value(s): undeclared \
+           stencil point or out-of-range component index"
+          n
+    done;
     match access with
     | Access.Read ->
       if not light then

@@ -91,32 +91,32 @@ let gather ~name ~arg_i g ~x ~y ~z =
       fail ~name ~arg_i ~what:dat.dat_name ~x ~y ~z "Min/Max access on a dataset")
 
 (* [light] as in [Exec_check]: inference proved the footprint, so the
-   snapshot compares and canary sweeps are skipped; NaN checks stay. *)
+   bitwise Read snapshot compares are skipped; the NaN checks and the
+   cheap canary-pad/index sweeps stay — probed-clean is a sampled fact,
+   and the pad sweep still catches out-of-bounds accesses behind branches
+   the probes never triggered. *)
 let check_and_scatter ~light ~name ~arg_i g ~x ~y ~z =
   match g with
   | G_idx { buf } ->
-    if not light then begin
-      for d = 3 to 4 do
-        if not (is_canary buf.(d)) then
-          fail ~name ~arg_i ~what:"idx" ~x ~y ~z
-            "kernel wrote past the 3 iteration-index slots"
-      done;
-      if
-        (not (same_bits buf.(0) (Float.of_int x)))
-        || (not (same_bits buf.(1) (Float.of_int y)))
-        || not (same_bits buf.(2) (Float.of_int z))
-      then
+    for d = 3 to 4 do
+      if not (is_canary buf.(d)) then
         fail ~name ~arg_i ~what:"idx" ~x ~y ~z
-          "kernel wrote the (read-only) index buffer"
-    end
+          "kernel wrote past the 3 iteration-index slots"
+    done;
+    if
+      (not (same_bits buf.(0) (Float.of_int x)))
+      || (not (same_bits buf.(1) (Float.of_int y)))
+      || not (same_bits buf.(2) (Float.of_int z))
+    then
+      fail ~name ~arg_i ~what:"idx" ~x ~y ~z
+        "kernel wrote the (read-only) index buffer"
   | G_gbl { gname; user_buf; access; buf; snapshot } -> (
     let dim = Array.length user_buf in
-    if not light then
-      for d = dim to Array.length buf - 1 do
-        if not (is_canary buf.(d)) then
-          fail ~name ~arg_i ~what:gname ~x ~y ~z
-            "kernel wrote past the %d declared component(s) of the global" dim
-      done;
+    for d = dim to Array.length buf - 1 do
+      if not (is_canary buf.(d)) then
+        fail ~name ~arg_i ~what:gname ~x ~y ~z
+          "kernel wrote past the %d declared component(s) of the global" dim
+    done;
     match access with
     | Access.Read ->
       if not light then
@@ -130,14 +130,13 @@ let check_and_scatter ~light ~name ~arg_i g ~x ~y ~z =
     | Access.Write | Access.Rw -> assert false)
   | G_dat { dat; stencil; access; buf; snapshot; _ } -> (
     let n = dat.dim * Array.length stencil in
-    if not light then
-      for d = n to Array.length buf - 1 do
-        if not (is_canary buf.(d)) then
-          fail ~name ~arg_i ~what:dat.dat_name ~x ~y ~z
-            "kernel wrote past the %d declared stencil value(s): undeclared \
-             stencil point or out-of-range component index"
-            n
-      done;
+    for d = n to Array.length buf - 1 do
+      if not (is_canary buf.(d)) then
+        fail ~name ~arg_i ~what:dat.dat_name ~x ~y ~z
+          "kernel wrote past the %d declared stencil value(s): undeclared \
+           stencil point or out-of-range component index"
+          n
+    done;
     match access with
     | Access.Read ->
       if not light then

@@ -98,6 +98,11 @@ type ctx = {
   mutable obs_hooked : bool;
   (* Kernel footprint inference (once per loop signature). *)
   mutable infer : bool;
+  (* Spend sampled never-observed-read facts on runtime tightening (halo
+     depth / exchange drops / tile skew).  Off by default: absence under
+     sampling is evidence, not proof, so acting on it is an explicit
+     opt-in (see DESIGN.md 5j). *)
+  mutable tighten : bool;
   foot_tbl : (string, Probe.info) Hashtbl.t;
 }
 
@@ -124,6 +129,7 @@ let create ?(backend = Seq) () =
     chain_len = 0;
     obs_hooked = false;
     infer = true;
+    tighten = false;
     foot_tbl = Hashtbl.create 32;
   }
 
@@ -153,20 +159,52 @@ let observed_exts args (fp : Probe.t) =
          | Types.Arg_dat _ | Types.Arg_gbl _ | Types.Arg_idx -> -1)
        args)
 
+(* The concrete stencil offsets and strides, which [Descr] abstracts to a
+   point count and radius: part of the cache key because [observed_exts]
+   and the tiling projection index masks by offset position — same-shaped
+   descriptors with different offset sets must probe separately. *)
+let stencil_salt args =
+  String.concat ";"
+    (List.map
+       (function
+         | Types.Arg_dat { stencil; stride; _ } ->
+           String.concat ""
+             (Array.to_list
+                (Array.map (fun (dx, dy) -> Printf.sprintf "(%d,%d)" dx dy) stencil))
+           ^
+           if stride = Types.unit_stride then ""
+           else
+             Printf.sprintf "~%d/%d,%d/%d" stride.Types.xn stride.Types.xd
+               stride.Types.yn stride.Types.yd
+         | Types.Arg_gbl _ -> "g"
+         | Types.Arg_idx -> "i")
+       args)
+
+(* Which argument positions are iteration-index buffers, so the probe
+   feeds them grid-like coordinates (the descriptor flattens [Arg_idx]
+   into a Read global the probe could not otherwise distinguish). *)
+let idx_flags args =
+  Array.of_list
+    (List.map
+       (function
+         | Types.Arg_idx -> true
+         | Types.Arg_dat _ | Types.Arg_gbl _ -> false)
+       args)
+
 (* Probe on first sight of a loop signature, then serve the cached
    observation: the kernel is a pure function of its staging buffers, so
    one inference per (name, argument structure) covers every later call. *)
 let footprint ctx (descr : Descr.loop) args kernel =
   if not ctx.infer then None
   else begin
-    let key = Probe.signature descr in
+    let key = Probe.signature ~salt:(stencil_salt args) descr in
     match Hashtbl.find_opt ctx.foot_tbl key with
     | Some fi ->
       Am_obs.Counters.incr Am_obs.Obs.infer_hits;
       Some fi
     | None ->
       Am_obs.Counters.incr Am_obs.Obs.infer_misses;
-      let fp = Probe.infer ~loop:descr ~kernel in
+      let fp = Probe.infer ~idx:(idx_flags args) ~loop:descr ~kernel () in
       let fi =
         { Probe.in_loop = descr; in_foot = fp; in_read_ext = observed_exts args fp }
       in
@@ -184,6 +222,8 @@ let light_of = function
 
 let set_infer ctx enabled = ctx.infer <- enabled
 let infer_enabled ctx = ctx.infer
+let set_tighten ctx enabled = ctx.tighten <- enabled
+let tighten_enabled ctx = ctx.tighten
 
 (* Every footprint this context has inferred, for the analysis layer
    ([Verify.check], halo-schedule tightening). *)
@@ -262,13 +302,16 @@ let loop_tileable q =
    centre-only (validated), so a writing access contributes its dataset to
    [li_writes] plus a centre-row touch in [li_reads]; reading accesses
    contribute their stencil's row extents. *)
-let entry_info q =
-  (* When inference proved the declaration, the skew distances come from
-     the points observed read, not the declared stencil: an over-declared
-     point costs tile skew for nothing. *)
+let entry_info ~tighten q =
+  (* Under the [tighten] opt-in, when inference proved the declaration the
+     skew distances come from the points observed read, not the declared
+     stencil: an over-declared point costs tile skew for nothing.  The
+     default keeps the declared distances — a data-dependent read the
+     probes never triggered must not shrink a dependence and reorder the
+     tiles. *)
   let foot =
     match q.q_foot with
-    | Some fi when Probe.clean fi.Probe.in_foot -> Some fi.Probe.in_foot
+    | Some fi when tighten && Probe.clean fi.Probe.in_foot -> Some fi.Probe.in_foot
     | Some _ | None -> None
   in
   let reads = ref [] and writes = ref [] in
@@ -335,7 +378,7 @@ let run_queued_eager ctx q =
    eager traversal; and globals merge once per entry after the last slab,
    in chain order. *)
 let run_segment_seq ctx entries =
-  let infos = Array.map entry_info entries in
+  let infos = Array.map (entry_info ~tighten:ctx.tighten) entries in
   let sched = Tiling.find ~tile_size:ctx.tile_size infos in
   Am_obs.Counters.add Am_obs.Obs.chain_tiles (Array.length sched.Tiling.sched_tiles);
   let prepped =
@@ -384,7 +427,7 @@ let run_segment_seq ctx entries =
    first); global reductions merge per slab, which is associative for
    Inc/Min/Max — Check promises seq semantics, not bitwise identity. *)
 let run_segment_check ctx entries =
-  let infos = Array.map entry_info entries in
+  let infos = Array.map (entry_info ~tighten:ctx.tighten) entries in
   let sched = Tiling.find ~tile_size:ctx.tile_size infos in
   Am_obs.Counters.add Am_obs.Obs.chain_tiles (Array.length sched.Tiling.sched_tiles);
   let secs = Array.map (fun _ -> ref 0.0) entries in
@@ -730,7 +773,13 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
   let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
   let execute () =
-    let ext = Option.map (fun fi -> fi.Probe.in_read_ext) foot in
+    (* Halo tightening from sampled negatives is the explicit opt-in: a
+       read the probes never triggered would otherwise silently consume
+       stale ghost rows. *)
+    let ext =
+      if ctx.tighten then Option.map (fun fi -> fi.Probe.in_read_ext) foot
+      else None
+    in
     match ctx.dist with
     | Some (Rows d) ->
       Dist.par_loop ?ext ~halo_seconds ~overlap_seconds d ~range ~args ~kernel

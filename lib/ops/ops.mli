@@ -293,16 +293,32 @@ val flush : ctx -> unit
 
     On by default: the first call of each loop signature interprets the
     kernel over sentinel-laden probe buffers ({!Am_core.Probe}) and caches
-    the observed footprint.  The facade consumes the proven facts
-    immediately — distributed ghost exchanges shrink to the observed read
-    extent, the lazy tiler skews by observed (not declared) dependence
-    distances, and the Check backend drops to NaN-only guards on loops
-    whose declaration probing could not fault.  [footprints] hands the
-    observations to the analysis layer ({!Am_analysis.Verify}) for
-    observed-versus-declared diffing. *)
+    the observed footprint.  Observed facts (a write the descriptor never
+    declared, an out-of-bounds read) are definite and reported through
+    {!Am_analysis.Verify}; the Check backend also skips its bitwise Read
+    snapshot compares on loops whose declaration probing could not fault.
+
+    Sampled negatives — reads merely never observed across the probe
+    vectors — are evidence, not proof: a data-dependent branch the probes
+    never triggered could still read further.  Acting on them at runtime
+    (shrinking distributed ghost exchanges to the observed read extent,
+    skewing the lazy tiler by observed rather than declared dependence
+    distances) is therefore an explicit opt-in via [set_tighten], off by
+    default.  With tightening off those facts remain report-only:
+    {!Am_analysis.Dataflow} still prints the exchanges and skew rows the
+    observations say the declared stencils waste, so the fix is to tighten
+    the descriptor, not the runtime. *)
 
 val set_infer : ctx -> bool -> unit
 val infer_enabled : ctx -> bool
+
+(** Opt in to runtime tightening from sampled never-observed-read facts:
+    shrunken halo depths, dropped exchanges, narrowed tile skew.  Off by
+    default — enable only when the kernels' footprints are known to be
+    data-independent (no limiter-style branches that widen reads). *)
+val set_tighten : ctx -> bool -> unit
+
+val tighten_enabled : ctx -> bool
 val footprints : ctx -> Am_core.Probe.info list
 
 (** {1 Automatic checkpointing}

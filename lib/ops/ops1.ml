@@ -59,6 +59,9 @@ type ctx = {
   mutable obs_hooked : bool;
   (* Kernel footprint inference (once per loop signature). *)
   mutable infer : bool;
+  (* Runtime tightening from sampled never-observed-read facts: explicit
+     opt-in, off by default (see [Ops] and DESIGN.md 5j). *)
+  mutable tighten : bool;
   foot_tbl : (string, Probe.info) Hashtbl.t;
 }
 
@@ -83,6 +86,7 @@ let create ?(backend = Seq) () =
     chain_len = 0;
     obs_hooked = false;
     infer = true;
+    tighten = false;
     foot_tbl = Hashtbl.create 32;
   }
 
@@ -107,17 +111,38 @@ let observed_exts args (fp : Probe.t) =
          | Types1.Arg_dat _ | Types1.Arg_gbl _ | Types1.Arg_idx -> -1)
        args)
 
+(* Concrete stencil offsets, which [Descr] abstracts to a point count and
+   radius: part of the cache key (see [Ops.stencil_salt]). *)
+let stencil_salt args =
+  String.concat ";"
+    (List.map
+       (function
+         | Types1.Arg_dat { stencil; _ } ->
+           String.concat ""
+             (Array.to_list (Array.map (Printf.sprintf "(%d)") stencil))
+         | Types1.Arg_gbl _ -> "g"
+         | Types1.Arg_idx -> "i")
+       args)
+
+let idx_flags args =
+  Array.of_list
+    (List.map
+       (function
+         | Types1.Arg_idx -> true
+         | Types1.Arg_dat _ | Types1.Arg_gbl _ -> false)
+       args)
+
 let footprint ctx (descr : Descr.loop) args kernel =
   if not ctx.infer then None
   else begin
-    let key = Probe.signature descr in
+    let key = Probe.signature ~salt:(stencil_salt args) descr in
     match Hashtbl.find_opt ctx.foot_tbl key with
     | Some fi ->
       Am_obs.Counters.incr Am_obs.Obs.infer_hits;
       Some fi
     | None ->
       Am_obs.Counters.incr Am_obs.Obs.infer_misses;
-      let fp = Probe.infer ~loop:descr ~kernel in
+      let fp = Probe.infer ~idx:(idx_flags args) ~loop:descr ~kernel () in
       let fi =
         { Probe.in_loop = descr; in_foot = fp; in_read_ext = observed_exts args fp }
       in
@@ -131,6 +156,8 @@ let light_of = function
 
 let set_infer ctx enabled = ctx.infer <- enabled
 let infer_enabled ctx = ctx.infer
+let set_tighten ctx enabled = ctx.tighten <- enabled
+let tighten_enabled ctx = ctx.tighten
 
 let footprints ctx =
   Hashtbl.fold (fun _ fi acc -> fi :: acc) ctx.foot_tbl []
@@ -185,11 +212,12 @@ let restore_gbl_live saved =
   List.iter (fun (buf, live) -> Array.blit live 0 buf 0 (Array.length live)) saved
 
 (* Project a recorded loop onto the (only) x axis, skewing by observed
-   dependence distances when inference proved the declaration. *)
-let entry_info q =
+   dependence distances when inference proved the declaration and the
+   caller opted into tightening. *)
+let entry_info ~tighten q =
   let foot =
     match q.q_foot with
-    | Some fi when Probe.clean fi.Probe.in_foot -> Some fi.Probe.in_foot
+    | Some fi when tighten && Probe.clean fi.Probe.in_foot -> Some fi.Probe.in_foot
     | Some _ | None -> None
   in
   let reads = ref [] and writes = ref [] in
@@ -250,7 +278,7 @@ let run_queued_eager ctx q =
    ascending order, globals merged once per entry — bitwise equal to eager
    execution (see [Ops.run_segment_seq]). *)
 let run_segment_seq ctx entries =
-  let infos = Array.map entry_info entries in
+  let infos = Array.map (entry_info ~tighten:ctx.tighten) entries in
   let sched = Tiling.find ~tile_size:ctx.tile_size infos in
   Am_obs.Counters.add Am_obs.Obs.chain_tiles (Array.length sched.Tiling.sched_tiles);
   let prepped =
@@ -294,7 +322,7 @@ let run_segment_seq ctx entries =
     entries
 
 let run_segment_check ctx entries =
-  let infos = Array.map entry_info entries in
+  let infos = Array.map (entry_info ~tighten:ctx.tighten) entries in
   let sched = Tiling.find ~tile_size:ctx.tile_size infos in
   Am_obs.Counters.add Am_obs.Obs.chain_tiles (Array.length sched.Tiling.sched_tiles);
   let secs = Array.map (fun _ -> ref 0.0) entries in
@@ -532,7 +560,10 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
   let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
   let execute () =
-    let ext = Option.map (fun fi -> fi.Probe.in_read_ext) foot in
+    let ext =
+      if ctx.tighten then Option.map (fun fi -> fi.Probe.in_read_ext) foot
+      else None
+    in
     match ctx.dist with
     | Some d ->
       Dist1.par_loop ?ext ~halo_seconds ~overlap_seconds d ~range ~args ~kernel

@@ -70,6 +70,9 @@ type ctx = {
   mutable obs_hooked : bool;
   (* Kernel footprint inference (once per loop signature). *)
   mutable infer : bool;
+  (* Runtime tightening from sampled never-observed-read facts: explicit
+     opt-in, off by default (see [Ops] and DESIGN.md 5j). *)
+  mutable tighten : bool;
   foot_tbl : (string, Probe.info) Hashtbl.t;
 }
 
@@ -94,6 +97,7 @@ let create ?(backend = Seq) () =
     chain_len = 0;
     obs_hooked = false;
     infer = true;
+    tighten = false;
     foot_tbl = Hashtbl.create 32;
   }
 
@@ -119,17 +123,46 @@ let observed_exts args (fp : Probe.t) =
          | Types3.Arg_dat _ | Types3.Arg_gbl _ | Types3.Arg_idx -> -1)
        args)
 
+(* Concrete stencil offsets and strides, which [Descr] abstracts to a
+   point count and radius: part of the cache key (see [Ops.stencil_salt]). *)
+let stencil_salt args =
+  String.concat ";"
+    (List.map
+       (function
+         | Types3.Arg_dat { stencil; stride; _ } ->
+           String.concat ""
+             (Array.to_list
+                (Array.map
+                   (fun (dx, dy, dz) -> Printf.sprintf "(%d,%d,%d)" dx dy dz)
+                   stencil))
+           ^
+           if stride = Types3.unit_stride then ""
+           else
+             Printf.sprintf "~%d/%d,%d/%d,%d/%d" stride.Types3.xn stride.Types3.xd
+               stride.Types3.yn stride.Types3.yd stride.Types3.zn stride.Types3.zd
+         | Types3.Arg_gbl _ -> "g"
+         | Types3.Arg_idx -> "i")
+       args)
+
+let idx_flags args =
+  Array.of_list
+    (List.map
+       (function
+         | Types3.Arg_idx -> true
+         | Types3.Arg_dat _ | Types3.Arg_gbl _ -> false)
+       args)
+
 let footprint ctx (descr : Descr.loop) args kernel =
   if not ctx.infer then None
   else begin
-    let key = Probe.signature descr in
+    let key = Probe.signature ~salt:(stencil_salt args) descr in
     match Hashtbl.find_opt ctx.foot_tbl key with
     | Some fi ->
       Am_obs.Counters.incr Am_obs.Obs.infer_hits;
       Some fi
     | None ->
       Am_obs.Counters.incr Am_obs.Obs.infer_misses;
-      let fp = Probe.infer ~loop:descr ~kernel in
+      let fp = Probe.infer ~idx:(idx_flags args) ~loop:descr ~kernel () in
       let fi =
         { Probe.in_loop = descr; in_foot = fp; in_read_ext = observed_exts args fp }
       in
@@ -143,6 +176,8 @@ let light_of = function
 
 let set_infer ctx enabled = ctx.infer <- enabled
 let infer_enabled ctx = ctx.infer
+let set_tighten ctx enabled = ctx.tighten <- enabled
+let tighten_enabled ctx = ctx.tighten
 
 let footprints ctx =
   Hashtbl.fold (fun _ fi acc -> fi :: acc) ctx.foot_tbl []
@@ -206,11 +241,12 @@ let loop_tileable q =
     q.q_args
 
 (* Project a recorded loop onto the tiled (outermost, z) axis, skewing by
-   observed dependence distances when inference proved the declaration. *)
-let entry_info q =
+   observed dependence distances when inference proved the declaration and
+   the caller opted into tightening. *)
+let entry_info ~tighten q =
   let foot =
     match q.q_foot with
-    | Some fi when Probe.clean fi.Probe.in_foot -> Some fi.Probe.in_foot
+    | Some fi when tighten && Probe.clean fi.Probe.in_foot -> Some fi.Probe.in_foot
     | Some _ | None -> None
   in
   let reads = ref [] and writes = ref [] in
@@ -271,7 +307,7 @@ let run_queued_eager ctx q =
    ascending order, globals merged once per entry — bitwise equal to eager
    execution (see [Ops.run_segment_seq]). *)
 let run_segment_seq ctx entries =
-  let infos = Array.map entry_info entries in
+  let infos = Array.map (entry_info ~tighten:ctx.tighten) entries in
   let sched = Tiling.find ~tile_size:ctx.tile_size infos in
   Am_obs.Counters.add Am_obs.Obs.chain_tiles (Array.length sched.Tiling.sched_tiles);
   let prepped =
@@ -315,7 +351,7 @@ let run_segment_seq ctx entries =
     entries
 
 let run_segment_check ctx entries =
-  let infos = Array.map entry_info entries in
+  let infos = Array.map (entry_info ~tighten:ctx.tighten) entries in
   let sched = Tiling.find ~tile_size:ctx.tile_size infos in
   Am_obs.Counters.add Am_obs.Obs.chain_tiles (Array.length sched.Tiling.sched_tiles);
   let secs = Array.map (fun _ -> ref 0.0) entries in
@@ -605,7 +641,10 @@ let par_loop ctx ~name ?(info = Descr.default_kernel_info) ?handle block range a
   if traced then Am_obs.Obs.begin_span ~cat:Am_obs.Tracer.Loop name;
   let halo_seconds = ref 0.0 and overlap_seconds = ref 0.0 in
   let execute () =
-    let ext = Option.map (fun fi -> fi.Probe.in_read_ext) foot in
+    let ext =
+      if ctx.tighten then Option.map (fun fi -> fi.Probe.in_read_ext) foot
+      else None
+    in
     match ctx.dist with
     | Some (Slabs d) ->
       Dist3.par_loop ?ext ~halo_seconds ~overlap_seconds d ~range ~args ~kernel

@@ -238,11 +238,19 @@ val pending : ctx -> int
 val flush : ctx -> unit
 
 (** Kernel footprint inference (see {!Ops}): on by default, once per loop
-    signature; proven facts tighten halo depth and tile skew and lighten
-    the Check backend.  [footprints] feeds {!Am_analysis.Verify}. *)
+    signature; observed facts lighten the Check backend and feed
+    {!Am_analysis.Verify} via [footprints].  Runtime halo/skew tightening
+    from sampled negatives is opt-in ([set_tighten]). *)
 
 val set_infer : ctx -> bool -> unit
 val infer_enabled : ctx -> bool
+
+(** Opt in to runtime tightening from sampled never-observed-read facts
+    (shrunken halo depths, narrowed tile skew).  Off by default; see
+    {!Ops.set_tighten} for the soundness caveat. *)
+val set_tighten : ctx -> bool -> unit
+
+val tighten_enabled : ctx -> bool
 val footprints : ctx -> Am_core.Probe.info list
 
 (** {1 Automatic checkpointing}

@@ -112,7 +112,7 @@ let prop_roundtrip =
     (QCheck.make ~print:spec_print spec_gen)
     (fun ((inputs, out_dim, out_inc) as spec) ->
       let descr = descr_of_spec inputs out_dim out_inc in
-      let fp = Probe.infer ~loop:descr ~kernel:(kernel_of_spec inputs out_dim out_inc) in
+      let fp = Probe.infer ~loop:descr ~kernel:(kernel_of_spec inputs out_dim out_inc) () in
       let fail fmt = QCheck.Test.fail_reportf ("%s: " ^^ fmt) (spec_print spec) in
       if not (Probe.clean fp) then fail "footprint not clean";
       List.iteri
@@ -245,9 +245,11 @@ let test_verify_severity_split () =
       1 false
   in
   let fp =
-    Probe.infer ~loop:descr ~kernel:(fun bufs ->
+    Probe.infer ~loop:descr
+      ~kernel:(fun bufs ->
         bufs.(1).(0) <- 1.0 +. bufs.(0).(0);
         bufs.(0).(0) <- 7.0 (* undeclared write *))
+      ()
   in
   let fi = { Probe.in_loop = descr; in_foot = fp; in_read_ext = [| -1; -1 |] } in
   let fs = Verify.check [ fi ] in
@@ -258,6 +260,179 @@ let test_verify_severity_split () =
   Alcotest.(check bool)
     "clean footprints are withheld from consumers" false
     (Probe.clean fp)
+
+(* ---- cache key: concrete offsets, not abstracted shape ----------------- *)
+
+(* Two loops under one name whose stencils agree on everything [Descr]
+   renders (2 points, extent 1) but differ in offsets: the horizontal and
+   vertical variants must each get their own cached footprint — a shared
+   entry would apply one variant's read extents to the other's offsets. *)
+let test_stencil_salt () =
+  let ctx = Ops.create () in
+  let grid = Ops.decl_block ctx ~name:"grid" in
+  let u = Ops.decl_dat ctx ~name:"u" ~block:grid ~xsize:10 ~ysize:10 ~halo:1 () in
+  let w = Ops.decl_dat ctx ~name:"w" ~block:grid ~xsize:10 ~ysize:10 ~halo:1 () in
+  Ops.init ctx u (fun x y _ -> Float.of_int ((x * 3) + y));
+  let run stencil =
+    Ops.par_loop ctx ~name:"drift" grid (Ops.interior u)
+      [
+        Ops.arg_dat u stencil Access.Read;
+        Ops.arg_dat w Ops.stencil_point Access.Write;
+      ]
+      (fun a -> a.(1).(0) <- a.(0).(0) +. a.(0).(1))
+  in
+  run Ops.stencil_2d_plus1x;
+  run Ops.stencil_2d_plus1y;
+  Alcotest.(check int) "one cached footprint per offset set" 2
+    (List.length (Ops.footprints ctx))
+
+(* ---- probing iteration-index buffers by marker, not by name ------------ *)
+
+let idx_descr () =
+  {
+    Descr.loop_name = "idxprobe";
+    set_name = "s";
+    set_size = 0;
+    args =
+      [
+        {
+          Descr.dat_name = "idx";
+          dat_id = -1;
+          dim = 1;
+          access = Access.Read;
+          kind = Descr.Global;
+        };
+        {
+          Descr.dat_name = "out";
+          dat_id = 0;
+          dim = 1;
+          access = Access.Write;
+          kind = Descr.Direct;
+        };
+      ];
+    info = Descr.default_kernel_info;
+  }
+
+(* Only a facade-supplied [~idx] mask makes an argument probe as iteration
+   coordinates; a user global that merely happens to be named "idx" gets
+   ordinary probe values.  The first kernel call is the probe-0 baseline:
+   the coordinate fill puts exactly slot+1 = 1.0 there, the ordinary fill
+   a signature-deterministic value that is not 1.0. *)
+let test_idx_marker () =
+  let capture () =
+    let seen = ref None in
+    let kernel bufs =
+      if !seen = None then seen := Some bufs.(0).(0);
+      bufs.(1).(0) <- bufs.(0).(0) +. 1.0
+    in
+    (seen, kernel)
+  in
+  let seen_marked, k_marked = capture () in
+  ignore (Probe.infer ~idx:[| true; false |] ~loop:(idx_descr ()) ~kernel:k_marked ());
+  Alcotest.(check (option (float 0.0)))
+    "marked arg probes as coordinates" (Some 1.0) !seen_marked;
+  let seen_plain, k_plain = capture () in
+  ignore (Probe.infer ~loop:(idx_descr ()) ~kernel:k_plain ());
+  match !seen_plain with
+  | None -> Alcotest.fail "kernel never ran"
+  | Some v ->
+    Alcotest.(check bool) "unmarked \"idx\" global probes normally" true (v <> 1.0)
+
+(* ---- runtime tightening is opt-in -------------------------------------- *)
+
+(* A distributed run whose read stencil is over-declared (5-point, kernel
+   reads only the centre): by default the sampled negative must not shrink
+   any exchange; after [set_tighten] the same program drops ghost rows. *)
+let tighten_run ~tighten =
+  let ctx = Ops.create () in
+  let grid = Ops.decl_block ctx ~name:"grid" in
+  let u = Ops.decl_dat ctx ~name:"u" ~block:grid ~xsize:16 ~ysize:16 ~halo:1 () in
+  let w = Ops.decl_dat ctx ~name:"w" ~block:grid ~xsize:16 ~ysize:16 ~halo:1 () in
+  Ops.init ctx u (fun x y _ -> Float.of_int ((x * 5) + y));
+  Ops.set_tighten ctx tighten;
+  Ops.partition ctx ~n_ranks:2 ~ref_ysize:16;
+  let d0 = Am_obs.Counters.value Am_obs.Obs.halo_depth_saved in
+  for _ = 1 to 2 do
+    Ops.par_loop ctx ~name:"bump" grid (Ops.interior u)
+      [ Ops.arg_dat u Ops.stencil_point Access.Rw ]
+      (fun a -> a.(0).(0) <- a.(0).(0) +. 1.0);
+    Ops.par_loop ctx ~name:"copy_centre" grid (Ops.interior u)
+      [
+        Ops.arg_dat u Ops.stencil_2d_5pt Access.Read;
+        Ops.arg_dat w Ops.stencil_point Access.Write;
+      ]
+      (fun a -> a.(1).(0) <- a.(0).(0))
+  done;
+  Ops.flush ctx;
+  Am_obs.Counters.value Am_obs.Obs.halo_depth_saved - d0
+
+let test_tighten_opt_in () =
+  Alcotest.(check bool) "tightening is off by default" false
+    (Ops.tighten_enabled (Ops.create ()));
+  Alcotest.(check int) "no ghost rows dropped by default" 0
+    (tighten_run ~tighten:false);
+  Alcotest.(check bool) "opted-in context drops ghost rows" true
+    (tighten_run ~tighten:true > 0)
+
+(* ---- halo replay: the no-information sentinel is absorbing ------------- *)
+
+module Dataflow = Am_analysis.Dataflow
+
+let dflow_direct name id access =
+  { Descr.dat_name = name; dat_id = id; dim = 1; access; kind = Descr.Direct }
+
+let dflow_loop name args =
+  {
+    Descr.loop_name = name;
+    set_name = "cells";
+    set_size = 100;
+    args;
+    info = Descr.default_kernel_info;
+  }
+
+let test_halo_merge_absorbing () =
+  let loops =
+    [
+      dflow_loop "relax" [ dflow_direct "u" 0 Access.Write ];
+      dflow_loop "smooth"
+        [
+          {
+            Descr.dat_name = "u";
+            dat_id = 0;
+            dim = 1;
+            access = Access.Read;
+            kind = Descr.Stencil { points = 5; extent = 1 };
+          };
+          dflow_direct "out" 1 Access.Write;
+        ];
+    ]
+  in
+  (* one centre-only proven variant alone: the replay drops the exchange
+     and flags the over-declaration *)
+  let sched1, over1 =
+    Dataflow.halo_schedule ~inferred:[ ("smooth", [| 0; -1 |]) ] loops
+  in
+  Alcotest.(check int) "proven variant drops the exchange" 0 (List.length sched1);
+  Alcotest.(check int) "and reports it redundant" 1 (List.length over1);
+  (* the same proven variant plus an unproven one under the same loop
+     name: -1 absorbs, the exchange stays, no false warning *)
+  let sched2, over2 =
+    Dataflow.halo_schedule
+      ~inferred:[ ("smooth", [| 0; -1 |]); ("smooth", [| -1; -1 |]) ]
+      loops
+  in
+  Alcotest.(check int) "unproven variant keeps the exchange" 1
+    (List.length sched2);
+  Alcotest.(check int) "no false redundancy warning" 0 (List.length over2);
+  (* mismatched argument counts discard the whole entry *)
+  let sched3, over3 =
+    Dataflow.halo_schedule
+      ~inferred:[ ("smooth", [| 0; -1 |]); ("smooth", [| 0 |]) ]
+      loops
+  in
+  Alcotest.(check int) "length mismatch keeps the exchange" 1
+    (List.length sched3);
+  Alcotest.(check int) "length mismatch emits no warning" 0 (List.length over3)
 
 let () =
   Alcotest.run "infer"
@@ -276,5 +451,16 @@ let () =
       ( "verify",
         [
           Alcotest.test_case "severity split" `Quick test_verify_severity_split;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "offsets salt the footprint cache" `Quick
+            test_stencil_salt;
+          Alcotest.test_case "idx probing needs the marker, not the name" `Quick
+            test_idx_marker;
+          Alcotest.test_case "runtime tightening is opt-in" `Quick
+            test_tighten_opt_in;
+          Alcotest.test_case "halo merge: -1 absorbs" `Quick
+            test_halo_merge_absorbing;
         ] );
     ]
