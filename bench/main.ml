@@ -387,6 +387,112 @@ let print_tiling rows =
   Am_util.Table.print table;
   print_newline ()
 
+(* Parallel tiled wavefront execution: eager vs sequential-tiled vs
+   tiled-par on the domain pool for the two chain-heavy proxies.  Pool
+   size 1 isolates the wavefront dispatch overhead (same schedule, inline
+   execution); pool 4 shows what the diagonal concurrency buys. *)
+type tiling_par_row = {
+  tp_name : string;
+  tp_eager : Am_util.Regress.summary;
+  tp_tiled : Am_util.Regress.summary;
+  tp_pools : (int * Am_util.Regress.summary) list; (* pool size -> summary *)
+}
+
+let tp_best r =
+  List.fold_left
+    (fun ((_, bs) as best) ((_, s) as cand) ->
+      if s.Am_util.Regress.median < bs.Am_util.Regress.median then cand else best)
+    (List.hd r.tp_pools) (List.tl r.tp_pools)
+
+let tiling_par_accounting () =
+  let time ~warmup ~iters step =
+    for _ = 1 to warmup do step () done;
+    Am_util.Regress.summarize
+      (Array.init iters (fun _ ->
+           let t0 = Unix.gettimeofday () in
+           step ();
+           Unix.gettimeofday () -. t0))
+  in
+  (* fresh app per configuration, as in [tiling_accounting]; the setup
+     returns a finalizer so pools are shut down after timing *)
+  let measure tp_name ~tile ~pools ~make ~set_tiled ~set_par ~step =
+    let run setup =
+      Gc.compact ();
+      let t = make () in
+      let fin = setup t in
+      let s = time ~warmup:1 ~iters:5 (fun () -> step t) in
+      fin ();
+      s
+    in
+    let tp_eager = run (fun _ () -> ()) in
+    let tp_tiled =
+      run (fun t ->
+          set_tiled t tile;
+          fun () -> ())
+    in
+    let tp_pools =
+      List.map
+        (fun size ->
+          ( size,
+            run (fun t ->
+                let pool = Am_taskpool.Pool.create ~size () in
+                set_par t pool tile;
+                fun () -> Am_taskpool.Pool.shutdown pool) ))
+        pools
+    in
+    { tp_name; tp_eager; tp_tiled; tp_pools }
+  in
+  [
+    measure "fig5/cloverleaf_step_ops" ~tile:16 ~pools:[ 1; 4 ]
+      ~make:(fun () -> Am_cloverleaf.App.create ~nx:192 ~ny:192 ())
+      ~set_tiled:(fun t tile ->
+        Am_ops.Ops.set_lazy t.Am_cloverleaf.App.ctx ~tile_size:tile true)
+      ~set_par:(fun t pool tile ->
+        Am_ops.Ops.set_tile_exec t.Am_cloverleaf.App.ctx
+          (Am_ops.Ops.Tiled_par { pool; tile }))
+      ~step:(fun t -> ignore (Am_cloverleaf.App.hydro_step t));
+    measure "apps/tealeaf_cg_step" ~tile:4 ~pools:[ 1; 4 ]
+      ~make:(fun () -> Am_tealeaf.App.create ~n:24 ())
+      ~set_tiled:(fun t tile ->
+        Am_ops.Ops3.set_lazy t.Am_tealeaf.App.ctx ~tile_size:tile true)
+      ~set_par:(fun t pool tile ->
+        Am_ops.Ops3.set_tile_exec t.Am_tealeaf.App.ctx
+          (Am_ops.Ops3.Tiled_par { pool; tile }))
+      ~step:(fun t -> ignore (Am_tealeaf.App.step ~max_iters:30 t));
+  ]
+
+let print_tiling_par rows =
+  let table =
+    Am_util.Table.create
+      ~title:"parallel tiled wavefronts (median wall-clock per step)"
+      ~header:[ "run"; "mode"; "per step"; "n"; "IQR"; "vs eager" ]
+      ~aligns:[ Am_util.Table.Left; Left; Right; Right; Right; Right ]
+      ()
+  in
+  let open Am_util.Regress in
+  let row name mode s eager_median =
+    Am_util.Table.add_row table
+      [
+        name;
+        mode;
+        Am_util.Units.seconds s.median;
+        string_of_int s.n;
+        Am_util.Units.seconds (iqr s);
+        Printf.sprintf "%.2fx" (if s.median > 0.0 then eager_median /. s.median else 0.0);
+      ]
+  in
+  List.iter
+    (fun r ->
+      row r.tp_name "eager" r.tp_eager r.tp_eager.median;
+      row r.tp_name "tiled" r.tp_tiled r.tp_eager.median;
+      List.iter
+        (fun (size, s) ->
+          row r.tp_name (Printf.sprintf "tiled-par %d" size) s r.tp_eager.median)
+        r.tp_pools)
+    rows;
+  Am_util.Table.print table;
+  print_newline ()
+
 (* Sanitizer overhead: the same Airfoil iteration on the reference backend
    and on the access-guarded Check backend, wall-clock per iteration. *)
 let sanitizer_overhead () =
@@ -554,7 +660,8 @@ let fprint_doctor oc rows =
    nanoseconds per run, plus the exposed/overlapped halo-seconds split of
    the distributed proxies.  Hand-rolled JSON — names contain only
    [a-z0-9_/]. *)
-let write_json path estimates halo sanitizer analysis tiling recovery doctor =
+let write_json path estimates halo sanitizer analysis tiling tiling_par recovery
+    doctor =
   let oc = open_out path in
   output_string oc "{\n  \"unit\": \"ns_per_run\",\n  \"results\": {\n";
   let n = List.length estimates in
@@ -625,6 +732,29 @@ let write_json path estimates halo sanitizer analysis tiling recovery doctor =
          else 0.0)
         (if i = n_til - 1 then "" else ","))
     tiling;
+  output_string oc "  },\n  \"tiling_par\": {\n";
+  let n_tp = List.length tiling_par in
+  List.iteri
+    (fun i r ->
+      let best_pool, best_s = tp_best r in
+      Printf.fprintf oc
+        "    %S: { \"eager_seconds\": %.9f, \"tiled_seconds\": %.9f, \"n\": %d, \
+         \"pools\": { "
+        r.tp_name r.tp_eager.Am_util.Regress.median
+        r.tp_tiled.Am_util.Regress.median r.tp_eager.Am_util.Regress.n;
+      let n_pools = List.length r.tp_pools in
+      List.iteri
+        (fun j (size, s) ->
+          Printf.fprintf oc "\"%d\": %.9f%s" size s.Am_util.Regress.median
+            (if j = n_pools - 1 then "" else ", "))
+        r.tp_pools;
+      Printf.fprintf oc " }, \"best_pool\": %d, \"speedup_x\": %.3f }%s\n"
+        best_pool
+        (if best_s.Am_util.Regress.median > 0.0 then
+           r.tp_eager.Am_util.Regress.median /. best_s.Am_util.Regress.median
+         else 0.0)
+        (if i = n_tp - 1 then "" else ","))
+    tiling_par;
   output_string oc "  },\n  \"obs\": {\n";
   Printf.fprintf oc
     "    \"plan_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f },\n"
@@ -721,6 +851,8 @@ let run_micro ?json () =
   print_analysis analysis;
   let tiling = tiling_accounting () in
   print_tiling tiling;
+  let tiling_par = tiling_par_accounting () in
+  print_tiling_par tiling_par;
   let recovery = recovery_accounting () in
   print_recovery recovery;
   match json with
@@ -728,7 +860,7 @@ let run_micro ?json () =
   | Some path ->
     write_json path
       (List.sort (fun (a, _) (b, _) -> compare a b) !estimates)
-      halo sanitizer analysis tiling recovery (doctor_rows ());
+      halo sanitizer analysis tiling tiling_par recovery (doctor_rows ());
     let stem = Filename.remove_extension path in
     let trace_path = stem ^ ".trace.json" in
     let counters_path = stem ^ ".counters.json" in

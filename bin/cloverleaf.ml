@@ -10,7 +10,7 @@ module Ops = Am_ops.Ops
 module App = Am_cloverleaf.App
 
 let run nx ny steps backend ranks overlap summary_every verify van_leer check
-    analyze trace obs_json faults recover tile perf =
+    analyze trace obs_json faults recover tile tile_par perf =
   Check_common.guard @@ fun () ->
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
@@ -72,6 +72,21 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer check
       | _ -> "recording bypassed on this backend")
       (Ops.tile_size t.App.ctx)
   | None -> ());
+  let wf_pool = ref None in
+  (match tile_par with
+  | Some workers ->
+    let p =
+      Am_taskpool.Pool.create ?size:(if workers > 0 then Some workers else None) ()
+    in
+    wf_pool := Some p;
+    Ops.set_tile_exec t.App.ctx
+      (Ops.Tiled_par { pool = p; tile = Ops.tile_size t.App.ctx });
+    Printf.printf "parallel tiling: %s, wavefronts on %d workers, tile %d rows\n%!"
+      (match (if check then "check" else backend) with
+      | "seq" | "check" -> "on"
+      | _ -> "recording bypassed on this backend")
+      (Am_taskpool.Pool.size p) (Ops.tile_size t.App.ctx)
+  | None -> ());
   (match Fault_common.injector fc with
   | Some f -> Ops.set_fault_injector t.App.ctx f
   | None -> ());
@@ -121,6 +136,7 @@ let run nx ny steps backend ranks overlap summary_every verify van_leer check
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
     ~loops:(Am_core.Profile.obs_rows (Ops.profile t.App.ctx))
     ();
+  (match !wf_pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ());
   match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ()
 
 open Cmdliner
@@ -180,6 +196,18 @@ let tile_arg =
            height in rows (bare --tile keeps the default)."
         ~docv:"ROWS")
 
+let tile_par_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 0) (some int) None
+    & info [ "tile-par" ]
+        ~doc:
+          "Parallel tiled execution: skew rows and columns independently and \
+           dispatch each wavefront's tiles onto a domain pool.  Optional $(docv) \
+           is the worker count (bare --tile-par uses the machine default).  \
+           Implies --tile; combine with --tile N to pick the tile height."
+        ~docv:"WORKERS")
+
 let cmd =
   Cmd.v
     (Cmd.info "cloverleaf" ~doc:"CloverLeaf 2D hydrodynamics proxy application (OPS)")
@@ -187,6 +215,7 @@ let cmd =
       const run $ nx $ ny $ steps $ backend $ ranks $ overlap $ summary_every
       $ verify $ van_leer $ Check_common.arg $ Check_common.analyze_arg
       $ trace_arg $ obs_json_arg
-      $ Fault_common.faults_arg $ Fault_common.recover_arg $ tile_arg $ Perf_common.arg)
+      $ Fault_common.faults_arg $ Fault_common.recover_arg $ tile_arg
+      $ tile_par_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

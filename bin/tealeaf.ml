@@ -6,7 +6,7 @@ module Tea = Am_tealeaf.App
 module Ops3 = Am_ops.Ops3
 
 let run n steps dt backend ranks check analyze trace obs_json faults recover tile
-    perf =
+    tile_par perf =
   Check_common.guard @@ fun () ->
   Am_obs.Obs.reset ();
   if trace <> None then Am_obs.Obs.set_tracing true;
@@ -50,6 +50,21 @@ let run n steps dt backend ranks check analyze trace obs_json faults recover til
       | _ -> "recording bypassed on this backend")
       (Ops3.tile_size t.Tea.ctx)
   | None -> ());
+  let wf_pool = ref None in
+  (match tile_par with
+  | Some workers ->
+    let p =
+      Am_taskpool.Pool.create ?size:(if workers > 0 then Some workers else None) ()
+    in
+    wf_pool := Some p;
+    Ops3.set_tile_exec t.Tea.ctx
+      (Ops3.Tiled_par { pool = p; tile = Ops3.tile_size t.Tea.ctx });
+    Printf.printf "parallel tiling: %s, wavefronts on %d workers, tile %d z-planes\n%!"
+      (match (if check then "check" else backend) with
+      | "seq" | "check" -> "on"
+      | _ -> "recording bypassed on this backend")
+      (Am_taskpool.Pool.size p) (Ops3.tile_size t.Tea.ctx)
+  | None -> ());
   (match Fault_common.injector fc with
   | Some f -> Ops3.set_fault_injector t.Tea.ctx f
   | None -> ());
@@ -79,6 +94,7 @@ let run n steps dt backend ranks check analyze trace obs_json faults recover til
     ~roofline_gbs:Am_perfmodel.Machines.(xeon_e5_2697v2.stream_bw)
     ~loops:(Am_core.Profile.obs_rows (Ops3.profile t.Tea.ctx))
     ();
+  (match !wf_pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ());
   match !pool with Some p -> Am_taskpool.Pool.shutdown p | None -> ()
 
 open Cmdliner
@@ -118,6 +134,18 @@ let tile_arg =
            depth in z-planes (bare --tile keeps the default)."
         ~docv:"PLANES")
 
+let tile_par_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 0) (some int) None
+    & info [ "tile-par" ]
+        ~doc:
+          "Parallel tiled execution: skew z and y independently and dispatch \
+           each wavefront's tiles onto a domain pool.  Optional $(docv) is the \
+           worker count (bare --tile-par uses the machine default).  Implies \
+           --tile; combine with --tile N to pick the tile depth."
+        ~docv:"WORKERS")
+
 let cmd =
   Cmd.v
     (Cmd.info "tealeaf" ~doc:"Implicit 3D heat conduction proxy app (Ops3 + CG)")
@@ -125,6 +153,6 @@ let cmd =
       const run $ n $ steps $ dt $ backend $ ranks $ Check_common.arg
       $ Check_common.analyze_arg $ trace_arg $ obs_json_arg
       $ Fault_common.faults_arg $ Fault_common.recover_arg
-      $ tile_arg $ Perf_common.arg)
+      $ tile_arg $ tile_par_arg $ Perf_common.arg)
 
 let () = exit (Cmd.eval cmd)

@@ -73,6 +73,8 @@ let chain_flushes = Counters.counter counters "chain.flushes"
 let chain_tiles = Counters.counter counters "chain.tiles"
 let tile_hits = Counters.counter counters "tile_cache.hits"
 let tile_misses = Counters.counter counters "tile_cache.misses"
+let tile_wavefronts = Counters.counter counters "tile.wavefronts"
+let tile_par_slabs = Counters.counter counters ~unit_:"slabs" "tile.par_slabs"
 let gc_minor = Counters.counter counters "gc.minor_collections"
 let gc_major = Counters.counter counters "gc.major_collections"
 let gc_promoted = Counters.gauge counters ~unit_:"words" "gc.promoted_words"
@@ -157,7 +159,7 @@ let loops_table ?roofline_gbs loops =
 
 (* Counter families rendered in their own sections below rather than in
    the generic table. *)
-let sectioned_families = [ "chain."; "tile_cache."; "dpor." ]
+let sectioned_families = [ "chain."; "tile_cache."; "tile."; "dpor." ]
 
 let in_sectioned_family name =
   List.exists (fun fam -> String.starts_with ~prefix:fam name) sectioned_families
@@ -198,6 +200,10 @@ let chain_table () =
     row "chain.queued_loops" (string_of_int (Counters.value chain_loops));
     row "chain.flushes" (string_of_int (Counters.value chain_flushes));
     row "chain.tiles" (string_of_int (Counters.value chain_tiles));
+    if Counters.value tile_wavefronts > 0 then begin
+      row "tile.wavefronts" (string_of_int (Counters.value tile_wavefronts));
+      row "tile.par_slabs" (string_of_int (Counters.value tile_par_slabs))
+    end;
     row "tile cache hit rate" (rate tile_hits tile_misses);
     Some (Am_util.Table.render table)
   end

@@ -124,6 +124,12 @@ val chain_tiles : Counters.counter
 val tile_hits : Counters.counter
 val tile_misses : Counters.counter
 
+(** Parallel (wavefront) tiled execution: wavefronts dispatched onto the
+    domain pool and slabs executed under the parallel runner. *)
+
+val tile_wavefronts : Counters.counter
+val tile_par_slabs : Counters.counter
+
 (** Runtime-environment telemetry.  GC cells accumulate per-loop
     [Gc.quick_stat] deltas (sampled only while tracing is enabled, so the
     default path never calls the GC); pool cells aggregate taskpool worker

@@ -283,6 +283,26 @@ val set_lazy : ctx -> ?tile_size:int -> bool -> unit
 val lazy_mode : ctx -> bool
 val tile_size : ctx -> int
 
+(** How a flushed tileable segment executes: [Tiled] walks the skewed
+    slab schedule sequentially (bitwise identical to eager on [Seq]);
+    [Tiled_par] skews both axes and dispatches each wavefront's
+    parallelogram tiles onto [pool] (see {!Tiling_par}).  Under
+    [Tiled_par], dataset results stay bitwise identical to eager and
+    deterministic across pool sizes, but Inc global reductions
+    reassociate (per-tile partials merged in tile order) — compare them
+    under an ulp-scaled tolerance. *)
+type tile_exec =
+  | Tiled of { tile : int }
+  | Tiled_par of { pool : Am_taskpool.Pool.t; tile : int }
+
+(** [set_tile_exec ctx mode] flushes any queued loops, then enables lazy
+    recording with the given tiled execution mode (a [set_lazy]-compatible
+    superset: [Tiled] is exactly [set_lazy ~tile_size true]). *)
+val set_tile_exec : ctx -> tile_exec -> unit
+
+(** The active tiled execution mode, or [None] when recording is off. *)
+val tile_exec : ctx -> tile_exec option
+
 (** Queued chain entries (recorded loops plus deferred mirrors). *)
 val pending : ctx -> int
 

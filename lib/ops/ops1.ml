@@ -51,9 +51,11 @@ type ctx = {
   mutable dist : Dist1.t option;
   mutable checkpoint : Am_checkpoint.Runtime.session option;
   mutable fault : Am_simmpi.Fault.t option;
-  (* Lazy loop chains (cross-loop cache tiling). *)
+  (* Lazy loop chains (cross-loop cache tiling).  [tile_pool] switches the
+     tiled flush from the sequential slab walk to the wavefront executor. *)
   mutable lazy_mode : bool;
   mutable tile_size : int;
+  mutable tile_pool : Am_taskpool.Pool.t option;
   mutable chain_rev : chain_item list;
   mutable chain_len : int;
   mutable obs_hooked : bool;
@@ -82,6 +84,7 @@ let create ?(backend = Seq) () =
     fault = None;
     lazy_mode = false;
     tile_size = default_tile;
+    tile_pool = None;
     chain_rev = [];
     chain_len = 0;
     obs_hooked = false;
@@ -321,6 +324,157 @@ let run_segment_seq ctx entries =
       record_entry_profile ctx q ~seconds:!secs)
     entries
 
+(* The wavefront executor needs two tiled axes; a 1D chain has one.  The
+   degenerate inner projection — every loop over the single "column"
+   [0, 1) with zero-extent reads — makes the inner axis dependence-free,
+   so it collapses out of the wavefront index: a 1D chain with real
+   dependences runs its (inherently pipelined) tiles one wave each, and a
+   dependence-free chain fans every tile into one wave. *)
+let degenerate_inner info =
+  {
+    Tiling.li_lo = 0;
+    li_hi = 1;
+    li_reads = List.map (fun (d, _, _) -> (d, 0, 0)) info.Tiling.li_reads;
+    li_writes = info.Tiling.li_writes;
+  }
+
+let reduces_globals compiled =
+  Array.exists
+    (function
+      | Exec1.C_gbl { access = Access.Inc | Access.Min | Access.Max; _ } -> true
+      | Exec1.C_gbl _ | Exec1.C_dat _ | Exec1.C_idx -> false)
+    compiled
+
+(* Wavefront-parallel Seq segment; see [Ops.run_segment_par] for the
+   determinism and reduction-reassociation contract. *)
+let run_segment_par ctx pool entries =
+  let n = Array.length entries in
+  let outer = Array.map (entry_info ~tighten:ctx.tighten) entries in
+  let inner = Array.map degenerate_inner outer in
+  let sched = Tiling_par.find ~tile_size:ctx.tile_size ~outer ~inner in
+  let ntiles = Tiling_par.n_tiles sched in
+  Am_obs.Counters.add Am_obs.Obs.chain_tiles ntiles;
+  let prepped =
+    Array.map
+      (fun q ->
+        blit_snapshots q;
+        let compiled =
+          match q.q_handle with
+          | Some h -> resolve_compiled h q.q_args
+          | None -> Exec1.compile q.q_args
+        in
+        (compiled, Exec1.make_buffers compiled, reduces_globals compiled))
+      entries
+  in
+  let acc =
+    Array.map
+      (fun (_, _, reduces) -> if reduces then Array.make ntiles None else [||])
+      prepped
+  in
+  let copy_buffers template = Array.map Array.copy template in
+  let local () = (Array.make n None, Array.make n 0.0) in
+  let tile (wbufs, wsecs) (pt : Tiling_par.ptile) =
+    Array.iter
+      (fun { Tiling_par.ps_loop; ps_olo; ps_ohi; _ } ->
+        let q = entries.(ps_loop) in
+        let compiled, template, reduces = prepped.(ps_loop) in
+        let buffers =
+          if reduces then begin
+            let b = copy_buffers template in
+            acc.(ps_loop).(pt.Tiling_par.pt_id) <- Some b;
+            b
+          end
+          else
+            match wbufs.(ps_loop) with
+            | Some b -> b
+            | None ->
+              let b = copy_buffers template in
+              wbufs.(ps_loop) <- Some b;
+              b
+        in
+        let t0 = now () in
+        Exec1.run_range compiled buffers
+          ~range:{ xlo = ps_olo; xhi = ps_ohi }
+          ~kernel:q.q_kernel;
+        wsecs.(ps_loop) <- wsecs.(ps_loop) +. (now () -. t0))
+      pt.Tiling_par.pt_slabs
+  in
+  let states = Tiling_par.run pool sched ~local ~tile in
+  let secs = Array.make n 0.0 in
+  List.iter
+    (fun (_, wsecs) -> Array.iteri (fun k s -> secs.(k) <- secs.(k) +. s) wsecs)
+    states;
+  Array.iteri
+    (fun k q ->
+      let compiled, _, reduces = prepped.(k) in
+      if reduces then
+        Array.iter
+          (function
+            | Some buffers -> Exec1.merge_globals compiled buffers
+            | None -> ())
+          acc.(k);
+      record_entry_profile ctx q ~seconds:secs.(k))
+    entries
+
+(* Sanitized wavefront walk with the cross-tile claim tracker (see
+   [Ops.run_segment_check_wave]); intervals here are 1D cell ranges. *)
+let run_segment_check_wave ctx entries =
+  let outer = Array.map (entry_info ~tighten:ctx.tighten) entries in
+  let inner = Array.map degenerate_inner outer in
+  let sched = Tiling_par.find ~tile_size:ctx.tile_size ~outer ~inner in
+  Am_obs.Counters.add Am_obs.Obs.chain_tiles (Tiling_par.n_tiles sched);
+  Am_obs.Counters.add Am_obs.Obs.tile_wavefronts (Tiling_par.n_waves sched);
+  let secs = Array.map (fun _ -> ref 0.0) entries in
+  let overlap alo ahi blo bhi = min ahi bhi > max alo blo in
+  Array.iteri
+    (fun w wave ->
+      let claims : (int, (int * int * int * bool) list) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let claim d tile (lo, hi) ~writing =
+        let prev = Option.value ~default:[] (Hashtbl.find_opt claims d) in
+        List.iter
+          (fun (tile', lo', hi', wrote') ->
+            if tile' <> tile && (writing || wrote') && overlap lo hi lo' hi'
+            then begin
+              Am_obs.Counters.incr Am_obs.Obs.check_violations;
+              Exec_check1.violation
+                "check: wave %d, dataset %d: tile %d %s cells [%d,%d) while \
+                 tile %d %s cells [%d,%d) — cross-tile race inside one \
+                 wavefront"
+                w d tile
+                (if writing then "writes" else "reads")
+                lo hi tile'
+                (if wrote' then "writes" else "reads")
+                lo' hi'
+            end)
+          prev;
+        Hashtbl.replace claims d ((tile, lo, hi, writing) :: prev)
+      in
+      Array.iter
+        (fun pt ->
+          let tile = pt.Tiling_par.pt_id in
+          Array.iter
+            (fun { Tiling_par.ps_loop; ps_olo; ps_ohi; _ } ->
+              let q = entries.(ps_loop) in
+              List.iter
+                (fun d -> claim d tile (ps_olo, ps_ohi) ~writing:true)
+                outer.(ps_loop).Tiling.li_writes;
+              List.iter
+                (fun (d, below, above) ->
+                  claim d tile (ps_olo - below, ps_ohi + above) ~writing:false)
+                outer.(ps_loop).Tiling.li_reads;
+              blit_snapshots q;
+              let t0 = now () in
+              Exec_check1.run ~light:(light_of q.q_foot) ~name:q.q_name
+                ~range:{ xlo = ps_olo; xhi = ps_ohi }
+                ~args:q.q_args ~kernel:q.q_kernel ();
+              secs.(ps_loop) := !(secs.(ps_loop)) +. (now () -. t0))
+            pt.Tiling_par.pt_slabs)
+        wave)
+    sched.Tiling_par.par_waves;
+  Array.iteri (fun k q -> record_entry_profile ctx q ~seconds:!(secs.(k))) entries
+
 let run_segment_check ctx entries =
   let infos = Array.map (entry_info ~tighten:ctx.tighten) entries in
   let sched = Tiling.find ~tile_size:ctx.tile_size infos in
@@ -360,10 +514,12 @@ let flush ctx =
           | entries -> (
             seg := [];
             let entries = Array.of_list entries in
-            match ctx.backend with
-            | Seq -> run_segment_seq ctx entries
-            | Check -> run_segment_check ctx entries
-            | Shared _ | Cuda_sim _ -> assert false)
+            match (ctx.backend, ctx.tile_pool) with
+            | Seq, None -> run_segment_seq ctx entries
+            | Seq, Some pool -> run_segment_par ctx pool entries
+            | Check, None -> run_segment_check ctx entries
+            | Check, Some _ -> run_segment_check_wave ctx entries
+            | (Shared _ | Cuda_sim _), _ -> assert false)
         in
         List.iter
           (function
@@ -383,10 +539,29 @@ let set_lazy ctx ?tile_size enabled =
   | Some t when t > 0 -> ctx.tile_size <- t
   | Some _ | None -> ());
   ctx.lazy_mode <- enabled;
+  ctx.tile_pool <- None;
   if enabled && not ctx.obs_hooked then begin
     ctx.obs_hooked <- true;
     Am_obs.Obs.add_flush_hook (fun () -> flush ctx)
   end
+
+type tile_exec =
+  | Tiled of { tile : int }
+  | Tiled_par of { pool : Am_taskpool.Pool.t; tile : int }
+
+let set_tile_exec ctx mode =
+  match mode with
+  | Tiled { tile } -> set_lazy ctx ~tile_size:tile true
+  | Tiled_par { pool; tile } ->
+    set_lazy ctx ~tile_size:tile true;
+    ctx.tile_pool <- Some pool
+
+let tile_exec ctx =
+  if not ctx.lazy_mode then None
+  else
+    match ctx.tile_pool with
+    | Some pool -> Some (Tiled_par { pool; tile = ctx.tile_size })
+    | None -> Some (Tiled { tile = ctx.tile_size })
 
 let lazy_mode ctx = ctx.lazy_mode
 let tile_size ctx = ctx.tile_size

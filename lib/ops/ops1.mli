@@ -170,6 +170,17 @@ val tile_size : ctx -> int
 val pending : ctx -> int
 val flush : ctx -> unit
 
+(** Tiled execution mode, as in {!Ops.tile_exec}.  A 1D chain gives the
+    wavefront executor a degenerate (dependence-free) inner axis: chains
+    whose x axis carries dependences stay a pipeline (one tile per wave);
+    dependence-free chains fan every tile into a single wave. *)
+type tile_exec =
+  | Tiled of { tile : int }
+  | Tiled_par of { pool : Am_taskpool.Pool.t; tile : int }
+
+val set_tile_exec : ctx -> tile_exec -> unit
+val tile_exec : ctx -> tile_exec option
+
 (** Kernel footprint inference (see {!Ops}): on by default, once per loop
     signature; observed facts lighten the Check backend and feed
     {!Am_analysis.Verify} via [footprints].  Runtime halo/skew tightening

@@ -237,6 +237,19 @@ val tile_size : ctx -> int
 val pending : ctx -> int
 val flush : ctx -> unit
 
+(** Tiled execution mode, as in {!Ops.tile_exec}: [Tiled_par] skews z and
+    y independently and dispatches each wavefront's (z, y) parallelogram
+    tiles onto the pool (x stays untiled — it is the contiguous axis).
+    Dataset results remain bitwise identical to eager execution; Inc
+    global reductions reassociate deterministically (per-tile partials
+    merged in tile order). *)
+type tile_exec =
+  | Tiled of { tile : int }
+  | Tiled_par of { pool : Am_taskpool.Pool.t; tile : int }
+
+val set_tile_exec : ctx -> tile_exec -> unit
+val tile_exec : ctx -> tile_exec option
+
 (** Kernel footprint inference (see {!Ops}): on by default, once per loop
     signature; observed facts lighten the Check backend and feed
     {!Am_analysis.Verify} via [footprints].  Runtime halo/skew tightening

@@ -104,10 +104,6 @@ let plan ~tile_size loops =
   if n = 0 then { sched_tile = tile_size; sched_sigma = [||]; sched_tiles = [||] }
   else begin
     let sigma = skew loops in
-    (* Total skew is the per-chain price of the declared (or, with footprint
-       inference, the observed) dependence distances — the counter makes
-       descriptor tightening measurable in bench output. *)
-    Array.iter (fun s -> Am_obs.Counters.add Am_obs.Obs.tile_skew_rows s) sigma;
     let base = Array.fold_left (fun a l -> min a l.li_lo) max_int loops in
     let top = ref min_int in
     Array.iteri
@@ -278,6 +274,14 @@ let find ~tile_size loops =
       Am_obs.Obs.span ~cat:Am_obs.Tracer.Plan "tile_plan" (fun () ->
           plan ~tile_size loops)
     in
+    (* Total skew is the per-chain price of the declared (or, with footprint
+       inference, the observed) dependence distances — the counter makes
+       descriptor tightening measurable in bench output.  Bumped here, not
+       in [plan]: a cache hit replays the same schedule and must not count
+       its skew again. *)
+    Array.iter
+      (fun sg -> Am_obs.Counters.add Am_obs.Obs.tile_skew_rows sg)
+      s.sched_sigma;
     (match validate loops s with
     | [] -> ()
     | e :: _ -> raise (Invalid_schedule e));

@@ -127,6 +127,15 @@ let shutdown t =
    all of them.  [body] must be safe to run concurrently with itself. *)
 let run_on_all t body =
   if t.size = 1 then body ()
+  else if (Mutex.lock t.mutex;
+           let dead = t.shutdown in
+           Mutex.unlock t.mutex;
+           dead)
+  then
+    (* A job submitted after [shutdown] — e.g. an Obs flush hook forcing a
+       straggler lazy chain at process exit — runs caller-only: the worker
+       domains are gone, so queueing it would wait on [work_done] forever. *)
+    body ()
   else begin
     let telemetry = Am_obs.Obs.tracing () in
     let wall_t0 =

@@ -194,15 +194,13 @@ let test_tealeaf_tile_sweep () =
 
 (* ---- 1D chain ------------------------------------------------------------ *)
 
-let ops1_state ?tile () =
+let ops1_run setup =
   let ctx = Ops1.create () in
   let block = Ops1.decl_block ctx ~name:"line" in
   let u = Ops1.decl_dat ctx ~name:"u" ~block ~xsize:100 () in
   let w = Ops1.decl_dat ctx ~name:"w" ~block ~xsize:100 () in
   Ops1.init ctx u (fun x _ -> Float.of_int ((x * 37) mod 17) *. 0.25);
-  (match tile with
-  | Some tile_size -> Ops1.set_lazy ctx ~tile_size true
-  | None -> ());
+  setup ctx;
   for _ = 1 to 4 do
     Ops1.mirror_halo ctx u;
     Ops1.par_loop ctx ~name:"smooth" block (Ops1.interior w)
@@ -219,6 +217,12 @@ let ops1_state ?tile () =
       (fun a -> a.(1).(0) <- (0.7 *. a.(1).(0)) +. (0.3 *. a.(0).(0)))
   done;
   (Ops1.fetch_interior ctx u, Ops1.fetch_interior ctx w)
+
+let ops1_state ?tile () =
+  ops1_run (fun ctx ->
+      match tile with
+      | Some tile_size -> Ops1.set_lazy ctx ~tile_size true
+      | None -> ())
 
 let test_ops1_chain () =
   let ru, rw = ops1_state () in
@@ -497,6 +501,507 @@ let test_check_backend_tiled () =
   if not violated then
     Alcotest.fail "sanitizer missed a violation under tiled execution"
 
+(* ---- Parallel tiled wavefront execution (tile-par) ----------------------- *)
+
+(* The parallel contract is two-sided: dataset results stay BITWISE equal
+   to eager Seq (each cell is computed exactly once, by one tile), while
+   Inc global reductions merge per-tile partials in tile order — a fixed
+   reassociation that is identical across pool sizes and runs but not the
+   eager summation order, so those compare under an ulp bound.  Min/Max
+   reductions are order-insensitive and stay exact. *)
+
+module Tiling_par = Am_ops.Tiling_par
+
+let with_pool size f =
+  let pool = Am_taskpool.Pool.create ~size () in
+  Fun.protect
+    ~finally:(fun () -> Am_taskpool.Pool.shutdown pool)
+    (fun () -> f pool)
+
+(* Ordered-bits ulp distance; negative floats map below positives so the
+   distance is monotone across zero. *)
+let ulps_apart a b =
+  let key x =
+    let bits = Int64.bits_of_float x in
+    if Int64.compare bits 0L >= 0 then bits else Int64.sub Int64.min_int bits
+  in
+  let d = Int64.sub (key a) (key b) in
+  if Int64.compare d 0L < 0 then Int64.neg d else d
+
+let reduction_bound = 1024L
+
+let check_close name ~rtol want got =
+  if Array.length want <> Array.length got then
+    Alcotest.failf "%s: length mismatch" name;
+  Array.iteri
+    (fun i a ->
+      let b = got.(i) in
+      let scale = Float.max (Float.abs a) (Float.abs b) in
+      if Float.abs (a -. b) > rtol *. Float.max scale 1e-30 then
+        Alcotest.failf "%s: element %d diverged beyond tolerance (%.17g vs %.17g)"
+          name i a b)
+    want
+
+(* -- planner mutations: forged schedules must be rejected with a witness -- *)
+
+(* Inner-axis projection of the same shape as [sample_chain]: both axes
+   carry flow dependences, so the product plan is a true diagonal
+   wavefront (multiple waves, multi-tile diagonals). *)
+let par_inner_chain =
+  [|
+    { Tiling.li_lo = 0; li_hi = 30; li_reads = [ (0, 1, 1) ]; li_writes = [ 1 ] };
+    { Tiling.li_lo = 0; li_hi = 30; li_reads = [ (1, 1, 1) ]; li_writes = [ 2 ] };
+    {
+      Tiling.li_lo = 2;
+      li_hi = 28;
+      li_reads = [ (1, 0, 0); (2, 1, 1) ];
+      li_writes = [ 1 ];
+    };
+  |]
+
+let legal_par_sched () =
+  Tiling_par.plan ~tile_size:8 ~outer:sample_chain ~inner:par_inner_chain
+
+let test_par_verify_accepts () =
+  let s = legal_par_sched () in
+  Tiling_par.verify ~outer:sample_chain ~inner:par_inner_chain s;
+  if Tiling_par.n_waves s < 2 then
+    Alcotest.fail "expected a multi-wave schedule from a dependence-carrying chain";
+  if s.Tiling_par.par_outer_free || s.Tiling_par.par_inner_free then
+    Alcotest.fail "dependence-carrying axis reported as free"
+
+let witness msg =
+  if not (Str_contains.contains msg "loop" && Str_contains.contains msg "tile")
+  then
+    Alcotest.failf "rejection does not name a loop/tile witness: %s" msg
+
+let test_par_verify_rejects_reordered_wave () =
+  (* Swap the first two waves: tiles now run before same-band tiles they
+     depend on — a sigma-flow violation the per-band axis replay catches. *)
+  let s = legal_par_sched () in
+  let waves = Array.copy s.Tiling_par.par_waves in
+  let tmp = waves.(0) in
+  waves.(0) <- waves.(1);
+  waves.(1) <- tmp;
+  let forged = { s with Tiling_par.par_waves = waves } in
+  match Tiling_par.verify ~outer:sample_chain ~inner:par_inner_chain forged with
+  | () -> Alcotest.fail "verifier accepted a wave-order (sigma-flow) forgery"
+  | exception Tiling.Invalid_schedule msg -> witness msg
+
+let test_par_verify_rejects_overlap () =
+  (* Give one tile of a multi-tile wave its diagonal neighbour's bands:
+     two same-wave tiles now write the same rectangles, which the explicit
+     adjacent-tile overlap check must reject. *)
+  let s = legal_par_sched () in
+  let waves = Array.map Array.copy s.Tiling_par.par_waves in
+  let wi =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i wave -> if !found < 0 && Array.length wave >= 2 then found := i)
+      waves;
+    if !found < 0 then Alcotest.fail "expected a wave with at least two tiles";
+    !found
+  in
+  let a = waves.(wi).(0) and b = waves.(wi).(1) in
+  waves.(wi).(0) <- { a with Tiling_par.pt_slabs = b.Tiling_par.pt_slabs };
+  let forged = { s with Tiling_par.par_waves = waves } in
+  match Tiling_par.verify ~outer:sample_chain ~inner:par_inner_chain forged with
+  | () -> Alcotest.fail "verifier accepted overlapping same-wave tiles"
+  | exception Tiling.Invalid_schedule msg -> witness msg
+
+(* -- randomized differential battery: parallel tiled vs eager Seq -- *)
+
+let run_script_par ~pool_size ~tile script =
+  with_pool pool_size @@ fun pool ->
+  let env = make_env () in
+  Ops.set_tile_exec env.ctx (Ops.Tiled_par { pool; tile });
+  let sums = ref [] in
+  List.iter (apply env sums) script;
+  let fields = Array.map (Ops.fetch_interior env.ctx) env.dats in
+  (fields, List.rev !sums)
+
+(* A chain still pending when its pool is shut down must flush caller-only
+   instead of deadlocking on the departed workers — the Obs flush hooks run
+   exactly this way at driver exit (pool shutdown first, trace write after). *)
+let test_par_flush_after_shutdown () =
+  let script =
+    [
+      Smooth (0, 1, 0.21);
+      Reduce 1;
+      Relax (1, 2);
+      Shift (2, 0);
+      Mirror 0;
+      Smooth (2, 0, 0.23);
+    ]
+  in
+  let ref_fields, ref_sums = run_script script in
+  let pool = Am_taskpool.Pool.create ~size:3 () in
+  let env = make_env () in
+  Ops.set_tile_exec env.ctx (Ops.Tiled_par { pool; tile = 4 });
+  let sums = ref [] in
+  List.iter (apply env sums) script;
+  (* the loops after the Reduce are still recorded, not yet executed *)
+  Am_taskpool.Pool.shutdown pool;
+  let fields = Array.map (Ops.fetch_interior env.ctx) env.dats in
+  List.iteri
+    (fun i (a, b) ->
+      if ulps_apart a b > reduction_bound then
+        Alcotest.failf "post-shutdown flush: reduction %d diverged (%.17g vs %.17g)"
+          i b a)
+    (List.combine (List.rev !sums) ref_sums);
+  Array.iteri
+    (fun i got ->
+      check_bits (Printf.sprintf "post-shutdown flush dat %d" i) ref_fields.(i) got)
+    fields
+
+let gen_step =
+  QCheck.Gen.(
+    let pick2 =
+      int_range 0 2 >>= fun src ->
+      int_range 0 1 >>= fun d -> return (src, (src + 1 + d) mod 3)
+    in
+    frequency
+      [
+        ( 3,
+          pick2 >>= fun (src, dst) ->
+          int_range 0 6 >>= fun c ->
+          return (Smooth (src, dst, 0.19 +. (0.01 *. Float.of_int c))) );
+        (2, pick2 >>= fun (src, dst) -> return (Shift (src, dst)));
+        (2, pick2 >>= fun (src, dst) -> return (Relax (src, dst)));
+        (2, int_range 0 2 >>= fun i -> return (Mirror i));
+        (1, int_range 0 2 >>= fun i -> return (Reduce i));
+      ])
+
+let gen_case = QCheck.Gen.(pair (list_size (int_range 3 24) gen_step) (int_range 1 8))
+
+let test_par_random_chains () =
+  let seed = Qcheck_util.base_seed in
+  let cases =
+    QCheck.Gen.generate ~rand:(Random.State.make [| seed |]) ~n:40 gen_case
+  in
+  List.iteri
+    (fun case (script, tile) ->
+      let ref_fields, ref_sums = run_script script in
+      List.iter
+        (fun pool_size ->
+          let fields, sums = run_script_par ~pool_size ~tile script in
+          Array.iteri
+            (fun i got ->
+              if not (bits_equal ref_fields.(i) got) then
+                Qcheck_util.failf_seed seed
+                  "case %d pool=%d tile=%d: dat %d is not bitwise equal to \
+                   eager Seq"
+                  case pool_size tile i)
+            fields;
+          if List.length sums <> List.length ref_sums then
+            Qcheck_util.failf_seed seed "case %d pool=%d: reduction count diverged"
+              case pool_size;
+          List.iteri
+            (fun i (got, want) ->
+              (* chains with no Inc globals have no entries here: their
+                 whole result is covered by the bitwise check above *)
+              let d = ulps_apart want got in
+              if Int64.compare d 0L < 0 || Int64.compare d reduction_bound > 0
+              then
+                Qcheck_util.failf_seed seed
+                  "case %d pool=%d tile=%d: reduction %d is %Ld ulps from \
+                   eager (%.17g vs %.17g)"
+                  case pool_size tile i d got want)
+            (List.combine sums ref_sums))
+        [ 1; 2; 4 ])
+    cases
+
+(* -- proxy applications under the wavefront executor -- *)
+
+let clover_par_state ~pool_size ~tile =
+  with_pool pool_size @@ fun pool ->
+  let t = CApp.create ~nx:24 ~ny:24 () in
+  seed_clover t;
+  Ops.set_tile_exec t.CApp.ctx (Ops.Tiled_par { pool; tile });
+  ignore (CApp.hydro_step t);
+  ignore (CApp.hydro_step t);
+  (CApp.density t, CApp.energy t, CApp.xvel t, t.CApp.dt)
+
+let test_par_clover () =
+  (* CloverLeaf's only in-loop reductions are Min (calc_dt), which merge
+     exactly in any order — the whole state must stay bitwise. *)
+  let rd, re, rv, rdt = Lazy.force clover_eager in
+  List.iter
+    (fun pool_size ->
+      let d, e, v, dt = clover_par_state ~pool_size ~tile:6 in
+      let name field = Printf.sprintf "clover pool=%d %s" pool_size field in
+      if Int64.bits_of_float dt <> Int64.bits_of_float rdt then
+        Alcotest.failf "%s (%.17g vs %.17g)" (name "dt") dt rdt;
+      check_bits (name "density") rd d;
+      check_bits (name "energy") re e;
+      check_bits (name "xvel") rv v)
+    [ 1; 2; 4 ]
+
+let tea_par_state ~pool_size =
+  with_pool pool_size @@ fun pool ->
+  let t = TApp.create ~n:10 () in
+  Ops3.set_tile_exec t.TApp.ctx (Ops3.Tiled_par { pool; tile = 3 });
+  let iters = TApp.step ~max_iters:20 t in
+  (TApp.temperature t, TApp.total_heat t, iters)
+
+let test_par_tealeaf () =
+  (* CG dot products are Inc reductions driving the iteration, so the
+     solution tracks eager Seq only to reassociation accuracy — but it
+     must be IDENTICAL across pool sizes (per-tile partials, tile-order
+     merge, pool-independent decomposition). *)
+  let ru, rheat, _ = Lazy.force tea_eager in
+  let u1, h1, i1 = tea_par_state ~pool_size:1 in
+  let u2, h2, i2 = tea_par_state ~pool_size:2 in
+  let u4, h4, i4 = tea_par_state ~pool_size:4 in
+  if i1 <> i2 || i1 <> i4 then
+    Alcotest.failf "CG iteration count depends on pool size (%d/%d/%d)" i1 i2 i4;
+  check_bits "tealeaf pool 1 vs 2" u1 u2;
+  check_bits "tealeaf pool 1 vs 4" u1 u4;
+  if
+    Int64.bits_of_float h1 <> Int64.bits_of_float h2
+    || Int64.bits_of_float h1 <> Int64.bits_of_float h4
+  then Alcotest.fail "tealeaf total heat depends on pool size";
+  check_close "tealeaf u vs eager" ~rtol:1e-8 ru u1;
+  check_close "tealeaf heat vs eager" ~rtol:1e-8 [| rheat |] [| h1 |]
+
+let ops1_par_state ~pool_size ~tile =
+  with_pool pool_size @@ fun pool ->
+  ops1_run (fun ctx -> Ops1.set_tile_exec ctx (Ops1.Tiled_par { pool; tile }))
+
+let test_par_ops1 () =
+  let ru, rw = ops1_state () in
+  List.iter
+    (fun pool_size ->
+      let u, w = ops1_par_state ~pool_size ~tile:16 in
+      check_bits (Printf.sprintf "1d pool=%d u" pool_size) ru u;
+      check_bits (Printf.sprintf "1d pool=%d w" pool_size) rw w)
+    [ 1; 2; 4 ]
+
+let test_par_ops1_collapse () =
+  (* A pure map chain has a dependence-free x axis: with the degenerate
+     inner axis also free, every tile lands in ONE wave. *)
+  let run setup =
+    let ctx = Ops1.create () in
+    let block = Ops1.decl_block ctx ~name:"line" in
+    let u = Ops1.decl_dat ctx ~name:"u" ~block ~xsize:96 () in
+    let w = Ops1.decl_dat ctx ~name:"w" ~block ~xsize:96 () in
+    Ops1.init ctx u (fun x _ -> Float.of_int ((x * 13) mod 9) *. 0.5);
+    setup ctx;
+    Ops1.par_loop ctx ~name:"scale" block (Ops1.interior w)
+      [
+        Ops1.arg_dat u Ops1.stencil_point Access.Read;
+        Ops1.arg_dat w Ops1.stencil_point Access.Write;
+      ]
+      (fun a -> a.(1).(0) <- 2.0 *. a.(0).(0));
+    Ops1.par_loop ctx ~name:"accum" block (Ops1.interior u)
+      [
+        Ops1.arg_dat w Ops1.stencil_point Access.Read;
+        Ops1.arg_dat u Ops1.stencil_point Access.Rw;
+      ]
+      (fun a -> a.(1).(0) <- a.(1).(0) +. a.(0).(0));
+    Ops1.flush ctx;
+    (Ops1.fetch_interior ctx u, Ops1.fetch_interior ctx w)
+  in
+  let ru, rw = run (fun _ -> ()) in
+  with_pool 4 @@ fun pool ->
+  let w0 = Counters.value Obs.tile_wavefronts in
+  let u, w =
+    run (fun ctx -> Ops1.set_tile_exec ctx (Ops1.Tiled_par { pool; tile = 8 }))
+  in
+  Alcotest.(check int)
+    "map chain collapses to one wave" 1
+    (Counters.value Obs.tile_wavefronts - w0);
+  check_bits "1d map chain u" ru u;
+  check_bits "1d map chain w" rw w
+
+(* -- metamorphic determinism -- *)
+
+let sums_identical a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let test_par_determinism () =
+  let seed = Qcheck_util.base_seed lxor 0xd37 in
+  let rand = make_rand seed in
+  for case = 1 to 5 do
+    (* force Inc reductions into every case: they are the only part of the
+       result where determinism is non-trivial *)
+    let script = random_script rand @ [ Reduce 0; Reduce 2 ] in
+    let tile = 1 + rand 8 in
+    let f1, s1 = run_script_par ~pool_size:1 ~tile script in
+    let f4, s4 = run_script_par ~pool_size:4 ~tile script in
+    let f4', s4' = run_script_par ~pool_size:4 ~tile script in
+    Array.iteri
+      (fun i a ->
+        if not (bits_equal a f4.(i)) then
+          Qcheck_util.failf_seed seed "case %d: dat %d differs between pool 1 and 4"
+            case i;
+        if not (bits_equal f4.(i) f4'.(i)) then
+          Qcheck_util.failf_seed seed
+            "case %d: dat %d differs between two pool-4 runs" case i)
+      f1;
+    if not (sums_identical s1 s4) then
+      Qcheck_util.failf_seed seed
+        "case %d: Inc reductions differ between pool 1 and 4" case;
+    if not (sums_identical s4 s4') then
+      Qcheck_util.failf_seed seed
+        "case %d: Inc reductions differ between two pool-4 runs" case
+  done
+
+(* -- sanitizer over the wavefront schedule -- *)
+
+let test_par_check_clean () =
+  let run setup =
+    let ctx = Ops.create ?backend:(setup ()) () in
+    let block = Ops.decl_block ctx ~name:"b" in
+    let u = Ops.decl_dat ctx ~name:"u" ~block ~xsize:15 ~ysize:11 () in
+    let w = Ops.decl_dat ctx ~name:"w" ~block ~xsize:15 ~ysize:11 () in
+    Ops.init ctx u (fun x y _ -> Float.of_int (((x * 3) + (y * 7)) mod 13));
+    (ctx, block, u, w)
+  in
+  let chain ctx block u w =
+    for _ = 1 to 3 do
+      Ops.par_loop ctx ~name:"smooth" block (Ops.interior w)
+        [
+          Ops.arg_dat u Ops.stencil_2d_5pt Access.Read;
+          Ops.arg_dat w Ops.stencil_point Access.Write;
+        ]
+        (fun a ->
+          a.(1).(0) <-
+            0.2 *. (a.(0).(0) +. a.(0).(1) +. a.(0).(2) +. a.(0).(3) +. a.(0).(4)));
+      Ops.par_loop ctx ~name:"relax" block (Ops.interior u)
+        [
+          Ops.arg_dat w Ops.stencil_point Access.Read;
+          Ops.arg_dat u Ops.stencil_point Access.Rw;
+        ]
+        (fun a -> a.(1).(0) <- (0.5 *. a.(1).(0)) +. (0.5 *. a.(0).(0)))
+    done;
+    Ops.fetch_interior ctx u
+  in
+  let ctx, block, u, w = run (fun () -> None) in
+  let want = chain ctx block u w in
+  with_pool 2 @@ fun pool ->
+  let ctx, block, u, w = run (fun () -> Some Ops.Check) in
+  Ops.set_tile_exec ctx (Ops.Tiled_par { pool; tile = 3 });
+  let w0 = Counters.value Obs.tile_wavefronts in
+  let got = chain ctx block u w in
+  check_bits "check backend over the wavefront schedule" want got;
+  if Counters.value Obs.tile_wavefronts <= w0 then
+    Alcotest.fail "Check did not traverse the wavefront schedule"
+
+let test_par_check_race () =
+  (* Bypass planning/verification entirely and hand the executor a one-wave
+     schedule whose second tile reads rows the first tile writes: the
+     sanitizer's cross-tile claim tracker must catch the race at run time
+     (defense in depth behind [Tiling_par.verify]). *)
+  with_pool 2 @@ fun pool ->
+  let ctx = Ops.create ~backend:Ops.Check () in
+  let block = Ops.decl_block ctx ~name:"b" in
+  let u = Ops.decl_dat ctx ~name:"u" ~block ~xsize:12 ~ysize:12 () in
+  let w = Ops.decl_dat ctx ~name:"w" ~block ~xsize:12 ~ysize:12 () in
+  let v = Ops.decl_dat ctx ~name:"v" ~block ~xsize:12 ~ysize:12 () in
+  Ops.init ctx u (fun x y _ -> Float.of_int (((x * 5) + y) mod 11));
+  Ops.set_tile_exec ctx (Ops.Tiled_par { pool; tile = 6 });
+  let r = Ops.interior w in
+  let mid = (r.Ops.ylo + r.Ops.yhi) / 2 in
+  let tile_for id (ylo, yhi) =
+    {
+      Tiling_par.pt_id = id;
+      pt_outer = id;
+      pt_inner = 0;
+      pt_slabs =
+        [|
+          {
+            Tiling_par.ps_loop = 0;
+            ps_olo = ylo;
+            ps_ohi = yhi;
+            ps_ilo = r.Ops.xlo;
+            ps_ihi = r.Ops.xhi;
+          };
+          {
+            Tiling_par.ps_loop = 1;
+            ps_olo = ylo;
+            ps_ohi = yhi;
+            ps_ilo = r.Ops.xlo;
+            ps_ihi = r.Ops.xhi;
+          };
+        |];
+    }
+  in
+  Tiling_par.inject_next_schedule
+    {
+      Tiling_par.par_tile = 6;
+      par_sigma = [| 0; 0 |];
+      par_tau = [| 0; 0 |];
+      par_outer_free = false;
+      par_inner_free = false;
+      par_waves = [| [| tile_for 0 (r.Ops.ylo, mid); tile_for 1 (mid, r.Ops.yhi) |] |];
+    };
+  Ops.par_loop ctx ~name:"produce" block (Ops.interior w)
+    [
+      Ops.arg_dat u Ops.stencil_point Access.Read;
+      Ops.arg_dat w Ops.stencil_point Access.Write;
+    ]
+    (fun a -> a.(1).(0) <- a.(0).(0) +. 1.0);
+  Ops.par_loop ctx ~name:"consume" block (Ops.interior v)
+    [
+      Ops.arg_dat w Ops.stencil_2d_5pt Access.Read;
+      Ops.arg_dat v Ops.stencil_point Access.Write;
+    ]
+    (fun a ->
+      a.(1).(0) <- a.(0).(0) +. a.(0).(1) +. a.(0).(2) +. a.(0).(3) +. a.(0).(4));
+  let v0 = Counters.value Obs.check_violations in
+  (match Ops.flush ctx with
+  | () -> Alcotest.fail "forged schedule ran without a sanitizer violation"
+  | exception Am_ops.Exec_check.Violation msg ->
+    if not (Str_contains.contains msg "cross-tile race") then
+      Alcotest.failf "unexpected violation message: %s" msg);
+  if Counters.value Obs.check_violations <= v0 then
+    Alcotest.fail "check.violations did not advance"
+
+(* -- counter discipline -- *)
+
+let test_skew_counter_cache_stable () =
+  (* Regression: the skew accounting lives behind the schedule caches — a
+     replayed schedule must not count its skew rows again. *)
+  Tiling.clear_cache ();
+  Tiling_par.clear_cache ();
+  let v0 = Counters.value Obs.tile_skew_rows in
+  ignore (Tiling.find ~tile_size:5 sample_chain);
+  let v1 = Counters.value Obs.tile_skew_rows in
+  if v1 <= v0 then Alcotest.fail "fresh 1-axis plan did not account its skew rows";
+  ignore (Tiling.find ~tile_size:5 sample_chain);
+  Alcotest.(check int) "1-axis cache hit leaves skew_rows untouched" v1
+    (Counters.value Obs.tile_skew_rows);
+  ignore (Tiling_par.find ~tile_size:5 ~outer:sample_chain ~inner:par_inner_chain);
+  let v2 = Counters.value Obs.tile_skew_rows in
+  if v2 <= v1 then
+    Alcotest.fail "fresh wavefront plan did not account its skew rows";
+  ignore (Tiling_par.find ~tile_size:5 ~outer:sample_chain ~inner:par_inner_chain);
+  Alcotest.(check int) "wavefront cache hit leaves skew_rows untouched" v2
+    (Counters.value Obs.tile_skew_rows)
+
+let test_par_counter_stability () =
+  let script = [ Smooth (0, 1, 0.23); Relax (1, 2); Smooth (2, 0, 0.2) ] in
+  ignore (run_script_par ~pool_size:2 ~tile:5 script);
+  let v = Counters.value Obs.tile_skew_rows in
+  ignore (run_script_par ~pool_size:2 ~tile:5 script);
+  Alcotest.(check int) "replayed flush hits the cache without recounting skew" v
+    (Counters.value Obs.tile_skew_rows)
+
+let test_par_wavefront_counters () =
+  let w0 = Counters.value Obs.tile_wavefronts in
+  let s0 = Counters.value Obs.tile_par_slabs in
+  ignore
+    (run_script_par ~pool_size:2 ~tile:4
+       [ Smooth (0, 1, 0.2); Relax (1, 0); Smooth (1, 2, 0.21) ]);
+  if Counters.value Obs.tile_wavefronts <= w0 then
+    Alcotest.fail "tile.wavefronts did not advance";
+  if Counters.value Obs.tile_par_slabs <= s0 then
+    Alcotest.fail "tile.par_slabs did not advance"
+
 let () =
   Alcotest.run "tiling"
     [
@@ -528,5 +1033,35 @@ let () =
         [
           Alcotest.test_case "Check drives the tiled schedule" `Quick
             test_check_backend_tiled;
+        ] );
+      ( "tile-par (wavefront execution)",
+        [
+          Alcotest.test_case "verifier accepts planned schedules" `Quick
+            test_par_verify_accepts;
+          Alcotest.test_case "verifier rejects reordered waves" `Quick
+            test_par_verify_rejects_reordered_wave;
+          Alcotest.test_case "verifier rejects same-wave overlap" `Quick
+            test_par_verify_rejects_overlap;
+          Alcotest.test_case "randomized chains vs eager Seq" `Quick
+            test_par_random_chains;
+          Alcotest.test_case "cloverleaf 2D pool sweep" `Quick test_par_clover;
+          Alcotest.test_case "tealeaf 3D CG pool sweep" `Quick test_par_tealeaf;
+          Alcotest.test_case "1D pipeline chain" `Quick test_par_ops1;
+          Alcotest.test_case "1D map chain collapses to one wave" `Quick
+            test_par_ops1_collapse;
+          Alcotest.test_case "pool-size and run-to-run determinism" `Quick
+            test_par_determinism;
+          Alcotest.test_case "Check drives the wavefront schedule" `Quick
+            test_par_check_clean;
+          Alcotest.test_case "Check catches an injected cross-tile race" `Quick
+            test_par_check_race;
+          Alcotest.test_case "pending chain flushes after pool shutdown" `Quick
+            test_par_flush_after_shutdown;
+          Alcotest.test_case "skew counter stable across cache hits" `Quick
+            test_skew_counter_cache_stable;
+          Alcotest.test_case "flush replay does not recount skew" `Quick
+            test_par_counter_stability;
+          Alcotest.test_case "wavefront counters advance" `Quick
+            test_par_wavefront_counters;
         ] );
     ]
